@@ -1,0 +1,53 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"schemaevo/internal/corpus"
+)
+
+func TestRunRandomCorpus(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "corpus.json")
+	if err := run(out, 5, 3, "", true); err != nil {
+		t.Fatal(err)
+	}
+	c, err := corpus.LoadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 5 {
+		t.Errorf("corpus size = %d", c.Len())
+	}
+}
+
+func TestRunWithSnapshotDirs(t *testing.T) {
+	tmp := t.TempDir()
+	out := filepath.Join(tmp, "corpus.json")
+	dirs := filepath.Join(tmp, "snapshots")
+	if err := run(out, 3, 9, dirs, false); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dirs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Errorf("snapshot dirs = %d", len(entries))
+	}
+	// Each project directory holds at least one dated snapshot.
+	files, err := os.ReadDir(filepath.Join(dirs, entries[0].Name()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Error("empty snapshot directory")
+	}
+}
+
+func TestRunBadOutputPath(t *testing.T) {
+	if err := run(filepath.Join(t.TempDir(), "no", "such", "dir", "c.json"), 2, 1, "", false); err == nil {
+		t.Error("unwritable path should error")
+	}
+}

@@ -1,0 +1,250 @@
+// Command reproduce regenerates every table and figure of the paper's
+// evaluation from the calibrated synthetic corpus, printing them in paper
+// order. With -ablation it also runs the extension analyses (label
+// sensitivity, tree depth, unsupervised cross-check, co-evolution, query
+// impact, table rigidity, prediction cross-validation).
+//
+// Usage:
+//
+//	reproduce                 # all paper artifacts, seed 1
+//	reproduce -seed 7         # a different corpus instance
+//	reproduce -ablation       # include the ablations and extensions
+//	reproduce -only fig7      # a single artifact (t1 t2 fig1..fig7 s34 s52 s61 s62 s63)
+//	reproduce -out artifacts  # also write every artifact to files (txt + svg)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"schemaevo/internal/experiments"
+	"schemaevo/internal/report"
+)
+
+func main() {
+	var (
+		seed     = flag.Int64("seed", 1, "corpus generator seed")
+		ablation = flag.Bool("ablation", false, "also run the ablation analyses")
+		only     = flag.String("only", "", "run a single artifact (t1,t2,fig1..fig7,s34,s52,s61,s62,s63)")
+		out      = flag.String("out", "", "directory to write artifact files into")
+	)
+	flag.Parse()
+	if err := run(*seed, *ablation, strings.ToLower(*only), *out); err != nil {
+		fmt.Fprintln(os.Stderr, "reproduce:", err)
+		os.Exit(1)
+	}
+}
+
+func run(seed int64, ablation bool, only, outDir string) error {
+	fmt.Printf("Generating the calibrated corpus (seed %d) and running the full pipeline...\n\n", seed)
+	ctx, err := experiments.NewPaperContext(seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Corpus: %d projects with lifetime > 12 months.\n\n", ctx.Corpus.Len())
+
+	var htmlRep *report.HTMLReport
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return err
+		}
+		htmlRep = report.NewHTMLReport(
+			fmt.Sprintf("Time-Related Patterns of Schema Evolution — reproduction (seed %d)", seed))
+	}
+	want := func(key string) bool { return only == "" || only == key }
+	emit := func(key, body string) error {
+		fmt.Println(body)
+		fmt.Println()
+		if outDir == "" {
+			return nil
+		}
+		htmlRep.AddText(key, body)
+		return os.WriteFile(filepath.Join(outDir, key+".txt"), []byte(body+"\n"), 0o644)
+	}
+
+	if want("fig1") {
+		f1 := experiments.Figure1(ctx)
+		if err := emit("fig1", f1.Render()); err != nil {
+			return err
+		}
+		if outDir != "" {
+			if err := os.WriteFile(filepath.Join(outDir, "fig1.svg"), []byte(f1.SVG), 0o644); err != nil {
+				return err
+			}
+			htmlRep.AddSVG("fig1 (chart)", f1.SVG)
+		}
+	}
+	if want("t1") {
+		if err := emit("t1", experiments.Table1(ctx).Render()); err != nil {
+			return err
+		}
+	}
+	if want("s34") {
+		r, err := experiments.Section34(ctx)
+		if err != nil {
+			return err
+		}
+		if err := emit("s34", r.Render()); err != nil {
+			return err
+		}
+	}
+	var f2 *experiments.Figure2Result
+	if want("fig2") {
+		f2, err = experiments.Figure2(ctx)
+		if err != nil {
+			return err
+		}
+		if err := emit("fig2", f2.Render()); err != nil {
+			return err
+		}
+	}
+	if want("fig3") {
+		f3 := experiments.Figure3(ctx)
+		if err := emit("fig3", f3.Render()); err != nil {
+			return err
+		}
+		if outDir != "" {
+			for pattern, svg := range f3.SVGs {
+				name := "fig3-" + strings.ReplaceAll(strings.ToLower(pattern.String()), " ", "-")
+				if err := os.WriteFile(filepath.Join(outDir, name+".svg"), []byte(svg), 0o644); err != nil {
+					return err
+				}
+			}
+			for _, p := range experiments.Figure3Order(f3) {
+				htmlRep.AddSVG("fig3: "+p.String(), f3.SVGs[p])
+			}
+		}
+	}
+	if want("fig4") {
+		if err := emit("fig4", experiments.Figure4(ctx).Render()); err != nil {
+			return err
+		}
+	}
+	if want("t2") {
+		if err := emit("t2", experiments.Table2(ctx).Render()); err != nil {
+			return err
+		}
+	}
+	if want("s52") {
+		r, err := experiments.Section52(ctx)
+		if err != nil {
+			return err
+		}
+		if err := emit("s52", r.Render()); err != nil {
+			return err
+		}
+	}
+	if want("fig5") {
+		r, err := experiments.Figure5(ctx)
+		if err != nil {
+			return err
+		}
+		if err := emit("fig5", r.Render()); err != nil {
+			return err
+		}
+	}
+	if want("fig6") {
+		if err := emit("fig6", experiments.Figure6(ctx).Render()); err != nil {
+			return err
+		}
+	}
+	var f7 *experiments.Figure7Result
+	if want("fig7") || want("s62") {
+		f7, err = experiments.Figure7(ctx)
+		if err != nil {
+			return err
+		}
+	}
+	if want("fig7") {
+		if err := emit("fig7", f7.Render()); err != nil {
+			return err
+		}
+	}
+	if want("s61") {
+		if err := emit("s61", experiments.Section61(ctx).Render()); err != nil {
+			return err
+		}
+	}
+	if want("s62") {
+		if err := emit("s62", experiments.Section62(f7).Render()); err != nil {
+			return err
+		}
+	}
+	if want("s63") {
+		if err := emit("s63", experiments.Section63(ctx).Render()); err != nil {
+			return err
+		}
+	}
+
+	if ablation {
+		fmt.Println(strings.Repeat("=", 70))
+		fmt.Println("ABLATIONS AND EXTENSIONS")
+		fmt.Println(strings.Repeat("=", 70))
+		fmt.Println()
+		if err := emit("ablation-labels", experiments.LabelSensitivity(ctx).Render()); err != nil {
+			return err
+		}
+		td, err := experiments.TreeDepth(ctx)
+		if err != nil {
+			return err
+		}
+		if err := emit("ablation-tree-depth", td.Render()); err != nil {
+			return err
+		}
+		un, err := experiments.Unsupervised(ctx, seed)
+		if err != nil {
+			return err
+		}
+		if err := emit("ablation-kmeans", un.Render()); err != nil {
+			return err
+		}
+		co, err := experiments.CoEvolution(ctx)
+		if err != nil {
+			return err
+		}
+		if err := emit("ext-coevolution", co.Render()); err != nil {
+			return err
+		}
+		im, err := experiments.Impact(ctx)
+		if err != nil {
+			return err
+		}
+		if err := emit("ext-query-impact", im.Render()); err != nil {
+			return err
+		}
+		if err := emit("ext-table-rigidity", experiments.TableRigidity(ctx).Render()); err != nil {
+			return err
+		}
+		pe, err := experiments.PredictionEval(ctx, 5, seed)
+		if err != nil {
+			return err
+		}
+		if err := emit("ext-prediction-eval", pe.Render()); err != nil {
+			return err
+		}
+		if f2 == nil {
+			f2, err = experiments.Figure2(ctx)
+			if err != nil {
+				return err
+			}
+		}
+		ca, err := experiments.CorrelationAgreement(ctx, f2)
+		if err != nil {
+			return err
+		}
+		if err := emit("ext-correlation-agreement", ca.Render()); err != nil {
+			return err
+		}
+	}
+	if htmlRep != nil {
+		path := filepath.Join(outDir, "report.html")
+		if err := os.WriteFile(path, []byte(htmlRep.String()), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("HTML report written to %s\n", path)
+	}
+	return nil
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRunSingleArtifacts exercises each -only selector; the full run is
+// covered by TestRunAll.
+func TestRunSingleArtifacts(t *testing.T) {
+	// Silence the command's stdout while testing.
+	old := os.Stdout
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = null
+	defer func() {
+		os.Stdout = old
+		null.Close()
+	}()
+
+	for _, only := range []string{"t1", "t2", "fig1", "fig2", "fig3", "fig4",
+		"fig5", "fig6", "fig7", "s34", "s52", "s61", "s62", "s63"} {
+		if err := run(1, false, only, ""); err != nil {
+			t.Fatalf("-only %s: %v", only, err)
+		}
+	}
+}
+
+func TestRunAllWithAblation(t *testing.T) {
+	old := os.Stdout
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = null
+	defer func() {
+		os.Stdout = old
+		null.Close()
+	}()
+	if err := run(2, true, "", t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWritesArtifacts(t *testing.T) {
+	old := os.Stdout
+	null, _ := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	os.Stdout = null
+	defer func() { os.Stdout = old; null.Close() }()
+
+	dir := t.TempDir()
+	if err := run(1, false, "fig1", dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"fig1.txt", "fig1.svg"} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(data) == 0 {
+			t.Errorf("%s empty", name)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+// Command schemaevo analyzes one project's schema history and reports its
+// time-related evolution pattern.
+//
+// Usage:
+//
+//	schemaevo -dir db/history/          # directory of NNNN_YYYY-MM-DD.sql snapshots
+//	schemaevo -git .                    # a local git checkout (needs git on PATH)
+//	schemaevo -repo project.json        # serialized repository (see corpusgen)
+//	schemaevo -dir ... -svg chart.svg   # also write an SVG chart
+//	schemaevo -dir ... -verbose         # include the per-version deltas
+//	schemaevo -dir ... -tables          # per-table lifetime report
+//	schemaevo -dir ... -queries q.sql   # replay a query workload over the history
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"schemaevo"
+	"schemaevo/internal/gitrepo"
+	"schemaevo/internal/query"
+	"schemaevo/internal/sqlddl"
+	"schemaevo/internal/tablestats"
+)
+
+// options collects the command-line configuration.
+type options struct {
+	dir     string
+	repo    string
+	gitDir  string
+	svgOut  string
+	verbose bool
+	tables  bool
+	queries string
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.dir, "dir", "", "directory of dated .sql schema snapshots")
+	flag.StringVar(&o.repo, "repo", "", "path to a serialized repository (JSON)")
+	flag.StringVar(&o.gitDir, "git", "", "path to a local git checkout to extract")
+	flag.StringVar(&o.svgOut, "svg", "", "write the cumulative chart as SVG to this path")
+	flag.BoolVar(&o.verbose, "verbose", false, "print per-version change details")
+	flag.BoolVar(&o.tables, "tables", false, "print the per-table lifetime report")
+	flag.StringVar(&o.queries, "queries", "", "file of ';'-separated SELECTs to replay over the history")
+	flag.Parse()
+	if err := run(o); err != nil {
+		fmt.Fprintln(os.Stderr, "schemaevo:", err)
+		os.Exit(1)
+	}
+}
+
+func analyze(o options) (*schemaevo.Analysis, error) {
+	sources := 0
+	for _, s := range []string{o.dir, o.repo, o.gitDir} {
+		if s != "" {
+			sources++
+		}
+	}
+	if sources != 1 {
+		return nil, fmt.Errorf("exactly one of -dir, -repo or -git is required")
+	}
+	switch {
+	case o.dir != "":
+		return schemaevo.AnalyzeDir(o.dir)
+	case o.gitDir != "":
+		if !gitrepo.Available() {
+			return nil, fmt.Errorf("-git requires a git binary on the PATH")
+		}
+		return schemaevo.AnalyzeGit(o.gitDir, 0)
+	default:
+		r, err := schemaevo.LoadRepo(o.repo)
+		if err != nil {
+			return nil, err
+		}
+		return schemaevo.AnalyzeRepo(r)
+	}
+}
+
+func run(o options) error {
+	a, err := analyze(o)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println(a.Chart())
+	m := a.Measures
+	fmt.Printf("project:              %s\n", a.Project)
+	fmt.Printf("pattern:              %s (family: %s)\n", a.Pattern, a.Family)
+	fmt.Printf("                      %s\n", schemaevo.Describe(a.Pattern))
+	if !a.Exact {
+		fmt.Printf("                      (nearest match; no formal definition fits exactly)\n")
+	}
+	fmt.Printf("project life (PUP):   %d months\n", m.PUPMonths)
+	fmt.Printf("schema birth:         month %d (%.0f%% of life), %.0f%% of total change\n",
+		m.BirthMonth, m.BirthPct*100, m.BirthVolumePct*100)
+	fmt.Printf("top band (90%%):       month %d (%.0f%% of life)\n", m.TopBandMonth, m.TopBandPct*100)
+	fmt.Printf("birth→top interval:   %.0f%% of life (vault: %v)\n", m.IntervalBirthToTopPct*100, m.HasVault)
+	fmt.Printf("active growth months: %d\n", m.ActiveGrowthMonths)
+	fmt.Printf("total activity:       %d attributes (%d expansion, %d maintenance)\n",
+		m.TotalActivity, m.Expansion, m.Maintenance)
+	fmt.Printf("schema size:          %d tables / %d attributes at birth → %d / %d at end\n",
+		m.TablesAtBirth, m.AttrsAtBirth, m.TablesAtEnd, m.AttrsAtEnd)
+	fmt.Printf("labels:               birth-vol=%s birth=%s top=%s interval=%s tail=%s\n",
+		a.Labels.BirthVolume, a.Labels.BirthTiming, a.Labels.TopBandPoint,
+		a.Labels.IntervalBirthToTop, a.Labels.IntervalTopToEnd)
+	sum := a.History.Summarize()
+	fmt.Printf("timeline:             %d versions (%d with change), longest dormancy %d months\n",
+		sum.Versions, sum.ActiveVersions, sum.LongestDormancy)
+
+	if o.verbose {
+		fmt.Println("\nversions:")
+		for _, v := range a.History.Versions {
+			d := v.Delta
+			fmt.Printf("  v%03d %s  +%d tables -%d tables  born=%d injected=%d deleted=%d ejected=%d type=%d key=%d\n",
+				v.Seq, v.Time.Format("2006-01-02"),
+				len(d.TablesAdded), len(d.TablesDropped),
+				d.NBornWithTable, d.NInjected, d.NDeletedWithTable,
+				d.NEjected, d.NTypeChanged, d.NKeyChanged)
+		}
+	}
+
+	if o.tables {
+		fmt.Println("\ntables:")
+		for _, tl := range tablestats.Analyze(a.History) {
+			life := "alive"
+			if !tl.Survived() {
+				life = fmt.Sprintf("dropped v%d", tl.DiedVersion)
+			}
+			fmt.Printf("  %-24s born v%d (month %d, %d attrs)  %-12s  updates: %d\n",
+				tl.Name, tl.BornVersion, tl.BornMonth, tl.AttrsAtBirth, life, tl.Updates())
+		}
+		g := tablestats.GranularityOf(a.History)
+		fmt.Printf("  change granularity: %.0f%% whole-table, %.0f%% in-place\n",
+			g.TableGrainShare()*100, (1-g.TableGrainShare())*100)
+	}
+
+	if o.queries != "" {
+		if err := replayQueries(o.queries, a); err != nil {
+			return err
+		}
+	}
+
+	if o.svgOut != "" {
+		if err := os.WriteFile(o.svgOut, []byte(a.ChartSVG()), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\nSVG chart written to %s\n", o.svgOut)
+	}
+	return nil
+}
+
+// replayQueries parses a workload file and reports which schema versions
+// break which queries.
+func replayQueries(path string, a *schemaevo.Analysis) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	stmts := sqlddl.SplitStatements(string(data))
+	queries, err := query.ParseAll(stmts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nquery workload (%d queries):\n", len(queries))
+	vis := query.OverHistory(a.History, queries)
+	if len(vis) == 0 {
+		fmt.Println("  no query affected by any schema version")
+		return nil
+	}
+	for _, vi := range vis {
+		when := a.History.Versions[vi.Version].Time.Format("2006-01-02")
+		for _, im := range vi.Impacts {
+			fmt.Printf("  v%03d %s  %s\n", vi.Version, when, im)
+		}
+	}
+	fmt.Printf("  total broken-query incidents: %d\n", query.TotalBreakages(vis))
+	return nil
+}

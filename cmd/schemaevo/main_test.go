@@ -1,0 +1,73 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeSnapshots(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"0000_2017-03-01.sql": "CREATE TABLE a (x INT, y TEXT);",
+		"0001_2017-05-01.sql": "CREATE TABLE a (x INT, y TEXT, z DATE); CREATE TABLE b (p INT);",
+		"0002_2018-09-01.sql": "CREATE TABLE a (x INT, y TEXT, z DATE);",
+	}
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestRunDirVerboseTables(t *testing.T) {
+	dir := writeSnapshots(t)
+	if err := run(options{dir: dir, verbose: true, tables: true}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithSVG(t *testing.T) {
+	dir := writeSnapshots(t)
+	svg := filepath.Join(t.TempDir(), "chart.svg")
+	if err := run(options{dir: dir, svgOut: svg}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(svg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Error("empty SVG written")
+	}
+}
+
+func TestRunWithQueries(t *testing.T) {
+	dir := writeSnapshots(t)
+	qfile := filepath.Join(t.TempDir(), "workload.sql")
+	workload := "SELECT x, y FROM a;\nSELECT p FROM b;\n"
+	if err := os.WriteFile(qfile, []byte(workload), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Table b is dropped in the last snapshot: the replay must not fail.
+	if err := run(options{dir: dir, queries: qfile}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(options{dir: dir, queries: filepath.Join(dir, "missing.sql")}); err == nil {
+		t.Error("missing workload file should error")
+	}
+}
+
+func TestRunArgErrors(t *testing.T) {
+	if err := run(options{}); err == nil {
+		t.Error("no input should error")
+	}
+	if err := run(options{dir: "a", repo: "b"}); err == nil {
+		t.Error("two inputs should error")
+	}
+	if err := run(options{dir: filepath.Join(t.TempDir(), "missing")}); err == nil {
+		t.Error("missing dir should error")
+	}
+}

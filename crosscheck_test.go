@@ -1,0 +1,84 @@
+package schemaevo
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"schemaevo/internal/gitrepo"
+)
+
+// TestGitAndDirExtractorsAgree feeds the same schema history through both
+// extraction paths — a git repository and a dated snapshot directory —
+// and requires identical measures and classification. This pins the two
+// real-world entry points to each other.
+func TestGitAndDirExtractorsAgree(t *testing.T) {
+	if !gitrepo.Available() {
+		t.Skip("git binary not available")
+	}
+	// The golden wordpressish corpus: snapshot files named
+	// NNNN_YYYY-MM-DD.sql.
+	entries, err := os.ReadDir("testdata/wordpressish")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gitDir := t.TempDir()
+	git := func(env []string, args ...string) {
+		t.Helper()
+		cmd := exec.Command("git", append([]string{"-C", gitDir}, args...)...)
+		cmd.Env = append(os.Environ(), env...)
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("git %v: %v\n%s", args, err, out)
+		}
+	}
+	git(nil, "init", "-q")
+	git(nil, "config", "user.email", "t@e.org")
+	git(nil, "config", "user.name", "T")
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".sql") {
+			continue
+		}
+		// 0000_2009-03-15.sql -> commit dated 2009-03-15.
+		date := strings.TrimSuffix(name[5:], ".sql")
+		content, err := os.ReadFile(filepath.Join("testdata/wordpressish", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(gitDir, "schema.sql"), content, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		stamp := date + "T12:00:00+00:00"
+		env := []string{"GIT_AUTHOR_DATE=" + stamp, "GIT_COMMITTER_DATE=" + stamp}
+		git(env, "add", "-A")
+		git(env, "commit", "-q", "-m", "snapshot "+name)
+	}
+
+	fromGit, err := AnalyzeGit(gitDir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromDir, err := AnalyzeDir("testdata/wordpressish")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if fromGit.Pattern != fromDir.Pattern {
+		t.Errorf("patterns differ: git %v vs dir %v", fromGit.Pattern, fromDir.Pattern)
+	}
+	mg, md := fromGit.Measures, fromDir.Measures
+	if mg.PUPMonths != md.PUPMonths || mg.BirthMonth != md.BirthMonth ||
+		mg.TopBandMonth != md.TopBandMonth || mg.TotalActivity != md.TotalActivity ||
+		mg.ActiveGrowthMonths != md.ActiveGrowthMonths {
+		t.Errorf("measures differ:\ngit: %+v\ndir: %+v", mg, md)
+	}
+	for m := range fromGit.History.SchemaMonthly {
+		if fromGit.History.SchemaMonthly[m] != fromDir.History.SchemaMonthly[m] {
+			t.Errorf("heartbeat month %d: git %d vs dir %d",
+				m, fromGit.History.SchemaMonthly[m], fromDir.History.SchemaMonthly[m])
+		}
+	}
+}

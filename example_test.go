@@ -1,0 +1,66 @@
+package schemaevo_test
+
+import (
+	"fmt"
+	"time"
+
+	"schemaevo"
+)
+
+// ExampleAnalyzeRepo classifies a small in-memory project history.
+func ExampleAnalyzeRepo() {
+	repo := &schemaevo.Repo{
+		Name: "demo",
+		Commits: []schemaevo.Commit{
+			{ID: "0", Time: time.Date(2019, 1, 5, 0, 0, 0, 0, time.UTC),
+				Files:    map[string]string{"schema.sql": "CREATE TABLE t (a INT, b TEXT);"},
+				SrcLines: 100},
+			{ID: "1", Time: time.Date(2021, 3, 1, 0, 0, 0, 0, time.UTC),
+				Files: map[string]string{"main.go": "v2"}, SrcLines: 50},
+		},
+	}
+	a, err := schemaevo.AnalyzeRepo(repo)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(a.Pattern)
+	fmt.Println(a.Family)
+	fmt.Printf("born month %d, %d attributes\n", a.Measures.BirthMonth, a.Measures.TotalActivity)
+	// Output:
+	// Flatliner
+	// Be Quick or Be Dead
+	// born month 0, 2 attributes
+}
+
+// ExampleClassifyLabels applies a pattern definition directly.
+func ExampleClassifyLabels() {
+	repo := &schemaevo.Repo{
+		Name: "late",
+		Commits: []schemaevo.Commit{
+			{ID: "0", Time: time.Date(2018, 1, 1, 0, 0, 0, 0, time.UTC),
+				Files: map[string]string{"app.go": "x"}, SrcLines: 10},
+			{ID: "1", Time: time.Date(2019, 6, 1, 0, 0, 0, 0, time.UTC),
+				Files: map[string]string{"schema.sql": "CREATE TABLE late (a INT, b INT, c INT);"}},
+			{ID: "2", Time: time.Date(2019, 9, 1, 0, 0, 0, 0, time.UTC),
+				Files: map[string]string{"app.go": "y"}, SrcLines: 5},
+		},
+	}
+	a, _ := schemaevo.AnalyzeRepo(repo)
+	fmt.Println(schemaevo.ClassifyLabels(a.Labels))
+	// Output:
+	// Late Riser
+}
+
+// ExampleFamilyOf shows the family grouping of §4.
+func ExampleFamilyOf() {
+	for _, p := range []schemaevo.Pattern{
+		schemaevo.Flatliner, schemaevo.QuantumSteps, schemaevo.SmokingFunnel,
+	} {
+		fmt.Printf("%s: %s\n", p, schemaevo.FamilyOf(p))
+	}
+	// Output:
+	// Flatliner: Be Quick or Be Dead
+	// Quantum Steps: Stairway to Heaven
+	// Smoking Funnel: Scared to Fall Asleep Again
+}

@@ -1,0 +1,89 @@
+// Impact: the paper's motivation made concrete. Applications are written
+// against an early schema; when the schema evolves, queries break. This
+// example replays a small query workload over an evolving project and
+// reports the damage version by version.
+//
+// Run with: go run ./examples/impact
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"schemaevo"
+	"schemaevo/internal/query"
+)
+
+func main() {
+	// The application's query workload, written in year one.
+	workload, err := query.ParseAll([]string{
+		`SELECT id, name, email FROM users WHERE active = true`,
+		`SELECT u.name, o.total FROM users u JOIN orders o ON o.user_id = u.id`,
+		`SELECT sku, stock FROM inventory`,
+		`SELECT id FROM sessions WHERE expires_at < now()`,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The schema's life: inventory is dropped in 2021, sessions loses
+	// expires_at in 2022, users.email changes type.
+	snapshots := []struct {
+		when time.Time
+		sql  string
+	}{
+		{date(2019, 2), `
+			CREATE TABLE users (id INT PRIMARY KEY, name TEXT, email VARCHAR(100), active BOOL);
+			CREATE TABLE orders (id INT PRIMARY KEY, user_id INT REFERENCES users(id), total NUMERIC(10,2));
+			CREATE TABLE inventory (sku VARCHAR(40), stock INT);
+			CREATE TABLE sessions (id INT, expires_at TIMESTAMP);`},
+		{date(2021, 4), `
+			CREATE TABLE users (id INT PRIMARY KEY, name TEXT, email VARCHAR(100), active BOOL);
+			CREATE TABLE orders (id INT PRIMARY KEY, user_id INT REFERENCES users(id), total NUMERIC(10,2));
+			CREATE TABLE sessions (id INT, expires_at TIMESTAMP);`},
+		{date(2022, 8), `
+			CREATE TABLE users (id INT PRIMARY KEY, name TEXT, email TEXT, active BOOL);
+			CREATE TABLE orders (id INT PRIMARY KEY, user_id INT REFERENCES users(id), total NUMERIC(10,2));
+			CREATE TABLE sessions (id INT, token VARCHAR(64));`},
+	}
+	repo := &schemaevo.Repo{Name: "shop"}
+	for i, s := range snapshots {
+		repo.Commits = append(repo.Commits, schemaevo.Commit{
+			ID: fmt.Sprintf("c%d", i), Time: s.when,
+			Files: map[string]string{"schema.sql": s.sql}, SrcLines: 200,
+		})
+	}
+
+	a, err := schemaevo.AnalyzeRepo(repo)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("project %s evolves as: %s\n\n", a.Project, a.Pattern)
+
+	fmt.Println("replaying the year-one workload over the schema history:")
+	for _, vi := range query.OverHistory(a.History, workload) {
+		when := a.History.Versions[vi.Version].Time.Format("2006-01")
+		for _, im := range vi.Impacts {
+			fmt.Printf("  %s  %s\n        query: %s\n", when, im, im.Query.Raw)
+		}
+	}
+
+	// Validate the workload against the final schema.
+	fmt.Println("\nworkload vs final schema:")
+	final := a.History.FinalSchema()
+	for _, q := range workload {
+		problems := query.Validate(q, final)
+		if len(problems) == 0 {
+			fmt.Printf("  %s: OK\n", q.Name)
+			continue
+		}
+		for _, p := range problems {
+			fmt.Printf("  %s: %s\n", q.Name, p)
+		}
+	}
+}
+
+func date(y int, m time.Month) time.Time {
+	return time.Date(y, m, 10, 0, 0, 0, 0, time.UTC)
+}

@@ -1,0 +1,87 @@
+// Migrations: analyze a project whose schema file is maintained as an
+// append-only migration script (CREATE followed by ALTERs), the other
+// common style in FOSS repositories besides full dumps. Demonstrates the
+// DDL parser's ALTER handling and the per-version change detail.
+//
+// Run with: go run ./examples/migrations
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"schemaevo"
+)
+
+// The migration script grows over time; every commit stores the whole
+// file, and the analyzer rebuilds the logical schema per version.
+var migrationSteps = []string{
+	// v0 — initial schema, month 0.
+	`CREATE TABLE accounts (
+	   id BIGSERIAL PRIMARY KEY,
+	   email CHARACTER VARYING(255) NOT NULL,
+	   created_at TIMESTAMP WITH TIME ZONE DEFAULT now()
+	 );`,
+	// v1 — month 4: a profile table plus a column rename.
+	`CREATE TABLE profiles (
+	   account_id BIGINT REFERENCES accounts(id) ON DELETE CASCADE,
+	   display_name TEXT,
+	   bio TEXT
+	 );
+	 ALTER TABLE accounts RENAME COLUMN email TO email_address;`,
+	// v2 — month 9: type widening and a dropped column.
+	`ALTER TABLE profiles DROP COLUMN bio;
+	 ALTER TABLE accounts ALTER COLUMN email_address TYPE TEXT;`,
+	// v3 — month 11: an audit table.
+	`CREATE TABLE audit_log (
+	   id BIGSERIAL PRIMARY KEY,
+	   account_id BIGINT,
+	   action VARCHAR(40) NOT NULL,
+	   at TIMESTAMP DEFAULT CURRENT_TIMESTAMP
+	 );`,
+}
+
+func main() {
+	start := time.Date(2020, 2, 1, 10, 0, 0, 0, time.UTC)
+	months := []int{0, 4, 9, 11}
+	repo := &schemaevo.Repo{Name: "migration-style"}
+	script := ""
+	for i, step := range migrationSteps {
+		script += strings.TrimSpace(step) + "\n"
+		repo.Commits = append(repo.Commits, schemaevo.Commit{
+			ID:       fmt.Sprintf("m%d", i),
+			Time:     start.AddDate(0, months[i], 0),
+			Files:    map[string]string{"db/migrations.sql": script},
+			SrcLines: 150,
+		})
+	}
+	// The project lives on for years after the last migration.
+	repo.Commits = append(repo.Commits, schemaevo.Commit{
+		ID: "tail", Time: start.AddDate(0, 30, 0),
+		Files: map[string]string{"README.md": "stable"}, SrcLines: 40,
+	})
+
+	a, err := schemaevo.AnalyzeRepo(repo)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Per-version change detail (unit: affected attributes):")
+	for _, v := range a.History.Versions {
+		d := v.Delta
+		fmt.Printf("  %s  total=%2d  born=%d injected=%d deleted=%d ejected=%d type=%d key=%d\n",
+			v.Time.Format("2006-01"), d.Total(),
+			d.NBornWithTable, d.NInjected, d.NDeletedWithTable,
+			d.NEjected, d.NTypeChanged, d.NKeyChanged)
+	}
+	final := a.History.FinalSchema()
+	fmt.Printf("\nfinal schema: %d tables, %d attributes\n",
+		final.TableCount(), final.AttributeCount())
+	fmt.Printf("pattern:      %s (family: %s)\n", a.Pattern, a.Family)
+	fmt.Printf("expansion:    %d attributes, maintenance: %d\n",
+		a.Measures.Expansion, a.Measures.Maintenance)
+	fmt.Println()
+	fmt.Println(a.Chart())
+}

@@ -1,0 +1,79 @@
+// NoSQL: the paper's first future-work item applied — mine the
+// time-related evolution pattern of a document-store collection whose
+// "schema" is implicit in its JSON documents.
+//
+// Run with: go run ./examples/nosql
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"schemaevo"
+	"schemaevo/internal/chart"
+	"schemaevo/internal/core"
+	"schemaevo/internal/jsondoc"
+	"schemaevo/internal/metrics"
+	"schemaevo/internal/quantize"
+)
+
+func main() {
+	// Snapshots of a user-profile collection over four years: born with a
+	// handful of fields, then steadily enriched — a document-store
+	// "Regularly Curated" life.
+	versions := []jsondoc.Version{
+		{Time: date(2019, 3), Docs: []string{
+			`{"id": 1, "email": "a@x.io", "name": "Ada"}`,
+		}},
+		{Time: date(2019, 9), Docs: []string{
+			`{"id": 1, "email": "a@x.io", "name": "Ada", "avatar": "a.png"}`,
+		}},
+		{Time: date(2020, 4), Docs: []string{
+			`{"id": 1, "email": "a@x.io", "name": "Ada", "avatar": "a.png",
+			  "prefs": {"theme": "dark", "lang": "en"}}`,
+		}},
+		{Time: date(2020, 11), Docs: []string{
+			`{"id": 1, "email": "a@x.io", "name": "Ada", "avatar": "a.png",
+			  "prefs": {"theme": "dark", "lang": "en"},
+			  "badges": [{"kind": "early", "at": "2020-11-01"}]}`,
+		}},
+		{Time: date(2021, 6), Docs: []string{
+			`{"id": 1, "email": "a@x.io", "name": "Ada", "avatar": "a.png",
+			  "prefs": {"theme": "dark", "lang": "en", "tz": "UTC"},
+			  "badges": [{"kind": "early", "at": "2020-11-01"}],
+			  "followers": 10, "following": 12}`,
+		}},
+		{Time: date(2022, 2), Docs: []string{
+			`{"id": 1, "email": "a@x.io", "name": "Ada", "avatar": "a.png",
+			  "prefs": {"theme": "dark", "lang": "en", "tz": "UTC"},
+			  "badges": [{"kind": "early", "at": "2020-11-01", "level": 2}],
+			  "followers": 10, "following": 12, "bio": "...", "links": ["x"]}`,
+		}},
+	}
+
+	h, err := jsondoc.History("profiles-collection", versions, date(2019, 1), date(2023, 3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := metrics.Compute(h)
+	labels := quantize.Compute(m, quantize.DefaultScheme())
+	pattern := core.ClassifyNearest(labels)
+
+	fmt.Println(chart.ASCII(h.SchemaCumulative(), nil, chart.Options{
+		Title: fmt.Sprintf("%s — %s", h.Project, pattern),
+	}))
+	fmt.Printf("pattern:        %s (family: %s)\n", pattern, schemaevo.FamilyOf(pattern))
+	fmt.Printf("fields changed: %d over %d months (birth month %d, %.0f%% at birth)\n",
+		m.TotalActivity, m.PUPMonths, m.BirthMonth, m.BirthVolumePct*100)
+
+	final, err := jsondoc.InferCollection(versions[len(versions)-1].Docs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("final implicit schema (%d fields): %s\n", final.FieldCount(), final)
+}
+
+func date(y int, m time.Month) time.Time {
+	return time.Date(y, m, 5, 0, 0, 0, 0, time.UTC)
+}

@@ -1,0 +1,56 @@
+// Predictor: the §6.2 scenario. A curator extracts a project's history,
+// sees when the schema was born, and asks: how will this schema evolve?
+// We fit the Fig. 7 estimator on the calibrated corpus and answer for a
+// few hypothetical projects.
+//
+// Run with: go run ./examples/predictor
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"schemaevo"
+	"schemaevo/internal/predict"
+)
+
+func main() {
+	corpus, err := schemaevo.GeneratePaperCorpus(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := schemaevo.AnalyzeCorpus(corpus); err != nil {
+		log.Fatal(err)
+	}
+
+	var obs []predict.Observation
+	for _, p := range corpus.Projects {
+		obs = append(obs, predict.Observation{
+			BirthMonth: p.Measures.BirthMonth,
+			Pattern:    p.Assigned(),
+		})
+	}
+	estimator, err := predict.Fit(obs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Given the month a schema is born, how will it evolve?")
+	fmt.Printf("(estimator fitted on %d project histories)\n\n", estimator.N())
+
+	for _, birthMonth := range []int{0, 3, 9, 18} {
+		bucket := predict.BucketFor(birthMonth)
+		pattern, prob := estimator.PredictPattern(birthMonth)
+		fmt.Printf("schema born in month %-2d (bucket %s):\n", birthMonth, bucket)
+		fmt.Printf("  most likely pattern: %s (%.0f%%)\n", pattern, prob*100)
+		fmt.Printf("  chance the schema freezes right away (Be Quick or Be Dead): %.0f%%\n",
+			estimator.FamilyProb(bucket, schemaevo.BeQuickOrBeDead)*100)
+		fmt.Printf("  chance of steady, regular curation (Stairway to Heaven):    %.0f%%\n",
+			estimator.FamilyProb(bucket, schemaevo.StairwayToHeaven)*100)
+		fmt.Printf("  chance of late change (Scared to Fall Asleep Again):        %.0f%%\n\n",
+			estimator.FamilyProb(bucket, schemaevo.ScaredToFallAsleepAgain)*100)
+	}
+
+	fmt.Println("Project managers can read this as: a schema born on day one will")
+	fmt.Println("most likely freeze immediately — plan schema change early or not at all.")
+}

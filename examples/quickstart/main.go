@@ -1,0 +1,76 @@
+// Quickstart: analyze a small in-memory project history and print its
+// time-related schema-evolution pattern.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"schemaevo"
+)
+
+func main() {
+	// A project history: the schema is born two months into the project,
+	// grows twice early on, and then freezes while the source code keeps
+	// moving — the classic "Radical Sign" shape.
+	repo := &schemaevo.Repo{
+		Name: "webshop",
+		Commits: []schemaevo.Commit{
+			{ID: "c0", Time: date(2019, 1, 10), SrcLines: 400,
+				Files: map[string]string{"main.go": "package main"}},
+			{ID: "c1", Time: date(2019, 3, 2), SrcLines: 120,
+				Files: map[string]string{"db/schema.sql": `
+					CREATE TABLE users (
+					  id INT PRIMARY KEY AUTO_INCREMENT,
+					  email VARCHAR(255) NOT NULL UNIQUE,
+					  created_at TIMESTAMP DEFAULT CURRENT_TIMESTAMP
+					);
+					CREATE TABLE products (
+					  id INT PRIMARY KEY,
+					  name VARCHAR(100) NOT NULL,
+					  price NUMERIC(10,2)
+					);`}},
+			{ID: "c2", Time: date(2019, 4, 20), SrcLines: 300,
+				Files: map[string]string{"db/schema.sql": `
+					CREATE TABLE users (
+					  id INT PRIMARY KEY AUTO_INCREMENT,
+					  email VARCHAR(255) NOT NULL UNIQUE,
+					  created_at TIMESTAMP DEFAULT CURRENT_TIMESTAMP
+					);
+					CREATE TABLE products (
+					  id INT PRIMARY KEY,
+					  name VARCHAR(100) NOT NULL,
+					  price NUMERIC(10,2)
+					);
+					CREATE TABLE orders (
+					  id INT PRIMARY KEY,
+					  user_id INT REFERENCES users(id),
+					  product_id INT REFERENCES products(id),
+					  quantity INT NOT NULL DEFAULT 1
+					);`}},
+			{ID: "c3", Time: date(2021, 8, 15), SrcLines: 250,
+				Files: map[string]string{"main.go": "package main // v2"}},
+		},
+	}
+
+	analysis, err := schemaevo.AnalyzeRepo(repo)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println(analysis.Chart())
+	fmt.Printf("pattern:  %s (family: %s)\n", analysis.Pattern, analysis.Family)
+	fmt.Printf("birth:    month %d with %.0f%% of all change\n",
+		analysis.Measures.BirthMonth, analysis.Measures.BirthVolumePct*100)
+	fmt.Printf("activity: %d affected attributes over %d months of life\n",
+		analysis.Measures.TotalActivity, analysis.Measures.PUPMonths)
+	fmt.Printf("schema:   %d tables / %d attributes at the end\n",
+		analysis.Measures.TablesAtEnd, analysis.Measures.AttrsAtEnd)
+}
+
+func date(y int, m time.Month, d int) time.Time {
+	return time.Date(y, m, d, 12, 0, 0, 0, time.UTC)
+}

@@ -1,0 +1,3 @@
+module schemaevo
+
+go 1.22

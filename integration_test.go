@@ -1,0 +1,117 @@
+package schemaevo
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWordpressishCorpus runs the real pipeline over a MySQL-dump-style
+// snapshot directory full of dialect noise (backquotes, KEY clauses,
+// ENGINE options, enum types, INSERTs, SET statements).
+func TestWordpressishCorpus(t *testing.T) {
+	a, err := AnalyzeDir("testdata/wordpressish")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.History.NoteCount() != 0 {
+		for _, v := range a.History.Versions {
+			for _, n := range v.Notes {
+				t.Errorf("parse/apply note: %v", n)
+			}
+		}
+	}
+	// Final schema: posts, users, comments, terms, term_relationships.
+	final := a.History.FinalSchema()
+	if final.TableCount() != 5 {
+		t.Errorf("tables = %d (%v)", final.TableCount(), final.TableNames())
+	}
+	posts, ok := final.Table("wp_posts")
+	if !ok {
+		t.Fatal("wp_posts missing")
+	}
+	if len(posts.Columns) != 7 {
+		t.Errorf("wp_posts columns = %d (%v)", len(posts.Columns), posts.ColumnNames())
+	}
+	if len(posts.PrimaryKey) != 1 || posts.PrimaryKey[0] != "ID" {
+		t.Errorf("wp_posts pk = %v", posts.PrimaryKey)
+	}
+	// Version deltas: v1 adds excerpt + comments table (5 attrs) = 6;
+	// v2 adds terms (3) + term_relationships (2) + status type change = 6;
+	// v3 is a no-op dump refresh.
+	ds := a.History.Versions
+	if len(ds) != 4 {
+		t.Fatalf("versions = %d", len(ds))
+	}
+	if ds[0].Delta.Total() != 11 {
+		t.Errorf("v0 delta = %d", ds[0].Delta.Total())
+	}
+	if ds[1].Delta.NInjected != 1 || ds[1].Delta.NBornWithTable != 5 {
+		t.Errorf("v1 delta: %+v", ds[1].Delta)
+	}
+	if ds[2].Delta.NTypeChanged != 1 || ds[2].Delta.NBornWithTable != 5 {
+		t.Errorf("v2 delta: %+v", ds[2].Delta)
+	}
+	if !ds[3].Delta.IsZero() {
+		t.Errorf("v3 should be a pure dump refresh: %+v changes %v", ds[3].Delta, ds[3].Delta.Changes)
+	}
+	// Life: born month 0 (2009-03), last change 2009-09 (month 6 of 45):
+	// early top band, long frozen tail — a Radical Sign.
+	if a.Pattern != RadicalSign {
+		t.Errorf("pattern = %v, want Radical Sign (measures %+v)", a.Pattern, a.Measures)
+	}
+	// Birth month 0, top band month 6 of a 45-month life: a 14% climb —
+	// no vault, but still comfortably in the early quarter.
+	if a.Measures.HasVault {
+		t.Error("14% climb should not count as a vault")
+	}
+	if a.Measures.TopBandPct > 0.25 {
+		t.Errorf("top band at %.2f, want early", a.Measures.TopBandPct)
+	}
+}
+
+// TestPgappCorpus runs the pipeline over a pg_dump-style directory
+// (schema-qualified names, SERIAL, ALTER TABLE ONLY, sequences, casts,
+// arrays, partial SQL the logical level ignores).
+func TestPgappCorpus(t *testing.T) {
+	a, err := AnalyzeDir("testdata/pgapp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := a.History.NoteCount(); n != 0 {
+		for _, v := range a.History.Versions {
+			for _, note := range v.Notes {
+				t.Errorf("note: %v", note)
+			}
+		}
+		t.Fatalf("%d notes", n)
+	}
+	final := a.History.FinalSchema()
+	if final.TableCount() != 3 {
+		t.Fatalf("tables = %v", final.TableNames())
+	}
+	projects, _ := final.Table("projects")
+	if projects == nil {
+		t.Fatal("projects missing")
+	}
+	if len(projects.ForeignKeys) != 1 || projects.ForeignKeys[0].RefTable != "accounts" {
+		t.Errorf("projects fks: %+v", projects.ForeignKeys)
+	}
+	idCol, _ := projects.Column("id")
+	if idCol == nil || !idCol.AutoIncrement || !idCol.InPK {
+		t.Errorf("serial pk column: %+v", idCol)
+	}
+	tags, _ := projects.Column("tags")
+	if tags == nil || !strings.Contains(tags.Type, "array") {
+		t.Errorf("tags column: %+v", tags)
+	}
+	// v1: tags injection (1) + audit_events birth (5) = 6.
+	if d := a.History.Versions[1].Delta; d.NInjected != 1 || d.NBornWithTable != 5 {
+		t.Errorf("v1 delta: %+v (%v)", d, d.Changes)
+	}
+	if !a.History.Versions[2].Delta.IsZero() {
+		t.Errorf("v2 should be zero: %v", a.History.Versions[2].Delta.Changes)
+	}
+	if a.Pattern != RadicalSign && a.Pattern != Flatliner {
+		t.Errorf("pattern = %v", a.Pattern)
+	}
+}

@@ -1,0 +1,200 @@
+// Package chart renders the cumulative schema/source progress lines of
+// Fig. 1 and Fig. 3 as ASCII (for terminals and logs) and SVG (for
+// documents). The horizontal axis is normalized project time; the
+// vertical axis is cumulative fractional activity.
+package chart
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Options configures rendering.
+type Options struct {
+	// Width and Height are the plot area size in characters (ASCII) or
+	// tenths of pixels (SVG uses Width*8 x Height*16). Zero values take
+	// the defaults 60x15.
+	Width, Height int
+	// Title is printed above the chart.
+	Title string
+	// SchemaRune and SourceRune are the plot marks; defaults '*' and '-'.
+	SchemaRune, SourceRune rune
+}
+
+func (o Options) withDefaults() Options {
+	if o.Width <= 0 {
+		o.Width = 60
+	}
+	if o.Height <= 0 {
+		o.Height = 15
+	}
+	if o.SchemaRune == 0 {
+		o.SchemaRune = '*'
+	}
+	if o.SourceRune == 0 {
+		o.SourceRune = '-'
+	}
+	return o
+}
+
+// sample maps a series of monthly values onto w columns by nearest index.
+func sample(series []float64, w int) []float64 {
+	out := make([]float64, w)
+	if len(series) == 0 {
+		return out
+	}
+	last := len(series) - 1
+	for i := 0; i < w; i++ {
+		f := 0.0
+		if w > 1 {
+			f = float64(i) / float64(w-1)
+		}
+		out[i] = series[int(math.Round(f*float64(last)))]
+	}
+	return out
+}
+
+// ASCII renders the two cumulative lines in a character grid with axes.
+// Either series may be nil.
+func ASCII(schema, source []float64, opts Options) string {
+	o := opts.withDefaults()
+	grid := make([][]rune, o.Height)
+	for r := range grid {
+		grid[r] = make([]rune, o.Width)
+		for c := range grid[r] {
+			grid[r][c] = ' '
+		}
+	}
+	plot := func(series []float64, mark rune) {
+		if len(series) == 0 {
+			return
+		}
+		for c, v := range sample(series, o.Width) {
+			if v < 0 {
+				v = 0
+			}
+			if v > 1 {
+				v = 1
+			}
+			row := o.Height - 1 - int(math.Round(v*float64(o.Height-1)))
+			if grid[row][c] == ' ' || grid[row][c] == mark {
+				grid[row][c] = mark
+			} else {
+				grid[row][c] = '#' // overlap
+			}
+		}
+	}
+	plot(source, o.SourceRune)
+	plot(schema, o.SchemaRune)
+
+	var sb strings.Builder
+	if o.Title != "" {
+		sb.WriteString(o.Title)
+		sb.WriteByte('\n')
+	}
+	for r, row := range grid {
+		switch r {
+		case 0:
+			sb.WriteString("100%|")
+		case o.Height - 1:
+			sb.WriteString("  0%|")
+		default:
+			sb.WriteString("    |")
+		}
+		sb.WriteString(string(row))
+		sb.WriteByte('\n')
+	}
+	sb.WriteString("    +" + strings.Repeat("-", o.Width) + "\n")
+	gap := o.Width - len("0%") - len("100% of project life")
+	if gap < 1 {
+		gap = 1
+	}
+	sb.WriteString("     0%" + strings.Repeat(" ", gap) + "100% of project life\n")
+	legend := fmt.Sprintf("     schema: %c", o.SchemaRune)
+	if source != nil {
+		legend += fmt.Sprintf("   source: %c", o.SourceRune)
+	}
+	sb.WriteString(legend + "\n")
+	return sb.String()
+}
+
+// SVG renders the two cumulative lines as a standalone SVG document.
+func SVG(schema, source []float64, opts Options) string {
+	o := opts.withDefaults()
+	w, h := o.Width*10, o.Height*16
+	margin := 30
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`,
+		w+2*margin, h+2*margin, w+2*margin, h+2*margin)
+	sb.WriteString("\n")
+	if o.Title != "" {
+		fmt.Fprintf(&sb, `<text x="%d" y="%d" font-size="14" font-family="sans-serif">%s</text>`,
+			margin, margin-10, escapeXML(o.Title))
+		sb.WriteString("\n")
+	}
+	// Axes.
+	fmt.Fprintf(&sb, `<rect x="%d" y="%d" width="%d" height="%d" fill="none" stroke="#888"/>`,
+		margin, margin, w, h)
+	sb.WriteString("\n")
+	line := func(series []float64, color string, dash string) {
+		if len(series) == 0 {
+			return
+		}
+		pts := make([]string, 0, len(series))
+		for i, v := range series {
+			x := margin
+			if len(series) > 1 {
+				x = margin + i*w/(len(series)-1)
+			}
+			y := margin + h - int(v*float64(h))
+			pts = append(pts, fmt.Sprintf("%d,%d", x, y))
+		}
+		fmt.Fprintf(&sb, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"%s/>`,
+			strings.Join(pts, " "), color, dash)
+		sb.WriteString("\n")
+	}
+	line(source, "#2a9d4e", "")
+	line(schema, "#2457a8", ` stroke-dasharray="5,3"`)
+	sb.WriteString("</svg>\n")
+	return sb.String()
+}
+
+func escapeXML(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// sparkRunes are the eight block heights of a sparkline.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders a series as a one-line unicode bar chart of the given
+// width, scaled to the series' own maximum. Empty or all-zero series
+// render as the lowest bar.
+func Sparkline(series []float64, width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	sampled := sample(series, width)
+	max := 0.0
+	for _, v := range sampled {
+		if v > max {
+			max = v
+		}
+	}
+	out := make([]rune, width)
+	for i, v := range sampled {
+		idx := 0
+		if max > 0 {
+			idx = int(v / max * float64(len(sparkRunes)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sparkRunes) {
+			idx = len(sparkRunes) - 1
+		}
+		out[i] = sparkRunes[idx]
+	}
+	return string(out)
+}

@@ -1,0 +1,119 @@
+package chart
+
+import (
+	"strings"
+	"testing"
+)
+
+func ramp(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(i) / float64(n-1)
+	}
+	return out
+}
+
+func TestASCIIBasics(t *testing.T) {
+	schema := ramp(40)
+	source := make([]float64, 40)
+	for i := range source {
+		source[i] = 0.5
+	}
+	out := ASCII(schema, source, Options{Title: "demo", Width: 40, Height: 10})
+	if !strings.Contains(out, "demo") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "100%|") || !strings.Contains(out, "  0%|") {
+		t.Error("missing axis labels")
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "-") {
+		t.Errorf("missing plot marks:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	// title + height rows + axis + label + legend + trailing empty
+	if len(lines) != 1+10+1+1+1+1 {
+		t.Errorf("unexpected line count %d:\n%s", len(lines), out)
+	}
+}
+
+func TestASCIIFlatLineAtTop(t *testing.T) {
+	flat := make([]float64, 30)
+	for i := range flat {
+		flat[i] = 1.0
+	}
+	out := ASCII(flat, nil, Options{Width: 30, Height: 8})
+	top := strings.Split(out, "\n")[0]
+	if strings.Count(top, "*") != 30 {
+		t.Errorf("flat line should fill the top row:\n%s", out)
+	}
+	if strings.Contains(out, "source:") {
+		t.Error("legend should omit absent source series")
+	}
+}
+
+func TestASCIIHandlesEmptyAndClamps(t *testing.T) {
+	out := ASCII(nil, nil, Options{})
+	if out == "" {
+		t.Error("empty chart should still render a frame")
+	}
+	weird := []float64{-0.5, 0.5, 1.7}
+	out = ASCII(weird, nil, Options{Width: 10, Height: 5})
+	if !strings.Contains(out, "*") {
+		t.Error("clamped values should still plot")
+	}
+}
+
+func TestASCIIOverlapMark(t *testing.T) {
+	a := make([]float64, 20)
+	b := make([]float64, 20)
+	for i := range a {
+		a[i], b[i] = 0.5, 0.5
+	}
+	out := ASCII(a, b, Options{Width: 20, Height: 5})
+	if !strings.Contains(out, "#") {
+		t.Errorf("coinciding lines should render overlap marks:\n%s", out)
+	}
+}
+
+func TestSVG(t *testing.T) {
+	out := SVG(ramp(24), ramp(24), Options{Title: "a <b> & \"c\""})
+	if !strings.HasPrefix(out, "<svg") || !strings.HasSuffix(strings.TrimSpace(out), "</svg>") {
+		t.Error("not a complete SVG document")
+	}
+	if strings.Count(out, "<polyline") != 2 {
+		t.Errorf("expected two polylines:\n%s", out)
+	}
+	if strings.Contains(out, "<b>") || !strings.Contains(out, "&lt;b&gt;") {
+		t.Error("title not XML-escaped")
+	}
+	if !strings.Contains(out, "stroke-dasharray") {
+		t.Error("schema line should be dashed")
+	}
+}
+
+func TestSVGEmptySeries(t *testing.T) {
+	out := SVG(nil, nil, Options{})
+	if strings.Contains(out, "<polyline") {
+		t.Error("no polylines expected for empty series")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := Sparkline(ramp(50), 20)
+	if len([]rune(s)) != 20 {
+		t.Fatalf("width = %d", len([]rune(s)))
+	}
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[19] != '█' {
+		t.Errorf("ramp sparkline = %q", s)
+	}
+	flat := Sparkline(make([]float64, 10), 10)
+	for _, r := range flat {
+		if r != '▁' {
+			t.Errorf("zero series sparkline = %q", flat)
+		}
+	}
+	if got := len([]rune(Sparkline(nil, 0))); got != 40 {
+		t.Errorf("default width = %d", got)
+	}
+}

@@ -1,0 +1,210 @@
+// Package cluster provides the vector-space validation machinery of §5.2:
+// per-pattern centroids of the 20-point resampled cumulative lines, the
+// Mean Distance to Centroid (MDC) cohesion measure, and — as an
+// unsupervised cross-check extension — k-means clustering with purity and
+// Rand-index agreement scores against a reference grouping.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Centroid returns the coordinate-wise mean of the vectors. All vectors
+// must share the same dimension.
+func Centroid(vectors [][]float64) ([]float64, error) {
+	if len(vectors) == 0 {
+		return nil, fmt.Errorf("cluster: centroid of empty set")
+	}
+	dim := len(vectors[0])
+	c := make([]float64, dim)
+	for i, v := range vectors {
+		if len(v) != dim {
+			return nil, fmt.Errorf("cluster: vector %d has dim %d, want %d", i, len(v), dim)
+		}
+		for j, x := range v {
+			c[j] += x
+		}
+	}
+	for j := range c {
+		c[j] /= float64(len(vectors))
+	}
+	return c, nil
+}
+
+// Euclidean returns the Euclidean distance between two equal-length
+// vectors.
+func Euclidean(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// MeanDistToCentroid returns the MDC cohesion measure of §5.2: the mean
+// Euclidean distance of the vectors to their centroid. A singleton set
+// has MDC 0.
+func MeanDistToCentroid(vectors [][]float64) (float64, error) {
+	c, err := Centroid(vectors)
+	if err != nil {
+		return 0, err
+	}
+	s := 0.0
+	for _, v := range vectors {
+		s += Euclidean(v, c)
+	}
+	return s / float64(len(vectors)), nil
+}
+
+// KMeans clusters the vectors into k groups with Lloyd's algorithm and
+// k-means++ seeding from the given deterministic seed. It returns the
+// cluster assignment of each vector. maxIter bounds the Lloyd iterations.
+func KMeans(vectors [][]float64, k int, seed int64, maxIter int) ([]int, error) {
+	if k <= 0 || k > len(vectors) {
+		return nil, fmt.Errorf("cluster: k = %d for %d vectors", k, len(vectors))
+	}
+	dim := len(vectors[0])
+	for i, v := range vectors {
+		if len(v) != dim {
+			return nil, fmt.Errorf("cluster: vector %d has dim %d, want %d", i, len(v), dim)
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	centroids := seedPlusPlus(vectors, k, rng)
+	assign := make([]int, len(vectors))
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		for i, v := range vectors {
+			best, bestD := 0, math.Inf(1)
+			for c, cent := range centroids {
+				if d := Euclidean(v, cent); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		// Recompute centroids; empty clusters keep their old position.
+		sums := make([][]float64, k)
+		counts := make([]int, k)
+		for c := range sums {
+			sums[c] = make([]float64, dim)
+		}
+		for i, v := range vectors {
+			c := assign[i]
+			counts[c]++
+			for j, x := range v {
+				sums[c][j] += x
+			}
+		}
+		for c := range centroids {
+			if counts[c] == 0 {
+				continue
+			}
+			for j := range centroids[c] {
+				centroids[c][j] = sums[c][j] / float64(counts[c])
+			}
+		}
+	}
+	return assign, nil
+}
+
+// seedPlusPlus picks k initial centroids with the k-means++ strategy.
+func seedPlusPlus(vectors [][]float64, k int, rng *rand.Rand) [][]float64 {
+	centroids := make([][]float64, 0, k)
+	first := vectors[rng.Intn(len(vectors))]
+	centroids = append(centroids, append([]float64(nil), first...))
+	d2 := make([]float64, len(vectors))
+	for len(centroids) < k {
+		total := 0.0
+		for i, v := range vectors {
+			best := math.Inf(1)
+			for _, c := range centroids {
+				if d := Euclidean(v, c); d < best {
+					best = d
+				}
+			}
+			d2[i] = best * best
+			total += d2[i]
+		}
+		if total == 0 {
+			// All points coincide with existing centroids; duplicate one.
+			centroids = append(centroids, append([]float64(nil), vectors[0]...))
+			continue
+		}
+		r := rng.Float64() * total
+		idx := 0
+		for i, d := range d2 {
+			r -= d
+			if r <= 0 {
+				idx = i
+				break
+			}
+		}
+		centroids = append(centroids, append([]float64(nil), vectors[idx]...))
+	}
+	return centroids
+}
+
+// Purity scores how well the clusters align with reference labels: the
+// fraction of points whose cluster's majority label matches their own.
+func Purity(assign []int, labels []string) (float64, error) {
+	if len(assign) != len(labels) {
+		return 0, fmt.Errorf("cluster: %d assignments for %d labels", len(assign), len(labels))
+	}
+	if len(assign) == 0 {
+		return 0, fmt.Errorf("cluster: empty input")
+	}
+	perCluster := map[int]map[string]int{}
+	for i, c := range assign {
+		if perCluster[c] == nil {
+			perCluster[c] = map[string]int{}
+		}
+		perCluster[c][labels[i]]++
+	}
+	correct := 0
+	for _, counts := range perCluster {
+		best := 0
+		for _, n := range counts {
+			if n > best {
+				best = n
+			}
+		}
+		correct += best
+	}
+	return float64(correct) / float64(len(assign)), nil
+}
+
+// RandIndex scores pairwise agreement between the clustering and the
+// reference labels: the fraction of point pairs on which the two
+// groupings agree (same/same or different/different).
+func RandIndex(assign []int, labels []string) (float64, error) {
+	if len(assign) != len(labels) {
+		return 0, fmt.Errorf("cluster: %d assignments for %d labels", len(assign), len(labels))
+	}
+	n := len(assign)
+	if n < 2 {
+		return 0, fmt.Errorf("cluster: rand index needs at least 2 points")
+	}
+	agree := 0
+	pairs := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			sameCluster := assign[i] == assign[j]
+			sameLabel := labels[i] == labels[j]
+			if sameCluster == sameLabel {
+				agree++
+			}
+			pairs++
+		}
+	}
+	return float64(agree) / float64(pairs), nil
+}

@@ -1,0 +1,141 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCentroid(t *testing.T) {
+	c, err := Centroid([][]float64{{0, 0}, {2, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c[0] != 1 || c[1] != 2 {
+		t.Errorf("centroid = %v", c)
+	}
+	if _, err := Centroid(nil); err == nil {
+		t.Error("empty set should error")
+	}
+	if _, err := Centroid([][]float64{{1}, {1, 2}}); err == nil {
+		t.Error("ragged vectors should error")
+	}
+}
+
+func TestEuclidean(t *testing.T) {
+	if d := Euclidean([]float64{0, 0}, []float64{3, 4}); d != 5 {
+		t.Errorf("distance = %v", d)
+	}
+	if d := Euclidean([]float64{1, 1}, []float64{1, 1}); d != 0 {
+		t.Errorf("self distance = %v", d)
+	}
+}
+
+func TestMeanDistToCentroid(t *testing.T) {
+	mdc, err := MeanDistToCentroid([][]float64{{0, 0}, {2, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mdc != 1 {
+		t.Errorf("mdc = %v", mdc)
+	}
+	single, _ := MeanDistToCentroid([][]float64{{5, 5, 5}})
+	if single != 0 {
+		t.Errorf("singleton mdc = %v", single)
+	}
+}
+
+func wellSeparated() ([][]float64, []string) {
+	var vectors [][]float64
+	var labels []string
+	for i := 0; i < 10; i++ {
+		vectors = append(vectors, []float64{0 + float64(i)*0.01, 0})
+		labels = append(labels, "a")
+	}
+	for i := 0; i < 10; i++ {
+		vectors = append(vectors, []float64{10 + float64(i)*0.01, 10})
+		labels = append(labels, "b")
+	}
+	return vectors, labels
+}
+
+func TestKMeansSeparatesObviousClusters(t *testing.T) {
+	vectors, labels := wellSeparated()
+	assign, err := KMeans(vectors, 2, 1, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	purity, err := Purity(assign, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if purity != 1 {
+		t.Errorf("purity = %v for well-separated clusters", purity)
+	}
+	ri, err := RandIndex(assign, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ri != 1 {
+		t.Errorf("rand index = %v", ri)
+	}
+}
+
+func TestKMeansDeterministicForSeed(t *testing.T) {
+	vectors, _ := wellSeparated()
+	a1, _ := KMeans(vectors, 2, 42, 50)
+	a2, _ := KMeans(vectors, 2, 42, 50)
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatal("k-means not deterministic for fixed seed")
+		}
+	}
+}
+
+func TestKMeansErrors(t *testing.T) {
+	vectors, _ := wellSeparated()
+	if _, err := KMeans(vectors, 0, 1, 10); err == nil {
+		t.Error("k=0 should error")
+	}
+	if _, err := KMeans(vectors, len(vectors)+1, 1, 10); err == nil {
+		t.Error("k>n should error")
+	}
+	if _, err := KMeans([][]float64{{1}, {1, 2}}, 1, 1, 10); err == nil {
+		t.Error("ragged vectors should error")
+	}
+}
+
+func TestKMeansDegenerateAllSame(t *testing.T) {
+	vectors := [][]float64{{1, 1}, {1, 1}, {1, 1}, {1, 1}}
+	assign, err := KMeans(vectors, 2, 9, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(assign) != 4 {
+		t.Errorf("assignments: %v", assign)
+	}
+}
+
+func TestPurityAndRandIndexErrors(t *testing.T) {
+	if _, err := Purity([]int{0}, []string{"a", "b"}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := Purity(nil, nil); err == nil {
+		t.Error("empty input should error")
+	}
+	if _, err := RandIndex([]int{0}, []string{"a"}); err == nil {
+		t.Error("n<2 should error")
+	}
+}
+
+func TestRandIndexPartialAgreement(t *testing.T) {
+	// 4 points: clusters {0,0,1,1}, labels {a,a,a,b}.
+	// Pairs: (0,1) same/same agree; (0,2) diff/same disagree; (0,3) diff/diff agree;
+	// (1,2) diff/same disagree; (1,3) diff/diff agree; (2,3) same/diff disagree.
+	ri, err := RandIndex([]int{0, 0, 1, 1}, []string{"a", "a", "a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ri-0.5) > 1e-12 {
+		t.Errorf("rand index = %v, want 0.5", ri)
+	}
+}

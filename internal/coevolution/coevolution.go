@@ -1,0 +1,115 @@
+// Package coevolution analyzes how the schema line and the source-code
+// line of a project relate in time. The paper builds on a joint study of
+// source and schema evolution (its Fig. 1 charts both lines) and observes
+// that "the behaviour towards schema evolution is not obligatorily in
+// sync with the behaviour towards source code evolution" (§6.1); this
+// package quantifies that: half-attainment lag, source progress at schema
+// freeze, and rank correlation of the two heartbeats.
+package coevolution
+
+import (
+	"fmt"
+
+	"schemaevo/internal/history"
+	"schemaevo/internal/metrics"
+	"schemaevo/internal/stats"
+)
+
+// Measures captures the temporal relationship of a project's schema and
+// source lines.
+type Measures struct {
+	// SchemaHalfPct and SourceHalfPct are the normalized times at which
+	// each cumulative line first reaches 50% of its total.
+	SchemaHalfPct float64
+	SourceHalfPct float64
+	// Lag is SourceHalfPct - SchemaHalfPct: positive when the schema
+	// completes half its evolution before the source does (the schema
+	// "leads"; the freeze-then-build anecdote predicts strongly positive
+	// values).
+	Lag float64
+	// SourceAtSchemaTop is the fraction of total source activity already
+	// performed when the schema reaches its top band. Low values mean
+	// most of the coding happened against an already-frozen schema.
+	SourceAtSchemaTop float64
+	// HeartbeatRho is the Spearman correlation of the two monthly
+	// heartbeats (NaN when either is constant).
+	HeartbeatRho float64
+}
+
+// halfPoint returns the normalized time at which a cumulative series
+// first reaches 0.5, or 1 if it never does (zero-activity series).
+func halfPoint(cum []float64, pup int) float64 {
+	for i, v := range cum {
+		if v >= 0.5 {
+			return metrics.PctOfPUP(i, pup)
+		}
+	}
+	return 1
+}
+
+// Compute derives the co-evolution measures of one history.
+func Compute(h *history.History) (Measures, error) {
+	if h.Months() == 0 {
+		return Measures{}, fmt.Errorf("coevolution: empty history")
+	}
+	schemaCum := h.SchemaCumulative()
+	sourceCum := h.SourceCumulative()
+	m := Measures{
+		SchemaHalfPct: halfPoint(schemaCum, h.Months()),
+		SourceHalfPct: halfPoint(sourceCum, h.Months()),
+	}
+	m.Lag = m.SourceHalfPct - m.SchemaHalfPct
+
+	// Source progress at schema top-band attainment.
+	top := -1
+	for i, v := range schemaCum {
+		if v >= metrics.TopBandThreshold-1e-12 {
+			top = i
+			break
+		}
+	}
+	if top >= 0 && len(sourceCum) > top {
+		m.SourceAtSchemaTop = sourceCum[top]
+	}
+
+	sm := make([]float64, len(h.SchemaMonthly))
+	so := make([]float64, len(h.SourceMonthly))
+	for i := range sm {
+		sm[i] = float64(h.SchemaMonthly[i])
+		so[i] = float64(h.SourceMonthly[i])
+	}
+	m.HeartbeatRho = stats.Spearman(sm, so)
+	return m, nil
+}
+
+// Aggregate summarizes co-evolution over a set of project measures.
+type Aggregate struct {
+	N int
+	// MedianLag is the median schema-vs-source half-point lag.
+	MedianLag float64
+	// SchemaLeads counts projects with positive lag (schema half-done
+	// before source half-done).
+	SchemaLeads int
+	// MedianSourceAtTop is the median source progress at schema freeze.
+	MedianSourceAtTop float64
+}
+
+// Summarize aggregates per-project co-evolution measures.
+func Summarize(ms []Measures) (Aggregate, error) {
+	if len(ms) == 0 {
+		return Aggregate{}, fmt.Errorf("coevolution: nothing to summarize")
+	}
+	agg := Aggregate{N: len(ms)}
+	lags := make([]float64, 0, len(ms))
+	atTop := make([]float64, 0, len(ms))
+	for _, m := range ms {
+		lags = append(lags, m.Lag)
+		atTop = append(atTop, m.SourceAtSchemaTop)
+		if m.Lag > 0 {
+			agg.SchemaLeads++
+		}
+	}
+	agg.MedianLag = stats.Median(lags)
+	agg.MedianSourceAtTop = stats.Median(atTop)
+	return agg, nil
+}

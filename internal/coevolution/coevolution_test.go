@@ -1,0 +1,94 @@
+package coevolution
+
+import (
+	"math"
+	"testing"
+
+	"schemaevo/internal/history"
+)
+
+// hist builds a history from explicit monthly heartbeats.
+func hist(schema, source []int) *history.History {
+	return &history.History{
+		Project:       "test",
+		SchemaMonthly: schema,
+		SourceMonthly: source,
+	}
+}
+
+func TestSchemaLeadsSource(t *testing.T) {
+	// Schema completes at month 0; source is spread evenly over 10 months.
+	schema := []int{10, 0, 0, 0, 0, 0, 0, 0, 0, 0}
+	source := []int{1, 1, 1, 1, 1, 1, 1, 1, 1, 1}
+	m, err := Compute(hist(schema, source))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.SchemaHalfPct != 0 {
+		t.Errorf("schema half = %v", m.SchemaHalfPct)
+	}
+	if m.Lag <= 0 {
+		t.Errorf("lag = %v, schema should lead", m.Lag)
+	}
+	// At schema freeze (month 0) only 10% of the source exists.
+	if math.Abs(m.SourceAtSchemaTop-0.1) > 1e-9 {
+		t.Errorf("source at top = %v", m.SourceAtSchemaTop)
+	}
+}
+
+func TestSynchronousEvolution(t *testing.T) {
+	beat := []int{2, 3, 1, 4, 2, 3, 1, 4}
+	m, err := Compute(hist(beat, beat))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Lag != 0 {
+		t.Errorf("identical heartbeats lag = %v", m.Lag)
+	}
+	if math.Abs(m.HeartbeatRho-1) > 1e-9 {
+		t.Errorf("rho = %v", m.HeartbeatRho)
+	}
+}
+
+func TestLateSchema(t *testing.T) {
+	// Source first, schema late: negative lag.
+	schema := []int{0, 0, 0, 0, 0, 0, 0, 0, 5, 5}
+	source := []int{5, 5, 0, 0, 0, 0, 0, 0, 0, 0}
+	m, err := Compute(hist(schema, source))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Lag >= 0 {
+		t.Errorf("lag = %v, source should lead", m.Lag)
+	}
+	if m.SourceAtSchemaTop != 1 {
+		t.Errorf("source at top = %v", m.SourceAtSchemaTop)
+	}
+}
+
+func TestComputeEmptyHistory(t *testing.T) {
+	if _, err := Compute(hist(nil, nil)); err == nil {
+		t.Error("empty history should error")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	ms := []Measures{
+		{Lag: 0.4, SourceAtSchemaTop: 0.1},
+		{Lag: 0.2, SourceAtSchemaTop: 0.3},
+		{Lag: -0.1, SourceAtSchemaTop: 0.9},
+	}
+	agg, err := Summarize(ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.N != 3 || agg.SchemaLeads != 2 {
+		t.Errorf("aggregate: %+v", agg)
+	}
+	if math.Abs(agg.MedianLag-0.2) > 1e-9 || math.Abs(agg.MedianSourceAtTop-0.3) > 1e-9 {
+		t.Errorf("medians: %+v", agg)
+	}
+	if _, err := Summarize(nil); err == nil {
+		t.Error("empty summary should error")
+	}
+}

@@ -1,0 +1,63 @@
+package core
+
+// Describe returns the §4 prose characterization of a pattern, used by
+// the CLI and documentation surfaces.
+func Describe(p Pattern) string {
+	switch p {
+	case Flatliner:
+		return "Practically frozen: the schema is born at the originating " +
+			"version of the project and all of its (little) change happens " +
+			"in that first month, leaving a flat line for the rest of the " +
+			"project's life (Def. 4.1)."
+	case RadicalSign:
+		return "Born early and rising to (usually all of) its total change " +
+			"in a sharp vault right after birth, followed by a long frozen " +
+			"tail — the most populous pattern (Def. 4.2)."
+	case Sigmoid:
+		return "Born in the middle of the project's life with a very sharp " +
+			"rise to the top band at birth and a long frozen tail — the " +
+			"archetypal shape all the almost-no-evolution patterns vary on " +
+			"(Def. 4.3)."
+	case LateRiser:
+		return "Born late (after three quarters of the project's life) with " +
+			"very little change afterwards; the schema's life is summarized " +
+			"by one late vault (Def. 4.4)."
+	case QuantumSteps:
+		return "A few focused points of change (at most 3 active months) on " +
+			"the journey from an early-or-middle birth to the top band — " +
+			"rare but regular steps (Def. 4.5)."
+	case RegularlyCurated:
+		return "Consistently maintained: more than 3 active growth months " +
+			"spread between birth and a middle-or-late top band, with the " +
+			"highest change volumes of the corpus (Def. 4.6)."
+	case Siesta:
+		return "Born early at a significant share of its total change, then " +
+			"idle for a very long time, and finally changed again late in " +
+			"the project's life (Def. 4.7)."
+	case SmokingFunnel:
+		return "Born mid-life at a medium share of its total change and " +
+			"densely evolved through a fair interval, with change continuing " +
+			"into the tail (Def. 4.8)."
+	case Unclassified:
+		return "No formal pattern definition fits this label profile exactly."
+	}
+	return ""
+}
+
+// DescribeFamily returns the §4 prose characterization of a family.
+func DescribeFamily(f Family) string {
+	switch f {
+	case BeQuickOrBeDead:
+		return "Very focused change close to the point of schema birth; the " +
+			"member patterns differ only in when that birth happens. Two " +
+			"thirds of the corpus."
+	case StairwayToHeaven:
+		return "A fairly regular rate of change with steps distributed over " +
+			"time; the member patterns differ in the density of the steps. " +
+			"A quarter of the corpus."
+	case ScaredToFallAsleepAgain:
+		return "Change that arrives (or resumes) late in the project's " +
+			"life. About a tenth of the corpus."
+	}
+	return ""
+}

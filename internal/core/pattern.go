@@ -1,0 +1,255 @@
+// Package core implements the paper's primary contribution: the eight
+// time-related patterns of schema evolution (Definitions 4.1-4.8),
+// organized in three families, as a rule-based classifier over the
+// quantized label profile of a project, plus exception detection
+// (Table 2) and the per-pattern characteristics overview (Fig. 4).
+package core
+
+import (
+	"fmt"
+
+	"schemaevo/internal/quantize"
+)
+
+// Pattern identifies one of the eight time-related patterns.
+type Pattern int
+
+// The eight patterns of §4, plus Unclassified for profiles that satisfy
+// no definition (the paper's manually-earmarked exceptions live inside
+// their assigned pattern; see Exceptions).
+const (
+	Unclassified Pattern = iota
+	Flatliner
+	RadicalSign
+	Sigmoid
+	LateRiser
+	QuantumSteps
+	RegularlyCurated
+	Siesta
+	SmokingFunnel
+)
+
+// AllPatterns lists the eight patterns in the paper's presentation order.
+var AllPatterns = []Pattern{
+	Flatliner, RadicalSign, Sigmoid, LateRiser,
+	QuantumSteps, RegularlyCurated, Siesta, SmokingFunnel,
+}
+
+func (p Pattern) String() string {
+	switch p {
+	case Flatliner:
+		return "Flatliner"
+	case RadicalSign:
+		return "Radical Sign"
+	case Sigmoid:
+		return "Sigmoid"
+	case LateRiser:
+		return "Late Riser"
+	case QuantumSteps:
+		return "Quantum Steps"
+	case RegularlyCurated:
+		return "Regularly Curated"
+	case Siesta:
+		return "Siesta"
+	case SmokingFunnel:
+		return "Smoking Funnel"
+	case Unclassified:
+		return "Unclassified"
+	}
+	return fmt.Sprintf("Pattern(%d)", int(p))
+}
+
+// ParsePattern maps a pattern name (as produced by String) back to the
+// Pattern value; it reports false for unknown names.
+func ParsePattern(name string) (Pattern, bool) {
+	for _, p := range append([]Pattern{Unclassified}, AllPatterns...) {
+		if p.String() == name {
+			return p, true
+		}
+	}
+	return Unclassified, false
+}
+
+// Family identifies one of the three pattern families.
+type Family int
+
+// The three families of §4.
+const (
+	NoFamily Family = iota
+	// BeQuickOrBeDead: focused change around the point of schema birth.
+	BeQuickOrBeDead
+	// StairwayToHeaven: fairly regular rate of change.
+	StairwayToHeaven
+	// ScaredToFallAsleepAgain: change starting late in the project life.
+	ScaredToFallAsleepAgain
+)
+
+func (f Family) String() string {
+	switch f {
+	case BeQuickOrBeDead:
+		return "Be Quick or Be Dead"
+	case StairwayToHeaven:
+		return "Stairway to Heaven"
+	case ScaredToFallAsleepAgain:
+		return "Scared to Fall Asleep Again"
+	case NoFamily:
+		return "None"
+	}
+	return fmt.Sprintf("Family(%d)", int(f))
+}
+
+// AllFamilies lists the three families in presentation order.
+var AllFamilies = []Family{BeQuickOrBeDead, StairwayToHeaven, ScaredToFallAsleepAgain}
+
+// FamilyOf returns the family of a pattern.
+func FamilyOf(p Pattern) Family {
+	switch p {
+	case Flatliner, RadicalSign, Sigmoid, LateRiser:
+		return BeQuickOrBeDead
+	case QuantumSteps, RegularlyCurated:
+		return StairwayToHeaven
+	case Siesta, SmokingFunnel:
+		return ScaredToFallAsleepAgain
+	}
+	return NoFamily
+}
+
+// quantumStepsMaxActive is the change-rate boundary separating Quantum
+// Steps (at most 3 active growth months) from Regularly Curated (more
+// than 3); see Definitions 4.5 and 4.6.
+const quantumStepsMaxActive = 3
+
+// Classify applies the formal definitions of §4 and returns the pattern
+// whose defining conditions the label profile satisfies, or Unclassified
+// when none matches. The definitions are pairwise disjoint (§5.3), so at
+// most one can match and evaluation order is immaterial; the order below
+// follows the paper's presentation.
+func Classify(l quantize.Labels) Pattern {
+	for _, p := range AllPatterns {
+		if MatchesDefinition(p, l) {
+			return p
+		}
+	}
+	return Unclassified
+}
+
+// MatchesDefinition reports whether a label profile satisfies the formal
+// definition of the given pattern. It is used both by Classify and by the
+// Table 2 exception audit (a project kept in a pattern by the manual
+// grouping may violate the pattern's formal definition).
+func MatchesDefinition(p Pattern, l quantize.Labels) bool {
+	birthEarly := l.BirthTiming == quantize.TimingVP0 || l.BirthTiming == quantize.TimingEarly
+	growShort := l.IntervalBirthToTop == quantize.GrowthZero || l.IntervalBirthToTop == quantize.GrowthSoon
+	few := l.ActiveGrowthMonths <= quantumStepsMaxActive
+
+	switch p {
+	case Flatliner:
+		// Def 4.1: birth and top-band attainment both at V_p^0.
+		return l.BirthTiming == quantize.TimingVP0 && l.TopBandPoint == quantize.TimingVP0
+	case RadicalSign:
+		// Def 4.2: born at V_p^0 or early; top band attained early.
+		return birthEarly && l.TopBandPoint == quantize.TimingEarly
+	case Sigmoid:
+		// Def 4.3: middle birth, middle top band, zero-or-soon interval.
+		return l.BirthTiming == quantize.TimingMiddle &&
+			l.TopBandPoint == quantize.TimingMiddle && growShort
+	case LateRiser:
+		// Def 4.4: late birth, late top band, zero-or-soon interval.
+		return l.BirthTiming == quantize.TimingLate &&
+			l.TopBandPoint == quantize.TimingLate && growShort
+	case QuantumSteps:
+		// Def 4.5: at most 3 active growth months; early-to-middle or
+		// middle-to-late journey.
+		return few &&
+			((birthEarly && l.TopBandPoint == quantize.TimingMiddle) ||
+				(l.BirthTiming == quantize.TimingMiddle && l.TopBandPoint == quantize.TimingLate))
+	case RegularlyCurated:
+		// Def 4.6: more than 3 active growth months; early birth reaching
+		// the top middle-or-late, or middle birth reaching it late.
+		if few {
+			return false
+		}
+		if birthEarly &&
+			(l.TopBandPoint == quantize.TimingMiddle || l.TopBandPoint == quantize.TimingLate) {
+			// Siesta's area (early birth, late top, very long interval)
+			// belongs to Siesta only at a low change rate; with >3 active
+			// months the project is regularly curated.
+			return true
+		}
+		return l.BirthTiming == quantize.TimingMiddle && l.TopBandPoint == quantize.TimingLate
+	case Siesta:
+		// Def 4.7: early birth, late top band, very long interval, at
+		// most 3 active growth months.
+		return birthEarly && l.TopBandPoint == quantize.TimingLate &&
+			l.IntervalBirthToTop == quantize.GrowthVeryLong && few
+	case SmokingFunnel:
+		// Def 4.8: middle birth, middle top band, fair interval, more
+		// than 3 active growth months.
+		return l.BirthTiming == quantize.TimingMiddle &&
+			l.TopBandPoint == quantize.TimingMiddle &&
+			l.IntervalBirthToTop == quantize.GrowthFair && !few
+	}
+	return false
+}
+
+// ClassifyNearest always returns a pattern: the definitional match when
+// one exists, otherwise the pattern whose defining conditions the profile
+// violates least. It mirrors the paper's manual practice of keeping a
+// project in the pattern it most resembles even when the formal
+// definition is (slightly) violated.
+func ClassifyNearest(l quantize.Labels) Pattern {
+	if p := Classify(l); p != Unclassified {
+		return p
+	}
+	best := Unclassified
+	bestScore := -1
+	for _, p := range AllPatterns {
+		s := definitionScore(p, l)
+		if s > bestScore {
+			best, bestScore = p, s
+		}
+	}
+	return best
+}
+
+// definitionScore counts how many of the pattern's defining conditions
+// the profile satisfies; higher is closer.
+func definitionScore(p Pattern, l quantize.Labels) int {
+	birthEarly := l.BirthTiming == quantize.TimingVP0 || l.BirthTiming == quantize.TimingEarly
+	growShort := l.IntervalBirthToTop == quantize.GrowthZero || l.IntervalBirthToTop == quantize.GrowthSoon
+	few := l.ActiveGrowthMonths <= quantumStepsMaxActive
+	b := func(conds ...bool) int {
+		n := 0
+		for _, c := range conds {
+			if c {
+				n++
+			}
+		}
+		return n
+	}
+	switch p {
+	case Flatliner:
+		return b(l.BirthTiming == quantize.TimingVP0, l.TopBandPoint == quantize.TimingVP0, few)
+	case RadicalSign:
+		return b(birthEarly, l.TopBandPoint == quantize.TimingEarly, few)
+	case Sigmoid:
+		return b(l.BirthTiming == quantize.TimingMiddle, l.TopBandPoint == quantize.TimingMiddle, growShort, few)
+	case LateRiser:
+		return b(l.BirthTiming == quantize.TimingLate, l.TopBandPoint == quantize.TimingLate, growShort, few)
+	case QuantumSteps:
+		varA := b(birthEarly, l.TopBandPoint == quantize.TimingMiddle, few)
+		varB := b(l.BirthTiming == quantize.TimingMiddle, l.TopBandPoint == quantize.TimingLate, few)
+		return max(varA, varB)
+	case RegularlyCurated:
+		varA := b(birthEarly, l.TopBandPoint == quantize.TimingMiddle || l.TopBandPoint == quantize.TimingLate, !few)
+		varB := b(l.BirthTiming == quantize.TimingMiddle, l.TopBandPoint == quantize.TimingLate, !few)
+		return max(varA, varB)
+	case Siesta:
+		return b(birthEarly, l.TopBandPoint == quantize.TimingLate,
+			l.IntervalBirthToTop == quantize.GrowthVeryLong, few)
+	case SmokingFunnel:
+		return b(l.BirthTiming == quantize.TimingMiddle, l.TopBandPoint == quantize.TimingMiddle,
+			l.IntervalBirthToTop == quantize.GrowthFair, !few)
+	}
+	return 0
+}

@@ -1,0 +1,143 @@
+package corpus
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"schemaevo/internal/core"
+	"schemaevo/internal/quantize"
+	"schemaevo/internal/vcs"
+)
+
+func day(y int, m time.Month, d int) time.Time {
+	return time.Date(y, m, d, 12, 0, 0, 0, time.UTC)
+}
+
+// flatRepo builds a flatliner-shaped project of the given length.
+func flatRepo(name string, months int) *vcs.Repo {
+	r := &vcs.Repo{Name: name}
+	r.Commits = append(r.Commits, vcs.Commit{
+		ID: "0", Time: day(2020, 1, 1),
+		Files:    map[string]string{"schema.sql": "CREATE TABLE t (a INT, b INT, c TEXT);"},
+		SrcLines: 10,
+	})
+	r.Commits = append(r.Commits, vcs.Commit{
+		ID: "1", Time: day(2020, 1, 1).AddDate(0, months-1, 0),
+		Files: map[string]string{"main.go": "x"}, SrcLines: 5,
+	})
+	return r
+}
+
+func TestAnalyzeAndAssign(t *testing.T) {
+	p := &Project{Name: "flat", Repo: flatRepo("flat", 24)}
+	if err := p.Analyze(quantize.DefaultScheme()); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Analyzed || !p.Measures.HasSchema {
+		t.Fatalf("analysis: %+v", p.Measures)
+	}
+	// Without annotation, Assigned falls back to the classifier.
+	if got := p.Assigned(); got != core.Flatliner {
+		t.Errorf("assigned = %v, want Flatliner", got)
+	}
+	// Annotation wins.
+	p.GroundTruth = core.Siesta
+	if got := p.Assigned(); got != core.Siesta {
+		t.Errorf("annotated assigned = %v", got)
+	}
+}
+
+func TestAssignedUnanalyzed(t *testing.T) {
+	p := &Project{Name: "x", Repo: flatRepo("x", 15)}
+	if got := p.Assigned(); got != core.Unclassified {
+		t.Errorf("unanalyzed assigned = %v", got)
+	}
+}
+
+func TestFilterMinMonths(t *testing.T) {
+	c := &Corpus{Projects: []*Project{
+		{Name: "short", Repo: flatRepo("short", 10)},
+		{Name: "exactly12", Repo: flatRepo("exactly12", 12)},
+		{Name: "long", Repo: flatRepo("long", 13)},
+	}}
+	f := c.FilterMinMonths(12)
+	if f.Len() != 1 || f.Projects[0].Name != "long" {
+		t.Errorf("filtered: %d projects", f.Len())
+	}
+}
+
+func TestSubjectsSkipUnanalyzed(t *testing.T) {
+	c := &Corpus{Projects: []*Project{
+		{Name: "a", Repo: flatRepo("a", 20)},
+	}}
+	if got := len(c.Subjects()); got != 0 {
+		t.Errorf("unanalyzed subjects = %d", got)
+	}
+	if err := c.Analyze(quantize.DefaultScheme()); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(c.Subjects()); got != 1 {
+		t.Errorf("subjects = %d", got)
+	}
+}
+
+func TestByPattern(t *testing.T) {
+	c := &Corpus{Projects: []*Project{
+		{Name: "a", Repo: flatRepo("a", 20), GroundTruth: core.Flatliner},
+		{Name: "b", Repo: flatRepo("b", 20), GroundTruth: core.Flatliner},
+		{Name: "c", Repo: flatRepo("c", 20), GroundTruth: core.Siesta},
+	}}
+	groups := c.ByPattern()
+	if len(groups[core.Flatliner]) != 2 || len(groups[core.Siesta]) != 1 {
+		t.Errorf("groups: %v", groups)
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("not json")); err == nil {
+		t.Error("garbage should fail")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"projects":[{"name":"x"}]}`)); err == nil {
+		t.Error("missing repo should fail")
+	}
+	if _, err := ReadJSON(strings.NewReader(
+		`{"projects":[{"name":"x","ground_truth":"Nope","repo":{"name":"x","commits":[{"id":"0","time":"2020-01-01T00:00:00Z"}]}}]}`)); err == nil {
+		t.Error("unknown pattern should fail")
+	}
+}
+
+func TestWriteReadJSONRoundTrip(t *testing.T) {
+	c := &Corpus{Projects: []*Project{
+		{Name: "a", Repo: flatRepo("a", 20), GroundTruth: core.RadicalSign},
+		{Name: "b", Repo: flatRepo("b", 25)},
+	}}
+	var buf bytes.Buffer
+	if err := c.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 2 {
+		t.Fatalf("len = %d", back.Len())
+	}
+	if back.Projects[0].GroundTruth != core.RadicalSign {
+		t.Error("annotation lost")
+	}
+	if back.Projects[1].GroundTruth != core.Unclassified {
+		t.Error("unannotated project gained an annotation")
+	}
+}
+
+func TestAnalyzeFailureStops(t *testing.T) {
+	noDDL := &vcs.Repo{Name: "noddl", Commits: []vcs.Commit{
+		{ID: "0", Time: day(2020, 1, 1), Files: map[string]string{"main.go": "x"}},
+	}}
+	c := &Corpus{Projects: []*Project{{Name: "noddl", Repo: noDDL}}}
+	if err := c.Analyze(quantize.DefaultScheme()); err == nil {
+		t.Error("expected analysis failure for DDL-less repo")
+	}
+}

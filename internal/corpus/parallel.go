@@ -1,0 +1,55 @@
+package corpus
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"schemaevo/internal/quantize"
+)
+
+// AnalyzeParallel runs the analysis pipeline over the corpus with a
+// bounded worker pool. Results are identical to Analyze; only wall-clock
+// time differs (each project's analysis is independent). workers <= 0
+// selects GOMAXPROCS.
+func (c *Corpus) AnalyzeParallel(scheme quantize.Scheme, workers int) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(c.Projects) {
+		workers = len(c.Projects)
+	}
+	if workers <= 1 {
+		return c.Analyze(scheme)
+	}
+	jobs := make(chan *Project)
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for p := range jobs {
+				if err := p.Analyze(scheme); err != nil {
+					// Report the first failure; keep draining so the
+					// sender never blocks.
+					select {
+					case errs <- err:
+					default:
+					}
+				}
+			}
+		}()
+	}
+	for _, p := range c.Projects {
+		jobs <- p
+	}
+	close(jobs)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return fmt.Errorf("corpus: parallel analysis: %w", err)
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,67 @@
+package corpus
+
+import (
+	"testing"
+
+	"schemaevo/internal/core"
+	"schemaevo/internal/quantize"
+	"schemaevo/internal/vcs"
+)
+
+func TestAnalyzeParallelMatchesSequential(t *testing.T) {
+	build := func() *Corpus {
+		c := &Corpus{}
+		for i := 0; i < 20; i++ {
+			name := "p" + string(rune('a'+i))
+			c.Projects = append(c.Projects, &Project{
+				Name: name, Repo: flatRepo(name, 14+i), GroundTruth: core.Flatliner,
+			})
+		}
+		return c
+	}
+	seq, par := build(), build()
+	if err := seq.Analyze(quantize.DefaultScheme()); err != nil {
+		t.Fatal(err)
+	}
+	if err := par.AnalyzeParallel(quantize.DefaultScheme(), 4); err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq.Projects {
+		a, b := seq.Projects[i].Measures, par.Projects[i].Measures
+		if a.BirthMonth != b.BirthMonth || a.TotalActivity != b.TotalActivity ||
+			a.PUPMonths != b.PUPMonths {
+			t.Errorf("project %d: sequential and parallel measures differ", i)
+		}
+		if seq.Projects[i].Labels != par.Projects[i].Labels {
+			t.Errorf("project %d: labels differ", i)
+		}
+	}
+}
+
+func TestAnalyzeParallelPropagatesErrors(t *testing.T) {
+	bad := &vcs.Repo{Name: "noddl", Commits: []vcs.Commit{
+		{ID: "0", Time: day(2020, 1, 1), Files: map[string]string{"main.go": "x"}},
+	}}
+	c := &Corpus{Projects: []*Project{
+		{Name: "ok", Repo: flatRepo("ok", 20)},
+		{Name: "bad", Repo: bad},
+		{Name: "ok2", Repo: flatRepo("ok2", 20)},
+	}}
+	if err := c.AnalyzeParallel(quantize.DefaultScheme(), 3); err == nil {
+		t.Error("expected an error from the bad project")
+	}
+}
+
+func TestAnalyzeParallelDegenerateWorkerCounts(t *testing.T) {
+	c := &Corpus{Projects: []*Project{{Name: "a", Repo: flatRepo("a", 15)}}}
+	if err := c.AnalyzeParallel(quantize.DefaultScheme(), 0); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Projects[0].Analyzed {
+		t.Error("project not analyzed")
+	}
+	empty := &Corpus{}
+	if err := empty.AnalyzeParallel(quantize.DefaultScheme(), 8); err != nil {
+		t.Fatal(err)
+	}
+}

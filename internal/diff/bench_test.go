@@ -1,0 +1,41 @@
+package diff
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"schemaevo/internal/schema"
+)
+
+func benchSchema(b *testing.B, tables int, extraCol bool) *schema.Schema {
+	b.Helper()
+	var sb strings.Builder
+	for i := 0; i < tables; i++ {
+		extra := ""
+		if extraCol && i%3 == 0 {
+			extra = ", added_later INT"
+		}
+		fmt.Fprintf(&sb, "CREATE TABLE t%d (id INT PRIMARY KEY, a TEXT, b NUMERIC(8,2), c TIMESTAMP%s);\n", i, extra)
+	}
+	s, notes := schema.ParseAndBuild(sb.String())
+	if len(notes) != 0 {
+		b.Fatalf("notes: %v", notes)
+	}
+	return s
+}
+
+// BenchmarkDiffLargeSchemas measures change detection between two
+// 300-table schema versions.
+func BenchmarkDiffLargeSchemas(b *testing.B) {
+	old := benchSchema(b, 300, false)
+	new := benchSchema(b, 300, true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := Schemas(old, new)
+		if d.NInjected != 100 {
+			b.Fatalf("injected = %d", d.NInjected)
+		}
+	}
+}

@@ -1,0 +1,222 @@
+// Package diff detects logical-schema change between two schema versions.
+//
+// The unit of measurement is the paper's (§3.2): the number of affected
+// attributes — born with new tables, injected into existing ones, deleted
+// with removed tables, ejected from surviving ones, with their data type
+// changed, or their participation in a primary/foreign key updated. The
+// breakdown into expansion vs maintenance follows §6.3.
+package diff
+
+import (
+	"fmt"
+	"sort"
+
+	"schemaevo/internal/schema"
+)
+
+// AttrChange records one affected attribute for detailed reporting.
+type AttrChange struct {
+	Table string
+	Attr  string
+	Kind  ChangeKind
+}
+
+func (a AttrChange) String() string {
+	return fmt.Sprintf("%s.%s: %s", a.Table, a.Attr, a.Kind)
+}
+
+// ChangeKind classifies how an attribute was affected.
+type ChangeKind int
+
+// The attribute-level change kinds of the paper's measurement unit.
+const (
+	// BornWithTable: the attribute arrived as part of a newly added table.
+	BornWithTable ChangeKind = iota
+	// Injected: the attribute was added to a pre-existing table.
+	Injected
+	// DeletedWithTable: the attribute vanished because its table was dropped.
+	DeletedWithTable
+	// Ejected: the attribute was removed from a surviving table.
+	Ejected
+	// TypeChanged: the attribute's (normalized) data type changed.
+	TypeChanged
+	// KeyChanged: the attribute's participation in the primary key or in
+	// some foreign key changed.
+	KeyChanged
+)
+
+func (k ChangeKind) String() string {
+	switch k {
+	case BornWithTable:
+		return "born-with-table"
+	case Injected:
+		return "injected"
+	case DeletedWithTable:
+		return "deleted-with-table"
+	case Ejected:
+		return "ejected"
+	case TypeChanged:
+		return "type-changed"
+	case KeyChanged:
+		return "key-changed"
+	}
+	return fmt.Sprintf("ChangeKind(%d)", int(k))
+}
+
+// Delta is the attribute-level difference between two schema versions.
+type Delta struct {
+	// TablesAdded and TablesDropped list affected table names.
+	TablesAdded   []string
+	TablesDropped []string
+	// Counts per change kind.
+	NBornWithTable    int
+	NInjected         int
+	NDeletedWithTable int
+	NEjected          int
+	NTypeChanged      int
+	NKeyChanged       int
+	// Changes carries the per-attribute detail, in deterministic order.
+	Changes []AttrChange
+}
+
+// Expansion returns the attributes counted as expansion (§6.3): births
+// with new tables plus injections into existing ones.
+func (d *Delta) Expansion() int { return d.NBornWithTable + d.NInjected }
+
+// Maintenance returns the attributes counted as maintenance (§6.3):
+// deletions (with or without their table), data-type changes and key
+// participation changes.
+func (d *Delta) Maintenance() int {
+	return d.NDeletedWithTable + d.NEjected + d.NTypeChanged + d.NKeyChanged
+}
+
+// Total returns the total number of affected attributes — the paper's
+// unit of schema-evolution volume.
+func (d *Delta) Total() int { return d.Expansion() + d.Maintenance() }
+
+// IsZero reports whether no logical change was detected.
+func (d *Delta) IsZero() bool { return d.Total() == 0 }
+
+func (d *Delta) add(table, attr string, kind ChangeKind) {
+	d.Changes = append(d.Changes, AttrChange{Table: table, Attr: attr, Kind: kind})
+	switch kind {
+	case BornWithTable:
+		d.NBornWithTable++
+	case Injected:
+		d.NInjected++
+	case DeletedWithTable:
+		d.NDeletedWithTable++
+	case Ejected:
+		d.NEjected++
+	case TypeChanged:
+		d.NTypeChanged++
+	case KeyChanged:
+		d.NKeyChanged++
+	}
+}
+
+// Schemas computes the delta from old to new. Either argument may be nil,
+// meaning the empty schema (so Schemas(nil, s) measures schema birth).
+// Tables and attributes are matched by name; a rename therefore counts as
+// deletion plus addition, matching snapshot-based extraction from real
+// histories.
+func Schemas(old, new *schema.Schema) *Delta {
+	d := &Delta{}
+	oldTables := tableMap(old)
+	newTables := tableMap(new)
+
+	for _, name := range sortedNames(newTables) {
+		nt := newTables[name]
+		ot, existed := oldTables[name]
+		if !existed {
+			d.TablesAdded = append(d.TablesAdded, name)
+			for _, c := range nt.Columns {
+				d.add(name, c.Name, BornWithTable)
+			}
+			continue
+		}
+		diffTable(d, ot, nt)
+	}
+	for _, name := range sortedNames(oldTables) {
+		if _, survives := newTables[name]; !survives {
+			d.TablesDropped = append(d.TablesDropped, name)
+			ot := oldTables[name]
+			for _, c := range ot.Columns {
+				d.add(name, c.Name, DeletedWithTable)
+			}
+		}
+	}
+	return d
+}
+
+// diffTable diffs one surviving table. Each attribute is counted at most
+// once, with data-type change taking precedence over key change when both
+// apply — the paper counts affected attributes, not individual edits.
+func diffTable(d *Delta, ot, nt *schema.Table) {
+	oldCols := columnMap(ot)
+	newCols := columnMap(nt)
+	oldKeys := keyMembership(ot)
+	newKeys := keyMembership(nt)
+
+	for _, c := range nt.Columns {
+		oc, existed := oldCols[c.Name]
+		if !existed {
+			d.add(nt.Name, c.Name, Injected)
+			continue
+		}
+		switch {
+		case oc.Type != c.Type:
+			d.add(nt.Name, c.Name, TypeChanged)
+		case oldKeys[c.Name] != newKeys[c.Name]:
+			d.add(nt.Name, c.Name, KeyChanged)
+		}
+	}
+	for _, c := range ot.Columns {
+		if _, survives := newCols[c.Name]; !survives {
+			d.add(nt.Name, c.Name, Ejected)
+		}
+	}
+}
+
+// keyMembership encodes each column's participation in the primary key
+// and in foreign keys as a compact comparable value.
+func keyMembership(t *schema.Table) map[string]uint8 {
+	m := make(map[string]uint8, len(t.Columns))
+	for _, c := range t.PrimaryKey {
+		m[c] |= 1
+	}
+	for _, fk := range t.ForeignKeys {
+		for _, c := range fk.Columns {
+			m[c] |= 2
+		}
+	}
+	return m
+}
+
+func tableMap(s *schema.Schema) map[string]*schema.Table {
+	m := make(map[string]*schema.Table)
+	if s == nil {
+		return m
+	}
+	for _, t := range s.Tables() {
+		m[t.Name] = t
+	}
+	return m
+}
+
+func columnMap(t *schema.Table) map[string]*schema.Column {
+	m := make(map[string]*schema.Column, len(t.Columns))
+	for i := range t.Columns {
+		m[t.Columns[i].Name] = &t.Columns[i]
+	}
+	return m
+}
+
+func sortedNames(m map[string]*schema.Table) []string {
+	out := make([]string, 0, len(m))
+	for name := range m {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

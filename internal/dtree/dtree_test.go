@@ -1,0 +1,163 @@
+package dtree
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+var weatherNames = []string{"outlook", "humidity", "wind"}
+
+// weather is the classic play-tennis toy set (separable).
+var weather = []Sample{
+	{[]string{"sunny", "high", "weak"}, "no"},
+	{[]string{"sunny", "high", "strong"}, "no"},
+	{[]string{"overcast", "high", "weak"}, "yes"},
+	{[]string{"rain", "high", "weak"}, "yes"},
+	{[]string{"rain", "normal", "weak"}, "yes"},
+	{[]string{"rain", "normal", "strong"}, "no"},
+	{[]string{"overcast", "normal", "strong"}, "yes"},
+	{[]string{"sunny", "normal", "weak"}, "yes"},
+	{[]string{"sunny", "high", "weak"}, "no"},
+	{[]string{"rain", "normal", "weak"}, "yes"},
+	{[]string{"sunny", "normal", "strong"}, "yes"},
+	{[]string{"overcast", "high", "strong"}, "yes"},
+	{[]string{"overcast", "normal", "weak"}, "yes"},
+	{[]string{"rain", "high", "strong"}, "no"},
+}
+
+func TestTrainSeparable(t *testing.T) {
+	tree, err := Train(weatherNames, weather, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if miss := tree.Misclassified(weather); len(miss) != 0 {
+		t.Errorf("misclassified %d on separable training data", len(miss))
+	}
+	if acc := tree.Accuracy(weather); acc != 1 {
+		t.Errorf("accuracy = %v", acc)
+	}
+	if tree.Depth() < 1 || tree.Leaves() < 3 {
+		t.Errorf("degenerate tree: depth %d leaves %d", tree.Depth(), tree.Leaves())
+	}
+}
+
+func TestPredictUnseenValueFallsBack(t *testing.T) {
+	tree, err := Train(weatherNames, weather, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := tree.Predict([]string{"snow", "normal", "weak"})
+	if got != "yes" && got != "no" {
+		t.Errorf("unseen value prediction = %q", got)
+	}
+}
+
+func TestMaxDepth(t *testing.T) {
+	tree, err := Train(weatherNames, weather, Options{MaxDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Depth() > 1 {
+		t.Errorf("depth = %d, want <= 1", tree.Depth())
+	}
+}
+
+func TestMinLeaf(t *testing.T) {
+	tree, err := Train(weatherNames, weather, Options{MinLeaf: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Depth() != 0 || tree.Leaves() != 1 {
+		t.Errorf("huge MinLeaf should give a stump: depth %d leaves %d", tree.Depth(), tree.Leaves())
+	}
+	// The stump predicts the majority class.
+	if got := tree.Predict([]string{"sunny", "high", "weak"}); got != "yes" {
+		t.Errorf("stump prediction = %q", got)
+	}
+}
+
+func TestPureNodeStops(t *testing.T) {
+	samples := []Sample{
+		{[]string{"a"}, "x"},
+		{[]string{"b"}, "x"},
+		{[]string{"c"}, "x"},
+	}
+	tree, err := Train([]string{"f"}, samples, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Depth() != 0 {
+		t.Error("pure data should yield a leaf")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := Train(weatherNames, nil, Options{}); err == nil {
+		t.Error("no samples should error")
+	}
+	bad := []Sample{{[]string{"only-one"}, "x"}}
+	if _, err := Train(weatherNames, bad, Options{}); err == nil {
+		t.Error("feature arity mismatch should error")
+	}
+}
+
+func TestRender(t *testing.T) {
+	tree, err := Train(weatherNames, weather, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tree.Render()
+	if !strings.Contains(out, "outlook") && !strings.Contains(out, "humidity") {
+		t.Errorf("render lacks feature names:\n%s", out)
+	}
+	if !strings.Contains(out, "->") {
+		t.Errorf("render lacks leaves:\n%s", out)
+	}
+	// Deterministic rendering.
+	if out != tree.Render() {
+		t.Error("render is not deterministic")
+	}
+}
+
+func TestDeterministicTraining(t *testing.T) {
+	t1, _ := Train(weatherNames, weather, Options{})
+	t2, _ := Train(weatherNames, weather, Options{})
+	if t1.Render() != t2.Render() {
+		t.Error("training is not deterministic")
+	}
+}
+
+// TestRandomLabelNoise: with noisy labels the tree cannot be perfect but
+// must never crash and accuracy must be in [0,1].
+func TestRandomLabelNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var samples []Sample
+	for i := 0; i < 200; i++ {
+		f := []string{
+			[]string{"a", "b", "c"}[rng.Intn(3)],
+			[]string{"x", "y"}[rng.Intn(2)],
+			[]string{"p", "q", "r", "s"}[rng.Intn(4)],
+		}
+		class := "one"
+		if rng.Intn(2) == 0 {
+			class = "two"
+		}
+		samples = append(samples, Sample{f, class})
+	}
+	tree, err := Train(weatherNames, samples, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := tree.Accuracy(samples)
+	if acc < 0 || acc > 1 {
+		t.Errorf("accuracy = %v", acc)
+	}
+}
+
+func TestAccuracyEmpty(t *testing.T) {
+	tree, _ := Train(weatherNames, weather, Options{})
+	if tree.Accuracy(nil) != 0 {
+		t.Error("empty evaluation set should yield 0")
+	}
+}

@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"schemaevo/internal/cluster"
+	"schemaevo/internal/core"
+	"schemaevo/internal/dtree"
+	"schemaevo/internal/quantize"
+	"schemaevo/internal/report"
+)
+
+// LabelSensitivityResult is the quantization-cut-point ablation: how many
+// projects change pattern when the Table 1 limits are perturbed.
+type LabelSensitivityResult struct {
+	// Perturbations maps a perturbation description to the number of
+	// projects whose definitional classification changes.
+	Perturbations map[string]int
+	N             int
+}
+
+// LabelSensitivity reclassifies the corpus under perturbed quantization
+// schemes. The classification should be fairly robust: the patterns are
+// not artifacts of the exact cut points (VQ1 of §5).
+func LabelSensitivity(ctx *Context) *LabelSensitivityResult {
+	base := map[string]core.Pattern{}
+	for _, p := range ctx.Corpus.Projects {
+		base[p.Name] = core.Classify(p.Labels)
+	}
+	perturb := func(name string, mutate func(*quantize.Scheme)) (string, int) {
+		s := ctx.Scheme
+		mutate(&s)
+		if err := s.Validate(); err != nil {
+			// A perturbation that breaks the cut-point ordering is a bug
+			// in the ablation table, not a finding.
+			panic(err)
+		}
+		changed := 0
+		for _, p := range ctx.Corpus.Projects {
+			l := quantize.Compute(p.Measures, s)
+			if core.Classify(l) != base[p.Name] {
+				changed++
+			}
+		}
+		return name, changed
+	}
+	res := &LabelSensitivityResult{Perturbations: map[string]int{}, N: ctx.Corpus.Len()}
+	cases := []struct {
+		name   string
+		mutate func(*quantize.Scheme)
+	}{
+		{"timing early 0.25→0.20", func(s *quantize.Scheme) { s.TimingEarlyMax = 0.20 }},
+		{"timing early 0.25→0.30", func(s *quantize.Scheme) { s.TimingEarlyMax = 0.30 }},
+		{"timing middle 0.75→0.70", func(s *quantize.Scheme) { s.TimingMiddleMax = 0.70 }},
+		{"timing middle 0.75→0.80", func(s *quantize.Scheme) { s.TimingMiddleMax = 0.80 }},
+		{"growth soon 0.10→0.15", func(s *quantize.Scheme) { s.GrowthSoonMax = 0.15 }},
+		{"growth long 0.75→0.70", func(s *quantize.Scheme) { s.GrowthLongMax = 0.70 }},
+	}
+	for _, c := range cases {
+		name, changed := perturb(c.name, c.mutate)
+		res.Perturbations[name] = changed
+	}
+	return res
+}
+
+// Render prints the label-sensitivity ablation.
+func (r *LabelSensitivityResult) Render() string {
+	t := report.New("Ablation — classification sensitivity to quantization cut points",
+		"perturbation", "projects reclassified", "share")
+	for _, name := range []string{
+		"timing early 0.25→0.20", "timing early 0.25→0.30",
+		"timing middle 0.75→0.70", "timing middle 0.75→0.80",
+		"growth soon 0.10→0.15", "growth long 0.75→0.70",
+	} {
+		n := r.Perturbations[name]
+		t.Add(name, report.Itoa(n), report.Pct(float64(n)/float64(r.N)))
+	}
+	return t.String()
+}
+
+// TreeDepthResult is the decision-tree depth ablation of Fig. 5.
+type TreeDepthResult struct {
+	// ByDepth maps max depth to (misclassified, leaves).
+	ByDepth map[int][2]int
+	N       int
+}
+
+// TreeDepth retrains the Fig. 5 tree at several depth caps.
+func TreeDepth(ctx *Context) (*TreeDepthResult, error) {
+	samples := treeSamples(ctx)
+	res := &TreeDepthResult{ByDepth: map[int][2]int{}, N: len(samples)}
+	for _, depth := range []int{1, 2, 3, 4, 0} {
+		tree, err := dtree.Train(featureNames(), samples, dtree.Options{MaxDepth: depth, MinLeaf: 2})
+		if err != nil {
+			return nil, err
+		}
+		res.ByDepth[depth] = [2]int{len(tree.Misclassified(samples)), tree.Leaves()}
+	}
+	return res, nil
+}
+
+// Render prints the tree-depth ablation.
+func (r *TreeDepthResult) Render() string {
+	t := report.New("Ablation — decision-tree depth vs misclassification",
+		"max depth", "misclassified", "leaves")
+	for _, d := range []int{1, 2, 3, 4, 0} {
+		name := fmt.Sprintf("%d", d)
+		if d == 0 {
+			name = "unbounded"
+		}
+		v := r.ByDepth[d]
+		t.Add(name, fmt.Sprintf("%d/%d", v[0], r.N), report.Itoa(v[1]))
+	}
+	return t.String()
+}
+
+// UnsupervisedResult is the k-means cross-check: do the manually-shaped
+// families emerge from the raw 20-dim vectors without labels?
+type UnsupervisedResult struct {
+	K         int
+	Purity    float64
+	RandIndex float64
+	// FamilyPurity scores agreement against the 3 families instead of
+	// the 8 patterns.
+	FamilyPurity float64
+}
+
+// Unsupervised clusters the corpus vectors with k-means (k = 8) and
+// scores agreement with the assigned patterns and families.
+func Unsupervised(ctx *Context, seed int64) (*UnsupervisedResult, error) {
+	var vectors [][]float64
+	var patterns []string
+	var families []string
+	for _, p := range ctx.Corpus.Projects {
+		vectors = append(vectors, p.Measures.Vector)
+		patterns = append(patterns, p.Assigned().String())
+		families = append(families, core.FamilyOf(p.Assigned()).String())
+	}
+	k := len(core.AllPatterns)
+	assign, err := cluster.KMeans(vectors, k, seed, 100)
+	if err != nil {
+		return nil, err
+	}
+	purity, err := cluster.Purity(assign, patterns)
+	if err != nil {
+		return nil, err
+	}
+	ri, err := cluster.RandIndex(assign, patterns)
+	if err != nil {
+		return nil, err
+	}
+	famPurity, err := cluster.Purity(assign, families)
+	if err != nil {
+		return nil, err
+	}
+	return &UnsupervisedResult{K: k, Purity: purity, RandIndex: ri, FamilyPurity: famPurity}, nil
+}
+
+// Render prints the unsupervised cross-check.
+func (r *UnsupervisedResult) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Ablation — unsupervised k-means over the 20-dim vectors\n")
+	fmt.Fprintf(&sb, "  k=%d  pattern purity=%.2f  rand index=%.2f  family purity=%.2f\n",
+		r.K, r.Purity, r.RandIndex, r.FamilyPurity)
+	return sb.String()
+}

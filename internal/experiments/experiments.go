@@ -1,0 +1,69 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation from an analyzed corpus. Each experiment returns a
+// structured result plus a text rendering; cmd/reproduce prints them in
+// paper order and the root bench suite times them.
+package experiments
+
+import (
+	"fmt"
+
+	"schemaevo/internal/core"
+	"schemaevo/internal/corpus"
+	"schemaevo/internal/metrics"
+	"schemaevo/internal/quantize"
+	"schemaevo/internal/synth"
+)
+
+// Context carries the corpus and quantization scheme all experiments
+// operate on.
+type Context struct {
+	Corpus *corpus.Corpus
+	Scheme quantize.Scheme
+}
+
+// NewPaperContext generates the calibrated 151-project corpus, analyzes
+// it end-to-end (DDL parsing onward) and applies the >12-months filter of
+// §3.1.
+func NewPaperContext(seed int64) (*Context, error) {
+	c, err := synth.PaperCorpus(seed)
+	if err != nil {
+		return nil, err
+	}
+	scheme := quantize.DefaultScheme()
+	if err := c.Analyze(scheme); err != nil {
+		return nil, err
+	}
+	filtered := c.FilterMinMonths(12)
+	if filtered.Len() != c.Len() {
+		return nil, fmt.Errorf("experiments: generator produced %d projects under 13 months",
+			c.Len()-filtered.Len())
+	}
+	return &Context{Corpus: filtered, Scheme: scheme}, nil
+}
+
+// NewContext wraps an existing corpus (already built, not yet analyzed).
+func NewContext(c *corpus.Corpus, scheme quantize.Scheme) (*Context, error) {
+	if err := c.Analyze(scheme); err != nil {
+		return nil, err
+	}
+	return &Context{Corpus: c.FilterMinMonths(12), Scheme: scheme}, nil
+}
+
+// measuresOf collects the per-project measures in corpus order.
+func (ctx *Context) measuresOf() []metrics.Measures {
+	out := make([]metrics.Measures, 0, ctx.Corpus.Len())
+	for _, p := range ctx.Corpus.Projects {
+		out = append(out, p.Measures)
+	}
+	return out
+}
+
+// subjects returns the taxonomy view of the corpus.
+func (ctx *Context) subjects() []core.Subject {
+	return ctx.Corpus.Subjects()
+}
+
+// projectsByPattern groups projects by assigned pattern.
+func (ctx *Context) projectsByPattern() map[core.Pattern][]*corpus.Project {
+	return ctx.Corpus.ByPattern()
+}

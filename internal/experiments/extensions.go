@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"schemaevo/internal/coevolution"
+	"schemaevo/internal/core"
+	"schemaevo/internal/query"
+	"schemaevo/internal/report"
+	"schemaevo/internal/stats"
+	"schemaevo/internal/tablestats"
+)
+
+// CoEvolutionResult is the schema/source co-evolution extension: the
+// paper's companion study reports the lag between the two lines; here we
+// measure it per pattern on the calibrated corpus.
+type CoEvolutionResult struct {
+	// PerPattern aggregates the lag measures per assigned pattern.
+	PerPattern map[core.Pattern]coevolution.Aggregate
+	// Overall aggregates the whole corpus.
+	Overall coevolution.Aggregate
+}
+
+// CoEvolution computes the schema-vs-source timing relationship for the
+// corpus.
+func CoEvolution(ctx *Context) (*CoEvolutionResult, error) {
+	res := &CoEvolutionResult{PerPattern: map[core.Pattern]coevolution.Aggregate{}}
+	var all []coevolution.Measures
+	for pattern, projects := range ctx.projectsByPattern() {
+		var ms []coevolution.Measures
+		for _, p := range projects {
+			m, err := coevolution.Compute(p.History)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s: %w", p.Name, err)
+			}
+			ms = append(ms, m)
+			all = append(all, m)
+		}
+		agg, err := coevolution.Summarize(ms)
+		if err != nil {
+			return nil, err
+		}
+		res.PerPattern[pattern] = agg
+	}
+	overall, err := coevolution.Summarize(all)
+	if err != nil {
+		return nil, err
+	}
+	res.Overall = overall
+	return res, nil
+}
+
+// Render prints the co-evolution extension.
+func (r *CoEvolutionResult) Render() string {
+	t := report.New("Extension — schema vs source co-evolution",
+		"pattern", "median half-point lag", "schema leads", "median source done at schema freeze")
+	for _, p := range core.AllPatterns {
+		agg := r.PerPattern[p]
+		t.Add(p.String(), report.F2(agg.MedianLag),
+			fmt.Sprintf("%d/%d", agg.SchemaLeads, agg.N),
+			report.Pct(agg.MedianSourceAtTop))
+	}
+	t.Add("ALL", report.F2(r.Overall.MedianLag),
+		fmt.Sprintf("%d/%d", r.Overall.SchemaLeads, r.Overall.N),
+		report.Pct(r.Overall.MedianSourceAtTop))
+	return t.String()
+}
+
+// workloadFor synthesizes a query workload against a project's *birth*
+// schema: one SELECT per table touching up to three of its columns — the
+// application code written against the freshly designed schema, which
+// later evolution then has to avoid breaking (the paper's motivating
+// cost).
+func workloadFor(ctx *Context, projectIdx int) ([]*query.Query, error) {
+	p := ctx.Corpus.Projects[projectIdx]
+	if len(p.History.Versions) == 0 {
+		return nil, nil
+	}
+	birth := p.History.Versions[0].Schema
+	var sqls []string
+	for _, tbl := range birth.Tables() {
+		cols := tbl.ColumnNames()
+		if len(cols) > 3 {
+			cols = cols[:3]
+		}
+		sqls = append(sqls, fmt.Sprintf("SELECT %s FROM %s", strings.Join(cols, ", "), tbl.Name))
+	}
+	if len(sqls) == 0 {
+		return nil, nil
+	}
+	return query.ParseAll(sqls)
+}
+
+// ImpactResult is the query-impact extension: replaying a per-project
+// workload over each history and counting the schema changes that break
+// queries — the paper's "schema evolution breaks the surrounding code"
+// cost, made concrete.
+type ImpactResult struct {
+	// BreakagesPerFamily counts broken query incidents per family.
+	BreakagesPerFamily map[core.Family]int
+	// ProjectsWithBreakage counts projects whose history breaks at least
+	// one workload query.
+	ProjectsWithBreakage int
+	// MedianBreakagesActive is the median breakage count among the
+	// actively evolving patterns (Stairway to Heaven).
+	MedianBreakagesActive float64
+	N                     int
+}
+
+// Impact replays workloads over the corpus histories.
+func Impact(ctx *Context) (*ImpactResult, error) {
+	res := &ImpactResult{
+		BreakagesPerFamily: map[core.Family]int{},
+		N:                  ctx.Corpus.Len(),
+	}
+	var activeBreakages []int
+	for i, p := range ctx.Corpus.Projects {
+		workload, err := workloadFor(ctx, i)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", p.Name, err)
+		}
+		if workload == nil {
+			continue
+		}
+		broken := query.TotalBreakages(query.OverHistory(p.History, workload))
+		if broken > 0 {
+			res.ProjectsWithBreakage++
+		}
+		fam := core.FamilyOf(p.Assigned())
+		res.BreakagesPerFamily[fam] += broken
+		if fam == core.StairwayToHeaven {
+			activeBreakages = append(activeBreakages, broken)
+		}
+	}
+	sort.Ints(activeBreakages)
+	if len(activeBreakages) > 0 {
+		fs := make([]float64, len(activeBreakages))
+		for i, v := range activeBreakages {
+			fs[i] = float64(v)
+		}
+		res.MedianBreakagesActive = stats.Median(fs)
+	}
+	return res, nil
+}
+
+// Render prints the impact extension.
+func (r *ImpactResult) Render() string {
+	t := report.New("Extension — query breakage under schema evolution",
+		"scope", "broken query incidents")
+	for _, f := range core.AllFamilies {
+		t.Add("family: "+f.String(), report.Itoa(r.BreakagesPerFamily[f]))
+	}
+	t.Addf("projects breaking at least one workload query: %d/%d", r.ProjectsWithBreakage, r.N)
+	t.Addf("median breakages among Stairway-to-Heaven projects: %.1f", r.MedianBreakagesActive)
+	return t.String()
+}
+
+// TableRigidityResult is the table-level rigidity extension, echoing the
+// authors' earlier table-granularity studies: the overwhelming majority
+// of tables never change internally after birth.
+type TableRigidityResult struct {
+	Report tablestats.RigidityReport
+	// PerFamily maps each family to the rigid-table share within its
+	// projects.
+	PerFamily map[core.Family]float64
+}
+
+// TableRigidity audits every table life in the corpus.
+func TableRigidity(ctx *Context) *TableRigidityResult {
+	res := &TableRigidityResult{PerFamily: map[core.Family]float64{}}
+	perFamily := map[core.Family]*tablestats.RigidityReport{}
+	for pattern, projects := range ctx.projectsByPattern() {
+		f := core.FamilyOf(pattern)
+		if perFamily[f] == nil {
+			perFamily[f] = &tablestats.RigidityReport{}
+		}
+		for _, p := range projects {
+			res.Report.Add(p.History)
+			perFamily[f].Add(p.History)
+		}
+	}
+	for f, r := range perFamily {
+		res.PerFamily[f] = r.RigidShare()
+	}
+	return res
+}
+
+// Render prints the table-rigidity extension.
+func (r *TableRigidityResult) Render() string {
+	t := report.New("Extension — table-level rigidity", "scope", "rigid share", "tables")
+	for _, f := range core.AllFamilies {
+		t.Add("family: "+f.String(), report.Pct(r.PerFamily[f]), "")
+	}
+	t.Add("corpus", report.Pct(r.Report.RigidShare()), report.Itoa(r.Report.Total))
+	t.Addf("table lives: %d rigid, %d quiet, %d active; %d dropped (%d of them never updated)",
+		r.Report.Rigid, r.Report.Quiet, r.Report.Active, r.Report.Dropped, r.Report.DroppedRigid)
+	return t.String()
+}

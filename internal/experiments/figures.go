@@ -1,0 +1,456 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"schemaevo/internal/chart"
+	"schemaevo/internal/cluster"
+	"schemaevo/internal/core"
+	"schemaevo/internal/corpus"
+	"schemaevo/internal/dtree"
+	"schemaevo/internal/predict"
+	"schemaevo/internal/report"
+	"schemaevo/internal/stats"
+)
+
+// Figure1Result reproduces the Fig. 1 nomenclature chart: one project's
+// schema and source cumulative lines with the landmark measures.
+type Figure1Result struct {
+	Project string
+	Chart   string
+	SVG     string
+	// Landmarks, normalized to [0,1].
+	BirthPct, TopBandPct float64
+	HasVault             bool
+}
+
+// Figure1 charts an illustrative project (a regularly curated one, whose
+// line shows every landmark distinctly).
+func Figure1(ctx *Context) *Figure1Result {
+	var pick *corpus.Project
+	for _, p := range ctx.Corpus.Projects {
+		if p.Assigned() == core.RegularlyCurated {
+			pick = p
+			break
+		}
+	}
+	if pick == nil {
+		pick = ctx.Corpus.Projects[0]
+	}
+	title := fmt.Sprintf("Fig. 1 — %s (birth %.0f%%, top band %.0f%%, vault %v)",
+		pick.Name, pick.Measures.BirthPct*100, pick.Measures.TopBandPct*100, pick.Measures.HasVault)
+	sc := pick.History.SchemaCumulative()
+	src := pick.History.SourceCumulative()
+	return &Figure1Result{
+		Project:    pick.Name,
+		Chart:      chart.ASCII(sc, src, chart.Options{Title: title}),
+		SVG:        chart.SVG(sc, src, chart.Options{Title: title}),
+		BirthPct:   pick.Measures.BirthPct,
+		TopBandPct: pick.Measures.TopBandPct,
+		HasVault:   pick.Measures.HasVault,
+	}
+}
+
+// Render prints the Fig. 1 reproduction.
+func (r *Figure1Result) Render() string { return r.Chart }
+
+// Figure2Names lists the time-related measures correlated in Fig. 2.
+var Figure2Names = []string{
+	"BirthVolume_pctTotal",
+	"BirthPoint_pctPUP",
+	"TopBandPoint_pctPUP",
+	"IntervalBirthToTop_pctPUP",
+	"IntervalTopToEnd_pctPUP",
+	"ActiveGrowthMonths",
+	"ActiveGrowth_pctGrowth",
+	"ActiveGrowth_pctPUP",
+}
+
+// Figure2Result reproduces the Spearman correlation matrix of Fig. 2.
+type Figure2Result struct {
+	Matrix *stats.Matrix
+}
+
+// Figure2 computes all pairwise Spearman correlations of the Fig. 2
+// measures.
+func Figure2(ctx *Context) (*Figure2Result, error) {
+	ms := ctx.measuresOf()
+	series := make([][]float64, len(Figure2Names))
+	for i := range series {
+		series[i] = make([]float64, len(ms))
+	}
+	for j, m := range ms {
+		series[0][j] = m.BirthVolumePct
+		series[1][j] = m.BirthPct
+		series[2][j] = m.TopBandPct
+		series[3][j] = m.IntervalBirthToTopPct
+		series[4][j] = m.IntervalTopToEndPct
+		series[5][j] = float64(m.ActiveGrowthMonths)
+		series[6][j] = m.ActivePctGrowth
+		series[7][j] = m.ActivePctPUP
+	}
+	mx, err := stats.SpearmanMatrix(Figure2Names, series)
+	if err != nil {
+		return nil, err
+	}
+	return &Figure2Result{Matrix: mx}, nil
+}
+
+// R returns the correlation between two named measures.
+func (r *Figure2Result) R(a, b string) float64 {
+	ia, ib := -1, -1
+	for i, n := range r.Matrix.Names {
+		if n == a {
+			ia = i
+		}
+		if n == b {
+			ib = i
+		}
+	}
+	if ia < 0 || ib < 0 {
+		return 0
+	}
+	return r.Matrix.R[ia][ib]
+}
+
+// Render prints the correlation matrix with the strong pairs highlighted
+// below (the "clean view" of Fig. 2).
+func (r *Figure2Result) Render() string {
+	t := report.New("Fig. 2 — Spearman correlations of time-related metrics",
+		append([]string{""}, shortNames(r.Matrix.Names)...)...)
+	for i, name := range r.Matrix.Names {
+		row := []string{shortName(name)}
+		for j := range r.Matrix.Names {
+			row = append(row, report.F2(r.Matrix.R[i][j]))
+		}
+		t.Add(row...)
+	}
+	var sb strings.Builder
+	sb.WriteString(t.String())
+	sb.WriteString("\nStrong pairs (|rho| >= 0.6):\n")
+	for _, pr := range r.Matrix.StrongPairs(0.6) {
+		fmt.Fprintf(&sb, "  %-26s ~ %-26s rho=%.2f\n",
+			r.Matrix.Names[pr[0]], r.Matrix.Names[pr[1]], r.Matrix.R[pr[0]][pr[1]])
+	}
+	return sb.String()
+}
+
+func shortNames(names []string) []string {
+	out := make([]string, len(names))
+	for i, n := range names {
+		out[i] = shortName(n)
+	}
+	return out
+}
+
+func shortName(n string) string {
+	if i := strings.Index(n, "_"); i > 0 {
+		return n[:i]
+	}
+	return n
+}
+
+// Figure3Result reproduces Fig. 3: one exemplar cumulative chart per
+// pattern.
+type Figure3Result struct {
+	// Charts maps each pattern to the ASCII chart of one exemplar
+	// project (the definitional member with the median total activity).
+	Charts map[core.Pattern]string
+	// SVGs holds the same exemplars as SVG documents.
+	SVGs  map[core.Pattern]string
+	Names map[core.Pattern]string
+}
+
+// Figure3 picks one exemplar per pattern and charts it.
+func Figure3(ctx *Context) *Figure3Result {
+	res := &Figure3Result{
+		Charts: map[core.Pattern]string{},
+		SVGs:   map[core.Pattern]string{},
+		Names:  map[core.Pattern]string{},
+	}
+	for pattern, projects := range ctx.projectsByPattern() {
+		if pattern == core.Unclassified || len(projects) == 0 {
+			continue
+		}
+		// Prefer a non-exception member.
+		var candidates []*corpus.Project
+		for _, p := range projects {
+			if !p.Subject().IsException() {
+				candidates = append(candidates, p)
+			}
+		}
+		if len(candidates) == 0 {
+			candidates = projects
+		}
+		sort.Slice(candidates, func(i, j int) bool {
+			return candidates[i].Measures.TotalActivity < candidates[j].Measures.TotalActivity
+		})
+		pick := candidates[len(candidates)/2]
+		title := fmt.Sprintf("%s — %s", pattern, pick.Name)
+		res.Charts[pattern] = chart.ASCII(pick.History.SchemaCumulative(),
+			pick.History.SourceCumulative(), chart.Options{Title: title, Height: 10})
+		res.SVGs[pattern] = chart.SVG(pick.History.SchemaCumulative(),
+			pick.History.SourceCumulative(), chart.Options{Title: title})
+		res.Names[pattern] = pick.Name
+	}
+	return res
+}
+
+// Render prints all exemplar charts in pattern order.
+func (r *Figure3Result) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Fig. 3 — Example schema evolution time-related patterns\n\n")
+	for _, p := range core.AllPatterns {
+		if c, ok := r.Charts[p]; ok {
+			sb.WriteString(c)
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}
+
+// Figure4Result reproduces the Fig. 4 per-pattern characteristics
+// overview.
+type Figure4Result struct {
+	Profiles []core.Profile
+}
+
+// Figure4 aggregates the label profiles per pattern.
+func Figure4(ctx *Context) *Figure4Result {
+	return &Figure4Result{Profiles: core.Profiles(ctx.subjects())}
+}
+
+// Render prints the overview table.
+func (r *Figure4Result) Render() string {
+	t := report.New("Fig. 4 — Characteristics of the time-related patterns",
+		"pattern (#)", "birth vol", "birth timing", "top band", "vault",
+		"birth→top", "active months", "act %growth", "act %PUP", "top→end")
+	for _, pr := range r.Profiles {
+		t.Add(
+			fmt.Sprintf("%s (%d)", pr.Pattern, pr.Count),
+			core.LabelSet(pr.BirthVol),
+			core.LabelSet(pr.BirthTiming),
+			core.LabelSet(pr.TopBandPoint),
+			core.LabelSet(pr.Vault),
+			core.LabelSet(pr.GrowInterval),
+			fmt.Sprintf("%d-%d", pr.ActiveMonthsMin, pr.ActiveMonthsMax),
+			core.LabelSet(pr.ActGrowth),
+			core.LabelSet(pr.ActPUP),
+			core.LabelSet(pr.Tail),
+		)
+	}
+	return t.String()
+}
+
+// Figure5Result reproduces Fig. 5: the decision tree over the labeled
+// corpus and its misclassification count.
+type Figure5Result struct {
+	Tree          *dtree.Tree
+	Misclassified []dtree.Sample
+	N             int
+}
+
+// Figure5 trains a categorical decision tree on the label profiles with
+// the manual (ground-truth) pattern as the class.
+func Figure5(ctx *Context) (*Figure5Result, error) {
+	samples := treeSamples(ctx)
+	tree, err := dtree.Train(featureNames(), samples, dtree.Options{MinLeaf: 2})
+	if err != nil {
+		return nil, err
+	}
+	return &Figure5Result{
+		Tree:          tree,
+		Misclassified: tree.Misclassified(samples),
+		N:             len(samples),
+	}, nil
+}
+
+func featureNames() []string {
+	// HasVault is excluded: the paper's tree (Fig. 5) splits on the
+	// timing/interval/rate labels.
+	return []string{"BirthTiming", "TopBandPoint", "IntervalBirthToTop", "ActiveRate", "BirthVolume"}
+}
+
+func treeSamples(ctx *Context) []dtree.Sample {
+	var out []dtree.Sample
+	for _, s := range ctx.subjects() {
+		rate := "few"
+		if s.Labels.ActiveGrowthMonths > 3 {
+			rate = "many"
+		}
+		out = append(out, dtree.Sample{
+			Features: []string{
+				s.Labels.BirthTiming.String(),
+				s.Labels.TopBandPoint.String(),
+				s.Labels.IntervalBirthToTop.String(),
+				rate,
+				s.Labels.BirthVolume.String(),
+			},
+			Class: s.Assigned.String(),
+		})
+	}
+	return out
+}
+
+// Render prints the tree and the misclassification headline.
+func (r *Figure5Result) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Fig. 5 — Decision tree over the labeled corpus (%d/%d misclassified)\n\n",
+		len(r.Misclassified), r.N)
+	sb.WriteString(r.Tree.Render())
+	return sb.String()
+}
+
+// Figure6Result reproduces Fig. 6: the populated points of the defining
+// label space per pattern.
+type Figure6Result struct {
+	Points []core.DomainPoint
+	Shared []core.DomainPoint
+}
+
+// Figure6 computes the active-domain coverage.
+func Figure6(ctx *Context) *Figure6Result {
+	points := core.DomainCoverage(ctx.subjects())
+	return &Figure6Result{Points: points, Shared: core.SharedPoints(points)}
+}
+
+// Render prints the coverage table.
+func (r *Figure6Result) Render() string {
+	t := report.New("Fig. 6 — Coverage of the label space by the patterns",
+		"birth/top/interval/rate", "#prjs", "patterns")
+	for _, pt := range r.Points {
+		var parts []string
+		for _, p := range core.AllPatterns {
+			if n := pt.Patterns[p]; n > 0 {
+				parts = append(parts, fmt.Sprintf("%s:%d", p, n))
+			}
+		}
+		if n := pt.Patterns[core.Unclassified]; n > 0 {
+			parts = append(parts, fmt.Sprintf("%s:%d", core.Unclassified, n))
+		}
+		t.Add(pt.Key(), report.Itoa(pt.Total), strings.Join(parts, ", "))
+	}
+	t.Addf("points shared by >1 pattern: %d of %d", len(r.Shared), len(r.Points))
+	return t.String()
+}
+
+// Figure7Result reproduces Fig. 7: P(pattern | birth bucket).
+type Figure7Result struct {
+	Estimator *predict.Estimator
+}
+
+// Figure7 fits the birth-point estimator on the corpus.
+func Figure7(ctx *Context) (*Figure7Result, error) {
+	var obs []predict.Observation
+	for _, p := range ctx.Corpus.Projects {
+		obs = append(obs, predict.Observation{
+			BirthMonth: p.Measures.BirthMonth,
+			Pattern:    p.Assigned(),
+		})
+	}
+	e, err := predict.Fit(obs)
+	if err != nil {
+		return nil, err
+	}
+	return &Figure7Result{Estimator: e}, nil
+}
+
+// Render prints the probability table in the paper's layout.
+func (r *Figure7Result) Render() string {
+	e := r.Estimator
+	headers := []string{"pattern", "overall"}
+	for _, b := range predict.AllBuckets {
+		headers = append(headers, "born "+b.String())
+	}
+	t := report.New("Fig. 7 — P(pattern | point of schema birth)", headers...)
+	for _, p := range core.AllPatterns {
+		row := []string{p.String(),
+			fmt.Sprintf("%d (%s)", e.OverallCount(p), report.Pct(e.OverallProb(p)))}
+		for _, b := range predict.AllBuckets {
+			if n := e.Count(b, p); n > 0 {
+				row = append(row, fmt.Sprintf("%d (%s)", n, report.Pct(e.Prob(b, p))))
+			} else {
+				row = append(row, "")
+			}
+		}
+		t.Add(row...)
+	}
+	totals := []string{"TOTAL", report.Itoa(e.N())}
+	for _, b := range predict.AllBuckets {
+		totals = append(totals, report.Itoa(e.BucketTotal(b)))
+	}
+	t.Add(totals...)
+	return t.String()
+}
+
+// Section52Result reproduces the §5.2 cohesion analysis: the Mean
+// Distance to Centroid of each pattern's 20-point vectors.
+type Section52Result struct {
+	MDC map[core.Pattern]float64
+	// Centroids holds each pattern's mean 20-point cumulative line.
+	Centroids map[core.Pattern][]float64
+	// Min and Max bound the observed MDCs (the paper reports 0.06-1.25).
+	Min, Max float64
+}
+
+// Section52 computes per-pattern MDC over the resampled cumulative
+// vectors.
+func Section52(ctx *Context) (*Section52Result, error) {
+	res := &Section52Result{
+		MDC:       map[core.Pattern]float64{},
+		Centroids: map[core.Pattern][]float64{},
+	}
+	first := true
+	for pattern, projects := range ctx.projectsByPattern() {
+		if pattern == core.Unclassified {
+			continue
+		}
+		var vectors [][]float64
+		for _, p := range projects {
+			vectors = append(vectors, p.Measures.Vector)
+		}
+		mdc, err := cluster.MeanDistToCentroid(vectors)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %v: %w", pattern, err)
+		}
+		centroid, err := cluster.Centroid(vectors)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %v: %w", pattern, err)
+		}
+		res.MDC[pattern] = mdc
+		res.Centroids[pattern] = centroid
+		if first || mdc < res.Min {
+			res.Min = mdc
+		}
+		if first || mdc > res.Max {
+			res.Max = mdc
+		}
+		first = false
+	}
+	return res, nil
+}
+
+// Render prints the cohesion table.
+func (r *Section52Result) Render() string {
+	t := report.New("§5.2 — Pattern cohesion: mean distance to centroid (20-dim vectors)",
+		"pattern", "MDC", "centroid line")
+	for _, p := range core.AllPatterns {
+		t.Add(p.String(), report.F2(r.MDC[p]), chart.Sparkline(r.Centroids[p], 20))
+	}
+	t.Addf("range: %.2f .. %.2f (paper: 0.06 .. 1.25)", r.Min, r.Max)
+	return t.String()
+}
+
+// Figure3Order returns the patterns that have an exemplar, in the paper's
+// presentation order — for deterministic report assembly.
+func Figure3Order(r *Figure3Result) []core.Pattern {
+	var out []core.Pattern
+	for _, p := range core.AllPatterns {
+		if _, ok := r.SVGs[p]; ok {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"schemaevo/internal/core"
+	"schemaevo/internal/predict"
+	"schemaevo/internal/report"
+	"schemaevo/internal/stats"
+)
+
+// PredictionEvalResult is the §6.2 follow-up the paper leaves as future
+// work ("provision of solid foundations for the prediction of future
+// behavior"): an honest train/test evaluation of the birth-point
+// estimator against baselines.
+type PredictionEvalResult struct {
+	Folds int
+	// EstimatorAccuracy is the mean held-out pattern accuracy of the
+	// birth-point estimator.
+	EstimatorAccuracy float64
+	// FamilyAccuracy is the mean held-out family accuracy.
+	FamilyAccuracy float64
+	// MajorityBaseline always predicts the training majority pattern.
+	MajorityBaseline float64
+	// FamilyBaseline always predicts the training majority family.
+	FamilyBaseline float64
+}
+
+// PredictionEval cross-validates the Fig. 7 estimator with k folds.
+func PredictionEval(ctx *Context, folds int, seed int64) (*PredictionEvalResult, error) {
+	if folds < 2 {
+		return nil, fmt.Errorf("experiments: need at least 2 folds, got %d", folds)
+	}
+	type obs struct {
+		birthMonth int
+		pattern    core.Pattern
+	}
+	var all []obs
+	for _, p := range ctx.Corpus.Projects {
+		all = append(all, obs{p.Measures.BirthMonth, p.Assigned()})
+	}
+	if len(all) < folds {
+		return nil, fmt.Errorf("experiments: %d projects for %d folds", len(all), folds)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+
+	res := &PredictionEvalResult{Folds: folds}
+	var accEst, accFam, accMajP, accMajF float64
+	for fold := 0; fold < folds; fold++ {
+		var train, test []obs
+		for i, o := range all {
+			if i%folds == fold {
+				test = append(test, o)
+			} else {
+				train = append(train, o)
+			}
+		}
+		var trainObs []predict.Observation
+		patCount := map[core.Pattern]int{}
+		famCount := map[core.Family]int{}
+		for _, o := range train {
+			trainObs = append(trainObs, predict.Observation{BirthMonth: o.birthMonth, Pattern: o.pattern})
+			patCount[o.pattern]++
+			famCount[core.FamilyOf(o.pattern)]++
+		}
+		est, err := predict.Fit(trainObs)
+		if err != nil {
+			return nil, err
+		}
+		majPat, majFam := argmaxPattern(patCount), argmaxFamily(famCount)
+		var hitEst, hitFam, hitMajP, hitMajF int
+		for _, o := range test {
+			pred, _ := est.PredictPattern(o.birthMonth)
+			if pred == o.pattern {
+				hitEst++
+			}
+			if core.FamilyOf(pred) == core.FamilyOf(o.pattern) {
+				hitFam++
+			}
+			if majPat == o.pattern {
+				hitMajP++
+			}
+			if majFam == core.FamilyOf(o.pattern) {
+				hitMajF++
+			}
+		}
+		n := float64(len(test))
+		accEst += float64(hitEst) / n
+		accFam += float64(hitFam) / n
+		accMajP += float64(hitMajP) / n
+		accMajF += float64(hitMajF) / n
+	}
+	f := float64(folds)
+	res.EstimatorAccuracy = accEst / f
+	res.FamilyAccuracy = accFam / f
+	res.MajorityBaseline = accMajP / f
+	res.FamilyBaseline = accMajF / f
+	return res, nil
+}
+
+func argmaxPattern(counts map[core.Pattern]int) core.Pattern {
+	best, bestN := core.Unclassified, -1
+	for _, p := range core.AllPatterns {
+		if counts[p] > bestN {
+			best, bestN = p, counts[p]
+		}
+	}
+	return best
+}
+
+func argmaxFamily(counts map[core.Family]int) core.Family {
+	best, bestN := core.NoFamily, -1
+	for _, f := range core.AllFamilies {
+		if counts[f] > bestN {
+			best, bestN = f, counts[f]
+		}
+	}
+	return best
+}
+
+// Render prints the prediction evaluation.
+func (r *PredictionEvalResult) Render() string {
+	t := report.New(fmt.Sprintf("Extension — birth-point prediction, %d-fold cross-validation", r.Folds),
+		"predictor", "pattern accuracy", "family accuracy")
+	t.Add("birth-point estimator (Fig. 7)", report.Pct(r.EstimatorAccuracy), report.Pct(r.FamilyAccuracy))
+	t.Add("majority baseline", report.Pct(r.MajorityBaseline), report.Pct(r.FamilyBaseline))
+	return t.String()
+}
+
+// CorrelationAgreementResult checks that the Fig. 2 findings do not
+// depend on the choice of rank statistic: Kendall's tau-b must agree in
+// sign with Spearman's rho on every strongly correlated pair.
+type CorrelationAgreementResult struct {
+	Pairs      int
+	Agreements int
+	// MaxAbsDiff is the largest |rho - tau| over the strong pairs (the
+	// two statistics differ in magnitude by construction; the check is
+	// about sign and ordering).
+	MaxAbsDiff float64
+}
+
+// CorrelationAgreement recomputes the strong Fig. 2 pairs with Kendall's
+// tau.
+func CorrelationAgreement(ctx *Context, f2 *Figure2Result) (*CorrelationAgreementResult, error) {
+	ms := ctx.measuresOf()
+	series := map[string][]float64{}
+	for _, m := range ms {
+		series["BirthVolume_pctTotal"] = append(series["BirthVolume_pctTotal"], m.BirthVolumePct)
+		series["BirthPoint_pctPUP"] = append(series["BirthPoint_pctPUP"], m.BirthPct)
+		series["TopBandPoint_pctPUP"] = append(series["TopBandPoint_pctPUP"], m.TopBandPct)
+		series["IntervalBirthToTop_pctPUP"] = append(series["IntervalBirthToTop_pctPUP"], m.IntervalBirthToTopPct)
+		series["IntervalTopToEnd_pctPUP"] = append(series["IntervalTopToEnd_pctPUP"], m.IntervalTopToEndPct)
+		series["ActiveGrowthMonths"] = append(series["ActiveGrowthMonths"], float64(m.ActiveGrowthMonths))
+		series["ActiveGrowth_pctGrowth"] = append(series["ActiveGrowth_pctGrowth"], m.ActivePctGrowth)
+		series["ActiveGrowth_pctPUP"] = append(series["ActiveGrowth_pctPUP"], m.ActivePctPUP)
+	}
+	res := &CorrelationAgreementResult{}
+	for _, pr := range f2.Matrix.StrongPairs(0.6) {
+		a, b := f2.Matrix.Names[pr[0]], f2.Matrix.Names[pr[1]]
+		rho := f2.Matrix.R[pr[0]][pr[1]]
+		tau := stats.KendallTau(series[a], series[b])
+		res.Pairs++
+		if rho*tau > 0 {
+			res.Agreements++
+		}
+		if d := math.Abs(rho - tau); d > res.MaxAbsDiff {
+			res.MaxAbsDiff = d
+		}
+	}
+	return res, nil
+}
+
+// Render prints the agreement check.
+func (r *CorrelationAgreementResult) Render() string {
+	return fmt.Sprintf("Extension — Spearman/Kendall agreement on strong pairs: %d/%d same sign, max |rho-tau| = %.2f\n",
+		r.Agreements, r.Pairs, r.MaxAbsDiff)
+}

@@ -1,0 +1,239 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"schemaevo/internal/core"
+	"schemaevo/internal/metrics"
+	"schemaevo/internal/quantize"
+	"schemaevo/internal/report"
+	"schemaevo/internal/stats"
+	"schemaevo/internal/tablestats"
+)
+
+// Table1Row is one metric row of Table 1: the label vocabulary and the
+// number of projects per label.
+type Table1Row struct {
+	Metric string
+	Labels []string
+	Counts []int
+}
+
+// Table1Result reproduces Table 1 (labeling limits and per-label project
+// counts).
+type Table1Result struct {
+	Rows []Table1Row
+	N    int
+}
+
+// Table1 quantizes every project and counts label populations.
+func Table1(ctx *Context) *Table1Result {
+	type dim struct {
+		metric string
+		labels []string
+		value  func(quantize.Labels) string
+	}
+	dims := []dim{
+		{"Volume of Birth (%Total)", []string{"low", "fair", "high", "full"},
+			func(l quantize.Labels) string { return l.BirthVolume.String() }},
+		{"Time Point of Birth (%PUP)", []string{"vp0", "early", "middle", "late"},
+			func(l quantize.Labels) string { return l.BirthTiming.String() }},
+		{"Time Point of Top Band (%PUP)", []string{"vp0", "early", "middle", "late"},
+			func(l quantize.Labels) string { return l.TopBandPoint.String() }},
+		{"Interval Birth→TopBand (%PUP)", []string{"zero", "soon", "fair", "long", "vlong"},
+			func(l quantize.Labels) string { return l.IntervalBirthToTop.String() }},
+		{"Interval TopBand→End (%PUP)", []string{"soon", "fair", "long", "full"},
+			func(l quantize.Labels) string { return l.IntervalTopToEnd.String() }},
+		{"Active months as %growth", []string{"zero", "few", "fair", "high"},
+			func(l quantize.Labels) string { return l.ActivePctGrowth.String() }},
+		{"Active months as %PUP", []string{"zero", "fair", "high", "ultra"},
+			func(l quantize.Labels) string { return l.ActivePctPUP.String() }},
+	}
+	res := &Table1Result{N: ctx.Corpus.Len()}
+	for _, d := range dims {
+		counts := map[string]int{}
+		for _, p := range ctx.Corpus.Projects {
+			counts[d.value(p.Labels)]++
+		}
+		row := Table1Row{Metric: d.metric, Labels: d.labels}
+		for _, lbl := range d.labels {
+			row.Counts = append(row.Counts, counts[lbl])
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// Render prints the Table 1 reproduction.
+func (r *Table1Result) Render() string {
+	t := report.New(fmt.Sprintf("Table 1 — Labeling of schema evolution metrics (N=%d)", r.N),
+		"metric", "labels (count)")
+	for _, row := range r.Rows {
+		var parts []string
+		for i, lbl := range row.Labels {
+			parts = append(parts, fmt.Sprintf("%s (%d)", lbl, row.Counts[i]))
+		}
+		t.Add(row.Metric, strings.Join(parts, "  "))
+	}
+	return t.String()
+}
+
+// Table2Result reproduces Table 2 (per-pattern populations, exceptions,
+// overlaps).
+type Table2Result struct {
+	Reports []core.ExceptionReport
+}
+
+// Table2 audits the corpus against the formal pattern definitions.
+func Table2(ctx *Context) *Table2Result {
+	return &Table2Result{Reports: core.Exceptions(ctx.subjects())}
+}
+
+// TotalExceptions sums the exceptions across patterns.
+func (r *Table2Result) TotalExceptions() int {
+	n := 0
+	for _, rep := range r.Reports {
+		n += len(rep.Exceptions)
+	}
+	return n
+}
+
+// TotalOverlaps sums the overlaps across patterns.
+func (r *Table2Result) TotalOverlaps() int {
+	n := 0
+	for _, rep := range r.Reports {
+		n += len(rep.Overlaps)
+	}
+	return n
+}
+
+// Render prints the Table 2 reproduction.
+func (r *Table2Result) Render() string {
+	t := report.New("Table 2 — Exceptions and overlaps of the pattern definitions",
+		"pattern", "#prjs", "exceptions", "overlaps")
+	for _, rep := range r.Reports {
+		t.Add(rep.Pattern.String(), report.Itoa(rep.Projects),
+			report.Itoa(len(rep.Exceptions)), report.Itoa(len(rep.Overlaps)))
+	}
+	t.Add("TOTAL", "", report.Itoa(r.TotalExceptions()), report.Itoa(r.TotalOverlaps()))
+	return t.String()
+}
+
+// Section61Result reproduces the §6.1 activity analysis: the median
+// post-birth schema activity per pattern.
+type Section61Result struct {
+	// Medians maps each pattern to the median number of attributes
+	// changed after schema birth.
+	Medians map[core.Pattern]float64
+	// TotalMedians maps each pattern to the median total activity
+	// (including birth).
+	TotalMedians map[core.Pattern]float64
+}
+
+// postBirthActivity is the §6.1 measure: total change minus the birth
+// month's volume.
+func postBirthActivity(m metrics.Measures) int {
+	if !m.HasSchema {
+		return 0
+	}
+	birth := int(m.BirthVolumePct*float64(m.TotalActivity) + 0.5)
+	return m.TotalActivity - birth
+}
+
+// Section61 computes the per-pattern activity medians.
+func Section61(ctx *Context) *Section61Result {
+	res := &Section61Result{
+		Medians:      map[core.Pattern]float64{},
+		TotalMedians: map[core.Pattern]float64{},
+	}
+	for pattern, projects := range ctx.projectsByPattern() {
+		var post, total []int
+		for _, p := range projects {
+			post = append(post, postBirthActivity(p.Measures))
+			total = append(total, p.Measures.TotalActivity)
+		}
+		res.Medians[pattern] = stats.MedianInts(post)
+		res.TotalMedians[pattern] = stats.MedianInts(total)
+	}
+	return res
+}
+
+// Render prints the §6.1 reproduction.
+func (r *Section61Result) Render() string {
+	t := report.New("§6.1 — Median schema activity per pattern (attributes)",
+		"pattern", "post-birth median", "total median")
+	for _, p := range core.AllPatterns {
+		t.Add(p.String(), report.F2(r.Medians[p]), report.F2(r.TotalMedians[p]))
+	}
+	return t.String()
+}
+
+// Section63Result reproduces §6.3: the expansion/maintenance mixture per
+// pattern and family, plus the granularity of change (the paper observes
+// that change is performed mostly at the granularity of whole tables).
+type Section63Result struct {
+	// ExpansionShare maps each pattern to expansion/(expansion+maintenance)
+	// summed over its projects.
+	ExpansionShare map[core.Pattern]float64
+	// FamilyShare aggregates by family.
+	FamilyShare map[core.Family]float64
+	// TableGrainShare maps each pattern to the fraction of affected
+	// attributes changed via whole-table additions/deletions.
+	TableGrainShare map[core.Pattern]float64
+	// CorpusTableGrainShare is the table-grain share over the whole corpus.
+	CorpusTableGrainShare float64
+}
+
+// Section63 computes the change-type mixture and granularity.
+func Section63(ctx *Context) *Section63Result {
+	res := &Section63Result{
+		ExpansionShare:  map[core.Pattern]float64{},
+		FamilyShare:     map[core.Family]float64{},
+		TableGrainShare: map[core.Pattern]float64{},
+	}
+	famExp := map[core.Family]int{}
+	famTot := map[core.Family]int{}
+	var corpusGrain tablestats.Granularity
+	for pattern, projects := range ctx.projectsByPattern() {
+		exp, tot := 0, 0
+		var grain tablestats.Granularity
+		for _, p := range projects {
+			exp += p.History.ExpansionTotal
+			tot += p.History.ExpansionTotal + p.History.MaintenanceTotal
+			g := tablestats.GranularityOf(p.History)
+			grain.TableGrain += g.TableGrain
+			grain.InPlace += g.InPlace
+		}
+		if tot > 0 {
+			res.ExpansionShare[pattern] = float64(exp) / float64(tot)
+		}
+		res.TableGrainShare[pattern] = grain.TableGrainShare()
+		corpusGrain.TableGrain += grain.TableGrain
+		corpusGrain.InPlace += grain.InPlace
+		f := core.FamilyOf(pattern)
+		famExp[f] += exp
+		famTot[f] += tot
+	}
+	for f, tot := range famTot {
+		if tot > 0 {
+			res.FamilyShare[f] = float64(famExp[f]) / float64(tot)
+		}
+	}
+	res.CorpusTableGrainShare = corpusGrain.TableGrainShare()
+	return res
+}
+
+// Render prints the §6.3 reproduction.
+func (r *Section63Result) Render() string {
+	t := report.New("§6.3 — Mixture and granularity of schema change",
+		"scope", "expansion share", "table-grain share")
+	for _, p := range core.AllPatterns {
+		t.Add(p.String(), report.Pct(r.ExpansionShare[p]), report.Pct(r.TableGrainShare[p]))
+	}
+	for _, f := range core.AllFamilies {
+		t.Add("family: "+f.String(), report.Pct(r.FamilyShare[f]))
+	}
+	t.Add("corpus", "", report.Pct(r.CorpusTableGrainShare))
+	return t.String()
+}

@@ -1,0 +1,169 @@
+// Package gitrepo extracts a schema history from a real local git
+// repository — the step the paper's authors perform by cloning each FOSS
+// project and walking the history of its DDL files. It shells out to the
+// git binary (standard library os/exec only) and produces the same
+// vcs.Repo the rest of the pipeline consumes, so
+// schemaevo.AnalyzeRepo(gitrepo.Extract(dir)) classifies a live checkout.
+package gitrepo
+
+import (
+	"bytes"
+	"fmt"
+	"os/exec"
+	"strconv"
+	"strings"
+	"time"
+
+	"schemaevo/internal/vcs"
+)
+
+// Available reports whether a usable git binary is on the PATH.
+func Available() bool {
+	_, err := exec.LookPath("git")
+	return err == nil
+}
+
+// git runs a git command in dir and returns its stdout.
+func git(dir string, args ...string) (string, error) {
+	cmd := exec.Command("git", append([]string{"-C", dir}, args...)...)
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return "", fmt.Errorf("gitrepo: git %s: %w (%s)",
+			strings.Join(args, " "), err, strings.TrimSpace(errb.String()))
+	}
+	return out.String(), nil
+}
+
+// logEntry is one commit of the extraction walk.
+type logEntry struct {
+	hash    string
+	when    time.Time
+	subject string
+}
+
+// Extract walks the current branch of the repository at dir (oldest
+// first) and builds a vcs.Repo: every commit carries the post-commit
+// snapshots of the DDL files it touched plus the number of source lines
+// it changed in non-DDL files. maxCommits bounds the walk (0 = all).
+func Extract(dir string, maxCommits int) (*vcs.Repo, error) {
+	if !Available() {
+		return nil, fmt.Errorf("gitrepo: no git binary on PATH")
+	}
+	logArgs := []string{"log", "--reverse", "--date-order", "--format=%H%x09%cI%x09%s"}
+	out, err := git(dir, logArgs...)
+	if err != nil {
+		return nil, err
+	}
+	var entries []logEntry
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if line == "" {
+			continue
+		}
+		parts := strings.SplitN(line, "\t", 3)
+		if len(parts) < 2 {
+			return nil, fmt.Errorf("gitrepo: malformed log line %q", line)
+		}
+		when, err := time.Parse(time.RFC3339, parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("gitrepo: commit %s: %w", parts[0], err)
+		}
+		e := logEntry{hash: parts[0], when: when}
+		if len(parts) == 3 {
+			e.subject = parts[2]
+		}
+		entries = append(entries, e)
+	}
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("gitrepo: repository %s has no commits", dir)
+	}
+	if maxCommits > 0 && len(entries) > maxCommits {
+		entries = entries[:maxCommits]
+	}
+
+	repoName := dir
+	if i := strings.LastIndexByte(dir, '/'); i >= 0 && i+1 < len(dir) {
+		repoName = dir[i+1:]
+	}
+	repo := &vcs.Repo{Name: repoName}
+	for _, e := range entries {
+		commit, err := extractCommit(dir, e)
+		if err != nil {
+			return nil, err
+		}
+		repo.Commits = append(repo.Commits, commit)
+	}
+	// Commit dates in real repositories are not always monotone (rebases,
+	// clock skew); the analysis needs monotone time, so clamp backwards
+	// jumps to the running maximum.
+	for i := 1; i < len(repo.Commits); i++ {
+		if repo.Commits[i].Time.Before(repo.Commits[i-1].Time) {
+			repo.Commits[i].Time = repo.Commits[i-1].Time
+		}
+	}
+	if err := repo.Validate(); err != nil {
+		return nil, err
+	}
+	return repo, nil
+}
+
+// extractCommit reads one commit's change set via --numstat.
+func extractCommit(dir string, e logEntry) (vcs.Commit, error) {
+	c := vcs.Commit{ID: e.hash, Time: e.when, Message: e.subject}
+	out, err := git(dir, "show", "--numstat", "--format=", e.hash)
+	if err != nil {
+		return c, err
+	}
+	for _, line := range strings.Split(out, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		fields := strings.SplitN(line, "\t", 3)
+		if len(fields) != 3 {
+			continue
+		}
+		added, _ := strconv.Atoi(fields[0]) // "-" (binary) parses to 0
+		deleted, _ := strconv.Atoi(fields[1])
+		path := normalizeRenamePath(fields[2])
+		if !vcs.IsDDLPath(path) {
+			c.SrcLines += added + deleted
+			continue
+		}
+		content, err := git(dir, "show", e.hash+":"+path)
+		if err != nil {
+			// The file is gone in this commit (deletion or rename-away).
+			c.Deleted = append(c.Deleted, path)
+			continue
+		}
+		if c.Files == nil {
+			c.Files = map[string]string{}
+		}
+		c.Files[path] = content
+	}
+	return c, nil
+}
+
+// normalizeRenamePath reduces git's rename notations to the new path:
+// "old => new" and "pre/{old => new}/post".
+func normalizeRenamePath(path string) string {
+	if !strings.Contains(path, " => ") {
+		return path
+	}
+	if open := strings.IndexByte(path, '{'); open >= 0 {
+		close := strings.IndexByte(path, '}')
+		if close > open {
+			inner := path[open+1 : close]
+			parts := strings.SplitN(inner, " => ", 2)
+			newInner := inner
+			if len(parts) == 2 {
+				newInner = parts[1]
+			}
+			out := path[:open] + newInner + path[close+1:]
+			return strings.ReplaceAll(out, "//", "/")
+		}
+	}
+	parts := strings.SplitN(path, " => ", 2)
+	return parts[len(parts)-1]
+}

@@ -1,0 +1,219 @@
+package gitrepo
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"schemaevo/internal/history"
+)
+
+// testRepo builds a real git repository with a DDL history spanning
+// months (via forged commit dates).
+func testRepo(t *testing.T) string {
+	t.Helper()
+	if !Available() {
+		t.Skip("git binary not available")
+	}
+	dir := t.TempDir()
+	run := func(env []string, args ...string) {
+		t.Helper()
+		cmd := exec.Command("git", append([]string{"-C", dir}, args...)...)
+		cmd.Env = append(os.Environ(), env...)
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("git %v: %v\n%s", args, err, out)
+		}
+	}
+	run(nil, "init", "-q")
+	run(nil, "config", "user.email", "test@example.org")
+	run(nil, "config", "user.name", "Test")
+
+	write := func(path, content string) {
+		t.Helper()
+		full := filepath.Join(dir, path)
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(full, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	commit := func(date, msg string) {
+		t.Helper()
+		env := []string{"GIT_AUTHOR_DATE=" + date, "GIT_COMMITTER_DATE=" + date}
+		run(env, "add", "-A")
+		run(env, "commit", "-q", "-m", msg, "--allow-empty")
+	}
+
+	write("main.go", "package main\nfunc main() {}\n")
+	commit("2020-01-10T10:00:00+00:00", "initial code")
+
+	write("db/schema.sql", "CREATE TABLE users (id INT PRIMARY KEY, name TEXT);\n")
+	commit("2020-03-05T10:00:00+00:00", "schema birth")
+
+	write("db/schema.sql", "CREATE TABLE users (id INT PRIMARY KEY, name TEXT, email TEXT);\nCREATE TABLE posts (id INT, author INT);\n")
+	write("main.go", "package main\nfunc main() { /* v2 */ }\nfunc helper() {}\n")
+	commit("2020-06-20T10:00:00+00:00", "grow schema")
+
+	write("main.go", "package main\nfunc main() { /* v3 */ }\n")
+	commit("2021-05-01T10:00:00+00:00", "late source work")
+	return dir
+}
+
+func TestExtractBasics(t *testing.T) {
+	dir := testRepo(t)
+	repo, err := Extract(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(repo.Commits) != 4 {
+		t.Fatalf("commits = %d", len(repo.Commits))
+	}
+	if repo.Commits[0].SrcLines == 0 {
+		t.Error("first commit source lines missing")
+	}
+	if repo.MainDDLPath() != "db/schema.sql" {
+		t.Errorf("main ddl = %q", repo.MainDDLPath())
+	}
+	versions := repo.FileHistory("db/schema.sql")
+	if len(versions) != 2 {
+		t.Fatalf("ddl versions = %d", len(versions))
+	}
+	if versions[1].Content == versions[0].Content {
+		t.Error("snapshots identical")
+	}
+	// Lifetime: 2020-01 .. 2021-05 = 17 months.
+	if got := repo.LifetimeMonths(); got != 17 {
+		t.Errorf("lifetime = %d months", got)
+	}
+}
+
+func TestExtractFeedsPipeline(t *testing.T) {
+	dir := testRepo(t)
+	repo, err := Extract(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := history.FromRepo(repo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NoteCount() != 0 {
+		t.Errorf("notes: %d", h.NoteCount())
+	}
+	// Birth: 2 attrs (users); growth: email injected + posts(2) born = 3.
+	if h.TotalActivity() != 5 {
+		t.Errorf("activity = %d, heartbeat %v", h.TotalActivity(), h.SchemaMonthly)
+	}
+	if h.SchemaMonthly[2] != 2 || h.SchemaMonthly[5] != 3 {
+		t.Errorf("heartbeat: %v", h.SchemaMonthly)
+	}
+}
+
+func TestExtractMaxCommits(t *testing.T) {
+	dir := testRepo(t)
+	repo, err := Extract(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(repo.Commits) != 2 {
+		t.Errorf("commits = %d", len(repo.Commits))
+	}
+}
+
+func TestExtractDeletedDDL(t *testing.T) {
+	dir := testRepo(t)
+	run := func(env []string, args ...string) {
+		cmd := exec.Command("git", append([]string{"-C", dir}, args...)...)
+		cmd.Env = append(os.Environ(), env...)
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("git %v: %v\n%s", args, err, out)
+		}
+	}
+	if err := os.Remove(filepath.Join(dir, "db/schema.sql")); err != nil {
+		t.Fatal(err)
+	}
+	env := []string{"GIT_AUTHOR_DATE=2021-08-01T10:00:00+00:00", "GIT_COMMITTER_DATE=2021-08-01T10:00:00+00:00"}
+	run(env, "add", "-A")
+	run(env, "commit", "-q", "-m", "drop schema file")
+
+	repo, err := Extract(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := repo.Commits[len(repo.Commits)-1]
+	if len(last.Deleted) != 1 || last.Deleted[0] != "db/schema.sql" {
+		t.Errorf("deletion not detected: %+v", last)
+	}
+	h, err := history.FromRepo(repo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := h.FinalSchema()
+	if final.TableCount() != 0 {
+		t.Errorf("final schema should be empty, has %v", final.TableNames())
+	}
+}
+
+func TestExtractErrors(t *testing.T) {
+	if !Available() {
+		t.Skip("git binary not available")
+	}
+	if _, err := Extract(t.TempDir(), 0); err == nil {
+		t.Error("non-repo directory should fail")
+	}
+}
+
+func TestNormalizeRenamePath(t *testing.T) {
+	cases := map[string]string{
+		"plain/path.sql":           "plain/path.sql",
+		"old.sql => new.sql":       "new.sql",
+		"db/{v1 => v2}/schema.sql": "db/v2/schema.sql",
+		"db/{ => sql}/schema.sql":  "db/sql/schema.sql",
+		"a/{old => }/x.sql":        "a/x.sql",
+	}
+	for in, want := range cases {
+		if got := normalizeRenamePath(in); got != want {
+			t.Errorf("normalizeRenamePath(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestNonMonotoneDatesAreClamped(t *testing.T) {
+	if !Available() {
+		t.Skip("git binary not available")
+	}
+	dir := t.TempDir()
+	run := func(env []string, args ...string) {
+		cmd := exec.Command("git", append([]string{"-C", dir}, args...)...)
+		cmd.Env = append(os.Environ(), env...)
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("git %v: %v\n%s", args, err, out)
+		}
+	}
+	run(nil, "init", "-q")
+	run(nil, "config", "user.email", "t@e.org")
+	run(nil, "config", "user.name", "T")
+	for i, date := range []string{
+		"2020-05-01T10:00:00+00:00",
+		"2020-02-01T10:00:00+00:00", // earlier than its parent
+		"2020-08-01T10:00:00+00:00",
+	} {
+		if err := os.WriteFile(filepath.Join(dir, "s.sql"),
+			[]byte(fmt.Sprintf("CREATE TABLE t%d (a INT);", i)), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		env := []string{"GIT_AUTHOR_DATE=" + date, "GIT_COMMITTER_DATE=" + date}
+		run(env, "add", "-A")
+		run(env, "commit", "-q", "-m", "c")
+	}
+	repo, err := Extract(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := repo.Validate(); err != nil {
+		t.Fatalf("clamping failed: %v", err)
+	}
+}

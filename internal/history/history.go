@@ -1,0 +1,173 @@
+// Package history reconstructs the evolution of a project's schema from
+// its repository: one logical-schema snapshot per DDL-file version, the
+// attribute-level delta between consecutive versions, and the monthly
+// heartbeats (schema and source) whose cumulative fractional form is the
+// line the paper's patterns are read from (Fig. 1).
+package history
+
+import (
+	"fmt"
+	"time"
+
+	"schemaevo/internal/diff"
+	"schemaevo/internal/schema"
+	"schemaevo/internal/vcs"
+)
+
+// Version is one state of the schema in time.
+type Version struct {
+	// Seq is the zero-based version index.
+	Seq  int
+	Time time.Time
+	// Schema is the logical schema after this version.
+	Schema *schema.Schema
+	// Delta is the change from the previous version; for the first
+	// version it is the change from the empty schema (schema birth).
+	Delta *diff.Delta
+	// Notes records parse/apply anomalies encountered in this version.
+	Notes []schema.Note
+}
+
+// History is the full schema history of a project, aligned to the
+// project's lifetime (not just the schema file's).
+type History struct {
+	// Project is the repository name.
+	Project string
+	// DDLPath is the schema file that was analyzed.
+	DDLPath string
+	// Versions are the chronological schema versions.
+	Versions []Version
+	// Start and End bound the Project Update Period: the originating
+	// commit (V_p^0) and the last commit of the whole project.
+	Start, End time.Time
+	// SchemaMonthly is the schema heartbeat: affected attributes per
+	// calendar month, indexed from the project's first month; length is
+	// the project lifetime in months.
+	SchemaMonthly []int
+	// SourceMonthly is the project (source-code) heartbeat in lines
+	// touched per month, same indexing.
+	SourceMonthly []int
+	// ExpansionTotal and MaintenanceTotal split the total activity per
+	// §6.3.
+	ExpansionTotal   int
+	MaintenanceTotal int
+}
+
+// Months returns the project lifetime in months (the PUP in month
+// granules).
+func (h *History) Months() int { return len(h.SchemaMonthly) }
+
+// TotalActivity returns the total schema-evolution volume: the sum of
+// affected attributes over all versions, including schema birth.
+func (h *History) TotalActivity() int {
+	n := 0
+	for _, v := range h.SchemaMonthly {
+		n += v
+	}
+	return n
+}
+
+// FromRepo builds the history of the repo's main DDL file. It fails only
+// on structural problems (invalid repo, no DDL file); content problems are
+// tolerated and recorded per version.
+func FromRepo(r *vcs.Repo) (*History, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	path := r.MainDDLPath()
+	if path == "" {
+		return nil, fmt.Errorf("history: repo %q has no DDL file", r.Name)
+	}
+	return FromRepoFile(r, path)
+}
+
+// FromRepoFile builds the history of one specific DDL file of the repo.
+func FromRepoFile(r *vcs.Repo, path string) (*History, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	fileVersions := r.FileHistory(path)
+	if len(fileVersions) == 0 {
+		return nil, fmt.Errorf("history: repo %q has no versions of %q", r.Name, path)
+	}
+	h := &History{
+		Project: r.Name,
+		DDLPath: path,
+		Start:   r.Start(),
+		End:     r.End(),
+	}
+	months := r.LifetimeMonths()
+	h.SchemaMonthly = make([]int, months)
+	h.SourceMonthly = r.MonthlySrcLines()
+
+	var prev *schema.Schema
+	seq := 0
+	for _, fv := range fileVersions {
+		var cur *schema.Schema
+		var notes []schema.Note
+		if fv.Deleted {
+			cur = schema.New()
+		} else {
+			cur, notes = schema.ParseAndBuild(fv.Content)
+		}
+		d := diff.Schemas(prev, cur)
+		h.Versions = append(h.Versions, Version{
+			Seq:    seq,
+			Time:   fv.Time,
+			Schema: cur,
+			Delta:  d,
+			Notes:  notes,
+		})
+		h.SchemaMonthly[vcs.MonthIndex(h.Start, fv.Time)] += d.Total()
+		h.ExpansionTotal += d.Expansion()
+		h.MaintenanceTotal += d.Maintenance()
+		prev = cur
+		seq++
+	}
+	return h, nil
+}
+
+// Cumulative returns the cumulative fractional activity of a monthly
+// heartbeat: entry i is the fraction of total activity attained by the
+// end of month i, in [0,1]. A heartbeat with zero total yields all zeros.
+func Cumulative(monthly []int) []float64 {
+	out := make([]float64, len(monthly))
+	total := 0
+	for _, v := range monthly {
+		total += v
+	}
+	if total == 0 {
+		return out
+	}
+	run := 0
+	for i, v := range monthly {
+		run += v
+		out[i] = float64(run) / float64(total)
+	}
+	return out
+}
+
+// SchemaCumulative returns the cumulative fractional schema line of Fig. 1.
+func (h *History) SchemaCumulative() []float64 { return Cumulative(h.SchemaMonthly) }
+
+// SourceCumulative returns the cumulative fractional source line of Fig. 1.
+func (h *History) SourceCumulative() []float64 { return Cumulative(h.SourceMonthly) }
+
+// FinalSchema returns the schema after the last version, or nil when the
+// history is empty.
+func (h *History) FinalSchema() *schema.Schema {
+	if len(h.Versions) == 0 {
+		return nil
+	}
+	return h.Versions[len(h.Versions)-1].Schema
+}
+
+// NoteCount returns the total number of anomalies recorded across
+// versions — a quick data-quality indicator.
+func (h *History) NoteCount() int {
+	n := 0
+	for _, v := range h.Versions {
+		n += len(v.Notes)
+	}
+	return n
+}

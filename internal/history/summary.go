@@ -1,0 +1,127 @@
+package history
+
+import (
+	"fmt"
+	"time"
+
+	"schemaevo/internal/vcs"
+)
+
+// Summary condenses a history for reporting: version counts, activity
+// cadence and dormancy, the facts cmd/schemaevo prints and the paper's
+// prose cites ("people prefer clustered groups of schema changes rather
+// than constant incremental maintenance").
+type Summary struct {
+	Project string
+	// Versions is the number of schema-file versions.
+	Versions int
+	// ActiveVersions counts versions with a non-zero delta (dump
+	// refreshes and comment-only commits produce zero deltas).
+	ActiveVersions int
+	// Months and ActiveMonths give the monthly cadence.
+	Months       int
+	ActiveMonths int
+	// LongestDormancy is the longest run of consecutive months without
+	// schema change between two active months.
+	LongestDormancy int
+	// MeanChangePerActiveMonth is the average attribute volume of an
+	// active month.
+	MeanChangePerActiveMonth float64
+	// FirstChange and LastChange bound the schema activity in time.
+	FirstChange, LastChange time.Time
+}
+
+// Summarize computes the timeline summary.
+func (h *History) Summarize() Summary {
+	s := Summary{
+		Project:  h.Project,
+		Versions: len(h.Versions),
+		Months:   h.Months(),
+	}
+	for _, v := range h.Versions {
+		if !v.Delta.IsZero() {
+			s.ActiveVersions++
+			if s.FirstChange.IsZero() {
+				s.FirstChange = v.Time
+			}
+			s.LastChange = v.Time
+		}
+	}
+	total := 0
+	firstActive, lastActive := -1, -1
+	for i, v := range h.SchemaMonthly {
+		if v > 0 {
+			s.ActiveMonths++
+			total += v
+			if firstActive < 0 {
+				firstActive = i
+			}
+			lastActive = i
+		}
+	}
+	if s.ActiveMonths > 0 {
+		s.MeanChangePerActiveMonth = float64(total) / float64(s.ActiveMonths)
+	}
+	// Longest dormancy strictly between active months.
+	run, longest := 0, 0
+	for i := firstActive; i >= 0 && i <= lastActive; i++ {
+		if h.SchemaMonthly[i] > 0 {
+			if run > longest {
+				longest = run
+			}
+			run = 0
+			continue
+		}
+		run++
+	}
+	s.LongestDormancy = longest
+	return s
+}
+
+// String renders the summary on one line.
+func (s Summary) String() string {
+	return fmt.Sprintf("%s: %d versions (%d active), %d/%d active months, longest dormancy %d months, %.1f attrs/active month",
+		s.Project, s.Versions, s.ActiveVersions, s.ActiveMonths, s.Months,
+		s.LongestDormancy, s.MeanChangePerActiveMonth)
+}
+
+// SizePoint is the schema size at one version.
+type SizePoint struct {
+	Time   time.Time
+	Tables int
+	Attrs  int
+}
+
+// SizeSeries returns the schema size after every version — the
+// schema-growth view earlier studies chart (size over time progress).
+func (h *History) SizeSeries() []SizePoint {
+	out := make([]SizePoint, 0, len(h.Versions))
+	for _, v := range h.Versions {
+		out = append(out, SizePoint{
+			Time:   v.Time,
+			Tables: v.Schema.TableCount(),
+			Attrs:  v.Schema.AttributeCount(),
+		})
+	}
+	return out
+}
+
+// AttrsMonthly returns the attribute count at the end of each month of
+// the project's life (carrying the last known size forward), suitable for
+// charting schema growth on the same axis as the heartbeats.
+func (h *History) AttrsMonthly() []int {
+	out := make([]int, h.Months())
+	if len(out) == 0 {
+		return out
+	}
+	size := 0
+	vi := 0
+	for m := range out {
+		for vi < len(h.Versions) && vcs.MonthIndex(h.Start, h.Versions[vi].Time) <= m {
+			size = h.Versions[vi].Schema.AttributeCount()
+			vi++
+		}
+		out[m] = size
+	}
+	return out
+}

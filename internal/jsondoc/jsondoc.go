@@ -1,0 +1,246 @@
+// Package jsondoc extends the study to NoSQL document stores — the first
+// item of the paper's future-work list ("NoSQL schemata are a clear case
+// where this method can be applied"). It infers an implicit schema from
+// collections of JSON documents, detects field-level change between
+// versions, and adapts the result to the same heartbeat → measures →
+// pattern pipeline used for relational histories.
+package jsondoc
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"schemaevo/internal/history"
+)
+
+// Schema is the implicit schema of a document collection: a map from
+// flattened field paths to type names. Nested objects flatten with '.'
+// separators; array elements with "[]" ("tags[]", "orders[].total").
+type Schema struct {
+	// Fields maps each path to "string", "number", "bool", "null",
+	// "object", or "mixed" when documents disagree.
+	Fields map[string]string
+}
+
+// NewSchema returns an empty schema.
+func NewSchema() *Schema { return &Schema{Fields: map[string]string{}} }
+
+// FieldCount returns the number of distinct field paths — the NoSQL
+// analogue of the attribute count.
+func (s *Schema) FieldCount() int { return len(s.Fields) }
+
+// Paths returns the sorted field paths.
+func (s *Schema) Paths() []string {
+	out := make([]string, 0, len(s.Fields))
+	for p := range s.Fields {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// addValue merges a JSON value rooted at path into the schema.
+func (s *Schema) addValue(path string, v any) {
+	switch val := v.(type) {
+	case map[string]any:
+		if path != "" {
+			s.addType(path, "object")
+		}
+		for k, child := range val {
+			childPath := k
+			if path != "" {
+				childPath = path + "." + k
+			}
+			s.addValue(childPath, child)
+		}
+	case []any:
+		elemPath := path + "[]"
+		if len(val) == 0 {
+			s.addType(elemPath, "empty")
+			return
+		}
+		for _, item := range val {
+			s.addValue(elemPath, item)
+		}
+	case string:
+		s.addType(path, "string")
+	case float64:
+		s.addType(path, "number")
+	case bool:
+		s.addType(path, "bool")
+	case nil:
+		s.addType(path, "null")
+	case json.Number:
+		s.addType(path, "number")
+	}
+}
+
+// addType records a type observation, degrading to "mixed" on conflict.
+// "null" and "empty" observations never override a concrete type.
+func (s *Schema) addType(path, typ string) {
+	prev, seen := s.Fields[path]
+	switch {
+	case !seen, prev == "null", prev == "empty":
+		s.Fields[path] = typ
+	case prev == typ, typ == "null", typ == "empty":
+		// keep prev
+	default:
+		s.Fields[path] = "mixed"
+	}
+}
+
+// InferDocument parses one JSON document and returns its schema.
+func InferDocument(doc string) (*Schema, error) {
+	s := NewSchema()
+	if err := s.Merge(doc); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Merge folds one more JSON document into the schema.
+func (s *Schema) Merge(doc string) error {
+	var v any
+	if err := json.Unmarshal([]byte(doc), &v); err != nil {
+		return fmt.Errorf("jsondoc: %w", err)
+	}
+	if _, ok := v.(map[string]any); !ok {
+		return fmt.Errorf("jsondoc: document root must be an object, got %T", v)
+	}
+	s.addValue("", v)
+	return nil
+}
+
+// InferCollection infers the union schema of a document collection.
+func InferCollection(docs []string) (*Schema, error) {
+	s := NewSchema()
+	for i, d := range docs {
+		if err := s.Merge(d); err != nil {
+			return nil, fmt.Errorf("jsondoc: document %d: %w", i, err)
+		}
+	}
+	return s, nil
+}
+
+// Delta is the field-level difference between two schema versions — the
+// document-store analogue of diff.Delta.
+type Delta struct {
+	Added       []string
+	Removed     []string
+	TypeChanged []string
+}
+
+// Total returns the number of affected fields, the unit of NoSQL schema
+// evolution volume.
+func (d *Delta) Total() int { return len(d.Added) + len(d.Removed) + len(d.TypeChanged) }
+
+// Diff computes the field-level delta from old to new. Either may be nil
+// (the empty schema).
+func Diff(old, new *Schema) *Delta {
+	d := &Delta{}
+	oldFields := map[string]string{}
+	if old != nil {
+		oldFields = old.Fields
+	}
+	newFields := map[string]string{}
+	if new != nil {
+		newFields = new.Fields
+	}
+	for path, typ := range newFields {
+		prev, existed := oldFields[path]
+		switch {
+		case !existed:
+			d.Added = append(d.Added, path)
+		case prev != typ:
+			d.TypeChanged = append(d.TypeChanged, path)
+		}
+	}
+	for path := range oldFields {
+		if _, survives := newFields[path]; !survives {
+			d.Removed = append(d.Removed, path)
+		}
+	}
+	sort.Strings(d.Added)
+	sort.Strings(d.Removed)
+	sort.Strings(d.TypeChanged)
+	return d
+}
+
+// Version is one timestamped state of a document collection.
+type Version struct {
+	Time time.Time
+	// Docs are sample documents representative of the collection at this
+	// point in time.
+	Docs []string
+}
+
+// History adapts a sequence of document-collection versions to the same
+// history.History the relational pipeline consumes: one schema per
+// version, field-level deltas, monthly heartbeat over the project's
+// lifetime [start, end].
+func History(project string, versions []Version, start, end time.Time) (*history.History, error) {
+	if len(versions) == 0 {
+		return nil, fmt.Errorf("jsondoc: no versions")
+	}
+	if end.Before(start) {
+		return nil, fmt.Errorf("jsondoc: end precedes start")
+	}
+	months := (end.Year()*12 + int(end.Month())) - (start.Year()*12 + int(start.Month())) + 1
+	h := &history.History{
+		Project:       project,
+		DDLPath:       "(json documents)",
+		Start:         start,
+		End:           end,
+		SchemaMonthly: make([]int, months),
+		SourceMonthly: make([]int, months),
+	}
+	var prev *Schema
+	for i, v := range versions {
+		if v.Time.Before(start) || v.Time.After(end) {
+			return nil, fmt.Errorf("jsondoc: version %d outside [start, end]", i)
+		}
+		cur, err := InferCollection(v.Docs)
+		if err != nil {
+			return nil, err
+		}
+		d := Diff(prev, cur)
+		idx := (v.Time.Year()*12 + int(v.Time.Month())) - (start.Year()*12 + int(start.Month()))
+		h.SchemaMonthly[idx] += d.Total()
+		h.ExpansionTotal += len(d.Added)
+		h.MaintenanceTotal += len(d.Removed) + len(d.TypeChanged)
+		prev = cur
+	}
+	return h, nil
+}
+
+// FieldPathDepth returns the nesting depth of a flattened path ("a.b[].c"
+// has depth 3) — a document-shape statistic with no relational analogue.
+func FieldPathDepth(path string) int {
+	if path == "" {
+		return 0
+	}
+	depth := 1
+	for i := 0; i < len(path); i++ {
+		if path[i] == '.' {
+			depth++
+		}
+	}
+	return depth
+}
+
+// String renders the schema compactly for diagnostics.
+func (s *Schema) String() string {
+	var sb strings.Builder
+	for i, p := range s.Paths() {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(p)
+		sb.WriteString(":")
+		sb.WriteString(s.Fields[p])
+	}
+	return sb.String()
+}

@@ -1,0 +1,183 @@
+package jsondoc
+
+import (
+	"testing"
+	"time"
+
+	"schemaevo/internal/core"
+	"schemaevo/internal/metrics"
+	"schemaevo/internal/quantize"
+)
+
+func TestInferDocumentFlattening(t *testing.T) {
+	s, err := InferDocument(`{
+		"name": "ada",
+		"age": 36,
+		"active": true,
+		"address": {"city": "london", "zip": null},
+		"tags": ["a", "b"],
+		"orders": [{"total": 9.5}]
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{
+		"name": "string", "age": "number", "active": "bool",
+		"address": "object", "address.city": "string", "address.zip": "null",
+		"tags[]": "string", "orders[]": "object", "orders[].total": "number",
+	}
+	for path, typ := range want {
+		if got := s.Fields[path]; got != typ {
+			t.Errorf("%s = %q, want %q", path, got, typ)
+		}
+	}
+	if s.FieldCount() != len(want) {
+		t.Errorf("field count = %d (%s)", s.FieldCount(), s)
+	}
+}
+
+func TestInferCollectionUnionAndMixed(t *testing.T) {
+	s, err := InferCollection([]string{
+		`{"id": 1, "v": "text"}`,
+		`{"id": 2, "v": 42, "extra": true}`,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Fields["v"] != "mixed" {
+		t.Errorf("conflicting field = %q", s.Fields["v"])
+	}
+	if s.Fields["extra"] != "bool" || s.Fields["id"] != "number" {
+		t.Errorf("union fields: %s", s)
+	}
+}
+
+func TestNullDoesNotOverrideConcrete(t *testing.T) {
+	s, err := InferCollection([]string{
+		`{"v": null}`,
+		`{"v": "x"}`,
+		`{"v": null}`,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Fields["v"] != "string" {
+		t.Errorf("v = %q, want string", s.Fields["v"])
+	}
+}
+
+func TestEmptyArray(t *testing.T) {
+	s, err := InferDocument(`{"tags": []}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Fields["tags[]"] != "empty" {
+		t.Errorf("tags[] = %q", s.Fields["tags[]"])
+	}
+}
+
+func TestInferErrors(t *testing.T) {
+	if _, err := InferDocument(`not json`); err == nil {
+		t.Error("garbage should fail")
+	}
+	if _, err := InferDocument(`[1,2,3]`); err == nil {
+		t.Error("non-object root should fail")
+	}
+	if _, err := InferCollection([]string{`{"a":1}`, `broken`}); err == nil {
+		t.Error("collection with a broken doc should fail")
+	}
+}
+
+func TestDiff(t *testing.T) {
+	old, _ := InferDocument(`{"a": 1, "b": "x", "c": true}`)
+	new, _ := InferDocument(`{"a": 1, "b": 2, "d": "fresh"}`)
+	d := Diff(old, new)
+	if len(d.Added) != 1 || d.Added[0] != "d" {
+		t.Errorf("added: %v", d.Added)
+	}
+	if len(d.Removed) != 1 || d.Removed[0] != "c" {
+		t.Errorf("removed: %v", d.Removed)
+	}
+	if len(d.TypeChanged) != 1 || d.TypeChanged[0] != "b" {
+		t.Errorf("type changed: %v", d.TypeChanged)
+	}
+	if d.Total() != 3 {
+		t.Errorf("total = %d", d.Total())
+	}
+	birth := Diff(nil, old)
+	if len(birth.Added) != 3 || birth.Total() != 3 {
+		t.Errorf("birth diff: %+v", birth)
+	}
+}
+
+func day(y int, m time.Month, d int) time.Time {
+	return time.Date(y, m, d, 0, 0, 0, 0, time.UTC)
+}
+
+func TestHistoryAndClassification(t *testing.T) {
+	// A document collection that freezes right after its early birth:
+	// the NoSQL flatliner the paper hypothesizes.
+	versions := []Version{
+		{Time: day(2020, 1, 10), Docs: []string{
+			`{"user": "a", "score": 10, "meta": {"lang": "en"}}`,
+		}},
+		{Time: day(2020, 1, 25), Docs: []string{
+			`{"user": "a", "score": 10, "meta": {"lang": "en"}}`,
+		}},
+	}
+	h, err := History("nosql-demo", versions, day(2020, 1, 1), day(2022, 6, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Months() != 30 {
+		t.Errorf("months = %d", h.Months())
+	}
+	if h.SchemaMonthly[0] != 4 { // user, score, meta, meta.lang
+		t.Errorf("birth volume = %d", h.SchemaMonthly[0])
+	}
+	m := metrics.Compute(h)
+	l := quantize.Compute(m, quantize.DefaultScheme())
+	if got := core.Classify(l); got != core.Flatliner {
+		t.Errorf("pattern = %v, want Flatliner", got)
+	}
+}
+
+func TestHistoryLateChange(t *testing.T) {
+	// Early birth, long sleep, late change: a NoSQL Siesta.
+	versions := []Version{
+		{Time: day(2018, 2, 1), Docs: []string{`{"a":1,"b":2,"c":"x","d":true,"e":[1]}`}},
+		{Time: day(2021, 10, 1), Docs: []string{`{"a":1,"b":2,"c":"x","d":true,"e":[1],"f":{"g":1},"h":2,"i":3}`}},
+		{Time: day(2021, 12, 1), Docs: []string{`{"a":1,"b":2,"c":"x","d":true,"e":[1],"f":{"g":1},"h":2,"i":3,"j":4,"k":5}`}},
+	}
+	h, err := History("nosql-siesta", versions, day(2018, 1, 1), day(2022, 2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := metrics.Compute(h)
+	l := quantize.Compute(m, quantize.DefaultScheme())
+	if got := core.Classify(l); got != core.Siesta {
+		t.Errorf("pattern = %v, want Siesta (labels %+v)", got, l)
+	}
+}
+
+func TestHistoryErrors(t *testing.T) {
+	if _, err := History("x", nil, day(2020, 1, 1), day(2021, 1, 1)); err == nil {
+		t.Error("no versions should fail")
+	}
+	v := []Version{{Time: day(2020, 6, 1), Docs: []string{`{"a":1}`}}}
+	if _, err := History("x", v, day(2021, 1, 1), day(2020, 1, 1)); err == nil {
+		t.Error("end before start should fail")
+	}
+	if _, err := History("x", v, day(2020, 7, 1), day(2021, 1, 1)); err == nil {
+		t.Error("version outside range should fail")
+	}
+}
+
+func TestFieldPathDepth(t *testing.T) {
+	cases := map[string]int{"": 0, "a": 1, "a.b": 2, "a.b[].c": 3}
+	for path, want := range cases {
+		if got := FieldPathDepth(path); got != want {
+			t.Errorf("depth(%q) = %d, want %d", path, got, want)
+		}
+	}
+}

@@ -1,0 +1,202 @@
+// Package metrics computes the time-related measures of schema evolution
+// defined in §3.2 of the paper: the Project Update Period, schema birth
+// (point and volume), top-band attainment, the growth and tail intervals,
+// vault detection and the active-growth-months measures, plus the 20-point
+// resampled cumulative vector used for cohesion analysis (§5.2).
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"schemaevo/internal/history"
+)
+
+// TopBandThreshold is the fraction of total activity whose attainment the
+// paper calls "reaching the top band" (90%).
+const TopBandThreshold = 0.9
+
+// VaultThreshold is the maximum birth-to-top interval (as a fraction of
+// the PUP) for the transition to count as a vault (10%).
+const VaultThreshold = 0.10
+
+// VectorLen is the number of samples of the resampled cumulative line
+// (one per 5% of normalized time: 0%, 5%, ..., 95%).
+const VectorLen = 20
+
+// Measures holds every time-related measure for one project.
+type Measures struct {
+	// Project is the project name, carried for reporting.
+	Project string
+
+	// PUPMonths is the Project Update Period in months (granule of the
+	// study), from the originating commit to the last commit, inclusive.
+	PUPMonths int
+
+	// HasSchema reports whether any schema activity was ever observed.
+	// When false, every other schema measure is zero and meaningless.
+	HasSchema bool
+
+	// BirthMonth is the month index (0-based, 0 = V_p^0's month) of the
+	// first schema activity.
+	BirthMonth int
+	// BirthPct is BirthMonth on normalized [0,1] project time.
+	BirthPct float64
+	// BirthVolumePct is the fraction of total schema activity that the
+	// birth month carries.
+	BirthVolumePct float64
+
+	// TopBandMonth is the month index at which cumulative activity first
+	// reaches TopBandThreshold.
+	TopBandMonth int
+	// TopBandPct is TopBandMonth on normalized time.
+	TopBandPct float64
+
+	// IntervalBirthToTopPct is the normalized growth interval
+	// (TopBandPct - BirthPct).
+	IntervalBirthToTopPct float64
+	// IntervalTopToEndPct is the normalized tail (1 - TopBandPct).
+	IntervalTopToEndPct float64
+
+	// HasVault reports a birth-to-top transition shorter than
+	// VaultThreshold of the project's life.
+	HasVault bool
+
+	// ActiveGrowthMonths counts months with schema activity strictly
+	// between BirthMonth and TopBandMonth (the paper's "proper interval").
+	ActiveGrowthMonths int
+	// ActivePctGrowth normalizes ActiveGrowthMonths by the length of the
+	// proper growth interval; zero when the interval is empty.
+	ActivePctGrowth float64
+	// ActivePctPUP normalizes ActiveGrowthMonths by the PUP.
+	ActivePctPUP float64
+
+	// TotalActivity is the total number of affected attributes, and
+	// Expansion/Maintenance its §6.3 split.
+	TotalActivity int
+	Expansion     int
+	Maintenance   int
+
+	// TablesAtBirth and AttrsAtBirth size the schema at its first version.
+	TablesAtBirth int
+	AttrsAtBirth  int
+	// TablesAtEnd and AttrsAtEnd size the final schema.
+	TablesAtEnd int
+	AttrsAtEnd  int
+
+	// Vector is the cumulative schema line resampled at VectorLen points
+	// of normalized time (0%, 5%, ..., 95%).
+	Vector []float64
+}
+
+// PctOfPUP maps a month index to normalized [0,1] project time. A
+// single-month project maps every index to 0.
+func PctOfPUP(month, pupMonths int) float64 {
+	if pupMonths <= 1 {
+		return 0
+	}
+	return float64(month) / float64(pupMonths-1)
+}
+
+// Compute derives all measures from a history.
+func Compute(h *history.History) Measures {
+	m := Measures{
+		Project:       h.Project,
+		PUPMonths:     h.Months(),
+		TotalActivity: h.TotalActivity(),
+		Expansion:     h.ExpansionTotal,
+		Maintenance:   h.MaintenanceTotal,
+		BirthMonth:    -1,
+		TopBandMonth:  -1,
+	}
+	if len(h.Versions) > 0 {
+		first := h.Versions[0]
+		m.TablesAtBirth = first.Schema.TableCount()
+		m.AttrsAtBirth = first.Schema.AttributeCount()
+		last := h.FinalSchema()
+		m.TablesAtEnd = last.TableCount()
+		m.AttrsAtEnd = last.AttributeCount()
+	}
+	cum := h.SchemaCumulative()
+	m.Vector = Resample(cum, VectorLen)
+	if m.TotalActivity == 0 {
+		return m
+	}
+	m.HasSchema = true
+
+	for i, v := range h.SchemaMonthly {
+		if v > 0 {
+			m.BirthMonth = i
+			m.BirthVolumePct = float64(v) / float64(m.TotalActivity)
+			break
+		}
+	}
+	for i, c := range cum {
+		if c >= TopBandThreshold-1e-12 {
+			m.TopBandMonth = i
+			break
+		}
+	}
+	m.BirthPct = PctOfPUP(m.BirthMonth, m.PUPMonths)
+	m.TopBandPct = PctOfPUP(m.TopBandMonth, m.PUPMonths)
+	m.IntervalBirthToTopPct = m.TopBandPct - m.BirthPct
+	m.IntervalTopToEndPct = 1 - m.TopBandPct
+	m.HasVault = m.IntervalBirthToTopPct < VaultThreshold
+
+	for i := m.BirthMonth + 1; i < m.TopBandMonth; i++ {
+		if h.SchemaMonthly[i] > 0 {
+			m.ActiveGrowthMonths++
+		}
+	}
+	if growth := m.TopBandMonth - m.BirthMonth - 1; growth > 0 {
+		m.ActivePctGrowth = float64(m.ActiveGrowthMonths) / float64(growth)
+	}
+	if m.PUPMonths > 0 {
+		m.ActivePctPUP = float64(m.ActiveGrowthMonths) / float64(m.PUPMonths)
+	}
+	return m
+}
+
+// Resample samples a cumulative monthly series at n evenly spaced points
+// of normalized time (0, 1/n, 2/n, ... (n-1)/n), by nearest month. An
+// empty series yields n zeros.
+func Resample(cum []float64, n int) []float64 {
+	out := make([]float64, n)
+	if len(cum) == 0 {
+		return out
+	}
+	last := len(cum) - 1
+	for i := 0; i < n; i++ {
+		f := float64(i) / float64(n)
+		idx := int(math.Round(f * float64(last)))
+		out[i] = cum[idx]
+	}
+	return out
+}
+
+// Validate checks internal consistency of the measures; it is used by
+// property tests and as a guard in the corpus pipeline.
+func (m *Measures) Validate() error {
+	if !m.HasSchema {
+		if m.TotalActivity != 0 {
+			return fmt.Errorf("metrics: %s: no schema but activity %d", m.Project, m.TotalActivity)
+		}
+		return nil
+	}
+	if m.BirthMonth < 0 || m.BirthMonth >= m.PUPMonths {
+		return fmt.Errorf("metrics: %s: birth month %d outside PUP %d", m.Project, m.BirthMonth, m.PUPMonths)
+	}
+	if m.TopBandMonth < m.BirthMonth {
+		return fmt.Errorf("metrics: %s: top band %d before birth %d", m.Project, m.TopBandMonth, m.BirthMonth)
+	}
+	if m.BirthVolumePct <= 0 || m.BirthVolumePct > 1+1e-9 {
+		return fmt.Errorf("metrics: %s: birth volume %f out of range", m.Project, m.BirthVolumePct)
+	}
+	if m.IntervalBirthToTopPct < -1e-9 || m.IntervalTopToEndPct < -1e-9 {
+		return fmt.Errorf("metrics: %s: negative interval", m.Project)
+	}
+	if s := m.BirthPct + m.IntervalBirthToTopPct + m.IntervalTopToEndPct; math.Abs(s-1) > 1e-9 {
+		return fmt.Errorf("metrics: %s: intervals sum to %f", m.Project, s)
+	}
+	return nil
+}

@@ -1,0 +1,310 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"schemaevo/internal/history"
+)
+
+// hist builds a synthetic history with the given monthly schema heartbeat.
+func hist(monthly []int) *history.History {
+	return &history.History{
+		Project:       "test",
+		SchemaMonthly: monthly,
+		SourceMonthly: make([]int, len(monthly)),
+	}
+}
+
+func TestFlatlinerShape(t *testing.T) {
+	// All change in month 0, 24-month project.
+	monthly := make([]int, 24)
+	monthly[0] = 10
+	m := Compute(hist(monthly))
+	if !m.HasSchema {
+		t.Fatal("schema not detected")
+	}
+	if m.BirthMonth != 0 || m.BirthPct != 0 {
+		t.Errorf("birth: %d %f", m.BirthMonth, m.BirthPct)
+	}
+	if m.BirthVolumePct != 1.0 {
+		t.Errorf("birth volume = %f", m.BirthVolumePct)
+	}
+	if m.TopBandMonth != 0 || m.TopBandPct != 0 {
+		t.Errorf("top band: %d %f", m.TopBandMonth, m.TopBandPct)
+	}
+	if !m.HasVault {
+		t.Error("flatliner must have a vault")
+	}
+	if m.ActiveGrowthMonths != 0 || m.IntervalBirthToTopPct != 0 {
+		t.Errorf("growth: %d %f", m.ActiveGrowthMonths, m.IntervalBirthToTopPct)
+	}
+	if m.IntervalTopToEndPct != 1.0 {
+		t.Errorf("tail = %f", m.IntervalTopToEndPct)
+	}
+	if err := m.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMidLifeSigmoidShape(t *testing.T) {
+	// 21 months; all change in month 10 (normalized 0.5).
+	monthly := make([]int, 21)
+	monthly[10] = 40
+	m := Compute(hist(monthly))
+	if math.Abs(m.BirthPct-0.5) > 1e-9 {
+		t.Errorf("birth pct = %f", m.BirthPct)
+	}
+	if m.TopBandMonth != 10 {
+		t.Errorf("top band month = %d", m.TopBandMonth)
+	}
+	if !m.HasVault {
+		t.Error("single-shot change must be a vault")
+	}
+	if math.Abs(m.IntervalTopToEndPct-0.5) > 1e-9 {
+		t.Errorf("tail = %f", m.IntervalTopToEndPct)
+	}
+}
+
+func TestRegularCurationShape(t *testing.T) {
+	// 21 months, change every other month from 0 to 20: 1+10 active points.
+	monthly := make([]int, 21)
+	for i := 0; i <= 20; i += 2 {
+		monthly[i] = 5
+	}
+	m := Compute(hist(monthly))
+	if m.BirthMonth != 0 {
+		t.Errorf("birth = %d", m.BirthMonth)
+	}
+	// total 55; 90% at cumulative 49.5 → month 18 (cum 50).
+	if m.TopBandMonth != 18 {
+		t.Errorf("top band = %d", m.TopBandMonth)
+	}
+	if m.HasVault {
+		t.Error("spread change should not be a vault")
+	}
+	// Active months strictly between 0 and 18: months 2..16 even = 8.
+	if m.ActiveGrowthMonths != 8 {
+		t.Errorf("active growth months = %d", m.ActiveGrowthMonths)
+	}
+	if m.ActivePctGrowth <= 0.4 {
+		t.Errorf("active pct growth = %f", m.ActivePctGrowth)
+	}
+	if err := m.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNoSchema(t *testing.T) {
+	m := Compute(hist(make([]int, 15)))
+	if m.HasSchema {
+		t.Error("no activity should mean no schema")
+	}
+	if m.BirthMonth != -1 || m.TopBandMonth != -1 {
+		t.Errorf("sentinels: %d %d", m.BirthMonth, m.TopBandMonth)
+	}
+	if err := m.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPctOfPUP(t *testing.T) {
+	if PctOfPUP(0, 1) != 0 || PctOfPUP(0, 13) != 0 {
+		t.Error("month 0 must map to 0")
+	}
+	if PctOfPUP(12, 13) != 1 {
+		t.Error("last month must map to 1")
+	}
+	if got := PctOfPUP(6, 13); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("mid month = %f", got)
+	}
+}
+
+func TestResample(t *testing.T) {
+	cum := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+	v := Resample(cum, 20)
+	if len(v) != 20 {
+		t.Fatalf("len = %d", len(v))
+	}
+	if v[0] != 0.1 {
+		t.Errorf("v[0] = %f", v[0])
+	}
+	if v[19] < 0.9 {
+		t.Errorf("v[19] = %f", v[19])
+	}
+	for i := 1; i < 20; i++ {
+		if v[i] < v[i-1] {
+			t.Errorf("resample not monotone at %d: %v", i, v)
+		}
+	}
+	empty := Resample(nil, 20)
+	for _, x := range empty {
+		if x != 0 {
+			t.Error("empty series must resample to zeros")
+		}
+	}
+}
+
+func TestVaultBoundary(t *testing.T) {
+	// 101 months: birth at 0, top reached at month 9 → interval 0.09 < 0.10: vault.
+	monthly := make([]int, 101)
+	monthly[0] = 10
+	monthly[9] = 90
+	m := Compute(hist(monthly))
+	if !m.HasVault {
+		t.Errorf("interval %f should be a vault", m.IntervalBirthToTopPct)
+	}
+	// Top at month 11 → interval 0.11 ≥ 0.10: no vault.
+	monthly2 := make([]int, 101)
+	monthly2[0] = 10
+	monthly2[11] = 90
+	m2 := Compute(hist(monthly2))
+	if m2.HasVault {
+		t.Errorf("interval %f should not be a vault", m2.IntervalBirthToTopPct)
+	}
+}
+
+func TestTopBandNeedsNinetyPercent(t *testing.T) {
+	// 89% at birth, final 11% at the end: top band only at the last month.
+	monthly := make([]int, 10)
+	monthly[0] = 89
+	monthly[9] = 11
+	m := Compute(hist(monthly))
+	if m.TopBandMonth != 9 {
+		t.Errorf("top band = %d, want 9", m.TopBandMonth)
+	}
+	// Exactly 90% at birth counts.
+	monthly2 := make([]int, 10)
+	monthly2[0] = 90
+	monthly2[9] = 10
+	m2 := Compute(hist(monthly2))
+	if m2.TopBandMonth != 0 {
+		t.Errorf("top band = %d, want 0", m2.TopBandMonth)
+	}
+}
+
+func TestActiveGrowthExcludesEndpoints(t *testing.T) {
+	monthly := make([]int, 30)
+	monthly[5] = 10  // birth
+	monthly[10] = 10 // in growth
+	monthly[15] = 10 // in growth
+	monthly[20] = 70 // crosses top band
+	m := Compute(hist(monthly))
+	if m.TopBandMonth != 20 {
+		t.Fatalf("top band = %d", m.TopBandMonth)
+	}
+	if m.ActiveGrowthMonths != 2 {
+		t.Errorf("active growth = %d, want 2 (endpoints excluded)", m.ActiveGrowthMonths)
+	}
+	if want := 2.0 / 14.0; math.Abs(m.ActivePctGrowth-want) > 1e-9 {
+		t.Errorf("active pct growth = %f, want %f", m.ActivePctGrowth, want)
+	}
+	if want := 2.0 / 30.0; math.Abs(m.ActivePctPUP-want) > 1e-9 {
+		t.Errorf("active pct PUP = %f, want %f", m.ActivePctPUP, want)
+	}
+}
+
+// TestComputeInvariantsRandom is a property test over random heartbeats.
+func TestComputeInvariantsRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 500; trial++ {
+		months := rng.Intn(120) + 1
+		monthly := make([]int, months)
+		events := rng.Intn(10)
+		for e := 0; e < events; e++ {
+			monthly[rng.Intn(months)] += rng.Intn(50) + 1
+		}
+		m := Compute(hist(monthly))
+		if err := m.Validate(); err != nil {
+			t.Fatalf("trial %d (monthly %v): %v", trial, monthly, err)
+		}
+		if m.HasSchema {
+			if m.Vector[0] < 0 || m.Vector[VectorLen-1] > 1+1e-9 {
+				t.Fatalf("trial %d: vector out of range %v", trial, m.Vector)
+			}
+			for i := 1; i < VectorLen; i++ {
+				if m.Vector[i] < m.Vector[i-1]-1e-12 {
+					t.Fatalf("trial %d: vector not monotone", trial)
+				}
+			}
+		}
+	}
+}
+
+func TestCountVaults(t *testing.T) {
+	// One vault: everything at month 0 of 20.
+	single := history.Cumulative(append([]int{100}, make([]int, 19)...))
+	if got := CountVaults(single, DefaultVaultGain); got != 1 {
+		t.Errorf("single burst vaults = %d", got)
+	}
+	// Two vaults: half at month 0, half at month 30 of a 60-month life.
+	monthly := make([]int, 60)
+	monthly[0], monthly[30] = 50, 50
+	if got := CountVaults(history.Cumulative(monthly), DefaultVaultGain); got != 2 {
+		t.Errorf("double burst vaults = %d", got)
+	}
+	// No vault: perfectly gradual growth over 60 months (each 10%-of-life
+	// window gains ~10% < 25%).
+	gradual := make([]int, 60)
+	for i := range gradual {
+		gradual[i] = 1
+	}
+	if got := CountVaults(history.Cumulative(gradual), DefaultVaultGain); got != 0 {
+		t.Errorf("gradual growth vaults = %d", got)
+	}
+	// Empty line.
+	if got := CountVaults(nil, DefaultVaultGain); got != 0 {
+		t.Errorf("empty vaults = %d", got)
+	}
+	// Zero-activity line.
+	if got := CountVaults(make([]float64, 30), DefaultVaultGain); got != 0 {
+		t.Errorf("flat-zero vaults = %d", got)
+	}
+}
+
+func TestCountVaultsShortProject(t *testing.T) {
+	// A 13-month project with one burst: window rounds down to ~2 months.
+	monthly := make([]int, 13)
+	monthly[5] = 10
+	if got := CountVaults(history.Cumulative(monthly), DefaultVaultGain); got != 1 {
+		t.Errorf("vaults = %d", got)
+	}
+}
+
+func TestGiniConcentration(t *testing.T) {
+	// Single burst in a long life: maximal concentration.
+	burst := make([]int, 50)
+	burst[10] = 100
+	if g := GiniConcentration(burst); g < 0.95 {
+		t.Errorf("single burst gini = %v", g)
+	}
+	// Perfectly even spread: zero concentration.
+	even := make([]int, 50)
+	for i := range even {
+		even[i] = 3
+	}
+	if g := GiniConcentration(even); math.Abs(g) > 1e-9 {
+		t.Errorf("even spread gini = %v", g)
+	}
+	// Half the months active: intermediate.
+	half := make([]int, 40)
+	for i := 0; i < 20; i++ {
+		half[i] = 5
+	}
+	g := GiniConcentration(half)
+	if g < 0.4 || g > 0.6 {
+		t.Errorf("half-active gini = %v", g)
+	}
+	if GiniConcentration(nil) != 0 || GiniConcentration(make([]int, 5)) != 0 {
+		t.Error("degenerate inputs must be 0")
+	}
+	// Scale invariance.
+	double := make([]int, len(burst))
+	for i, v := range burst {
+		double[i] = v * 2
+	}
+	if math.Abs(GiniConcentration(burst)-GiniConcentration(double)) > 1e-12 {
+		t.Error("gini not scale invariant")
+	}
+}

@@ -1,0 +1,74 @@
+package metrics
+
+import "sort"
+
+// CountVaults counts the vaults of a cumulative line: maximal climb
+// episodes that gain at least minGain of the total activity within a
+// window of at most VaultThreshold of the project's life. The §3.4
+// statistic "58% of the projects had a single vault" is CountVaults == 1
+// with the paper's 25% gain threshold.
+func CountVaults(cum []float64, minGain float64) int {
+	n := len(cum)
+	if n == 0 {
+		return 0
+	}
+	window := int(VaultThreshold*float64(n-1)) + 1
+	if window < 1 {
+		window = 1
+	}
+	vaults := 0
+	i := 0
+	for i < n {
+		// Find the largest gain achievable from month i within the window.
+		end := i + window
+		if end > n-1 {
+			end = n - 1
+		}
+		var base float64
+		if i > 0 {
+			base = cum[i-1]
+		}
+		gain := cum[end] - base
+		if gain >= minGain {
+			vaults++
+			// Skip past this climb: advance to the first month after the
+			// window where the line is flat again.
+			i = end + 1
+			continue
+		}
+		i++
+	}
+	return vaults
+}
+
+// DefaultVaultGain is the minimum share of total activity a climb must
+// carry to count as a vault (a quarter of all activity).
+const DefaultVaultGain = 0.25
+
+// GiniConcentration measures how concentrated a monthly heartbeat is: 0
+// means change spread evenly over every month, values near 1 mean change
+// packed into very few months. It quantifies the paper's observation that
+// curators "prefer clustered groups of schema changes rather than
+// constant incremental maintenance".
+func GiniConcentration(monthly []int) float64 {
+	n := len(monthly)
+	if n == 0 {
+		return 0
+	}
+	total := 0
+	for _, v := range monthly {
+		total += v
+	}
+	if total == 0 {
+		return 0
+	}
+	// Gini = (2 * sum(i * x_sorted_i) / (n * total)) - (n + 1) / n,
+	// with 1-based ranks over ascending values.
+	sorted := append([]int(nil), monthly...)
+	sort.Ints(sorted)
+	weighted := 0.0
+	for i, v := range sorted {
+		weighted += float64(i+1) * float64(v)
+	}
+	return 2*weighted/(float64(n)*float64(total)) - float64(n+1)/float64(n)
+}

@@ -1,0 +1,149 @@
+// Package predict implements the §6.2 estimator: given the month of
+// schema birth, what pattern (and family) will the project's schema
+// evolution follow? It reproduces the probability table of Fig. 7 and the
+// headline rigidity probabilities, with an optional Laplace-smoothed
+// variant for out-of-corpus use.
+package predict
+
+import (
+	"fmt"
+
+	"schemaevo/internal/core"
+)
+
+// Bucket is a Fig. 7 birth-month bucket.
+type Bucket int
+
+// The four birth buckets of Fig. 7.
+const (
+	BornM0 Bucket = iota
+	BornM1to6
+	BornM7to12
+	BornAfterM12
+	numBuckets
+)
+
+func (b Bucket) String() string {
+	return [...]string{"M0", "M1..M6", "M7..M12", ">M12"}[b]
+}
+
+// AllBuckets lists the buckets in order.
+var AllBuckets = []Bucket{BornM0, BornM1to6, BornM7to12, BornAfterM12}
+
+// BucketFor maps an absolute birth month (0-based) to its bucket.
+func BucketFor(birthMonth int) Bucket {
+	switch {
+	case birthMonth <= 0:
+		return BornM0
+	case birthMonth <= 6:
+		return BornM1to6
+	case birthMonth <= 12:
+		return BornM7to12
+	default:
+		return BornAfterM12
+	}
+}
+
+// Observation is one training point: a project's birth month and its
+// assigned pattern.
+type Observation struct {
+	BirthMonth int
+	Pattern    core.Pattern
+}
+
+// Estimator holds the empirical counts behind Fig. 7.
+type Estimator struct {
+	counts  [numBuckets]map[core.Pattern]int
+	totals  [numBuckets]int
+	overall map[core.Pattern]int
+	n       int
+}
+
+// Fit builds the estimator from observations.
+func Fit(obs []Observation) (*Estimator, error) {
+	if len(obs) == 0 {
+		return nil, fmt.Errorf("predict: no observations")
+	}
+	e := &Estimator{overall: map[core.Pattern]int{}}
+	for b := range e.counts {
+		e.counts[b] = map[core.Pattern]int{}
+	}
+	for _, o := range obs {
+		if o.Pattern == core.Unclassified {
+			return nil, fmt.Errorf("predict: observation with unclassified pattern")
+		}
+		b := BucketFor(o.BirthMonth)
+		e.counts[b][o.Pattern]++
+		e.totals[b]++
+		e.overall[o.Pattern]++
+		e.n++
+	}
+	return e, nil
+}
+
+// N returns the number of observations.
+func (e *Estimator) N() int { return e.n }
+
+// Count returns the observation count for a bucket/pattern cell.
+func (e *Estimator) Count(b Bucket, p core.Pattern) int { return e.counts[b][p] }
+
+// BucketTotal returns the number of observations in a bucket.
+func (e *Estimator) BucketTotal(b Bucket) int { return e.totals[b] }
+
+// OverallCount returns the total observation count for a pattern.
+func (e *Estimator) OverallCount(p core.Pattern) int { return e.overall[p] }
+
+// OverallProb returns the unconditional probability of the pattern.
+func (e *Estimator) OverallProb(p core.Pattern) float64 {
+	return float64(e.overall[p]) / float64(e.n)
+}
+
+// Prob returns P(pattern | birth bucket) from the raw counts; it is 0
+// for empty buckets.
+func (e *Estimator) Prob(b Bucket, p core.Pattern) float64 {
+	if e.totals[b] == 0 {
+		return 0
+	}
+	return float64(e.counts[b][p]) / float64(e.totals[b])
+}
+
+// ProbSmoothed returns the Laplace-smoothed P(pattern | bucket) with
+// pseudo-count alpha per pattern, usable even for empty buckets.
+func (e *Estimator) ProbSmoothed(b Bucket, p core.Pattern, alpha float64) float64 {
+	den := float64(e.totals[b]) + alpha*float64(len(core.AllPatterns))
+	return (float64(e.counts[b][p]) + alpha) / den
+}
+
+// FamilyProb returns P(family | birth bucket).
+func (e *Estimator) FamilyProb(b Bucket, f core.Family) float64 {
+	if e.totals[b] == 0 {
+		return 0
+	}
+	n := 0
+	for p, c := range e.counts[b] {
+		if core.FamilyOf(p) == f {
+			n += c
+		}
+	}
+	return float64(n) / float64(e.totals[b])
+}
+
+// RigidityProb is the paper's headline §6.2 number: the probability that
+// a schema born in the bucket stays essentially frozen (flatliner or
+// radical sign).
+func (e *Estimator) RigidityProb(b Bucket) float64 {
+	return e.Prob(b, core.Flatliner) + e.Prob(b, core.RadicalSign)
+}
+
+// PredictPattern returns the most probable pattern for a birth month and
+// its probability (raw counts; ties broken by pattern order).
+func (e *Estimator) PredictPattern(birthMonth int) (core.Pattern, float64) {
+	b := BucketFor(birthMonth)
+	best, bestP := core.Unclassified, -1.0
+	for _, p := range core.AllPatterns {
+		if pr := e.Prob(b, p); pr > bestP {
+			best, bestP = p, pr
+		}
+	}
+	return best, bestP
+}

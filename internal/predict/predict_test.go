@@ -1,0 +1,130 @@
+package predict
+
+import (
+	"math"
+	"testing"
+
+	"schemaevo/internal/core"
+)
+
+func TestBucketFor(t *testing.T) {
+	cases := map[int]Bucket{
+		0: BornM0, 1: BornM1to6, 6: BornM1to6,
+		7: BornM7to12, 12: BornM7to12, 13: BornAfterM12, 99: BornAfterM12,
+	}
+	for month, want := range cases {
+		if got := BucketFor(month); got != want {
+			t.Errorf("BucketFor(%d) = %v, want %v", month, got, want)
+		}
+	}
+}
+
+func sampleObs() []Observation {
+	var obs []Observation
+	add := func(n, month int, p core.Pattern) {
+		for i := 0; i < n; i++ {
+			obs = append(obs, Observation{BirthMonth: month, Pattern: p})
+		}
+	}
+	// A miniature Fig. 7: M0 dominated by flatliners, late births by
+	// sigmoids.
+	add(6, 0, core.Flatliner)
+	add(2, 0, core.RadicalSign)
+	add(2, 0, core.Siesta)
+	add(5, 3, core.RadicalSign)
+	add(5, 3, core.QuantumSteps)
+	add(4, 20, core.Sigmoid)
+	add(1, 20, core.LateRiser)
+	return obs
+}
+
+func TestFitAndProb(t *testing.T) {
+	e, err := Fit(sampleObs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.N() != 25 {
+		t.Fatalf("n = %d", e.N())
+	}
+	if got := e.Prob(BornM0, core.Flatliner); math.Abs(got-0.6) > 1e-12 {
+		t.Errorf("P(flatliner|M0) = %v", got)
+	}
+	if got := e.Prob(BornM1to6, core.RadicalSign); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("P(radical|M1-6) = %v", got)
+	}
+	if got := e.Prob(BornM7to12, core.Sigmoid); got != 0 {
+		t.Errorf("empty bucket prob = %v", got)
+	}
+	if got := e.OverallProb(core.Sigmoid); math.Abs(got-4.0/25.0) > 1e-12 {
+		t.Errorf("overall sigmoid = %v", got)
+	}
+	if e.Count(BornAfterM12, core.Sigmoid) != 4 || e.BucketTotal(BornAfterM12) != 5 {
+		t.Errorf("counts: %d/%d", e.Count(BornAfterM12, core.Sigmoid), e.BucketTotal(BornAfterM12))
+	}
+}
+
+func TestProbsSumToOnePerBucket(t *testing.T) {
+	e, _ := Fit(sampleObs())
+	for _, b := range AllBuckets {
+		if e.BucketTotal(b) == 0 {
+			continue
+		}
+		sum := 0.0
+		for _, p := range core.AllPatterns {
+			sum += e.Prob(b, p)
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Errorf("bucket %v probabilities sum to %v", b, sum)
+		}
+	}
+}
+
+func TestFamilyAndRigidity(t *testing.T) {
+	e, _ := Fit(sampleObs())
+	// M0: 8 of 10 are BQBD (6 flat + 2 radical).
+	if got := e.FamilyProb(BornM0, core.BeQuickOrBeDead); math.Abs(got-0.8) > 1e-12 {
+		t.Errorf("family prob = %v", got)
+	}
+	if got := e.RigidityProb(BornM0); math.Abs(got-0.8) > 1e-12 {
+		t.Errorf("rigidity = %v", got)
+	}
+}
+
+func TestSmoothing(t *testing.T) {
+	e, _ := Fit(sampleObs())
+	// Empty bucket: smoothed probability is uniform.
+	got := e.ProbSmoothed(BornM7to12, core.Sigmoid, 1)
+	want := 1.0 / float64(len(core.AllPatterns))
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("smoothed empty bucket = %v, want %v", got, want)
+	}
+	// Smoothed probabilities still sum to 1.
+	sum := 0.0
+	for _, p := range core.AllPatterns {
+		sum += e.ProbSmoothed(BornM0, p, 0.5)
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("smoothed sum = %v", sum)
+	}
+}
+
+func TestPredictPattern(t *testing.T) {
+	e, _ := Fit(sampleObs())
+	p, prob := e.PredictPattern(0)
+	if p != core.Flatliner || math.Abs(prob-0.6) > 1e-12 {
+		t.Errorf("predict M0 = %v (%v)", p, prob)
+	}
+	p, _ = e.PredictPattern(25)
+	if p != core.Sigmoid {
+		t.Errorf("predict late = %v", p)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(nil); err == nil {
+		t.Error("no observations should error")
+	}
+	if _, err := Fit([]Observation{{0, core.Unclassified}}); err == nil {
+		t.Error("unclassified observation should error")
+	}
+}

@@ -1,0 +1,337 @@
+// Package quantize maps the continuous time-related measures onto the
+// ordinal labels of Table 1 of the paper. The cut points live in a Scheme
+// value so that the label-sensitivity ablation can perturb them; the
+// paper's exact limits are DefaultScheme.
+package quantize
+
+import (
+	"fmt"
+
+	"schemaevo/internal/metrics"
+)
+
+// BirthVolumeClass labels the fraction of total activity at schema birth.
+type BirthVolumeClass int
+
+// Birth-volume labels (Table 1, row 1).
+const (
+	BirthVolLow  BirthVolumeClass = iota // <= 0.25
+	BirthVolFair                         // (0.25 .. 0.75]
+	BirthVolHigh                         // (0.75 .. 1)
+	BirthVolFull                         // exactly 1
+)
+
+func (c BirthVolumeClass) String() string {
+	return [...]string{"low", "fair", "high", "full"}[c]
+}
+
+// TimingClass labels a time point on normalized project time. It is used
+// both for the point of schema birth and for top-band attainment.
+type TimingClass int
+
+// Timing labels (Table 1, rows 2-3).
+const (
+	TimingVP0    TimingClass = iota // the originating month, V_p^0
+	TimingEarly                     // (0 .. 0.25]
+	TimingMiddle                    // (0.25 .. 0.75]
+	TimingLate                      // > 0.75
+)
+
+func (c TimingClass) String() string {
+	return [...]string{"vp0", "early", "middle", "late"}[c]
+}
+
+// GrowthIntervalClass labels the normalized interval from schema birth to
+// top-band attainment.
+type GrowthIntervalClass int
+
+// Growth-interval labels (Table 1, row 4).
+const (
+	GrowthZero     GrowthIntervalClass = iota // exactly 0
+	GrowthSoon                                // (0 .. 0.1]
+	GrowthFair                                // (0.1 .. 0.35]
+	GrowthLong                                // (0.35 .. 0.75]
+	GrowthVeryLong                            // > 0.75
+)
+
+func (c GrowthIntervalClass) String() string {
+	return [...]string{"zero", "soon", "fair", "long", "vlong"}[c]
+}
+
+// TailClass labels the normalized interval from top-band attainment to
+// the end of the project.
+type TailClass int
+
+// Tail labels (Table 1, row 5).
+const (
+	TailSoon TailClass = iota // <= 0.25
+	TailFair                  // (0.25 .. 0.75]
+	TailLong                  // (0.75 .. 1)
+	TailFull                  // exactly 1 (top band attained at V_p^0)
+)
+
+func (c TailClass) String() string {
+	return [...]string{"soon", "fair", "long", "full"}[c]
+}
+
+// ActiveGrowthClass labels active months as a fraction of the growth
+// period.
+type ActiveGrowthClass int
+
+// Active-growth labels (Table 1, row 6).
+const (
+	ActGrowthZero ActiveGrowthClass = iota // exactly 0
+	ActGrowthFew                           // (0 .. 0.2]
+	ActGrowthFair                          // (0.2 .. 0.75]
+	ActGrowthHigh                          // > 0.75
+)
+
+func (c ActiveGrowthClass) String() string {
+	return [...]string{"zero", "few", "fair", "high"}[c]
+}
+
+// ActivePUPClass labels active months as a fraction of the PUP.
+type ActivePUPClass int
+
+// Active-per-PUP labels (Table 1, row 7).
+const (
+	ActPUPZero  ActivePUPClass = iota // exactly 0
+	ActPUPFair                        // (0 .. 0.08]
+	ActPUPHigh                        // (0.08 .. 0.5]
+	ActPUPUltra                       // > 0.5
+)
+
+func (c ActivePUPClass) String() string {
+	return [...]string{"zero", "fair", "high", "ultra"}[c]
+}
+
+// Scheme holds the quantization cut points. The zero value is invalid;
+// use DefaultScheme (the paper's Table 1) or derive a perturbed copy.
+type Scheme struct {
+	// BirthVolLowMax and BirthVolFairMax bound the low and fair birth
+	// volume classes (high runs to, but not including, 1).
+	BirthVolLowMax  float64
+	BirthVolFairMax float64
+	// TimingEarlyMax and TimingMiddleMax bound the early and middle
+	// timing classes.
+	TimingEarlyMax  float64
+	TimingMiddleMax float64
+	// GrowthSoonMax, GrowthFairMax, GrowthLongMax bound the growth
+	// interval classes.
+	GrowthSoonMax float64
+	GrowthFairMax float64
+	GrowthLongMax float64
+	// TailSoonMax and TailFairMax bound the tail classes.
+	TailSoonMax float64
+	TailFairMax float64
+	// ActGrowthFewMax and ActGrowthFairMax bound the active-growth
+	// classes.
+	ActGrowthFewMax  float64
+	ActGrowthFairMax float64
+	// ActPUPFairMax and ActPUPHighMax bound the active-per-PUP classes.
+	ActPUPFairMax float64
+	ActPUPHighMax float64
+}
+
+// DefaultScheme is the quantization of Table 1 of the paper.
+func DefaultScheme() Scheme {
+	return Scheme{
+		BirthVolLowMax:   0.25,
+		BirthVolFairMax:  0.75,
+		TimingEarlyMax:   0.25,
+		TimingMiddleMax:  0.75,
+		GrowthSoonMax:    0.10,
+		GrowthFairMax:    0.35,
+		GrowthLongMax:    0.75,
+		TailSoonMax:      0.25,
+		TailFairMax:      0.75,
+		ActGrowthFewMax:  0.20,
+		ActGrowthFairMax: 0.75,
+		ActPUPFairMax:    0.08,
+		ActPUPHighMax:    0.50,
+	}
+}
+
+const eps = 1e-9
+
+// Labels is the full ordinal profile of one project.
+type Labels struct {
+	BirthVolume        BirthVolumeClass
+	BirthTiming        TimingClass
+	TopBandPoint       TimingClass
+	IntervalBirthToTop GrowthIntervalClass
+	IntervalTopToEnd   TailClass
+	ActivePctGrowth    ActiveGrowthClass
+	ActivePctPUP       ActivePUPClass
+	// HasVault and ActiveGrowthMonths are carried over verbatim: the
+	// pattern definitions of §4 use them alongside the ordinal labels.
+	HasVault           bool
+	ActiveGrowthMonths int
+}
+
+// Compute quantizes the measures under the scheme. The measures must
+// describe a project with schema activity (HasSchema).
+func Compute(m metrics.Measures, s Scheme) Labels {
+	return Labels{
+		BirthVolume:        s.birthVolume(m.BirthVolumePct),
+		BirthTiming:        s.timing(m.BirthMonth, m.BirthPct),
+		TopBandPoint:       s.timing(m.TopBandMonth, m.TopBandPct),
+		IntervalBirthToTop: s.growthInterval(m.TopBandMonth-m.BirthMonth, m.IntervalBirthToTopPct),
+		IntervalTopToEnd:   s.tail(m.TopBandMonth, m.IntervalTopToEndPct),
+		ActivePctGrowth:    s.activeGrowth(m.ActiveGrowthMonths, m.ActivePctGrowth),
+		ActivePctPUP:       s.activePUP(m.ActiveGrowthMonths, m.ActivePctPUP),
+		HasVault:           m.HasVault,
+		ActiveGrowthMonths: m.ActiveGrowthMonths,
+	}
+}
+
+func (s Scheme) birthVolume(v float64) BirthVolumeClass {
+	switch {
+	case v >= 1-eps:
+		return BirthVolFull
+	case v > s.BirthVolFairMax:
+		return BirthVolHigh
+	case v > s.BirthVolLowMax:
+		return BirthVolFair
+	default:
+		return BirthVolLow
+	}
+}
+
+// timing distinguishes V_p^0 by the month index, not the percentage: in a
+// long project several early months map to tiny percentages, but only
+// month zero is the originating version.
+func (s Scheme) timing(month int, pct float64) TimingClass {
+	switch {
+	case month == 0:
+		return TimingVP0
+	case pct <= s.TimingEarlyMax+eps:
+		return TimingEarly
+	case pct <= s.TimingMiddleMax+eps:
+		return TimingMiddle
+	default:
+		return TimingLate
+	}
+}
+
+// growthInterval uses the month distance for the exact-zero class, so
+// that "birth and top band in the same month" is Zero regardless of
+// rounding.
+func (s Scheme) growthInterval(months int, pct float64) GrowthIntervalClass {
+	switch {
+	case months <= 0:
+		return GrowthZero
+	case pct <= s.GrowthSoonMax+eps:
+		return GrowthSoon
+	case pct <= s.GrowthFairMax+eps:
+		return GrowthFair
+	case pct <= s.GrowthLongMax+eps:
+		return GrowthLong
+	default:
+		return GrowthVeryLong
+	}
+}
+
+// tail treats "top band attained at V_p^0" as the Full class, matching
+// Table 1 where Full (tail = the whole project life) has exactly the
+// flatliner population.
+func (s Scheme) tail(topBandMonth int, pct float64) TailClass {
+	switch {
+	case topBandMonth == 0:
+		return TailFull
+	case pct > s.TailFairMax:
+		return TailLong
+	case pct > s.TailSoonMax:
+		return TailFair
+	default:
+		return TailSoon
+	}
+}
+
+func (s Scheme) activeGrowth(activeMonths int, pct float64) ActiveGrowthClass {
+	switch {
+	case activeMonths == 0:
+		return ActGrowthZero
+	case pct <= s.ActGrowthFewMax+eps:
+		return ActGrowthFew
+	case pct <= s.ActGrowthFairMax+eps:
+		return ActGrowthFair
+	default:
+		return ActGrowthHigh
+	}
+}
+
+func (s Scheme) activePUP(activeMonths int, pct float64) ActivePUPClass {
+	switch {
+	case activeMonths == 0:
+		return ActPUPZero
+	case pct <= s.ActPUPFairMax+eps:
+		return ActPUPFair
+	case pct <= s.ActPUPHighMax+eps:
+		return ActPUPHigh
+	default:
+		return ActPUPUltra
+	}
+}
+
+// FeatureNames lists the label dimensions in a fixed order, used by the
+// decision tree and the domain-space report.
+var FeatureNames = []string{
+	"BirthVolume", "BirthTiming", "TopBandPoint",
+	"IntervalBirthToTop", "IntervalTopToEnd",
+	"ActivePctGrowth", "ActivePctPUP", "HasVault",
+}
+
+// Features renders the labels as a string-valued feature vector aligned
+// with FeatureNames.
+func (l Labels) Features() []string {
+	vault := "false"
+	if l.HasVault {
+		vault = "true"
+	}
+	return []string{
+		l.BirthVolume.String(), l.BirthTiming.String(), l.TopBandPoint.String(),
+		l.IntervalBirthToTop.String(), l.IntervalTopToEnd.String(),
+		l.ActivePctGrowth.String(), l.ActivePctPUP.String(), vault,
+	}
+}
+
+// Validate checks that a (possibly perturbed) scheme's cut points are
+// ordered and inside (0,1); ablations that mutate cut points should
+// validate before classifying.
+func (s Scheme) Validate() error {
+	type bound struct {
+		name string
+		v    float64
+	}
+	inUnit := []bound{
+		{"BirthVolLowMax", s.BirthVolLowMax}, {"BirthVolFairMax", s.BirthVolFairMax},
+		{"TimingEarlyMax", s.TimingEarlyMax}, {"TimingMiddleMax", s.TimingMiddleMax},
+		{"GrowthSoonMax", s.GrowthSoonMax}, {"GrowthFairMax", s.GrowthFairMax},
+		{"GrowthLongMax", s.GrowthLongMax}, {"TailSoonMax", s.TailSoonMax},
+		{"TailFairMax", s.TailFairMax}, {"ActGrowthFewMax", s.ActGrowthFewMax},
+		{"ActGrowthFairMax", s.ActGrowthFairMax}, {"ActPUPFairMax", s.ActPUPFairMax},
+		{"ActPUPHighMax", s.ActPUPHighMax},
+	}
+	for _, b := range inUnit {
+		if b.v <= 0 || b.v >= 1 {
+			return fmt.Errorf("quantize: %s = %v outside (0,1)", b.name, b.v)
+		}
+	}
+	ordered := [][2]bound{
+		{{"BirthVolLowMax", s.BirthVolLowMax}, {"BirthVolFairMax", s.BirthVolFairMax}},
+		{{"TimingEarlyMax", s.TimingEarlyMax}, {"TimingMiddleMax", s.TimingMiddleMax}},
+		{{"GrowthSoonMax", s.GrowthSoonMax}, {"GrowthFairMax", s.GrowthFairMax}},
+		{{"GrowthFairMax", s.GrowthFairMax}, {"GrowthLongMax", s.GrowthLongMax}},
+		{{"TailSoonMax", s.TailSoonMax}, {"TailFairMax", s.TailFairMax}},
+		{{"ActGrowthFewMax", s.ActGrowthFewMax}, {"ActGrowthFairMax", s.ActGrowthFairMax}},
+		{{"ActPUPFairMax", s.ActPUPFairMax}, {"ActPUPHighMax", s.ActPUPHighMax}},
+	}
+	for _, pair := range ordered {
+		if pair[0].v >= pair[1].v {
+			return fmt.Errorf("quantize: %s (%v) must be below %s (%v)",
+				pair[0].name, pair[0].v, pair[1].name, pair[1].v)
+		}
+	}
+	return nil
+}

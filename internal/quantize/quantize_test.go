@@ -1,0 +1,230 @@
+package quantize
+
+import (
+	"math/rand"
+	"testing"
+
+	"schemaevo/internal/metrics"
+)
+
+func TestBirthVolumeClasses(t *testing.T) {
+	s := DefaultScheme()
+	cases := []struct {
+		v    float64
+		want BirthVolumeClass
+	}{
+		{0.05, BirthVolLow},
+		{0.25, BirthVolLow},
+		{0.26, BirthVolFair},
+		{0.75, BirthVolFair},
+		{0.76, BirthVolHigh},
+		{0.999, BirthVolHigh},
+		{1.0, BirthVolFull},
+	}
+	for _, c := range cases {
+		if got := s.birthVolume(c.v); got != c.want {
+			t.Errorf("birthVolume(%f) = %v, want %v", c.v, got, c.want)
+		}
+	}
+}
+
+func TestTimingClasses(t *testing.T) {
+	s := DefaultScheme()
+	if got := s.timing(0, 0); got != TimingVP0 {
+		t.Errorf("month 0 = %v", got)
+	}
+	// Month 1 of a long project maps to a tiny pct but is Early, not VP0.
+	if got := s.timing(1, 0.01); got != TimingEarly {
+		t.Errorf("month 1 = %v", got)
+	}
+	if got := s.timing(5, 0.25); got != TimingEarly {
+		t.Errorf("pct 0.25 = %v", got)
+	}
+	if got := s.timing(6, 0.26); got != TimingMiddle {
+		t.Errorf("pct 0.26 = %v", got)
+	}
+	if got := s.timing(18, 0.75); got != TimingMiddle {
+		t.Errorf("pct 0.75 = %v", got)
+	}
+	if got := s.timing(19, 0.76); got != TimingLate {
+		t.Errorf("pct 0.76 = %v", got)
+	}
+}
+
+func TestGrowthIntervalClasses(t *testing.T) {
+	s := DefaultScheme()
+	if got := s.growthInterval(0, 0); got != GrowthZero {
+		t.Errorf("zero months = %v", got)
+	}
+	cases := []struct {
+		pct  float64
+		want GrowthIntervalClass
+	}{
+		{0.05, GrowthSoon}, {0.10, GrowthSoon},
+		{0.11, GrowthFair}, {0.35, GrowthFair},
+		{0.36, GrowthLong}, {0.75, GrowthLong},
+		{0.76, GrowthVeryLong}, {0.99, GrowthVeryLong},
+	}
+	for _, c := range cases {
+		if got := s.growthInterval(3, c.pct); got != c.want {
+			t.Errorf("growthInterval(%f) = %v, want %v", c.pct, got, c.want)
+		}
+	}
+}
+
+func TestTailClasses(t *testing.T) {
+	s := DefaultScheme()
+	if got := s.tail(0, 1.0); got != TailFull {
+		t.Errorf("top at VP0 = %v", got)
+	}
+	cases := []struct {
+		pct  float64
+		want TailClass
+	}{
+		{0.0, TailSoon}, {0.25, TailSoon},
+		{0.26, TailFair}, {0.75, TailFair},
+		{0.76, TailLong}, {0.99, TailLong},
+	}
+	for _, c := range cases {
+		if got := s.tail(5, c.pct); got != c.want {
+			t.Errorf("tail(%f) = %v, want %v", c.pct, got, c.want)
+		}
+	}
+}
+
+func TestActiveClasses(t *testing.T) {
+	s := DefaultScheme()
+	if s.activeGrowth(0, 0) != ActGrowthZero || s.activePUP(0, 0) != ActPUPZero {
+		t.Error("zero active months must be Zero even at pct 0")
+	}
+	if got := s.activeGrowth(1, 0.2); got != ActGrowthFew {
+		t.Errorf("growth 0.2 = %v", got)
+	}
+	if got := s.activeGrowth(3, 0.5); got != ActGrowthFair {
+		t.Errorf("growth 0.5 = %v", got)
+	}
+	if got := s.activeGrowth(9, 0.9); got != ActGrowthHigh {
+		t.Errorf("growth 0.9 = %v", got)
+	}
+	if got := s.activePUP(1, 0.05); got != ActPUPFair {
+		t.Errorf("pup 0.05 = %v", got)
+	}
+	if got := s.activePUP(4, 0.3); got != ActPUPHigh {
+		t.Errorf("pup 0.3 = %v", got)
+	}
+	if got := s.activePUP(20, 0.7); got != ActPUPUltra {
+		t.Errorf("pup 0.7 = %v", got)
+	}
+}
+
+func TestComputeFlatliner(t *testing.T) {
+	m := metrics.Measures{
+		HasSchema:           true,
+		PUPMonths:           24,
+		BirthMonth:          0,
+		BirthVolumePct:      1.0,
+		TopBandMonth:        0,
+		IntervalTopToEndPct: 1.0,
+		HasVault:            true,
+	}
+	l := Compute(m, DefaultScheme())
+	if l.BirthVolume != BirthVolFull || l.BirthTiming != TimingVP0 ||
+		l.TopBandPoint != TimingVP0 || l.IntervalBirthToTop != GrowthZero ||
+		l.IntervalTopToEnd != TailFull || l.ActivePctGrowth != ActGrowthZero {
+		t.Errorf("flatliner labels: %+v", l)
+	}
+	if !l.HasVault || l.ActiveGrowthMonths != 0 {
+		t.Errorf("carried fields: %+v", l)
+	}
+}
+
+func TestFeaturesAlignWithNames(t *testing.T) {
+	l := Labels{HasVault: true}
+	f := l.Features()
+	if len(f) != len(FeatureNames) {
+		t.Fatalf("features %d vs names %d", len(f), len(FeatureNames))
+	}
+	if f[7] != "true" {
+		t.Errorf("vault feature = %q", f[7])
+	}
+	if f[0] != "low" || f[1] != "vp0" {
+		t.Errorf("zero-value features: %v", f)
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	if BirthVolFull.String() != "full" || TimingLate.String() != "late" ||
+		GrowthVeryLong.String() != "vlong" || TailFull.String() != "full" ||
+		ActGrowthHigh.String() != "high" || ActPUPUltra.String() != "ultra" {
+		t.Error("class strings wrong")
+	}
+}
+
+// TestComputeTotalCoverage: every syntactically valid measure vector gets
+// some label in every dimension, and labels are monotone in their inputs.
+func TestComputeTotalCoverage(t *testing.T) {
+	s := DefaultScheme()
+	rng := rand.New(rand.NewSource(13))
+	prevVol := BirthVolLow
+	for trial := 0; trial < 2000; trial++ {
+		pup := 13 + rng.Intn(150)
+		birth := rng.Intn(pup)
+		top := birth + rng.Intn(pup-birth)
+		m := metrics.Measures{
+			HasSchema:          true,
+			PUPMonths:          pup,
+			BirthMonth:         birth,
+			BirthPct:           metrics.PctOfPUP(birth, pup),
+			BirthVolumePct:     rng.Float64()*0.999 + 0.001,
+			TopBandMonth:       top,
+			TopBandPct:         metrics.PctOfPUP(top, pup),
+			ActiveGrowthMonths: rng.Intn(max(1, top-birth)),
+			ActivePctGrowth:    rng.Float64(),
+			ActivePctPUP:       rng.Float64() * 0.6,
+		}
+		m.IntervalBirthToTopPct = m.TopBandPct - m.BirthPct
+		m.IntervalTopToEndPct = 1 - m.TopBandPct
+		l := Compute(m, s)
+		// Labels must be in range (String() would panic otherwise).
+		_ = l.BirthVolume.String()
+		_ = l.BirthTiming.String()
+		_ = l.TopBandPoint.String()
+		_ = l.IntervalBirthToTop.String()
+		_ = l.IntervalTopToEnd.String()
+		_ = l.ActivePctGrowth.String()
+		_ = l.ActivePctPUP.String()
+		// Consistency: VP0 iff month 0.
+		if (l.BirthTiming == TimingVP0) != (birth == 0) {
+			t.Fatalf("vp0 mismatch: birth %d label %v", birth, l.BirthTiming)
+		}
+		if (l.IntervalBirthToTop == GrowthZero) != (top == birth) {
+			t.Fatalf("zero-interval mismatch: %d..%d label %v", birth, top, l.IntervalBirthToTop)
+		}
+		// Monotone birth volume labeling.
+		if trial > 0 && m.BirthVolumePct > 0.999 && prevVol > l.BirthVolume {
+			t.Fatalf("volume label not monotone")
+		}
+		prevVol = l.BirthVolume
+	}
+}
+
+func TestSchemeValidate(t *testing.T) {
+	if err := DefaultScheme().Validate(); err != nil {
+		t.Fatalf("default scheme invalid: %v", err)
+	}
+	bad := DefaultScheme()
+	bad.TimingEarlyMax = 0.9 // above TimingMiddleMax
+	if err := bad.Validate(); err == nil {
+		t.Error("disordered cut points accepted")
+	}
+	bad2 := DefaultScheme()
+	bad2.GrowthSoonMax = 0
+	if err := bad2.Validate(); err == nil {
+		t.Error("zero cut point accepted")
+	}
+	bad3 := DefaultScheme()
+	bad3.TailFairMax = 1.5
+	if err := bad3.Validate(); err == nil {
+		t.Error("cut point above 1 accepted")
+	}
+}

@@ -1,0 +1,162 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+
+	"schemaevo/internal/diff"
+	"schemaevo/internal/history"
+	"schemaevo/internal/schema"
+)
+
+// Severity grades how a schema change affects a query.
+type Severity int
+
+// Impact severities.
+const (
+	// Broken: the query references a table or column that no longer
+	// exists.
+	Broken Severity = iota
+	// Warning: a referenced column changed its data type or key role;
+	// the query still parses against the schema but its semantics may
+	// have shifted.
+	Warning
+)
+
+func (s Severity) String() string {
+	if s == Broken {
+		return "BROKEN"
+	}
+	return "WARNING"
+}
+
+// Impact is one query affected by one schema change.
+type Impact struct {
+	Query    *Query
+	Severity Severity
+	// Reason explains the finding ("table orders dropped", ...).
+	Reason string
+}
+
+func (im Impact) String() string {
+	return fmt.Sprintf("%s %s: %s", im.Severity, im.Query.Name, im.Reason)
+}
+
+// OfDelta reports which of the queries a schema delta affects. Each query
+// appears at most once per severity, with the first triggering reason.
+func OfDelta(d *diff.Delta, queries []*Query) []Impact {
+	var out []Impact
+	for _, q := range queries {
+		if reason, hit := breakReason(d, q); hit {
+			out = append(out, Impact{Query: q, Severity: Broken, Reason: reason})
+			continue
+		}
+		if reason, hit := warnReason(d, q); hit {
+			out = append(out, Impact{Query: q, Severity: Warning, Reason: reason})
+		}
+	}
+	return out
+}
+
+func breakReason(d *diff.Delta, q *Query) (string, bool) {
+	for _, table := range d.TablesDropped {
+		if q.DependsOnTable(table) {
+			return fmt.Sprintf("table %s dropped", table), true
+		}
+	}
+	for _, c := range d.Changes {
+		if c.Kind == diff.Ejected && q.DependsOnColumn(c.Table, c.Attr) {
+			return fmt.Sprintf("column %s.%s removed", c.Table, c.Attr), true
+		}
+	}
+	return "", false
+}
+
+func warnReason(d *diff.Delta, q *Query) (string, bool) {
+	for _, c := range d.Changes {
+		switch c.Kind {
+		case diff.TypeChanged:
+			if q.DependsOnColumn(c.Table, c.Attr) {
+				return fmt.Sprintf("column %s.%s changed type", c.Table, c.Attr), true
+			}
+		case diff.KeyChanged:
+			if q.DependsOnColumn(c.Table, c.Attr) {
+				return fmt.Sprintf("column %s.%s changed key role", c.Table, c.Attr), true
+			}
+		}
+	}
+	return "", false
+}
+
+// Validate resolves a query against a schema version: every referenced
+// table must exist, and every referenced column must exist in its table
+// (unqualified references must resolve in at least one referenced table).
+// It returns the unresolved references.
+func Validate(q *Query, s *schema.Schema) []string {
+	var problems []string
+	for _, table := range q.Tables {
+		if _, ok := s.Table(table); !ok {
+			problems = append(problems, "unknown table "+table)
+		}
+	}
+	for _, c := range q.Columns {
+		if c.Table != "" {
+			t, ok := s.Table(c.Table)
+			if !ok {
+				continue // already reported as unknown table
+			}
+			if _, ok := t.Column(c.Column); !ok {
+				problems = append(problems, "unknown column "+c.String())
+			}
+			continue
+		}
+		found := false
+		for _, table := range q.Tables {
+			if t, ok := s.Table(table); ok {
+				if _, ok := t.Column(c.Column); ok {
+					found = true
+					break
+				}
+			}
+		}
+		if !found {
+			problems = append(problems, "unresolvable column "+c.Column)
+		}
+	}
+	sort.Strings(problems)
+	return problems
+}
+
+// VersionImpact is the impact of one schema version's delta on a query
+// workload.
+type VersionImpact struct {
+	Version int
+	Impacts []Impact
+}
+
+// OverHistory replays a schema history against a query workload and
+// reports, per version, the queries that version's change set affects —
+// the cost of schema evolution the paper's conclusions discuss.
+func OverHistory(h *history.History, queries []*Query) []VersionImpact {
+	var out []VersionImpact
+	for _, v := range h.Versions {
+		impacts := OfDelta(v.Delta, queries)
+		if len(impacts) > 0 {
+			out = append(out, VersionImpact{Version: v.Seq, Impacts: impacts})
+		}
+	}
+	return out
+}
+
+// TotalBreakages counts Broken impacts across a history replay.
+func TotalBreakages(vis []VersionImpact) int {
+	n := 0
+	for _, vi := range vis {
+		for _, im := range vi.Impacts {
+			if im.Severity == Broken {
+				n++
+			}
+		}
+	}
+	return n
+}

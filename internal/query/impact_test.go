@@ -1,0 +1,131 @@
+package query
+
+import (
+	"testing"
+	"time"
+
+	"schemaevo/internal/diff"
+	"schemaevo/internal/history"
+	"schemaevo/internal/schema"
+	"schemaevo/internal/vcs"
+)
+
+func buildSchema(t *testing.T, src string) *schema.Schema {
+	t.Helper()
+	s, notes := schema.ParseAndBuild(src)
+	if len(notes) != 0 {
+		t.Fatalf("notes: %v", notes)
+	}
+	return s
+}
+
+func TestOfDeltaTableDrop(t *testing.T) {
+	old := buildSchema(t, `CREATE TABLE users (id INT, name TEXT); CREATE TABLE logs (msg TEXT);`)
+	new := buildSchema(t, `CREATE TABLE users (id INT, name TEXT);`)
+	d := diff.Schemas(old, new)
+	queries, err := ParseAll([]string{
+		`SELECT msg FROM logs`,
+		`SELECT name FROM users`,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	impacts := OfDelta(d, queries)
+	if len(impacts) != 1 {
+		t.Fatalf("impacts: %v", impacts)
+	}
+	if impacts[0].Severity != Broken || impacts[0].Query.Name != "q0" {
+		t.Errorf("impact: %v", impacts[0])
+	}
+}
+
+func TestOfDeltaColumnEjection(t *testing.T) {
+	old := buildSchema(t, `CREATE TABLE users (id INT, nickname TEXT);`)
+	new := buildSchema(t, `CREATE TABLE users (id INT);`)
+	d := diff.Schemas(old, new)
+	queries, _ := ParseAll([]string{
+		`SELECT nickname FROM users`,
+		`SELECT id FROM users`,
+		`SELECT u.nickname FROM users u`,
+	})
+	impacts := OfDelta(d, queries)
+	if len(impacts) != 2 {
+		t.Fatalf("impacts: %v", impacts)
+	}
+	for _, im := range impacts {
+		if im.Severity != Broken {
+			t.Errorf("severity: %v", im)
+		}
+	}
+}
+
+func TestOfDeltaTypeChangeWarns(t *testing.T) {
+	old := buildSchema(t, `CREATE TABLE m (v INT);`)
+	new := buildSchema(t, `CREATE TABLE m (v TEXT);`)
+	d := diff.Schemas(old, new)
+	queries, _ := ParseAll([]string{`SELECT v FROM m`})
+	impacts := OfDelta(d, queries)
+	if len(impacts) != 1 || impacts[0].Severity != Warning {
+		t.Fatalf("impacts: %v", impacts)
+	}
+	if impacts[0].String() == "" {
+		t.Error("empty rendering")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	s := buildSchema(t, `CREATE TABLE users (id INT, name TEXT);`)
+	good := mustParse(t, `SELECT name FROM users WHERE id = 1`)
+	if problems := Validate(good, s); len(problems) != 0 {
+		t.Errorf("valid query flagged: %v", problems)
+	}
+	badTable := mustParse(t, `SELECT x FROM ghosts`)
+	if problems := Validate(badTable, s); len(problems) == 0 {
+		t.Error("unknown table not flagged")
+	}
+	badColumn := mustParse(t, `SELECT users.salary FROM users`)
+	problems := Validate(badColumn, s)
+	if len(problems) != 1 || problems[0] != "unknown column users.salary" {
+		t.Errorf("problems: %v", problems)
+	}
+	unresolvable := mustParse(t, `SELECT salary FROM users`)
+	if problems := Validate(unresolvable, s); len(problems) != 1 {
+		t.Errorf("problems: %v", problems)
+	}
+}
+
+func TestOverHistory(t *testing.T) {
+	day := func(y int, m time.Month) time.Time {
+		return time.Date(y, m, 10, 0, 0, 0, 0, time.UTC)
+	}
+	r := &vcs.Repo{Name: "app", Commits: []vcs.Commit{
+		{ID: "0", Time: day(2020, 1), Files: map[string]string{
+			"s.sql": "CREATE TABLE users (id INT, nickname TEXT); CREATE TABLE logs (msg TEXT);"}},
+		{ID: "1", Time: day(2020, 6), Files: map[string]string{
+			"s.sql": "CREATE TABLE users (id INT); CREATE TABLE logs (msg TEXT);"}},
+		{ID: "2", Time: day(2021, 3), Files: map[string]string{
+			"s.sql": "CREATE TABLE users (id INT);"}},
+	}}
+	h, err := history.FromRepo(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries, _ := ParseAll([]string{
+		`SELECT nickname FROM users`,
+		`SELECT msg FROM logs`,
+		`SELECT id FROM users`,
+	})
+	vis := OverHistory(h, queries)
+	if len(vis) != 2 {
+		t.Fatalf("version impacts: %v", vis)
+	}
+	if vis[0].Version != 1 || vis[0].Impacts[0].Query.Name != "q0" {
+		t.Errorf("v1: %v", vis[0])
+	}
+	if vis[1].Version != 2 || vis[1].Impacts[0].Query.Name != "q1" {
+		t.Errorf("v2: %v", vis[1])
+	}
+	if TotalBreakages(vis) != 2 {
+		t.Errorf("breakages = %d", TotalBreakages(vis))
+	}
+}

@@ -1,0 +1,240 @@
+// Package query provides light-weight analysis of SQL SELECT statements
+// against evolving schemata. The paper's motivation (§1, §7) is that
+// schema evolution "breaks the mapping to the surrounding code, thus
+// incurring significant costs"; this package quantifies that: it extracts
+// the tables and columns a query depends on, validates them against a
+// schema version, and reports which queries a schema delta breaks.
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"schemaevo/internal/sqlddl"
+)
+
+// ColumnRef is one column dependency of a query. Table is the resolved
+// table name when the reference was qualified (directly or through an
+// alias), or "" for unqualified references.
+type ColumnRef struct {
+	Table  string
+	Column string
+}
+
+func (c ColumnRef) String() string {
+	if c.Table == "" {
+		return c.Column
+	}
+	return c.Table + "." + c.Column
+}
+
+// Query is the dependency footprint of one SELECT statement.
+type Query struct {
+	// Name is an optional caller-provided label (e.g. the source file).
+	Name string
+	// Raw is the original SQL text.
+	Raw string
+	// Tables are the referenced base tables, sorted and de-duplicated.
+	Tables []string
+	// Columns are the referenced columns, sorted and de-duplicated.
+	Columns []ColumnRef
+	// SelectStar reports a bare "SELECT *" or "t.*" projection; such a
+	// query depends on every column of the starred tables.
+	SelectStar bool
+}
+
+// DependsOnTable reports whether the query references the table.
+func (q *Query) DependsOnTable(table string) bool {
+	for _, t := range q.Tables {
+		if t == table {
+			return true
+		}
+	}
+	return false
+}
+
+// DependsOnColumn reports whether the query references the column. An
+// unqualified reference matches the column in any of the query's tables.
+func (q *Query) DependsOnColumn(table, column string) bool {
+	for _, c := range q.Columns {
+		if c.Column != column {
+			continue
+		}
+		if c.Table == table || (c.Table == "" && q.DependsOnTable(table)) {
+			return true
+		}
+	}
+	return false
+}
+
+// sqlKeywords are identifiers that never denote a table or column in the
+// scanned clauses.
+var sqlKeywords = map[string]bool{
+	"select": true, "distinct": true, "from": true, "where": true, "as": true,
+	"join": true, "inner": true, "left": true, "right": true, "full": true,
+	"outer": true, "cross": true, "on": true, "using": true, "and": true,
+	"or": true, "not": true, "null": true, "is": true, "in": true,
+	"exists": true, "between": true, "like": true, "group": true, "by": true,
+	"having": true, "order": true, "asc": true, "desc": true, "limit": true,
+	"offset": true, "union": true, "all": true, "case": true, "when": true,
+	"then": true, "else": true, "end": true, "true": true, "false": true,
+	"cast": true, "interval": true,
+}
+
+// Parse extracts the dependency footprint of a SELECT statement. It is a
+// scanner, not a validator: structurally odd but lexically sane SQL still
+// yields a useful footprint; a non-SELECT input is an error.
+func Parse(sql string) (*Query, error) {
+	toks := sqlddl.Tokenize(sql)
+	if len(toks) == 0 || !toks[0].Match("select") {
+		if len(toks) > 0 && toks[0].Match("with") {
+			// CTEs: scan the whole statement; the footprint is the union.
+		} else {
+			return nil, fmt.Errorf("query: not a SELECT statement: %.40q", sql)
+		}
+	}
+	q := &Query{Raw: sql}
+
+	// Pass 1: table references and aliases from FROM/JOIN clauses.
+	aliases := map[string]string{} // alias -> table
+	tables := map[string]bool{}
+	cteNames := map[string]bool{}
+	for i := 0; i < len(toks); i++ {
+		t := toks[i]
+		// WITH name AS ( ... ): record CTE names so they are not counted
+		// as base tables.
+		if t.Match("with") || (t.Kind == sqlddl.Comma && len(cteNames) > 0 && i+2 < len(toks) && toks[i+2].Match("as")) {
+			if i+1 < len(toks) && toks[i+1].IsIdent() {
+				cteNames[identText(toks[i+1])] = true
+			}
+			continue
+		}
+		if !t.Match("from") && !t.Match("join") {
+			continue
+		}
+		j := i + 1
+		for j < len(toks) {
+			// Subquery in table position: its own FROM is handled by the
+			// outer scan; skip just the opening paren.
+			if toks[j].Kind == sqlddl.LParen {
+				break
+			}
+			if !toks[j].IsIdent() || sqlKeywords[strings.ToLower(toks[j].Text)] {
+				break
+			}
+			name := identText(toks[j])
+			// Schema-qualified: db.table
+			if j+2 < len(toks) && toks[j+1].Kind == sqlddl.Dot && toks[j+2].IsIdent() {
+				name = identText(toks[j+2])
+				j += 2
+			}
+			if !cteNames[name] {
+				tables[name] = true
+			}
+			j++
+			// Optional alias: [AS] ident
+			if j < len(toks) && toks[j].Match("as") {
+				j++
+			}
+			if j < len(toks) && toks[j].IsIdent() && !sqlKeywords[strings.ToLower(toks[j].Text)] {
+				aliases[identText(toks[j])] = name
+				j++
+			}
+			// Comma-separated FROM list continues.
+			if j < len(toks) && toks[j].Kind == sqlddl.Comma {
+				j++
+				continue
+			}
+			break
+		}
+	}
+
+	resolve := func(name string) string {
+		if base, ok := aliases[name]; ok {
+			return base
+		}
+		return name
+	}
+
+	// Pass 2: column references.
+	cols := map[ColumnRef]bool{}
+	for i := 0; i < len(toks); i++ {
+		t := toks[i]
+		if t.Kind == sqlddl.Op && t.Text == "*" {
+			// A '*' right after SELECT or a comma or a dot is a projection
+			// star, not multiplication, when it is followed by FROM/comma.
+			if i+1 < len(toks) && (toks[i+1].Match("from") || toks[i+1].Kind == sqlddl.Comma) {
+				q.SelectStar = true
+			}
+			continue
+		}
+		if !t.IsIdent() || sqlKeywords[strings.ToLower(t.Text)] {
+			continue
+		}
+		name := identText(t)
+		// Qualified reference: name.column or name.*
+		if i+2 < len(toks) && toks[i+1].Kind == sqlddl.Dot {
+			if toks[i+2].IsIdent() {
+				base := resolve(name)
+				if tables[base] {
+					cols[ColumnRef{Table: base, Column: identText(toks[i+2])}] = true
+				}
+				i += 2
+				continue
+			}
+			if toks[i+2].Kind == sqlddl.Op && toks[i+2].Text == "*" {
+				q.SelectStar = true
+				i += 2
+				continue
+			}
+		}
+		// Function call: name(...) — not a column.
+		if i+1 < len(toks) && toks[i+1].Kind == sqlddl.LParen {
+			continue
+		}
+		// Table names, aliases and CTE names in column position are
+		// already accounted for.
+		if tables[name] || aliases[name] != "" || cteNames[name] {
+			continue
+		}
+		cols[ColumnRef{Column: name}] = true
+	}
+
+	for name := range tables {
+		q.Tables = append(q.Tables, name)
+	}
+	sort.Strings(q.Tables)
+	for c := range cols {
+		q.Columns = append(q.Columns, c)
+	}
+	sort.Slice(q.Columns, func(i, j int) bool {
+		if q.Columns[i].Table != q.Columns[j].Table {
+			return q.Columns[i].Table < q.Columns[j].Table
+		}
+		return q.Columns[i].Column < q.Columns[j].Column
+	})
+	return q, nil
+}
+
+func identText(t sqlddl.Token) string {
+	if t.Kind == sqlddl.QuotedIdent {
+		return t.Text
+	}
+	return strings.ToLower(t.Text)
+}
+
+// ParseAll parses a batch of SELECT statements, naming them q0, q1, ...
+// unless names are provided.
+func ParseAll(sqls []string) ([]*Query, error) {
+	out := make([]*Query, 0, len(sqls))
+	for i, s := range sqls {
+		q, err := Parse(s)
+		if err != nil {
+			return nil, fmt.Errorf("query %d: %w", i, err)
+		}
+		q.Name = fmt.Sprintf("q%d", i)
+		out = append(out, q)
+	}
+	return out, nil
+}

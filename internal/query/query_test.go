@@ -1,0 +1,139 @@
+package query
+
+import (
+	"testing"
+)
+
+func mustParse(t *testing.T, sql string) *Query {
+	t.Helper()
+	q, err := Parse(sql)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", sql, err)
+	}
+	return q
+}
+
+func TestParseSimpleSelect(t *testing.T) {
+	q := mustParse(t, `SELECT id, name FROM users WHERE age > 30 ORDER BY name`)
+	if len(q.Tables) != 1 || q.Tables[0] != "users" {
+		t.Errorf("tables: %v", q.Tables)
+	}
+	wantCols := []string{"age", "id", "name"}
+	if len(q.Columns) != len(wantCols) {
+		t.Fatalf("columns: %v", q.Columns)
+	}
+	for i, w := range wantCols {
+		if q.Columns[i].Column != w || q.Columns[i].Table != "" {
+			t.Errorf("column %d = %v, want %s", i, q.Columns[i], w)
+		}
+	}
+	if q.SelectStar {
+		t.Error("no star expected")
+	}
+}
+
+func TestParseJoinsAndAliases(t *testing.T) {
+	q := mustParse(t, `
+		SELECT u.name, o.total
+		FROM users AS u
+		JOIN orders o ON o.user_id = u.id
+		LEFT JOIN products p ON p.id = o.product_id
+		WHERE u.active = true`)
+	wantTables := []string{"orders", "products", "users"}
+	if len(q.Tables) != 3 {
+		t.Fatalf("tables: %v", q.Tables)
+	}
+	for i, w := range wantTables {
+		if q.Tables[i] != w {
+			t.Errorf("table %d = %s, want %s", i, q.Tables[i], w)
+		}
+	}
+	if !q.DependsOnColumn("users", "name") || !q.DependsOnColumn("orders", "total") {
+		t.Errorf("alias resolution failed: %v", q.Columns)
+	}
+	if !q.DependsOnColumn("orders", "user_id") || !q.DependsOnColumn("products", "id") {
+		t.Errorf("join condition columns: %v", q.Columns)
+	}
+}
+
+func TestParseSelectStar(t *testing.T) {
+	q := mustParse(t, `SELECT * FROM logs`)
+	if !q.SelectStar {
+		t.Error("star not detected")
+	}
+	q2 := mustParse(t, `SELECT t.* FROM things t`)
+	if !q2.SelectStar {
+		t.Error("qualified star not detected")
+	}
+	// Multiplication is not a star projection.
+	q3 := mustParse(t, `SELECT price * quantity FROM items`)
+	if q3.SelectStar {
+		t.Error("multiplication misread as star")
+	}
+}
+
+func TestParseFunctionsNotColumns(t *testing.T) {
+	q := mustParse(t, `SELECT count(id), max(score), now() FROM games`)
+	for _, c := range q.Columns {
+		if c.Column == "count" || c.Column == "max" || c.Column == "now" {
+			t.Errorf("function misread as column: %v", c)
+		}
+	}
+	if !q.DependsOnColumn("games", "id") || !q.DependsOnColumn("games", "score") {
+		t.Errorf("function arguments lost: %v", q.Columns)
+	}
+}
+
+func TestParseCommaFromList(t *testing.T) {
+	q := mustParse(t, `SELECT a.x, b.y FROM first a, second b WHERE a.id = b.id`)
+	if len(q.Tables) != 2 || q.Tables[0] != "first" || q.Tables[1] != "second" {
+		t.Errorf("tables: %v", q.Tables)
+	}
+}
+
+func TestParseSchemaQualifiedTable(t *testing.T) {
+	q := mustParse(t, `SELECT id FROM public.users`)
+	if len(q.Tables) != 1 || q.Tables[0] != "users" {
+		t.Errorf("tables: %v", q.Tables)
+	}
+}
+
+func TestParseCTE(t *testing.T) {
+	q := mustParse(t, `WITH recent AS (SELECT id FROM orders WHERE ts > '2020')
+		SELECT u.name FROM users u JOIN recent ON recent.id = u.id`)
+	if q.DependsOnTable("recent") {
+		t.Errorf("CTE counted as base table: %v", q.Tables)
+	}
+	if !q.DependsOnTable("orders") || !q.DependsOnTable("users") {
+		t.Errorf("tables: %v", q.Tables)
+	}
+}
+
+func TestParseSubquery(t *testing.T) {
+	q := mustParse(t, `SELECT name FROM users WHERE id IN (SELECT user_id FROM orders)`)
+	if !q.DependsOnTable("orders") || !q.DependsOnTable("users") {
+		t.Errorf("tables: %v", q.Tables)
+	}
+}
+
+func TestParseRejectsNonSelect(t *testing.T) {
+	if _, err := Parse(`DELETE FROM users`); err == nil {
+		t.Error("non-SELECT accepted")
+	}
+	if _, err := Parse(``); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestParseAll(t *testing.T) {
+	qs, err := ParseAll([]string{`SELECT a FROM t`, `SELECT b FROM u`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 2 || qs[0].Name != "q0" || qs[1].Name != "q1" {
+		t.Errorf("%v", qs)
+	}
+	if _, err := ParseAll([]string{`SELECT a FROM t`, `UPDATE t SET a=1`}); err == nil {
+		t.Error("bad batch accepted")
+	}
+}

@@ -1,0 +1,81 @@
+package report
+
+import (
+	"fmt"
+	"html"
+	"sort"
+	"strings"
+)
+
+// HTMLReport assembles a self-contained HTML document from text sections
+// and inline SVG figures — the shareable form of cmd/reproduce's output.
+type HTMLReport struct {
+	Title    string
+	sections []htmlSection
+}
+
+type htmlSection struct {
+	heading string
+	pre     string // preformatted text body, "" if svg-only
+	svg     string // raw SVG markup, "" if text-only
+}
+
+// NewHTMLReport creates an empty report.
+func NewHTMLReport(title string) *HTMLReport {
+	return &HTMLReport{Title: title}
+}
+
+// AddText appends a preformatted text section.
+func (r *HTMLReport) AddText(heading, body string) {
+	r.sections = append(r.sections, htmlSection{heading: heading, pre: body})
+}
+
+// AddSVG appends an inline SVG figure.
+func (r *HTMLReport) AddSVG(heading, svg string) {
+	r.sections = append(r.sections, htmlSection{heading: heading, svg: svg})
+}
+
+// String renders the document.
+func (r *HTMLReport) String() string {
+	var sb strings.Builder
+	sb.WriteString("<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n")
+	fmt.Fprintf(&sb, "<title>%s</title>\n", html.EscapeString(r.Title))
+	sb.WriteString(`<style>
+body { font-family: sans-serif; max-width: 72rem; margin: 2rem auto; padding: 0 1rem; }
+pre { background: #f6f6f4; padding: 1rem; overflow-x: auto; font-size: 0.8rem; line-height: 1.25; }
+h1 { border-bottom: 2px solid #333; padding-bottom: .3rem; }
+h2 { margin-top: 2.2rem; }
+nav a { margin-right: 1rem; }
+</style></head><body>
+`)
+	fmt.Fprintf(&sb, "<h1>%s</h1>\n<nav>", html.EscapeString(r.Title))
+	for i, sec := range r.sections {
+		fmt.Fprintf(&sb, `<a href="#s%d">%s</a>`, i, html.EscapeString(sec.heading))
+		sb.WriteString("\n")
+	}
+	sb.WriteString("</nav>\n")
+	for i, sec := range r.sections {
+		fmt.Fprintf(&sb, `<h2 id="s%d">%s</h2>`, i, html.EscapeString(sec.heading))
+		sb.WriteString("\n")
+		if sec.pre != "" {
+			fmt.Fprintf(&sb, "<pre>%s</pre>\n", html.EscapeString(sec.pre))
+		}
+		if sec.svg != "" {
+			sb.WriteString(sec.svg)
+			sb.WriteString("\n")
+		}
+	}
+	sb.WriteString("</body></html>\n")
+	return sb.String()
+}
+
+// SortedKeys is a small helper for deterministic iteration over string
+// maps when assembling reports.
+func SortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,38 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHTMLReport(t *testing.T) {
+	r := NewHTMLReport("Demo <Report>")
+	r.AddText("Section & One", "plain <text> body")
+	r.AddSVG("Figure", `<svg xmlns="http://www.w3.org/2000/svg"></svg>`)
+	out := r.String()
+	if !strings.HasPrefix(out, "<!DOCTYPE html>") {
+		t.Error("missing doctype")
+	}
+	if !strings.Contains(out, "Demo &lt;Report&gt;") {
+		t.Error("title not escaped")
+	}
+	if !strings.Contains(out, "plain &lt;text&gt; body") {
+		t.Error("pre body not escaped")
+	}
+	if !strings.Contains(out, `<svg xmlns`) {
+		t.Error("svg not inlined")
+	}
+	if !strings.Contains(out, `href="#s0"`) || !strings.Contains(out, `href="#s1"`) {
+		t.Error("nav links missing")
+	}
+	if strings.Count(out, "<h2") != 2 {
+		t.Error("section headings missing")
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	got := SortedKeys(map[string]int{"b": 1, "a": 2, "c": 3})
+	if len(got) != 3 || got[0] != "a" || got[2] != "c" {
+		t.Errorf("keys: %v", got)
+	}
+}

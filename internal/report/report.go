@@ -1,0 +1,102 @@
+// Package report renders fixed-width text tables for the experiment
+// reproductions. All of cmd/reproduce's tables and the bench summaries go
+// through it, so paper artifacts print uniformly.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// New creates a table with the given title and column headers.
+func New(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// Add appends a row; missing cells render empty, extra cells widen the
+// table.
+func (t *Table) Add(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Addf appends a single-column formatted row (useful for notes).
+func (t *Table) Addf(format string, args ...any) {
+	t.Add(fmt.Sprintf(format, args...))
+}
+
+func (t *Table) columnCount() int {
+	n := len(t.Headers)
+	for _, r := range t.Rows {
+		if len(r) > n {
+			n = len(r)
+		}
+	}
+	return n
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	cols := t.columnCount()
+	widths := make([]int, cols)
+	measure := func(row []string) {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(t.Headers)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title)
+		sb.WriteByte('\n')
+		sb.WriteString(strings.Repeat("=", len(t.Title)))
+		sb.WriteByte('\n')
+	}
+	writeRow := func(row []string) {
+		parts := make([]string, cols)
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(row) {
+				cell = row[i]
+			}
+			parts[i] = cell + strings.Repeat(" ", widths[i]-len(cell))
+		}
+		sb.WriteString(strings.TrimRight(strings.Join(parts, "  "), " "))
+		sb.WriteByte('\n')
+	}
+	if len(t.Headers) > 0 {
+		writeRow(t.Headers)
+		sep := make([]string, cols)
+		for i := range sep {
+			sep[i] = strings.Repeat("-", widths[i])
+		}
+		writeRow(sep)
+	}
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return sb.String()
+}
+
+// Pct formats a fraction as a percentage with no decimals.
+func Pct(x float64) string { return fmt.Sprintf("%.0f%%", x*100) }
+
+// Pct1 formats a fraction as a percentage with one decimal.
+func Pct1(x float64) string { return fmt.Sprintf("%.1f%%", x*100) }
+
+// F2 formats a float with two decimals.
+func F2(x float64) string { return fmt.Sprintf("%.2f", x) }
+
+// Itoa formats an int.
+func Itoa(n int) string { return fmt.Sprintf("%d", n) }

@@ -1,0 +1,75 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := New("Demo", "name", "count")
+	tb.Add("alpha", "1")
+	tb.Add("a-much-longer-name", "42")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title, underline, header, separator, two rows.
+	if len(lines) != 6 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if lines[0] != "Demo" || lines[1] != "====" {
+		t.Errorf("title block: %q %q", lines[0], lines[1])
+	}
+	// The count column starts at the same offset on every data line.
+	idx1 := strings.Index(lines[4], "1")
+	idx42 := strings.Index(lines[5], "42")
+	if idx1 != idx42 {
+		t.Errorf("columns misaligned: %d vs %d\n%s", idx1, idx42, out)
+	}
+	if strings.Contains(out, " \n") {
+		t.Error("trailing whitespace on a line")
+	}
+}
+
+func TestTableNoTitleNoHeaders(t *testing.T) {
+	tb := &Table{}
+	tb.Add("just", "cells")
+	out := tb.String()
+	if strings.Contains(out, "=") || strings.Contains(out, "-") {
+		t.Errorf("no title/header decoration expected:\n%s", out)
+	}
+	if !strings.Contains(out, "just  cells") {
+		t.Errorf("row content: %q", out)
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tb := New("", "a", "b")
+	tb.Add("x")
+	tb.Add("y", "z", "extra")
+	out := tb.String()
+	if !strings.Contains(out, "extra") {
+		t.Errorf("wide row lost: %s", out)
+	}
+}
+
+func TestAddf(t *testing.T) {
+	tb := New("")
+	tb.Addf("n=%d", 7)
+	if !strings.Contains(tb.String(), "n=7") {
+		t.Error("Addf row missing")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Pct(0.666) != "67%" {
+		t.Errorf("Pct = %q", Pct(0.666))
+	}
+	if Pct1(0.1234) != "12.3%" {
+		t.Errorf("Pct1 = %q", Pct1(0.1234))
+	}
+	if F2(3.14159) != "3.14" {
+		t.Errorf("F2 = %q", F2(3.14159))
+	}
+	if Itoa(42) != "42" {
+		t.Errorf("Itoa = %q", Itoa(42))
+	}
+}

@@ -1,0 +1,174 @@
+package schema
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Emit renders the schema as a SQL DDL script that, parsed and applied to
+// an empty schema, reconstructs an equivalent logical schema (see the
+// round-trip property tests). Tables appear in insertion order; names are
+// quoted only when necessary.
+func (s *Schema) Emit() string {
+	var sb strings.Builder
+	for i, t := range s.Tables() {
+		if i > 0 {
+			sb.WriteByte('\n')
+		}
+		emitTable(&sb, t)
+	}
+	return sb.String()
+}
+
+func emitTable(sb *strings.Builder, t *Table) {
+	fmt.Fprintf(sb, "CREATE TABLE %s (\n", quoteIdent(t.Name))
+	for i, c := range t.Columns {
+		if i > 0 {
+			sb.WriteString(",\n")
+		}
+		sb.WriteString("  ")
+		sb.WriteString(quoteIdent(c.Name))
+		if c.Type != "" {
+			sb.WriteByte(' ')
+			sb.WriteString(c.Type)
+		}
+		if c.NotNull && !c.InPK {
+			sb.WriteString(" NOT NULL")
+		}
+		if c.HasDefault {
+			sb.WriteString(" DEFAULT ")
+			if c.Default == "" {
+				sb.WriteString("NULL")
+			} else {
+				sb.WriteString(c.Default)
+			}
+		}
+		if c.AutoIncrement {
+			sb.WriteString(" AUTO_INCREMENT")
+		}
+	}
+	if len(t.PrimaryKey) > 0 {
+		fmt.Fprintf(sb, ",\n  PRIMARY KEY (%s)", quoteList(t.PrimaryKey))
+	}
+	for _, u := range t.Uniques {
+		fmt.Fprintf(sb, ",\n  UNIQUE (%s)", quoteList(u))
+	}
+	for _, fk := range t.ForeignKeys {
+		sb.WriteString(",\n  ")
+		if fk.Name != "" && !strings.HasPrefix(fk.Name, "fk_") {
+			fmt.Fprintf(sb, "CONSTRAINT %s ", quoteIdent(fk.Name))
+		}
+		fmt.Fprintf(sb, "FOREIGN KEY (%s) REFERENCES %s", quoteList(fk.Columns), quoteIdent(fk.RefTable))
+		if len(fk.RefColumns) > 0 {
+			fmt.Fprintf(sb, " (%s)", quoteList(fk.RefColumns))
+		}
+	}
+	sb.WriteString("\n);\n")
+}
+
+func quoteList(names []string) string {
+	out := make([]string, len(names))
+	for i, n := range names {
+		out[i] = quoteIdent(n)
+	}
+	return strings.Join(out, ", ")
+}
+
+// quoteIdent wraps an identifier in double quotes when it is not a plain
+// lower-case SQL name (the form the parser normalizes unquoted names to).
+func quoteIdent(name string) string {
+	if plainIdent(name) {
+		return name
+	}
+	return `"` + strings.ReplaceAll(name, `"`, `""`) + `"`
+}
+
+func plainIdent(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c == '_', 'a' <= c && c <= 'z':
+		case '0' <= c && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	// Words that would lex as keywords in column position must be quoted.
+	switch name {
+	case "primary", "unique", "constraint", "foreign", "check", "key", "index",
+		"not", "null", "default", "references", "create", "table", "drop", "alter":
+		return false
+	}
+	return true
+}
+
+// Equivalent reports whether two schemas are logically identical: same
+// tables, columns (name, type, nullability, default, key participation),
+// primary keys and foreign-key column sets. It is the equality notion
+// under which Emit round-trips.
+func Equivalent(a, b *Schema) bool {
+	if a.TableCount() != b.TableCount() {
+		return false
+	}
+	for _, ta := range a.Tables() {
+		tb, ok := b.Table(ta.Name)
+		if !ok || !tablesEquivalent(ta, tb) {
+			return false
+		}
+	}
+	return true
+}
+
+func tablesEquivalent(a, b *Table) bool {
+	if len(a.Columns) != len(b.Columns) {
+		return false
+	}
+	for i := range a.Columns {
+		ca, cb := a.Columns[i], b.Columns[i]
+		if ca.Name != cb.Name || ca.Type != cb.Type || ca.NotNull != cb.NotNull ||
+			ca.HasDefault != cb.HasDefault || ca.InPK != cb.InPK {
+			return false
+		}
+	}
+	if !sameStrings(a.PrimaryKey, b.PrimaryKey) {
+		return false
+	}
+	if len(a.ForeignKeys) != len(b.ForeignKeys) {
+		return false
+	}
+	// Foreign keys compare as a multiset: declaration order differs
+	// legitimately between full dumps and migration scripts.
+	counts := map[string]int{}
+	for _, fk := range a.ForeignKeys {
+		counts[fkKey(fk)]++
+	}
+	for _, fk := range b.ForeignKeys {
+		counts[fkKey(fk)]--
+		if counts[fkKey(fk)] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func fkKey(fk ForeignKey) string {
+	return strings.Join(fk.Columns, ",") + "->" + fk.RefTable
+}
+
+func sameStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,125 @@
+package schema
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestEmitRoundTripSimple(t *testing.T) {
+	src := `CREATE TABLE users (
+		id INT NOT NULL,
+		email VARCHAR(255) NOT NULL,
+		age INT DEFAULT 0,
+		PRIMARY KEY (id),
+		UNIQUE (email)
+	);
+	CREATE TABLE posts (
+		id INT,
+		author INT,
+		PRIMARY KEY (id),
+		CONSTRAINT author_fk FOREIGN KEY (author) REFERENCES users (id)
+	);`
+	orig := build(t, src)
+	emitted := orig.Emit()
+	back, notes := ParseAndBuild(emitted)
+	if len(notes) != 0 {
+		t.Fatalf("re-parse notes: %v\n%s", notes, emitted)
+	}
+	if !Equivalent(orig, back) {
+		t.Fatalf("round trip not equivalent:\noriginal: %v\nre-parsed: %v\nemitted:\n%s",
+			orig, back, emitted)
+	}
+}
+
+func TestEmitQuotesAwkwardNames(t *testing.T) {
+	s := New()
+	s.AddTable(&Table{
+		Name: "Mixed Case",
+		Columns: []Column{
+			{Name: "primary", Type: "int"},
+			{Name: "0starts_with_digit", Type: "text"},
+		},
+	})
+	emitted := s.Emit()
+	if !strings.Contains(emitted, `"Mixed Case"`) || !strings.Contains(emitted, `"primary"`) {
+		t.Fatalf("quoting missing:\n%s", emitted)
+	}
+	back, notes := ParseAndBuild(emitted)
+	if len(notes) != 0 {
+		t.Fatalf("notes: %v", notes)
+	}
+	if !Equivalent(s, back) {
+		t.Fatalf("quoted round trip failed:\n%s", emitted)
+	}
+}
+
+func TestEmitEmptySchema(t *testing.T) {
+	if out := New().Emit(); out != "" {
+		t.Errorf("empty schema emitted %q", out)
+	}
+}
+
+func TestEquivalentDetectsDifferences(t *testing.T) {
+	base := `CREATE TABLE t (a INT, b TEXT, PRIMARY KEY (a));`
+	a := build(t, base)
+	cases := map[string]string{
+		"extra table":   base + `CREATE TABLE u (x INT);`,
+		"missing col":   `CREATE TABLE t (a INT, PRIMARY KEY (a));`,
+		"type change":   `CREATE TABLE t (a INT, b VARCHAR(10), PRIMARY KEY (a));`,
+		"pk change":     `CREATE TABLE t (a INT, b TEXT);`,
+		"null change":   `CREATE TABLE t (a INT, b TEXT NOT NULL, PRIMARY KEY (a));`,
+		"renamed table": `CREATE TABLE s (a INT, b TEXT, PRIMARY KEY (a));`,
+	}
+	for name, src := range cases {
+		other := build(t, src)
+		if Equivalent(a, other) {
+			t.Errorf("%s: schemas reported equivalent", name)
+		}
+	}
+	if !Equivalent(a, build(t, base)) {
+		t.Error("identical schemas reported different")
+	}
+}
+
+// TestEmitRoundTripRandom: random schemas emit and re-parse to an
+// equivalent schema.
+func TestEmitRoundTripRandom(t *testing.T) {
+	types := []string{"int", "bigint", "text", "varchar(50)", "numeric(8,2)", "bool", "timestamp"}
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 200; trial++ {
+		s := New()
+		nt := 1 + rng.Intn(5)
+		for ti := 0; ti < nt; ti++ {
+			tbl := &Table{Name: string(rune('a'+ti)) + "_tbl"}
+			nc := 1 + rng.Intn(6)
+			for ci := 0; ci < nc; ci++ {
+				tbl.Columns = append(tbl.Columns, Column{
+					Name:    string(rune('p' + ci)),
+					Type:    types[rng.Intn(len(types))],
+					NotNull: rng.Intn(3) == 0,
+				})
+			}
+			if rng.Intn(2) == 0 {
+				tbl.setPrimaryKey([]string{tbl.Columns[0].Name})
+			}
+			if ti > 0 && rng.Intn(3) == 0 && len(tbl.Columns) > 1 {
+				fk := ForeignKey{
+					Columns:    []string{tbl.Columns[1].Name},
+					RefTable:   "a_tbl",
+					RefColumns: []string{"p"},
+				}
+				fk.Name = syntheticFKName(fk)
+				tbl.ForeignKeys = append(tbl.ForeignKeys, fk)
+			}
+			s.AddTable(tbl)
+		}
+		back, notes := ParseAndBuild(s.Emit())
+		if len(notes) != 0 {
+			t.Fatalf("trial %d: notes %v\n%s", trial, notes, s.Emit())
+		}
+		if !Equivalent(s, back) {
+			t.Fatalf("trial %d: round trip failed\n%s", trial, s.Emit())
+		}
+	}
+}

@@ -1,0 +1,216 @@
+// Package schema models the logical level of a relational database schema —
+// tables, attributes (columns), primary and foreign keys — and evolves it by
+// applying parsed DDL scripts. This is the level of abstraction at which the
+// paper measures change: physical artifacts (indexes, storage options,
+// views) are recognized but excluded, matching the unit of measurement of
+// §3.2 of the paper (the number of affected attributes).
+package schema
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Column is a single attribute of a table.
+type Column struct {
+	Name string
+	// Type is the normalized data type (see NormalizeType).
+	Type string
+	// NotNull, Default, HasDefault and AutoIncrement mirror the parsed
+	// column attributes that participate in maintenance-change detection.
+	NotNull       bool
+	Default       string
+	HasDefault    bool
+	AutoIncrement bool
+	// InPK reports whether the column participates in the primary key.
+	InPK bool
+}
+
+// ForeignKey is a referential constraint of a table.
+type ForeignKey struct {
+	// Name is the constraint name; synthesized when anonymous.
+	Name       string
+	Columns    []string
+	RefTable   string
+	RefColumns []string
+}
+
+// Table is a base table of the logical schema.
+type Table struct {
+	Name    string
+	Columns []Column // in definition order
+	// PrimaryKey lists the PK columns in key order (empty = no PK).
+	PrimaryKey  []string
+	ForeignKeys []ForeignKey
+	// Uniques lists unique constraints as column-name lists.
+	Uniques [][]string
+}
+
+// Column returns the column with the given name and whether it exists.
+func (t *Table) Column(name string) (*Column, bool) {
+	for i := range t.Columns {
+		if t.Columns[i].Name == name {
+			return &t.Columns[i], true
+		}
+	}
+	return nil, false
+}
+
+// ColumnNames returns the column names in definition order.
+func (t *Table) ColumnNames() []string {
+	out := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Clone returns a deep copy of the table.
+func (t *Table) Clone() *Table {
+	ct := &Table{Name: t.Name}
+	ct.Columns = append([]Column(nil), t.Columns...)
+	ct.PrimaryKey = append([]string(nil), t.PrimaryKey...)
+	for _, fk := range t.ForeignKeys {
+		ct.ForeignKeys = append(ct.ForeignKeys, ForeignKey{
+			Name:       fk.Name,
+			Columns:    append([]string(nil), fk.Columns...),
+			RefTable:   fk.RefTable,
+			RefColumns: append([]string(nil), fk.RefColumns...),
+		})
+	}
+	for _, u := range t.Uniques {
+		ct.Uniques = append(ct.Uniques, append([]string(nil), u...))
+	}
+	return ct
+}
+
+// setPrimaryKey installs a primary key, updating the per-column InPK and
+// NotNull flags (PK columns are implicitly NOT NULL).
+func (t *Table) setPrimaryKey(cols []string) {
+	for i := range t.Columns {
+		t.Columns[i].InPK = false
+	}
+	t.PrimaryKey = append([]string(nil), cols...)
+	for _, name := range cols {
+		if c, ok := t.Column(name); ok {
+			c.InPK = true
+			c.NotNull = true
+		}
+	}
+}
+
+// Schema is a set of base tables. The zero value is not usable; call New.
+type Schema struct {
+	tables map[string]*Table
+	order  []string // insertion order, for deterministic iteration
+}
+
+// New returns an empty schema.
+func New() *Schema {
+	return &Schema{tables: make(map[string]*Table)}
+}
+
+// TableCount returns the number of tables.
+func (s *Schema) TableCount() int { return len(s.tables) }
+
+// AttributeCount returns the total number of attributes across all tables.
+func (s *Schema) AttributeCount() int {
+	n := 0
+	for _, t := range s.tables {
+		n += len(t.Columns)
+	}
+	return n
+}
+
+// Table returns the named table and whether it exists.
+func (s *Schema) Table(name string) (*Table, bool) {
+	t, ok := s.tables[name]
+	return t, ok
+}
+
+// Tables returns all tables in insertion order.
+func (s *Schema) Tables() []*Table {
+	out := make([]*Table, 0, len(s.order))
+	for _, name := range s.order {
+		if t, ok := s.tables[name]; ok {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// TableNames returns the sorted table names.
+func (s *Schema) TableNames() []string {
+	out := make([]string, 0, len(s.tables))
+	for name := range s.tables {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AddTable inserts or replaces a table.
+func (s *Schema) AddTable(t *Table) {
+	if _, exists := s.tables[t.Name]; !exists {
+		s.order = append(s.order, t.Name)
+	}
+	s.tables[t.Name] = t
+}
+
+// DropTable removes a table; it reports whether the table existed.
+func (s *Schema) DropTable(name string) bool {
+	if _, ok := s.tables[name]; !ok {
+		return false
+	}
+	delete(s.tables, name)
+	for i, n := range s.order {
+		if n == name {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// renameTable renames a table in place, preserving order position.
+func (s *Schema) renameTable(old, new string) bool {
+	t, ok := s.tables[old]
+	if !ok {
+		return false
+	}
+	delete(s.tables, old)
+	t.Name = new
+	s.tables[new] = t
+	for i, n := range s.order {
+		if n == old {
+			s.order[i] = new
+			break
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy of the schema.
+func (s *Schema) Clone() *Schema {
+	c := New()
+	for _, name := range s.order {
+		if t, ok := s.tables[name]; ok {
+			c.AddTable(t.Clone())
+		}
+	}
+	return c
+}
+
+// String renders a compact single-line summary, useful in test failures.
+func (s *Schema) String() string {
+	var sb strings.Builder
+	for i, name := range s.TableNames() {
+		if i > 0 {
+			sb.WriteString("; ")
+		}
+		t := s.tables[name]
+		fmt.Fprintf(&sb, "%s(%s)", name, strings.Join(t.ColumnNames(), ","))
+	}
+	return sb.String()
+}

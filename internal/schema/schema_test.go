@@ -1,0 +1,246 @@
+package schema
+
+import (
+	"testing"
+
+	"schemaevo/internal/sqlddl"
+)
+
+func parse(src string) *sqlddl.Script { return sqlddl.Parse(src) }
+
+func mustParse(t *testing.T, src string) *sqlddl.Script {
+	t.Helper()
+	script := parse(src)
+	if len(script.Errors) > 0 {
+		t.Fatalf("parse %q: %v", src, script.Errors)
+	}
+	return script
+}
+
+func build(t *testing.T, src string) *Schema {
+	t.Helper()
+	s, notes := ParseAndBuild(src)
+	for _, n := range notes {
+		t.Logf("note: %v", n)
+	}
+	return s
+}
+
+func TestBuildSnapshot(t *testing.T) {
+	s := build(t, `
+CREATE TABLE users (id INT PRIMARY KEY, name VARCHAR(50) NOT NULL);
+CREATE TABLE posts (
+  id INT PRIMARY KEY,
+  author INT REFERENCES users(id),
+  body TEXT
+);`)
+	if s.TableCount() != 2 {
+		t.Fatalf("tables = %d", s.TableCount())
+	}
+	if s.AttributeCount() != 5 {
+		t.Errorf("attributes = %d", s.AttributeCount())
+	}
+	users, _ := s.Table("users")
+	if len(users.PrimaryKey) != 1 || users.PrimaryKey[0] != "id" {
+		t.Errorf("users pk = %v", users.PrimaryKey)
+	}
+	id, _ := users.Column("id")
+	if !id.InPK || !id.NotNull {
+		t.Errorf("pk column flags: %+v", id)
+	}
+	posts, _ := s.Table("posts")
+	if len(posts.ForeignKeys) != 1 || posts.ForeignKeys[0].RefTable != "users" {
+		t.Errorf("posts fks = %+v", posts.ForeignKeys)
+	}
+}
+
+func TestApplyAlterLifecycle(t *testing.T) {
+	s := build(t, `CREATE TABLE t (a INT);`)
+	steps := []string{
+		`ALTER TABLE t ADD COLUMN b TEXT`,
+		`ALTER TABLE t ADD COLUMN c DATE, ADD COLUMN d INT`,
+		`ALTER TABLE t DROP COLUMN a`,
+		`ALTER TABLE t RENAME COLUMN b TO bb`,
+		`ALTER TABLE t MODIFY COLUMN d BIGINT NOT NULL`,
+		`ALTER TABLE t ADD PRIMARY KEY (d)`,
+	}
+	for _, step := range steps {
+		notes := s.Apply(mustParse(t, step))
+		if len(notes) != 0 {
+			t.Fatalf("%s: notes %v", step, notes)
+		}
+	}
+	tbl, _ := s.Table("t")
+	got := tbl.ColumnNames()
+	want := []string{"bb", "c", "d"}
+	if len(got) != len(want) {
+		t.Fatalf("columns = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("column %d = %q want %q", i, got[i], want[i])
+		}
+	}
+	d, _ := tbl.Column("d")
+	if d.Type != "bigint" || !d.NotNull || !d.InPK {
+		t.Errorf("d = %+v", d)
+	}
+}
+
+func TestRenameTable(t *testing.T) {
+	s := build(t, `CREATE TABLE old (x INT); ALTER TABLE old RENAME TO new;`)
+	if _, ok := s.Table("old"); ok {
+		t.Error("old still present")
+	}
+	tbl, ok := s.Table("new")
+	if !ok || tbl.Name != "new" {
+		t.Fatalf("new missing: %v", s)
+	}
+}
+
+func TestDropTableNotes(t *testing.T) {
+	s, notes := ParseAndBuild(`DROP TABLE missing;`)
+	if len(notes) != 1 {
+		t.Fatalf("notes = %v", notes)
+	}
+	if s.TableCount() != 0 {
+		t.Errorf("tables = %d", s.TableCount())
+	}
+	_, notes = ParseAndBuild(`DROP TABLE IF EXISTS missing;`)
+	if len(notes) != 0 {
+		t.Errorf("IF EXISTS should be silent: %v", notes)
+	}
+}
+
+func TestAlterMissingTargets(t *testing.T) {
+	s := build(t, `CREATE TABLE t (a INT);`)
+	notes := s.Apply(parse(`ALTER TABLE nope ADD COLUMN x INT;
+ALTER TABLE t DROP COLUMN nope;
+ALTER TABLE t ADD COLUMN a INT;`))
+	if len(notes) != 3 {
+		t.Fatalf("notes = %v", notes)
+	}
+}
+
+func TestDropColumnCleansKeys(t *testing.T) {
+	s := build(t, `CREATE TABLE t (
+		a INT, b INT, PRIMARY KEY (a, b),
+		CONSTRAINT fk FOREIGN KEY (a) REFERENCES other (id)
+	);
+	ALTER TABLE t DROP COLUMN a;`)
+	tbl, _ := s.Table("t")
+	if len(tbl.PrimaryKey) != 1 || tbl.PrimaryKey[0] != "b" {
+		t.Errorf("pk = %v", tbl.PrimaryKey)
+	}
+	if len(tbl.ForeignKeys) != 0 {
+		t.Errorf("fk not removed: %+v", tbl.ForeignKeys)
+	}
+}
+
+func TestDropForeignKeyByName(t *testing.T) {
+	s := build(t, `CREATE TABLE t (
+		a INT,
+		CONSTRAINT fk_a FOREIGN KEY (a) REFERENCES o (id)
+	);
+	ALTER TABLE t DROP FOREIGN KEY fk_a;`)
+	tbl, _ := s.Table("t")
+	if len(tbl.ForeignKeys) != 0 {
+		t.Errorf("fks = %+v", tbl.ForeignKeys)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	s := build(t, `CREATE TABLE t (a INT, PRIMARY KEY (a));`)
+	c := s.Clone()
+	tbl, _ := c.Table("t")
+	tbl.Columns[0].Name = "mutated"
+	tbl.PrimaryKey[0] = "mutated"
+	orig, _ := s.Table("t")
+	if orig.Columns[0].Name != "a" || orig.PrimaryKey[0] != "a" {
+		t.Error("clone aliases original storage")
+	}
+}
+
+func TestCreateTableIfNotExistsKeepsOriginal(t *testing.T) {
+	s := build(t, `
+CREATE TABLE t (a INT, b INT);
+CREATE TABLE IF NOT EXISTS t (x INT);`)
+	tbl, _ := s.Table("t")
+	if len(tbl.Columns) != 2 {
+		t.Errorf("original replaced: %v", tbl.ColumnNames())
+	}
+}
+
+func TestNormalizeType(t *testing.T) {
+	cases := map[string]string{
+		"INTEGER":                  "int",
+		"int4":                     "int",
+		"serial":                   "int",
+		"bigserial":                "bigint",
+		"BOOLEAN":                  "bool",
+		"character varying(30)":    "varchar(30)",
+		"varchar(30)":              "varchar(30)",
+		"double precision":         "double",
+		"numeric(10, 2)":           "numeric(10,2)",
+		"decimal(10,2)":            "numeric(10,2)",
+		"datetime":                 "timestamp",
+		"timestamp with time zone": "timestamp with time zone",
+		"int(11) unsigned":         "int(11) unsigned",
+		"bigint unsigned":          "bigint unsigned",
+		"text array":               "text array",
+		"":                         "",
+	}
+	for in, want := range cases {
+		if got := NormalizeType(in); got != want {
+			t.Errorf("NormalizeType(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestTypeFamily(t *testing.T) {
+	cases := map[string]string{
+		"varchar(255)":          "varchar",
+		"character varying(30)": "varchar",
+		"int(11) unsigned":      "int",
+		"numeric(10,2)":         "numeric",
+	}
+	for in, want := range cases {
+		if got := TypeFamily(in); got != want {
+			t.Errorf("TypeFamily(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestTablesOrderDeterministic(t *testing.T) {
+	s := build(t, `CREATE TABLE z (a INT); CREATE TABLE a (b INT); CREATE TABLE m (c INT);`)
+	tables := s.Tables()
+	wantOrder := []string{"z", "a", "m"} // insertion order
+	for i, tb := range tables {
+		if tb.Name != wantOrder[i] {
+			t.Errorf("Tables()[%d] = %q, want %q", i, tb.Name, wantOrder[i])
+		}
+	}
+	names := s.TableNames()
+	wantSorted := []string{"a", "m", "z"}
+	for i, n := range names {
+		if n != wantSorted[i] {
+			t.Errorf("TableNames()[%d] = %q, want %q", i, n, wantSorted[i])
+		}
+	}
+}
+
+// TestNormalizeTypeIdempotent: normalizing twice is the same as once.
+func TestNormalizeTypeIdempotent(t *testing.T) {
+	inputs := []string{
+		"INTEGER", "int4", "serial", "character varying(30)", "double precision",
+		"numeric(10, 2)", "datetime", "int(11) unsigned", "text array",
+		"bigint unsigned zerofill", "timestamptz", "CLOB", "weird_custom_type(3)",
+	}
+	for _, in := range inputs {
+		once := NormalizeType(in)
+		twice := NormalizeType(once)
+		if once != twice {
+			t.Errorf("NormalizeType not idempotent on %q: %q -> %q", in, once, twice)
+		}
+	}
+}

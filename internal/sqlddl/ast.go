@@ -1,0 +1,231 @@
+package sqlddl
+
+// Script is a parsed DDL file: the statements that could be parsed, plus
+// any per-statement errors for the ones that could not.
+type Script struct {
+	Statements []Statement
+	// Errors holds one entry per statement that failed to parse. Parsing
+	// is error-tolerant: a bad statement is skipped, not fatal.
+	Errors []*ParseError
+}
+
+// Statement is a single parsed DDL statement.
+type Statement interface {
+	// stmt is a marker method restricting the implementations to this
+	// package.
+	stmt()
+}
+
+// ColumnDef describes one column of a table.
+type ColumnDef struct {
+	Name string
+	// Type is the raw data type as written (e.g. "VARCHAR(255)",
+	// "integer", "numeric(10,2)"). Use schema.NormalizeType for the
+	// canonical form.
+	Type string
+	// NotNull is set by NOT NULL or by PRIMARY KEY membership declared
+	// inline.
+	NotNull bool
+	// Default is the raw default expression, empty if absent.
+	Default string
+	// HasDefault distinguishes DEFAULT NULL from no default at all.
+	HasDefault bool
+	// PrimaryKey marks an inline PRIMARY KEY column constraint.
+	PrimaryKey bool
+	// Unique marks an inline UNIQUE column constraint.
+	Unique bool
+	// AutoIncrement marks AUTO_INCREMENT / AUTOINCREMENT / IDENTITY /
+	// SERIAL-typed columns.
+	AutoIncrement bool
+	// References is the inline foreign-key target, nil if absent.
+	References *FKRef
+	// Comment is the MySQL COMMENT 'text' clause, if present.
+	Comment string
+}
+
+// FKRef is the target of a foreign-key reference.
+type FKRef struct {
+	Table   string
+	Columns []string
+	// OnDelete and OnUpdate carry the referential actions as written
+	// (e.g. "CASCADE", "SET NULL"), empty if unspecified.
+	OnDelete string
+	OnUpdate string
+}
+
+// ConstraintKind classifies table-level constraints.
+type ConstraintKind int
+
+// Table constraint kinds.
+const (
+	PrimaryKeyConstraint ConstraintKind = iota
+	ForeignKeyConstraint
+	UniqueConstraint
+	CheckConstraint
+	IndexConstraint // KEY / INDEX clauses inside CREATE TABLE (MySQL)
+)
+
+func (k ConstraintKind) String() string {
+	switch k {
+	case PrimaryKeyConstraint:
+		return "PRIMARY KEY"
+	case ForeignKeyConstraint:
+		return "FOREIGN KEY"
+	case UniqueConstraint:
+		return "UNIQUE"
+	case CheckConstraint:
+		return "CHECK"
+	case IndexConstraint:
+		return "INDEX"
+	}
+	return "CONSTRAINT"
+}
+
+// TableConstraint is a table-level constraint of a CREATE TABLE or an
+// ALTER TABLE ... ADD CONSTRAINT.
+type TableConstraint struct {
+	Kind ConstraintKind
+	// Name is the optional constraint name.
+	Name string
+	// Columns are the constrained columns (empty for CHECK).
+	Columns []string
+	// Ref is set for foreign keys.
+	Ref *FKRef
+	// Expr is the raw expression for CHECK constraints.
+	Expr string
+}
+
+// CreateTable is a parsed CREATE TABLE statement.
+type CreateTable struct {
+	Name        string
+	IfNotExists bool
+	Temporary   bool
+	Columns     []ColumnDef
+	Constraints []TableConstraint
+	// Options holds trailing table options (ENGINE=, CHARSET=, ...) as
+	// raw text; they do not affect the logical schema.
+	Options string
+}
+
+func (*CreateTable) stmt() {}
+
+// AlterAction enumerates the ALTER TABLE sub-commands that affect the
+// logical schema.
+type AlterAction int
+
+// Alter action kinds.
+const (
+	AddColumn AlterAction = iota
+	DropColumn
+	ModifyColumn       // MODIFY/ALTER COLUMN type changes
+	RenameColumn       // RENAME COLUMN a TO b, CHANGE a b type
+	AddTableConstraint // ADD CONSTRAINT / ADD PRIMARY KEY / ADD FOREIGN KEY
+	DropConstraint     // DROP CONSTRAINT / DROP PRIMARY KEY / DROP FOREIGN KEY
+	RenameTable        // RENAME TO t
+	SetDefault         // ALTER COLUMN c SET DEFAULT / DROP DEFAULT
+	SetNotNull         // ALTER COLUMN c SET NOT NULL / DROP NOT NULL
+	OtherAlteration    // recognized but schema-neutral (e.g. engine options)
+)
+
+func (a AlterAction) String() string {
+	switch a {
+	case AddColumn:
+		return "ADD COLUMN"
+	case DropColumn:
+		return "DROP COLUMN"
+	case ModifyColumn:
+		return "MODIFY COLUMN"
+	case RenameColumn:
+		return "RENAME COLUMN"
+	case AddTableConstraint:
+		return "ADD CONSTRAINT"
+	case DropConstraint:
+		return "DROP CONSTRAINT"
+	case RenameTable:
+		return "RENAME TABLE"
+	case SetDefault:
+		return "SET DEFAULT"
+	case SetNotNull:
+		return "SET NOT NULL"
+	case OtherAlteration:
+		return "OTHER"
+	}
+	return "ALTER"
+}
+
+// Alteration is a single action of an ALTER TABLE statement.
+type Alteration struct {
+	Action AlterAction
+	// Column is the affected column definition: the new definition for
+	// AddColumn/ModifyColumn/RenameColumn, or just the Name for
+	// DropColumn/SetDefault/SetNotNull.
+	Column ColumnDef
+	// OldName is the pre-rename column name for RenameColumn.
+	OldName string
+	// NewTableName is set for RenameTable.
+	NewTableName string
+	// Constraint is set for AddTableConstraint.
+	Constraint *TableConstraint
+	// ConstraintKind and ConstraintName are set for DropConstraint.
+	ConstraintKind ConstraintKind
+	ConstraintName string
+	// Drop is true for the DROP variants of SetDefault/SetNotNull.
+	Drop bool
+}
+
+// AlterTable is a parsed ALTER TABLE statement (one or more actions).
+type AlterTable struct {
+	Name     string
+	IfExists bool
+	Actions  []Alteration
+}
+
+func (*AlterTable) stmt() {}
+
+// DropTable is a parsed DROP TABLE statement.
+type DropTable struct {
+	Names    []string
+	IfExists bool
+	Cascade  bool
+}
+
+func (*DropTable) stmt() {}
+
+// CreateIndex is a parsed CREATE [UNIQUE] INDEX statement. Indexes are
+// physical-level and do not contribute to logical-schema change, but they
+// are parsed so that callers can count them.
+type CreateIndex struct {
+	Name    string
+	Table   string
+	Columns []string
+	Unique  bool
+}
+
+func (*CreateIndex) stmt() {}
+
+// DropIndex is a parsed DROP INDEX statement.
+type DropIndex struct {
+	Name  string
+	Table string // MySQL form: DROP INDEX name ON table
+}
+
+func (*DropIndex) stmt() {}
+
+// CreateView records a CREATE VIEW statement. Views are recognized so
+// they are not misparsed, but the logical-schema model tracks base tables
+// only, matching the paper's unit of measurement.
+type CreateView struct {
+	Name string
+}
+
+func (*CreateView) stmt() {}
+
+// RawStatement is any statement the parser recognizes as valid SQL but
+// does not model (INSERT, UPDATE, SET, USE, GRANT, COMMENT, SELECT, ...).
+// Verb is the first keyword, upper-cased.
+type RawStatement struct {
+	Verb string
+	Text string
+}
+
+func (*RawStatement) stmt() {}

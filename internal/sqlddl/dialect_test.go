@@ -1,0 +1,214 @@
+package sqlddl
+
+import (
+	"strings"
+	"testing"
+)
+
+// dialectCase is one real-world DDL construct the parser must survive —
+// ideally modeled, at minimum tolerated without poisoning the script.
+type dialectCase struct {
+	name string
+	src  string
+	// wantTables is the number of CreateTable statements expected.
+	wantTables int
+	// wantErrors is the number of per-statement parse errors tolerated.
+	wantErrors int
+	// check, when set, inspects the parsed script further.
+	check func(t *testing.T, s *Script)
+}
+
+func firstCreate(s *Script) *CreateTable {
+	for _, stmt := range s.Statements {
+		if ct, ok := stmt.(*CreateTable); ok {
+			return ct
+		}
+	}
+	return nil
+}
+
+func TestDialectZoo(t *testing.T) {
+	cases := []dialectCase{
+		{
+			name:       "mysql backquotes and table options",
+			src:        "CREATE TABLE `a b` (`c d` int(10) unsigned zerofill) ENGINE=InnoDB AUTO_INCREMENT=17 DEFAULT CHARSET=utf8mb4 COLLATE=utf8mb4_unicode_ci COMMENT='x';",
+			wantTables: 1,
+			check: func(t *testing.T, s *Script) {
+				ct := firstCreate(s)
+				if ct.Name != "a b" || ct.Columns[0].Name != "c d" {
+					t.Errorf("quoted names: %+v", ct)
+				}
+				if ct.Columns[0].Type != "int(10) unsigned zerofill" {
+					t.Errorf("type: %q", ct.Columns[0].Type)
+				}
+			},
+		},
+		{
+			name:       "mysql enum and set types",
+			src:        "CREATE TABLE t (s ENUM('a','b','c') NOT NULL DEFAULT 'a', f SET('x','y'));",
+			wantTables: 1,
+			check: func(t *testing.T, s *Script) {
+				ct := firstCreate(s)
+				if !strings.HasPrefix(ct.Columns[0].Type, "enum(") {
+					t.Errorf("enum type: %q", ct.Columns[0].Type)
+				}
+				if ct.Columns[0].Default != "'a'" {
+					t.Errorf("enum default: %q", ct.Columns[0].Default)
+				}
+			},
+		},
+		{
+			name:       "mysql on update current_timestamp",
+			src:        "CREATE TABLE t (u TIMESTAMP NOT NULL DEFAULT CURRENT_TIMESTAMP ON UPDATE CURRENT_TIMESTAMP);",
+			wantTables: 1,
+		},
+		{
+			name:       "postgres quoted mixed-case and casts",
+			src:        `CREATE TABLE "Users" ("Id" integer DEFAULT nextval('users_id_seq'::regclass) NOT NULL, state character varying DEFAULT 'new'::character varying);`,
+			wantTables: 1,
+			check: func(t *testing.T, s *Script) {
+				ct := firstCreate(s)
+				if ct.Name != "Users" || ct.Columns[0].Name != "Id" {
+					t.Errorf("mixed case lost: %+v", ct)
+				}
+			},
+		},
+		{
+			name:       "postgres exclusion constraint",
+			src:        `CREATE TABLE res (room int, during text, EXCLUDE USING gist (room WITH =));`,
+			wantTables: 1,
+		},
+		{
+			name:       "sqlite typeless and autoincrement",
+			src:        `CREATE TABLE kv (k PRIMARY KEY, v, id INTEGER PRIMARY KEY AUTOINCREMENT);`,
+			wantTables: 1,
+			check: func(t *testing.T, s *Script) {
+				ct := firstCreate(s)
+				if len(ct.Columns) != 3 || ct.Columns[1].Type != "" {
+					t.Errorf("typeless columns: %+v", ct.Columns)
+				}
+			},
+		},
+		{
+			name:       "sqlite if not exists with check",
+			src:        `CREATE TABLE IF NOT EXISTS c (age INT CHECK (age >= 0 AND age < 150));`,
+			wantTables: 1,
+		},
+		{
+			name:       "composite keys with prefix lengths",
+			src:        "CREATE TABLE t (a VARCHAR(200), b VARCHAR(200), PRIMARY KEY (a(10), b), KEY ix (b(20) DESC));",
+			wantTables: 1,
+			check: func(t *testing.T, s *Script) {
+				ct := firstCreate(s)
+				if len(ct.Constraints) != 2 || len(ct.Constraints[0].Columns) != 2 {
+					t.Errorf("constraints: %+v", ct.Constraints)
+				}
+			},
+		},
+		{
+			name: "deferrable foreign keys",
+			src: `CREATE TABLE child (pid int,
+				CONSTRAINT fk FOREIGN KEY (pid) REFERENCES parent (id)
+				ON DELETE SET NULL ON UPDATE NO ACTION DEFERRABLE INITIALLY DEFERRED);`,
+			wantTables: 1,
+			check: func(t *testing.T, s *Script) {
+				ct := firstCreate(s)
+				ref := ct.Constraints[0].Ref
+				if ref.OnDelete != "SET NULL" || ref.OnUpdate != "NO ACTION" {
+					t.Errorf("actions: %+v", ref)
+				}
+			},
+		},
+		{
+			name:       "generated column stored",
+			src:        `CREATE TABLE t (a int, b int GENERATED ALWAYS AS (a * 2) STORED);`,
+			wantTables: 1,
+		},
+		{
+			name:       "comment only file",
+			src:        "-- nothing here\n/* still nothing */\n# mysql comment\n",
+			wantTables: 0,
+		},
+		{
+			name:       "windows line endings and BOM-ish noise",
+			src:        "CREATE TABLE t (\r\n a INT,\r\n b TEXT\r\n);\r\n",
+			wantTables: 1,
+		},
+		{
+			name:       "unicode identifiers",
+			src:        "CREATE TABLE café (überschrift TEXT, 名前 VARCHAR(10));",
+			wantTables: 1,
+		},
+		{
+			name: "mysqldump header block",
+			src: `/*!40101 SET @saved_cs_client = @@character_set_client */;
+				SET NAMES utf8;
+				LOCK TABLES ` + "`t`" + ` WRITE;
+				CREATE TABLE t (a INT);
+				UNLOCK TABLES;`,
+			wantTables: 1,
+		},
+		{
+			name:       "broken statement does not poison the file",
+			src:        "CREATE TABLE good (a INT);\nCREATE TABLE broken (a INT,);\nCREATE TABLE also (b INT);",
+			wantTables: 3, // trailing comma tolerated: column list just ends
+		},
+		{
+			name:       "truly malformed statement isolated",
+			src:        "CREATE TABLE good (a INT);\nCREATE TABLE (a INT);\nCREATE TABLE fine (b INT);",
+			wantTables: 2,
+			wantErrors: 1,
+		},
+		{
+			name:       "create table as select",
+			src:        "CREATE TABLE copy AS SELECT * FROM orig;",
+			wantTables: 1,
+			check: func(t *testing.T, s *Script) {
+				if ct := firstCreate(s); len(ct.Columns) != 0 {
+					t.Errorf("CTAS should have no explicit columns: %+v", ct)
+				}
+			},
+		},
+		{
+			name:       "partitioned table options",
+			src:        "CREATE TABLE logs (d DATE) PARTITION BY RANGE (YEAR(d)) (PARTITION p0 VALUES LESS THAN (2020));",
+			wantTables: 1,
+		},
+		{
+			name:       "postgres inherits",
+			src:        "CREATE TABLE child () INHERITS (parent);",
+			wantTables: 1,
+		},
+		{
+			name:       "default expressions with functions and casts",
+			src:        `CREATE TABLE t (a timestamp DEFAULT now(), b uuid DEFAULT gen_random_uuid(), c numeric DEFAULT (1 + 2), d smallint DEFAULT 0::smallint, e int DEFAULT -1);`,
+			wantTables: 1,
+			check: func(t *testing.T, s *Script) {
+				ct := firstCreate(s)
+				if ct.Columns[4].Default != "-1" {
+					t.Errorf("negative default: %q", ct.Columns[4].Default)
+				}
+			},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			script := Parse(c.src)
+			tables := 0
+			for _, stmt := range script.Statements {
+				if _, ok := stmt.(*CreateTable); ok {
+					tables++
+				}
+			}
+			if tables != c.wantTables {
+				t.Errorf("tables = %d, want %d (errors: %v)", tables, c.wantTables, script.Errors)
+			}
+			if len(script.Errors) != c.wantErrors {
+				t.Errorf("errors = %d, want %d: %v", len(script.Errors), c.wantErrors, script.Errors)
+			}
+			if c.check != nil && tables == c.wantTables && c.wantTables > 0 {
+				c.check(t, script)
+			}
+		})
+	}
+}

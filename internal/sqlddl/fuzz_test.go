@@ -1,0 +1,42 @@
+package sqlddl
+
+import "testing"
+
+// FuzzParse is a native fuzz target for the whole parse path. Run with
+//
+//	go test -fuzz=FuzzParse ./internal/sqlddl
+//
+// Without -fuzz the seed corpus below runs as a regular test.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"CREATE TABLE t (a INT, b TEXT, PRIMARY KEY (a));",
+		"ALTER TABLE t ADD COLUMN c DATE, DROP COLUMN b;",
+		"DROP TABLE IF EXISTS t CASCADE;",
+		"CREATE TABLE `q` (\"w\" int(10) unsigned DEFAULT '0' COMMENT 'it''s');",
+		"CREATE TABLE x (y serial PRIMARY KEY, z text[] DEFAULT '{}'::text[]);",
+		"-- comment\n/* block */ SELECT 1;",
+		"CREATE TABLE ((((",
+		"'unterminated string",
+		";;;;",
+		"ALTER TABLE ONLY public.t ALTER COLUMN c TYPE bigint USING c::bigint;",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		script := Parse(src)
+		if script == nil {
+			t.Fatal("nil script")
+		}
+		// Rendered output of every parsed statement must itself parse.
+		for _, stmt := range script.Statements {
+			if _, ok := stmt.(*RawStatement); ok {
+				continue
+			}
+			rendered := Render(stmt)
+			if _, err := ParseStatement(rendered); err != nil {
+				t.Fatalf("rendered statement does not re-parse: %v\nrendered: %s", err, rendered)
+			}
+		}
+	})
+}

@@ -1,0 +1,327 @@
+package sqlddl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Lexer turns a DDL script into a stream of tokens. It tolerates the
+// comment and quoting syntax of the common open-source dialects:
+//
+//   - line comments:  -- ...  and  # ...
+//   - block comments: /* ... */ (non-nesting, MySQL hint comments included)
+//   - string literals: 'it”s' with doubled-quote and backslash escapes
+//   - quoted identifiers: "postgres", `mysql`, [mssql]
+//
+// The lexer never fails: malformed input (e.g. an unterminated string)
+// yields a final token covering the rest of the input, and the parser
+// decides how much of the statement is salvageable.
+type Lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Tokenize scans the whole input and returns the token slice, terminated
+// by an EOF token.
+func Tokenize(src string) []Token {
+	lx := NewLexer(src)
+	var toks []Token
+	for {
+		t := lx.Next()
+		toks = append(toks, t)
+		if t.Kind == EOF {
+			return toks
+		}
+	}
+}
+
+func (lx *Lexer) peek() byte {
+	if lx.pos >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos]
+}
+
+func (lx *Lexer) peekAt(off int) byte {
+	if lx.pos+off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos+off]
+}
+
+func (lx *Lexer) advance() byte {
+	c := lx.src[lx.pos]
+	lx.pos++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *Lexer) skipSpaceAndComments() {
+	for lx.pos < len(lx.src) {
+		c := lx.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\v' || c == '\f':
+			lx.advance()
+		case c == '-' && lx.peekAt(1) == '-':
+			lx.skipToEOL()
+		case c == '#':
+			lx.skipToEOL()
+		case c == '/' && lx.peekAt(1) == '*':
+			lx.advance()
+			lx.advance()
+			for lx.pos < len(lx.src) {
+				if lx.peek() == '*' && lx.peekAt(1) == '/' {
+					lx.advance()
+					lx.advance()
+					break
+				}
+				lx.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (lx *Lexer) skipToEOL() {
+	for lx.pos < len(lx.src) && lx.peek() != '\n' {
+		lx.advance()
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c == '$' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') || c >= 0x80
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || ('0' <= c && c <= '9')
+}
+
+func isDigit(c byte) bool { return '0' <= c && c <= '9' }
+
+// Next returns the next token.
+func (lx *Lexer) Next() Token {
+	lx.skipSpaceAndComments()
+	if lx.pos >= len(lx.src) {
+		return Token{Kind: EOF, Line: lx.line, Col: lx.col}
+	}
+	line, col := lx.line, lx.col
+	c := lx.peek()
+	switch {
+	case isIdentStart(c):
+		start := lx.pos
+		for lx.pos < len(lx.src) && isIdentPart(lx.peek()) {
+			lx.advance()
+		}
+		return Token{Kind: Ident, Text: lx.src[start:lx.pos], Line: line, Col: col}
+	case isDigit(c) || (c == '.' && isDigit(lx.peekAt(1))):
+		return lx.lexNumber(line, col)
+	case c == '\'':
+		return lx.lexString(line, col)
+	case c == '"':
+		return lx.lexQuoted('"', '"', line, col)
+	case c == '`':
+		return lx.lexQuoted('`', '`', line, col)
+	case c == '[':
+		return lx.lexQuoted('[', ']', line, col)
+	case c == '(':
+		lx.advance()
+		return Token{Kind: LParen, Text: "(", Line: line, Col: col}
+	case c == ')':
+		lx.advance()
+		return Token{Kind: RParen, Text: ")", Line: line, Col: col}
+	case c == ',':
+		lx.advance()
+		return Token{Kind: Comma, Text: ",", Line: line, Col: col}
+	case c == ';':
+		lx.advance()
+		return Token{Kind: Semi, Text: ";", Line: line, Col: col}
+	case c == '.':
+		lx.advance()
+		return Token{Kind: Dot, Text: ".", Line: line, Col: col}
+	default:
+		return lx.lexOp(line, col)
+	}
+}
+
+func (lx *Lexer) lexNumber(line, col int) Token {
+	start := lx.pos
+	seenDot := false
+	for lx.pos < len(lx.src) {
+		c := lx.peek()
+		if isDigit(c) {
+			lx.advance()
+			continue
+		}
+		if c == '.' && !seenDot && isDigit(lx.peekAt(1)) {
+			seenDot = true
+			lx.advance()
+			continue
+		}
+		if (c == 'e' || c == 'E') && (isDigit(lx.peekAt(1)) ||
+			((lx.peekAt(1) == '+' || lx.peekAt(1) == '-') && isDigit(lx.peekAt(2)))) {
+			lx.advance() // e
+			lx.advance() // sign or first digit
+			continue
+		}
+		break
+	}
+	return Token{Kind: Number, Text: lx.src[start:lx.pos], Line: line, Col: col}
+}
+
+// lexString scans a single-quoted literal honouring both the SQL-standard
+// doubled-quote escape ('it”s') and the MySQL backslash escape ('it\'s').
+func (lx *Lexer) lexString(line, col int) Token {
+	lx.advance() // opening quote
+	var sb strings.Builder
+	for lx.pos < len(lx.src) {
+		c := lx.advance()
+		switch c {
+		case '\'':
+			if lx.peek() == '\'' {
+				lx.advance()
+				sb.WriteByte('\'')
+				continue
+			}
+			return Token{Kind: String, Text: sb.String(), Line: line, Col: col}
+		case '\\':
+			if lx.pos < len(lx.src) {
+				sb.WriteByte(lx.advance())
+				continue
+			}
+			sb.WriteByte(c)
+		default:
+			sb.WriteByte(c)
+		}
+	}
+	// Unterminated literal: return what we have; the parser will likely
+	// hit EOF and abandon the statement.
+	return Token{Kind: String, Text: sb.String(), Line: line, Col: col}
+}
+
+func (lx *Lexer) lexQuoted(open, close byte, line, col int) Token {
+	lx.advance() // opening delimiter
+	var sb strings.Builder
+	for lx.pos < len(lx.src) {
+		c := lx.advance()
+		if c == close {
+			// Doubled closing delimiter escapes it inside the name.
+			if lx.peek() == close {
+				lx.advance()
+				sb.WriteByte(close)
+				continue
+			}
+			return Token{Kind: QuotedIdent, Text: sb.String(), Line: line, Col: col}
+		}
+		sb.WriteByte(c)
+	}
+	return Token{Kind: QuotedIdent, Text: sb.String(), Line: line, Col: col}
+}
+
+func (lx *Lexer) lexOp(line, col int) Token {
+	c := lx.advance()
+	text := string(c)
+	two := func(next byte) bool {
+		if lx.peek() == next {
+			lx.advance()
+			return true
+		}
+		return false
+	}
+	switch c {
+	case '<':
+		if two('=') {
+			text = "<="
+		} else if two('>') {
+			text = "<>"
+		}
+	case '>':
+		if two('=') {
+			text = ">="
+		}
+	case '!':
+		if two('=') {
+			text = "!="
+		}
+	case ':':
+		if two(':') {
+			text = "::"
+		}
+	case '|':
+		if two('|') {
+			text = "||"
+		}
+	}
+	return Token{Kind: Op, Text: text, Line: line, Col: col}
+}
+
+// SplitStatements splits a script into statements on top-level semicolons,
+// ignoring semicolons inside strings, comments and parentheses. It returns
+// the raw text of each non-empty statement. This is used by callers that
+// want per-statement error recovery.
+func SplitStatements(src string) []string {
+	var out []string
+	lx := NewLexer(src)
+	depth := 0
+	start := 0
+	lastEnd := 0
+	for {
+		// Record position before the token so statement text includes
+		// neither leading separators nor the semicolon itself.
+		t := lx.Next()
+		if t.Kind == EOF {
+			if s := strings.TrimSpace(src[start:lastEnd]); s != "" {
+				out = append(out, s)
+			}
+			return out
+		}
+		switch t.Kind {
+		case LParen:
+			depth++
+		case RParen:
+			if depth > 0 {
+				depth--
+			}
+		case Semi:
+			if depth == 0 {
+				if s := strings.TrimSpace(src[start:lastEnd]); s != "" {
+					out = append(out, s)
+				}
+				start = lx.pos
+			}
+		}
+		lastEnd = lx.pos
+	}
+}
+
+// QuoteString renders a value as a SQL single-quoted literal, doubling
+// embedded quotes.
+func QuoteString(v string) string {
+	return "'" + strings.ReplaceAll(v, "'", "''") + "'"
+}
+
+// ParseError describes a failure to parse a single statement. The
+// statement index and position refer to the original script.
+type ParseError struct {
+	Stmt    int    // 0-based statement index within the script
+	Line    int    // 1-based line of the offending token
+	Col     int    // 1-based column of the offending token
+	Msg     string // what went wrong
+	Excerpt string // leading fragment of the statement text
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("sqlddl: statement %d at %d:%d: %s", e.Stmt, e.Line, e.Col, e.Msg)
+}

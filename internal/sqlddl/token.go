@@ -1,0 +1,107 @@
+package sqlddl
+
+import "fmt"
+
+// Kind identifies the lexical class of a token.
+type Kind int
+
+// Token kinds produced by the lexer.
+const (
+	// EOF marks the end of the input.
+	EOF Kind = iota
+	// Ident is an unquoted identifier or keyword. Keywords are not
+	// distinguished lexically; the parser matches them case-insensitively.
+	Ident
+	// QuotedIdent is an identifier quoted with double quotes, backquotes
+	// or square brackets. Its Text carries the unquoted value.
+	QuotedIdent
+	// Number is an integer or decimal literal.
+	Number
+	// String is a single-quoted SQL string literal. Its Text carries the
+	// unescaped value.
+	String
+	// LParen and RParen are the parenthesis tokens.
+	LParen
+	RParen
+	// Comma, Semi and Dot are the corresponding punctuation tokens.
+	Comma
+	Semi
+	Dot
+	// Op is any other operator or punctuation character sequence
+	// (=, <, >, <=, >=, <>, !=, +, -, *, /, %, ::, etc.).
+	Op
+)
+
+func (k Kind) String() string {
+	switch k {
+	case EOF:
+		return "EOF"
+	case Ident:
+		return "Ident"
+	case QuotedIdent:
+		return "QuotedIdent"
+	case Number:
+		return "Number"
+	case String:
+		return "String"
+	case LParen:
+		return "LParen"
+	case RParen:
+		return "RParen"
+	case Comma:
+		return "Comma"
+	case Semi:
+		return "Semi"
+	case Dot:
+		return "Dot"
+	case Op:
+		return "Op"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Token is a single lexical unit of a DDL script.
+type Token struct {
+	Kind Kind
+	// Text is the token payload: the identifier (unquoted), the literal
+	// value, or the operator characters.
+	Text string
+	// Line and Col locate the first character of the token (1-based).
+	Line, Col int
+}
+
+// IsIdent reports whether the token is a (possibly quoted) identifier.
+func (t Token) IsIdent() bool { return t.Kind == Ident || t.Kind == QuotedIdent }
+
+// Match reports whether the token is an unquoted identifier equal to the
+// given keyword, compared case-insensitively. Quoted identifiers never
+// match keywords.
+func (t Token) Match(keyword string) bool {
+	return t.Kind == Ident && equalFold(t.Text, keyword)
+}
+
+// equalFold is an ASCII-only case-insensitive comparison. SQL keywords are
+// ASCII, so the full Unicode folding of strings.EqualFold is unnecessary,
+// and this avoids its overhead on the hot tokenizing path.
+func equalFold(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'A' <= ca && ca <= 'Z' {
+			ca += 'a' - 'A'
+		}
+		if 'A' <= cb && cb <= 'Z' {
+			cb += 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}
+
+func (t Token) String() string {
+	return fmt.Sprintf("%s(%q)@%d:%d", t.Kind, t.Text, t.Line, t.Col)
+}

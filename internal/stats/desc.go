@@ -1,0 +1,234 @@
+// Package stats implements the statistical machinery the paper's analysis
+// uses: Spearman rank correlations with tie correction (Fig. 2), the
+// Shapiro-Wilk normality test (§3.4.1), quantiles, and histograms with
+// special handling of the boundary values 0 and 1.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean; it returns NaN for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance (n-1 denominator); it
+// returns NaN for fewer than two values.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs)-1)
+}
+
+// StdDev returns the sample standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Quantile returns the p-quantile (0 <= p <= 1) using linear
+// interpolation between order statistics (R's default type 7). It returns
+// NaN for an empty slice.
+func Quantile(xs []float64, p float64) float64 {
+	if len(xs) == 0 || math.IsNaN(p) || p < 0 || p > 1 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0]
+	}
+	h := p * float64(len(s)-1)
+	lo := int(math.Floor(h))
+	hi := int(math.Ceil(h))
+	if lo == hi {
+		return s[lo]
+	}
+	return s[lo] + (h-float64(lo))*(s[hi]-s[lo])
+}
+
+// Median returns the 0.5-quantile.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// MedianInts is a convenience for integer-valued measures like total
+// schema activity.
+func MedianInts(xs []int) float64 {
+	fs := make([]float64, len(xs))
+	for i, x := range xs {
+		fs[i] = float64(x)
+	}
+	return Median(fs)
+}
+
+// Histogram bins values into equal-width buckets over [min, max], with
+// optional dedicated bins for exact special values (the paper singles out
+// 0 and 1, which carry semantics like "born at V_p^0").
+type Histogram struct {
+	// Min and Max bound the regular buckets.
+	Min, Max float64
+	// Counts has one entry per regular bucket.
+	Counts []int
+	// Special maps each requested special value to its exact-match count;
+	// specially counted values are excluded from the regular buckets.
+	Special map[float64]int
+	// N is the total number of values binned.
+	N int
+}
+
+// NewHistogram bins xs into nBuckets equal-width buckets between min and
+// max, counting exact matches of the special values separately.
+func NewHistogram(xs []float64, nBuckets int, min, max float64, special ...float64) (*Histogram, error) {
+	if nBuckets <= 0 {
+		return nil, fmt.Errorf("stats: histogram needs at least one bucket, got %d", nBuckets)
+	}
+	if !(max > min) {
+		return nil, fmt.Errorf("stats: histogram range [%g,%g] is empty", min, max)
+	}
+	h := &Histogram{Min: min, Max: max, Counts: make([]int, nBuckets), Special: map[float64]int{}}
+	for _, s := range special {
+		h.Special[s] = 0
+	}
+	width := (max - min) / float64(nBuckets)
+	for _, x := range xs {
+		h.N++
+		if _, ok := h.Special[x]; ok {
+			h.Special[x]++
+			continue
+		}
+		if x < min || x > max {
+			continue // out of range; still counted in N
+		}
+		idx := int((x - min) / width)
+		if idx >= nBuckets {
+			idx = nBuckets - 1 // x == max
+		}
+		h.Counts[idx]++
+	}
+	return h, nil
+}
+
+// BucketLabel renders the half-open range of bucket i.
+func (h *Histogram) BucketLabel(i int) string {
+	width := (h.Max - h.Min) / float64(len(h.Counts))
+	lo := h.Min + float64(i)*width
+	hi := lo + width
+	return fmt.Sprintf("(%.2f..%.2f]", lo, hi)
+}
+
+// Ranks assigns 1-based ranks with ties resolved by averaging (mid-ranks),
+// the convention Spearman's rho requires.
+func Ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return ranks
+}
+
+// Pearson returns the Pearson correlation coefficient of two equal-length
+// samples; it returns NaN when either sample is constant or the inputs
+// are invalid.
+func Pearson(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return math.NaN()
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return math.NaN()
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// Spearman returns the rank correlation coefficient, handling ties by
+// mid-ranking (this is Pearson on the rank vectors, the standard
+// tie-corrected estimator).
+func Spearman(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return math.NaN()
+	}
+	return Pearson(Ranks(xs), Ranks(ys))
+}
+
+// Matrix is a named square correlation matrix.
+type Matrix struct {
+	Names []string
+	// R[i][j] is the correlation between series i and j.
+	R [][]float64
+}
+
+// SpearmanMatrix computes all pairwise Spearman correlations between the
+// named series. All series must have equal length.
+func SpearmanMatrix(names []string, series [][]float64) (*Matrix, error) {
+	if len(names) != len(series) {
+		return nil, fmt.Errorf("stats: %d names for %d series", len(names), len(series))
+	}
+	for i, s := range series {
+		if len(s) != len(series[0]) {
+			return nil, fmt.Errorf("stats: series %q has length %d, want %d", names[i], len(s), len(series[0]))
+		}
+	}
+	// Rank once per series rather than once per pair.
+	ranked := make([][]float64, len(series))
+	for i, s := range series {
+		ranked[i] = Ranks(s)
+	}
+	m := &Matrix{Names: names, R: make([][]float64, len(series))}
+	for i := range series {
+		m.R[i] = make([]float64, len(series))
+		m.R[i][i] = 1
+		for j := 0; j < i; j++ {
+			r := Pearson(ranked[i], ranked[j])
+			m.R[i][j], m.R[j][i] = r, r
+		}
+	}
+	return m, nil
+}
+
+// StrongPairs returns the index pairs (i<j) whose absolute correlation
+// meets the threshold — the "clean view" of Fig. 2.
+func (m *Matrix) StrongPairs(threshold float64) [][2]int {
+	var out [][2]int
+	for i := range m.R {
+		for j := i + 1; j < len(m.R); j++ {
+			if !math.IsNaN(m.R[i][j]) && math.Abs(m.R[i][j]) >= threshold {
+				out = append(out, [2]int{i, j})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,39 @@
+package stats
+
+import "math"
+
+// KendallTau returns Kendall's tau-b rank correlation of two equal-length
+// samples, with tie correction. It is a robustness companion to Spearman:
+// the Fig. 2 findings should not depend on the choice of rank statistic
+// (see the correlation-agreement test in the experiments package).
+func KendallTau(xs, ys []float64) float64 {
+	n := len(xs)
+	if n != len(ys) || n < 2 {
+		return math.NaN()
+	}
+	var concordant, discordant float64
+	var tiesX, tiesY float64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dx := xs[i] - xs[j]
+			dy := ys[i] - ys[j]
+			switch {
+			case dx == 0 && dy == 0:
+				// joint tie: contributes to neither denominator term
+			case dx == 0:
+				tiesX++
+			case dy == 0:
+				tiesY++
+			case dx*dy > 0:
+				concordant++
+			default:
+				discordant++
+			}
+		}
+	}
+	den := math.Sqrt((concordant + discordant + tiesX) * (concordant + discordant + tiesY))
+	if den == 0 {
+		return math.NaN()
+	}
+	return (concordant - discordant) / den
+}

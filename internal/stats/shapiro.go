@@ -1,0 +1,170 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ShapiroWilk performs the Shapiro-Wilk normality test following
+// Royston's AS R94 algorithm (valid for 3 <= n <= 5000). It returns the W
+// statistic and the p-value of the null hypothesis that the sample is
+// normally distributed. The paper (§3.4.1) uses it to establish the
+// non-normal character of every time-related measure.
+func ShapiroWilk(xs []float64) (w, p float64, err error) {
+	n := len(xs)
+	if n < 3 {
+		return 0, 0, fmt.Errorf("stats: shapiro-wilk needs n >= 3, got %d", n)
+	}
+	if n > 5000 {
+		return 0, 0, fmt.Errorf("stats: shapiro-wilk valid up to n = 5000, got %d", n)
+	}
+	x := append([]float64(nil), xs...)
+	sort.Float64s(x)
+	if x[0] == x[n-1] {
+		return 0, 0, fmt.Errorf("stats: shapiro-wilk requires non-constant data")
+	}
+
+	// Expected values of normal order statistics (Blom approximation).
+	m := make([]float64, n)
+	var ssm float64
+	for i := 0; i < n; i++ {
+		m[i] = NormalQuantile((float64(i+1) - 0.375) / (float64(n) + 0.25))
+		ssm += m[i] * m[i]
+	}
+
+	// Royston's polynomial-corrected weights.
+	a := make([]float64, n)
+	rsn := 1.0 / math.Sqrt(float64(n))
+	c := make([]float64, n)
+	norm := math.Sqrt(ssm)
+	for i := range m {
+		c[i] = m[i] / norm
+	}
+	if n == 3 {
+		a[0] = math.Sqrt(0.5)
+		a[2] = -a[0]
+	} else {
+		// a_n
+		an := c[n-1] + polyEval(rsn, 0, 0.221157, -0.147981, -2.071190, 4.434685, -2.706056)
+		var an1 float64
+		var phi float64
+		if n > 5 {
+			an1 = c[n-2] + polyEval(rsn, 0, 0.042981, -0.293762, -1.752461, 5.682633, -3.582633)
+			phi = (ssm - 2*m[n-1]*m[n-1] - 2*m[n-2]*m[n-2]) /
+				(1 - 2*an*an - 2*an1*an1)
+		} else {
+			phi = (ssm - 2*m[n-1]*m[n-1]) / (1 - 2*an*an)
+		}
+		sqrtPhi := math.Sqrt(phi)
+		a[n-1], a[0] = an, -an
+		start := 1
+		if n > 5 {
+			a[n-2], a[1] = an1, -an1
+			start = 2
+		}
+		for i := start; i < n-start; i++ {
+			a[i] = m[i] / sqrtPhi
+		}
+	}
+
+	// W statistic.
+	mean := Mean(x)
+	var num, den float64
+	for i := 0; i < n; i++ {
+		num += a[i] * x[i]
+		den += (x[i] - mean) * (x[i] - mean)
+	}
+	w = num * num / den
+	if w > 1 {
+		w = 1
+	}
+
+	// P-value via Royston's normalizing transformations.
+	switch {
+	case n == 3:
+		// Exact for n = 3.
+		const pi6, stqr = 1.90985931710274, 1.04719755119660 // 6/pi, asin(sqrt(3/4))
+		p = pi6 * (math.Asin(math.Sqrt(w)) - stqr)
+		if p < 0 {
+			p = 0
+		}
+		if p > 1 {
+			p = 1
+		}
+		return w, p, nil
+	case n <= 11:
+		g := -2.273 + 0.459*float64(n)
+		mu := polyEval(float64(n), 0.5440, -0.39978, 0.025054, -0.0006714)
+		sigma := math.Exp(polyEval(float64(n), 1.3822, -0.77857, 0.062767, -0.0020322))
+		z := (-math.Log(g-math.Log(1-w)) - mu) / sigma
+		p = 1 - NormalCDF(z)
+	default:
+		ln := math.Log(float64(n))
+		mu := polyEval(ln, -1.5861, -0.31082, -0.083751, 0.0038915)
+		sigma := math.Exp(polyEval(ln, -0.4803, -0.082676, 0.0030302))
+		z := (math.Log(1-w) - mu) / sigma
+		p = 1 - NormalCDF(z)
+	}
+	return w, p, nil
+}
+
+// polyEval evaluates c0 + c1 x + c2 x^2 + ... by Horner's rule.
+func polyEval(x float64, coeffs ...float64) float64 {
+	v := 0.0
+	for i := len(coeffs) - 1; i >= 0; i-- {
+		v = v*x + coeffs[i]
+	}
+	return v
+}
+
+// NormalCDF is the standard normal distribution function Phi(x).
+func NormalCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+// NormalQuantile is the inverse of NormalCDF (the probit function),
+// computed by Acklam's rational approximation refined with one Halley
+// step, giving near machine precision on (0,1).
+func NormalQuantile(p float64) float64 {
+	if math.IsNaN(p) || p <= 0 || p >= 1 {
+		switch {
+		case p == 0:
+			return math.Inf(-1)
+		case p == 1:
+			return math.Inf(1)
+		}
+		return math.NaN()
+	}
+	// Coefficients of Acklam's approximation.
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+		1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+		6.680131188771972e+01, -1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+		-2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+		3.754408661907416e+00}
+	const plow = 0.02425
+	var x float64
+	switch {
+	case p < plow:
+		q := math.Sqrt(-2 * math.Log(p))
+		x = (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= 1-plow:
+		q := p - 0.5
+		r := q * q
+		x = (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		x = -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+	// One Halley refinement step.
+	e := NormalCDF(x) - p
+	u := e * math.Sqrt(2*math.Pi) * math.Exp(x*x/2)
+	x = x - u/(1+x*u/2)
+	return x
+}

@@ -1,0 +1,303 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.IsNaN(got) || math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v (±%v)", name, got, want, tol)
+	}
+}
+
+func TestMeanVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	approx(t, "mean", Mean(xs), 5, 1e-12)
+	approx(t, "variance", Variance(xs), 32.0/7.0, 1e-12)
+	approx(t, "stddev", StdDev(xs), math.Sqrt(32.0/7.0), 1e-12)
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(Variance([]float64{1})) {
+		t.Error("degenerate inputs must yield NaN")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	approx(t, "median", Median(xs), 5.5, 1e-12)
+	approx(t, "q0", Quantile(xs, 0), 1, 1e-12)
+	approx(t, "q1", Quantile(xs, 1), 10, 1e-12)
+	approx(t, "q.25", Quantile(xs, 0.25), 3.25, 1e-12) // R type 7
+	if !math.IsNaN(Quantile(nil, 0.5)) || !math.IsNaN(Quantile(xs, -0.1)) {
+		t.Error("invalid quantile inputs must yield NaN")
+	}
+	approx(t, "median odd", Median([]float64{3, 1, 2}), 2, 1e-12)
+	approx(t, "median ints", MedianInts([]int{5, 1, 9}), 5, 1e-12)
+}
+
+func TestRanks(t *testing.T) {
+	r := Ranks([]float64{10, 20, 20, 30})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if r[i] != want[i] {
+			t.Errorf("rank %d = %v, want %v", i, r[i], want[i])
+		}
+	}
+	r2 := Ranks([]float64{5, 5, 5})
+	for _, v := range r2 {
+		if v != 2 {
+			t.Errorf("all-tie ranks: %v", r2)
+		}
+	}
+}
+
+func TestPearsonAndSpearman(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	approx(t, "pearson linear", Pearson(xs, ys), 1, 1e-12)
+	approx(t, "spearman monotone", Spearman(xs, []float64{1, 8, 27, 64, 125}), 1, 1e-12)
+	approx(t, "spearman reversed", Spearman(xs, []float64{5, 4, 3, 2, 1}), -1, 1e-12)
+	if !math.IsNaN(Pearson(xs, []float64{3, 3, 3, 3, 3})) {
+		t.Error("constant series must yield NaN")
+	}
+	if !math.IsNaN(Spearman(xs, xs[:3])) {
+		t.Error("length mismatch must yield NaN")
+	}
+	// Known small example with ties: x=(1,2,3,4), y=(1,1,3,4).
+	got := Spearman([]float64{1, 2, 3, 4}, []float64{1, 1, 3, 4})
+	approx(t, "spearman ties", got, 0.9486832980505138, 1e-9)
+}
+
+func TestSpearmanMatrix(t *testing.T) {
+	names := []string{"a", "b", "c"}
+	series := [][]float64{
+		{1, 2, 3, 4, 5},
+		{2, 4, 6, 8, 10},
+		{5, 4, 3, 2, 1},
+	}
+	m, err := SpearmanMatrix(names, series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "R[0][1]", m.R[0][1], 1, 1e-12)
+	approx(t, "R[0][2]", m.R[0][2], -1, 1e-12)
+	approx(t, "diag", m.R[2][2], 1, 1e-12)
+	if m.R[1][0] != m.R[0][1] {
+		t.Error("matrix not symmetric")
+	}
+	strong := m.StrongPairs(0.9)
+	if len(strong) != 3 {
+		t.Errorf("strong pairs: %v", strong)
+	}
+	if _, err := SpearmanMatrix(names, series[:2]); err == nil {
+		t.Error("name/series mismatch should error")
+	}
+	if _, err := SpearmanMatrix([]string{"a", "b"}, [][]float64{{1, 2}, {1}}); err == nil {
+		t.Error("ragged series should error")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{0, 0, 0.05, 0.15, 0.5, 0.95, 1, 1}
+	h, err := NewHistogram(xs, 10, 0, 1, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Special[0] != 2 || h.Special[1] != 2 {
+		t.Errorf("special counts: %v", h.Special)
+	}
+	if h.Counts[0] != 1 || h.Counts[1] != 1 || h.Counts[5] != 1 || h.Counts[9] != 1 {
+		t.Errorf("bucket counts: %v", h.Counts)
+	}
+	if h.N != 8 {
+		t.Errorf("N = %d", h.N)
+	}
+	if h.BucketLabel(0) != "(0.00..0.10]" {
+		t.Errorf("label: %s", h.BucketLabel(0))
+	}
+	if _, err := NewHistogram(xs, 0, 0, 1); err == nil {
+		t.Error("zero buckets should error")
+	}
+	if _, err := NewHistogram(xs, 10, 1, 1); err == nil {
+		t.Error("empty range should error")
+	}
+}
+
+func TestNormalCDFAndQuantile(t *testing.T) {
+	approx(t, "Phi(0)", NormalCDF(0), 0.5, 1e-15)
+	approx(t, "Phi(1.96)", NormalCDF(1.959963984540054), 0.975, 1e-12)
+	approx(t, "Phi(-1)", NormalCDF(-1), 0.15865525393145707, 1e-12)
+	approx(t, "probit(0.5)", NormalQuantile(0.5), 0, 1e-12)
+	approx(t, "probit(0.975)", NormalQuantile(0.975), 1.959963984540054, 1e-9)
+	approx(t, "probit(0.001)", NormalQuantile(0.001), -3.090232306167813, 1e-8)
+	if !math.IsInf(NormalQuantile(0), -1) || !math.IsInf(NormalQuantile(1), 1) {
+		t.Error("boundary quantiles must be infinite")
+	}
+	if !math.IsNaN(NormalQuantile(-0.5)) {
+		t.Error("out-of-range p must be NaN")
+	}
+}
+
+// TestNormalQuantileRoundTrip: Phi(Phi^-1(p)) == p over the open interval.
+func TestNormalQuantileRoundTrip(t *testing.T) {
+	f := func(u uint32) bool {
+		p := (float64(u%999998) + 1) / 1000000 // (0,1)
+		back := NormalCDF(NormalQuantile(p))
+		return math.Abs(back-p) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShapiroWilkNormalData(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	rejected := 0
+	const trials = 40
+	for i := 0; i < trials; i++ {
+		xs := make([]float64, 100)
+		for j := range xs {
+			xs[j] = rng.NormFloat64()
+		}
+		w, p, err := ShapiroWilk(xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w < 0.9 || w > 1 {
+			t.Errorf("trial %d: W = %v for normal data", i, w)
+		}
+		if p < 0.05 {
+			rejected++
+		}
+	}
+	// At the 5% level we expect about 2 rejections in 40 trials; allow
+	// generous slack but catch a broken test (all or most rejected).
+	if rejected > 8 {
+		t.Errorf("rejected %d/%d normal samples at 5%%", rejected, trials)
+	}
+}
+
+func TestShapiroWilkSkewedData(t *testing.T) {
+	// Power-law-ish data like the paper's time measures: strongly
+	// non-normal, p should be tiny for n = 151.
+	xs := make([]float64, 151)
+	for i := range xs {
+		xs[i] = math.Pow(float64(i+1), -1.5)
+	}
+	w, p, err := ShapiroWilk(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p > 1e-6 {
+		t.Errorf("skewed data: p = %v, want < 1e-6 (W = %v)", p, w)
+	}
+}
+
+func TestShapiroWilkUniformGrid(t *testing.T) {
+	// A uniform grid is platykurtic; for n = 50 W is high but the test
+	// should not scream normal with tiny p either way. Check sane ranges.
+	xs := make([]float64, 50)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	w, p, err := ShapiroWilk(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w < 0.9 || w > 1 {
+		t.Errorf("uniform grid W = %v", w)
+	}
+	if p < 0 || p > 1 {
+		t.Errorf("p out of range: %v", p)
+	}
+}
+
+func TestShapiroWilkSmallN(t *testing.T) {
+	for _, n := range []int{3, 4, 5, 7, 11} {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = float64(i * i)
+		}
+		w, p, err := ShapiroWilk(xs)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if w <= 0 || w > 1 || p < 0 || p > 1 {
+			t.Errorf("n=%d: W=%v p=%v", n, w, p)
+		}
+	}
+}
+
+func TestShapiroWilkAffineInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	xs := make([]float64, 60)
+	for i := range xs {
+		xs[i] = rng.ExpFloat64()
+	}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 100 + 42*x
+	}
+	w1, p1, err1 := ShapiroWilk(xs)
+	w2, p2, err2 := ShapiroWilk(ys)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	approx(t, "W affine", w2, w1, 1e-9)
+	approx(t, "p affine", p2, p1, 1e-9)
+}
+
+func TestShapiroWilkErrors(t *testing.T) {
+	if _, _, err := ShapiroWilk([]float64{1, 2}); err == nil {
+		t.Error("n < 3 should error")
+	}
+	if _, _, err := ShapiroWilk([]float64{5, 5, 5, 5}); err == nil {
+		t.Error("constant data should error")
+	}
+	big := make([]float64, 5001)
+	for i := range big {
+		big[i] = float64(i)
+	}
+	if _, _, err := ShapiroWilk(big); err == nil {
+		t.Error("n > 5000 should error")
+	}
+}
+
+func TestKendallTau(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	approx(t, "tau monotone", KendallTau(xs, []float64{2, 4, 6, 8, 10}), 1, 1e-12)
+	approx(t, "tau reversed", KendallTau(xs, []float64{5, 4, 3, 2, 1}), -1, 1e-12)
+	// Classic worked example: x=(12,2,1,12,2), y=(1,4,7,1,0).
+	// tau-b = -0.4714045...
+	got := KendallTau([]float64{12, 2, 1, 12, 2}, []float64{1, 4, 7, 1, 0})
+	approx(t, "tau-b ties", got, -0.47140452079103173, 1e-12)
+	if !math.IsNaN(KendallTau(xs, xs[:3])) {
+		t.Error("length mismatch must be NaN")
+	}
+	if !math.IsNaN(KendallTau([]float64{1, 1}, []float64{2, 2})) {
+		t.Error("all-tied input must be NaN")
+	}
+}
+
+// TestKendallAgreesWithSpearmanInSign: on random monotone-ish data the two
+// rank statistics agree in sign.
+func TestKendallAgreesWithSpearmanInSign(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 100; trial++ {
+		n := 20 + rng.Intn(30)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		slope := rng.Float64()*4 - 2
+		for i := range xs {
+			xs[i] = rng.Float64() * 10
+			ys[i] = slope*xs[i] + rng.NormFloat64()*0.5
+		}
+		tau := KendallTau(xs, ys)
+		rho := Spearman(xs, ys)
+		if math.Abs(rho) > 0.3 && tau*rho < 0 {
+			t.Fatalf("trial %d: tau %.2f vs rho %.2f disagree in sign", trial, tau, rho)
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package synth
+
+import (
+	"testing"
+
+	"schemaevo/internal/core"
+	"schemaevo/internal/corpus"
+)
+
+// analyzedPaperCorpus is shared across calibration tests (generation plus
+// full-pipeline analysis of 151 projects is the expensive part).
+func analyzedPaperCorpus(t *testing.T) *corpus.Corpus {
+	t.Helper()
+	c, err := PaperCorpus(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Analyze(scheme); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestPaperCorpusCalibration(t *testing.T) {
+	c := analyzedPaperCorpus(t)
+	if c.Len() != 151 {
+		t.Fatalf("corpus size = %d, want 151", c.Len())
+	}
+	if got := c.FilterMinMonths(12).Len(); got != 151 {
+		t.Errorf("projects over 12 months = %d, want all 151", got)
+	}
+
+	// Per-pattern populations (Table 2).
+	byPattern := map[core.Pattern]int{}
+	for _, p := range c.Projects {
+		byPattern[p.GroundTruth]++
+		if !p.Measures.HasSchema {
+			t.Errorf("%s: no schema activity", p.Name)
+		}
+	}
+	for p, want := range PaperPopulations() {
+		if byPattern[p] != want {
+			t.Errorf("%v population = %d, want %d", p, byPattern[p], want)
+		}
+	}
+
+	// Exceptions per pattern (Table 2): sigmoid 2, late riser 1,
+	// quantum steps 2, siesta 3, others 0.
+	wantExc := map[core.Pattern]int{
+		core.Sigmoid: 2, core.LateRiser: 1, core.QuantumSteps: 2, core.Siesta: 3,
+	}
+	reports := core.Exceptions(c.Subjects())
+	for _, r := range reports {
+		if got := len(r.Exceptions); got != wantExc[r.Pattern] {
+			t.Errorf("%v exceptions = %d (%v), want %d", r.Pattern, got, r.Exceptions, wantExc[r.Pattern])
+		}
+	}
+
+	// Non-exception projects classify to their ground truth through the
+	// full realized pipeline.
+	for _, p := range c.Projects {
+		got := core.Classify(p.Labels)
+		if s := p.Subject(); s.IsException() {
+			continue
+		}
+		if got != p.GroundTruth {
+			t.Errorf("%s: classified %v, ground truth %v (labels %+v)",
+				p.Name, got, p.GroundTruth, p.Labels)
+		}
+	}
+}
+
+func TestPaperCorpusBirthBuckets(t *testing.T) {
+	c := analyzedPaperCorpus(t)
+	bucketOf := func(m int) int {
+		switch {
+		case m == 0:
+			return 0
+		case m <= 6:
+			return 1
+		case m <= 12:
+			return 2
+		default:
+			return 3
+		}
+	}
+	got := map[core.Pattern][4]int{}
+	for _, p := range c.Projects {
+		b := bucketOf(p.Measures.BirthMonth)
+		row := got[p.GroundTruth]
+		row[b]++
+		got[p.GroundTruth] = row
+	}
+	want := map[core.Pattern][4]int{ // Fig. 7 rows
+		core.Flatliner:        {23, 0, 0, 0},
+		core.RadicalSign:      {16, 19, 5, 1},
+		core.Sigmoid:          {0, 1, 2, 16},
+		core.LateRiser:        {0, 0, 0, 14},
+		core.QuantumSteps:     {4, 11, 2, 6},
+		core.RegularlyCurated: {3, 4, 3, 4},
+		core.SmokingFunnel:    {0, 0, 0, 7},
+		core.Siesta:           {6, 3, 1, 0},
+	}
+	for p, w := range want {
+		if got[p] != w {
+			t.Errorf("%v birth buckets = %v, want %v", p, got[p], w)
+		}
+	}
+}
+
+func TestPaperCorpusHeadlineStats(t *testing.T) {
+	c := analyzedPaperCorpus(t)
+	// §3.4: two thirds of projects have zero active growth months; 58%
+	// have a vault. Allow shape-level tolerances.
+	zeroActive, vaults := 0, 0
+	for _, p := range c.Projects {
+		if p.Measures.ActiveGrowthMonths == 0 {
+			zeroActive++
+		}
+		if p.Measures.HasVault {
+			vaults++
+		}
+	}
+	if zeroActive < 85 || zeroActive > 110 {
+		t.Errorf("zero-active-growth projects = %d, paper reports 98", zeroActive)
+	}
+	if vaults < 75 || vaults > 100 {
+		t.Errorf("vault projects = %d, paper reports ~88 (58%%)", vaults)
+	}
+	// Two thirds of the corpus is in the Be Quick or Be Dead family.
+	bqbd := 0
+	for _, p := range c.Projects {
+		if core.FamilyOf(p.GroundTruth) == core.BeQuickOrBeDead {
+			bqbd++
+		}
+	}
+	if bqbd != 97 {
+		t.Errorf("BQBD population = %d, want 97", bqbd)
+	}
+}
+
+func TestPaperCorpusRoundTripsThroughJSON(t *testing.T) {
+	c, err := PaperCorpus(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/corpus.json"
+	if err := c.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := corpus.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != c.Len() {
+		t.Fatalf("round trip lost projects: %d vs %d", back.Len(), c.Len())
+	}
+	for i := range c.Projects {
+		if back.Projects[i].GroundTruth != c.Projects[i].GroundTruth {
+			t.Errorf("project %d ground truth lost", i)
+		}
+	}
+	// The reloaded corpus re-derives identical measures.
+	if err := back.Analyze(scheme); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Analyze(scheme); err != nil {
+		t.Fatal(err)
+	}
+	for i := range c.Projects {
+		a, b := c.Projects[i].Measures, back.Projects[i].Measures
+		if a.BirthMonth != b.BirthMonth || a.TotalActivity != b.TotalActivity ||
+			a.TopBandMonth != b.TopBandMonth {
+			t.Errorf("project %s measures differ after round trip", c.Projects[i].Name)
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"schemaevo/internal/core"
+	"schemaevo/internal/corpus"
+	"schemaevo/internal/quantize"
+)
+
+// spec is one block of projects to generate: a pattern, a birth-month
+// bucket, a population, and whether the block consists of intentional
+// definition exceptions (Table 2).
+type spec struct {
+	pattern core.Pattern
+	gen     generator
+	bucket  BirthBucket
+	n       int
+	exc     bool
+}
+
+// paperSpecs encodes the published corpus composition: the per-pattern
+// populations of Table 2 crossed with the birth-month buckets of Fig. 7,
+// including the exception projects the paper reports per pattern.
+func paperSpecs() []spec {
+	return []spec{
+		// Flatliners: 23, all born at M0.
+		{core.Flatliner, genFlatliner, BornM0, 23, false},
+
+		// Radical Sign: 41 = 16 + 19 + 5 + 1 across the birth buckets.
+		{core.RadicalSign, genRadicalSign, BornM0, 16, false},
+		{core.RadicalSign, genRadicalSign, BornM1to6, 19, false},
+		{core.RadicalSign, genRadicalSign, BornM7to12, 5, false},
+		{core.RadicalSign, genRadicalSign, BornAfterM12, 1, false},
+
+		// Sigmoid: 19 = 17 regular (1 + 16) plus the 2 early-born
+		// exceptions (1 in M1..6, 1 in M7..12).
+		{core.Sigmoid, genSigmoid, BornM7to12, 1, false},
+		{core.Sigmoid, genSigmoid, BornAfterM12, 16, false},
+		{core.Sigmoid, genSigmoidExcEarly, BornM1to6, 1, true},
+		{core.Sigmoid, genSigmoidExcEarly, BornM7to12, 1, true},
+
+		// Late Risers: 14 = 13 regular plus the middle-top exception.
+		{core.LateRiser, genLateRiser, BornAfterM12, 13, false},
+		{core.LateRiser, genLateRiserExcMiddle, BornAfterM12, 1, true},
+
+		// Quantum Steps: 23 = variant A (4 + 10 + 2), variant B (5), and
+		// 2 exceptions.
+		{core.QuantumSteps, genQuantumA, BornM0, 4, false},
+		{core.QuantumSteps, genQuantumA, BornM1to6, 10, false},
+		{core.QuantumSteps, genQuantumA, BornM7to12, 2, false},
+		{core.QuantumSteps, genQuantumB, BornAfterM12, 5, false},
+		{core.QuantumSteps, genQuantumExcLateTop, BornM1to6, 1, true},
+		{core.QuantumSteps, genQuantumExcFairSigmoid, BornAfterM12, 1, true},
+
+		// Regularly Curated: 14 = variant A (3 + 4 + 3 + 1), variant B (3).
+		{core.RegularlyCurated, genRegularEarly, BornM0, 3, false},
+		{core.RegularlyCurated, genRegularEarly, BornM1to6, 4, false},
+		{core.RegularlyCurated, genRegularEarly, BornM7to12, 3, false},
+		{core.RegularlyCurated, genRegularEarly, BornAfterM12, 1, false},
+		{core.RegularlyCurated, genRegularMiddle, BornAfterM12, 3, false},
+
+		// Smoking Funnel: 7, all middle-born (after M12).
+		{core.SmokingFunnel, genSmokingFunnel, BornAfterM12, 7, false},
+
+		// Siesta: 10 = 7 regular (5 + 2) plus 3 exceptions.
+		{core.Siesta, genSiesta, BornM0, 5, false},
+		{core.Siesta, genSiesta, BornM1to6, 2, false},
+		{core.Siesta, genSiestaExcActive, BornM0, 1, true},
+		{core.Siesta, genSiestaExcActive, BornM1to6, 1, true},
+		{core.Siesta, genSiestaExcLong, BornM7to12, 1, true},
+	}
+}
+
+// PaperPopulations returns the per-pattern population counts the
+// generator is calibrated to (Table 2 of the paper).
+func PaperPopulations() map[core.Pattern]int {
+	out := map[core.Pattern]int{}
+	for _, sp := range paperSpecs() {
+		out[sp.pattern] += sp.n
+	}
+	return out
+}
+
+func slug(p core.Pattern) string {
+	return strings.ReplaceAll(strings.ToLower(p.String()), " ", "-")
+}
+
+func randomStart(rng *rand.Rand) time.Time {
+	year := 2004 + rng.Intn(14)
+	month := time.Month(1 + rng.Intn(12))
+	return time.Date(year, month, 1, 9, 0, 0, 0, time.UTC)
+}
+
+// PaperCorpus generates the calibrated 151-project corpus. Generation is
+// deterministic for a given seed. Every project's repository is a full
+// DDL commit history; derived fields are not yet computed (call
+// Corpus.Analyze).
+func PaperCorpus(seed int64) (*corpus.Corpus, error) {
+	rng := rand.New(rand.NewSource(seed))
+	scheme := quantize.DefaultScheme()
+	c := &corpus.Corpus{}
+	idx := 0
+	for _, sp := range paperSpecs() {
+		for i := 0; i < sp.n; i++ {
+			sched, err := generateVerified(rng, sp.gen, sp.bucket, sp.pattern, sp.exc, scheme)
+			if err != nil {
+				return nil, fmt.Errorf("synth: %v/%v #%d: %w", sp.pattern, sp.bucket, i, err)
+			}
+			name := fmt.Sprintf("prj%03d-%s", idx, slug(sp.pattern))
+			// About a third of real FOSS projects keep their schema as an
+			// append-only migration script rather than a full dump; mirror
+			// that mix so both parser paths carry corpus-scale load.
+			style := FullDump
+			if rng.Float64() < 0.3 {
+				style = MigrationScript
+			}
+			repo, err := RealizeStyled(sched, name, randomStart(rng), rng, style)
+			if err != nil {
+				return nil, fmt.Errorf("synth: %s: %w", name, err)
+			}
+			c.Projects = append(c.Projects, &corpus.Project{
+				Name:        name,
+				Repo:        repo,
+				GroundTruth: sp.pattern,
+			})
+			idx++
+		}
+	}
+	rng.Shuffle(len(c.Projects), func(i, j int) {
+		c.Projects[i], c.Projects[j] = c.Projects[j], c.Projects[i]
+	})
+	return c, nil
+}
+
+// RandomCorpus generates n projects with patterns drawn from the paper's
+// population proportions and birth buckets drawn per pattern. Useful for
+// scale benchmarks and robustness tests.
+func RandomCorpus(n int, seed int64) (*corpus.Corpus, error) {
+	rng := rand.New(rand.NewSource(seed))
+	scheme := quantize.DefaultScheme()
+	specs := paperSpecs()
+	// Build a cumulative distribution over the non-exception specs.
+	var weights []int
+	total := 0
+	for _, sp := range specs {
+		w := 0
+		if !sp.exc {
+			w = sp.n
+		}
+		total += w
+		weights = append(weights, total)
+	}
+	c := &corpus.Corpus{}
+	for i := 0; i < n; i++ {
+		r := rng.Intn(total)
+		var sp spec
+		for j, w := range weights {
+			if r < w {
+				sp = specs[j]
+				break
+			}
+		}
+		sched, err := generateVerified(rng, sp.gen, sp.bucket, sp.pattern, false, scheme)
+		if err != nil {
+			return nil, fmt.Errorf("synth: random #%d (%v): %w", i, sp.pattern, err)
+		}
+		name := fmt.Sprintf("rnd%04d-%s", i, slug(sp.pattern))
+		repo, err := Realize(sched, name, randomStart(rng), rng)
+		if err != nil {
+			return nil, fmt.Errorf("synth: %s: %w", name, err)
+		}
+		c.Projects = append(c.Projects, &corpus.Project{
+			Name:        name,
+			Repo:        repo,
+			GroundTruth: sp.pattern,
+		})
+	}
+	return c, nil
+}

@@ -1,0 +1,408 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"schemaevo/internal/vcs"
+)
+
+// typePalette lists column types that are pairwise distinct under
+// schema.NormalizeType, so a generated type change is always a real
+// logical change.
+var typePalette = []string{
+	"int", "bigint", "smallint", "varchar(255)", "varchar(100)", "text",
+	"timestamp", "date", "bool", "double", "numeric(10,2)", "blob", "char(1)",
+}
+
+type genCol struct {
+	name string
+	typ  string
+	pk   bool
+	fk   string // referenced table name, "" when not a foreign key
+	// fkRefCol is the referenced column (the target's primary key).
+	fkRefCol string
+	born     int // month the column appeared
+	// touched is the last month a maintenance op targeted the column;
+	// a second same-month op would break the exact-cost accounting.
+	touched int
+}
+
+type genTable struct {
+	name    string
+	cols    []*genCol
+	born    int
+	inbound int // number of FK columns elsewhere referencing this table
+	touched int // last month a structural op targeted the table
+}
+
+// builder evolves an in-memory schema and renders full SQL dumps. Every
+// operation has an exact attribute cost equal to what diff.Schemas will
+// measure between the month's snapshots.
+type builder struct {
+	rng       *rand.Rand
+	tables    []*genTable
+	nextTable int
+	nextCol   int
+	// recordMigrations switches the builder into migration-log mode:
+	// every operation also appends the equivalent DDL statement to
+	// migrations, so the schema file can be realized as an append-only
+	// script instead of a full dump.
+	recordMigrations bool
+	migrations       []string
+}
+
+func newBuilder(rng *rand.Rand) *builder {
+	return &builder{rng: rng}
+}
+
+func (b *builder) logMigration(format string, args ...any) {
+	if b.recordMigrations {
+		b.migrations = append(b.migrations, fmt.Sprintf(format, args...))
+	}
+}
+
+func (b *builder) newColName() string {
+	b.nextCol++
+	return fmt.Sprintf("c%d", b.nextCol)
+}
+
+func (b *builder) pickType() string {
+	return typePalette[b.rng.Intn(len(typePalette))]
+}
+
+// addTable creates a table with k columns (k >= 1); the first column is
+// an integer primary key. Cost: k.
+func (b *builder) addTable(month, k int) {
+	b.nextTable++
+	t := &genTable{name: fmt.Sprintf("t%d", b.nextTable), born: month, touched: month}
+	t.cols = append(t.cols, &genCol{name: b.newColName(), typ: "int", pk: true, born: month, touched: month})
+	for i := 1; i < k; i++ {
+		t.cols = append(t.cols, &genCol{name: b.newColName(), typ: b.pickType(), born: month, touched: month})
+	}
+	b.tables = append(b.tables, t)
+	if b.recordMigrations {
+		var cols []string
+		for _, c := range t.cols {
+			def := c.name + " " + c.typ
+			if c.pk {
+				def += " NOT NULL"
+			}
+			cols = append(cols, def)
+		}
+		b.logMigration("CREATE TABLE %s (%s, PRIMARY KEY (%s));",
+			t.name, strings.Join(cols, ", "), t.cols[0].name)
+	}
+}
+
+// inject adds one plain column to a random table, creating a single-column
+// table when the schema is empty. Cost: 1.
+func (b *builder) inject(month int) {
+	if len(b.tables) == 0 {
+		b.addTable(month, 1)
+		return
+	}
+	t := b.tables[b.rng.Intn(len(b.tables))]
+	c := &genCol{name: b.newColName(), typ: b.pickType(), born: month, touched: month}
+	t.cols = append(t.cols, c)
+	t.touched = month
+	b.logMigration("ALTER TABLE %s ADD COLUMN %s %s;", t.name, c.name, c.typ)
+}
+
+// plainCols returns maintenance-eligible columns of t: no key role, born
+// before this month, untouched this month.
+func plainCols(t *genTable, month int) []*genCol {
+	var out []*genCol
+	for _, c := range t.cols {
+		if !c.pk && c.fk == "" && c.born < month && c.touched < month {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// pickMaintTarget finds a (table, plain column) pair eligible for a
+// 1-attribute maintenance op, or nil.
+func (b *builder) pickMaintTarget(month int) (*genTable, *genCol) {
+	// Scan from a random start so targets spread across tables.
+	if len(b.tables) == 0 {
+		return nil, nil
+	}
+	start := b.rng.Intn(len(b.tables))
+	for i := 0; i < len(b.tables); i++ {
+		t := b.tables[(start+i)%len(b.tables)]
+		if cands := plainCols(t, month); len(cands) > 0 {
+			return t, cands[b.rng.Intn(len(cands))]
+		}
+	}
+	return nil, nil
+}
+
+// eject removes one eligible plain column. Cost: 1. Returns false when no
+// column is eligible.
+func (b *builder) eject(month int) bool {
+	t, c := b.pickMaintTarget(month)
+	if c == nil {
+		return false
+	}
+	if len(t.cols) < 2 {
+		return false
+	}
+	for i, tc := range t.cols {
+		if tc == c {
+			t.cols = append(t.cols[:i], t.cols[i+1:]...)
+			break
+		}
+	}
+	t.touched = month
+	b.logMigration("ALTER TABLE %s DROP COLUMN %s;", t.name, c.name)
+	return true
+}
+
+// changeType switches one eligible column to a different palette type.
+// Cost: 1.
+func (b *builder) changeType(month int) bool {
+	t, c := b.pickMaintTarget(month)
+	if c == nil {
+		return false
+	}
+	for {
+		if nt := b.pickType(); nt != c.typ {
+			c.typ = nt
+			break
+		}
+	}
+	c.touched = month
+	// Mark the table too: a same-month drop would swallow this change
+	// and break the exact-cost accounting.
+	t.touched = month
+	b.logMigration("ALTER TABLE %s MODIFY COLUMN %s %s;", t.name, c.name, c.typ)
+	return true
+}
+
+// addFK turns one eligible column into a foreign key to another table.
+// Cost: 1 (the column's key membership changes).
+func (b *builder) addFK(month int) bool {
+	if len(b.tables) < 2 {
+		return false
+	}
+	t, c := b.pickMaintTarget(month)
+	if c == nil {
+		return false
+	}
+	var refs []*genTable
+	for _, rt := range b.tables {
+		if rt != t {
+			refs = append(refs, rt)
+		}
+	}
+	if len(refs) == 0 {
+		return false
+	}
+	ref := refs[b.rng.Intn(len(refs))]
+	c.fk = ref.name
+	c.fkRefCol = ref.cols[0].name
+	c.touched = month
+	t.touched = month // protect from a same-month drop (exact costs)
+	ref.inbound++
+	b.logMigration("ALTER TABLE %s ADD FOREIGN KEY (%s) REFERENCES %s (%s);",
+		t.name, c.name, ref.name, c.fkRefCol)
+	return true
+}
+
+// dropTable removes one table that pre-exists this month, is referenced
+// by nobody, was not touched this month, and has at most maxCost columns.
+// It returns the cost (column count) or 0 when no table is eligible.
+func (b *builder) dropTable(month, maxCost int) int {
+	if len(b.tables) < 2 {
+		return 0
+	}
+	start := b.rng.Intn(len(b.tables))
+	for i := 0; i < len(b.tables); i++ {
+		idx := (start + i) % len(b.tables)
+		t := b.tables[idx]
+		if t.born >= month || t.inbound > 0 || t.touched >= month || len(t.cols) > maxCost {
+			continue
+		}
+		// Release this table's outbound references.
+		for _, c := range t.cols {
+			if c.fk != "" {
+				for _, rt := range b.tables {
+					if rt.name == c.fk {
+						rt.inbound--
+						break
+					}
+				}
+			}
+		}
+		cost := len(t.cols)
+		b.tables = append(b.tables[:idx], b.tables[idx+1:]...)
+		b.logMigration("DROP TABLE %s;", t.name)
+		return cost
+	}
+	return 0
+}
+
+// realizeMonth applies operations worth exactly `budget` affected
+// attributes, aiming for the given expansion share; any maintenance
+// budget that finds no eligible target falls back to expansion (which is
+// always realizable).
+func (b *builder) realizeMonth(month, budget int, expShare float64) {
+	maint := int(float64(budget)*(1-expShare) + 0.5)
+	if maint > budget {
+		maint = budget
+	}
+	exp := budget - maint
+	for maint > 0 {
+		switch b.rng.Intn(4) {
+		case 0:
+			if cost := b.dropTable(month, maint); cost > 0 {
+				maint -= cost
+				continue
+			}
+		case 1:
+			if b.eject(month) {
+				maint--
+				continue
+			}
+		case 2:
+			if b.addFK(month) {
+				maint--
+				continue
+			}
+		default:
+		}
+		if b.changeType(month) {
+			maint--
+			continue
+		}
+		if b.eject(month) {
+			maint--
+			continue
+		}
+		// No maintenance target available: convert the rest to expansion.
+		exp += maint
+		maint = 0
+	}
+	for exp > 0 {
+		if exp >= 3 && b.rng.Float64() < 0.6 {
+			k := 2 + b.rng.Intn(min(7, exp-1))
+			b.addTable(month, k)
+			exp -= k
+			continue
+		}
+		b.inject(month)
+		exp--
+	}
+}
+
+// Dump renders the current schema as a full SQL snapshot. Beside the
+// CREATE TABLE statements it emits the schema-neutral noise real dumps
+// carry — SET headers, secondary indexes, a view — so the parser's
+// non-logical paths get corpus-scale load; none of it affects the
+// attribute-level diff.
+func (b *builder) Dump() string {
+	var sb strings.Builder
+	sb.WriteString("-- generated schema snapshot\n")
+	sb.WriteString("SET NAMES utf8;\n")
+	for _, t := range b.tables {
+		fmt.Fprintf(&sb, "CREATE TABLE %s (\n", t.name)
+		for i, c := range t.cols {
+			if i > 0 {
+				sb.WriteString(",\n")
+			}
+			fmt.Fprintf(&sb, "  %s %s", c.name, c.typ)
+			if c.pk {
+				sb.WriteString(" NOT NULL")
+			}
+		}
+		for _, c := range t.cols {
+			if c.pk {
+				fmt.Fprintf(&sb, ",\n  PRIMARY KEY (%s)", c.name)
+			}
+		}
+		for _, c := range t.cols {
+			if c.fk != "" {
+				fmt.Fprintf(&sb, ",\n  FOREIGN KEY (%s) REFERENCES %s (%s)", c.name, c.fk, c.fkRefCol)
+			}
+		}
+		sb.WriteString("\n);\n\n")
+		// Every fourth table carries a secondary index on its last
+		// column, as real dumps do.
+		if len(t.cols) > 1 && b.nextTable%4 == 0 {
+			last := t.cols[len(t.cols)-1]
+			fmt.Fprintf(&sb, "CREATE INDEX idx_%s_%s ON %s (%s);\n\n", t.name, last.name, t.name, last.name)
+		}
+	}
+	if len(b.tables) > 2 {
+		fmt.Fprintf(&sb, "CREATE VIEW v_overview AS SELECT * FROM %s;\n", b.tables[0].name)
+	}
+	return sb.String()
+}
+
+// Style selects how schema commits encode the schema file.
+type Style int
+
+// The two schema-file styles found in FOSS repositories.
+const (
+	// FullDump: each version is a complete dump of the schema (the
+	// mysqldump / pg_dump style).
+	FullDump Style = iota
+	// MigrationScript: the schema file is an append-only script — the
+	// initial CREATEs followed by the ALTER/CREATE/DROP statements of
+	// every later change (the migrations.sql style).
+	MigrationScript
+)
+
+// Realize turns a schedule into a concrete repository: full-dump schema
+// commits on each scheduled month and a source-code heartbeat across the
+// project's life.
+func Realize(s *Schedule, name string, start time.Time, rng *rand.Rand) (*vcs.Repo, error) {
+	return RealizeStyled(s, name, start, rng, FullDump)
+}
+
+// RealizeStyled is Realize with an explicit schema-file style. Both
+// styles yield histories with identical monthly heartbeats (the analysis
+// rebuilds each version's logical schema either way); they differ only in
+// the SQL text the parser must chew through.
+func RealizeStyled(s *Schedule, name string, start time.Time, rng *rand.Rand, style Style) (*vcs.Repo, error) {
+	b := newBuilder(rng)
+	b.recordMigrations = style == MigrationScript
+	repo := &vcs.Repo{Name: name}
+	commitSeq := 0
+	addCommit := func(c vcs.Commit) {
+		c.ID = fmt.Sprintf("%s-%04d", name, commitSeq)
+		commitSeq++
+		repo.Commits = append(repo.Commits, c)
+	}
+	for m := 0; m < s.PUP; m++ {
+		monthStart := start.AddDate(0, m, 0)
+		srcActive := m == 0 || m == s.PUP-1 || rng.Float64() < 0.8
+		if srcActive {
+			addCommit(vcs.Commit{
+				Time:     monthStart.AddDate(0, 0, 4),
+				Message:  "source work",
+				Files:    map[string]string{"src/app.go": fmt.Sprintf("// revision for month %d\n", m)},
+				SrcLines: 20 + lognormInt(rng, 120, 0.8),
+			})
+		}
+		if s.Monthly[m] > 0 {
+			b.realizeMonth(m, s.Monthly[m], s.ExpShare)
+			content := b.Dump()
+			if style == MigrationScript {
+				content = "-- migration script\n" + strings.Join(b.migrations, "\n") + "\n"
+			}
+			addCommit(vcs.Commit{
+				Time:    monthStart.AddDate(0, 0, 14),
+				Message: fmt.Sprintf("schema update month %d", m),
+				Files:   map[string]string{"db/schema.sql": content},
+			})
+		}
+	}
+	if err := repo.Validate(); err != nil {
+		return nil, fmt.Errorf("synth: realized repo invalid: %w", err)
+	}
+	return repo, nil
+}

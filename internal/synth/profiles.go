@@ -1,0 +1,541 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// The per-pattern temporal profiles. Each generator draws one schedule
+// attempt; generateVerified retries until the schedule classifies as
+// intended. Volume parameters are calibrated to the paper's §6.1
+// medians of post-birth activity (Radical Sign ≈ 13, Siesta ≈ 17,
+// Quantum Steps ≈ 22, Smoking Funnel ≈ 189, Regularly Curated ≈ 250,
+// the rest ≈ 0-3).
+
+// genFlatliner: birth and top band at the originating month (Def 4.1);
+// about half carry a tiny late trickle (birth volume high, not full).
+func genFlatliner(rng *rand.Rand, _ BirthBucket) (*Schedule, error) {
+	s := newSchedule(randPUP(rng, 14), 1)
+	s.Monthly[0] = 5 + lognormInt(rng, 20, 0.6)
+	maybeResidual(rng, s, 0, 0.5)
+	return s, nil
+}
+
+// maybeResidual adds, with the given probability, a small trickle of
+// late change (under 10% of the total, so the top-band month is
+// unmoved). It models the paper's observation that even "frozen"
+// patterns often carry a high (not full) birth volume.
+func maybeResidual(rng *rand.Rand, s *Schedule, topMonth int, prob float64) {
+	if rng.Float64() >= prob || topMonth >= s.PUP-2 {
+		return
+	}
+	total := s.TotalActivity()
+	max := total/10 - 1
+	if max < 1 {
+		return
+	}
+	r := 1 + rng.Intn(max)
+	m := topMonth + 1 + rng.Intn(s.PUP-topMonth-1)
+	s.Monthly[m] += r
+}
+
+// earlyLo picks the lower bound of the "early" birth window: half the
+// early-born projects land beyond 10% of project time, matching the
+// paper's §3.4 statistic that about half the corpus is born within the
+// first 10%.
+func earlyLo(rng *rand.Rand) float64 {
+	if rng.Float64() < 0.5 {
+		return 0.1
+	}
+	return 0
+}
+
+// genRadicalSign: early birth, immediate rise to the top band, long
+// frozen tail (Def 4.2).
+func genRadicalSign(rng *rand.Rand, bucket BirthBucket) (*Schedule, error) {
+	bm := bucket.monthIn(rng, 30)
+	var pup int
+	var err error
+	if bm == 0 {
+		pup = randPUP(rng, 14)
+	} else {
+		pup, err = pupForBirthPct(rng, bm, earlyLo(rng), 0.25)
+		if err != nil {
+			return nil, err
+		}
+	}
+	s := newSchedule(pup, 0.85)
+	birth := 4 + lognormInt(rng, 18, 0.7)
+	post := lognormInt(rng, 13, 0.8)
+	lastEarly := monthAtPct(0.25, pup)
+	tm := bm
+	if bm == 0 || rng.Float64() < 0.5 {
+		// A separate top-band month: must stay in the early quarter and,
+		// for V_p^0 births, must exist (otherwise the project is a
+		// flatliner).
+		if lastEarly <= bm {
+			return nil, fmt.Errorf("synth: no early room after month %d in %d months", bm, pup)
+		}
+		tm = bm + 1 + rng.Intn(lastEarly-bm)
+	}
+	if tm == bm {
+		s.Monthly[bm] = birth + post
+		return s, nil
+	}
+	// The birth must stay below the top band until tm.
+	if need := birth/8 + 1; post < need {
+		post = need
+	}
+	s.Monthly[bm] = birth
+	// Occasionally one small step inside the vault (Fig. 4 allows 0-2
+	// active growth months for the pattern).
+	if tm-bm >= 2 && rng.Float64() < 0.2 && post > 3 {
+		step := 1 + rng.Intn(2)
+		s.Monthly[bm+1+rng.Intn(tm-bm-1)] = step
+		post -= step
+	}
+	s.Monthly[tm] += post
+	return s, nil
+}
+
+// genSigmoid: middle-life birth, sharp rise, frozen tail (Def 4.3).
+func genSigmoid(rng *rand.Rand, bucket BirthBucket) (*Schedule, error) {
+	bm := bucket.monthIn(rng, 50)
+	pup, err := pupForBirthPct(rng, bm, 0.25, 0.75)
+	if err != nil {
+		return nil, err
+	}
+	s := newSchedule(pup, 0.9)
+	v := 5 + lognormInt(rng, 25, 0.6)
+	tm := bm
+	if rng.Float64() < 0.25 && bm+1 < pup && v >= 10 {
+		// Two-shot variant: 85% at birth, the rest right after.
+		first := v * 85 / 100
+		s.Monthly[bm] = first
+		s.Monthly[bm+1] = v - first
+		tm = bm + 1
+	} else {
+		s.Monthly[bm] = v
+	}
+	maybeResidual(rng, s, tm, 0.35)
+	return s, nil
+}
+
+// genLateRiser: late birth, immediate freeze (Def 4.4).
+func genLateRiser(rng *rand.Rand, _ BirthBucket) (*Schedule, error) {
+	bm := 13 + rng.Intn(48)
+	pup, err := pupForBirthPct(rng, bm, 0.75, 0.99)
+	if err != nil {
+		return nil, err
+	}
+	s := newSchedule(pup, 0.9)
+	s.Monthly[bm] = 4 + lognormInt(rng, 22, 0.6)
+	maybeResidual(rng, s, bm, 0.3)
+	return s, nil
+}
+
+// spreadSteps places k active months strictly between bm and tm; it
+// reduces k when the interval is too narrow and returns the chosen
+// months.
+func spreadSteps(rng *rand.Rand, bm, tm, k int) []int {
+	room := tm - bm - 1
+	if k > room {
+		k = room
+	}
+	if k <= 0 {
+		return nil
+	}
+	seen := map[int]bool{}
+	var months []int
+	for len(months) < k {
+		m := bm + 1 + rng.Intn(room)
+		if !seen[m] {
+			seen[m] = true
+			months = append(months, m)
+		}
+	}
+	return months
+}
+
+// genQuantumA: early birth, a few focused steps, middle top band
+// (Def 4.5, first variant).
+func genQuantumA(rng *rand.Rand, bucket BirthBucket) (*Schedule, error) {
+	bm := bucket.monthIn(rng, 20)
+	var pup int
+	var err error
+	if bm == 0 {
+		pup = randPUP(rng, 24)
+	} else {
+		pup, err = pupForBirthPct(rng, bm, earlyLo(rng), 0.25)
+		if err != nil {
+			return nil, err
+		}
+	}
+	tm := monthAtPct(0.3+rng.Float64()*0.4, pup)
+	if tm <= bm+1 {
+		return nil, fmt.Errorf("synth: no room for quantum journey (%d..%d)", bm, tm)
+	}
+	s := newSchedule(pup, 0.8)
+	post := 3 + lognormInt(rng, 20, 0.6)
+	birth := 3 + lognormInt(rng, 18, 0.7)
+	s.Monthly[bm] = birth
+	steps := spreadSteps(rng, bm, tm, rng.Intn(4))
+	remaining := post
+	final := remaining/3 + 1 // the top-band crossing burst
+	remaining -= final
+	for _, m := range steps {
+		v := 1
+		if remaining > len(steps) {
+			v = 1 + rng.Intn(remaining/len(steps))
+		}
+		if v > remaining {
+			v = remaining
+		}
+		s.Monthly[m] = v
+		remaining -= v
+	}
+	s.Monthly[tm] = final + remaining
+	return s, nil
+}
+
+// genQuantumB: middle birth, few steps, late top band (Def 4.5, second
+// variant).
+func genQuantumB(rng *rand.Rand, _ BirthBucket) (*Schedule, error) {
+	bm := 13 + rng.Intn(30)
+	pup, err := pupForBirthPct(rng, bm, 0.27, 0.6)
+	if err != nil {
+		return nil, err
+	}
+	tm := monthAtPct(0.8+rng.Float64()*0.15, pup)
+	if tm <= bm+1 {
+		return nil, fmt.Errorf("synth: no room for quantum-B journey")
+	}
+	s := newSchedule(pup, 0.8)
+	birth := 3 + lognormInt(rng, 15, 0.6)
+	post := 3 + lognormInt(rng, 20, 0.6)
+	s.Monthly[bm] = birth
+	steps := spreadSteps(rng, bm, tm, 1+rng.Intn(3))
+	remaining := post
+	final := remaining/3 + 1
+	remaining -= final
+	for _, m := range steps {
+		v := 1
+		if remaining > len(steps) {
+			v = 1 + rng.Intn(remaining/len(steps))
+		}
+		if v > remaining {
+			v = remaining
+		}
+		s.Monthly[m] = v
+		remaining -= v
+	}
+	s.Monthly[tm] = final + remaining
+	return s, nil
+}
+
+// fillRegular distributes post-birth activity over many active months
+// between bm and tm such that the 90% threshold is crossed only at tm.
+func fillRegular(rng *rand.Rand, s *Schedule, bm, tm, birth, post, k int) error {
+	steps := spreadSteps(rng, bm, tm, k)
+	if len(steps) < 4 {
+		return fmt.Errorf("synth: only %d step months between %d and %d", len(steps), bm, tm)
+	}
+	s.Monthly[bm] = birth
+	total := birth + post
+	// Keep cumulative below 90% before tm: the final month carries at
+	// least 12% of the total.
+	final := total*12/100 + 1
+	if final > post {
+		final = post
+	}
+	remaining := post - final
+	per := remaining / len(steps)
+	for i, m := range steps {
+		v := per/2 + rng.Intn(per+1)
+		if i == len(steps)-1 || v > remaining {
+			v = remaining
+		}
+		if v <= 0 {
+			v = 1
+			if remaining <= 0 {
+				v = 0
+			}
+		}
+		s.Monthly[m] = v
+		remaining -= v
+	}
+	s.Monthly[tm] = final + remaining
+	return nil
+}
+
+// genRegularEarly: early birth, steady maintenance to a middle-or-late
+// top band (Def 4.6, first variant).
+func genRegularEarly(rng *rand.Rand, bucket BirthBucket) (*Schedule, error) {
+	bm := bucket.monthIn(rng, 18)
+	var pup int
+	var err error
+	if bm == 0 {
+		pup = randPUP(rng, 30)
+	} else {
+		pup, err = pupForBirthPct(rng, bm, earlyLo(rng), 0.25)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if pup < 30 {
+		pup = 30 + rng.Intn(40)
+	}
+	tm := monthAtPct(0.55+rng.Float64()*0.4, pup)
+	if tm-bm < 8 {
+		return nil, fmt.Errorf("synth: journey too short for regular curation")
+	}
+	s := newSchedule(pup, 0.75)
+	birth := 5 + lognormInt(rng, 30, 0.6)
+	post := 50 + lognormInt(rng, 250, 0.5)
+	k := 5 + rng.Intn(10)
+	if err := fillRegular(rng, s, bm, tm, birth, post, k); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// genRegularMiddle: middle birth, steady maintenance to a late top band
+// (Def 4.6, second variant).
+func genRegularMiddle(rng *rand.Rand, _ BirthBucket) (*Schedule, error) {
+	bm := 13 + rng.Intn(25)
+	pup, err := pupForBirthPct(rng, bm, 0.27, 0.55)
+	if err != nil {
+		return nil, err
+	}
+	if pup < 35 {
+		return nil, fmt.Errorf("synth: project too short for middle regular curation")
+	}
+	tm := monthAtPct(0.82+rng.Float64()*0.14, pup)
+	if tm-bm < 6 {
+		return nil, fmt.Errorf("synth: journey too short")
+	}
+	s := newSchedule(pup, 0.75)
+	birth := 5 + lognormInt(rng, 25, 0.6)
+	post := 50 + lognormInt(rng, 250, 0.5)
+	k := 5 + rng.Intn(8)
+	if err := fillRegular(rng, s, bm, tm, birth, post, k); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// genSiesta: early birth, long idleness, late focused change (Def 4.7).
+func genSiesta(rng *rand.Rand, bucket BirthBucket) (*Schedule, error) {
+	bm := bucket.monthIn(rng, 12)
+	var pup int
+	var err error
+	if bm == 0 {
+		pup = randPUP(rng, 30)
+	} else {
+		pup, err = pupForBirthPct(rng, bm, 0, 0.2)
+		if err != nil {
+			return nil, err
+		}
+	}
+	bmPct := float64(bm) / float64(pup-1)
+	tm := monthAtPct(bmPct+0.78+rng.Float64()*0.15, pup)
+	if tm >= pup {
+		tm = pup - 1
+	}
+	if float64(tm-bm)/float64(pup-1) <= 0.75 {
+		return nil, fmt.Errorf("synth: siesta interval not very long")
+	}
+	s := newSchedule(pup, 0.7)
+	post := 3 + lognormInt(rng, 17, 0.7)
+	frac := 0.3 + rng.Float64()*0.4
+	birth := int(float64(post)*frac/(1-frac)) + 1
+	s.Monthly[bm] = birth
+	// Up to 2 small nudges shortly before the final late burst.
+	k := rng.Intn(3)
+	remaining := post
+	for i := 0; i < k && tm-2-i > bm && remaining > 2; i++ {
+		s.Monthly[tm-1-i] = 1
+		remaining--
+	}
+	s.Monthly[tm] = remaining
+	return s, nil
+}
+
+// genSmokingFunnel: middle birth at medium volume, dense change through a
+// fair interval, change continuing in the tail (Def 4.8).
+func genSmokingFunnel(rng *rand.Rand, _ BirthBucket) (*Schedule, error) {
+	bm := 13 + rng.Intn(25)
+	pup, err := pupForBirthPct(rng, bm, 0.27, 0.5)
+	if err != nil {
+		return nil, err
+	}
+	iPct := 0.14 + rng.Float64()*0.18
+	tm := bm + int(iPct*float64(pup-1))
+	if float64(tm)/float64(pup-1) > 0.73 || tm-bm < 6 {
+		return nil, fmt.Errorf("synth: funnel window does not fit")
+	}
+	s := newSchedule(pup, 0.75)
+	post := 60 + lognormInt(rng, 189, 0.5)
+	frac := 0.3 + rng.Float64()*0.25
+	birth := int(float64(post)*frac/(1-frac)) + 1
+	// Tail change after the top band: at most 8% of the total.
+	total := birth + post
+	tail := total * 5 / 100
+	k := 4 + rng.Intn(6)
+	if err := fillRegular(rng, s, bm, tm, birth, post-tail, k); err != nil {
+		return nil, err
+	}
+	for i := 0; i < 3 && tail > 0; i++ {
+		m := tm + 1 + rng.Intn(pup-tm-1)
+		v := tail/2 + 1
+		s.Monthly[m] += v
+		tail -= v
+	}
+	return s, nil
+}
+
+// Exception generators — the Table 2 projects the manual grouping kept in
+// a pattern despite violating its formal definition.
+
+// genSigmoidExcEarly: visually a sigmoid but born early (§5.2 lists two
+// sigmoid members violating the middle-born clause).
+func genSigmoidExcEarly(rng *rand.Rand, bucket BirthBucket) (*Schedule, error) {
+	bm := bucket.monthIn(rng, 12)
+	if bm == 0 {
+		bm = 3
+	}
+	pup, err := pupForBirthPct(rng, bm, 0.12, 0.25)
+	if err != nil {
+		return nil, err
+	}
+	s := newSchedule(pup, 0.9)
+	s.Monthly[bm] = 5 + lognormInt(rng, 25, 0.5)
+	return s, nil
+}
+
+// genLateRiserExcMiddle: a late riser attaining the top band in middle
+// life (§5.2's late-riser exception).
+func genLateRiserExcMiddle(rng *rand.Rand, _ BirthBucket) (*Schedule, error) {
+	bm := 13 + rng.Intn(20)
+	pup, err := pupForBirthPct(rng, bm, 0.68, 0.74)
+	if err != nil {
+		return nil, err
+	}
+	s := newSchedule(pup, 0.9)
+	s.Monthly[bm] = 4 + lognormInt(rng, 20, 0.5)
+	return s, nil
+}
+
+// genQuantumExcLateTop: a quantum-steps member reaching the top late
+// rather than middle (§5.2).
+func genQuantumExcLateTop(rng *rand.Rand, bucket BirthBucket) (*Schedule, error) {
+	bm := bucket.monthIn(rng, 10)
+	if bm == 0 {
+		bm = 2
+	}
+	pup, err := pupForBirthPct(rng, bm, 0.08, 0.2)
+	if err != nil {
+		return nil, err
+	}
+	bmPct := float64(bm) / float64(pup-1)
+	tm := monthAtPct(bmPct+0.55+rng.Float64()*0.15, pup) // long, not very long
+	if tm <= bm+2 || tm >= pup {
+		return nil, fmt.Errorf("synth: quantum exception window does not fit")
+	}
+	if float64(tm)/float64(pup-1) <= 0.75 {
+		return nil, fmt.Errorf("synth: quantum exception top not late")
+	}
+	s := newSchedule(pup, 0.8)
+	birth := 3 + lognormInt(rng, 18, 0.5)
+	post := 3 + lognormInt(rng, 20, 0.5)
+	s.Monthly[bm] = birth
+	steps := spreadSteps(rng, bm, tm, 2)
+	remaining := post
+	for _, m := range steps {
+		s.Monthly[m] = 1
+		remaining--
+	}
+	s.Monthly[tm] = remaining
+	return s, nil
+}
+
+// genQuantumExcFairSigmoid: a quantum-steps member sitting in sigmoid
+// territory but with a fair interval and a couple of steps.
+func genQuantumExcFairSigmoid(rng *rand.Rand, _ BirthBucket) (*Schedule, error) {
+	bm := 13 + rng.Intn(20)
+	pup, err := pupForBirthPct(rng, bm, 0.27, 0.5)
+	if err != nil {
+		return nil, err
+	}
+	tm := bm + int((0.15+rng.Float64()*0.1)*float64(pup-1))
+	if tm <= bm+2 || float64(tm)/float64(pup-1) > 0.73 {
+		return nil, fmt.Errorf("synth: exception window does not fit")
+	}
+	s := newSchedule(pup, 0.8)
+	birth := 3 + lognormInt(rng, 18, 0.5)
+	post := 3 + lognormInt(rng, 22, 0.5)
+	s.Monthly[bm] = birth
+	steps := spreadSteps(rng, bm, tm, 2)
+	remaining := post
+	for _, m := range steps {
+		s.Monthly[m] = 1
+		remaining--
+	}
+	s.Monthly[tm] = remaining
+	return s, nil
+}
+
+// genSiestaExcActive: a siesta member whose late change has more than 3
+// active growth months (§5.2 lists two).
+func genSiestaExcActive(rng *rand.Rand, bucket BirthBucket) (*Schedule, error) {
+	bm := bucket.monthIn(rng, 8)
+	pup := randPUP(rng, 40)
+	bmPct := float64(bm) / float64(pup-1)
+	if bmPct > 0.15 {
+		return nil, fmt.Errorf("synth: siesta exception birth too late")
+	}
+	tm := monthAtPct(bmPct+0.8+rng.Float64()*0.12, pup)
+	if tm >= pup {
+		tm = pup - 1
+	}
+	if float64(tm-bm)/float64(pup-1) <= 0.75 || tm-bm < 7 {
+		return nil, fmt.Errorf("synth: siesta exception interval not very long")
+	}
+	s := newSchedule(pup, 0.7)
+	post := 5 + lognormInt(rng, 18, 0.4)
+	birth := post
+	s.Monthly[bm] = birth
+	k := 4 + rng.Intn(2)
+	remaining := post
+	for i := 0; i < k; i++ {
+		s.Monthly[tm-1-i] = 1
+		remaining--
+	}
+	s.Monthly[tm] = remaining
+	return s, nil
+}
+
+// genSiestaExcLong: a siesta member reaching growth merely "long" (not
+// "very long") after birth (§5.2 lists one).
+func genSiestaExcLong(rng *rand.Rand, bucket BirthBucket) (*Schedule, error) {
+	bm := bucket.monthIn(rng, 10)
+	if bm == 0 {
+		bm = 8
+	}
+	pup, err := pupForBirthPct(rng, bm, 0.1, 0.2)
+	if err != nil {
+		return nil, err
+	}
+	bmPct := float64(bm) / float64(pup-1)
+	tm := monthAtPct(bmPct+0.58+rng.Float64()*0.1, pup)
+	if float64(tm)/float64(pup-1) <= 0.75 || tm <= bm+2 {
+		return nil, fmt.Errorf("synth: exception window does not fit")
+	}
+	s := newSchedule(pup, 0.7)
+	post := 4 + lognormInt(rng, 16, 0.5)
+	birth := post
+	s.Monthly[bm] = birth
+	s.Monthly[tm-1] = 1
+	s.Monthly[tm] = post - 1
+	return s, nil
+}

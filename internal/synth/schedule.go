@@ -1,0 +1,193 @@
+// Package synth generates synthetic project histories whose schema lines
+// follow the paper's eight time-related patterns. It substitutes for the
+// GitHub corpus the authors mined: each generated project is a concrete
+// repository of timestamped DDL snapshots plus a source-code heartbeat, so
+// the entire analysis pipeline (parse → diff → heartbeat → measures →
+// labels → classification) runs end-to-end on it.
+//
+// Generation happens in two layers: a *schedule* (months × attribute
+// budgets) drawn from per-pattern temporal profiles and verified against
+// the pattern definition, and a *realization* that turns the schedule
+// into actual DDL snapshots whose diffs reproduce the budgets exactly.
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"schemaevo/internal/core"
+	"schemaevo/internal/history"
+	"schemaevo/internal/metrics"
+	"schemaevo/internal/quantize"
+)
+
+// Schedule is the month-by-month plan of one project's schema activity.
+type Schedule struct {
+	// PUP is the project lifetime in months.
+	PUP int
+	// Monthly[i] is the number of attributes to affect in month i.
+	Monthly []int
+	// ExpShare is the target fraction of activity realized as expansion
+	// (the rest is maintenance); the birth month is always pure expansion.
+	ExpShare float64
+}
+
+// TotalActivity returns the scheduled attribute total.
+func (s *Schedule) TotalActivity() int {
+	n := 0
+	for _, v := range s.Monthly {
+		n += v
+	}
+	return n
+}
+
+// Classify runs the schedule (without realizing it) through the measures
+// and the taxonomy, returning the pattern its shape satisfies.
+func (s *Schedule) Classify(scheme quantize.Scheme) core.Pattern {
+	h := &history.History{
+		Project:       "schedule",
+		SchemaMonthly: s.Monthly,
+		SourceMonthly: make([]int, len(s.Monthly)),
+	}
+	m := metrics.Compute(h)
+	if !m.HasSchema {
+		return core.Unclassified
+	}
+	return core.Classify(quantize.Compute(m, scheme))
+}
+
+// BirthBucket identifies the Fig. 7 birth-month buckets.
+type BirthBucket int
+
+// The four birth-month buckets of Fig. 7.
+const (
+	BornM0 BirthBucket = iota
+	BornM1to6
+	BornM7to12
+	BornAfterM12
+)
+
+func (b BirthBucket) String() string {
+	return [...]string{"M0", "M1..M6", "M7..M12", ">M12"}[b]
+}
+
+// monthIn draws a birth month inside the bucket.
+func (b BirthBucket) monthIn(rng *rand.Rand, maxLate int) int {
+	switch b {
+	case BornM0:
+		return 0
+	case BornM1to6:
+		return 1 + rng.Intn(6)
+	case BornM7to12:
+		return 7 + rng.Intn(6)
+	default:
+		if maxLate < 14 {
+			maxLate = 14
+		}
+		return 13 + rng.Intn(maxLate-13)
+	}
+}
+
+// lognormInt draws a positive integer from a lognormal with the given
+// median and shape, clamped to [1, 100000].
+func lognormInt(rng *rand.Rand, median float64, sigma float64) int {
+	v := math.Exp(math.Log(median) + rng.NormFloat64()*sigma)
+	n := int(math.Round(v))
+	if n < 1 {
+		n = 1
+	}
+	if n > 100000 {
+		n = 100000
+	}
+	return n
+}
+
+// randPUP draws a project lifetime in months, > 12 (the corpus filter),
+// at least minMonths.
+func randPUP(rng *rand.Rand, minMonths int) int {
+	p := 13 + lognormInt(rng, 28, 0.6)
+	if p < minMonths {
+		p = minMonths
+	}
+	if p > 180 {
+		p = 180
+	}
+	return p
+}
+
+// pupForBirthPct picks a PUP so that birth month bm lands in the open
+// percentage interval (loPct, hiPct] of normalized time. It returns an
+// error when the bucket and class are incompatible.
+func pupForBirthPct(rng *rand.Rand, bm int, loPct, hiPct float64) (int, error) {
+	// pct = bm/(PUP-1); need loPct < pct <= hiPct.
+	// PUP-1 in [bm/hiPct, bm/loPct).
+	lo := int(math.Ceil(float64(bm)/hiPct)) + 1
+	var hi int
+	if loPct <= 0 {
+		hi = 1 << 20
+	} else {
+		hi = int(math.Ceil(float64(bm) / loPct)) // exclusive on PUP-1, i.e. PUP <= hi
+	}
+	if lo < 13+1 {
+		lo = 14
+	}
+	if hi > 181 {
+		hi = 181
+	}
+	if hi < lo {
+		return 0, fmt.Errorf("synth: no PUP puts month %d in (%.2f,%.2f]", bm, loPct, hiPct)
+	}
+	return lo + rng.Intn(hi-lo+1), nil
+}
+
+// monthAtPct returns the month index closest to the given fraction of the
+// project's life.
+func monthAtPct(pct float64, pup int) int {
+	m := int(math.Round(pct * float64(pup-1)))
+	if m < 0 {
+		m = 0
+	}
+	if m > pup-1 {
+		m = pup - 1
+	}
+	return m
+}
+
+// newSchedule allocates an empty schedule.
+func newSchedule(pup int, expShare float64) *Schedule {
+	return &Schedule{PUP: pup, Monthly: make([]int, pup), ExpShare: expShare}
+}
+
+// generator produces one schedule attempt for a pattern/bucket pair.
+type generator func(rng *rand.Rand, bucket BirthBucket) (*Schedule, error)
+
+// generateVerified retries a generator until the resulting schedule
+// classifies as the wanted pattern (or, for exception specs, as anything
+// but the wanted pattern while wanted stays its nearest pattern is not
+// enforced — exceptions verify only the mismatch).
+func generateVerified(rng *rand.Rand, g generator, bucket BirthBucket,
+	want core.Pattern, exception bool, scheme quantize.Scheme) (*Schedule, error) {
+	const maxTries = 200
+	var lastErr error
+	for try := 0; try < maxTries; try++ {
+		s, err := g(rng, bucket)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		got := s.Classify(scheme)
+		if exception {
+			if got != want {
+				return s, nil
+			}
+			lastErr = fmt.Errorf("synth: exception schedule classified as its own pattern %v", got)
+			continue
+		}
+		if got == want {
+			return s, nil
+		}
+		lastErr = fmt.Errorf("synth: schedule classified as %v, want %v", got, want)
+	}
+	return nil, fmt.Errorf("synth: giving up after %d tries: %w", maxTries, lastErr)
+}

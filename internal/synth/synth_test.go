@@ -1,0 +1,353 @@
+package synth
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"schemaevo/internal/core"
+	"schemaevo/internal/history"
+	"schemaevo/internal/metrics"
+	"schemaevo/internal/quantize"
+	"schemaevo/internal/schema"
+)
+
+var scheme = quantize.DefaultScheme()
+
+func TestPaperSpecsSumTo151(t *testing.T) {
+	pop := PaperPopulations()
+	want := map[core.Pattern]int{
+		core.Flatliner: 23, core.RadicalSign: 41, core.Sigmoid: 19,
+		core.LateRiser: 14, core.QuantumSteps: 23, core.RegularlyCurated: 14,
+		core.SmokingFunnel: 7, core.Siesta: 10,
+	}
+	total := 0
+	for p, n := range want {
+		if pop[p] != n {
+			t.Errorf("%v population = %d, want %d", p, pop[p], n)
+		}
+		total += pop[p]
+	}
+	if total != 151 {
+		t.Errorf("total = %d, want 151", total)
+	}
+}
+
+func TestScheduleGeneratorsProduceTheirPattern(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	cases := []struct {
+		name   string
+		gen    generator
+		bucket BirthBucket
+		want   core.Pattern
+	}{
+		{"flatliner", genFlatliner, BornM0, core.Flatliner},
+		{"radical-m0", genRadicalSign, BornM0, core.RadicalSign},
+		{"radical-early", genRadicalSign, BornM1to6, core.RadicalSign},
+		{"radical-m7", genRadicalSign, BornM7to12, core.RadicalSign},
+		{"radical-late-born", genRadicalSign, BornAfterM12, core.RadicalSign},
+		{"sigmoid", genSigmoid, BornAfterM12, core.Sigmoid},
+		{"sigmoid-m7", genSigmoid, BornM7to12, core.Sigmoid},
+		{"late-riser", genLateRiser, BornAfterM12, core.LateRiser},
+		{"quantum-a", genQuantumA, BornM1to6, core.QuantumSteps},
+		{"quantum-a-m0", genQuantumA, BornM0, core.QuantumSteps},
+		{"quantum-b", genQuantumB, BornAfterM12, core.QuantumSteps},
+		{"regular-early", genRegularEarly, BornM0, core.RegularlyCurated},
+		{"regular-early-m7", genRegularEarly, BornM7to12, core.RegularlyCurated},
+		{"regular-middle", genRegularMiddle, BornAfterM12, core.RegularlyCurated},
+		{"siesta", genSiesta, BornM0, core.Siesta},
+		{"siesta-early", genSiesta, BornM1to6, core.Siesta},
+		{"smoking", genSmokingFunnel, BornAfterM12, core.SmokingFunnel},
+	}
+	for _, c := range cases {
+		for trial := 0; trial < 10; trial++ {
+			s, err := generateVerified(rng, c.gen, c.bucket, c.want, false, scheme)
+			if err != nil {
+				t.Fatalf("%s trial %d: %v", c.name, trial, err)
+			}
+			if got := s.Classify(scheme); got != c.want {
+				t.Fatalf("%s trial %d: classified %v", c.name, trial, got)
+			}
+			if s.PUP <= 12 {
+				t.Fatalf("%s: PUP %d <= 12", c.name, s.PUP)
+			}
+		}
+	}
+}
+
+func TestExceptionGeneratorsViolateTheirPattern(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	cases := []struct {
+		name   string
+		gen    generator
+		bucket BirthBucket
+		host   core.Pattern
+	}{
+		{"sigmoid-exc", genSigmoidExcEarly, BornM1to6, core.Sigmoid},
+		{"late-riser-exc", genLateRiserExcMiddle, BornAfterM12, core.LateRiser},
+		{"quantum-exc-late", genQuantumExcLateTop, BornM1to6, core.QuantumSteps},
+		{"quantum-exc-fair", genQuantumExcFairSigmoid, BornAfterM12, core.QuantumSteps},
+		{"siesta-exc-active", genSiestaExcActive, BornM0, core.Siesta},
+		{"siesta-exc-long", genSiestaExcLong, BornM7to12, core.Siesta},
+	}
+	for _, c := range cases {
+		s, err := generateVerified(rng, c.gen, c.bucket, c.host, true, scheme)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if got := s.Classify(scheme); got == c.host {
+			t.Errorf("%s: classified as its host pattern %v", c.name, got)
+		}
+	}
+}
+
+// TestRealizationIsExact: the realized repository's measured monthly
+// heartbeat must equal the schedule, for a variety of schedules.
+func TestRealizationIsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	gens := []struct {
+		gen    generator
+		bucket BirthBucket
+		want   core.Pattern
+	}{
+		{genFlatliner, BornM0, core.Flatliner},
+		{genRadicalSign, BornM1to6, core.RadicalSign},
+		{genRegularEarly, BornM0, core.RegularlyCurated},
+		{genSmokingFunnel, BornAfterM12, core.SmokingFunnel},
+		{genSiesta, BornM0, core.Siesta},
+	}
+	for _, g := range gens {
+		for trial := 0; trial < 5; trial++ {
+			s, err := generateVerified(rng, g.gen, g.bucket, g.want, false, scheme)
+			if err != nil {
+				t.Fatal(err)
+			}
+			repo, err := Realize(s, "exact", time.Date(2015, 3, 1, 0, 0, 0, 0, time.UTC), rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			h, err := history.FromRepo(repo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if h.Months() != s.PUP {
+				t.Fatalf("%v trial %d: PUP %d, want %d", g.want, trial, h.Months(), s.PUP)
+			}
+			for m := range s.Monthly {
+				if h.SchemaMonthly[m] != s.Monthly[m] {
+					t.Fatalf("%v trial %d: month %d measured %d, scheduled %d\nmeasured: %v\nscheduled: %v",
+						g.want, trial, m, h.SchemaMonthly[m], s.Monthly[m], h.SchemaMonthly, s.Monthly)
+				}
+			}
+			if h.NoteCount() != 0 {
+				t.Errorf("%v trial %d: %d parse/apply notes", g.want, trial, h.NoteCount())
+			}
+		}
+	}
+}
+
+// TestRealizedClassificationMatchesGroundTruth: end-to-end through the
+// real pipeline, realized projects classify as intended.
+func TestRealizedClassificationMatchesGroundTruth(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for _, g := range []struct {
+		gen    generator
+		bucket BirthBucket
+		want   core.Pattern
+	}{
+		{genFlatliner, BornM0, core.Flatliner},
+		{genSigmoid, BornAfterM12, core.Sigmoid},
+		{genLateRiser, BornAfterM12, core.LateRiser},
+		{genQuantumB, BornAfterM12, core.QuantumSteps},
+		{genRegularMiddle, BornAfterM12, core.RegularlyCurated},
+	} {
+		s, err := generateVerified(rng, g.gen, g.bucket, g.want, false, scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
+		repo, err := Realize(s, "e2e", time.Date(2012, 6, 1, 0, 0, 0, 0, time.UTC), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := history.FromRepo(repo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := metrics.Compute(h)
+		got := core.Classify(quantize.Compute(m, scheme))
+		if got != g.want {
+			t.Errorf("realized %v classified as %v", g.want, got)
+		}
+	}
+}
+
+func TestExpansionShareRoughlyHonored(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s, err := generateVerified(rng, genRegularEarly, BornM0, core.RegularlyCurated, false, scheme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repo, err := Realize(s, "mix", time.Date(2010, 1, 1, 0, 0, 0, 0, time.UTC), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := history.FromRepo(repo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := h.ExpansionTotal + h.MaintenanceTotal
+	if total == 0 {
+		t.Fatal("no activity")
+	}
+	expFrac := float64(h.ExpansionTotal) / float64(total)
+	// Target is 0.75 with birth forced to expansion and fallbacks; allow
+	// a wide band but require a clear expansion bias with some
+	// maintenance present.
+	if expFrac < 0.55 || expFrac > 0.99 {
+		t.Errorf("expansion fraction = %.2f", expFrac)
+	}
+	if h.MaintenanceTotal == 0 {
+		t.Error("no maintenance was realized at all")
+	}
+}
+
+func TestRandomCorpusSmall(t *testing.T) {
+	c, err := RandomCorpus(12, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 12 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	if err := c.Analyze(scheme); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range c.Projects {
+		if !p.Measures.HasSchema {
+			t.Errorf("%s has no schema activity", p.Name)
+		}
+		if got := core.Classify(p.Labels); got != p.GroundTruth {
+			t.Errorf("%s: classified %v, ground truth %v", p.Name, got, p.GroundTruth)
+		}
+	}
+}
+
+func TestPaperCorpusDeterministic(t *testing.T) {
+	a, err := PaperCorpus(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PaperCorpus(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != b.Len() {
+		t.Fatal("lengths differ")
+	}
+	for i := range a.Projects {
+		if a.Projects[i].Name != b.Projects[i].Name {
+			t.Fatalf("project %d: %s vs %s", i, a.Projects[i].Name, b.Projects[i].Name)
+		}
+		if len(a.Projects[i].Repo.Commits) != len(b.Projects[i].Repo.Commits) {
+			t.Fatalf("project %s: commit counts differ", a.Projects[i].Name)
+		}
+	}
+}
+
+// TestMigrationStyleRealizationIsExact: realizing a schedule as an
+// append-only migration script yields the same measured heartbeat as the
+// schedule (and therefore as the full-dump realization).
+func TestMigrationStyleRealizationIsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	gens := []struct {
+		gen    generator
+		bucket BirthBucket
+		want   core.Pattern
+	}{
+		{genFlatliner, BornM0, core.Flatliner},
+		{genRadicalSign, BornM1to6, core.RadicalSign},
+		{genRegularEarly, BornM0, core.RegularlyCurated},
+		{genSmokingFunnel, BornAfterM12, core.SmokingFunnel},
+	}
+	for _, g := range gens {
+		for trial := 0; trial < 4; trial++ {
+			s, err := generateVerified(rng, g.gen, g.bucket, g.want, false, scheme)
+			if err != nil {
+				t.Fatal(err)
+			}
+			repo, err := RealizeStyled(s, "mig", time.Date(2016, 2, 1, 0, 0, 0, 0, time.UTC), rng, MigrationScript)
+			if err != nil {
+				t.Fatal(err)
+			}
+			h, err := history.FromRepo(repo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if h.NoteCount() != 0 {
+				for _, v := range h.Versions {
+					for _, n := range v.Notes {
+						t.Errorf("%v: note %v", g.want, n)
+					}
+				}
+				t.Fatalf("%v: migration script did not re-apply cleanly", g.want)
+			}
+			for m := range s.Monthly {
+				if h.SchemaMonthly[m] != s.Monthly[m] {
+					t.Fatalf("%v trial %d: month %d measured %d, scheduled %d",
+						g.want, trial, m, h.SchemaMonthly[m], s.Monthly[m])
+				}
+			}
+			mm := metrics.Compute(h)
+			if got := core.Classify(quantize.Compute(mm, scheme)); got != g.want {
+				t.Errorf("%v: migration-style project classified as %v", g.want, got)
+			}
+		}
+	}
+}
+
+// TestStylesProduceEquivalentFinalSchemas: the same schedule realized in
+// both styles ends at logically equivalent schemas.
+func TestStylesProduceEquivalentFinalSchemas(t *testing.T) {
+	s, err := generateVerified(rand.New(rand.NewSource(8)), genRegularEarly, BornM0,
+		core.RegularlyCurated, false, scheme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Date(2014, 5, 1, 0, 0, 0, 0, time.UTC)
+	// Same op sequence requires the same rng stream per realization.
+	dump, err := RealizeStyled(s, "d", start, rand.New(rand.NewSource(99)), FullDump)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mig, err := RealizeStyled(s, "m", start, rand.New(rand.NewSource(99)), MigrationScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hd, err := history.FromRepo(dump)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hm, err := history.FromRepo(mig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := hd.FinalSchema(), hm.FinalSchema()
+	if !schema.Equivalent(a, b) {
+		t.Fatalf("final schemas differ:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestEverySpecRowGenerates: each row of the paper's spec table can
+// produce a verified schedule on its own.
+func TestEverySpecRowGenerates(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for i, sp := range paperSpecs() {
+		s, err := generateVerified(rng, sp.gen, sp.bucket, sp.pattern, sp.exc, scheme)
+		if err != nil {
+			t.Fatalf("spec %d (%v/%v exc=%v): %v", i, sp.pattern, sp.bucket, sp.exc, err)
+		}
+		if s.PUP <= 12 {
+			t.Errorf("spec %d: PUP %d", i, s.PUP)
+		}
+	}
+}

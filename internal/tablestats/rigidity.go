@@ -1,0 +1,88 @@
+package tablestats
+
+import (
+	"schemaevo/internal/history"
+)
+
+// TableClass grades the activity of one table's life, following the
+// authors' companion table-level studies ("gravitating to rigidity"):
+// the vast majority of tables never change internally after birth.
+type TableClass int
+
+// Table activity classes.
+const (
+	// RigidTable: no in-place update over the whole life.
+	RigidTable TableClass = iota
+	// QuietTable: 1-3 in-place updates.
+	QuietTable
+	// ActiveTable: more than 3 in-place updates.
+	ActiveTable
+)
+
+func (c TableClass) String() string {
+	return [...]string{"rigid", "quiet", "active"}[c]
+}
+
+// ClassifyTable grades one table life.
+func ClassifyTable(tl TableLife) TableClass {
+	switch u := tl.Updates(); {
+	case u == 0:
+		return RigidTable
+	case u <= 3:
+		return QuietTable
+	default:
+		return ActiveTable
+	}
+}
+
+// RigidityReport aggregates table-level rigidity over one or more
+// histories.
+type RigidityReport struct {
+	// Counts per activity class.
+	Rigid, Quiet, Active int
+	// Dropped counts table lives that ended before the history did.
+	Dropped int
+	// DroppedRigid counts dropped tables that were never updated — the
+	// "dead on arrival" tables.
+	DroppedRigid int
+	// Total is the number of table lives observed.
+	Total int
+}
+
+// RigidShare is the fraction of rigid tables.
+func (r RigidityReport) RigidShare() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return float64(r.Rigid) / float64(r.Total)
+}
+
+// Add folds one history's tables into the report.
+func (r *RigidityReport) Add(h *history.History) {
+	for _, tl := range Analyze(h) {
+		r.Total++
+		switch ClassifyTable(tl) {
+		case RigidTable:
+			r.Rigid++
+		case QuietTable:
+			r.Quiet++
+		case ActiveTable:
+			r.Active++
+		}
+		if !tl.Survived() {
+			r.Dropped++
+			if tl.Updates() == 0 {
+				r.DroppedRigid++
+			}
+		}
+	}
+}
+
+// Rigidity builds a report over a set of histories.
+func Rigidity(hs []*history.History) RigidityReport {
+	var r RigidityReport
+	for _, h := range hs {
+		r.Add(h)
+	}
+	return r
+}

@@ -1,0 +1,199 @@
+// Package tablestats analyzes schema evolution at the granularity of
+// individual tables: when each table is born and dies, how much in-place
+// restructuring it receives, and how the total change splits between
+// table-grain operations (whole tables added or dropped) and in-place
+// edits. It substantiates the paper's §6.3 observation that "both
+// expansion and maintenance are performed with the granule of change being
+// mostly the entire table".
+package tablestats
+
+import (
+	"sort"
+
+	"schemaevo/internal/diff"
+	"schemaevo/internal/history"
+)
+
+// TableLife is the lifetime record of one table name within a history.
+// A name that is dropped and later re-created yields two records.
+type TableLife struct {
+	Name string
+	// BornVersion and BornMonth locate the table's first appearance.
+	BornVersion, BornMonth int
+	// DiedVersion and DiedMonth locate the drop; -1 while the table
+	// survives to the end of the history.
+	DiedVersion, DiedMonth int
+	// AttrsAtBirth and AttrsAtEnd size the table at its bounds (AttrsAtEnd
+	// is the size just before death for dropped tables).
+	AttrsAtBirth, AttrsAtEnd int
+	// In-place restructuring over the table's life.
+	Injections  int
+	Ejections   int
+	TypeChanges int
+	KeyChanges  int
+}
+
+// Updates returns the total in-place edits the table received.
+func (tl *TableLife) Updates() int {
+	return tl.Injections + tl.Ejections + tl.TypeChanges + tl.KeyChanges
+}
+
+// Survived reports whether the table is alive at the end of the history.
+func (tl *TableLife) Survived() bool { return tl.DiedVersion < 0 }
+
+// monthOf maps a version index to a month index within the history.
+func monthOf(h *history.History, version int) int {
+	v := h.Versions[version]
+	return monthIndex(h, v)
+}
+
+func monthIndex(h *history.History, v history.Version) int {
+	return (v.Time.Year()*12 + int(v.Time.Month())) -
+		(h.Start.Year()*12 + int(h.Start.Month()))
+}
+
+// Analyze reconstructs the per-table lives of a history from the
+// per-version deltas.
+func Analyze(h *history.History) []TableLife {
+	var lives []TableLife
+	open := map[string]int{} // table name -> index into lives
+	for vi, v := range h.Versions {
+		d := v.Delta
+		for _, name := range d.TablesAdded {
+			tbl, _ := v.Schema.Table(name)
+			attrs := 0
+			if tbl != nil {
+				attrs = len(tbl.Columns)
+			}
+			lives = append(lives, TableLife{
+				Name:         name,
+				BornVersion:  vi,
+				BornMonth:    monthOf(h, vi),
+				DiedVersion:  -1,
+				DiedMonth:    -1,
+				AttrsAtBirth: attrs,
+				AttrsAtEnd:   attrs,
+			})
+			open[name] = len(lives) - 1
+		}
+		for _, name := range d.TablesDropped {
+			if idx, ok := open[name]; ok {
+				lives[idx].DiedVersion = vi
+				lives[idx].DiedMonth = monthOf(h, vi)
+				delete(open, name)
+			}
+		}
+		for _, c := range d.Changes {
+			idx, ok := open[c.Table]
+			if !ok {
+				continue
+			}
+			switch c.Kind {
+			case diff.Injected:
+				lives[idx].Injections++
+			case diff.Ejected:
+				lives[idx].Ejections++
+			case diff.TypeChanged:
+				lives[idx].TypeChanges++
+			case diff.KeyChanged:
+				lives[idx].KeyChanges++
+			}
+		}
+		// Refresh surviving tables' end sizes.
+		for name, idx := range open {
+			if tbl, ok := v.Schema.Table(name); ok {
+				lives[idx].AttrsAtEnd = len(tbl.Columns)
+			}
+		}
+	}
+	sort.Slice(lives, func(i, j int) bool {
+		if lives[i].BornVersion != lives[j].BornVersion {
+			return lives[i].BornVersion < lives[j].BornVersion
+		}
+		return lives[i].Name < lives[j].Name
+	})
+	return lives
+}
+
+// Granularity splits a history's total change by the grain it was
+// performed at.
+type Granularity struct {
+	// TableGrain counts attributes affected by whole-table operations
+	// (born with a new table, deleted with a dropped table).
+	TableGrain int
+	// InPlace counts attributes affected inside surviving tables
+	// (injections, ejections, type and key changes).
+	InPlace int
+}
+
+// Total returns the overall affected-attribute count.
+func (g Granularity) Total() int { return g.TableGrain + g.InPlace }
+
+// TableGrainShare returns the fraction of change performed at table
+// granularity (0 when the history has no change).
+func (g Granularity) TableGrainShare() float64 {
+	if g.Total() == 0 {
+		return 0
+	}
+	return float64(g.TableGrain) / float64(g.Total())
+}
+
+// GranularityOf computes the table-grain/in-place split of a history.
+func GranularityOf(h *history.History) Granularity {
+	var g Granularity
+	for _, v := range h.Versions {
+		d := v.Delta
+		g.TableGrain += d.NBornWithTable + d.NDeletedWithTable
+		g.InPlace += d.NInjected + d.NEjected + d.NTypeChanged + d.NKeyChanged
+	}
+	return g
+}
+
+// Summary aggregates table-level facts for one history.
+type Summary struct {
+	// TablesEver is the number of table lives observed.
+	TablesEver int
+	// TablesSurviving counts lives alive at the end.
+	TablesSurviving int
+	// BornAtSchemaBirth counts tables born in the first schema version.
+	BornAtSchemaBirth int
+	// NeverUpdated counts tables that received no in-place edit.
+	NeverUpdated int
+	// MedianAttrsAtBirth is the median table width at birth.
+	MedianAttrsAtBirth float64
+	Granularity        Granularity
+}
+
+// Summarize computes the table-level summary of a history.
+func Summarize(h *history.History) Summary {
+	lives := Analyze(h)
+	s := Summary{TablesEver: len(lives), Granularity: GranularityOf(h)}
+	var widths []int
+	for _, tl := range lives {
+		if tl.Survived() {
+			s.TablesSurviving++
+		}
+		if tl.BornVersion == 0 {
+			s.BornAtSchemaBirth++
+		}
+		if tl.Updates() == 0 {
+			s.NeverUpdated++
+		}
+		widths = append(widths, tl.AttrsAtBirth)
+	}
+	s.MedianAttrsAtBirth = medianInts(widths)
+	return s
+}
+
+func medianInts(xs []int) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]int(nil), xs...)
+	sort.Ints(s)
+	mid := len(s) / 2
+	if len(s)%2 == 1 {
+		return float64(s[mid])
+	}
+	return float64(s[mid-1]+s[mid]) / 2
+}

@@ -1,0 +1,160 @@
+package tablestats
+
+import (
+	"testing"
+	"time"
+
+	"schemaevo/internal/history"
+	"schemaevo/internal/vcs"
+)
+
+func day(y int, m time.Month, d int) time.Time {
+	return time.Date(y, m, d, 12, 0, 0, 0, time.UTC)
+}
+
+// demoHistory: table a born v0 (2 attrs) and updated; table b born v1
+// (1 attr) and dropped at v2; table c born v2.
+func demoHistory(t *testing.T) *history.History {
+	t.Helper()
+	r := &vcs.Repo{Name: "demo", Commits: []vcs.Commit{
+		{ID: "0", Time: day(2020, 1, 1), Files: map[string]string{
+			"s.sql": "CREATE TABLE a (x INT, y INT);"}},
+		{ID: "1", Time: day(2020, 4, 1), Files: map[string]string{
+			"s.sql": "CREATE TABLE a (x INT, y INT, z TEXT); CREATE TABLE b (p INT);"}},
+		{ID: "2", Time: day(2020, 9, 1), Files: map[string]string{
+			"s.sql": "CREATE TABLE a (x BIGINT, y INT, z TEXT); CREATE TABLE c (q INT, r INT);"}},
+		{ID: "3", Time: day(2021, 6, 1), Files: map[string]string{"main.go": "x"}},
+	}}
+	h, err := history.FromRepo(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestAnalyzeLives(t *testing.T) {
+	lives := Analyze(demoHistory(t))
+	if len(lives) != 3 {
+		t.Fatalf("lives = %d: %+v", len(lives), lives)
+	}
+	byName := map[string]TableLife{}
+	for _, l := range lives {
+		byName[l.Name] = l
+	}
+	a := byName["a"]
+	if a.BornVersion != 0 || a.BornMonth != 0 || !a.Survived() {
+		t.Errorf("a: %+v", a)
+	}
+	if a.AttrsAtBirth != 2 || a.AttrsAtEnd != 3 {
+		t.Errorf("a sizes: %+v", a)
+	}
+	if a.Injections != 1 || a.TypeChanges != 1 || a.Updates() != 2 {
+		t.Errorf("a updates: %+v", a)
+	}
+	b := byName["b"]
+	if b.BornVersion != 1 || b.Survived() || b.DiedVersion != 2 || b.DiedMonth != 8 {
+		t.Errorf("b: %+v", b)
+	}
+	c := byName["c"]
+	if c.BornVersion != 2 || c.AttrsAtBirth != 2 || c.Updates() != 0 {
+		t.Errorf("c: %+v", c)
+	}
+}
+
+func TestGranularity(t *testing.T) {
+	g := GranularityOf(demoHistory(t))
+	// Table grain: a born (2) + b born (1) + c born (2) + b dropped (1) = 6.
+	// In place: z injected (1) + x type change (1) = 2.
+	if g.TableGrain != 6 || g.InPlace != 2 {
+		t.Errorf("granularity: %+v", g)
+	}
+	if g.Total() != 8 {
+		t.Errorf("total = %d", g.Total())
+	}
+	if share := g.TableGrainShare(); share != 0.75 {
+		t.Errorf("share = %v", share)
+	}
+	if (Granularity{}).TableGrainShare() != 0 {
+		t.Error("empty granularity share should be 0")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize(demoHistory(t))
+	if s.TablesEver != 3 || s.TablesSurviving != 2 || s.BornAtSchemaBirth != 1 {
+		t.Errorf("summary: %+v", s)
+	}
+	if s.NeverUpdated != 2 { // b and c
+		t.Errorf("never updated = %d", s.NeverUpdated)
+	}
+	if s.MedianAttrsAtBirth != 2 {
+		t.Errorf("median width = %v", s.MedianAttrsAtBirth)
+	}
+}
+
+func TestRecreatedTableGetsTwoLives(t *testing.T) {
+	r := &vcs.Repo{Name: "recreate", Commits: []vcs.Commit{
+		{ID: "0", Time: day(2020, 1, 1), Files: map[string]string{"s.sql": "CREATE TABLE t (a INT);"}},
+		{ID: "1", Time: day(2020, 6, 1), Files: map[string]string{"s.sql": "-- gone\n"}},
+		{ID: "2", Time: day(2021, 2, 1), Files: map[string]string{"s.sql": "CREATE TABLE t (a INT, b INT);"}},
+	}}
+	h, err := history.FromRepo(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lives := Analyze(h)
+	if len(lives) != 2 {
+		t.Fatalf("lives = %d", len(lives))
+	}
+	if lives[0].Survived() || !lives[1].Survived() {
+		t.Errorf("lifecycles: %+v", lives)
+	}
+	if lives[1].AttrsAtBirth != 2 {
+		t.Errorf("second life width: %+v", lives[1])
+	}
+}
+
+func TestEmptyHistory(t *testing.T) {
+	h := &history.History{SchemaMonthly: make([]int, 13)}
+	if got := Analyze(h); len(got) != 0 {
+		t.Errorf("lives on empty history: %v", got)
+	}
+	s := Summarize(h)
+	if s.TablesEver != 0 || s.MedianAttrsAtBirth != 0 {
+		t.Errorf("summary: %+v", s)
+	}
+}
+
+func TestClassifyTable(t *testing.T) {
+	if got := ClassifyTable(TableLife{}); got != RigidTable {
+		t.Errorf("no updates = %v", got)
+	}
+	if got := ClassifyTable(TableLife{Injections: 2, TypeChanges: 1}); got != QuietTable {
+		t.Errorf("3 updates = %v", got)
+	}
+	if got := ClassifyTable(TableLife{Injections: 4}); got != ActiveTable {
+		t.Errorf("4 updates = %v", got)
+	}
+	if RigidTable.String() != "rigid" || ActiveTable.String() != "active" {
+		t.Error("class strings")
+	}
+}
+
+func TestRigidityReport(t *testing.T) {
+	h := demoHistory(t)
+	r := Rigidity([]*history.History{h})
+	// Tables: a (2 updates -> quiet), b (0 updates, dropped -> rigid),
+	// c (0 updates -> rigid).
+	if r.Total != 3 || r.Rigid != 2 || r.Quiet != 1 || r.Active != 0 {
+		t.Errorf("report: %+v", r)
+	}
+	if r.Dropped != 1 || r.DroppedRigid != 1 {
+		t.Errorf("dropped: %+v", r)
+	}
+	if share := r.RigidShare(); share < 0.66 || share > 0.67 {
+		t.Errorf("rigid share = %v", share)
+	}
+	if (RigidityReport{}).RigidShare() != 0 {
+		t.Error("empty report share")
+	}
+}

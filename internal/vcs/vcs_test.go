@@ -1,0 +1,199 @@
+package vcs
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func day(y int, m time.Month, d int) time.Time {
+	return time.Date(y, m, d, 12, 0, 0, 0, time.UTC)
+}
+
+func sampleRepo() *Repo {
+	return &Repo{
+		Name: "demo",
+		Commits: []Commit{
+			{ID: "c0", Time: day(2020, 1, 5), Files: map[string]string{"main.go": "package main"}, SrcLines: 10},
+			{ID: "c1", Time: day(2020, 2, 10), Files: map[string]string{"db/schema.sql": "CREATE TABLE a (x INT);"}, SrcLines: 5},
+			{ID: "c2", Time: day(2020, 4, 1), Files: map[string]string{"db/schema.sql": "CREATE TABLE a (x INT, y INT);"}, SrcLines: 7},
+			{ID: "c3", Time: day(2020, 6, 30), Files: map[string]string{"main.go": "package main // v2"}, SrcLines: 20},
+		},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	r := sampleRepo()
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	empty := &Repo{Name: "empty"}
+	if err := empty.Validate(); err == nil {
+		t.Error("empty repo should fail validation")
+	}
+	bad := sampleRepo()
+	bad.Commits[2].Time = day(2019, 1, 1)
+	if err := bad.Validate(); err == nil {
+		t.Error("out-of-order commits should fail validation")
+	}
+}
+
+func TestLifetimeAndMonthIndex(t *testing.T) {
+	r := sampleRepo()
+	if got := r.LifetimeMonths(); got != 6 {
+		t.Errorf("lifetime = %d months, want 6 (Jan..Jun)", got)
+	}
+	if got := MonthIndex(day(2020, 1, 5), day(2020, 1, 31)); got != 0 {
+		t.Errorf("same month index = %d", got)
+	}
+	if got := MonthIndex(day(2020, 11, 1), day(2021, 2, 1)); got != 3 {
+		t.Errorf("cross-year index = %d", got)
+	}
+}
+
+func TestFileHistoryAndDDLPaths(t *testing.T) {
+	r := sampleRepo()
+	hist := r.FileHistory("db/schema.sql")
+	if len(hist) != 2 {
+		t.Fatalf("versions = %d", len(hist))
+	}
+	if hist[0].Time != day(2020, 2, 10) || hist[1].Content != "CREATE TABLE a (x INT, y INT);" {
+		t.Errorf("history: %+v", hist)
+	}
+	paths := r.DDLPaths()
+	if len(paths) != 1 || paths[0] != "db/schema.sql" {
+		t.Errorf("ddl paths: %v", paths)
+	}
+	if got := r.MainDDLPath(); got != "db/schema.sql" {
+		t.Errorf("main ddl = %q", got)
+	}
+}
+
+func TestMainDDLPathPrefersMostVersions(t *testing.T) {
+	r := &Repo{Name: "multi", Commits: []Commit{
+		{ID: "0", Time: day(2020, 1, 1), Files: map[string]string{"a.sql": "1", "b.sql": "1"}},
+		{ID: "1", Time: day(2020, 2, 1), Files: map[string]string{"b.sql": "2"}},
+	}}
+	if got := r.MainDDLPath(); got != "b.sql" {
+		t.Errorf("main ddl = %q, want b.sql", got)
+	}
+}
+
+func TestMainDDLPathTieBreaks(t *testing.T) {
+	r := &Repo{Name: "tie", Commits: []Commit{
+		{ID: "0", Time: day(2020, 1, 1), Files: map[string]string{"z.sql": "1", "a.sql": "1"}},
+	}}
+	if got := r.MainDDLPath(); got != "a.sql" {
+		t.Errorf("tie break = %q, want a.sql", got)
+	}
+	none := &Repo{Name: "none", Commits: []Commit{{ID: "0", Time: day(2020, 1, 1)}}}
+	if got := none.MainDDLPath(); got != "" {
+		t.Errorf("no ddl = %q", got)
+	}
+}
+
+func TestFileDeletion(t *testing.T) {
+	r := &Repo{Name: "del", Commits: []Commit{
+		{ID: "0", Time: day(2020, 1, 1), Files: map[string]string{"s.sql": "CREATE TABLE a (x INT);"}},
+		{ID: "1", Time: day(2020, 2, 1), Deleted: []string{"s.sql"}},
+	}}
+	hist := r.FileHistory("s.sql")
+	if len(hist) != 2 || !hist[1].Deleted {
+		t.Errorf("history: %+v", hist)
+	}
+}
+
+func TestMonthlySrcLines(t *testing.T) {
+	r := sampleRepo()
+	m := r.MonthlySrcLines()
+	want := []int{10, 5, 0, 7, 0, 20}
+	if len(m) != len(want) {
+		t.Fatalf("months = %v", m)
+	}
+	for i := range want {
+		if m[i] != want[i] {
+			t.Errorf("month %d = %d, want %d", i, m[i], want[i])
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	r := sampleRepo()
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != r.Name || len(back.Commits) != len(r.Commits) {
+		t.Fatalf("round trip mismatch: %+v", back)
+	}
+	if back.Commits[1].Files["db/schema.sql"] != r.Commits[1].Files["db/schema.sql"] {
+		t.Error("file content lost")
+	}
+	if !back.Commits[2].Time.Equal(r.Commits[2].Time) {
+		t.Error("time lost")
+	}
+}
+
+func TestReadJSONRejectsInvalid(t *testing.T) {
+	if _, err := ReadJSON(bytes.NewBufferString(`{"name":"x","commits":[]}`)); err == nil {
+		t.Error("commitless repo should be rejected")
+	}
+	if _, err := ReadJSON(bytes.NewBufferString(`not json`)); err == nil {
+		t.Error("garbage should be rejected")
+	}
+}
+
+func TestVersionDirRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	r := sampleRepo()
+	if err := WriteVersionDir(r, dir); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadVersionDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Commits) != 2 {
+		t.Fatalf("commits = %d", len(back.Commits))
+	}
+	hist := back.FileHistory("schema.sql")
+	if hist[0].Content != "CREATE TABLE a (x INT);" {
+		t.Errorf("v0 content = %q", hist[0].Content)
+	}
+	if got := hist[1].Time.Format("2006-01-02"); got != "2020-04-01" {
+		t.Errorf("v1 date = %s", got)
+	}
+}
+
+func TestReadVersionDirRejectsEmpty(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := ReadVersionDir(dir); err == nil {
+		t.Error("empty dir should be rejected")
+	}
+	if _, err := ReadVersionDir(filepath.Join(dir, "missing")); err == nil {
+		t.Error("missing dir should be rejected")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "repo.json")
+	r := sampleRepo()
+	if err := r.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "demo" || len(back.Commits) != 4 {
+		t.Errorf("loaded: %+v", back)
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Error("missing file should error")
+	}
+}

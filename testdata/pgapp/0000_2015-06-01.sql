@@ -1,0 +1,44 @@
+--
+-- PostgreSQL database dump
+--
+
+SET statement_timeout = 0;
+SET client_encoding = 'UTF8';
+SET standard_conforming_strings = on;
+SET search_path = public, pg_catalog;
+
+CREATE TABLE public.accounts (
+    id integer NOT NULL,
+    email character varying(255) NOT NULL,
+    encrypted_password character varying(128) DEFAULT ''::character varying NOT NULL,
+    created_at timestamp without time zone,
+    updated_at timestamp without time zone
+);
+
+CREATE SEQUENCE public.accounts_id_seq
+    START WITH 1
+    INCREMENT BY 1
+    NO MINVALUE
+    NO MAXVALUE
+    CACHE 1;
+
+ALTER TABLE ONLY public.accounts
+    ADD CONSTRAINT accounts_pkey PRIMARY KEY (id);
+
+CREATE TABLE public.projects (
+    id serial,
+    account_id integer NOT NULL,
+    name text NOT NULL,
+    settings jsonb DEFAULT '{}'::jsonb,
+    archived boolean DEFAULT false NOT NULL
+);
+
+ALTER TABLE ONLY public.projects
+    ADD CONSTRAINT projects_pkey PRIMARY KEY (id);
+
+ALTER TABLE ONLY public.projects
+    ADD CONSTRAINT fk_projects_account FOREIGN KEY (account_id) REFERENCES public.accounts(id) ON DELETE CASCADE;
+
+CREATE UNIQUE INDEX index_accounts_on_email ON public.accounts USING btree (email);
+
+COMMENT ON TABLE public.accounts IS 'registered users';

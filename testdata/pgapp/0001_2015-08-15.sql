@@ -1,0 +1,46 @@
+--
+-- PostgreSQL database dump (two months later: audit events, tags on projects)
+--
+
+SET statement_timeout = 0;
+SET client_encoding = 'UTF8';
+SET search_path = public, pg_catalog;
+
+CREATE TABLE public.accounts (
+    id integer NOT NULL,
+    email character varying(255) NOT NULL,
+    encrypted_password character varying(128) DEFAULT ''::character varying NOT NULL,
+    created_at timestamp without time zone,
+    updated_at timestamp without time zone
+);
+
+ALTER TABLE ONLY public.accounts
+    ADD CONSTRAINT accounts_pkey PRIMARY KEY (id);
+
+CREATE TABLE public.projects (
+    id serial,
+    account_id integer NOT NULL,
+    name text NOT NULL,
+    settings jsonb DEFAULT '{}'::jsonb,
+    archived boolean DEFAULT false NOT NULL,
+    tags text[]
+);
+
+ALTER TABLE ONLY public.projects
+    ADD CONSTRAINT projects_pkey PRIMARY KEY (id);
+
+ALTER TABLE ONLY public.projects
+    ADD CONSTRAINT fk_projects_account FOREIGN KEY (account_id) REFERENCES public.accounts(id) ON DELETE CASCADE;
+
+CREATE TABLE public.audit_events (
+    id bigserial,
+    account_id integer,
+    action character varying(60) NOT NULL,
+    payload jsonb,
+    happened_at timestamp with time zone DEFAULT now() NOT NULL
+);
+
+ALTER TABLE ONLY public.audit_events
+    ADD CONSTRAINT audit_events_pkey PRIMARY KEY (id);
+
+CREATE INDEX index_audit_on_account ON public.audit_events USING btree (account_id);

@@ -1,0 +1,29 @@
+-- MySQL dump fragment, blog engine v0.1
+SET NAMES utf8;
+SET FOREIGN_KEY_CHECKS = 0;
+
+DROP TABLE IF EXISTS `wp_posts`;
+CREATE TABLE `wp_posts` (
+  `ID` bigint(20) unsigned NOT NULL auto_increment,
+  `post_author` bigint(20) unsigned NOT NULL default '0',
+  `post_date` datetime NOT NULL default '0000-00-00 00:00:00',
+  `post_content` longtext NOT NULL,
+  `post_title` text NOT NULL,
+  `post_status` varchar(20) NOT NULL default 'publish',
+  PRIMARY KEY (`ID`),
+  KEY `post_author` (`post_author`),
+  KEY `type_status_date` (`post_status`, `post_date`, `ID`)
+) ENGINE=MyISAM DEFAULT CHARSET=utf8;
+
+DROP TABLE IF EXISTS `wp_users`;
+CREATE TABLE `wp_users` (
+  `ID` bigint(20) unsigned NOT NULL auto_increment,
+  `user_login` varchar(60) NOT NULL default '',
+  `user_pass` varchar(64) NOT NULL default '',
+  `user_email` varchar(100) NOT NULL default '',
+  `user_registered` datetime NOT NULL default '0000-00-00 00:00:00',
+  PRIMARY KEY (`ID`),
+  KEY `user_login_key` (`user_login`)
+) ENGINE=MyISAM DEFAULT CHARSET=utf8;
+
+INSERT INTO `wp_users` VALUES (1, 'admin', 'x', 'admin@example.org', NOW());

@@ -1,0 +1,53 @@
+-- v0.3: taxonomy tables; wp_posts.post_status becomes an index-friendly type
+SET NAMES utf8;
+
+DROP TABLE IF EXISTS `wp_posts`;
+CREATE TABLE `wp_posts` (
+  `ID` bigint(20) unsigned NOT NULL auto_increment,
+  `post_author` bigint(20) unsigned NOT NULL default '0',
+  `post_date` datetime NOT NULL default '0000-00-00 00:00:00',
+  `post_content` longtext NOT NULL,
+  `post_title` text NOT NULL,
+  `post_excerpt` text NOT NULL,
+  `post_status` enum('publish','draft','private') NOT NULL default 'publish',
+  PRIMARY KEY (`ID`),
+  KEY `post_author` (`post_author`)
+) ENGINE=MyISAM DEFAULT CHARSET=utf8;
+
+DROP TABLE IF EXISTS `wp_users`;
+CREATE TABLE `wp_users` (
+  `ID` bigint(20) unsigned NOT NULL auto_increment,
+  `user_login` varchar(60) NOT NULL default '',
+  `user_pass` varchar(64) NOT NULL default '',
+  `user_email` varchar(100) NOT NULL default '',
+  `user_registered` datetime NOT NULL default '0000-00-00 00:00:00',
+  PRIMARY KEY (`ID`),
+  KEY `user_login_key` (`user_login`)
+) ENGINE=MyISAM DEFAULT CHARSET=utf8;
+
+DROP TABLE IF EXISTS `wp_comments`;
+CREATE TABLE `wp_comments` (
+  `comment_ID` bigint(20) unsigned NOT NULL auto_increment,
+  `comment_post_ID` bigint(20) unsigned NOT NULL default '0',
+  `comment_author` tinytext NOT NULL,
+  `comment_content` text NOT NULL,
+  `comment_approved` varchar(20) NOT NULL default '1',
+  PRIMARY KEY (`comment_ID`),
+  KEY `comment_post_ID` (`comment_post_ID`)
+) ENGINE=MyISAM DEFAULT CHARSET=utf8;
+
+DROP TABLE IF EXISTS `wp_terms`;
+CREATE TABLE `wp_terms` (
+  `term_id` bigint(20) unsigned NOT NULL auto_increment,
+  `name` varchar(200) NOT NULL default '',
+  `slug` varchar(200) NOT NULL default '',
+  PRIMARY KEY (`term_id`),
+  UNIQUE KEY `slug` (`slug`)
+) ENGINE=MyISAM DEFAULT CHARSET=utf8;
+
+DROP TABLE IF EXISTS `wp_term_relationships`;
+CREATE TABLE `wp_term_relationships` (
+  `object_id` bigint(20) unsigned NOT NULL default '0',
+  `term_id` bigint(20) unsigned NOT NULL default '0',
+  PRIMARY KEY (`object_id`, `term_id`)
+) ENGINE=MyISAM DEFAULT CHARSET=utf8;
