@@ -7,6 +7,7 @@
 package schemaevo
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -334,6 +335,47 @@ func BenchmarkSequentialAnalysis(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if err := AnalyzeCorpus(c); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipelineAnalysis times the staged concurrent pipeline without a
+// cache on the calibrated corpus.
+func BenchmarkPipelineAnalysis(b *testing.B) {
+	c, err := GeneratePaperCorpus(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := AnalyzeCorpusPipeline(context.Background(), c, PipelineOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipelineWarmCache times the pipeline with a fully warm
+// content-hash cache: every project short-circuits parse, history assembly
+// and metric computation.
+func BenchmarkPipelineWarmCache(b *testing.B) {
+	c, err := GeneratePaperCorpus(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dir := b.TempDir()
+	if _, err := AnalyzeCorpusPipeline(context.Background(), c, PipelineOptions{CacheDir: dir}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats, err := AnalyzeCorpusPipeline(context.Background(), c, PipelineOptions{CacheDir: dir})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if stats.CacheHits != c.Len() {
+			b.Fatalf("cache hits = %d, want %d", stats.CacheHits, c.Len())
 		}
 	}
 }

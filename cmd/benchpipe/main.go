@@ -1,0 +1,208 @@
+// Command benchpipe measures the analysis-pipeline throughput on the
+// calibrated 151-project corpus and writes the results as JSON, so every
+// PR leaves a comparable performance record behind.
+//
+// Five variants are timed (best of -runs repetitions each, corpus
+// generation excluded):
+//
+//   - sequential:    Corpus.Analyze, one project at a time
+//   - parallel:      Corpus.AnalyzeParallel at GOMAXPROCS workers
+//   - pipeline:      the staged pipeline, no cache
+//   - pipeline-cold: the staged pipeline with an empty result cache
+//   - pipeline-warm: the staged pipeline with a fully warm result cache
+//
+// Usage:
+//
+//	benchpipe                      # seed 1, 3 runs, writes BENCH_pipeline.json
+//	benchpipe -seed 7 -runs 5 -out bench.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"schemaevo/internal/corpus"
+	"schemaevo/internal/pipeline"
+	"schemaevo/internal/quantize"
+	"schemaevo/internal/synth"
+)
+
+// result is one timed variant in the emitted JSON.
+type result struct {
+	Name           string  `json:"name"`
+	BestNs         int64   `json:"best_ns"`
+	BestMs         float64 `json:"best_ms"`
+	ProjectsPerSec float64 `json:"projects_per_sec"`
+	// SpeedupVsSequential is wall-clock sequential time over this
+	// variant's time (higher is better; 1.0 for sequential itself).
+	SpeedupVsSequential float64 `json:"speedup_vs_sequential"`
+}
+
+// report is the full BENCH_pipeline.json document.
+type report struct {
+	GeneratedBy string         `json:"generated_by"`
+	Date        string         `json:"date"`
+	Seed        int64          `json:"seed"`
+	Projects    int            `json:"projects"`
+	Cores       int            `json:"cores"`
+	GOMAXPROCS  int            `json:"gomaxprocs"`
+	Runs        int            `json:"runs"`
+	Results     []result       `json:"results"`
+	WarmStats   pipeline.Stats `json:"warm_cache_stats"`
+	Note        string         `json:"note,omitempty"`
+}
+
+func main() {
+	var (
+		seed = flag.Int64("seed", 1, "corpus generator seed")
+		runs = flag.Int("runs", 3, "repetitions per variant (best run is reported)")
+		out  = flag.String("out", "BENCH_pipeline.json", "output JSON path")
+	)
+	flag.Parse()
+	if err := run(*seed, *runs, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchpipe:", err)
+		os.Exit(1)
+	}
+}
+
+// freshCorpus regenerates the corpus; analysis mutates projects, so every
+// timed run gets its own copy (generation time is excluded from timings).
+func freshCorpus(seed int64) (*corpus.Corpus, error) {
+	return synth.PaperCorpus(seed)
+}
+
+// measure times fn over runs repetitions of the corpus analysis and
+// returns the best wall-clock duration.
+func measure(seed int64, runs int, fn func(*corpus.Corpus) error) (time.Duration, error) {
+	best := time.Duration(0)
+	for i := 0; i < runs; i++ {
+		c, err := freshCorpus(seed)
+		if err != nil {
+			return 0, err
+		}
+		start := time.Now()
+		if err := fn(c); err != nil {
+			return 0, err
+		}
+		elapsed := time.Since(start)
+		if best == 0 || elapsed < best {
+			best = elapsed
+		}
+	}
+	return best, nil
+}
+
+func run(seed int64, runs int, out string) error {
+	probe, err := freshCorpus(seed)
+	if err != nil {
+		return err
+	}
+	n := probe.Len()
+	rep := report{
+		GeneratedBy: "cmd/benchpipe",
+		Date:        time.Now().UTC().Format("2006-01-02"),
+		Seed:        seed,
+		Projects:    n,
+		Cores:       runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Runs:        runs,
+	}
+	if rep.Cores < 4 {
+		rep.Note = fmt.Sprintf(
+			"measured on %d core(s): stage parallelism cannot exceed 1x here; the warm-cache variant shows the caching win",
+			rep.Cores)
+	}
+
+	cacheRoot, err := os.MkdirTemp("", "benchpipe-cache-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(cacheRoot)
+	warmDir := filepath.Join(cacheRoot, "warm")
+
+	variants := []struct {
+		name string
+		fn   func(*corpus.Corpus) error
+	}{
+		{"sequential", func(c *corpus.Corpus) error {
+			return c.Analyze(quantize.DefaultScheme())
+		}},
+		{"parallel", func(c *corpus.Corpus) error {
+			return c.AnalyzeParallel(quantize.DefaultScheme(), 0)
+		}},
+		{"pipeline", func(c *corpus.Corpus) error {
+			_, err := pipeline.Run(context.Background(), c, pipeline.Options{})
+			return err
+		}},
+		{"pipeline-cold", func(c *corpus.Corpus) error {
+			dir, err := os.MkdirTemp(cacheRoot, "cold-")
+			if err != nil {
+				return err
+			}
+			_, err = pipeline.Run(context.Background(), c, pipeline.Options{CacheDir: dir})
+			return err
+		}},
+		{"pipeline-warm", func(c *corpus.Corpus) error {
+			_, err := pipeline.Run(context.Background(), c, pipeline.Options{CacheDir: warmDir})
+			return err
+		}},
+	}
+
+	// Prewarm the warm-cache directory once, outside the timings.
+	prewarm, err := freshCorpus(seed)
+	if err != nil {
+		return err
+	}
+	if _, err := pipeline.Run(context.Background(), prewarm, pipeline.Options{CacheDir: warmDir}); err != nil {
+		return err
+	}
+
+	durations := map[string]time.Duration{}
+	for _, v := range variants {
+		d, err := measure(seed, runs, v.fn)
+		if err != nil {
+			return fmt.Errorf("%s: %w", v.name, err)
+		}
+		durations[v.name] = d
+		fmt.Printf("%-14s %12v  (%.0f projects/sec)\n", v.name, d, float64(n)/d.Seconds())
+	}
+
+	seq := durations["sequential"]
+	for _, v := range variants {
+		d := durations[v.name]
+		rep.Results = append(rep.Results, result{
+			Name:                v.name,
+			BestNs:              d.Nanoseconds(),
+			BestMs:              float64(d.Nanoseconds()) / 1e6,
+			ProjectsPerSec:      float64(n) / d.Seconds(),
+			SpeedupVsSequential: seq.Seconds() / d.Seconds(),
+		})
+	}
+
+	// Record the warm-cache hit counters as proof the cache short-circuits
+	// recomputation.
+	final, err := freshCorpus(seed)
+	if err != nil {
+		return err
+	}
+	rep.WarmStats, err = pipeline.Run(context.Background(), final, pipeline.Options{CacheDir: warmDir})
+	if err != nil {
+		return err
+	}
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote %s (warm cache: %d/%d hits)\n", out, rep.WarmStats.CacheHits, rep.WarmStats.Projects)
+	return nil
+}

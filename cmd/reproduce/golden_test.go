@@ -1,0 +1,100 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// update regenerates the golden artifacts instead of diffing against
+// them: go test ./cmd/reproduce -run TestGolden -update
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/golden")
+
+// goldenDir is the committed location of the expected artifacts.
+const goldenDir = "../../testdata/golden"
+
+// TestGoldenArtifacts runs `reproduce -only <key>` for the artifacts the
+// paper's headline results hang on (Table 1, Table 2, Figure 1) at seed 1
+// and diffs the emitted text against the committed golden files. Any
+// silent drift in parsing, diffing, metrics, quantization or
+// classification shows up here as a byte-level mismatch.
+func TestGoldenArtifacts(t *testing.T) {
+	old := os.Stdout
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = null
+	defer func() {
+		os.Stdout = old
+		null.Close()
+	}()
+
+	outDir := t.TempDir()
+	for _, key := range []string{"t1", "t2", "fig1"} {
+		if err := run(1, false, key, outDir, ""); err != nil {
+			t.Fatalf("-only %s: %v", key, err)
+		}
+	}
+
+	for _, key := range []string{"t1", "t2", "fig1"} {
+		gotPath := filepath.Join(outDir, key+".txt")
+		got, err := os.ReadFile(gotPath)
+		if err != nil {
+			t.Fatalf("%s: %v", key, err)
+		}
+		goldenPath := filepath.Join(goldenDir, key+".txt")
+		if *update {
+			if err := os.MkdirAll(goldenDir, 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(goldenPath)
+		if err != nil {
+			t.Fatalf("%s: missing golden file (run with -update to create): %v", key, err)
+		}
+		if string(got) != string(want) {
+			t.Errorf("%s: output drifted from %s;\nre-run with -update if the change is intended.\n--- got ---\n%s\n--- want ---\n%s",
+				key, goldenPath, got, want)
+		}
+	}
+}
+
+// TestGoldenCachedRunMatches re-runs the same artifacts through a warm
+// analysis cache and asserts byte-identical output: the cache must be
+// invisible to every consumer.
+func TestGoldenCachedRunMatches(t *testing.T) {
+	old := os.Stdout
+	null, _ := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	os.Stdout = null
+	defer func() { os.Stdout = old; null.Close() }()
+
+	cacheDir := t.TempDir()
+	coldDir := t.TempDir()
+	warmDir := t.TempDir()
+	for _, outDir := range []string{coldDir, warmDir} {
+		for _, key := range []string{"t1", "t2", "fig1"} {
+			if err := run(1, false, key, outDir, cacheDir); err != nil {
+				t.Fatalf("%s: %v", key, err)
+			}
+		}
+	}
+	for _, key := range []string{"t1", "t2", "fig1"} {
+		cold, err := os.ReadFile(filepath.Join(coldDir, key+".txt"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm, err := os.ReadFile(filepath.Join(warmDir, key+".txt"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(cold) != string(warm) {
+			t.Errorf("%s: warm-cache output differs from cold-cache output", key)
+		}
+	}
+}

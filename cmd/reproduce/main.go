@@ -11,6 +11,14 @@
 //	reproduce -ablation       # include the ablations and extensions
 //	reproduce -only fig7      # a single artifact (t1 t2 fig1..fig7 s34 s52 s61 s62 s63)
 //	reproduce -out artifacts  # also write every artifact to files (txt + svg)
+//	reproduce -cache DIR      # memoize per-project analysis under DIR
+//	reproduce -nocache        # disable the analysis cache
+//
+// The corpus analysis runs through the staged concurrent pipeline with a
+// content-hash result cache (default: a "schemaevo" directory under the
+// user cache dir), so re-runs of the same seed skip history and metrics
+// recomputation entirely; the printed pipeline statistics show the cache
+// hits.
 package main
 
 import (
@@ -21,6 +29,7 @@ import (
 	"strings"
 
 	"schemaevo/internal/experiments"
+	"schemaevo/internal/pipeline"
 	"schemaevo/internal/report"
 )
 
@@ -30,20 +39,40 @@ func main() {
 		ablation = flag.Bool("ablation", false, "also run the ablation analyses")
 		only     = flag.String("only", "", "run a single artifact (t1,t2,fig1..fig7,s34,s52,s61,s62,s63)")
 		out      = flag.String("out", "", "directory to write artifact files into")
+		cacheDir = flag.String("cache", "", "analysis cache directory (default: <user-cache>/schemaevo)")
+		nocache  = flag.Bool("nocache", false, "disable the analysis cache")
 	)
 	flag.Parse()
-	if err := run(*seed, *ablation, strings.ToLower(*only), *out); err != nil {
+	dir := *cacheDir
+	if dir == "" && !*nocache {
+		dir = defaultCacheDir()
+	}
+	if *nocache {
+		dir = ""
+	}
+	if err := run(*seed, *ablation, strings.ToLower(*only), *out, dir); err != nil {
 		fmt.Fprintln(os.Stderr, "reproduce:", err)
 		os.Exit(1)
 	}
 }
 
-func run(seed int64, ablation bool, only, outDir string) error {
+// defaultCacheDir picks the per-user cache location; empty (= caching
+// disabled) when the platform reports no user cache dir.
+func defaultCacheDir() string {
+	base, err := os.UserCacheDir()
+	if err != nil {
+		return ""
+	}
+	return filepath.Join(base, "schemaevo")
+}
+
+func run(seed int64, ablation bool, only, outDir, cacheDir string) error {
 	fmt.Printf("Generating the calibrated corpus (seed %d) and running the full pipeline...\n\n", seed)
-	ctx, err := experiments.NewPaperContext(seed)
+	ctx, stats, err := experiments.NewPaperContextWithOptions(seed, pipeline.Options{CacheDir: cacheDir})
 	if err != nil {
 		return err
 	}
+	fmt.Printf("%s\n", stats)
 	fmt.Printf("Corpus: %d projects with lifetime > 12 months.\n\n", ctx.Corpus.Len())
 
 	var htmlRep *report.HTMLReport

@@ -23,7 +23,7 @@ func TestRunSingleArtifacts(t *testing.T) {
 
 	for _, only := range []string{"t1", "t2", "fig1", "fig2", "fig3", "fig4",
 		"fig5", "fig6", "fig7", "s34", "s52", "s61", "s62", "s63"} {
-		if err := run(1, false, only, ""); err != nil {
+		if err := run(1, false, only, "", ""); err != nil {
 			t.Fatalf("-only %s: %v", only, err)
 		}
 	}
@@ -40,7 +40,7 @@ func TestRunAllWithAblation(t *testing.T) {
 		os.Stdout = old
 		null.Close()
 	}()
-	if err := run(2, true, "", t.TempDir()); err != nil {
+	if err := run(2, true, "", t.TempDir(), t.TempDir()); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -52,7 +52,7 @@ func TestRunWritesArtifacts(t *testing.T) {
 	defer func() { os.Stdout = old; null.Close() }()
 
 	dir := t.TempDir()
-	if err := run(1, false, "fig1", dir); err != nil {
+	if err := run(1, false, "fig1", dir, ""); err != nil {
 		t.Fatal(err)
 	}
 	for _, name := range []string{"fig1.txt", "fig1.svg"} {

@@ -22,17 +22,19 @@ import (
 	"schemaevo/internal/query"
 	"schemaevo/internal/sqlddl"
 	"schemaevo/internal/tablestats"
+	"schemaevo/internal/vcs"
 )
 
 // options collects the command-line configuration.
 type options struct {
-	dir     string
-	repo    string
-	gitDir  string
-	svgOut  string
-	verbose bool
-	tables  bool
-	queries string
+	dir      string
+	repo     string
+	gitDir   string
+	svgOut   string
+	verbose  bool
+	tables   bool
+	queries  string
+	cacheDir string
 }
 
 func main() {
@@ -44,6 +46,7 @@ func main() {
 	flag.BoolVar(&o.verbose, "verbose", false, "print per-version change details")
 	flag.BoolVar(&o.tables, "tables", false, "print the per-table lifetime report")
 	flag.StringVar(&o.queries, "queries", "", "file of ';'-separated SELECTs to replay over the history")
+	flag.StringVar(&o.cacheDir, "cache", "", "memoize the analysis under this directory (re-runs of an unchanged history are instant)")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "schemaevo:", err)
@@ -61,21 +64,25 @@ func analyze(o options) (*schemaevo.Analysis, error) {
 	if sources != 1 {
 		return nil, fmt.Errorf("exactly one of -dir, -repo or -git is required")
 	}
+	var (
+		r   *schemaevo.Repo
+		err error
+	)
 	switch {
 	case o.dir != "":
-		return schemaevo.AnalyzeDir(o.dir)
+		r, err = vcs.ReadVersionDir(o.dir)
 	case o.gitDir != "":
 		if !gitrepo.Available() {
 			return nil, fmt.Errorf("-git requires a git binary on the PATH")
 		}
-		return schemaevo.AnalyzeGit(o.gitDir, 0)
+		r, err = gitrepo.Extract(o.gitDir, 0)
 	default:
-		r, err := schemaevo.LoadRepo(o.repo)
-		if err != nil {
-			return nil, err
-		}
-		return schemaevo.AnalyzeRepo(r)
+		r, err = schemaevo.LoadRepo(o.repo)
 	}
+	if err != nil {
+		return nil, err
+	}
+	return schemaevo.AnalyzeRepoCached(r, o.cacheDir)
 }
 
 func run(o options) error {

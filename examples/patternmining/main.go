@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -18,19 +19,23 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// One concurrent pipeline run over the whole corpus instead of 151
+	// sequential AnalyzeRepo calls.
+	stats, err := schemaevo.AnalyzeCorpusPipeline(context.Background(), corpus, schemaevo.PipelineOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s\n\n", stats)
 
 	patternCounts := map[schemaevo.Pattern]int{}
 	familyCounts := map[schemaevo.Family]int{}
 	agreements := 0
 
 	for _, project := range corpus.Projects {
-		a, err := schemaevo.AnalyzeRepo(project.Repo)
-		if err != nil {
-			log.Fatalf("%s: %v", project.Name, err)
-		}
-		patternCounts[a.Pattern]++
-		familyCounts[a.Family]++
-		if a.Pattern == project.GroundTruth {
+		pattern := schemaevo.ClassifyNearest(project.Labels)
+		patternCounts[pattern]++
+		familyCounts[schemaevo.FamilyOf(pattern)]++
+		if pattern == project.GroundTruth {
 			agreements++
 		}
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -19,9 +20,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := schemaevo.AnalyzeCorpus(corpus); err != nil {
+	stats, err := schemaevo.AnalyzeCorpusPipeline(context.Background(), corpus, schemaevo.PipelineOptions{})
+	if err != nil {
 		log.Fatal(err)
 	}
+	fmt.Printf("%s\n\n", stats)
 
 	var obs []predict.Observation
 	for _, p := range corpus.Projects {

@@ -1,8 +1,10 @@
 package corpus
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 
 	"schemaevo/internal/quantize"
@@ -11,7 +13,9 @@ import (
 // AnalyzeParallel runs the analysis pipeline over the corpus with a
 // bounded worker pool. Results are identical to Analyze; only wall-clock
 // time differs (each project's analysis is independent). workers <= 0
-// selects GOMAXPROCS.
+// selects GOMAXPROCS. Unlike Analyze, it does not stop at the first
+// failure: every project is attempted and all failures are returned
+// joined, in corpus order.
 func (c *Corpus) AnalyzeParallel(scheme quantize.Scheme, workers int) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -22,34 +26,41 @@ func (c *Corpus) AnalyzeParallel(scheme quantize.Scheme, workers int) error {
 	if workers <= 1 {
 		return c.Analyze(scheme)
 	}
-	jobs := make(chan *Project)
-	errs := make(chan error, workers)
-	var wg sync.WaitGroup
+	type failure struct {
+		idx int
+		err error
+	}
+	jobs := make(chan int)
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		failures []failure
+	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for p := range jobs {
-				if err := p.Analyze(scheme); err != nil {
-					// Report the first failure; keep draining so the
-					// sender never blocks.
-					select {
-					case errs <- err:
-					default:
-					}
+			for i := range jobs {
+				if err := c.Projects[i].Analyze(scheme); err != nil {
+					mu.Lock()
+					failures = append(failures, failure{idx: i, err: err})
+					mu.Unlock()
 				}
 			}
 		}()
 	}
-	for _, p := range c.Projects {
-		jobs <- p
+	for i := range c.Projects {
+		jobs <- i
 	}
 	close(jobs)
 	wg.Wait()
-	select {
-	case err := <-errs:
-		return fmt.Errorf("corpus: parallel analysis: %w", err)
-	default:
+	if len(failures) == 0 {
 		return nil
 	}
+	sort.Slice(failures, func(a, b int) bool { return failures[a].idx < failures[b].idx })
+	errs := make([]error, len(failures))
+	for i, f := range failures {
+		errs[i] = f.err
+	}
+	return fmt.Errorf("corpus: parallel analysis: %w", errors.Join(errs...))
 }

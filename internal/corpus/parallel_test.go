@@ -1,6 +1,7 @@
 package corpus
 
 import (
+	"strings"
 	"testing"
 
 	"schemaevo/internal/core"
@@ -63,5 +64,41 @@ func TestAnalyzeParallelDegenerateWorkerCounts(t *testing.T) {
 	empty := &Corpus{}
 	if err := empty.AnalyzeParallel(quantize.DefaultScheme(), 8); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestAnalyzeParallelAggregatesAllFailures is the regression test for the
+// old behaviour of reporting only the first failure: with several failing
+// projects, every failure must be present in the joined error, in corpus
+// order, and the healthy projects must still be analyzed.
+func TestAnalyzeParallelAggregatesAllFailures(t *testing.T) {
+	noDDL := func(name string) *vcs.Repo {
+		return &vcs.Repo{Name: name, Commits: []vcs.Commit{
+			{ID: "0", Time: day(2020, 1, 1), Files: map[string]string{"main.go": "x"}},
+		}}
+	}
+	c := &Corpus{Projects: []*Project{
+		{Name: "bad-alpha", Repo: noDDL("bad-alpha")},
+		{Name: "ok", Repo: flatRepo("ok", 20)},
+		{Name: "bad-beta", Repo: noDDL("bad-beta")},
+		{Name: "bad-gamma", Repo: noDDL("bad-gamma")},
+	}}
+	err := c.AnalyzeParallel(quantize.DefaultScheme(), 4)
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	msg := err.Error()
+	for _, name := range []string{"bad-alpha", "bad-beta", "bad-gamma"} {
+		if !strings.Contains(msg, name) {
+			t.Errorf("aggregated error does not mention %q:\n%s", name, msg)
+		}
+	}
+	// Corpus-order aggregation: alpha before beta before gamma.
+	if a, b, g := strings.Index(msg, "bad-alpha"), strings.Index(msg, "bad-beta"),
+		strings.Index(msg, "bad-gamma"); !(a < b && b < g) {
+		t.Errorf("failures not in corpus order:\n%s", msg)
+	}
+	if !c.Projects[1].Analyzed {
+		t.Error("healthy project was not analyzed")
 	}
 }

@@ -5,11 +5,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"schemaevo/internal/core"
 	"schemaevo/internal/corpus"
 	"schemaevo/internal/metrics"
+	"schemaevo/internal/pipeline"
 	"schemaevo/internal/quantize"
 	"schemaevo/internal/synth"
 )
@@ -23,27 +25,40 @@ type Context struct {
 
 // NewPaperContext generates the calibrated 151-project corpus, analyzes
 // it end-to-end (DDL parsing onward) and applies the >12-months filter of
-// §3.1.
+// §3.1. The analysis runs through the staged concurrent pipeline with
+// default options; results are identical to a sequential Corpus.Analyze.
 func NewPaperContext(seed int64) (*Context, error) {
+	ctx, _, err := NewPaperContextWithOptions(seed, pipeline.Options{})
+	return ctx, err
+}
+
+// NewPaperContextWithOptions is NewPaperContext with explicit pipeline
+// options (worker counts, cache directory, fail-fast), returning the
+// pipeline statistics — including the cache-hit counters — alongside the
+// context.
+func NewPaperContextWithOptions(seed int64, opts pipeline.Options) (*Context, pipeline.Stats, error) {
 	c, err := synth.PaperCorpus(seed)
 	if err != nil {
-		return nil, err
+		return nil, pipeline.Stats{}, err
 	}
 	scheme := quantize.DefaultScheme()
-	if err := c.Analyze(scheme); err != nil {
-		return nil, err
+	opts.Scheme = &scheme
+	stats, err := pipeline.Run(context.Background(), c, opts)
+	if err != nil {
+		return nil, stats, err
 	}
 	filtered := c.FilterMinMonths(12)
 	if filtered.Len() != c.Len() {
-		return nil, fmt.Errorf("experiments: generator produced %d projects under 13 months",
+		return nil, stats, fmt.Errorf("experiments: generator produced %d projects under 13 months",
 			c.Len()-filtered.Len())
 	}
-	return &Context{Corpus: filtered, Scheme: scheme}, nil
+	return &Context{Corpus: filtered, Scheme: scheme}, stats, nil
 }
 
-// NewContext wraps an existing corpus (already built, not yet analyzed).
+// NewContext wraps an existing corpus (already built, not yet analyzed),
+// analyzing it through the pipeline.
 func NewContext(c *corpus.Corpus, scheme quantize.Scheme) (*Context, error) {
-	if err := c.Analyze(scheme); err != nil {
+	if _, err := pipeline.Run(context.Background(), c, pipeline.Options{Scheme: &scheme}); err != nil {
 		return nil, err
 	}
 	return &Context{Corpus: c.FilterMinMonths(12), Scheme: scheme}, nil

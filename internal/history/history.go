@@ -82,7 +82,30 @@ func FromRepo(r *vcs.Repo) (*History, error) {
 }
 
 // FromRepoFile builds the history of one specific DDL file of the repo.
+// It is the sequential composition of the two pipeline stages: parsing
+// every snapshot (ParseVersions) and assembling the history (Assemble).
 func FromRepoFile(r *vcs.Repo, path string) (*History, error) {
+	parsed, err := ParseVersions(r, path)
+	if err != nil {
+		return nil, err
+	}
+	return Assemble(r, path, parsed), nil
+}
+
+// ParsedVersion is one parsed snapshot of a DDL file: the reconstructed
+// logical schema plus any parse/apply anomalies. It is the unit of work of
+// the pipeline's parse stage; Assemble turns a sequence of them into a
+// History.
+type ParsedVersion struct {
+	Time   time.Time
+	Schema *schema.Schema
+	Notes  []schema.Note
+}
+
+// ParseVersions parses every snapshot of the given DDL file into a logical
+// schema. This is the CPU-heavy stage of history reconstruction (lexing,
+// parsing, schema building); it carries no cross-version state.
+func ParseVersions(r *vcs.Repo, path string) ([]ParsedVersion, error) {
 	if err := r.Validate(); err != nil {
 		return nil, err
 	}
@@ -90,6 +113,24 @@ func FromRepoFile(r *vcs.Repo, path string) (*History, error) {
 	if len(fileVersions) == 0 {
 		return nil, fmt.Errorf("history: repo %q has no versions of %q", r.Name, path)
 	}
+	out := make([]ParsedVersion, 0, len(fileVersions))
+	for _, fv := range fileVersions {
+		pv := ParsedVersion{Time: fv.Time}
+		if fv.Deleted {
+			pv.Schema = schema.New()
+		} else {
+			pv.Schema, pv.Notes = schema.ParseAndBuild(fv.Content)
+		}
+		out = append(out, pv)
+	}
+	return out, nil
+}
+
+// Assemble builds the history from the parsed snapshots: the
+// attribute-level delta between consecutive versions, the monthly
+// heartbeats, and the expansion/maintenance split. The parsed slice must
+// come from ParseVersions on the same repo and path.
+func Assemble(r *vcs.Repo, path string, parsed []ParsedVersion) *History {
 	h := &History{
 		Project: r.Name,
 		DDLPath: path,
@@ -101,30 +142,21 @@ func FromRepoFile(r *vcs.Repo, path string) (*History, error) {
 	h.SourceMonthly = r.MonthlySrcLines()
 
 	var prev *schema.Schema
-	seq := 0
-	for _, fv := range fileVersions {
-		var cur *schema.Schema
-		var notes []schema.Note
-		if fv.Deleted {
-			cur = schema.New()
-		} else {
-			cur, notes = schema.ParseAndBuild(fv.Content)
-		}
-		d := diff.Schemas(prev, cur)
+	for seq, pv := range parsed {
+		d := diff.Schemas(prev, pv.Schema)
 		h.Versions = append(h.Versions, Version{
 			Seq:    seq,
-			Time:   fv.Time,
-			Schema: cur,
+			Time:   pv.Time,
+			Schema: pv.Schema,
 			Delta:  d,
-			Notes:  notes,
+			Notes:  pv.Notes,
 		})
-		h.SchemaMonthly[vcs.MonthIndex(h.Start, fv.Time)] += d.Total()
+		h.SchemaMonthly[vcs.MonthIndex(h.Start, pv.Time)] += d.Total()
 		h.ExpansionTotal += d.Expansion()
 		h.MaintenanceTotal += d.Maintenance()
-		prev = cur
-		seq++
+		prev = pv.Schema
 	}
-	return h, nil
+	return h
 }
 
 // Cumulative returns the cumulative fractional activity of a monthly

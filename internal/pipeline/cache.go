@@ -1,0 +1,167 @@
+package pipeline
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync/atomic"
+
+	"schemaevo/internal/history"
+	"schemaevo/internal/metrics"
+	"schemaevo/internal/vcs"
+)
+
+// cacheFormatVersion is bumped whenever the entry layout or the meaning of
+// the memoized computation changes; entries with another version are
+// treated as misses. Version 2 switched the entry body from JSON to the
+// binary codec (see codec.go).
+const cacheFormatVersion = 2
+
+// Fingerprint returns a content hash of everything the analysis pipeline
+// reads from a repository: the repo name, every commit's timestamp and
+// source-line count, the content of every DDL snapshot, and DDL deletions.
+// Two repos with equal fingerprints yield byte-identical history and
+// measures, so the fingerprint is a sound memoization key. Non-DDL file
+// contents are deliberately excluded: the pipeline only consumes their
+// per-commit SrcLines aggregate, which is hashed.
+func Fingerprint(r *vcs.Repo) string {
+	h := sha256.New()
+	var buf [8]byte
+	writeInt := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	writeStr := func(s string) {
+		writeInt(int64(len(s)))
+		h.Write([]byte(s))
+	}
+	writeInt(cacheFormatVersion)
+	writeStr(r.Name)
+	writeInt(int64(len(r.Commits)))
+	for _, c := range r.Commits {
+		writeInt(c.Time.UnixNano())
+		writeInt(int64(c.SrcLines))
+		paths := make([]string, 0, len(c.Files))
+		for p := range c.Files {
+			if vcs.IsDDLPath(p) {
+				paths = append(paths, p)
+			}
+		}
+		sort.Strings(paths)
+		writeInt(int64(len(paths)))
+		for _, p := range paths {
+			writeStr(p)
+			writeStr(c.Files[p])
+		}
+		var deleted []string
+		for _, p := range c.Deleted {
+			if vcs.IsDDLPath(p) {
+				deleted = append(deleted, p)
+			}
+		}
+		sort.Strings(deleted)
+		writeInt(int64(len(deleted)))
+		for _, p := range deleted {
+			writeStr(p)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// cacheEntry is the persisted form of one project's memoized analysis:
+// the reconstructed history and the computed measures. Labels are cheap
+// and scheme-dependent, so they are always recomputed. Entries are
+// serialized with the binary codec in codec.go.
+type cacheEntry struct {
+	Version     int
+	Fingerprint string
+	Project     string
+	History     *history.History
+	Measures    metrics.Measures
+}
+
+// diskCache memoizes analysis results under a directory, one file per
+// repository fingerprint. All methods are safe for concurrent use:
+// files are written atomically (temp + rename) and the counters are
+// atomics. A nil *diskCache is a valid no-op cache.
+type diskCache struct {
+	dir    string
+	hits   atomic.Int64
+	misses atomic.Int64
+	writes atomic.Int64
+	errs   atomic.Int64
+}
+
+// openCache prepares a cache rooted at dir, creating it if needed.
+func openCache(dir string) (*diskCache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("pipeline: cache dir: %w", err)
+	}
+	return &diskCache{dir: dir}, nil
+}
+
+func (c *diskCache) path(fingerprint string) string {
+	return filepath.Join(c.dir, fingerprint+".sevc")
+}
+
+// load returns the memoized entry for the fingerprint, or nil on a miss.
+// Corrupt or mismatched entries count as misses (and as cache errors when
+// unreadable), never as failures: the pipeline just recomputes.
+func (c *diskCache) load(fingerprint string) *cacheEntry {
+	if c == nil {
+		return nil
+	}
+	data, err := os.ReadFile(c.path(fingerprint))
+	if err != nil {
+		if !os.IsNotExist(err) {
+			c.errs.Add(1)
+		}
+		c.misses.Add(1)
+		return nil
+	}
+	e, err := decodeEntry(data)
+	if err != nil || e.Version != cacheFormatVersion || e.Fingerprint != fingerprint {
+		c.errs.Add(1)
+		c.misses.Add(1)
+		return nil
+	}
+	c.hits.Add(1)
+	return e
+}
+
+// store persists an entry; failures are counted but non-fatal (the cache
+// is an accelerator, not a source of truth).
+func (c *diskCache) store(fingerprint, project string, h *history.History, m metrics.Measures) {
+	if c == nil {
+		return
+	}
+	data := encodeEntry(&cacheEntry{
+		Version:     cacheFormatVersion,
+		Fingerprint: fingerprint,
+		Project:     project,
+		History:     h,
+		Measures:    m,
+	})
+	tmp, err := os.CreateTemp(c.dir, "entry-*.tmp")
+	if err != nil {
+		c.errs.Add(1)
+		return
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		c.errs.Add(1)
+		return
+	}
+	if err := os.Rename(tmp.Name(), c.path(fingerprint)); err != nil {
+		os.Remove(tmp.Name())
+		c.errs.Add(1)
+		return
+	}
+	c.writes.Add(1)
+}

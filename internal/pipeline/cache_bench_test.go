@@ -1,0 +1,56 @@
+package pipeline
+
+import (
+	"context"
+	"testing"
+
+	"schemaevo/internal/synth"
+)
+
+// BenchmarkFingerprint isolates the cache-key computation (hashing commit
+// timestamps and DDL blobs) for the whole calibrated corpus.
+func BenchmarkFingerprint(b *testing.B) {
+	c, err := synth.PaperCorpus(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range c.Projects {
+			if Fingerprint(p.Repo) == "" {
+				b.Fatal("empty fingerprint")
+			}
+		}
+	}
+}
+
+// BenchmarkCacheLoad isolates decoding all cache entries of a warm cache
+// (the per-hit cost of a warm pipeline run, minus fingerprinting).
+func BenchmarkCacheLoad(b *testing.B) {
+	c, err := synth.PaperCorpus(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dir := b.TempDir()
+	if _, err := Run(context.Background(), c, Options{CacheDir: dir}); err != nil {
+		b.Fatal(err)
+	}
+	keys := make([]string, 0, len(c.Projects))
+	for _, p := range c.Projects {
+		keys = append(keys, Fingerprint(p.Repo))
+	}
+	cache, err := openCache(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, k := range keys {
+			if cache.load(k) == nil {
+				b.Fatal("cache miss")
+			}
+		}
+	}
+}

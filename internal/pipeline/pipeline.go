@@ -1,0 +1,286 @@
+// Package pipeline runs the per-project analysis path (DDL parsing →
+// history assembly → measures → labels) as a staged concurrent pipeline
+// over a corpus: one bounded worker pool per stage, connected by channels,
+// with per-project error attribution, cooperative cancellation, and an
+// optional content-addressed result cache that memoizes the expensive
+// stages across invocations.
+//
+// The pipeline is a pure accelerator: for any worker configuration, with a
+// cold or warm cache, its per-project results are identical to the
+// sequential corpus.Corpus.Analyze. The equivalence is enforced by
+// property tests at several seeds and worker counts.
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"schemaevo/internal/corpus"
+	"schemaevo/internal/history"
+	"schemaevo/internal/metrics"
+	"schemaevo/internal/quantize"
+	"schemaevo/internal/vcs"
+)
+
+// Options configures a pipeline run. The zero value is valid: every stage
+// sized to GOMAXPROCS, the paper's quantization scheme, no cache, and
+// collect-all error handling.
+type Options struct {
+	// ParseWorkers, AssembleWorkers and MetricsWorkers size the three
+	// stage pools (snapshot parsing; history assembly/diffing; measures,
+	// validation and labeling). Values <= 0 select GOMAXPROCS.
+	ParseWorkers    int
+	AssembleWorkers int
+	MetricsWorkers  int
+	// FailFast cancels the run on the first project failure instead of
+	// collecting every failure (the default).
+	FailFast bool
+	// CacheDir enables the content-hash result cache rooted at this
+	// directory; empty disables caching.
+	CacheDir string
+	// Scheme overrides the quantization scheme; nil selects the paper's
+	// DefaultScheme.
+	Scheme *quantize.Scheme
+}
+
+// Stats reports what a pipeline run did. CacheHits counts projects whose
+// history and measures were restored from the cache without recomputation.
+type Stats struct {
+	Projects int `json:"projects"`
+	Analyzed int `json:"analyzed"`
+	Failed   int `json:"failed"`
+
+	CacheHits   int `json:"cache_hits"`
+	CacheMisses int `json:"cache_misses"`
+	CacheWrites int `json:"cache_writes"`
+	CacheErrors int `json:"cache_errors"`
+
+	ParseWorkers    int `json:"parse_workers"`
+	AssembleWorkers int `json:"assemble_workers"`
+	MetricsWorkers  int `json:"metrics_workers"`
+
+	Elapsed time.Duration `json:"elapsed_ns"`
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"pipeline: %d projects analyzed (%d failed) in %v; workers %d/%d/%d; cache %d hits, %d misses, %d writes",
+		s.Analyzed, s.Failed, s.Elapsed.Round(time.Millisecond),
+		s.ParseWorkers, s.AssembleWorkers, s.MetricsWorkers,
+		s.CacheHits, s.CacheMisses, s.CacheWrites)
+}
+
+// job carries one project through the stages. Derived values are staged
+// here and committed to the Project only when the whole chain succeeds, so
+// a failed project is left un-Analyzed rather than half-populated.
+type job struct {
+	idx         int
+	p           *corpus.Project
+	fingerprint string
+	entry       *cacheEntry
+	ddlPath     string
+	parsed      []history.ParsedVersion
+	history     *history.History
+	measures    metrics.Measures
+	err         error
+}
+
+// Run analyzes every project of the corpus through the staged pipeline.
+// On failure it returns the join of every project's error (or the first
+// one under FailFast), each attributed to its project; projects that
+// failed or were skipped keep Analyzed == false.
+func Run(ctx context.Context, c *corpus.Corpus, opts Options) (Stats, error) {
+	start := time.Now()
+	n := len(c.Projects)
+	scheme := quantize.DefaultScheme()
+	if opts.Scheme != nil {
+		scheme = *opts.Scheme
+	}
+	stats := Stats{
+		Projects:        n,
+		ParseWorkers:    clampWorkers(opts.ParseWorkers, n),
+		AssembleWorkers: clampWorkers(opts.AssembleWorkers, n),
+		MetricsWorkers:  clampWorkers(opts.MetricsWorkers, n),
+	}
+
+	var cache *diskCache
+	if opts.CacheDir != "" {
+		var err error
+		if cache, err = openCache(opts.CacheDir); err != nil {
+			stats.Elapsed = time.Since(start)
+			return stats, err
+		}
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	fail := func(j *job, err error) {
+		j.err = fmt.Errorf("pipeline: project %q: %w", j.p.Name, err)
+		if opts.FailFast {
+			cancel()
+		}
+	}
+
+	// Stage 1: fingerprint/cache probe and snapshot parsing.
+	parse := func(j *job) {
+		if cache != nil {
+			j.fingerprint = Fingerprint(j.p.Repo)
+			if j.entry = cache.load(j.fingerprint); j.entry != nil {
+				j.history = j.entry.History
+				j.measures = j.entry.Measures
+				return
+			}
+		}
+		if err := j.p.Repo.Validate(); err != nil {
+			fail(j, err)
+			return
+		}
+		j.ddlPath = j.p.Repo.MainDDLPath()
+		if j.ddlPath == "" {
+			fail(j, fmt.Errorf("history: repo %q has no DDL file", j.p.Repo.Name))
+			return
+		}
+		parsed, err := history.ParseVersions(j.p.Repo, j.ddlPath)
+		if err != nil {
+			fail(j, err)
+			return
+		}
+		j.parsed = parsed
+	}
+
+	// Stage 2: history assembly (diffing, heartbeats).
+	assemble := func(j *job) {
+		if j.entry != nil {
+			return
+		}
+		j.history = history.Assemble(j.p.Repo, j.ddlPath, j.parsed)
+		j.parsed = nil
+	}
+
+	// Stage 3: measures, validation, cache write-back, labels, commit.
+	measure := func(j *job) {
+		if j.entry == nil {
+			j.measures = metrics.Compute(j.history)
+			if err := j.measures.Validate(); err != nil {
+				fail(j, err)
+				return
+			}
+			cache.store(j.fingerprint, j.p.Name, j.history, j.measures)
+		}
+		j.p.History = j.history
+		j.p.Measures = j.measures
+		if j.measures.HasSchema {
+			j.p.Labels = quantize.Compute(j.measures, scheme)
+		}
+		j.p.Analyzed = true
+	}
+
+	in := make(chan *job)
+	parsedCh := make(chan *job)
+	assembledCh := make(chan *job)
+	done := make(chan *job)
+
+	go func() {
+		defer close(in)
+		for i, p := range c.Projects {
+			select {
+			case in <- &job{idx: i, p: p}:
+			case <-runCtx.Done():
+				return
+			}
+		}
+	}()
+	startStage(stats.ParseWorkers, in, parsedCh, runCtx, parse)
+	startStage(stats.AssembleWorkers, parsedCh, assembledCh, runCtx, assemble)
+	startStage(stats.MetricsWorkers, assembledCh, done, runCtx, measure)
+
+	var failures []*job
+	for j := range done {
+		if j.err != nil {
+			failures = append(failures, j)
+		} else if j.p.Analyzed {
+			stats.Analyzed++
+		}
+	}
+	stats.Failed = len(failures)
+	if cache != nil {
+		stats.CacheHits = int(cache.hits.Load())
+		stats.CacheMisses = int(cache.misses.Load())
+		stats.CacheWrites = int(cache.writes.Load())
+		stats.CacheErrors = int(cache.errs.Load())
+	}
+	stats.Elapsed = time.Since(start)
+
+	sort.Slice(failures, func(a, b int) bool { return failures[a].idx < failures[b].idx })
+	errs := make([]error, 0, len(failures)+1)
+	if err := ctx.Err(); err != nil {
+		errs = append(errs, err)
+	}
+	for _, j := range failures {
+		errs = append(errs, j.err)
+	}
+	return stats, errors.Join(errs...)
+}
+
+// startStage launches a bounded worker pool that applies fn to every job
+// from in and forwards it to out, closing out when the pool drains.
+// Errored jobs and jobs arriving after cancellation pass through
+// unprocessed, so every fed job reaches the collector and nothing blocks.
+func startStage(workers int, in <-chan *job, out chan<- *job, ctx context.Context, fn func(*job)) {
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range in {
+				if j.err == nil && ctx.Err() == nil {
+					fn(j)
+				}
+				out <- j
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+}
+
+// clampWorkers resolves a per-stage worker request against the job count.
+func clampWorkers(n, jobs int) int {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if jobs > 0 && n > jobs {
+		n = jobs
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Result is the analysis of a single repository produced by AnalyzeRepo.
+type Result struct {
+	History  *history.History
+	Measures metrics.Measures
+	Labels   quantize.Labels
+}
+
+// AnalyzeRepo runs one repository through the pipeline (including the
+// cache, when configured). It is the single-project entry point behind the
+// schemaevo command and public API.
+func AnalyzeRepo(ctx context.Context, r *vcs.Repo, opts Options) (*Result, Stats, error) {
+	c := &corpus.Corpus{Projects: []*corpus.Project{{Name: r.Name, Repo: r}}}
+	stats, err := Run(ctx, c, opts)
+	if err != nil {
+		return nil, stats, err
+	}
+	p := c.Projects[0]
+	return &Result{History: p.History, Measures: p.Measures, Labels: p.Labels}, stats, nil
+}

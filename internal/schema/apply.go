@@ -80,6 +80,13 @@ func (s *Schema) applyCreateTable(idx int, ct *sqlddl.CreateTable) []Note {
 	t := &Table{Name: ct.Name}
 	var pk []string
 	for _, cd := range ct.Columns {
+		// Real engines reject duplicate column names; tolerate the file by
+		// keeping the first definition, so that name-based lookups (and the
+		// differ) see one column per name.
+		if _, exists := t.Column(cd.Name); exists {
+			notes = append(notes, Note{idx, "CREATE TABLE " + ct.Name + ": duplicate column " + cd.Name})
+			continue
+		}
 		col := columnFromDef(cd)
 		t.Columns = append(t.Columns, col)
 		if cd.PrimaryKey {

@@ -1,0 +1,31 @@
+package schema
+
+import "encoding/json"
+
+// jsonSchema is the wire form of a Schema: the tables in insertion order.
+// The map/order pair of the in-memory form is an implementation detail;
+// persisting the ordered slice keeps the round trip deterministic and lets
+// the pipeline cache store full histories as plain JSON.
+type jsonSchema struct {
+	Tables []*Table `json:"tables"`
+}
+
+// MarshalJSON serializes the schema as its tables in insertion order.
+func (s *Schema) MarshalJSON() ([]byte, error) {
+	return json.Marshal(jsonSchema{Tables: s.Tables()})
+}
+
+// UnmarshalJSON rebuilds a schema from its wire form, restoring the
+// insertion order recorded at marshal time.
+func (s *Schema) UnmarshalJSON(data []byte) error {
+	var js jsonSchema
+	if err := json.Unmarshal(data, &js); err != nil {
+		return err
+	}
+	s.tables = make(map[string]*Table, len(js.Tables))
+	s.order = s.order[:0]
+	for _, t := range js.Tables {
+		s.AddTable(t)
+	}
+	return nil
+}

@@ -1,0 +1,70 @@
+package schema
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+func TestSchemaJSONRoundTrip(t *testing.T) {
+	src := `
+CREATE TABLE b (id INT PRIMARY KEY, note TEXT DEFAULT 'x');
+CREATE TABLE a (
+  id INT NOT NULL,
+  b_id INT,
+  kind VARCHAR(16),
+  PRIMARY KEY (id),
+  CONSTRAINT fk_b FOREIGN KEY (b_id) REFERENCES b (id),
+  UNIQUE (kind, b_id)
+);`
+	s, _ := ParseAndBuild(src)
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := New()
+	if err := json.Unmarshal(data, got); err != nil {
+		t.Fatal(err)
+	}
+	// Insertion order must survive: b before a.
+	wantOrder := []string{"b", "a"}
+	var gotOrder []string
+	for _, tb := range got.Tables() {
+		gotOrder = append(gotOrder, tb.Name)
+	}
+	if !reflect.DeepEqual(gotOrder, wantOrder) {
+		t.Fatalf("table order = %v, want %v", gotOrder, wantOrder)
+	}
+	for _, name := range wantOrder {
+		orig, _ := s.Table(name)
+		back, ok := got.Table(name)
+		if !ok {
+			t.Fatalf("table %q missing after round trip", name)
+		}
+		if !reflect.DeepEqual(orig, back) {
+			t.Errorf("table %q differs after round trip:\n%+v\nvs\n%+v", name, orig, back)
+		}
+	}
+	// A second marshal must be byte-identical (determinism).
+	data2, err := json.Marshal(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(data2) {
+		t.Error("re-marshal not byte-identical")
+	}
+}
+
+func TestSchemaJSONEmpty(t *testing.T) {
+	data, err := json.Marshal(New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := New()
+	if err := json.Unmarshal(data, got); err != nil {
+		t.Fatal(err)
+	}
+	if got.TableCount() != 0 {
+		t.Fatalf("TableCount = %d, want 0", got.TableCount())
+	}
+}

@@ -1,13 +1,32 @@
 package sqlddl
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 // FuzzParse is a native fuzz target for the whole parse path. Run with
 //
 //	go test -fuzz=FuzzParse ./internal/sqlddl
 //
-// Without -fuzz the seed corpus below runs as a regular test.
+// Without -fuzz the seed corpus below (hand-picked statements plus every
+// DDL file under testdata/) runs as a regular test.
 func FuzzParse(f *testing.F) {
+	// Seed with the real-world-shaped schema dumps committed under
+	// testdata/ — they exercise multi-statement scripts, dialect quirks
+	// and constraint syntax the synthetic one-liners below do not.
+	files, err := filepath.Glob(filepath.Join("..", "..", "testdata", "*", "*.sql"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, path := range files {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(data))
+	}
 	seeds := []string{
 		"CREATE TABLE t (a INT, b TEXT, PRIMARY KEY (a));",
 		"ALTER TABLE t ADD COLUMN c DATE, DROP COLUMN b;",

@@ -706,7 +706,10 @@ func (p *parser) parseDefaultExpr() string {
 	for p.cur().Kind == Op && p.cur().Text == "::" {
 		p.next()
 		sb.WriteString("::")
-		sb.WriteString(p.parseType())
+		// The default expression is stored (and re-rendered) as text, so
+		// an exotic cast target must be quoted here or the rendered
+		// statement would not re-parse (e.g. a cast to a bare "[]").
+		sb.WriteString(renderType(p.parseType()))
 	}
 	return sb.String()
 }

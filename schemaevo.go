@@ -19,6 +19,7 @@
 package schemaevo
 
 import (
+	"context"
 	"fmt"
 
 	"schemaevo/internal/chart"
@@ -27,6 +28,7 @@ import (
 	"schemaevo/internal/gitrepo"
 	"schemaevo/internal/history"
 	"schemaevo/internal/metrics"
+	"schemaevo/internal/pipeline"
 	"schemaevo/internal/quantize"
 	"schemaevo/internal/synth"
 	"schemaevo/internal/vcs"
@@ -139,31 +141,34 @@ func (a *Analysis) ChartSVG() string {
 // AnalyzeRepo runs the full pipeline on a repository: schema-history
 // extraction, measures, labels and pattern classification.
 func AnalyzeRepo(r *Repo) (*Analysis, error) {
-	h, err := history.FromRepo(r)
+	return AnalyzeRepoCached(r, "")
+}
+
+// AnalyzeRepoCached is AnalyzeRepo backed by the content-hash result
+// cache rooted at cacheDir (empty disables caching): re-analysis of an
+// unchanged repository restores its history and measures from disk
+// instead of recomputing them.
+func AnalyzeRepoCached(r *Repo, cacheDir string) (*Analysis, error) {
+	res, _, err := pipeline.AnalyzeRepo(context.Background(), r, pipeline.Options{CacheDir: cacheDir})
 	if err != nil {
 		return nil, err
 	}
-	m := metrics.Compute(h)
-	if err := m.Validate(); err != nil {
-		return nil, err
-	}
-	if !m.HasSchema {
+	if !res.Measures.HasSchema {
 		return nil, fmt.Errorf("schemaevo: %s: the schema file never defines a logical schema", r.Name)
 	}
-	l := quantize.Compute(m, quantize.DefaultScheme())
-	p := core.Classify(l)
+	p := core.Classify(res.Labels)
 	exact := p != core.Unclassified
 	if !exact {
-		p = core.ClassifyNearest(l)
+		p = core.ClassifyNearest(res.Labels)
 	}
 	return &Analysis{
 		Project:  r.Name,
 		Pattern:  p,
 		Exact:    exact,
 		Family:   core.FamilyOf(p),
-		Measures: m,
-		Labels:   l,
-		History:  h,
+		Measures: res.Measures,
+		Labels:   res.Labels,
+		History:  res.History,
 	}, nil
 }
 
@@ -216,6 +221,25 @@ func AnalyzeCorpus(c *Corpus) error {
 // sequential form.
 func AnalyzeCorpusParallel(c *Corpus, workers int) error {
 	return c.AnalyzeParallel(quantize.DefaultScheme(), workers)
+}
+
+// PipelineOptions configures the staged concurrent analysis pipeline:
+// per-stage worker counts, fail-fast vs collect-all error handling, and
+// the content-hash cache directory. The zero value is a sensible default.
+type PipelineOptions = pipeline.Options
+
+// PipelineStats reports what a pipeline run did, including the cache-hit
+// counters.
+type PipelineStats = pipeline.Stats
+
+// AnalyzeCorpusPipeline runs the corpus through the staged concurrent
+// pipeline (parse → assemble → measures/labels) with the paper's
+// quantization. Results are identical to AnalyzeCorpus at any worker
+// count; with a cache directory configured, unchanged projects are
+// restored from disk instead of recomputed. All failures are collected
+// and attributed per project unless opts.FailFast is set.
+func AnalyzeCorpusPipeline(ctx context.Context, c *Corpus, opts PipelineOptions) (PipelineStats, error) {
+	return pipeline.Run(ctx, c, opts)
 }
 
 // ClassifyLabels applies the formal definitions of §4 to a label profile;
