@@ -220,7 +220,10 @@ func BenchmarkAblationLabelSensitivity(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res := experiments.LabelSensitivity(ctx)
+		res, err := experiments.LabelSensitivity(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(res.Perturbations) == 0 {
 			b.Fatal("no perturbations")
 		}

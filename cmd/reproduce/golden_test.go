@@ -33,7 +33,7 @@ func TestGoldenArtifacts(t *testing.T) {
 
 	outDir := t.TempDir()
 	for _, key := range []string{"t1", "t2", "fig1"} {
-		if err := run(1, false, key, outDir, ""); err != nil {
+		if _, err := run(cfgFor(1, false, key, outDir, "")); err != nil {
 			t.Fatalf("-only %s: %v", key, err)
 		}
 	}
@@ -79,7 +79,7 @@ func TestGoldenCachedRunMatches(t *testing.T) {
 	warmDir := t.TempDir()
 	for _, outDir := range []string{coldDir, warmDir} {
 		for _, key := range []string{"t1", "t2", "fig1"} {
-			if err := run(1, false, key, outDir, cacheDir); err != nil {
+			if _, err := run(cfgFor(1, false, key, outDir, cacheDir)); err != nil {
 				t.Fatalf("%s: %v", key, err)
 			}
 		}

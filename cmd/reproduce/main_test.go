@@ -6,6 +6,13 @@ import (
 	"testing"
 )
 
+// cfgFor builds the run configuration the CLI would produce for the given
+// positional settings, with default degradation tolerance.
+func cfgFor(seed int64, ablation bool, only, outDir, cacheDir string) config {
+	return config{seed: seed, ablation: ablation, only: only, outDir: outDir,
+		cacheDir: cacheDir, maxFailures: 0.25}
+}
+
 // TestRunSingleArtifacts exercises each -only selector; the full run is
 // covered by TestRunAll.
 func TestRunSingleArtifacts(t *testing.T) {
@@ -23,8 +30,12 @@ func TestRunSingleArtifacts(t *testing.T) {
 
 	for _, only := range []string{"t1", "t2", "fig1", "fig2", "fig3", "fig4",
 		"fig5", "fig6", "fig7", "s34", "s52", "s61", "s62", "s63"} {
-		if err := run(1, false, only, "", ""); err != nil {
+		degraded, err := run(cfgFor(1, false, only, "", ""))
+		if err != nil {
 			t.Fatalf("-only %s: %v", only, err)
+		}
+		if degraded {
+			t.Fatalf("-only %s: degraded on a healthy corpus", only)
 		}
 	}
 }
@@ -40,8 +51,12 @@ func TestRunAllWithAblation(t *testing.T) {
 		os.Stdout = old
 		null.Close()
 	}()
-	if err := run(2, true, "", t.TempDir(), t.TempDir()); err != nil {
+	degraded, err := run(cfgFor(2, true, "", t.TempDir(), t.TempDir()))
+	if err != nil {
 		t.Fatal(err)
+	}
+	if degraded {
+		t.Fatal("degraded on a healthy corpus")
 	}
 }
 
@@ -52,7 +67,7 @@ func TestRunWritesArtifacts(t *testing.T) {
 	defer func() { os.Stdout = old; null.Close() }()
 
 	dir := t.TempDir()
-	if err := run(1, false, "fig1", dir, ""); err != nil {
+	if _, err := run(cfgFor(1, false, "fig1", dir, "")); err != nil {
 		t.Fatal(err)
 	}
 	for _, name := range []string{"fig1.txt", "fig1.svg"} {

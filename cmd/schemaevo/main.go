@@ -10,12 +10,14 @@
 //	schemaevo -dir ... -verbose         # include the per-version deltas
 //	schemaevo -dir ... -tables          # per-table lifetime report
 //	schemaevo -dir ... -queries q.sql   # replay a query workload over the history
+//	schemaevo -dir ... -project-timeout 30s  # abandon an analysis that gets stuck
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"schemaevo"
 	"schemaevo/internal/gitrepo"
@@ -35,6 +37,7 @@ type options struct {
 	tables   bool
 	queries  string
 	cacheDir string
+	timeout  time.Duration
 }
 
 func main() {
@@ -47,6 +50,7 @@ func main() {
 	flag.BoolVar(&o.tables, "tables", false, "print the per-table lifetime report")
 	flag.StringVar(&o.queries, "queries", "", "file of ';'-separated SELECTs to replay over the history")
 	flag.StringVar(&o.cacheDir, "cache", "", "memoize the analysis under this directory (re-runs of an unchanged history are instant)")
+	flag.DurationVar(&o.timeout, "project-timeout", 0, "abandon the analysis if it exceeds this deadline (0 disables)")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "schemaevo:", err)
@@ -82,7 +86,19 @@ func analyze(o options) (*schemaevo.Analysis, error) {
 	if err != nil {
 		return nil, err
 	}
-	return schemaevo.AnalyzeRepoCached(r, o.cacheDir)
+	a, stats, err := schemaevo.AnalyzeRepoWithOptions(r,
+		schemaevo.PipelineOptions{CacheDir: o.cacheDir, ProjectTimeout: o.timeout})
+	if err != nil {
+		// Attach the failure taxonomy so a lost analysis states what kind
+		// of loss it was (parse / metrics / timeout / panic).
+		if rep := stats.Degradation; rep.Degraded() {
+			for _, f := range rep.Failures {
+				err = fmt.Errorf("%w (failure kind: %s)", err, f.Kind)
+			}
+		}
+		return nil, err
+	}
+	return a, nil
 }
 
 func run(o options) error {

@@ -41,7 +41,7 @@ func (c *Corpus) AnalyzeParallel(scheme quantize.Scheme, workers int) error {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				if err := c.Projects[i].Analyze(scheme); err != nil {
+				if err := analyzeRecovered(c.Projects[i], scheme); err != nil {
 					mu.Lock()
 					failures = append(failures, failure{idx: i, err: err})
 					mu.Unlock()
@@ -63,4 +63,16 @@ func (c *Corpus) AnalyzeParallel(scheme quantize.Scheme, workers int) error {
 		errs[i] = f.err
 	}
 	return fmt.Errorf("corpus: parallel analysis: %w", errors.Join(errs...))
+}
+
+// analyzeRecovered isolates one project's analysis: a panic becomes that
+// project's attributed error instead of killing the worker pool (and with
+// it every queued project and the process).
+func analyzeRecovered(p *Project, scheme quantize.Scheme) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("corpus: project %q: panic: %v", p.Name, r)
+		}
+	}()
+	return p.Analyze(scheme)
 }

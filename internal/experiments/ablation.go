@@ -22,19 +22,19 @@ type LabelSensitivityResult struct {
 
 // LabelSensitivity reclassifies the corpus under perturbed quantization
 // schemes. The classification should be fairly robust: the patterns are
-// not artifacts of the exact cut points (VQ1 of §5).
-func LabelSensitivity(ctx *Context) *LabelSensitivityResult {
+// not artifacts of the exact cut points (VQ1 of §5). A perturbation that
+// breaks the cut-point ordering is a bug in the ablation table and is
+// returned as an error.
+func LabelSensitivity(ctx *Context) (*LabelSensitivityResult, error) {
 	base := map[string]core.Pattern{}
 	for _, p := range ctx.Corpus.Projects {
 		base[p.Name] = core.Classify(p.Labels)
 	}
-	perturb := func(name string, mutate func(*quantize.Scheme)) (string, int) {
+	perturb := func(name string, mutate func(*quantize.Scheme)) (int, error) {
 		s := ctx.Scheme
 		mutate(&s)
 		if err := s.Validate(); err != nil {
-			// A perturbation that breaks the cut-point ordering is a bug
-			// in the ablation table, not a finding.
-			panic(err)
+			return 0, fmt.Errorf("experiments: label-sensitivity perturbation %q yields an invalid scheme: %w", name, err)
 		}
 		changed := 0
 		for _, p := range ctx.Corpus.Projects {
@@ -43,7 +43,7 @@ func LabelSensitivity(ctx *Context) *LabelSensitivityResult {
 				changed++
 			}
 		}
-		return name, changed
+		return changed, nil
 	}
 	res := &LabelSensitivityResult{Perturbations: map[string]int{}, N: ctx.Corpus.Len()}
 	cases := []struct {
@@ -58,10 +58,13 @@ func LabelSensitivity(ctx *Context) *LabelSensitivityResult {
 		{"growth long 0.75→0.70", func(s *quantize.Scheme) { s.GrowthLongMax = 0.70 }},
 	}
 	for _, c := range cases {
-		name, changed := perturb(c.name, c.mutate)
-		res.Perturbations[name] = changed
+		changed, err := perturb(c.name, c.mutate)
+		if err != nil {
+			return nil, err
+		}
+		res.Perturbations[c.name] = changed
 	}
-	return res
+	return res, nil
 }
 
 // Render prints the label-sensitivity ablation.

@@ -55,6 +55,36 @@ func NewPaperContextWithOptions(seed int64, opts pipeline.Options) (*Context, pi
 	return &Context{Corpus: filtered, Scheme: scheme}, stats, nil
 }
 
+// NewPaperContextTolerant is NewPaperContextWithOptions for degraded
+// runs: per-project analysis failures do not abort the reproduction.
+// Failed projects are dropped from the returned corpus and itemized in
+// stats.Degradation, so the caller can decide how much loss it accepts —
+// the same discipline that let the paper's study proceed with 151 of its
+// 195 mined repositories. It errors only when nothing survives (or the
+// corpus cannot be generated at all).
+func NewPaperContextTolerant(seed int64, opts pipeline.Options) (*Context, pipeline.Stats, error) {
+	c, err := synth.PaperCorpus(seed)
+	if err != nil {
+		return nil, pipeline.Stats{}, err
+	}
+	scheme := quantize.DefaultScheme()
+	opts.Scheme = &scheme
+	stats, runErr := pipeline.Run(context.Background(), c, opts)
+	survived := &corpus.Corpus{}
+	for _, p := range c.Projects {
+		if p.Analyzed {
+			survived.Projects = append(survived.Projects, p)
+		}
+	}
+	if survived.Len() == 0 {
+		if runErr == nil {
+			runErr = fmt.Errorf("experiments: no project survived analysis")
+		}
+		return nil, stats, runErr
+	}
+	return &Context{Corpus: survived.FilterMinMonths(12), Scheme: scheme}, stats, nil
+}
+
 // NewContext wraps an existing corpus (already built, not yet analyzed),
 // analyzing it through the pipeline.
 func NewContext(c *corpus.Corpus, scheme quantize.Scheme) (*Context, error) {

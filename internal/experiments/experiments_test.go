@@ -351,7 +351,10 @@ func TestSection63Mixture(t *testing.T) {
 }
 
 func TestLabelSensitivity(t *testing.T) {
-	res := LabelSensitivity(paperCtx(t))
+	res, err := LabelSensitivity(paperCtx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
 	for name, changed := range res.Perturbations {
 		// Robustness: no perturbation should reshuffle a large share of
 		// the corpus.

@@ -1,15 +1,18 @@
 package pipeline
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"sort"
 	"sync/atomic"
 
+	"schemaevo/internal/faultinject"
 	"schemaevo/internal/history"
 	"schemaevo/internal/metrics"
 	"schemaevo/internal/vcs"
@@ -18,8 +21,9 @@ import (
 // cacheFormatVersion is bumped whenever the entry layout or the meaning of
 // the memoized computation changes; entries with another version are
 // treated as misses. Version 2 switched the entry body from JSON to the
-// binary codec (see codec.go).
-const cacheFormatVersion = 2
+// binary codec (see codec.go); version 3 added the whole-file CRC-32C
+// integrity trailer.
+const cacheFormatVersion = 3
 
 // Fingerprint returns a content hash of everything the analysis pipeline
 // reads from a repository: the repo name, every commit's timestamp and
@@ -75,7 +79,8 @@ func Fingerprint(r *vcs.Repo) string {
 // cacheEntry is the persisted form of one project's memoized analysis:
 // the reconstructed history and the computed measures. Labels are cheap
 // and scheme-dependent, so they are always recomputed. Entries are
-// serialized with the binary codec in codec.go.
+// serialized with the binary codec in codec.go and sealed with a CRC-32C
+// trailer.
 type cacheEntry struct {
 	Version     int
 	Fingerprint string
@@ -84,38 +89,88 @@ type cacheEntry struct {
 	Measures    metrics.Measures
 }
 
+// corruptDirName is the subdirectory entries failing their integrity
+// check are moved to, preserved for inspection instead of deleted.
+const corruptDirName = "corrupt"
+
 // diskCache memoizes analysis results under a directory, one file per
 // repository fingerprint. All methods are safe for concurrent use:
 // files are written atomically (temp + rename) and the counters are
-// atomics. A nil *diskCache is a valid no-op cache.
+// atomics. Transient filesystem faults are retried with backoff; entries
+// that fail their checksum are quarantined to <dir>/corrupt/ and read as
+// misses, so a crash mid-write or bit-rot can never surface a wrong
+// result. A nil *diskCache is a valid no-op cache.
 type diskCache struct {
-	dir    string
-	hits   atomic.Int64
-	misses atomic.Int64
-	writes atomic.Int64
-	errs   atomic.Int64
+	dir     string
+	fault   *faultinject.Injector
+	ctx     context.Context
+	hits    atomic.Int64
+	misses  atomic.Int64
+	writes  atomic.Int64
+	errs    atomic.Int64
+	corrupt atomic.Int64
 }
 
-// openCache prepares a cache rooted at dir, creating it if needed.
-func openCache(dir string) (*diskCache, error) {
+// openCache prepares a cache rooted at dir, creating it if needed. fault
+// optionally injects chaos at the cache.read/cache.write sites; ctx bounds
+// injected delays.
+func openCache(dir string, fault *faultinject.Injector, ctx context.Context) (*diskCache, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("pipeline: cache dir: %w", err)
 	}
-	return &diskCache{dir: dir}, nil
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &diskCache{dir: dir, fault: fault, ctx: ctx}, nil
 }
 
 func (c *diskCache) path(fingerprint string) string {
 	return filepath.Join(c.dir, fingerprint+".sevc")
 }
 
+// crcTable is the Castagnoli polynomial, hardware-accelerated on the
+// platforms that matter.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// seal appends the CRC-32C of data, producing the on-disk file image.
+func seal(data []byte) []byte {
+	var trailer [4]byte
+	binary.LittleEndian.PutUint32(trailer[:], crc32.Checksum(data, crcTable))
+	return append(data, trailer[:]...)
+}
+
+// unseal verifies and strips the CRC-32C trailer.
+func unseal(data []byte) ([]byte, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("%w: %d bytes, shorter than the checksum trailer", errCorruptEntry, len(data))
+	}
+	payload, trailer := data[:len(data)-4], data[len(data)-4:]
+	if crc32.Checksum(payload, crcTable) != binary.LittleEndian.Uint32(trailer) {
+		return nil, fmt.Errorf("%w: checksum mismatch", errCorruptEntry)
+	}
+	return payload, nil
+}
+
 // load returns the memoized entry for the fingerprint, or nil on a miss.
-// Corrupt or mismatched entries count as misses (and as cache errors when
-// unreadable), never as failures: the pipeline just recomputes.
+// Unreadable files are retried, then count as misses plus cache errors;
+// entries failing the checksum or decode are quarantined for inspection
+// and count as misses — never as failures: the pipeline just recomputes.
 func (c *diskCache) load(fingerprint string) *cacheEntry {
 	if c == nil {
 		return nil
 	}
-	data, err := os.ReadFile(c.path(fingerprint))
+	var data []byte
+	err := withRetry(retryAttempts, retryBackoff, func() error {
+		switch c.fault.At("cache.read", fingerprint) {
+		case faultinject.KindErr:
+			return &faultinject.Error{Site: "cache.read", Key: fingerprint}
+		case faultinject.KindDelay:
+			c.fault.Sleep(c.ctx)
+		}
+		var rerr error
+		data, rerr = os.ReadFile(c.path(fingerprint))
+		return rerr
+	})
 	if err != nil {
 		if !os.IsNotExist(err) {
 			c.errs.Add(1)
@@ -123,8 +178,17 @@ func (c *diskCache) load(fingerprint string) *cacheEntry {
 		c.misses.Add(1)
 		return nil
 	}
-	e, err := decodeEntry(data)
+	if c.fault.At("cache.read.bytes", fingerprint) == faultinject.KindCorrupt {
+		data = append([]byte(nil), data...)
+		c.fault.Mangle(data, fingerprint)
+	}
+	payload, err := unseal(data)
+	var e *cacheEntry
+	if err == nil {
+		e, err = decodeEntry(payload)
+	}
 	if err != nil || e.Version != cacheFormatVersion || e.Fingerprint != fingerprint {
+		c.quarantine(fingerprint)
 		c.errs.Add(1)
 		c.misses.Add(1)
 		return nil
@@ -133,35 +197,75 @@ func (c *diskCache) load(fingerprint string) *cacheEntry {
 	return e
 }
 
-// store persists an entry; failures are counted but non-fatal (the cache
-// is an accelerator, not a source of truth).
+// quarantine moves an entry that failed its integrity check into
+// <dir>/corrupt/ so it can be inspected; if the move fails the entry is
+// deleted, because a poisoned file must never be re-read as a hit.
+func (c *diskCache) quarantine(fingerprint string) {
+	c.corrupt.Add(1)
+	src := c.path(fingerprint)
+	dir := filepath.Join(c.dir, corruptDirName)
+	if os.MkdirAll(dir, 0o755) == nil {
+		if os.Rename(src, filepath.Join(dir, fingerprint+".sevc")) == nil {
+			return
+		}
+	}
+	os.Remove(src)
+}
+
+// store persists an entry; transient failures are retried, remaining
+// failures are counted but non-fatal (the cache is an accelerator, not a
+// source of truth).
 func (c *diskCache) store(fingerprint, project string, h *history.History, m metrics.Measures) {
 	if c == nil {
 		return
 	}
-	data := encodeEntry(&cacheEntry{
+	data := seal(encodeEntry(&cacheEntry{
 		Version:     cacheFormatVersion,
 		Fingerprint: fingerprint,
 		Project:     project,
 		History:     h,
 		Measures:    m,
+	}))
+	if c.fault.At("cache.write.bytes", fingerprint) == faultinject.KindCorrupt {
+		data = append([]byte(nil), data...)
+		c.fault.Mangle(data, fingerprint)
+	}
+	err := withRetry(retryAttempts, retryBackoff, func() error {
+		switch c.fault.At("cache.write", fingerprint) {
+		case faultinject.KindErr:
+			return &faultinject.Error{Site: "cache.write", Key: fingerprint}
+		case faultinject.KindDelay:
+			c.fault.Sleep(c.ctx)
+		}
+		return c.writeAtomic(fingerprint, data)
 	})
-	tmp, err := os.CreateTemp(c.dir, "entry-*.tmp")
 	if err != nil {
 		c.errs.Add(1)
 		return
+	}
+	c.writes.Add(1)
+}
+
+// writeAtomic lands data at the entry path via temp file + rename, so
+// concurrent readers see either the old complete entry or the new one,
+// never a torn write.
+func (c *diskCache) writeAtomic(fingerprint string, data []byte) error {
+	tmp, err := os.CreateTemp(c.dir, "entry-*.tmp")
+	if err != nil {
+		return err
 	}
 	_, werr := tmp.Write(data)
 	cerr := tmp.Close()
 	if werr != nil || cerr != nil {
 		os.Remove(tmp.Name())
-		c.errs.Add(1)
-		return
+		if werr != nil {
+			return werr
+		}
+		return cerr
 	}
 	if err := os.Rename(tmp.Name(), c.path(fingerprint)); err != nil {
 		os.Remove(tmp.Name())
-		c.errs.Add(1)
-		return
+		return err
 	}
-	c.writes.Add(1)
+	return nil
 }

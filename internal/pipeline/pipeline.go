@@ -9,6 +9,17 @@
 // cold or warm cache, its per-project results are identical to the
 // sequential corpus.Corpus.Analyze. The equivalence is enforced by
 // property tests at several seeds and worker counts.
+//
+// The pipeline is also a fault boundary: a panicking, erroring, or stuck
+// project becomes one attributed entry in the run's DegradationReport, and
+// can never crash the process or perturb another project's results. Worker
+// panics are recovered and classified; Options.ProjectTimeout arms a
+// watchdog that abandons and quarantines stuck projects; cache and
+// filesystem hiccups are retried with backoff and degrade to recomputation.
+// The chaos tests (chaos_test.go) drive all of this with deterministic
+// fault injection (internal/faultinject) and assert the core invariant:
+// projects untouched by faults produce results identical to a fault-free
+// run.
 package pipeline
 
 import (
@@ -16,11 +27,14 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"schemaevo/internal/corpus"
+	"schemaevo/internal/faultinject"
 	"schemaevo/internal/history"
 	"schemaevo/internal/metrics"
 	"schemaevo/internal/quantize"
@@ -28,8 +42,8 @@ import (
 )
 
 // Options configures a pipeline run. The zero value is valid: every stage
-// sized to GOMAXPROCS, the paper's quantization scheme, no cache, and
-// collect-all error handling.
+// sized to GOMAXPROCS, the paper's quantization scheme, no cache, no
+// deadline, no fault injection, and collect-all error handling.
 type Options struct {
 	// ParseWorkers, AssembleWorkers and MetricsWorkers size the three
 	// stage pools (snapshot parsing; history assembly/diffing; measures,
@@ -46,34 +60,65 @@ type Options struct {
 	// Scheme overrides the quantization scheme; nil selects the paper's
 	// DefaultScheme.
 	Scheme *quantize.Scheme
+	// ProjectTimeout bounds one project's total in-stage processing time.
+	// A project that exceeds it is failed with the timeout taxonomy and
+	// its worker goroutine is abandoned (quarantined): the stage pool
+	// moves on immediately and the stray goroutine's results are
+	// discarded when it eventually returns. 0 disables the watchdog.
+	ProjectTimeout time.Duration
+	// Fault injects deterministic faults at the pipeline's named sites
+	// (pipeline.parse, pipeline.assemble, pipeline.metrics, cache.read,
+	// cache.write) — the chaos-testing hook. nil disables injection.
+	Fault *faultinject.Injector
 }
 
 // Stats reports what a pipeline run did. CacheHits counts projects whose
 // history and measures were restored from the cache without recomputation.
+// Degradation itemizes every lost project; it is non-nil on every run.
 type Stats struct {
 	Projects int `json:"projects"`
 	Analyzed int `json:"analyzed"`
 	Failed   int `json:"failed"`
+	// Quarantined counts projects abandoned by the deadline watchdog.
+	Quarantined int `json:"quarantined,omitempty"`
 
 	CacheHits   int `json:"cache_hits"`
 	CacheMisses int `json:"cache_misses"`
 	CacheWrites int `json:"cache_writes"`
 	CacheErrors int `json:"cache_errors"`
+	// CacheCorrupt counts entries that failed their integrity check and
+	// were quarantined to <cachedir>/corrupt/ (also included in
+	// CacheErrors, preserving its "anything unhealthy" meaning).
+	CacheCorrupt int `json:"cache_corrupt,omitempty"`
 
 	ParseWorkers    int `json:"parse_workers"`
 	AssembleWorkers int `json:"assemble_workers"`
 	MetricsWorkers  int `json:"metrics_workers"`
 
 	Elapsed time.Duration `json:"elapsed_ns"`
+
+	Degradation *DegradationReport `json:"degradation,omitempty"`
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf(
+	msg := fmt.Sprintf(
 		"pipeline: %d projects analyzed (%d failed) in %v; workers %d/%d/%d; cache %d hits, %d misses, %d writes",
 		s.Analyzed, s.Failed, s.Elapsed.Round(time.Millisecond),
 		s.ParseWorkers, s.AssembleWorkers, s.MetricsWorkers,
 		s.CacheHits, s.CacheMisses, s.CacheWrites)
+	if s.Quarantined > 0 {
+		msg += fmt.Sprintf("; %d quarantined", s.Quarantined)
+	}
+	return msg
 }
+
+// Lifecycle states of one job, used to arbitrate between the committing
+// worker and the deadline watchdog without locks.
+const (
+	stateRunning   int32 = iota // stages may process and commit the job
+	stateCommitted              // the metrics stage published results to the Project
+	stateAbandoned              // the watchdog gave up on the job; discard its results
+)
 
 // job carries one project through the stages. Derived values are staged
 // here and committed to the Project only when the whole chain succeeds, so
@@ -88,12 +133,22 @@ type job struct {
 	history     *history.History
 	measures    metrics.Measures
 	err         error
+	kind        FailureKind
+	// deadline is set when the project enters its first stage; the
+	// watchdog abandons the job when a stage outlives it.
+	deadline time.Time
+	// state arbitrates commit vs abandon: the metrics stage CASes
+	// running→committed before touching the Project, the watchdog CASes
+	// running→abandoned before reporting a timeout. Exactly one wins, so
+	// an abandoned worker can never publish results.
+	state atomic.Int32
 }
 
 // Run analyzes every project of the corpus through the staged pipeline.
 // On failure it returns the join of every project's error (or the first
 // one under FailFast), each attributed to its project; projects that
-// failed or were skipped keep Analyzed == false.
+// failed or were skipped keep Analyzed == false. Stats.Degradation holds
+// the same failures in structured form, classified by taxonomy.
 func Run(ctx context.Context, c *corpus.Corpus, opts Options) (Stats, error) {
 	start := time.Now()
 	n := len(c.Projects)
@@ -108,26 +163,48 @@ func Run(ctx context.Context, c *corpus.Corpus, opts Options) (Stats, error) {
 		MetricsWorkers:  clampWorkers(opts.MetricsWorkers, n),
 	}
 
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
 	var cache *diskCache
 	if opts.CacheDir != "" {
 		var err error
-		if cache, err = openCache(opts.CacheDir); err != nil {
+		if cache, err = openCache(opts.CacheDir, opts.Fault, runCtx); err != nil {
 			stats.Elapsed = time.Since(start)
 			return stats, err
 		}
 	}
 
-	runCtx, cancel := context.WithCancel(ctx)
-	defer cancel()
-	fail := func(j *job, err error) {
+	fail := func(j *job, kind FailureKind, err error) {
+		j.kind = kind
 		j.err = fmt.Errorf("pipeline: project %q: %w", j.p.Name, err)
 		if opts.FailFast {
 			cancel()
 		}
 	}
 
+	// inject applies a configured fault at a pipeline stage site: KindErr
+	// returns the error for the caller to attribute, KindPanic panics
+	// (recovered by the stage wrapper), KindDelay stalls cooperatively.
+	// KindCorrupt has no meaning at a stage boundary and is ignored.
+	inject := func(site string, j *job) error {
+		switch opts.Fault.At(site, j.p.Name) {
+		case faultinject.KindErr:
+			return &faultinject.Error{Site: site, Key: j.p.Name}
+		case faultinject.KindPanic:
+			panic(fmt.Sprintf("faultinject: %s (%s)", site, j.p.Name))
+		case faultinject.KindDelay:
+			opts.Fault.Sleep(runCtx)
+		}
+		return nil
+	}
+
 	// Stage 1: fingerprint/cache probe and snapshot parsing.
 	parse := func(j *job) {
+		if err := inject("pipeline.parse", j); err != nil {
+			fail(j, FailParse, err)
+			return
+		}
 		if cache != nil {
 			j.fingerprint = Fingerprint(j.p.Repo)
 			if j.entry = cache.load(j.fingerprint); j.entry != nil {
@@ -137,17 +214,17 @@ func Run(ctx context.Context, c *corpus.Corpus, opts Options) (Stats, error) {
 			}
 		}
 		if err := j.p.Repo.Validate(); err != nil {
-			fail(j, err)
+			fail(j, FailParse, err)
 			return
 		}
 		j.ddlPath = j.p.Repo.MainDDLPath()
 		if j.ddlPath == "" {
-			fail(j, fmt.Errorf("history: repo %q has no DDL file", j.p.Repo.Name))
+			fail(j, FailParse, fmt.Errorf("history: repo %q has no DDL file", j.p.Repo.Name))
 			return
 		}
 		parsed, err := history.ParseVersions(j.p.Repo, j.ddlPath)
 		if err != nil {
-			fail(j, err)
+			fail(j, FailParse, err)
 			return
 		}
 		j.parsed = parsed
@@ -155,6 +232,10 @@ func Run(ctx context.Context, c *corpus.Corpus, opts Options) (Stats, error) {
 
 	// Stage 2: history assembly (diffing, heartbeats).
 	assemble := func(j *job) {
+		if err := inject("pipeline.assemble", j); err != nil {
+			fail(j, FailAssemble, err)
+			return
+		}
 		if j.entry != nil {
 			return
 		}
@@ -164,13 +245,22 @@ func Run(ctx context.Context, c *corpus.Corpus, opts Options) (Stats, error) {
 
 	// Stage 3: measures, validation, cache write-back, labels, commit.
 	measure := func(j *job) {
+		if err := inject("pipeline.metrics", j); err != nil {
+			fail(j, FailMetrics, err)
+			return
+		}
 		if j.entry == nil {
 			j.measures = metrics.Compute(j.history)
 			if err := j.measures.Validate(); err != nil {
-				fail(j, err)
+				fail(j, FailMetrics, err)
 				return
 			}
 			cache.store(j.fingerprint, j.p.Name, j.history, j.measures)
+		}
+		if !j.state.CompareAndSwap(stateRunning, stateCommitted) {
+			// The watchdog abandoned this project mid-flight; its timeout
+			// failure is already on the way to the collector. Discard.
+			return
 		}
 		j.p.History = j.history
 		j.p.Measures = j.measures
@@ -195,9 +285,10 @@ func Run(ctx context.Context, c *corpus.Corpus, opts Options) (Stats, error) {
 			}
 		}
 	}()
-	startStage(stats.ParseWorkers, in, parsedCh, runCtx, parse)
-	startStage(stats.AssembleWorkers, parsedCh, assembledCh, runCtx, assemble)
-	startStage(stats.MetricsWorkers, assembledCh, done, runCtx, measure)
+	exec := stageExec{timeout: opts.ProjectTimeout, fail: fail}
+	startStage(stats.ParseWorkers, in, parsedCh, runCtx, exec.named("parse", parse))
+	startStage(stats.AssembleWorkers, parsedCh, assembledCh, runCtx, exec.named("assemble", assemble))
+	startStage(stats.MetricsWorkers, assembledCh, done, runCtx, exec.named("metrics", measure))
 
 	var failures []*job
 	for j := range done {
@@ -213,10 +304,23 @@ func Run(ctx context.Context, c *corpus.Corpus, opts Options) (Stats, error) {
 		stats.CacheMisses = int(cache.misses.Load())
 		stats.CacheWrites = int(cache.writes.Load())
 		stats.CacheErrors = int(cache.errs.Load())
+		stats.CacheCorrupt = int(cache.corrupt.Load())
 	}
-	stats.Elapsed = time.Since(start)
 
 	sort.Slice(failures, func(a, b int) bool { return failures[a].idx < failures[b].idx })
+	rep := &DegradationReport{Projects: n, ByKind: map[FailureKind]int{}, CacheIncidents: stats.CacheErrors}
+	for _, j := range failures {
+		rep.Failures = append(rep.Failures, ProjectFailure{Project: j.p.Name, Kind: j.kind, Error: j.err.Error()})
+		rep.ByKind[j.kind]++
+		if j.kind == FailTimeout {
+			rep.Quarantined = append(rep.Quarantined, j.p.Name)
+		}
+	}
+	stats.Quarantined = len(rep.Quarantined)
+	rep.Analyzed = stats.Analyzed
+	stats.Degradation = rep
+	stats.Elapsed = time.Since(start)
+
 	errs := make([]error, 0, len(failures)+1)
 	if err := ctx.Err(); err != nil {
 		errs = append(errs, err)
@@ -227,11 +331,82 @@ func Run(ctx context.Context, c *corpus.Corpus, opts Options) (Stats, error) {
 	return stats, errors.Join(errs...)
 }
 
-// startStage launches a bounded worker pool that applies fn to every job
-// from in and forwards it to out, closing out when the pool drains.
-// Errored jobs and jobs arriving after cancellation pass through
+// stageExec carries the per-run fault-handling configuration shared by the
+// three stage pools; named binds it to one stage's function.
+type stageExec struct {
+	timeout time.Duration
+	fail    func(*job, FailureKind, error)
+}
+
+func (e stageExec) named(name string, fn func(*job)) stage {
+	return stage{name: name, fn: fn, timeout: e.timeout, fail: e.fail}
+}
+
+// stage is one pool's unit of execution: the stage function wrapped in
+// panic recovery and (when configured) the per-project deadline watchdog.
+type stage struct {
+	name    string
+	fn      func(*job)
+	timeout time.Duration
+	fail    func(*job, FailureKind, error)
+}
+
+// invoke runs the stage function under panic isolation: a panicking
+// project becomes an attributed failure of that project, never a crashed
+// process.
+func (s stage) invoke(j *job) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.fail(j, FailPanic, fmt.Errorf("%s stage: panic: %v\n%s", s.name, r, debug.Stack()))
+		}
+	}()
+	s.fn(j)
+}
+
+// run executes the stage for one job. Without a timeout it runs inline.
+// With one, the stage function runs in a goroutine raced against the
+// job's deadline (armed on first-stage entry and shared by all stages):
+// if the deadline fires first and the abandon CAS wins, the worker moves
+// on immediately with a replacement job carrying the timeout failure,
+// while the stray goroutine finishes in the background against a job
+// nobody reads — the commit gate in the metrics stage keeps it from ever
+// publishing to the Project.
+func (s stage) run(j *job) *job {
+	if s.timeout <= 0 {
+		s.invoke(j)
+		return j
+	}
+	if j.deadline.IsZero() {
+		j.deadline = time.Now().Add(s.timeout)
+	}
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		s.invoke(j)
+	}()
+	timer := time.NewTimer(time.Until(j.deadline))
+	defer timer.Stop()
+	select {
+	case <-finished:
+		return j
+	case <-timer.C:
+		if !j.state.CompareAndSwap(stateRunning, stateAbandoned) {
+			// The job committed in the race window; keep it.
+			<-finished
+			return j
+		}
+		repl := &job{idx: j.idx, p: j.p, deadline: j.deadline}
+		s.fail(repl, FailTimeout, fmt.Errorf(
+			"%s stage: exceeded the per-project deadline (%v); worker quarantined", s.name, s.timeout))
+		return repl
+	}
+}
+
+// startStage launches a bounded worker pool that applies the stage to
+// every job from in and forwards it to out, closing out when the pool
+// drains. Errored jobs and jobs arriving after cancellation pass through
 // unprocessed, so every fed job reaches the collector and nothing blocks.
-func startStage(workers int, in <-chan *job, out chan<- *job, ctx context.Context, fn func(*job)) {
+func startStage(workers int, in <-chan *job, out chan<- *job, ctx context.Context, s stage) {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -239,7 +414,7 @@ func startStage(workers int, in <-chan *job, out chan<- *job, ctx context.Contex
 			defer wg.Done()
 			for j := range in {
 				if j.err == nil && ctx.Err() == nil {
-					fn(j)
+					j = s.run(j)
 				}
 				out <- j
 			}

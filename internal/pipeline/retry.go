@@ -1,0 +1,39 @@
+package pipeline
+
+import (
+	"errors"
+	"io/fs"
+	"time"
+)
+
+// Cache and filesystem operations retry a few times with exponential
+// backoff before giving up: transient faults (EINTR-ish hiccups, a file
+// mid-rename, injected chaos) should cost a retry, not a recompute — and
+// never a failed project.
+const (
+	retryAttempts = 3
+	retryBackoff  = time.Millisecond
+)
+
+// retryable reports whether an error is worth retrying. Definitive
+// filesystem answers (the file does not exist, permission denied) are
+// final; everything else is treated as transient.
+func retryable(err error) bool {
+	return !errors.Is(err, fs.ErrNotExist) && !errors.Is(err, fs.ErrPermission)
+}
+
+// withRetry runs fn up to attempts times, sleeping base, 2*base, ... in
+// between, until fn succeeds or returns a non-retryable error. It returns
+// fn's last error.
+func withRetry(attempts int, base time.Duration, fn func() error) error {
+	var err error
+	for i := 0; i < attempts; i++ {
+		if err = fn(); err == nil || !retryable(err) {
+			return err
+		}
+		if i < attempts-1 {
+			time.Sleep(base << i)
+		}
+	}
+	return err
+}

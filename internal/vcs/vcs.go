@@ -7,6 +7,7 @@
 package vcs
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -15,8 +16,36 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
+
+	"schemaevo/internal/faultinject"
 )
+
+// fault optionally injects chaos into the package's filesystem reads (the
+// "vcs.open" and "vcs.read" sites), so extraction robustness can be tested
+// against I/O errors, stalls, and corrupted snapshot bytes. The default is
+// nil: no injection, zero overhead beyond an atomic load.
+var fault atomic.Pointer[faultinject.Injector]
+
+// SetFaultInjector installs (or, with nil, removes) the injector applied
+// to this package's repository reads. Intended for chaos tests and the
+// CLIs' -fault-seed mode.
+func SetFaultInjector(in *faultinject.Injector) { fault.Store(in) }
+
+// injectRead applies a configured fault at a read site: KindErr returns an
+// injected transient error, KindDelay stalls briefly. Corrupt faults are
+// handled by the call sites that hold bytes.
+func injectRead(site, key string) error {
+	in := fault.Load()
+	switch in.At(site, key) {
+	case faultinject.KindErr:
+		return &faultinject.Error{Site: site, Key: key}
+	case faultinject.KindDelay:
+		in.Sleep(context.Background())
+	}
+	return nil
+}
 
 // Commit is one repository commit. Files carries the full post-commit
 // content of each touched file (snapshot semantics, as obtained from
@@ -210,6 +239,9 @@ func (r *Repo) SaveFile(path string) error {
 
 // LoadFile reads a repo from a JSON file.
 func LoadFile(path string) (*Repo, error) {
+	if err := injectRead("vcs.open", path); err != nil {
+		return nil, fmt.Errorf("vcs: %w", err)
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("vcs: %w", err)
@@ -227,6 +259,9 @@ var versionFileRe = regexp.MustCompile(`^(?:\d+_)?(\d{4}-\d{2}-\d{2})\.sql$`)
 // schema snapshots named NNNN_YYYY-MM-DD.sql (or YYYY-MM-DD.sql). The
 // synthetic repo has one commit per snapshot, all touching "schema.sql".
 func ReadVersionDir(dir string) (*Repo, error) {
+	if err := injectRead("vcs.open", dir); err != nil {
+		return nil, fmt.Errorf("vcs: %w", err)
+	}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("vcs: %w", err)
@@ -261,9 +296,16 @@ func ReadVersionDir(dir string) (*Repo, error) {
 	})
 	repo := &Repo{Name: filepath.Base(dir)}
 	for i, f := range files {
-		content, err := os.ReadFile(filepath.Join(dir, f.name))
+		path := filepath.Join(dir, f.name)
+		if err := injectRead("vcs.read", path); err != nil {
+			return nil, fmt.Errorf("vcs: %w", err)
+		}
+		content, err := os.ReadFile(path)
 		if err != nil {
 			return nil, fmt.Errorf("vcs: %w", err)
+		}
+		if in := fault.Load(); in.At("vcs.read.bytes", path) == faultinject.KindCorrupt {
+			in.Mangle(content, path)
 		}
 		repo.Commits = append(repo.Commits, Commit{
 			ID:      fmt.Sprintf("v%04d", i),

@@ -2,9 +2,12 @@ package vcs
 
 import (
 	"bytes"
+	"errors"
 	"path/filepath"
 	"testing"
 	"time"
+
+	"schemaevo/internal/faultinject"
 )
 
 func day(y int, m time.Month, d int) time.Time {
@@ -195,5 +198,65 @@ func TestSaveLoadFile(t *testing.T) {
 	}
 	if _, err := LoadFile(filepath.Join(t.TempDir(), "nope.json")); err == nil {
 		t.Error("missing file should error")
+	}
+}
+
+// TestFaultInjection exercises the package-level injector hooks: read
+// faults surface as errors with the site recorded, corrupt reads mangle
+// the bytes deterministically, and removing the injector restores clean
+// behaviour. Not parallel — the injector is package-global.
+func TestFaultInjection(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteVersionDir(sampleRepo(), dir); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "repo.json")
+	if err := sampleRepo().SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	SetFaultInjector(faultinject.New(faultinject.Config{
+		Seed:  1,
+		Rate:  1,
+		Kinds: []faultinject.Kind{faultinject.KindErr},
+		Sites: []string{"vcs.open"},
+	}))
+	defer SetFaultInjector(nil)
+
+	var injErr *faultinject.Error
+	if _, err := LoadFile(path); !errors.As(err, &injErr) || injErr.Site != "vcs.open" {
+		t.Errorf("LoadFile under injection: err = %v, want a vcs.open fault", err)
+	}
+	if _, err := ReadVersionDir(dir); !errors.As(err, &injErr) {
+		t.Errorf("ReadVersionDir under injection: err = %v, want a vcs.open fault", err)
+	}
+
+	// Corrupt reads: the snapshot content differs from what is on disk,
+	// and identically so on every read (the mangling is deterministic).
+	SetFaultInjector(faultinject.New(faultinject.Config{
+		Seed:  1,
+		Rate:  1,
+		Kinds: []faultinject.Kind{faultinject.KindCorrupt},
+		Sites: []string{"vcs.read.bytes"},
+	}))
+	first, err := ReadVersionDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := ReadVersionDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := sampleRepo()
+	if first.Commits[0].Files["schema.sql"] == clean.Commits[1].Files["db/schema.sql"] {
+		t.Error("corrupt injection left the snapshot content untouched")
+	}
+	if first.Commits[0].Files["schema.sql"] != second.Commits[0].Files["schema.sql"] {
+		t.Error("corrupt injection is not deterministic across reads")
+	}
+
+	SetFaultInjector(nil)
+	if _, err := LoadFile(path); err != nil {
+		t.Errorf("clearing the injector did not restore clean reads: %v", err)
 	}
 }

@@ -149,12 +149,22 @@ func AnalyzeRepo(r *Repo) (*Analysis, error) {
 // unchanged repository restores its history and measures from disk
 // instead of recomputing them.
 func AnalyzeRepoCached(r *Repo, cacheDir string) (*Analysis, error) {
-	res, _, err := pipeline.AnalyzeRepo(context.Background(), r, pipeline.Options{CacheDir: cacheDir})
+	a, _, err := AnalyzeRepoWithOptions(r, PipelineOptions{CacheDir: cacheDir})
+	return a, err
+}
+
+// AnalyzeRepoWithOptions is AnalyzeRepo under explicit pipeline options —
+// cache directory, per-project deadline, fault injection — returning the
+// pipeline statistics (including the degradation report, which classifies
+// any failure as parse/assemble/metrics/timeout/panic) alongside the
+// analysis.
+func AnalyzeRepoWithOptions(r *Repo, opts PipelineOptions) (*Analysis, PipelineStats, error) {
+	res, stats, err := pipeline.AnalyzeRepo(context.Background(), r, opts)
 	if err != nil {
-		return nil, err
+		return nil, stats, err
 	}
 	if !res.Measures.HasSchema {
-		return nil, fmt.Errorf("schemaevo: %s: the schema file never defines a logical schema", r.Name)
+		return nil, stats, fmt.Errorf("schemaevo: %s: the schema file never defines a logical schema", r.Name)
 	}
 	p := core.Classify(res.Labels)
 	exact := p != core.Unclassified
@@ -169,7 +179,7 @@ func AnalyzeRepoCached(r *Repo, cacheDir string) (*Analysis, error) {
 		Measures: res.Measures,
 		Labels:   res.Labels,
 		History:  res.History,
-	}, nil
+	}, stats, nil
 }
 
 // AnalyzeDir analyzes a directory of dated schema snapshots named
