@@ -15,6 +15,12 @@
 //
 //	benchpipe                      # seed 1, 3 runs, writes BENCH_pipeline.json
 //	benchpipe -seed 7 -runs 5 -out bench.json
+//	benchpipe -telemetry           # run with telemetry collection enabled
+//
+// With -telemetry every timed variant carries a live telemetry collector,
+// so the JSON additionally records each variant's per-stage breakdown —
+// and comparing best_ns against a -telemetry=false run measures the
+// telemetry overhead itself (the CI smoke does exactly that).
 package main
 
 import (
@@ -31,6 +37,7 @@ import (
 	"schemaevo/internal/pipeline"
 	"schemaevo/internal/quantize"
 	"schemaevo/internal/synth"
+	"schemaevo/internal/telemetry"
 )
 
 // result is one timed variant in the emitted JSON.
@@ -42,6 +49,12 @@ type result struct {
 	// SpeedupVsSequential is wall-clock sequential time over this
 	// variant's time (higher is better; 1.0 for sequential itself).
 	SpeedupVsSequential float64 `json:"speedup_vs_sequential"`
+	// CacheHitRate is hits/(hits+misses) of the variant's last timed run
+	// (0 for the cacheless variants).
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	// StageBreakdown is the per-stage telemetry of the variant's last
+	// timed run; present only with -telemetry.
+	StageBreakdown []telemetry.StageReport `json:"stage_breakdown,omitempty"`
 }
 
 // report is the full BENCH_pipeline.json document.
@@ -53,6 +66,7 @@ type report struct {
 	Cores       int            `json:"cores"`
 	GOMAXPROCS  int            `json:"gomaxprocs"`
 	Runs        int            `json:"runs"`
+	Telemetry   bool           `json:"telemetry"`
 	Results     []result       `json:"results"`
 	WarmStats   pipeline.Stats `json:"warm_cache_stats"`
 	Note        string         `json:"note,omitempty"`
@@ -63,9 +77,10 @@ func main() {
 		seed = flag.Int64("seed", 1, "corpus generator seed")
 		runs = flag.Int("runs", 3, "repetitions per variant (best run is reported)")
 		out  = flag.String("out", "BENCH_pipeline.json", "output JSON path")
+		tele = flag.Bool("telemetry", false, "attach a telemetry collector to every timed run (records stage breakdowns; compare best_ns with a plain run to measure overhead)")
 	)
 	flag.Parse()
-	if err := run(*seed, *runs, *out); err != nil {
+	if err := run(*seed, *runs, *out, *tele); err != nil {
 		fmt.Fprintln(os.Stderr, "benchpipe:", err)
 		os.Exit(1)
 	}
@@ -77,28 +92,40 @@ func freshCorpus(seed int64) (*corpus.Corpus, error) {
 	return synth.PaperCorpus(seed)
 }
 
+// variantOutcome carries what one variant's last timed run observed.
+type variantOutcome struct {
+	stats pipeline.Stats
+	tel   *telemetry.Collector
+}
+
 // measure times fn over runs repetitions of the corpus analysis and
-// returns the best wall-clock duration.
-func measure(seed int64, runs int, fn func(*corpus.Corpus) error) (time.Duration, error) {
+// returns the best wall-clock duration plus the last run's outcome. With
+// withTel, every run carries a fresh telemetry collector (its cost is thus
+// included in the timing — the point of the overhead comparison).
+func measure(seed int64, runs int, withTel bool, fn func(*corpus.Corpus, *telemetry.Collector) (pipeline.Stats, error)) (time.Duration, variantOutcome, error) {
 	best := time.Duration(0)
+	var last variantOutcome
 	for i := 0; i < runs; i++ {
 		c, err := freshCorpus(seed)
 		if err != nil {
-			return 0, err
+			return 0, last, err
+		}
+		if withTel {
+			last.tel = telemetry.New()
 		}
 		start := time.Now()
-		if err := fn(c); err != nil {
-			return 0, err
+		if last.stats, err = fn(c, last.tel); err != nil {
+			return 0, last, err
 		}
 		elapsed := time.Since(start)
 		if best == 0 || elapsed < best {
 			best = elapsed
 		}
 	}
-	return best, nil
+	return best, last, nil
 }
 
-func run(seed int64, runs int, out string) error {
+func run(seed int64, runs int, out string, withTel bool) error {
 	probe, err := freshCorpus(seed)
 	if err != nil {
 		return err
@@ -112,6 +139,7 @@ func run(seed int64, runs int, out string) error {
 		Cores:       runtime.NumCPU(),
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		Runs:        runs,
+		Telemetry:   withTel,
 	}
 	if rep.Cores < 4 {
 		rep.Note = fmt.Sprintf(
@@ -128,29 +156,26 @@ func run(seed int64, runs int, out string) error {
 
 	variants := []struct {
 		name string
-		fn   func(*corpus.Corpus) error
+		fn   func(*corpus.Corpus, *telemetry.Collector) (pipeline.Stats, error)
 	}{
-		{"sequential", func(c *corpus.Corpus) error {
-			return c.Analyze(quantize.DefaultScheme())
+		{"sequential", func(c *corpus.Corpus, _ *telemetry.Collector) (pipeline.Stats, error) {
+			return pipeline.Stats{}, c.Analyze(quantize.DefaultScheme())
 		}},
-		{"parallel", func(c *corpus.Corpus) error {
-			return c.AnalyzeParallel(quantize.DefaultScheme(), 0)
+		{"parallel", func(c *corpus.Corpus, tel *telemetry.Collector) (pipeline.Stats, error) {
+			return pipeline.Stats{}, c.AnalyzeParallelObserved(quantize.DefaultScheme(), 0, tel)
 		}},
-		{"pipeline", func(c *corpus.Corpus) error {
-			_, err := pipeline.Run(context.Background(), c, pipeline.Options{})
-			return err
+		{"pipeline", func(c *corpus.Corpus, tel *telemetry.Collector) (pipeline.Stats, error) {
+			return pipeline.Run(context.Background(), c, pipeline.Options{Telemetry: tel})
 		}},
-		{"pipeline-cold", func(c *corpus.Corpus) error {
+		{"pipeline-cold", func(c *corpus.Corpus, tel *telemetry.Collector) (pipeline.Stats, error) {
 			dir, err := os.MkdirTemp(cacheRoot, "cold-")
 			if err != nil {
-				return err
+				return pipeline.Stats{}, err
 			}
-			_, err = pipeline.Run(context.Background(), c, pipeline.Options{CacheDir: dir})
-			return err
+			return pipeline.Run(context.Background(), c, pipeline.Options{CacheDir: dir, Telemetry: tel})
 		}},
-		{"pipeline-warm", func(c *corpus.Corpus) error {
-			_, err := pipeline.Run(context.Background(), c, pipeline.Options{CacheDir: warmDir})
-			return err
+		{"pipeline-warm", func(c *corpus.Corpus, tel *telemetry.Collector) (pipeline.Stats, error) {
+			return pipeline.Run(context.Background(), c, pipeline.Options{CacheDir: warmDir, Telemetry: tel})
 		}},
 	}
 
@@ -164,25 +189,35 @@ func run(seed int64, runs int, out string) error {
 	}
 
 	durations := map[string]time.Duration{}
+	outcomes := map[string]variantOutcome{}
 	for _, v := range variants {
-		d, err := measure(seed, runs, v.fn)
+		d, oc, err := measure(seed, runs, withTel, v.fn)
 		if err != nil {
 			return fmt.Errorf("%s: %w", v.name, err)
 		}
 		durations[v.name] = d
+		outcomes[v.name] = oc
 		fmt.Printf("%-14s %12v  (%.0f projects/sec)\n", v.name, d, float64(n)/d.Seconds())
 	}
 
 	seq := durations["sequential"]
 	for _, v := range variants {
 		d := durations[v.name]
-		rep.Results = append(rep.Results, result{
+		oc := outcomes[v.name]
+		r := result{
 			Name:                v.name,
 			BestNs:              d.Nanoseconds(),
 			BestMs:              float64(d.Nanoseconds()) / 1e6,
 			ProjectsPerSec:      float64(n) / d.Seconds(),
 			SpeedupVsSequential: seq.Seconds() / d.Seconds(),
-		})
+		}
+		if probes := oc.stats.CacheHits + oc.stats.CacheMisses; probes > 0 {
+			r.CacheHitRate = float64(oc.stats.CacheHits) / float64(probes)
+		}
+		if snap := oc.tel.Snapshot(); snap != nil {
+			r.StageBreakdown = snap.Stages
+		}
+		rep.Results = append(rep.Results, r)
 	}
 
 	// Record the warm-cache hit counters as proof the cache short-circuits

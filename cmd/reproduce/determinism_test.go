@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRunByteIdenticalAcrossRuns performs the complete reproduction twice
+// with no cache and requires every emitted artifact to be byte-identical:
+// nothing in the pipeline — map iteration, goroutine scheduling, float
+// accumulation order — may leak nondeterminism into the outputs.
+func TestRunByteIdenticalAcrossRuns(t *testing.T) {
+	old := os.Stdout
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = null
+	defer func() {
+		os.Stdout = old
+		null.Close()
+	}()
+
+	dirs := []string{t.TempDir(), t.TempDir()}
+	for _, dir := range dirs {
+		if _, err := run(cfgFor(1, false, "", dir, "")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	first, err := os.ReadDir(dirs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := os.ReadDir(dirs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) == 0 {
+		t.Fatal("full run emitted no artifacts")
+	}
+	if len(first) != len(second) {
+		t.Fatalf("artifact counts differ: %d vs %d", len(first), len(second))
+	}
+	for _, e := range first {
+		a, err := os.ReadFile(filepath.Join(dirs[0], e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(dirs[1], e.Name()))
+		if err != nil {
+			t.Fatalf("%s: present in first run only: %v", e.Name(), err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s: differs between two identical runs (%d vs %d bytes)", e.Name(), len(a), len(b))
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// normalizeJSON zeroes every number and empties every span-like array of
+// unbounded length, keeping keys, nesting, strings and booleans — the
+// *shape* of the document, which is what the golden file pins.
+func normalizeJSON(v any) any {
+	switch x := v.(type) {
+	case map[string]any:
+		out := make(map[string]any, len(x))
+		for k, val := range x {
+			out[k] = normalizeJSON(val)
+		}
+		return out
+	case []any:
+		out := make([]any, len(x))
+		for i, val := range x {
+			out[i] = normalizeJSON(val)
+		}
+		return out
+	case float64:
+		return 0
+	default:
+		return v
+	}
+}
+
+// TestGoldenTelemetryShape pins the -telemetry-json document: schema
+// version key, the three pipeline stages with their full counter set,
+// the cache block, the event lists. Numbers are normalized to 0 (they
+// vary run to run); any added, removed or renamed field shows up as a
+// golden diff. Regenerate with -update after an intended schema change
+// (and bump telemetry.ReportSchemaVersion).
+func TestGoldenTelemetryShape(t *testing.T) {
+	old := os.Stdout
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = null
+	defer func() {
+		os.Stdout = old
+		null.Close()
+	}()
+
+	dir := t.TempDir()
+	cfg := cfgFor(1, false, "t1", dir, "")
+	cfg.telemetryJSON = filepath.Join(dir, "telemetry.json")
+	if _, err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(cfg.telemetryJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("telemetry JSON does not parse: %v", err)
+	}
+	norm := normalizeJSON(doc).(map[string]any)
+	// The schema version is the one number that must not drift silently.
+	norm["schema_version"] = doc["schema_version"]
+	got, err := json.MarshalIndent(norm, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	goldenPath := filepath.Join(goldenDir, "telemetry.json")
+	if *update {
+		if err := os.MkdirAll(goldenDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("telemetry JSON shape drifted from %s;\nre-run with -update (and bump ReportSchemaVersion) if intended.\n--- got ---\n%s\n--- want ---\n%s",
+			goldenPath, got, want)
+	}
+}

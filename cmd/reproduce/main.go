@@ -16,6 +16,9 @@
 //	reproduce -project-timeout 30s   # quarantine projects stuck longer than this
 //	reproduce -max-failures 0.25     # tolerate losing up to 25% of the corpus
 //	reproduce -fault-seed 7          # chaos mode: inject deterministic faults
+//	reproduce -telemetry-json t.json # write the run's telemetry report (stable JSON)
+//	reproduce -telemetry-trace t.jsonl  # write per-project spans as JSONL
+//	reproduce -pprof 127.0.0.1:6060  # serve net/http/pprof + expvar + live telemetry
 //
 // The corpus analysis runs through the staged concurrent pipeline with a
 // content-hash result cache (default: a "schemaevo" directory under the
@@ -46,6 +49,7 @@ import (
 	"schemaevo/internal/faultinject"
 	"schemaevo/internal/pipeline"
 	"schemaevo/internal/report"
+	"schemaevo/internal/telemetry"
 )
 
 // config is the parsed command line.
@@ -59,6 +63,9 @@ type config struct {
 	maxFailures    float64
 	faultSeed      int64
 	faultRate      float64
+	telemetryJSON  string
+	telemetryTrace string
+	pprofAddr      string
 }
 
 func main() {
@@ -75,6 +82,9 @@ func main() {
 	flag.Float64Var(&cfg.maxFailures, "max-failures", 0.25, "maximum tolerated fraction of lost projects before the run fails")
 	flag.Int64Var(&cfg.faultSeed, "fault-seed", 0, "chaos harness: inject deterministic faults with this seed (0 disables)")
 	flag.Float64Var(&cfg.faultRate, "fault-rate", 0.05, "chaos harness: fraction of fault sites that fire (with -fault-seed)")
+	flag.StringVar(&cfg.telemetryJSON, "telemetry-json", "", "write the run's telemetry report (stage timings, cache counters, degradation events) to this path")
+	flag.StringVar(&cfg.telemetryTrace, "telemetry-trace", "", "write per-project trace spans as JSONL to this path")
+	flag.StringVar(&cfg.pprofAddr, "pprof", "", "serve net/http/pprof, expvar and live telemetry on this address (e.g. 127.0.0.1:6060)")
 	flag.Parse()
 	cfg.only = strings.ToLower(*only)
 	cfg.cacheDir = *cacheDir
@@ -111,6 +121,18 @@ func run(cfg config) (degraded bool, err error) {
 	seed := cfg.seed
 	fmt.Printf("Generating the calibrated corpus (seed %d) and running the full pipeline...\n\n", seed)
 	opts := pipeline.Options{CacheDir: cfg.cacheDir, ProjectTimeout: cfg.projectTimeout}
+	var tel *telemetry.Collector
+	if cfg.telemetryJSON != "" || cfg.telemetryTrace != "" || cfg.pprofAddr != "" {
+		tel = telemetry.New()
+		opts.Telemetry = tel
+	}
+	if cfg.pprofAddr != "" {
+		addr, err := telemetry.Serve(cfg.pprofAddr, tel)
+		if err != nil {
+			return false, err
+		}
+		fmt.Printf("pprof: serving /debug/pprof, /debug/vars and /debug/telemetry on http://%s\n\n", addr)
+	}
 	if cfg.faultSeed != 0 {
 		opts.Fault = faultinject.New(faultinject.Config{Seed: cfg.faultSeed, Rate: cfg.faultRate})
 		fmt.Printf("chaos: injecting deterministic faults (seed %d, rate %.2f)\n\n", cfg.faultSeed, cfg.faultRate)
@@ -133,7 +155,48 @@ func run(cfg config) (degraded bool, err error) {
 		fmt.Printf("chaos: %s\n", opts.Fault.Summary())
 	}
 	fmt.Printf("Corpus: %d projects with lifetime > 12 months.\n\n", ctx.Corpus.Len())
-	return degraded, emitArtifacts(cfg, ctx)
+	if err := emitArtifacts(cfg, ctx); err != nil {
+		return degraded, err
+	}
+	return degraded, writeTelemetry(cfg, tel)
+}
+
+// writeTelemetry prints the run's telemetry digest and lands the report and
+// trace files requested on the command line. No-op without a collector.
+func writeTelemetry(cfg config, tel *telemetry.Collector) error {
+	if tel == nil {
+		return nil
+	}
+	fmt.Print(tel.Snapshot().Summary())
+	if cfg.telemetryJSON != "" {
+		f, err := os.Create(cfg.telemetryJSON)
+		if err != nil {
+			return err
+		}
+		werr := tel.WriteJSON(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return werr
+		}
+		fmt.Printf("telemetry report written to %s\n", cfg.telemetryJSON)
+	}
+	if cfg.telemetryTrace != "" {
+		f, err := os.Create(cfg.telemetryTrace)
+		if err != nil {
+			return err
+		}
+		werr := tel.WriteTraceJSONL(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return werr
+		}
+		fmt.Printf("telemetry trace written to %s\n", cfg.telemetryTrace)
+	}
+	return nil
 }
 
 // emitArtifacts prints (and with -out, writes) every requested artifact in
@@ -203,14 +266,12 @@ func emitArtifacts(cfg config, ctx *experiments.Context) error {
 			return err
 		}
 		if outDir != "" {
-			for pattern, svg := range f3.SVGs {
+			for _, pattern := range experiments.Figure3Order(f3) {
 				name := "fig3-" + strings.ReplaceAll(strings.ToLower(pattern.String()), " ", "-")
-				if err := os.WriteFile(filepath.Join(outDir, name+".svg"), []byte(svg), 0o644); err != nil {
+				if err := os.WriteFile(filepath.Join(outDir, name+".svg"), []byte(f3.SVGs[pattern]), 0o644); err != nil {
 					return err
 				}
-			}
-			for _, p := range experiments.Figure3Order(f3) {
-				htmlRep.AddSVG("fig3: "+p.String(), f3.SVGs[p])
+				htmlRep.AddSVG("fig3: "+pattern.String(), f3.SVGs[pattern])
 			}
 		}
 	}

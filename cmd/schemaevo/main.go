@@ -11,6 +11,8 @@
 //	schemaevo -dir ... -tables          # per-table lifetime report
 //	schemaevo -dir ... -queries q.sql   # replay a query workload over the history
 //	schemaevo -dir ... -project-timeout 30s  # abandon an analysis that gets stuck
+//	schemaevo -dir ... -telemetry-json t.json  # write the run's telemetry report
+//	schemaevo -dir ... -pprof 127.0.0.1:6060   # serve pprof + expvar + telemetry
 package main
 
 import (
@@ -24,20 +26,23 @@ import (
 	"schemaevo/internal/query"
 	"schemaevo/internal/sqlddl"
 	"schemaevo/internal/tablestats"
+	"schemaevo/internal/telemetry"
 	"schemaevo/internal/vcs"
 )
 
 // options collects the command-line configuration.
 type options struct {
-	dir      string
-	repo     string
-	gitDir   string
-	svgOut   string
-	verbose  bool
-	tables   bool
-	queries  string
-	cacheDir string
-	timeout  time.Duration
+	dir           string
+	repo          string
+	gitDir        string
+	svgOut        string
+	verbose       bool
+	tables        bool
+	queries       string
+	cacheDir      string
+	timeout       time.Duration
+	telemetryJSON string
+	pprofAddr     string
 }
 
 func main() {
@@ -51,6 +56,8 @@ func main() {
 	flag.StringVar(&o.queries, "queries", "", "file of ';'-separated SELECTs to replay over the history")
 	flag.StringVar(&o.cacheDir, "cache", "", "memoize the analysis under this directory (re-runs of an unchanged history are instant)")
 	flag.DurationVar(&o.timeout, "project-timeout", 0, "abandon the analysis if it exceeds this deadline (0 disables)")
+	flag.StringVar(&o.telemetryJSON, "telemetry-json", "", "write the run's telemetry report (stage timings, cache counters) to this path")
+	flag.StringVar(&o.pprofAddr, "pprof", "", "serve net/http/pprof, expvar and live telemetry on this address (e.g. 127.0.0.1:6060)")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "schemaevo:", err)
@@ -58,7 +65,7 @@ func main() {
 	}
 }
 
-func analyze(o options) (*schemaevo.Analysis, error) {
+func analyze(o options, tel *telemetry.Collector) (*schemaevo.Analysis, error) {
 	sources := 0
 	for _, s := range []string{o.dir, o.repo, o.gitDir} {
 		if s != "" {
@@ -87,7 +94,7 @@ func analyze(o options) (*schemaevo.Analysis, error) {
 		return nil, err
 	}
 	a, stats, err := schemaevo.AnalyzeRepoWithOptions(r,
-		schemaevo.PipelineOptions{CacheDir: o.cacheDir, ProjectTimeout: o.timeout})
+		schemaevo.PipelineOptions{CacheDir: o.cacheDir, ProjectTimeout: o.timeout, Telemetry: tel})
 	if err != nil {
 		// Attach the failure taxonomy so a lost analysis states what kind
 		// of loss it was (parse / metrics / timeout / panic).
@@ -102,9 +109,36 @@ func analyze(o options) (*schemaevo.Analysis, error) {
 }
 
 func run(o options) error {
-	a, err := analyze(o)
+	var tel *telemetry.Collector
+	if o.telemetryJSON != "" || o.pprofAddr != "" {
+		tel = telemetry.New()
+	}
+	if o.pprofAddr != "" {
+		addr, err := telemetry.Serve(o.pprofAddr, tel)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "pprof: serving /debug/pprof, /debug/vars and /debug/telemetry on http://%s\n", addr)
+	}
+	a, err := analyze(o, tel)
 	if err != nil {
 		return err
+	}
+	if o.telemetryJSON != "" {
+		defer func() {
+			f, ferr := os.Create(o.telemetryJSON)
+			if ferr != nil {
+				fmt.Fprintln(os.Stderr, "schemaevo: telemetry:", ferr)
+				return
+			}
+			werr := tel.WriteJSON(f)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				fmt.Fprintln(os.Stderr, "schemaevo: telemetry:", werr)
+			}
+		}()
 	}
 
 	fmt.Println(a.Chart())

@@ -6,8 +6,10 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"schemaevo/internal/quantize"
+	"schemaevo/internal/telemetry"
 )
 
 // AnalyzeParallel runs the analysis pipeline over the corpus with a
@@ -17,6 +19,15 @@ import (
 // failure: every project is attempted and all failures are returned
 // joined, in corpus order.
 func (c *Corpus) AnalyzeParallel(scheme quantize.Scheme, workers int) error {
+	return c.AnalyzeParallelObserved(scheme, workers, nil)
+}
+
+// AnalyzeParallelObserved is AnalyzeParallel reporting per-project timings,
+// worker occupancy and failure counts to tel under the "analyze" stage
+// (plus one trace span per project). A nil tel collects nothing at no
+// cost. Note the workers <= 1 degenerate path delegates to the sequential
+// Analyze and records no telemetry.
+func (c *Corpus) AnalyzeParallelObserved(scheme quantize.Scheme, workers int, tel *telemetry.Collector) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -26,6 +37,8 @@ func (c *Corpus) AnalyzeParallel(scheme quantize.Scheme, workers int) error {
 	if workers <= 1 {
 		return c.Analyze(scheme)
 	}
+	stage := tel.Stage("analyze")
+	stage.SetWorkers(workers)
 	type failure struct {
 		idx int
 		err error
@@ -41,7 +54,20 @@ func (c *Corpus) AnalyzeParallel(scheme quantize.Scheme, workers int) error {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				if err := analyzeRecovered(c.Projects[i], scheme); err != nil {
+				var begin time.Time
+				if stage != nil {
+					stage.Enter()
+					begin = time.Now()
+				}
+				err := analyzeRecovered(c.Projects[i], scheme)
+				if stage != nil {
+					busy := time.Since(begin)
+					stage.Exit()
+					stage.Observe(0, busy, err != nil)
+					tel.RecordSpan(c.Projects[i].Name, "analyze", begin, busy, err != nil)
+				}
+				if err != nil {
+					tel.Degradation("analyze")
 					mu.Lock()
 					failures = append(failures, failure{idx: i, err: err})
 					mu.Unlock()

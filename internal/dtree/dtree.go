@@ -129,8 +129,16 @@ func grow(samples []Sample, used []bool, depth int, opts Options) *node {
 		if len(parts) < 2 {
 			continue
 		}
+		// Sum in sorted key order: float addition is order-sensitive, and
+		// map-order iteration could flip a near-tie split between runs.
+		values := make([]string, 0, len(parts))
+		for v := range parts {
+			values = append(values, v)
+		}
+		sort.Strings(values)
 		weighted := 0.0
-		for _, part := range parts {
+		for _, v := range values {
+			part := parts[v]
 			weighted += float64(len(part)) / n * gini(part)
 		}
 		if gain := parentGini - weighted; gain > bestGain {

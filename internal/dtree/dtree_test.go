@@ -128,6 +128,41 @@ func TestDeterministicTraining(t *testing.T) {
 	}
 }
 
+// TestDeterministicTrainingWideFanout retrains on a noisy set whose
+// features have many distinct values — the case where the Gini sums run
+// over many-key partitions and a map-order float accumulation could flip
+// a near-tie split between runs.
+func TestDeterministicTrainingWideFanout(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var samples []Sample
+	for i := 0; i < 300; i++ {
+		f := []string{
+			string(rune('a' + rng.Intn(12))),
+			string(rune('k' + rng.Intn(9))),
+			string(rune('t' + rng.Intn(6))),
+		}
+		class := "one"
+		if rng.Intn(2) == 0 {
+			class = "two"
+		}
+		samples = append(samples, Sample{f, class})
+	}
+	first, err := Train(weatherNames, samples, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := first.Render()
+	for i := 0; i < 20; i++ {
+		again, err := Train(weatherNames, samples, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := again.Render(); got != want {
+			t.Fatalf("run %d: tree differs from first run:\n%s\n---\n%s", i, want, got)
+		}
+	}
+}
+
 // TestRandomLabelNoise: with noisy labels the tree cannot be perfect but
 // must never crash and accuracy must be in [0,1].
 func TestRandomLabelNoise(t *testing.T) {

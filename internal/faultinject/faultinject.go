@@ -22,6 +22,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -96,8 +97,26 @@ type Injector struct {
 	cfg   Config
 	sites map[string]bool
 
+	// observer, when set, is invoked for every fault that fires, with the
+	// site and the kind's string form. It must not affect injection
+	// decisions — it is a telemetry tap, not a control hook.
+	observer atomic.Pointer[func(site, kind string)]
+
 	mu    sync.Mutex
 	fired map[string]int
+}
+
+// SetObserver installs (or, with nil, removes) a callback invoked on every
+// fired fault. The callback must be safe for concurrent use. Nil-safe.
+func (in *Injector) SetObserver(fn func(site, kind string)) {
+	if in == nil {
+		return
+	}
+	if fn == nil {
+		in.observer.Store(nil)
+		return
+	}
+	in.observer.Store(&fn)
 }
 
 // New builds an injector from cfg, applying the documented defaults.
@@ -161,6 +180,9 @@ func (in *Injector) At(site, key string) Kind {
 	in.mu.Lock()
 	in.fired[site+"/"+k.String()]++
 	in.mu.Unlock()
+	if obs := in.observer.Load(); obs != nil {
+		(*obs)(site, k.String())
+	}
 	return k
 }
 

@@ -126,10 +126,22 @@ func ParseVersions(r *vcs.Repo, path string) ([]ParsedVersion, error) {
 	return out, nil
 }
 
+// AnomalyStmt is the sentinel Note.Stmt value marking a history-level data
+// anomaly (as opposed to a statement-level parse/apply note, whose Stmt is
+// a non-negative statement index).
+const AnomalyStmt = -1
+
 // Assemble builds the history from the parsed snapshots: the
 // attribute-level delta between consecutive versions, the monthly
 // heartbeats, and the expansion/maintenance split. The parsed slice must
 // come from ParseVersions on the same repo and path.
+//
+// A version timestamped outside the project's [Start, End] span — a
+// misdated commit, clock skew, or a corrupt upstream record — is a data
+// anomaly, not a structural failure: its activity is clamped to the
+// nearest month of the span and the version gets an AnomalyStmt note, so
+// the wrinkle is visible downstream instead of panicking on a heartbeat
+// index out of range.
 func Assemble(r *vcs.Repo, path string, parsed []ParsedVersion) *History {
 	h := &History{
 		Project: r.Name,
@@ -144,14 +156,28 @@ func Assemble(r *vcs.Repo, path string, parsed []ParsedVersion) *History {
 	var prev *schema.Schema
 	for seq, pv := range parsed {
 		d := diff.Schemas(prev, pv.Schema)
-		h.Versions = append(h.Versions, Version{
+		v := Version{
 			Seq:    seq,
 			Time:   pv.Time,
 			Schema: pv.Schema,
 			Delta:  d,
 			Notes:  pv.Notes,
-		})
-		h.SchemaMonthly[vcs.MonthIndex(h.Start, pv.Time)] += d.Total()
+		}
+		month := vcs.MonthIndex(h.Start, pv.Time)
+		if month < 0 || month >= months {
+			clamped := 0
+			if month >= months {
+				clamped = months - 1
+			}
+			v.Notes = append(v.Notes, schema.Note{
+				Stmt: AnomalyStmt,
+				Msg: fmt.Sprintf("version %d timestamped %s outside the project span [%s, %s]; activity clamped to month %d",
+					seq, pv.Time.Format("2006-01-02"), h.Start.Format("2006-01-02"), h.End.Format("2006-01-02"), clamped),
+			})
+			month = clamped
+		}
+		h.Versions = append(h.Versions, v)
+		h.SchemaMonthly[month] += d.Total()
 		h.ExpansionTotal += d.Expansion()
 		h.MaintenanceTotal += d.Maintenance()
 		prev = pv.Schema
@@ -202,4 +228,19 @@ func (h *History) NoteCount() int {
 		n += len(v.Notes)
 	}
 	return n
+}
+
+// SpanAnomalies returns the messages of every history-level data anomaly
+// (AnomalyStmt notes: out-of-span timestamps and the like), in version
+// order. Empty for a clean history.
+func (h *History) SpanAnomalies() []string {
+	var out []string
+	for _, v := range h.Versions {
+		for _, n := range v.Notes {
+			if n.Stmt == AnomalyStmt {
+				out = append(out, n.Msg)
+			}
+		}
+	}
+	return out
 }

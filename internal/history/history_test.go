@@ -245,3 +245,72 @@ func TestSizeSeriesAndAttrsMonthly(t *testing.T) {
 		t.Errorf("empty monthly = %v", got)
 	}
 }
+
+// TestAssembleOutOfSpanTimestamp is the regression test for the
+// month-index guard: a parsed version timestamped before the project's
+// first commit or after its last must become a recorded anomaly (an
+// AnomalyStmt note plus clamped heartbeat activity), never a panic with a
+// heartbeat index out of range.
+func TestAssembleOutOfSpanTimestamp(t *testing.T) {
+	r := demoRepo() // span Jan..Dec 2020, 12 months
+	parsed, err := ParseVersions(r, "schema.sql")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name      string
+		time      time.Time
+		wantMonth int
+	}{
+		{"before-start", day(2019, 6, 1), 0},
+		{"after-end", day(2021, 4, 1), 11},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			skewed := append([]ParsedVersion(nil), parsed...)
+			skewed[len(skewed)-1].Time = tc.time
+
+			h := Assemble(r, "schema.sql", skewed) // must not panic
+			if got := h.Months(); got != 12 {
+				t.Fatalf("months = %d, want 12", got)
+			}
+			// The type change (1 attribute) lands in the clamped month
+			// instead of Jul (month 6).
+			if h.SchemaMonthly[6] != 0 {
+				t.Errorf("month 6 still has activity %d after skew", h.SchemaMonthly[6])
+			}
+			base := 0
+			if tc.wantMonth == 0 {
+				base = 0 // Jan has no schema activity in the demo repo
+			}
+			if h.SchemaMonthly[tc.wantMonth] != base+1 {
+				t.Errorf("clamped month %d = %d, want %d", tc.wantMonth, h.SchemaMonthly[tc.wantMonth], base+1)
+			}
+			if h.TotalActivity() != 6 {
+				t.Errorf("total activity = %d, want 6 (no activity may be lost)", h.TotalActivity())
+			}
+
+			anoms := h.SpanAnomalies()
+			if len(anoms) != 1 {
+				t.Fatalf("span anomalies = %v, want exactly 1", anoms)
+			}
+			last := h.Versions[len(h.Versions)-1]
+			found := false
+			for _, n := range last.Notes {
+				if n.Stmt == AnomalyStmt {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("skewed version carries no AnomalyStmt note: %+v", last.Notes)
+			}
+		})
+	}
+
+	// A clean history reports no span anomalies.
+	h := Assemble(r, "schema.sql", parsed)
+	if got := h.SpanAnomalies(); len(got) != 0 {
+		t.Errorf("clean history has span anomalies: %v", got)
+	}
+}

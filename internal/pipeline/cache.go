@@ -15,6 +15,7 @@ import (
 	"schemaevo/internal/faultinject"
 	"schemaevo/internal/history"
 	"schemaevo/internal/metrics"
+	"schemaevo/internal/telemetry"
 	"schemaevo/internal/vcs"
 )
 
@@ -103,6 +104,7 @@ const corruptDirName = "corrupt"
 type diskCache struct {
 	dir     string
 	fault   *faultinject.Injector
+	tel     *telemetry.Collector
 	ctx     context.Context
 	hits    atomic.Int64
 	misses  atomic.Int64
@@ -112,16 +114,25 @@ type diskCache struct {
 }
 
 // openCache prepares a cache rooted at dir, creating it if needed. fault
-// optionally injects chaos at the cache.read/cache.write sites; ctx bounds
-// injected delays.
-func openCache(dir string, fault *faultinject.Injector, ctx context.Context) (*diskCache, error) {
+// optionally injects chaos at the cache.read/cache.write sites; tel
+// optionally records cache telemetry; ctx bounds injected delays.
+func openCache(dir string, fault *faultinject.Injector, tel *telemetry.Collector, ctx context.Context) (*diskCache, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("pipeline: cache dir: %w", err)
 	}
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	return &diskCache{dir: dir, fault: fault, ctx: ctx}, nil
+	return &diskCache{dir: dir, fault: fault, tel: tel, ctx: ctx}, nil
+}
+
+// onRetry is the withRetry telemetry tap for cache filesystem operations.
+// Returns nil when telemetry is off so the retry loop skips the call.
+func (c *diskCache) onRetry() func() {
+	if c.tel == nil {
+		return nil
+	}
+	return func() { c.tel.CacheRetry() }
 }
 
 func (c *diskCache) path(fingerprint string) string {
@@ -160,7 +171,7 @@ func (c *diskCache) load(fingerprint string) *cacheEntry {
 		return nil
 	}
 	var data []byte
-	err := withRetry(retryAttempts, retryBackoff, func() error {
+	err := withRetry(retryAttempts, retryBackoff, c.onRetry(), func() error {
 		switch c.fault.At("cache.read", fingerprint) {
 		case faultinject.KindErr:
 			return &faultinject.Error{Site: "cache.read", Key: fingerprint}
@@ -174,8 +185,10 @@ func (c *diskCache) load(fingerprint string) *cacheEntry {
 	if err != nil {
 		if !os.IsNotExist(err) {
 			c.errs.Add(1)
+			c.tel.CacheError()
 		}
 		c.misses.Add(1)
+		c.tel.CacheMiss()
 		return nil
 	}
 	if c.fault.At("cache.read.bytes", fingerprint) == faultinject.KindCorrupt {
@@ -188,12 +201,16 @@ func (c *diskCache) load(fingerprint string) *cacheEntry {
 		e, err = decodeEntry(payload)
 	}
 	if err != nil || e.Version != cacheFormatVersion || e.Fingerprint != fingerprint {
+		c.tel.CacheCorrupt()
 		c.quarantine(fingerprint)
 		c.errs.Add(1)
+		c.tel.CacheError()
 		c.misses.Add(1)
+		c.tel.CacheMiss()
 		return nil
 	}
 	c.hits.Add(1)
+	c.tel.CacheHit(int64(len(data)))
 	return e
 }
 
@@ -202,6 +219,7 @@ func (c *diskCache) load(fingerprint string) *cacheEntry {
 // deleted, because a poisoned file must never be re-read as a hit.
 func (c *diskCache) quarantine(fingerprint string) {
 	c.corrupt.Add(1)
+	c.tel.CacheQuarantine()
 	src := c.path(fingerprint)
 	dir := filepath.Join(c.dir, corruptDirName)
 	if os.MkdirAll(dir, 0o755) == nil {
@@ -230,7 +248,7 @@ func (c *diskCache) store(fingerprint, project string, h *history.History, m met
 		data = append([]byte(nil), data...)
 		c.fault.Mangle(data, fingerprint)
 	}
-	err := withRetry(retryAttempts, retryBackoff, func() error {
+	err := withRetry(retryAttempts, retryBackoff, c.onRetry(), func() error {
 		switch c.fault.At("cache.write", fingerprint) {
 		case faultinject.KindErr:
 			return &faultinject.Error{Site: "cache.write", Key: fingerprint}
@@ -241,9 +259,11 @@ func (c *diskCache) store(fingerprint, project string, h *history.History, m met
 	})
 	if err != nil {
 		c.errs.Add(1)
+		c.tel.CacheError()
 		return
 	}
 	c.writes.Add(1)
+	c.tel.CacheWrite(int64(len(data)))
 }
 
 // writeAtomic lands data at the entry path via temp file + rename, so

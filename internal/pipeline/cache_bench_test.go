@@ -40,7 +40,7 @@ func BenchmarkCacheLoad(b *testing.B) {
 	for _, p := range c.Projects {
 		keys = append(keys, Fingerprint(p.Repo))
 	}
-	cache, err := openCache(dir, nil, context.Background())
+	cache, err := openCache(dir, nil, nil, context.Background())
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -385,8 +385,9 @@ func TestChaosDeterministicReport(t *testing.T) {
 // TestRetryTransient covers the backoff helper: transient errors are
 // retried, definitive filesystem answers are not.
 func TestRetryTransient(t *testing.T) {
-	calls := 0
-	err := withRetry(3, time.Microsecond, func() error {
+	calls, retries := 0, 0
+	onRetry := func() { retries++ }
+	err := withRetry(3, time.Microsecond, onRetry, func() error {
 		calls++
 		if calls < 3 {
 			return errors.New("transient hiccup")
@@ -396,18 +397,24 @@ func TestRetryTransient(t *testing.T) {
 	if err != nil || calls != 3 {
 		t.Errorf("withRetry: err=%v calls=%d, want success on the 3rd call", err, calls)
 	}
+	if retries != 2 {
+		t.Errorf("withRetry: onRetry fired %d times, want 2", retries)
+	}
 
-	calls = 0
-	err = withRetry(3, time.Microsecond, func() error {
+	calls, retries = 0, 0
+	err = withRetry(3, time.Microsecond, onRetry, func() error {
 		calls++
 		return os.ErrNotExist
 	})
 	if !errors.Is(err, os.ErrNotExist) || calls != 1 {
 		t.Errorf("withRetry retried a non-retryable error: err=%v calls=%d", err, calls)
 	}
+	if retries != 0 {
+		t.Errorf("withRetry: onRetry fired %d times for a non-retryable error, want 0", retries)
+	}
 
 	calls = 0
-	err = withRetry(2, time.Microsecond, func() error {
+	err = withRetry(2, time.Microsecond, nil, func() error {
 		calls++
 		return errors.New("always failing")
 	})

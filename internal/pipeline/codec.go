@@ -119,20 +119,25 @@ func (d *dec) str() string {
 	return s
 }
 
-// count decodes a slice length; n < 0 means the slice was nil.
-func (d *dec) count() int {
+// count decodes a slice length; n < 0 means the slice was nil. elemSize
+// is the minimum encoded size in bytes of one element of the slice being
+// decoded. A length that could not possibly fit in the remaining bytes is
+// corruption; the comparison is done in uint64 so a huge encoded value
+// cannot wrap the int conversion into a negative (make panic) or a small
+// positive (overallocation) length.
+func (d *dec) count(elemSize int) int {
 	v := d.u64()
 	if v == 0 {
 		return -1
 	}
-	n := int(v - 1)
-	// A length that could not possibly fit in the remaining bytes is
-	// corruption; catching it here keeps make([]T, n) from exploding.
-	if d.err == nil && n > len(d.buf)-d.off {
+	if d.err != nil {
+		return -1
+	}
+	if v-1 > uint64(len(d.buf)-d.off)/uint64(elemSize) {
 		d.fail()
 		return -1
 	}
-	return n
+	return int(v - 1)
 }
 
 func (d *dec) when() time.Time {
@@ -153,7 +158,7 @@ func encStrings(e *enc, ss []string) {
 }
 
 func decStrings(d *dec) []string {
-	n := d.count()
+	n := d.count(8) // string: 8-byte length prefix
 	if n < 0 || d.err != nil {
 		return nil
 	}
@@ -172,7 +177,7 @@ func encInts(e *enc, vs []int) {
 }
 
 func decInts(d *dec) []int {
-	n := d.count()
+	n := d.count(8) // int: 8 bytes
 	if n < 0 || d.err != nil {
 		return nil
 	}
@@ -223,10 +228,10 @@ func decSchema(d *dec) *schema.Schema {
 		return nil
 	}
 	s := schema.New()
-	n := d.count()
+	n := d.count(40) // table: 5 length/count prefixes at minimum
 	for i := 0; i < n && d.err == nil; i++ {
 		t := &schema.Table{Name: d.str()}
-		if nc := d.count(); nc >= 0 {
+		if nc := d.count(28); nc >= 0 { // column: 3 string prefixes + 4 bools
 			t.Columns = make([]schema.Column, nc)
 			for j := range t.Columns {
 				c := &t.Columns[j]
@@ -240,7 +245,7 @@ func decSchema(d *dec) *schema.Schema {
 			}
 		}
 		t.PrimaryKey = decStrings(d)
-		if nf := d.count(); nf >= 0 {
+		if nf := d.count(32); nf >= 0 { // foreign key: 4 length/count prefixes
 			t.ForeignKeys = make([]schema.ForeignKey, nf)
 			for j := range t.ForeignKeys {
 				fk := &t.ForeignKeys[j]
@@ -250,7 +255,7 @@ func decSchema(d *dec) *schema.Schema {
 				fk.RefColumns = decStrings(d)
 			}
 		}
-		if nu := d.count(); nu >= 0 {
+		if nu := d.count(8); nu >= 0 { // unique: one count prefix
 			t.Uniques = make([][]string, nu)
 			for j := range t.Uniques {
 				t.Uniques[j] = decStrings(d)
@@ -296,7 +301,7 @@ func decDelta(d *dec) *diff.Delta {
 	dl.NEjected = d.int()
 	dl.NTypeChanged = d.int()
 	dl.NKeyChanged = d.int()
-	if n := d.count(); n >= 0 {
+	if n := d.count(24); n >= 0 { // attr change: 2 string prefixes + int
 		dl.Changes = make([]diff.AttrChange, n)
 		for i := range dl.Changes {
 			dl.Changes[i].Table = d.str()
@@ -316,7 +321,7 @@ func encNotes(e *enc, notes []schema.Note) {
 }
 
 func decNotes(d *dec) []schema.Note {
-	n := d.count()
+	n := d.count(16) // note: int + string prefix
 	if n < 0 || d.err != nil {
 		return nil
 	}
@@ -360,7 +365,7 @@ func decHistory(d *dec) *history.History {
 	h := &history.History{}
 	h.Project = d.str()
 	h.DDLPath = d.str()
-	if n := d.count(); n >= 0 {
+	if n := d.count(34); n >= 0 { // version: int + time + 2 presence bytes + count
 		h.Versions = make([]history.Version, n)
 		for i := range h.Versions {
 			if d.err != nil {
@@ -434,7 +439,7 @@ func decMeasures(d *dec) metrics.Measures {
 	m.AttrsAtBirth = d.int()
 	m.TablesAtEnd = d.int()
 	m.AttrsAtEnd = d.int()
-	if n := d.count(); n >= 0 {
+	if n := d.count(8); n >= 0 { // float64: 8 bytes
 		m.Vector = make([]float64, n)
 		for i := range m.Vector {
 			m.Vector[i] = d.f64()

@@ -1,0 +1,107 @@
+package pipeline
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"schemaevo/internal/history"
+	"schemaevo/internal/metrics"
+	"schemaevo/internal/synth"
+)
+
+// validEntryBytes encodes one real project's analysis as a seed input.
+func validEntryBytes(tb testing.TB) []byte {
+	tb.Helper()
+	c, err := synth.RandomCorpus(1, 9)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	r := c.Projects[0].Repo
+	h, err := history.FromRepo(r)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return encodeEntry(&cacheEntry{
+		Version:     cacheFormatVersion,
+		Fingerprint: Fingerprint(r),
+		Project:     r.Name,
+		History:     h,
+		Measures:    metrics.Compute(h),
+	})
+}
+
+// entryPrefix builds a well-formed entry up to (and excluding) the
+// history's Versions count, so crafted counts land on a live decode path.
+func entryPrefix() *enc {
+	w := &enc{}
+	w.bytes(cacheMagic[:])
+	w.int(cacheFormatVersion)
+	w.str("fp")
+	w.str("proj")
+	w.boolean(true) // history present
+	w.str("proj")
+	w.str("schema.sql")
+	return w
+}
+
+// hugeCountEntry carries a Versions count of 2^64-1. Before dec.count
+// compared in uint64, int(v-1) wrapped this to a negative length that was
+// silently decoded as a nil slice, leaving the decoder misaligned.
+func hugeCountEntry() []byte {
+	w := entryPrefix()
+	w.u64(math.MaxUint64)
+	return w.buf
+}
+
+// overCountEntry carries a Versions count that fits the remaining byte
+// count but not the per-element minimum size — the case a byte-granular
+// bound check used to admit, overallocating 34x before failing mid-loop.
+func overCountEntry() []byte {
+	w := entryPrefix()
+	pad := make([]byte, 256)
+	w.u64(uint64(len(pad)) + 1)
+	w.bytes(pad)
+	return w.buf
+}
+
+// TestCodecCountBounds pins the two crafted-count corruptions: both must
+// be rejected as corrupt entries, never panic or silently misdecode.
+func TestCodecCountBounds(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		data []byte
+	}{
+		{"huge-count-wraps-int", hugeCountEntry()},
+		{"count-exceeds-element-bound", overCountEntry()},
+	} {
+		if _, err := decodeEntry(tc.data); err == nil {
+			t.Errorf("%s: crafted entry accepted", tc.name)
+		}
+	}
+}
+
+// FuzzDecodeEntry hammers the cache-entry decoder with mutated inputs.
+// The decoder must never panic, and any input it accepts must re-encode
+// into a stable fixed point (boolean bytes are the only non-canonical
+// encoding, so equality is checked decode-to-decode, not byte-to-byte).
+func FuzzDecodeEntry(f *testing.F) {
+	f.Add(validEntryBytes(f))
+	f.Add(hugeCountEntry())
+	f.Add(overCountEntry())
+	f.Add([]byte{})
+	f.Add(cacheMagic[:])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, err := decodeEntry(data)
+		if err != nil {
+			return
+		}
+		again, err := decodeEntry(encodeEntry(e))
+		if err != nil {
+			t.Fatalf("accepted entry does not re-encode: %v", err)
+		}
+		if !reflect.DeepEqual(e, again) {
+			t.Fatal("re-encoded entry decodes differently")
+		}
+	})
+}

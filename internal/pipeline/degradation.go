@@ -28,6 +28,11 @@ const (
 	// FailPanic marks a project whose analysis panicked; the panic was
 	// recovered inside the worker and attributed to the project.
 	FailPanic FailureKind = "panic"
+	// FailAnomaly marks a recorded data anomaly (e.g. a version
+	// timestamped outside the project span, clamped by history.Assemble).
+	// Anomalies never fail a project: they appear in the report's
+	// Anomalies list, not in per-project failures.
+	FailAnomaly FailureKind = "anomaly"
 )
 
 // ProjectFailure is one project's attributed loss.
@@ -35,6 +40,13 @@ type ProjectFailure struct {
 	Project string      `json:"project"`
 	Kind    FailureKind `json:"kind"`
 	Error   string      `json:"error"`
+}
+
+// ProjectAnomaly is one recorded data anomaly of a project that was
+// nonetheless analyzed (FailAnomaly taxonomy).
+type ProjectAnomaly struct {
+	Project string `json:"project"`
+	Message string `json:"message"`
 }
 
 // DegradationReport states exactly what a pipeline run skipped and why,
@@ -56,6 +68,11 @@ type DegradationReport struct {
 	// failed writes, corrupt entries quarantined for inspection). They
 	// degrade speed, never results.
 	CacheIncidents int `json:"cache_incidents,omitempty"`
+	// Anomalies lists recorded data anomalies of successfully analyzed
+	// projects (out-of-span version timestamps and the like), in corpus
+	// order. They taint data quality, not the analysis itself, so they
+	// do not make the run Degraded.
+	Anomalies []ProjectAnomaly `json:"anomalies,omitempty"`
 }
 
 // Degraded reports whether the run lost any project.
@@ -80,7 +97,11 @@ func (r *DegradationReport) Render() string {
 		if r != nil && r.CacheIncidents > 0 {
 			fmt.Fprintf(&sb, "; %d cache incident(s) recovered", r.CacheIncidents)
 		}
+		if r != nil && len(r.Anomalies) > 0 {
+			fmt.Fprintf(&sb, "; %d data anomaly(ies) recorded", len(r.Anomalies))
+		}
 		sb.WriteString("\n")
+		r.renderAnomalies(&sb)
 		return sb.String()
 	}
 	fmt.Fprintf(&sb, "degradation: %d of %d projects lost (%.1f%%)\n",
@@ -102,7 +123,18 @@ func (r *DegradationReport) Render() string {
 	if r.CacheIncidents > 0 {
 		fmt.Fprintf(&sb, "  cache incidents recovered: %d\n", r.CacheIncidents)
 	}
+	r.renderAnomalies(&sb)
 	return sb.String()
+}
+
+// renderAnomalies appends the data-anomaly lines, if any.
+func (r *DegradationReport) renderAnomalies(sb *strings.Builder) {
+	if r == nil {
+		return
+	}
+	for _, a := range r.Anomalies {
+		fmt.Fprintf(sb, "  [%s] %s: %s\n", FailAnomaly, a.Project, firstLine(a.Message))
+	}
 }
 
 func (r *DegradationReport) projects() int {

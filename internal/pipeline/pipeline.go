@@ -38,6 +38,7 @@ import (
 	"schemaevo/internal/history"
 	"schemaevo/internal/metrics"
 	"schemaevo/internal/quantize"
+	"schemaevo/internal/telemetry"
 	"schemaevo/internal/vcs"
 )
 
@@ -70,6 +71,11 @@ type Options struct {
 	// (pipeline.parse, pipeline.assemble, pipeline.metrics, cache.read,
 	// cache.write) — the chaos-testing hook. nil disables injection.
 	Fault *faultinject.Injector
+	// Telemetry, when non-nil, collects per-stage timings and occupancy,
+	// cache effectiveness counters, fault/degradation events and per-project
+	// spans for this run. nil (the default) disables collection at zero
+	// hot-path cost.
+	Telemetry *telemetry.Collector
 }
 
 // Stats reports what a pipeline run did. CacheHits counts projects whose
@@ -81,6 +87,10 @@ type Stats struct {
 	Failed   int `json:"failed"`
 	// Quarantined counts projects abandoned by the deadline watchdog.
 	Quarantined int `json:"quarantined,omitempty"`
+	// DataAnomalies counts recorded data anomalies (FailAnomaly taxonomy)
+	// across successfully analyzed projects; the per-project detail is in
+	// Degradation.Anomalies.
+	DataAnomalies int `json:"data_anomalies,omitempty"`
 
 	CacheHits   int `json:"cache_hits"`
 	CacheMisses int `json:"cache_misses"`
@@ -137,6 +147,9 @@ type job struct {
 	// deadline is set when the project enters its first stage; the
 	// watchdog abandons the job when a stage outlives it.
 	deadline time.Time
+	// readyAt is stamped (only when telemetry is on) when the job becomes
+	// eligible for its next stage; the stage reads it to account queue wait.
+	readyAt time.Time
 	// state arbitrates commit vs abandon: the metrics stage CASes
 	// running→committed before touching the Project, the watchdog CASes
 	// running→abandoned before reporting a timeout. Exactly one wins, so
@@ -166,10 +179,21 @@ func Run(ctx context.Context, c *corpus.Corpus, opts Options) (Stats, error) {
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	tel := opts.Telemetry
+	// Register the stages in pipeline order so the report lists them that
+	// way, and tap the injector so fired faults land in the run report.
+	tel.Stage("parse").SetWorkers(stats.ParseWorkers)
+	tel.Stage("assemble").SetWorkers(stats.AssembleWorkers)
+	tel.Stage("metrics").SetWorkers(stats.MetricsWorkers)
+	if tel != nil && opts.Fault != nil {
+		opts.Fault.SetObserver(tel.Fault)
+		defer opts.Fault.SetObserver(nil)
+	}
+
 	var cache *diskCache
 	if opts.CacheDir != "" {
 		var err error
-		if cache, err = openCache(opts.CacheDir, opts.Fault, runCtx); err != nil {
+		if cache, err = openCache(opts.CacheDir, opts.Fault, tel, runCtx); err != nil {
 			stats.Elapsed = time.Since(start)
 			return stats, err
 		}
@@ -278,24 +302,33 @@ func Run(ctx context.Context, c *corpus.Corpus, opts Options) (Stats, error) {
 	go func() {
 		defer close(in)
 		for i, p := range c.Projects {
+			j := &job{idx: i, p: p}
+			if tel != nil {
+				j.readyAt = time.Now()
+			}
 			select {
-			case in <- &job{idx: i, p: p}:
+			case in <- j:
 			case <-runCtx.Done():
 				return
 			}
 		}
 	}()
-	exec := stageExec{timeout: opts.ProjectTimeout, fail: fail}
+	exec := stageExec{timeout: opts.ProjectTimeout, fail: fail, col: tel}
 	startStage(stats.ParseWorkers, in, parsedCh, runCtx, exec.named("parse", parse))
 	startStage(stats.AssembleWorkers, parsedCh, assembledCh, runCtx, exec.named("assemble", assemble))
 	startStage(stats.MetricsWorkers, assembledCh, done, runCtx, exec.named("metrics", measure))
 
 	var failures []*job
+	var anomalous []*job
 	for j := range done {
 		if j.err != nil {
 			failures = append(failures, j)
+			tel.Degradation(string(j.kind))
 		} else if j.p.Analyzed {
 			stats.Analyzed++
+			if j.history != nil && len(j.history.SpanAnomalies()) > 0 {
+				anomalous = append(anomalous, j)
+			}
 		}
 	}
 	stats.Failed = len(failures)
@@ -316,6 +349,14 @@ func Run(ctx context.Context, c *corpus.Corpus, opts Options) (Stats, error) {
 			rep.Quarantined = append(rep.Quarantined, j.p.Name)
 		}
 	}
+	sort.Slice(anomalous, func(a, b int) bool { return anomalous[a].idx < anomalous[b].idx })
+	for _, j := range anomalous {
+		for _, msg := range j.history.SpanAnomalies() {
+			rep.Anomalies = append(rep.Anomalies, ProjectAnomaly{Project: j.p.Name, Message: msg})
+			tel.Degradation(string(FailAnomaly))
+		}
+	}
+	stats.DataAnomalies = len(rep.Anomalies)
 	stats.Quarantined = len(rep.Quarantined)
 	rep.Analyzed = stats.Analyzed
 	stats.Degradation = rep
@@ -331,15 +372,16 @@ func Run(ctx context.Context, c *corpus.Corpus, opts Options) (Stats, error) {
 	return stats, errors.Join(errs...)
 }
 
-// stageExec carries the per-run fault-handling configuration shared by the
-// three stage pools; named binds it to one stage's function.
+// stageExec carries the per-run fault-handling and telemetry configuration
+// shared by the three stage pools; named binds it to one stage's function.
 type stageExec struct {
 	timeout time.Duration
 	fail    func(*job, FailureKind, error)
+	col     *telemetry.Collector
 }
 
 func (e stageExec) named(name string, fn func(*job)) stage {
-	return stage{name: name, fn: fn, timeout: e.timeout, fail: e.fail}
+	return stage{name: name, fn: fn, timeout: e.timeout, fail: e.fail, col: e.col, tel: e.col.Stage(name)}
 }
 
 // stage is one pool's unit of execution: the stage function wrapped in
@@ -349,6 +391,10 @@ type stage struct {
 	fn      func(*job)
 	timeout time.Duration
 	fail    func(*job, FailureKind, error)
+	// col and tel are nil when telemetry is off; the worker loop gates all
+	// clock reads on tel so the disabled path costs one pointer compare.
+	col *telemetry.Collector
+	tel *telemetry.Stage
 }
 
 // invoke runs the stage function under panic isolation: a panicking
@@ -414,7 +460,14 @@ func startStage(workers int, in <-chan *job, out chan<- *job, ctx context.Contex
 			defer wg.Done()
 			for j := range in {
 				if j.err == nil && ctx.Err() == nil {
-					j = s.run(j)
+					if s.tel == nil {
+						j = s.run(j)
+					} else {
+						j = s.observed(j)
+					}
+				}
+				if s.tel != nil {
+					j.readyAt = time.Now()
 				}
 				out <- j
 			}
@@ -424,6 +477,25 @@ func startStage(workers int, in <-chan *job, out chan<- *job, ctx context.Contex
 		wg.Wait()
 		close(out)
 	}()
+}
+
+// observed wraps run with the stage's telemetry: queue wait (time since the
+// job became eligible), occupancy, the per-job duration histogram, and one
+// trace span. Only called when telemetry is on.
+func (s stage) observed(j *job) *job {
+	var wait time.Duration
+	if !j.readyAt.IsZero() {
+		wait = time.Since(j.readyAt)
+	}
+	s.tel.Enter()
+	begin := time.Now()
+	j = s.run(j)
+	busy := time.Since(begin)
+	s.tel.Exit()
+	failed := j.err != nil
+	s.tel.Observe(wait, busy, failed)
+	s.col.RecordSpan(j.p.Name, s.name, begin, busy, failed)
+	return j
 }
 
 // clampWorkers resolves a per-stage worker request against the job count.

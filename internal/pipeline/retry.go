@@ -24,10 +24,14 @@ func retryable(err error) bool {
 
 // withRetry runs fn up to attempts times, sleeping base, 2*base, ... in
 // between, until fn succeeds or returns a non-retryable error. It returns
-// fn's last error.
-func withRetry(attempts int, base time.Duration, fn func() error) error {
+// fn's last error. onRetry, when non-nil, is invoked once per re-attempt
+// (not for the first try) — the telemetry tap for retry counting.
+func withRetry(attempts int, base time.Duration, onRetry func(), fn func() error) error {
 	var err error
 	for i := 0; i < attempts; i++ {
+		if i > 0 && onRetry != nil {
+			onRetry()
+		}
 		if err = fn(); err == nil || !retryable(err) {
 			return err
 		}

@@ -1,0 +1,39 @@
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Serve starts an HTTP listener exposing the standard net/http/pprof
+// endpoints under /debug/pprof/ and expvar under /debug/vars, plus the
+// collector's live report under /debug/telemetry. It returns the bound
+// address (useful with ":0") and never blocks; the listener lives until
+// the process exits. col may be nil, in which case /debug/telemetry
+// serves the JSON null literal.
+func Serve(addr string, col *Collector) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("telemetry: pprof listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/telemetry", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = col.WriteJSON(w)
+	})
+	go func() {
+		// The server runs for the process lifetime; errors after a
+		// successful bind (e.g. listener closed at exit) are not actionable.
+		_ = http.Serve(ln, mux)
+	}()
+	return ln.Addr().String(), nil
+}
