@@ -1,0 +1,270 @@
+// Command benchserve load-tests the HTTP analysis service
+// (internal/server) over real loopback sockets and writes the results as
+// JSON, so every PR leaves a comparable serving-performance record
+// behind (the cmd/benchpipe counterpart for the service layer).
+//
+// Two phases are measured against one server process:
+//
+//   - cold: every request is a first-time submission of a distinct DDL
+//     history — each one executes the full analysis pipeline;
+//   - warm: the same histories are resubmitted for several rounds — every
+//     request is answered from the LRU result store.
+//
+// Each phase records p50/p99/mean latency and throughput; the headline
+// ratio is cold p50 over warm p50 (the memoization win a duplicate-heavy
+// workload sees).
+//
+// Usage:
+//
+//	benchserve                         # 64 projects, 8 workers, writes BENCH_serve.json
+//	benchserve -projects 128 -c 16 -rounds 3 -out bench.json
+//	benchserve -check                  # exit 1 unless warm p50 < cold p50 (CI smoke)
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"schemaevo/internal/server"
+	"schemaevo/internal/synth"
+	"schemaevo/internal/telemetry"
+)
+
+// phase is one measured workload in the emitted JSON.
+type phase struct {
+	Name     string  `json:"name"`
+	Requests int     `json:"requests"`
+	Errors   int     `json:"errors"`
+	P50Us    float64 `json:"p50_us"`
+	P99Us    float64 `json:"p99_us"`
+	MeanUs   float64 `json:"mean_us"`
+	RPS      float64 `json:"rps"`
+}
+
+// report is the full BENCH_serve.json document.
+type report struct {
+	GeneratedBy string  `json:"generated_by"`
+	Date        string  `json:"date"`
+	Seed        int64   `json:"seed"`
+	Projects    int     `json:"projects"`
+	Concurrency int     `json:"concurrency"`
+	WarmRounds  int     `json:"warm_rounds"`
+	Cores       int     `json:"cores"`
+	GOMAXPROCS  int     `json:"gomaxprocs"`
+	Phases      []phase `json:"phases"`
+	// SpeedupWarmVsCold is cold p50 over warm p50 (higher is better; > 1
+	// means the result store is paying off).
+	SpeedupWarmVsCold float64 `json:"speedup_warm_vs_cold"`
+	// PipelineRuns is the server's execution counter after both phases;
+	// it must equal Projects — warm traffic never recomputes.
+	PipelineRuns int64 `json:"pipeline_runs"`
+}
+
+func main() {
+	var (
+		projects = flag.Int("projects", 64, "distinct submission histories (cold-phase requests)")
+		conc     = flag.Int("c", 8, "concurrent client workers")
+		rounds   = flag.Int("rounds", 5, "warm-phase passes over the project set")
+		seed     = flag.Int64("seed", 1, "workload generator seed")
+		out      = flag.String("out", "BENCH_serve.json", "output JSON path")
+		check    = flag.Bool("check", false, "exit 1 unless warm p50 < cold p50 and warm traffic hit the store")
+	)
+	flag.Parse()
+	if err := run(*projects, *conc, *rounds, *seed, *out, *check); err != nil {
+		fmt.Fprintln(os.Stderr, "benchserve:", err)
+		os.Exit(1)
+	}
+}
+
+// workload derives the distinct submission payloads from the seeded
+// synthesizer (generation is excluded from every timing).
+func workload(n int, seed int64) ([][]byte, error) {
+	c, err := synth.RandomCorpus(n, seed)
+	if err != nil {
+		return nil, err
+	}
+	payloads := make([][]byte, 0, n)
+	for _, p := range c.Projects {
+		data, err := json.Marshal(p.Repo)
+		if err != nil {
+			return nil, err
+		}
+		payloads = append(payloads, data)
+	}
+	return payloads, nil
+}
+
+// firePhase drives the payload sequence through conc workers and returns
+// per-request latencies plus the error count and wall-clock elapsed.
+func firePhase(client *http.Client, url string, payloads [][]byte, conc int) ([]time.Duration, int, time.Duration) {
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		lats = make([]time.Duration, 0, len(payloads))
+		errs int
+		jobs = make(chan []byte)
+	)
+	start := time.Now()
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for body := range jobs {
+				t0 := time.Now()
+				resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+				lat := time.Since(t0)
+				ok := err == nil && resp.StatusCode == http.StatusOK
+				if resp != nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+				mu.Lock()
+				if ok {
+					lats = append(lats, lat)
+				} else {
+					errs++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, p := range payloads {
+		jobs <- p
+	}
+	close(jobs)
+	wg.Wait()
+	return lats, errs, time.Since(start)
+}
+
+// percentile returns the nearest-rank q-th percentile of sorted
+// latencies.
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// summarize folds one phase's latencies into the wire form.
+func summarize(name string, lats []time.Duration, errs int, elapsed time.Duration) phase {
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	var sum time.Duration
+	for _, l := range lats {
+		sum += l
+	}
+	p := phase{Name: name, Requests: len(lats) + errs, Errors: errs}
+	if len(lats) > 0 {
+		p.P50Us = float64(percentile(lats, 0.50).Nanoseconds()) / 1e3
+		p.P99Us = float64(percentile(lats, 0.99).Nanoseconds()) / 1e3
+		p.MeanUs = float64(sum.Nanoseconds()) / float64(len(lats)) / 1e3
+	}
+	if elapsed > 0 {
+		p.RPS = float64(len(lats)) / elapsed.Seconds()
+	}
+	return p
+}
+
+func run(projects, conc, rounds int, seed int64, out string, check bool) error {
+	payloads, err := workload(projects, seed)
+	if err != nil {
+		return err
+	}
+
+	// One in-process server on a real loopback socket: the measured path
+	// includes HTTP serialization and the kernel, exactly what a client
+	// sees.
+	// MaxConcurrent matches the generator's worker count: this measures
+	// request latency, not backpressure (the 429 path has its own tests).
+	srv, err := server.New(context.Background(), server.Config{
+		MaxConcurrent: conc,
+		LRUEntries:    2 * projects,
+		Telemetry:     telemetry.New(),
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv}
+	go hs.Serve(ln)
+	defer hs.Close()
+	url := "http://" + ln.Addr().String() + "/v1/projects"
+
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        conc,
+		MaxIdleConnsPerHost: conc,
+	}}
+
+	coldLats, coldErrs, coldElapsed := firePhase(client, url, payloads, conc)
+
+	warm := make([][]byte, 0, rounds*projects)
+	for i := 0; i < rounds; i++ {
+		warm = append(warm, payloads...)
+	}
+	warmLats, warmErrs, warmElapsed := firePhase(client, url, warm, conc)
+
+	rep := report{
+		GeneratedBy:  "cmd/benchserve",
+		Date:         time.Now().UTC().Format("2006-01-02"),
+		Seed:         seed,
+		Projects:     projects,
+		Concurrency:  conc,
+		WarmRounds:   rounds,
+		Cores:        runtime.NumCPU(),
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		PipelineRuns: srv.Analyses(),
+		Phases: []phase{
+			summarize("cold", coldLats, coldErrs, coldElapsed),
+			summarize("warm", warmLats, warmErrs, warmElapsed),
+		},
+	}
+	if rep.Phases[1].P50Us > 0 {
+		rep.SpeedupWarmVsCold = rep.Phases[0].P50Us / rep.Phases[1].P50Us
+	}
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	for _, p := range rep.Phases {
+		fmt.Printf("%-5s %6d reqs  p50 %8.0fµs  p99 %8.0fµs  %8.0f req/s  (%d errors)\n",
+			p.Name, p.Requests, p.P50Us, p.P99Us, p.RPS, p.Errors)
+	}
+	fmt.Printf("wrote %s (warm speedup %.1fx, %d pipeline runs)\n", out, rep.SpeedupWarmVsCold, rep.PipelineRuns)
+
+	if check {
+		switch {
+		case rep.Phases[0].Errors > 0 || rep.Phases[1].Errors > 0:
+			return fmt.Errorf("check: %d cold / %d warm requests failed", rep.Phases[0].Errors, rep.Phases[1].Errors)
+		case rep.PipelineRuns != int64(projects):
+			return fmt.Errorf("check: %d pipeline runs for %d distinct projects — warm traffic recomputed", rep.PipelineRuns, projects)
+		case rep.Phases[1].P50Us >= rep.Phases[0].P50Us:
+			return fmt.Errorf("check: warm p50 %.0fµs is not below cold p50 %.0fµs", rep.Phases[1].P50Us, rep.Phases[0].P50Us)
+		}
+		fmt.Println("check: ok (warm p50 < cold p50, no recompute, no errors)")
+	}
+	return nil
+}

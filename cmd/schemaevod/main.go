@@ -1,0 +1,187 @@
+// Command schemaevod serves the schema-evolution analysis toolchain over
+// HTTP: submit DDL commit histories for pattern analysis, look results up
+// by content-hash ID, query corpus-wide pattern statistics, and scrape
+// run telemetry. See internal/server for the endpoint semantics and
+// DESIGN.md §9 for the backpressure and drain contract.
+//
+// Usage:
+//
+//	schemaevod                                # empty corpus, 127.0.0.1:8080
+//	schemaevod -corpus corpus.json            # preload a serialized corpus
+//	schemaevod -synth 151 -seed 1             # preload a synthetic corpus
+//	schemaevod -addr 127.0.0.1:0              # pick a free port (printed)
+//	schemaevod -cache /var/cache/schemaevo    # persistent result cache
+//	schemaevod -max-concurrent 8 -request-timeout 10s
+//	schemaevod -fault-seed 7 -fault-rate 0.2  # chaos mode
+//
+// On SIGINT/SIGTERM the server drains: in-flight requests complete, new
+// ones are answered 503 + Retry-After, and the process exits 0 once idle
+// (or after -drain-timeout, whichever is first).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"schemaevo/internal/corpus"
+	"schemaevo/internal/faultinject"
+	"schemaevo/internal/server"
+	"schemaevo/internal/synth"
+	"schemaevo/internal/telemetry"
+)
+
+// options collects the command-line configuration.
+type options struct {
+	addr           string
+	corpusPath     string
+	synthN         int
+	seed           int64
+	cacheDir       string
+	maxConcurrent  int
+	requestTimeout time.Duration
+	lruEntries     int
+	retryAfter     time.Duration
+	drainTimeout   time.Duration
+	faultSeed      int64
+	faultRate      float64
+	faultSites     string
+	faultKinds     string
+	faultDelay     time.Duration
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.addr, "addr", "127.0.0.1:8080", "listen address (use :0 to pick a free port)")
+	flag.StringVar(&o.corpusPath, "corpus", "", "preload a serialized corpus (JSON, see corpusgen)")
+	flag.IntVar(&o.synthN, "synth", 0, "preload a synthetic corpus of this many projects (0 disables; with -corpus, -corpus wins)")
+	flag.Int64Var(&o.seed, "seed", 1, "synthetic corpus generator seed (with -synth)")
+	flag.StringVar(&o.cacheDir, "cache", "", "pipeline disk-cache directory for submitted analyses (empty disables)")
+	flag.IntVar(&o.maxConcurrent, "max-concurrent", 0, "max concurrently executing submissions before 429 (0 = 2×GOMAXPROCS)")
+	flag.DurationVar(&o.requestTimeout, "request-timeout", 30*time.Second, "per-request deadline")
+	flag.IntVar(&o.lruEntries, "lru", 1024, "in-memory result store capacity (entries)")
+	flag.DurationVar(&o.retryAfter, "retry-after", time.Second, "backoff hint advertised on 429/503 responses")
+	flag.DurationVar(&o.drainTimeout, "drain-timeout", 30*time.Second, "max time to wait for in-flight requests on shutdown")
+	flag.Int64Var(&o.faultSeed, "fault-seed", 0, "chaos mode: inject deterministic faults with this seed (0 disables)")
+	flag.Float64Var(&o.faultRate, "fault-rate", 0.05, "chaos mode: fraction of fault sites that fire (with -fault-seed)")
+	flag.StringVar(&o.faultSites, "fault-sites", "", "chaos mode: comma-separated site allowlist (empty = every site)")
+	flag.StringVar(&o.faultKinds, "fault-kinds", "", "chaos mode: comma-separated kinds (io-error,corrupt,delay,panic; empty = all)")
+	flag.DurationVar(&o.faultDelay, "fault-delay", time.Millisecond, "chaos mode: stall applied by delay faults")
+	flag.Parse()
+	if err := run(o); err != nil {
+		fmt.Fprintln(os.Stderr, "schemaevod:", err)
+		os.Exit(1)
+	}
+}
+
+// parseFaultKinds maps the CLI's comma list to injector kinds.
+func parseFaultKinds(list string) ([]faultinject.Kind, error) {
+	if list == "" {
+		return nil, nil
+	}
+	var out []faultinject.Kind
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		found := false
+		for _, k := range faultinject.AllKinds {
+			if k.String() == name {
+				out = append(out, k)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("unknown fault kind %q", name)
+		}
+	}
+	return out, nil
+}
+
+// loadCorpus resolves the -corpus/-synth flags into the corpus to serve.
+func loadCorpus(o options) (*corpus.Corpus, error) {
+	switch {
+	case o.corpusPath != "":
+		return corpus.LoadFile(o.corpusPath)
+	case o.synthN > 0:
+		return synth.RandomCorpus(o.synthN, o.seed)
+	}
+	return &corpus.Corpus{}, nil
+}
+
+func run(o options) error {
+	c, err := loadCorpus(o)
+	if err != nil {
+		return err
+	}
+	var fault *faultinject.Injector
+	if o.faultSeed != 0 {
+		kinds, err := parseFaultKinds(o.faultKinds)
+		if err != nil {
+			return err
+		}
+		var sites []string
+		if o.faultSites != "" {
+			sites = strings.Split(o.faultSites, ",")
+		}
+		fault = faultinject.New(faultinject.Config{
+			Seed: o.faultSeed, Rate: o.faultRate, Kinds: kinds, Sites: sites, Delay: o.faultDelay,
+		})
+		fmt.Fprintf(os.Stderr, "schemaevod: chaos mode (seed %d, rate %.2f)\n", o.faultSeed, o.faultRate)
+	}
+
+	srv, err := server.New(context.Background(), server.Config{
+		Corpus:         c,
+		CacheDir:       o.cacheDir,
+		MaxConcurrent:  o.maxConcurrent,
+		RequestTimeout: o.requestTimeout,
+		LRUEntries:     o.lruEntries,
+		RetryAfter:     o.retryAfter,
+		Telemetry:      telemetry.New(),
+		Fault:          fault,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		return err
+	}
+	// The e2e harness parses this line to find the bound port; keep its
+	// shape stable.
+	fmt.Printf("schemaevod: serving on http://%s (%d corpus projects)\n", ln.Addr(), c.Len())
+
+	hs := &http.Server{Handler: srv}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		fmt.Fprintf(os.Stderr, "schemaevod: %v: draining (in-flight %d)\n", sig, srv.InFlight())
+		// Flip the drain gate first so requests on live keep-alive
+		// connections get 503 immediately, then let Shutdown close the
+		// listener and wait for the in-flight set.
+		srv.BeginDrain()
+		ctx, cancel := context.WithTimeout(context.Background(), o.drainTimeout)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			return fmt.Errorf("drain: %w", err)
+		}
+		fmt.Fprintln(os.Stderr, "schemaevod: drained, exiting")
+		return nil
+	case err := <-errCh:
+		if err != nil && err != http.ErrServerClosed {
+			return err
+		}
+		return nil
+	}
+}

@@ -1,0 +1,344 @@
+// End-to-end tests: build the real schemaevod binary, run it as a child
+// process on 127.0.0.1:0, and drive it over HTTP — covering the full
+// serve loop, cross-process byte-stability of the /v1 bodies, the
+// telemetry-verified singleflight collapse, and the SIGTERM drain
+// sequence.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"schemaevo/internal/vcs"
+)
+
+// binPath is the schemaevod binary built once in TestMain.
+var binPath string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "schemaevod-e2e")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(dir)
+	binPath = filepath.Join(dir, "schemaevod")
+	build := exec.Command("go", "build", "-o", binPath, ".")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		fmt.Fprintln(os.Stderr, "building schemaevod:", err)
+		os.Exit(1)
+	}
+	os.Exit(m.Run())
+}
+
+// daemon is one running schemaevod child process.
+type daemon struct {
+	cmd  *exec.Cmd
+	base string // http://127.0.0.1:<port>
+}
+
+// startDaemon launches the binary with the given extra flags on a free
+// port and waits for its "serving on" line. The process is killed at
+// test cleanup unless the test already waited for it.
+func startDaemon(t *testing.T, extra ...string) *daemon {
+	t.Helper()
+	args := append([]string{"-addr", "127.0.0.1:0"}, extra...)
+	cmd := exec.Command(binPath, args...)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+
+	// The startup line's shape is pinned by main.go for exactly this
+	// parse: "schemaevod: serving on http://127.0.0.1:PORT (...)".
+	lineCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if strings.Contains(sc.Text(), "serving on http://") {
+				lineCh <- sc.Text()
+				return
+			}
+		}
+		close(lineCh)
+	}()
+	select {
+	case line, ok := <-lineCh:
+		if !ok {
+			t.Fatal("schemaevod exited before announcing its address")
+		}
+		i := strings.Index(line, "http://")
+		rest := line[i:]
+		if j := strings.IndexByte(rest, ' '); j >= 0 {
+			rest = rest[:j]
+		}
+		return &daemon{cmd: cmd, base: rest}
+	case <-time.After(30 * time.Second):
+		t.Fatal("schemaevod did not announce its address within 30s")
+		return nil
+	}
+}
+
+// e2eRepo is a deterministic submission history (fixed timestamps, so
+// its analysis is byte-stable across processes).
+func e2eRepo() *vcs.Repo {
+	day := func(y, m, d int) time.Time {
+		return time.Date(y, time.Month(m), d, 9, 0, 0, 0, time.UTC)
+	}
+	return &vcs.Repo{
+		Name: "e2e-project",
+		Commits: []vcs.Commit{
+			{ID: "a", Time: day(2018, 3, 1), SrcLines: 50, Files: map[string]string{
+				"schema.sql": "CREATE TABLE orders (id INT PRIMARY KEY, total INT);",
+			}},
+			{ID: "b", Time: day(2018, 6, 10), SrcLines: 80, Files: map[string]string{
+				"schema.sql": "CREATE TABLE orders (id INT PRIMARY KEY, total INT, placed_at TIMESTAMP);\nCREATE TABLE items (id INT PRIMARY KEY, order_id INT, sku TEXT);",
+			}},
+			{ID: "c", Time: day(2019, 11, 5), SrcLines: 40},
+		},
+	}
+}
+
+func get(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+func postRepo(base string, r *vcs.Repo) (int, []byte, error) {
+	payload, err := json.Marshal(r)
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := http.Post(base+"/v1/projects", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, data, err
+}
+
+// flow drives healthz → submit → GET by id → corpus stats/patterns
+// against one daemon and returns every body keyed by step.
+func flow(t *testing.T, base string) map[string][]byte {
+	t.Helper()
+	out := map[string][]byte{}
+
+	status, body := get(t, base+"/healthz")
+	if status != http.StatusOK {
+		t.Fatalf("healthz: status %d, body %s", status, body)
+	}
+	out["healthz"] = body
+
+	status, body, err := postRepo(base, e2eRepo())
+	if err != nil || status != http.StatusOK {
+		t.Fatalf("submit: status %d err %v body %s", status, err, body)
+	}
+	out["submit"] = body
+
+	var wire struct {
+		ID      string `json:"id"`
+		Pattern string `json:"pattern"`
+	}
+	if err := json.Unmarshal(body, &wire); err != nil {
+		t.Fatal(err)
+	}
+	if wire.ID == "" || wire.Pattern == "" {
+		t.Fatalf("submit body lacks id/pattern: %s", body)
+	}
+	status, body = get(t, base+"/v1/projects/"+wire.ID)
+	if status != http.StatusOK {
+		t.Fatalf("get %s: status %d", wire.ID, status)
+	}
+	if !bytes.Equal(body, out["submit"]) {
+		t.Fatal("GET body differs from POST body")
+	}
+	out["get"] = body
+
+	status, body = get(t, base+"/v1/corpus/stats")
+	if status != http.StatusOK {
+		t.Fatalf("stats: status %d", status)
+	}
+	out["stats"] = body
+
+	status, body = get(t, base+"/v1/corpus/patterns")
+	if status != http.StatusOK {
+		t.Fatalf("patterns: status %d", status)
+	}
+	out["patterns"] = body
+	return out
+}
+
+// TestE2EByteStableAcrossProcesses runs the full flow against two
+// freshly started server processes and asserts every /v1 body is
+// byte-for-byte identical between them — the acceptance contract that
+// results are reproducible across runs, not just within one process.
+func TestE2EByteStableAcrossProcesses(t *testing.T) {
+	first := flow(t, startDaemon(t, "-synth", "12", "-seed", "3").base)
+	second := flow(t, startDaemon(t, "-synth", "12", "-seed", "3").base)
+	for step, a := range first {
+		if !bytes.Equal(a, second[step]) {
+			t.Errorf("%s: bodies differ across two server processes\n--- run 1 ---\n%s\n--- run 2 ---\n%s", step, a, second[step])
+		}
+	}
+}
+
+// TestE2ESingleflight fires concurrent identical submissions at the real
+// binary (stalled at the handler-path fault site so they provably
+// overlap) and verifies through the public /metrics report that the
+// pipeline executed exactly once.
+func TestE2ESingleflight(t *testing.T) {
+	d := startDaemon(t,
+		"-fault-seed", "1", "-fault-rate", "1",
+		"-fault-sites", "server.submit", "-fault-kinds", "delay", "-fault-delay", "500ms")
+
+	const n = 8
+	var (
+		wg    sync.WaitGroup
+		start = make(chan struct{})
+		mu    sync.Mutex
+		codes []int
+	)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			status, body, err := postRepo(d.base, e2eRepo())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if status != http.StatusOK {
+				t.Errorf("submit: status %d, body %s", status, body)
+			}
+			mu.Lock()
+			codes = append(codes, status)
+			mu.Unlock()
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if len(codes) != n {
+		t.Fatalf("%d/%d submissions completed", len(codes), n)
+	}
+
+	_, body := get(t, d.base+"/metrics")
+	var rep struct {
+		Stages []struct {
+			Name string `json:"name"`
+			Jobs int64  `json:"jobs"`
+		} `json:"stages"`
+	}
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	jobs := map[string]int64{}
+	for _, st := range rep.Stages {
+		jobs[st.Name] = st.Jobs
+	}
+	if jobs["http.submit"] != n {
+		t.Errorf("http.submit jobs = %d, want %d", jobs["http.submit"], n)
+	}
+	if jobs["analyze.exec"] != 1 {
+		t.Errorf("analyze.exec jobs = %d, want exactly 1 (singleflight collapse)", jobs["analyze.exec"])
+	}
+}
+
+// TestE2ESigtermDrain sends SIGTERM while a (fault-stalled) submission
+// is in flight and asserts the drain contract end to end: the in-flight
+// request completes with a full 200, new requests are refused, and the
+// process exits 0.
+func TestE2ESigtermDrain(t *testing.T) {
+	d := startDaemon(t,
+		"-retry-after", "1s", "-drain-timeout", "20s",
+		"-fault-seed", "1", "-fault-rate", "1",
+		"-fault-sites", "server.submit", "-fault-kinds", "delay", "-fault-delay", "2s")
+
+	type result struct {
+		status int
+		body   []byte
+		err    error
+	}
+	slow := make(chan result, 1)
+	go func() {
+		status, body, err := postRepo(d.base, e2eRepo())
+		slow <- result{status, body, err}
+	}()
+
+	// Give the submission time to enter the handler (it then stalls for
+	// 2s at the fault site), then signal.
+	time.Sleep(500 * time.Millisecond)
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	// Let the signal handler flip the drain gate (well inside the 2s
+	// window the in-flight submission is stalled for).
+	time.Sleep(300 * time.Millisecond)
+
+	// New traffic on a fresh connection is refused: either 503 from the
+	// drain gate or a connection error once the listener closes.
+	if resp, err := http.Get(d.base + "/healthz"); err == nil {
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Errorf("healthz during drain: status %d, want 503 (or refused)", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+
+	// The in-flight submission survives the signal and completes fully.
+	r := <-slow
+	if r.err != nil {
+		t.Fatalf("in-flight submission failed during drain: %v", r.err)
+	}
+	if r.status != http.StatusOK {
+		t.Fatalf("in-flight submission: status %d, body %s", r.status, r.body)
+	}
+	var wire struct {
+		Pattern string `json:"pattern"`
+	}
+	if err := json.Unmarshal(r.body, &wire); err != nil || wire.Pattern == "" {
+		t.Fatalf("in-flight submission returned an incomplete body: %s", r.body)
+	}
+
+	// And the process exits cleanly once drained.
+	done := make(chan error, 1)
+	go func() { done <- d.cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("schemaevod exited non-zero after drain: %v", err)
+		}
+	case <-time.After(25 * time.Second):
+		t.Fatal("schemaevod did not exit after drain")
+	}
+}

@@ -1,0 +1,69 @@
+package corpus
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+)
+
+// IDLen is the length of a stable project ID in hex characters: the
+// truncated SHA-256 prefix is plenty for corpus-scale cardinalities while
+// staying short enough for URLs and logs.
+const IDLen = 16
+
+// DefaultProjectID derives a project's stable ID from its name: the first
+// IDLen hex characters of the name's SHA-256. It is stable across runs,
+// processes, and corpus orderings, so it can be used as an external
+// handle (e.g. a REST resource ID).
+func DefaultProjectID(p *Project) string {
+	sum := sha256.Sum256([]byte(p.Name))
+	return hex.EncodeToString(sum[:])[:IDLen]
+}
+
+// Index provides O(1) lookup of corpus projects by stable ID — the
+// accessor a serving layer needs to answer point queries without
+// re-running a whole-corpus analysis. The ID function is fixed at
+// construction; DefaultProjectID hashes the project name, but callers may
+// substitute a content-based scheme (e.g. the pipeline fingerprint).
+//
+// The index is a snapshot: projects added to the corpus after NewIndex
+// are not visible. It is safe for concurrent readers.
+type Index struct {
+	byID map[string]*Project
+	ids  []string
+}
+
+// NewIndex builds an index over the corpus using the given ID function
+// (nil selects DefaultProjectID). It fails on a duplicate ID, which would
+// make lookups ambiguous.
+func NewIndex(c *Corpus, id func(*Project) string) (*Index, error) {
+	if id == nil {
+		id = DefaultProjectID
+	}
+	ix := &Index{byID: make(map[string]*Project, len(c.Projects))}
+	for _, p := range c.Projects {
+		k := id(p)
+		if prev, dup := ix.byID[k]; dup {
+			return nil, fmt.Errorf("corpus: index: projects %q and %q share ID %q", prev.Name, p.Name, k)
+		}
+		ix.byID[k] = p
+		ix.ids = append(ix.ids, k)
+	}
+	sort.Strings(ix.ids)
+	return ix, nil
+}
+
+// Lookup returns the project with the given ID, if any.
+func (ix *Index) Lookup(id string) (*Project, bool) {
+	p, ok := ix.byID[id]
+	return p, ok
+}
+
+// IDs returns every indexed ID in sorted order.
+func (ix *Index) IDs() []string {
+	return append([]string(nil), ix.ids...)
+}
+
+// Len returns the number of indexed projects.
+func (ix *Index) Len() int { return len(ix.byID) }

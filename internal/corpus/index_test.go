@@ -1,0 +1,84 @@
+package corpus
+
+import (
+	"testing"
+	"time"
+
+	"schemaevo/internal/vcs"
+)
+
+func testProject(name string) *Project {
+	return &Project{Name: name, Repo: &vcs.Repo{Name: name, Commits: []vcs.Commit{
+		{ID: "c0", Time: time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)},
+	}}}
+}
+
+func TestIndexLookup(t *testing.T) {
+	c := &Corpus{Projects: []*Project{testProject("alpha"), testProject("beta"), testProject("gamma")}}
+	ix, err := NewIndex(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", ix.Len())
+	}
+	for _, p := range c.Projects {
+		id := DefaultProjectID(p)
+		if len(id) != IDLen {
+			t.Fatalf("ID %q has length %d, want %d", id, len(id), IDLen)
+		}
+		got, ok := ix.Lookup(id)
+		if !ok || got != p {
+			t.Fatalf("Lookup(%q) = %v, %v; want project %q", id, got, ok, p.Name)
+		}
+	}
+	if _, ok := ix.Lookup("deadbeefdeadbeef"); ok {
+		t.Fatal("Lookup of an unknown ID reported a hit")
+	}
+}
+
+func TestIndexStableIDs(t *testing.T) {
+	p := testProject("alpha")
+	if a, b := DefaultProjectID(p), DefaultProjectID(testProject("alpha")); a != b {
+		t.Fatalf("DefaultProjectID not stable: %q vs %q", a, b)
+	}
+	// A reordered corpus yields the same IDs list (sorted) and lookups.
+	c1 := &Corpus{Projects: []*Project{testProject("a"), testProject("b")}}
+	c2 := &Corpus{Projects: []*Project{testProject("b"), testProject("a")}}
+	ix1, err := NewIndex(c1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix2, err := NewIndex(c2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids1, ids2 := ix1.IDs(), ix2.IDs()
+	if len(ids1) != len(ids2) {
+		t.Fatalf("ID count mismatch: %d vs %d", len(ids1), len(ids2))
+	}
+	for i := range ids1 {
+		if ids1[i] != ids2[i] {
+			t.Fatalf("IDs diverge at %d: %q vs %q", i, ids1[i], ids2[i])
+		}
+	}
+}
+
+func TestIndexDuplicateID(t *testing.T) {
+	c := &Corpus{Projects: []*Project{testProject("dup"), testProject("dup")}}
+	if _, err := NewIndex(c, nil); err == nil {
+		t.Fatal("NewIndex accepted duplicate IDs")
+	}
+	// A custom ID function that disambiguates duplicates succeeds.
+	seq := 0
+	ix, err := NewIndex(c, func(p *Project) string {
+		seq++
+		return DefaultProjectID(p)[:IDLen-1] + string(rune('0'+seq))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", ix.Len())
+	}
+}

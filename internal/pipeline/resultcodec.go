@@ -1,0 +1,50 @@
+package pipeline
+
+import (
+	"schemaevo/internal/history"
+	"schemaevo/internal/metrics"
+)
+
+// CachedResult is the exported view of one memoized analysis entry: the
+// expensive derived artifacts of a single project, keyed by its content
+// fingerprint. It is the unit the analysis service's in-memory result
+// store holds, serialized with the same binary codec (and therefore the
+// same byte layout) as the on-disk cache entries.
+type CachedResult struct {
+	Fingerprint string
+	Project     string
+	History     *history.History
+	Measures    metrics.Measures
+}
+
+// EncodeResult serializes a result with the cache-entry codec. The bytes
+// round-trip exactly through DecodeResult; they carry no checksum trailer
+// (in-memory stores do not bit-rot — the disk cache adds CRC-32C
+// separately via its seal/unseal layer).
+func EncodeResult(r *CachedResult) []byte {
+	return encodeEntry(&cacheEntry{
+		Version:     cacheFormatVersion,
+		Fingerprint: r.Fingerprint,
+		Project:     r.Project,
+		History:     r.History,
+		Measures:    r.Measures,
+	})
+}
+
+// DecodeResult deserializes EncodeResult bytes, failing on truncation,
+// trailing garbage, or a codec-version mismatch.
+func DecodeResult(data []byte) (*CachedResult, error) {
+	e, err := decodeEntry(data)
+	if err != nil {
+		return nil, err
+	}
+	if e.Version != cacheFormatVersion {
+		return nil, errCorruptEntry
+	}
+	return &CachedResult{
+		Fingerprint: e.Fingerprint,
+		Project:     e.Project,
+		History:     e.History,
+		Measures:    e.Measures,
+	}, nil
+}

@@ -1,0 +1,78 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lruStore is the bounded in-memory result store: codec-encoded analysis
+// results keyed by short content-hash ID, evicting least-recently-used
+// entries beyond the capacity. Values are the pipeline cache codec's
+// bytes (see internal/pipeline.EncodeResult), so the store bounds memory
+// by the same compact representation the disk cache uses, and a hit is
+// provably the same artifact a cold run would have produced.
+//
+// All methods are safe for concurrent use.
+type lruStore struct {
+	mu       sync.Mutex
+	capacity int
+	order    *list.List // front = most recently used; values are *lruEntry
+	byID     map[string]*list.Element
+
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+type lruEntry struct {
+	id   string
+	data []byte
+}
+
+// newLRUStore builds a store holding at most capacity entries (minimum 1).
+func newLRUStore(capacity int) *lruStore {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &lruStore{capacity: capacity, order: list.New(), byID: map[string]*list.Element{}}
+}
+
+// get returns the encoded result for id and marks it most recently used.
+func (s *lruStore) get(id string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.byID[id]
+	if !ok {
+		s.misses++
+		return nil, false
+	}
+	s.order.MoveToFront(el)
+	s.hits++
+	return el.Value.(*lruEntry).data, true
+}
+
+// put inserts (or refreshes) an entry, evicting from the cold end beyond
+// capacity.
+func (s *lruStore) put(id string, data []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.byID[id]; ok {
+		el.Value.(*lruEntry).data = data
+		s.order.MoveToFront(el)
+		return
+	}
+	s.byID[id] = s.order.PushFront(&lruEntry{id: id, data: data})
+	for s.order.Len() > s.capacity {
+		cold := s.order.Back()
+		s.order.Remove(cold)
+		delete(s.byID, cold.Value.(*lruEntry).id)
+		s.evictions++
+	}
+}
+
+// stats returns the hit/miss/eviction counters and current size.
+func (s *lruStore) stats() (hits, misses, evictions int64, size int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hits, s.misses, s.evictions, s.order.Len()
+}

@@ -1,0 +1,486 @@
+// Package server exposes the schema-evolution analysis toolchain as a
+// zero-dependency (net/http) HTTP service: submit a project's DDL commit
+// history, get back its time-related pattern, measures and labels; query
+// corpus-wide pattern statistics; scrape the run's telemetry.
+//
+// The hot path is built for heavy duplicate traffic:
+//
+//   - a singleflight group collapses concurrent identical submissions
+//     (same content fingerprint) into one pipeline execution;
+//   - an LRU result store keyed by the content hash memoizes results in
+//     the pipeline cache codec's compact encoding, so repeat submissions
+//     and point GETs never recompute;
+//   - a bounded worker semaphore backpressures analysis work — a
+//     saturated server answers 429 with a Retry-After hint instead of
+//     queueing without bound;
+//   - every request runs under a deadline, and BeginDrain flips the
+//     server into lame-duck mode: in-flight requests complete, new ones
+//     get 503 (the SIGTERM contract, see DESIGN.md §9).
+//
+// Telemetry (internal/telemetry) observes every endpoint — request
+// counters, latency histograms, an in-flight gauge — plus the store's
+// hit/miss counters and one "analyze.exec" stage counting actual pipeline
+// executions (the singleflight tests key off it). Fault injection
+// (internal/faultinject) reaches the handler path through the
+// "server.submit" site and flows into the pipeline's own sites, so the
+// chaos suite can exercise the full service stack.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"schemaevo/internal/corpus"
+	"schemaevo/internal/faultinject"
+	"schemaevo/internal/pipeline"
+	"schemaevo/internal/quantize"
+	"schemaevo/internal/telemetry"
+	"schemaevo/internal/vcs"
+)
+
+// Config parameterizes a Server. The zero value is valid: no preloaded
+// corpus, defaults for every limit, a fresh telemetry collector, no fault
+// injection.
+type Config struct {
+	// Corpus, when non-nil, is analyzed at construction time and served
+	// by the /v1/corpus endpoints and by GET /v1/projects/{id}.
+	Corpus *corpus.Corpus
+	// CacheDir enables the pipeline's content-hash disk cache for
+	// submitted analyses (empty disables it; the in-memory LRU result
+	// store is always on).
+	CacheDir string
+	// MaxConcurrent bounds concurrently executing submissions (the worker
+	// semaphore). Beyond it the server answers 429. <= 0 selects
+	// 2×GOMAXPROCS.
+	MaxConcurrent int
+	// RequestTimeout is the per-request deadline. <= 0 selects 30s.
+	RequestTimeout time.Duration
+	// LRUEntries caps the in-memory result store. <= 0 selects 1024.
+	LRUEntries int
+	// RetryAfter is the backoff hint advertised on 429/503 responses.
+	// <= 0 selects 1s.
+	RetryAfter time.Duration
+	// MaxBodyBytes bounds a submission body. <= 0 selects 32 MiB.
+	MaxBodyBytes int64
+	// Scheme overrides the quantization scheme; nil selects the paper's.
+	Scheme *quantize.Scheme
+	// Telemetry receives the service's observability stream; nil selects
+	// a fresh collector (the server always observes).
+	Telemetry *telemetry.Collector
+	// Fault injects deterministic chaos into the handler path (site
+	// "server.submit") and the pipeline/cache sites of submitted
+	// analyses. nil disables injection. Startup corpus analysis is
+	// always fault-free.
+	Fault *faultinject.Injector
+}
+
+// Server is the HTTP analysis service. Construct with New; it implements
+// http.Handler.
+type Server struct {
+	cfg    Config
+	scheme quantize.Scheme
+	tel    *telemetry.Collector
+	mux    *http.ServeMux
+
+	corpus *corpus.Corpus
+	index  *corpus.Index
+	// statsBody and patternsBody are the /v1/corpus responses, rendered
+	// once at construction: the corpus is immutable while serving, so the
+	// bodies are static — and trivially byte-stable.
+	statsBody    []byte
+	patternsBody []byte
+
+	store  *lruStore
+	flight flightGroup
+	sem    chan struct{}
+
+	draining atomic.Bool
+	inflight atomic.Int64
+	analyses atomic.Int64
+}
+
+// errSaturated is returned by the submit path when the worker semaphore
+// is full; the handler maps it to 429 + Retry-After.
+var errSaturated = errors.New("server: analysis workers saturated")
+
+// New builds the service: analyzes the configured corpus (fault-free,
+// through the staged pipeline), indexes it by content-hash ID, and wires
+// the routes. It fails if the corpus cannot be fully analyzed — a serving
+// process must not start with a silently shrunken dataset.
+func New(ctx context.Context, cfg Config) (*Server, error) {
+	s := &Server{cfg: cfg, scheme: quantize.DefaultScheme()}
+	if cfg.Scheme != nil {
+		s.scheme = *cfg.Scheme
+	}
+	if s.tel = cfg.Telemetry; s.tel == nil {
+		s.tel = telemetry.New()
+	}
+	max := cfg.MaxConcurrent
+	if max <= 0 {
+		max = 2 * runtime.GOMAXPROCS(0)
+	}
+	s.sem = make(chan struct{}, max)
+	entries := cfg.LRUEntries
+	if entries <= 0 {
+		entries = 1024
+	}
+	s.store = newLRUStore(entries)
+
+	s.corpus = cfg.Corpus
+	if s.corpus == nil {
+		s.corpus = &corpus.Corpus{}
+	}
+	if len(s.corpus.Projects) > 0 {
+		opts := pipeline.Options{CacheDir: cfg.CacheDir, Scheme: cfg.Scheme, Telemetry: s.tel}
+		if _, err := pipeline.Run(ctx, s.corpus, opts); err != nil {
+			return nil, fmt.Errorf("server: corpus analysis: %w", err)
+		}
+	}
+	ids := make(map[*corpus.Project]string, len(s.corpus.Projects))
+	idOf := func(p *corpus.Project) string {
+		if id, ok := ids[p]; ok {
+			return id
+		}
+		id := projectID(pipeline.Fingerprint(p.Repo))
+		ids[p] = id
+		return id
+	}
+	idx, err := corpus.NewIndex(s.corpus, idOf)
+	if err != nil {
+		return nil, err
+	}
+	s.index = idx
+	if s.statsBody, err = renderJSON(buildCorpusStats(s.corpus)); err != nil {
+		return nil, err
+	}
+	if s.patternsBody, err = renderJSON(buildCorpusPatterns(s.corpus, idOf)); err != nil {
+		return nil, err
+	}
+
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/projects", s.wrap("submit", s.handleSubmit))
+	s.mux.HandleFunc("GET /v1/projects/{id}", s.wrap("project", s.handleProject))
+	s.mux.HandleFunc("GET /v1/corpus/stats", s.wrap("stats", s.handleCorpusStats))
+	s.mux.HandleFunc("GET /v1/corpus/patterns", s.wrap("patterns", s.handleCorpusPatterns))
+	s.mux.HandleFunc("GET /healthz", s.wrap("healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /metrics", s.wrap("metrics", s.handleMetrics))
+	return s, nil
+}
+
+// projectID derives the short stable resource ID from a full content
+// fingerprint.
+func projectID(fingerprint string) string {
+	return fingerprint[:corpus.IDLen]
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// BeginDrain flips the server into lame-duck mode: every subsequent
+// request is answered 503 + Retry-After, while requests already in flight
+// run to completion. Idempotent. Pair it with http.Server.Shutdown, which
+// waits for the in-flight set to drain (the SIGTERM sequence in
+// cmd/schemaevod).
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Analyses returns the number of actual pipeline executions the submit
+// path performed (duplicate submissions collapsed by the singleflight
+// group or served from the result store do not count).
+func (s *Server) Analyses() int64 { return s.analyses.Load() }
+
+// InFlight returns the number of requests currently being served.
+func (s *Server) InFlight() int64 { return s.inflight.Load() }
+
+// statusWriter captures the response status for telemetry.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// wrap is the per-endpoint middleware: the drain gate, the per-request
+// deadline, and telemetry (request counter, latency histogram, in-flight
+// occupancy, one span per request).
+func (s *Server) wrap(name string, h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	stage := s.tel.Stage("http." + name)
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			w.Header().Set("Retry-After", s.retryAfterSeconds())
+			writeError(w, http.StatusServiceUnavailable, "server is draining", nil)
+			return
+		}
+		timeout := s.cfg.RequestTimeout
+		if timeout <= 0 {
+			timeout = 30 * time.Second
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), timeout)
+		defer cancel()
+
+		s.inflight.Add(1)
+		stage.Enter()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		begin := time.Now()
+		h(sw, r.WithContext(ctx))
+		busy := time.Since(begin)
+		stage.Exit()
+		s.inflight.Add(-1)
+		failed := sw.status >= 500
+		stage.Observe(0, busy, failed)
+		s.tel.RecordSpan(r.Method+" "+r.URL.Path, "http."+name, begin, busy, failed)
+	}
+}
+
+// retryAfterSeconds renders the configured backoff hint as whole seconds
+// (minimum 1, the header's granularity).
+func (s *Server) retryAfterSeconds() string {
+	d := s.cfg.RetryAfter
+	if d <= 0 {
+		d = time.Second
+	}
+	secs := int(d / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
+// handleSubmit is POST /v1/projects: accept a DDL commit history
+// (vcs.Repo JSON), analyze it through the pipeline — deduplicated by
+// content fingerprint, memoized in the result store, bounded by the
+// worker semaphore — and return the pattern-study result.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	maxBody := s.cfg.MaxBodyBytes
+	if maxBody <= 0 {
+		maxBody = 32 << 20
+	}
+	var repo vcs.Repo
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody))
+	if err := dec.Decode(&repo); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid repository JSON: "+err.Error(), nil)
+		return
+	}
+	if err := repo.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error(), nil)
+		return
+	}
+
+	fingerprint := pipeline.Fingerprint(&repo)
+	id := projectID(fingerprint)
+	if data, ok := s.store.get(id); ok {
+		s.tel.CacheHit(int64(len(data)))
+		res, err := pipeline.DecodeResult(data)
+		if err == nil {
+			w.Header().Set("X-Cache", "hit")
+			writeJSON(w, http.StatusOK, buildProjectWire(id, res.Project, res.History, res.Measures, s.scheme))
+			return
+		}
+		// An undecodable store entry is impossible short of memory
+		// corruption; treat it as a miss and recompute.
+	}
+	s.tel.CacheMiss()
+
+	val, err, shared := s.flight.Do(fingerprint, func() (any, error) {
+		return s.analyze(r.Context(), &repo, fingerprint)
+	})
+	if err != nil {
+		s.writeSubmitError(w, err)
+		return
+	}
+	res := val.(*pipeline.CachedResult)
+	cacheState := "miss"
+	if shared {
+		cacheState = "coalesced"
+	}
+	w.Header().Set("X-Cache", cacheState)
+	writeJSON(w, http.StatusOK, buildProjectWire(id, res.Project, res.History, res.Measures, s.scheme))
+}
+
+// failServer is the degradation taxonomy bucket for faults injected at
+// the handler path itself (site "server.submit"), as opposed to the
+// pipeline's own parse/assemble/metrics/timeout/panic kinds.
+const failServer = pipeline.FailureKind("server")
+
+// handlerDegradation builds the single-project degradation report a
+// handler-path incident attaches to its 500 body.
+func handlerDegradation(project string, kind pipeline.FailureKind, msg string) *pipeline.DegradationReport {
+	return &pipeline.DegradationReport{
+		Projects: 1,
+		ByKind:   map[pipeline.FailureKind]int{kind: 1},
+		Failures: []pipeline.ProjectFailure{{Project: project, Kind: kind, Error: msg}},
+	}
+}
+
+// analysisError carries a failed run's degradation report to the error
+// body.
+type analysisError struct {
+	err error
+	rep *pipeline.DegradationReport
+}
+
+func (e *analysisError) Error() string { return e.err.Error() }
+func (e *analysisError) Unwrap() error { return e.err }
+
+// analyze is the singleflight leader's body: acquire a worker slot (or
+// report saturation), apply handler-path chaos, run the pipeline, and
+// memoize the encoded result.
+func (s *Server) analyze(ctx context.Context, repo *vcs.Repo, fingerprint string) (v any, err error) {
+	// Double-check the store under flight leadership: a caller that
+	// missed the store, then became leader only after a previous leader
+	// for the same content completed, must serve the memoized result —
+	// never a second pipeline run.
+	if data, ok := s.store.get(projectID(fingerprint)); ok {
+		if res, derr := pipeline.DecodeResult(data); derr == nil {
+			return res, nil
+		}
+	}
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		return nil, errSaturated
+	}
+	defer func() { <-s.sem }()
+
+	// The handler-path fault site: errors and panics become attributed
+	// 500s with a degradation report; delays stall cooperatively (they
+	// respect the request deadline via ctx).
+	defer func() {
+		if r := recover(); r != nil {
+			err = &analysisError{
+				err: fmt.Errorf("analysis panicked: %v", r),
+				rep: handlerDegradation(repo.Name, pipeline.FailPanic, fmt.Sprint(r)),
+			}
+		}
+	}()
+	switch s.cfg.Fault.At("server.submit", repo.Name) {
+	case faultinject.KindErr:
+		ferr := &faultinject.Error{Site: "server.submit", Key: repo.Name}
+		return nil, &analysisError{err: ferr, rep: handlerDegradation(repo.Name, failServer, ferr.Error())}
+	case faultinject.KindPanic:
+		panic(fmt.Sprintf("faultinject: server.submit (%s)", repo.Name))
+	case faultinject.KindDelay:
+		s.cfg.Fault.Sleep(ctx)
+	}
+
+	exec := s.tel.Stage("analyze.exec")
+	exec.Enter()
+	begin := time.Now()
+	res, stats, aerr := pipeline.AnalyzeRepo(ctx, repo, pipeline.Options{
+		CacheDir:  s.cfg.CacheDir,
+		Scheme:    s.cfg.Scheme,
+		Fault:     s.cfg.Fault,
+		Telemetry: s.tel,
+	})
+	busy := time.Since(begin)
+	exec.Exit()
+	exec.Observe(0, busy, aerr != nil)
+	s.analyses.Add(1)
+	if aerr != nil {
+		return nil, &analysisError{err: aerr, rep: stats.Degradation}
+	}
+
+	cached := &pipeline.CachedResult{
+		Fingerprint: fingerprint,
+		Project:     repo.Name,
+		History:     res.History,
+		Measures:    res.Measures,
+	}
+	s.store.put(projectID(fingerprint), pipeline.EncodeResult(cached))
+	return cached, nil
+}
+
+// writeSubmitError maps an analysis failure to its status code and body.
+func (s *Server) writeSubmitError(w http.ResponseWriter, err error) {
+	if errors.Is(err, errSaturated) {
+		w.Header().Set("Retry-After", s.retryAfterSeconds())
+		writeError(w, http.StatusTooManyRequests, errSaturated.Error(), nil)
+		return
+	}
+	var ae *analysisError
+	if errors.As(err, &ae) {
+		status := http.StatusInternalServerError
+		if errors.Is(ae.err, context.DeadlineExceeded) {
+			status = http.StatusGatewayTimeout
+		}
+		writeError(w, status, ae.err.Error(), ae.rep)
+		return
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		writeError(w, http.StatusGatewayTimeout, err.Error(), nil)
+		return
+	}
+	writeError(w, http.StatusInternalServerError, err.Error(), nil)
+}
+
+// handleProject is GET /v1/projects/{id}: the result store first (any
+// previously submitted history), then the corpus index (preloaded
+// projects), else 404. Responses are byte-identical to the submit
+// response for the same content.
+func (s *Server) handleProject(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if data, ok := s.store.get(id); ok {
+		s.tel.CacheHit(int64(len(data)))
+		if res, err := pipeline.DecodeResult(data); err == nil {
+			w.Header().Set("X-Cache", "hit")
+			writeJSON(w, http.StatusOK, buildProjectWire(id, res.Project, res.History, res.Measures, s.scheme))
+			return
+		}
+	}
+	s.tel.CacheMiss()
+	if p, ok := s.index.Lookup(id); ok && p.Analyzed {
+		w.Header().Set("X-Cache", "corpus")
+		writeJSON(w, http.StatusOK, buildProjectWire(id, p.Name, p.History, p.Measures, s.scheme))
+		return
+	}
+	writeError(w, http.StatusNotFound, "unknown project id "+id, nil)
+}
+
+// handleCorpusStats is GET /v1/corpus/stats (pre-rendered at startup).
+func (s *Server) handleCorpusStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(s.statsBody)
+}
+
+// handleCorpusPatterns is GET /v1/corpus/patterns (pre-rendered at
+// startup).
+func (s *Server) handleCorpusPatterns(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(s.patternsBody)
+}
+
+// healthzWire is the GET /healthz body.
+type healthzWire struct {
+	Status   string `json:"status"`
+	Projects int    `json:"projects"`
+}
+
+// handleHealthz is GET /healthz: liveness plus the corpus size. (While
+// draining, the drain gate answers 503 before this handler runs — load
+// balancers stop routing on the status flip.)
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, healthzWire{Status: "ok", Projects: s.corpus.Len()})
+}
+
+// handleMetrics is GET /metrics: the run's telemetry report JSON
+// (schema_version'd; see internal/telemetry). The report's cache block
+// aggregates the in-memory result store and, when configured, the
+// pipeline's disk cache.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.tel.WriteJSON(w); err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error(), nil)
+	}
+}

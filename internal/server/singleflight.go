@@ -1,0 +1,48 @@
+package server
+
+import "sync"
+
+// flightGroup is a minimal singleflight: concurrent Do calls with the
+// same key share one execution of fn; late arrivals block on the leader
+// and receive its result. Zero-dependency by design (the module vendors
+// nothing), and narrower than x/sync/singleflight: no forget, no async
+// channel form — the submit handler needs exactly duplicate-collapse.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+// flightCall is one in-flight execution.
+type flightCall struct {
+	done chan struct{}
+	val  any
+	err  error
+	dups int
+}
+
+// Do executes fn once per concurrent set of callers sharing key. It
+// returns fn's result, and shared reports whether this caller received a
+// leader's result instead of executing fn itself.
+func (g *flightGroup) Do(key string, fn func() (any, error)) (val any, err error, shared bool) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = map[string]*flightCall{}
+	}
+	if c, ok := g.calls[key]; ok {
+		c.dups++
+		g.mu.Unlock()
+		<-c.done
+		return c.val, c.err, true
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.val, c.err, false
+}
