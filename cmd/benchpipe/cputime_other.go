@@ -1,0 +1,9 @@
+//go:build !unix
+
+package main
+
+import "time"
+
+// processCPUTime is unavailable on this platform; callers treat zero as
+// "no CPU-time measurement" and fall back to wall clock.
+func processCPUTime() time.Duration { return 0 }

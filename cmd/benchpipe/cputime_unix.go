@@ -1,0 +1,20 @@
+//go:build unix
+
+package main
+
+import (
+	"syscall"
+	"time"
+)
+
+// processCPUTime returns the CPU time (user + system) consumed by the
+// process so far. Deltas around a timed region give a throughput measure
+// that co-tenant load on a shared machine cannot distort, which is what
+// the -check regression gate compares.
+func processCPUTime() time.Duration {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return time.Duration(ru.Utime.Nano() + ru.Stime.Nano())
+}

@@ -11,16 +11,28 @@
 //   - pipeline-cold: the staged pipeline with an empty result cache
 //   - pipeline-warm: the staged pipeline with a fully warm result cache
 //
+// Beside wall time, every variant records its allocation trajectory
+// (allocs/project and bytes/project, measured over the timed runs), so the
+// BENCH artifact captures memory cost, not just speed.
+//
 // Usage:
 //
 //	benchpipe                      # seed 1, 3 runs, writes BENCH_pipeline.json
 //	benchpipe -seed 7 -runs 5 -out bench.json
 //	benchpipe -telemetry           # run with telemetry collection enabled
+//	benchpipe -cpuprofile cpu.pb.gz -memprofile mem.pb.gz
+//	benchpipe -check               # regression gate against BENCH_pipeline.json
 //
 // With -telemetry every timed variant carries a live telemetry collector,
 // so the JSON additionally records each variant's per-stage breakdown —
 // and comparing best_ns against a -telemetry=false run measures the
 // telemetry overhead itself (the CI smoke does exactly that).
+//
+// With -check, no JSON is written: the sequential variant is re-measured
+// on the baseline file's seed and the process exits non-zero when
+// throughput regressed more than -tolerance (default 10%) below the
+// committed baseline, or when allocs/project grew beyond the same
+// tolerance. This is the CI bench-regression gate.
 package main
 
 import (
@@ -31,6 +43,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"schemaevo/internal/corpus"
@@ -49,6 +62,18 @@ type result struct {
 	// SpeedupVsSequential is wall-clock sequential time over this
 	// variant's time (higher is better; 1.0 for sequential itself).
 	SpeedupVsSequential float64 `json:"speedup_vs_sequential"`
+	// CPUNs and ProjectsPerCPUSec are the best run measured in process CPU
+	// time (user+system) instead of wall clock. CPU time is insensitive to
+	// co-tenant load on shared machines, so the -check regression gate
+	// compares these when the baseline records them. Zero when the platform
+	// cannot measure CPU time.
+	CPUNs             int64   `json:"cpu_ns,omitempty"`
+	ProjectsPerCPUSec float64 `json:"projects_per_cpu_sec,omitempty"`
+	// AllocsPerProject and BytesPerProject are the heap allocation count
+	// and allocated bytes per analyzed project, averaged over the timed
+	// runs (corpus generation excluded).
+	AllocsPerProject float64 `json:"allocs_per_project"`
+	BytesPerProject  float64 `json:"bytes_per_project"`
 	// CacheHitRate is hits/(hits+misses) of the variant's last timed run
 	// (0 for the cacheless variants).
 	CacheHitRate float64 `json:"cache_hit_rate"`
@@ -70,17 +95,70 @@ type report struct {
 	Results     []result       `json:"results"`
 	WarmStats   pipeline.Stats `json:"warm_cache_stats"`
 	Note        string         `json:"note,omitempty"`
+	// Previous summarizes the artifact this run replaced (same file, prior
+	// recording), so the before/after trajectory of a performance change is
+	// readable from the artifact alone.
+	Previous *priorSummary `json:"previous,omitempty"`
+}
+
+// priorResult is the headline slice of one replaced variant entry.
+type priorResult struct {
+	Name              string  `json:"name"`
+	ProjectsPerSec    float64 `json:"projects_per_sec"`
+	ProjectsPerCPUSec float64 `json:"projects_per_cpu_sec,omitempty"`
+	AllocsPerProject  float64 `json:"allocs_per_project,omitempty"`
+}
+
+// priorSummary preserves the replaced artifact's headline numbers.
+type priorSummary struct {
+	Date    string        `json:"date"`
+	Seed    int64         `json:"seed"`
+	Results []priorResult `json:"results"`
+}
+
+// summarizePrior reads the artifact about to be replaced and trims it to
+// its headline numbers; a missing or unreadable file yields nil.
+func summarizePrior(path string) *priorSummary {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	var old report
+	if err := json.Unmarshal(data, &old); err != nil || len(old.Results) == 0 {
+		return nil
+	}
+	p := &priorSummary{Date: old.Date, Seed: old.Seed}
+	for _, r := range old.Results {
+		p.Results = append(p.Results, priorResult{
+			Name:              r.Name,
+			ProjectsPerSec:    r.ProjectsPerSec,
+			ProjectsPerCPUSec: r.ProjectsPerCPUSec,
+			AllocsPerProject:  r.AllocsPerProject,
+		})
+	}
+	return p
 }
 
 func main() {
 	var (
-		seed = flag.Int64("seed", 1, "corpus generator seed")
-		runs = flag.Int("runs", 3, "repetitions per variant (best run is reported)")
-		out  = flag.String("out", "BENCH_pipeline.json", "output JSON path")
-		tele = flag.Bool("telemetry", false, "attach a telemetry collector to every timed run (records stage breakdowns; compare best_ns with a plain run to measure overhead)")
+		seed       = flag.Int64("seed", 1, "corpus generator seed")
+		runs       = flag.Int("runs", 3, "repetitions per variant (best run is reported)")
+		out        = flag.String("out", "BENCH_pipeline.json", "output JSON path")
+		tele       = flag.Bool("telemetry", false, "attach a telemetry collector to every timed run (records stage breakdowns; compare best_ns with a plain run to measure overhead)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the timed variants to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile (taken after the timed variants) to this file")
+		check      = flag.Bool("check", false, "regression gate: re-measure the sequential variant and fail if it regressed vs the -out baseline")
+		tolerance  = flag.Float64("tolerance", 0.10, "with -check, the fractional regression allowed before failing")
 	)
 	flag.Parse()
-	if err := run(*seed, *runs, *out, *tele); err != nil {
+	if *check {
+		if err := runCheck(*out, *runs, *tolerance); err != nil {
+			fmt.Fprintln(os.Stderr, "benchpipe:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*seed, *runs, *out, *tele, *cpuprofile, *memprofile); err != nil {
 		fmt.Fprintln(os.Stderr, "benchpipe:", err)
 		os.Exit(1)
 	}
@@ -96,36 +174,54 @@ func freshCorpus(seed int64) (*corpus.Corpus, error) {
 type variantOutcome struct {
 	stats pipeline.Stats
 	tel   *telemetry.Collector
+	// allocsPerRun and bytesPerRun are the mean heap allocations and bytes
+	// per timed run (mallocs/total-alloc deltas around fn only).
+	allocsPerRun float64
+	bytesPerRun  float64
 }
 
 // measure times fn over runs repetitions of the corpus analysis and
-// returns the best wall-clock duration plus the last run's outcome. With
-// withTel, every run carries a fresh telemetry collector (its cost is thus
-// included in the timing — the point of the overhead comparison).
-func measure(seed int64, runs int, withTel bool, fn func(*corpus.Corpus, *telemetry.Collector) (pipeline.Stats, error)) (time.Duration, variantOutcome, error) {
-	best := time.Duration(0)
+// returns the best wall-clock duration, the best CPU-time duration (zero
+// when unmeasurable), and the last run's outcome. With withTel, every run
+// carries a fresh telemetry collector (its cost is thus included in the
+// timing — the point of the overhead comparison).
+func measure(seed int64, runs int, withTel bool, fn func(*corpus.Corpus, *telemetry.Collector) (pipeline.Stats, error)) (time.Duration, time.Duration, variantOutcome, error) {
+	best, bestCPU := time.Duration(0), time.Duration(0)
 	var last variantOutcome
+	var totalAllocs, totalBytes uint64
+	var ms0, ms1 runtime.MemStats
 	for i := 0; i < runs; i++ {
 		c, err := freshCorpus(seed)
 		if err != nil {
-			return 0, last, err
+			return 0, 0, last, err
 		}
 		if withTel {
 			last.tel = telemetry.New()
 		}
+		runtime.ReadMemStats(&ms0)
+		cpu0 := processCPUTime()
 		start := time.Now()
 		if last.stats, err = fn(c, last.tel); err != nil {
-			return 0, last, err
+			return 0, 0, last, err
 		}
 		elapsed := time.Since(start)
+		cpu := processCPUTime() - cpu0
+		runtime.ReadMemStats(&ms1)
+		totalAllocs += ms1.Mallocs - ms0.Mallocs
+		totalBytes += ms1.TotalAlloc - ms0.TotalAlloc
 		if best == 0 || elapsed < best {
 			best = elapsed
 		}
+		if cpu > 0 && (bestCPU == 0 || cpu < bestCPU) {
+			bestCPU = cpu
+		}
 	}
-	return best, last, nil
+	last.allocsPerRun = float64(totalAllocs) / float64(runs)
+	last.bytesPerRun = float64(totalBytes) / float64(runs)
+	return best, bestCPU, last, nil
 }
 
-func run(seed int64, runs int, out string, withTel bool) error {
+func run(seed int64, runs int, out string, withTel bool, cpuprofile, memprofile string) error {
 	probe, err := freshCorpus(seed)
 	if err != nil {
 		return err
@@ -188,16 +284,43 @@ func run(seed int64, runs int, out string, withTel bool) error {
 		return err
 	}
 
+	if cpuprofile != "" {
+		f, err := os.Create(cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	durations := map[string]time.Duration{}
+	cpuDurations := map[string]time.Duration{}
 	outcomes := map[string]variantOutcome{}
 	for _, v := range variants {
-		d, oc, err := measure(seed, runs, withTel, v.fn)
+		d, cpu, oc, err := measure(seed, runs, withTel, v.fn)
 		if err != nil {
 			return fmt.Errorf("%s: %w", v.name, err)
 		}
 		durations[v.name] = d
+		cpuDurations[v.name] = cpu
 		outcomes[v.name] = oc
-		fmt.Printf("%-14s %12v  (%.0f projects/sec)\n", v.name, d, float64(n)/d.Seconds())
+		fmt.Printf("%-14s %12v  (%.0f projects/sec, %.0f allocs/project)\n",
+			v.name, d, float64(n)/d.Seconds(), oc.allocsPerRun/float64(n))
+	}
+
+	if memprofile != "" {
+		f, err := os.Create(memprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+			return err
+		}
 	}
 
 	seq := durations["sequential"]
@@ -210,6 +333,12 @@ func run(seed int64, runs int, out string, withTel bool) error {
 			BestMs:              float64(d.Nanoseconds()) / 1e6,
 			ProjectsPerSec:      float64(n) / d.Seconds(),
 			SpeedupVsSequential: seq.Seconds() / d.Seconds(),
+			AllocsPerProject:    oc.allocsPerRun / float64(n),
+			BytesPerProject:     oc.bytesPerRun / float64(n),
+		}
+		if cpu := cpuDurations[v.name]; cpu > 0 {
+			r.CPUNs = cpu.Nanoseconds()
+			r.ProjectsPerCPUSec = float64(n) / cpu.Seconds()
 		}
 		if probes := oc.stats.CacheHits + oc.stats.CacheMisses; probes > 0 {
 			r.CacheHitRate = float64(oc.stats.CacheHits) / float64(probes)
@@ -231,6 +360,7 @@ func run(seed int64, runs int, out string, withTel bool) error {
 		return err
 	}
 
+	rep.Previous = summarizePrior(out)
 	data, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
 		return err
@@ -239,5 +369,65 @@ func run(seed int64, runs int, out string, withTel bool) error {
 		return err
 	}
 	fmt.Printf("\nwrote %s (warm cache: %d/%d hits)\n", out, rep.WarmStats.CacheHits, rep.WarmStats.Projects)
+	return nil
+}
+
+// runCheck is the CI regression gate: it re-measures the sequential
+// variant on the baseline's seed and compares against the committed
+// numbers. Throughput may not drop, nor allocations grow, by more than
+// the tolerance fraction.
+func runCheck(baselinePath string, runs int, tolerance float64) error {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("reading baseline: %w", err)
+	}
+	var base report
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", baselinePath, err)
+	}
+	var baseSeq *result
+	for i := range base.Results {
+		if base.Results[i].Name == "sequential" {
+			baseSeq = &base.Results[i]
+		}
+	}
+	if baseSeq == nil {
+		return fmt.Errorf("baseline %s has no sequential entry", baselinePath)
+	}
+
+	probe, err := freshCorpus(base.Seed)
+	if err != nil {
+		return err
+	}
+	n := probe.Len()
+	d, cpu, oc, err := measure(base.Seed, runs, false, func(c *corpus.Corpus, _ *telemetry.Collector) (pipeline.Stats, error) {
+		return pipeline.Stats{}, c.Analyze(quantize.DefaultScheme())
+	})
+	if err != nil {
+		return err
+	}
+	// Prefer CPU-time throughput when both the baseline and this machine
+	// measure it: wall clock on shared CI runners swings with co-tenant
+	// load, while CPU seconds per project track only the code.
+	gotPPS := float64(n) / d.Seconds()
+	basePPS, clock := baseSeq.ProjectsPerSec, "wall"
+	if baseSeq.ProjectsPerCPUSec > 0 && cpu > 0 {
+		gotPPS = float64(n) / cpu.Seconds()
+		basePPS, clock = baseSeq.ProjectsPerCPUSec, "cpu"
+	}
+	gotAllocs := oc.allocsPerRun / float64(n)
+	fmt.Printf("sequential (%s clock): baseline %.0f projects/sec, now %.0f (%.2fx); baseline %.0f allocs/project, now %.0f\n",
+		clock, basePPS, gotPPS, gotPPS/basePPS, baseSeq.AllocsPerProject, gotAllocs)
+	if gotPPS < basePPS*(1-tolerance) {
+		return fmt.Errorf("throughput regression: %.0f projects/sec (%s clock) is more than %.0f%% below the baseline %.0f",
+			gotPPS, clock, tolerance*100, basePPS)
+	}
+	// Allocation budgets only gate once the baseline records them (older
+	// artifacts carry zero); CPU-noise tolerance applies equally.
+	if baseSeq.AllocsPerProject > 0 && gotAllocs > baseSeq.AllocsPerProject*(1+tolerance) {
+		return fmt.Errorf("allocation regression: %.0f allocs/project is more than %.0f%% above the baseline %.0f",
+			gotAllocs, tolerance*100, baseSeq.AllocsPerProject)
+	}
+	fmt.Println("bench check ok")
 	return nil
 }

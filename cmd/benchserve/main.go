@@ -69,6 +69,37 @@ type report struct {
 	// PipelineRuns is the server's execution counter after both phases;
 	// it must equal Projects — warm traffic never recomputes.
 	PipelineRuns int64 `json:"pipeline_runs"`
+	// Previous summarizes the artifact this run replaced, so the
+	// before/after trajectory of a performance change is readable from the
+	// artifact alone.
+	Previous *priorSummary `json:"previous,omitempty"`
+}
+
+// priorSummary preserves the replaced artifact's headline numbers.
+type priorSummary struct {
+	Date              string  `json:"date"`
+	Seed              int64   `json:"seed"`
+	Phases            []phase `json:"phases"`
+	SpeedupWarmVsCold float64 `json:"speedup_warm_vs_cold"`
+}
+
+// summarizePrior reads the artifact about to be replaced and trims it to
+// its headline numbers; a missing or unreadable file yields nil.
+func summarizePrior(path string) *priorSummary {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	var old report
+	if err := json.Unmarshal(data, &old); err != nil || len(old.Phases) == 0 {
+		return nil
+	}
+	return &priorSummary{
+		Date:              old.Date,
+		Seed:              old.Seed,
+		Phases:            old.Phases,
+		SpeedupWarmVsCold: old.SpeedupWarmVsCold,
+	}
 }
 
 func main() {
@@ -242,6 +273,7 @@ func run(projects, conc, rounds int, seed int64, out string, check bool) error {
 		rep.SpeedupWarmVsCold = rep.Phases[0].P50Us / rep.Phases[1].P50Us
 	}
 
+	rep.Previous = summarizePrior(out)
 	data, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
 		return err

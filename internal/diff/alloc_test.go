@@ -1,0 +1,38 @@
+package diff
+
+import (
+	"testing"
+
+	"schemaevo/internal/schema"
+)
+
+// Allocation budget for the per-version diff. With pooled name scratch and
+// the copy-on-write pointer fast path, diffing two versions that share
+// most tables allocates only the Delta itself plus the per-changed-table
+// maps — a budget, not an exact count, so leaner is fine and a jump is a
+// regression.
+func TestAllocBudgetDiffTwoSchemas(t *testing.T) {
+	oldS, _ := schema.ParseAndBuild(`
+CREATE TABLE users (id INT PRIMARY KEY, name TEXT, email TEXT);
+CREATE TABLE orgs (id INT PRIMARY KEY, title TEXT);
+CREATE TABLE audit (id INT PRIMARY KEY, entry TEXT, at TIMESTAMP);
+`)
+	// The common reconstruction shape: the new version shares two tables
+	// pointer-identically (copy-on-write) and changes one.
+	newS := oldS.CloneCOW()
+	changed, _ := schema.ParseAndBuild(`CREATE TABLE users (id INT PRIMARY KEY, name TEXT, email TEXT, age INT);`)
+	ut, _ := changed.Table("users")
+	newS.AddTable(ut)
+
+	var d *Delta
+	allocs := testing.AllocsPerRun(200, func() {
+		d = Schemas(oldS, newS)
+	})
+	if d.Total() != 1 {
+		t.Fatalf("sanity: delta total = %d, want 1", d.Total())
+	}
+	const budget = 12
+	if allocs > budget {
+		t.Errorf("diffing two mostly-shared schemas: %.1f allocs/run, budget %d", allocs, budget)
+	}
+}

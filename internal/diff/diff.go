@@ -10,6 +10,7 @@ package diff
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"schemaevo/internal/schema"
 )
@@ -115,19 +116,35 @@ func (d *Delta) add(table, attr string, kind ChangeKind) {
 	}
 }
 
+// scratch holds the per-call name buffers of Schemas, pooled so the hot
+// per-version diff allocates only its result.
+type scratch struct {
+	oldNames, newNames []string
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
 // Schemas computes the delta from old to new. Either argument may be nil,
 // meaning the empty schema (so Schemas(nil, s) measures schema birth).
 // Tables and attributes are matched by name; a rename therefore counts as
 // deletion plus addition, matching snapshot-based extraction from real
 // histories.
+//
+// Tables that are pointer-identical in both schemas — the common case
+// under copy-on-write reconstruction — are skipped without comparing a
+// single column.
 func Schemas(old, new *schema.Schema) *Delta {
 	d := &Delta{}
-	oldTables := tableMap(old)
-	newTables := tableMap(new)
+	sc := scratchPool.Get().(*scratch)
+	newNames := sortedTableNames(new, sc.newNames[:0])
+	oldNames := sortedTableNames(old, sc.oldNames[:0])
 
-	for _, name := range sortedNames(newTables) {
-		nt := newTables[name]
-		ot, existed := oldTables[name]
+	for i, name := range newNames {
+		if i > 0 && name == newNames[i-1] {
+			continue // duplicate order entry (rename collision)
+		}
+		nt, _ := tableOf(new, name)
+		ot, existed := tableOf(old, name)
 		if !existed {
 			d.TablesAdded = append(d.TablesAdded, name)
 			for _, c := range nt.Columns {
@@ -135,18 +152,45 @@ func Schemas(old, new *schema.Schema) *Delta {
 			}
 			continue
 		}
+		if ot == nt {
+			continue
+		}
 		diffTable(d, ot, nt)
 	}
-	for _, name := range sortedNames(oldTables) {
-		if _, survives := newTables[name]; !survives {
+	for i, name := range oldNames {
+		if i > 0 && name == oldNames[i-1] {
+			continue
+		}
+		if _, survives := tableOf(new, name); !survives {
 			d.TablesDropped = append(d.TablesDropped, name)
-			ot := oldTables[name]
+			ot, _ := tableOf(old, name)
 			for _, c := range ot.Columns {
 				d.add(name, c.Name, DeletedWithTable)
 			}
 		}
 	}
+	sc.oldNames, sc.newNames = oldNames[:0], newNames[:0]
+	scratchPool.Put(sc)
 	return d
+}
+
+func tableOf(s *schema.Schema, name string) (*schema.Table, bool) {
+	if s == nil {
+		return nil, false
+	}
+	return s.Table(name)
+}
+
+// sortedTableNames appends s's table names to buf and sorts them; the
+// result may contain duplicates when the insertion order does (callers
+// skip adjacent repeats).
+func sortedTableNames(s *schema.Schema, buf []string) []string {
+	if s == nil {
+		return buf
+	}
+	buf = s.AppendTableNames(buf)
+	sort.Strings(buf)
+	return buf
 }
 
 // diffTable diffs one surviving table. Each attribute is counted at most
@@ -179,8 +223,12 @@ func diffTable(d *Delta, ot, nt *schema.Table) {
 }
 
 // keyMembership encodes each column's participation in the primary key
-// and in foreign keys as a compact comparable value.
+// and in foreign keys as a compact comparable value. A table with no keys
+// yields nil (lookups on a nil map read as zero).
 func keyMembership(t *schema.Table) map[string]uint8 {
+	if len(t.PrimaryKey) == 0 && len(t.ForeignKeys) == 0 {
+		return nil
+	}
 	m := make(map[string]uint8, len(t.Columns))
 	for _, c := range t.PrimaryKey {
 		m[c] |= 1
@@ -193,30 +241,10 @@ func keyMembership(t *schema.Table) map[string]uint8 {
 	return m
 }
 
-func tableMap(s *schema.Schema) map[string]*schema.Table {
-	m := make(map[string]*schema.Table)
-	if s == nil {
-		return m
-	}
-	for _, t := range s.Tables() {
-		m[t.Name] = t
-	}
-	return m
-}
-
 func columnMap(t *schema.Table) map[string]*schema.Column {
 	m := make(map[string]*schema.Column, len(t.Columns))
 	for i := range t.Columns {
 		m[t.Columns[i].Name] = &t.Columns[i]
 	}
 	return m
-}
-
-func sortedNames(m map[string]*schema.Table) []string {
-	out := make([]string, 0, len(m))
-	for name := range m {
-		out = append(out, name)
-	}
-	sort.Strings(out)
-	return out
 }

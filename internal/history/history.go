@@ -104,8 +104,21 @@ type ParsedVersion struct {
 
 // ParseVersions parses every snapshot of the given DDL file into a logical
 // schema. This is the CPU-heavy stage of history reconstruction (lexing,
-// parsing, schema building); it carries no cross-version state.
+// parsing, schema building). Snapshots are reconstructed incrementally —
+// each version reuses the parse and schema work of its predecessor where
+// the statement prefix is unchanged — with results identical to a full
+// per-version rebuild (see schema.Reconstructor).
 func ParseVersions(r *vcs.Repo, path string) ([]ParsedVersion, error) {
+	rc := schema.AcquireReconstructor()
+	defer schema.ReleaseReconstructor(rc)
+	return ParseVersionsWith(rc, r, path)
+}
+
+// ParseVersionsWith is ParseVersions running on a caller-provided
+// reconstructor, letting pipeline workers reuse one reconstructor's
+// buffers and intern table across many projects. Per-project caches are
+// reset on entry.
+func ParseVersionsWith(rc *schema.Reconstructor, r *vcs.Repo, path string) ([]ParsedVersion, error) {
 	if err := r.Validate(); err != nil {
 		return nil, err
 	}
@@ -113,14 +126,19 @@ func ParseVersions(r *vcs.Repo, path string) ([]ParsedVersion, error) {
 	if len(fileVersions) == 0 {
 		return nil, fmt.Errorf("history: repo %q has no versions of %q", r.Name, path)
 	}
+	rc.ResetProject()
 	out := make([]ParsedVersion, 0, len(fileVersions))
 	for _, fv := range fileVersions {
 		pv := ParsedVersion{Time: fv.Time}
 		if fv.Deleted {
 			pv.Schema = schema.New()
+			rc.ResetFile() // chain broken: next content starts from scratch
 		} else {
-			pv.Schema, pv.Notes = schema.ParseAndBuild(fv.Content)
+			pv.Schema, pv.Notes = rc.Build(fv.Content)
 		}
+		// Published versions share table storage; seal each snapshot so a
+		// stray mutation cannot corrupt a sibling version.
+		pv.Schema.Seal()
 		out = append(out, pv)
 	}
 	return out, nil

@@ -263,6 +263,9 @@ func decSchema(d *dec) *schema.Schema {
 		}
 		s.AddTable(t)
 	}
+	// Decoded snapshots are published artifacts, sealed exactly like the
+	// freshly computed ones they must be indistinguishable from.
+	s.Seal()
 	return s
 }
 

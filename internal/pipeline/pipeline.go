@@ -38,6 +38,7 @@ import (
 	"schemaevo/internal/history"
 	"schemaevo/internal/metrics"
 	"schemaevo/internal/quantize"
+	"schemaevo/internal/schema"
 	"schemaevo/internal/telemetry"
 	"schemaevo/internal/vcs"
 )
@@ -223,8 +224,10 @@ func Run(ctx context.Context, c *corpus.Corpus, opts Options) (Stats, error) {
 		return nil
 	}
 
-	// Stage 1: fingerprint/cache probe and snapshot parsing.
-	parse := func(j *job) {
+	// Stage 1: fingerprint/cache probe and snapshot parsing. The parse
+	// work runs on the worker's own reconstructor, so one worker's whole
+	// job stream shares parser buffers and an intern table.
+	parse := func(j *job, ws *workerScratch) {
 		if err := inject("pipeline.parse", j); err != nil {
 			fail(j, FailParse, err)
 			return
@@ -246,7 +249,9 @@ func Run(ctx context.Context, c *corpus.Corpus, opts Options) (Stats, error) {
 			fail(j, FailParse, fmt.Errorf("history: repo %q has no DDL file", j.p.Repo.Name))
 			return
 		}
-		parsed, err := history.ParseVersions(j.p.Repo, j.ddlPath)
+		rc, release := ws.reconstructor()
+		defer release()
+		parsed, err := history.ParseVersionsWith(rc, j.p.Repo, j.ddlPath)
 		if err != nil {
 			fail(j, FailParse, err)
 			return
@@ -255,7 +260,7 @@ func Run(ctx context.Context, c *corpus.Corpus, opts Options) (Stats, error) {
 	}
 
 	// Stage 2: history assembly (diffing, heartbeats).
-	assemble := func(j *job) {
+	assemble := func(j *job, _ *workerScratch) {
 		if err := inject("pipeline.assemble", j); err != nil {
 			fail(j, FailAssemble, err)
 			return
@@ -268,7 +273,7 @@ func Run(ctx context.Context, c *corpus.Corpus, opts Options) (Stats, error) {
 	}
 
 	// Stage 3: measures, validation, cache write-back, labels, commit.
-	measure := func(j *job) {
+	measure := func(j *job, _ *workerScratch) {
 		if err := inject("pipeline.metrics", j); err != nil {
 			fail(j, FailMetrics, err)
 			return
@@ -380,15 +385,46 @@ type stageExec struct {
 	col     *telemetry.Collector
 }
 
-func (e stageExec) named(name string, fn func(*job)) stage {
+func (e stageExec) named(name string, fn func(*job, *workerScratch)) stage {
 	return stage{name: name, fn: fn, timeout: e.timeout, fail: e.fail, col: e.col, tel: e.col.Stage(name)}
+}
+
+// workerScratch is the per-worker arena of a stage pool: state one worker
+// goroutine reuses across every job it processes, so steady-state stage
+// work stops allocating per project. It is owned by exactly one goroutine
+// at a time and must never be shared with an abandonable goroutine (see
+// stage.run).
+type workerScratch struct {
+	rc *schema.Reconstructor
+}
+
+// reconstructor returns the worker's reconstructor and a release func.
+// With a nil receiver (no worker affinity: the deadline watchdog may
+// abandon the running goroutine and reuse the worker, so worker state
+// cannot be lent out) it falls back to a pooled per-call instance.
+func (ws *workerScratch) reconstructor() (*schema.Reconstructor, func()) {
+	if ws != nil {
+		if ws.rc == nil {
+			ws.rc = schema.AcquireReconstructor()
+		}
+		return ws.rc, func() {}
+	}
+	rc := schema.AcquireReconstructor()
+	return rc, func() { schema.ReleaseReconstructor(rc) }
+}
+
+func (ws *workerScratch) release() {
+	if ws.rc != nil {
+		schema.ReleaseReconstructor(ws.rc)
+		ws.rc = nil
+	}
 }
 
 // stage is one pool's unit of execution: the stage function wrapped in
 // panic recovery and (when configured) the per-project deadline watchdog.
 type stage struct {
 	name    string
-	fn      func(*job)
+	fn      func(*job, *workerScratch)
 	timeout time.Duration
 	fail    func(*job, FailureKind, error)
 	// col and tel are nil when telemetry is off; the worker loop gates all
@@ -400,13 +436,13 @@ type stage struct {
 // invoke runs the stage function under panic isolation: a panicking
 // project becomes an attributed failure of that project, never a crashed
 // process.
-func (s stage) invoke(j *job) {
+func (s stage) invoke(j *job, ws *workerScratch) {
 	defer func() {
 		if r := recover(); r != nil {
 			s.fail(j, FailPanic, fmt.Errorf("%s stage: panic: %v\n%s", s.name, r, debug.Stack()))
 		}
 	}()
-	s.fn(j)
+	s.fn(j, ws)
 }
 
 // run executes the stage for one job. Without a timeout it runs inline.
@@ -417,9 +453,9 @@ func (s stage) invoke(j *job) {
 // while the stray goroutine finishes in the background against a job
 // nobody reads — the commit gate in the metrics stage keeps it from ever
 // publishing to the Project.
-func (s stage) run(j *job) *job {
+func (s stage) run(j *job, ws *workerScratch) *job {
 	if s.timeout <= 0 {
-		s.invoke(j)
+		s.invoke(j, ws)
 		return j
 	}
 	if j.deadline.IsZero() {
@@ -428,7 +464,10 @@ func (s stage) run(j *job) *job {
 	finished := make(chan struct{})
 	go func() {
 		defer close(finished)
-		s.invoke(j)
+		// The goroutine may outlive the watchdog's abandonment while the
+		// worker moves on to the next job, so it must not borrow the
+		// worker's scratch: nil routes it to pooled per-call state.
+		s.invoke(j, nil)
 	}()
 	timer := time.NewTimer(time.Until(j.deadline))
 	defer timer.Stop()
@@ -458,12 +497,14 @@ func startStage(workers int, in <-chan *job, out chan<- *job, ctx context.Contex
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			ws := &workerScratch{}
+			defer ws.release()
 			for j := range in {
 				if j.err == nil && ctx.Err() == nil {
 					if s.tel == nil {
-						j = s.run(j)
+						j = s.run(j, ws)
 					} else {
-						j = s.observed(j)
+						j = s.observed(j, ws)
 					}
 				}
 				if s.tel != nil {
@@ -482,14 +523,14 @@ func startStage(workers int, in <-chan *job, out chan<- *job, ctx context.Contex
 // observed wraps run with the stage's telemetry: queue wait (time since the
 // job became eligible), occupancy, the per-job duration histogram, and one
 // trace span. Only called when telemetry is on.
-func (s stage) observed(j *job) *job {
+func (s stage) observed(j *job, ws *workerScratch) *job {
 	var wait time.Duration
 	if !j.readyAt.IsZero() {
 		wait = time.Since(j.readyAt)
 	}
 	s.tel.Enter()
 	begin := time.Now()
-	j = s.run(j)
+	j = s.run(j, ws)
 	busy := time.Since(begin)
 	s.tel.Exit()
 	failed := j.err != nil

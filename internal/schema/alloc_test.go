@@ -1,0 +1,50 @@
+package schema
+
+import "testing"
+
+// Allocation budgets for incremental version application. The dominant
+// per-version costs under reconstruction are (a) re-building an unchanged
+// version — a copy-on-write clone resolved entirely from caches — and
+// (b) extending the previous version by one statement. Both must stay
+// within a small constant number of allocations regardless of how the
+// statements are phrased, because every allocation here is paid per
+// version per project across the whole corpus.
+
+const allocV1 = `
+CREATE TABLE users (id INT PRIMARY KEY, name TEXT, email TEXT);
+CREATE TABLE orgs (id INT PRIMARY KEY, title TEXT);
+`
+
+const allocV2 = allocV1 + `ALTER TABLE users ADD COLUMN created_at TIMESTAMP;`
+
+func TestAllocBudgetApplyUnchangedVersion(t *testing.T) {
+	rc := NewReconstructor()
+	rc.Build(allocV2) // warm: caches populated, chain established
+	rc.Build(allocV2)
+	allocs := testing.AllocsPerRun(200, func() {
+		rc.Build(allocV2)
+	})
+	// Re-building an unchanged version is a COW clone: the schema header,
+	// its table map and order slice, and the copied note slice headers.
+	const budget = 8
+	if allocs > budget {
+		t.Errorf("re-building an unchanged version: %.1f allocs/run, budget %d", allocs, budget)
+	}
+}
+
+func TestAllocBudgetApplyOneVersion(t *testing.T) {
+	rc := NewReconstructor()
+	rc.Build(allocV1)
+	rc.Build(allocV2) // warm both versions' statements and protos
+	allocs := testing.AllocsPerRun(200, func() {
+		rc.Build(allocV1) // rewind the chain (full rebuild, all cache hits)
+		rc.Build(allocV2) // then extend it by one ALTER statement
+	})
+	// Two versions per run: the rebuilt base (schema + shared prototypes)
+	// plus the incremental extension (COW clone + one cloned table for the
+	// ALTER's copy-on-write).
+	const budget = 24
+	if allocs > budget {
+		t.Errorf("rebuilding base + applying one version: %.1f allocs/run, budget %d", allocs, budget)
+	}
+}

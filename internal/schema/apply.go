@@ -2,6 +2,7 @@ package schema
 
 import (
 	"fmt"
+	"strings"
 
 	"schemaevo/internal/sqlddl"
 )
@@ -77,14 +78,28 @@ func (s *Schema) applyCreateTable(idx int, ct *sqlddl.CreateTable) []Note {
 		}
 		notes = append(notes, Note{idx, "CREATE TABLE " + ct.Name + ": replacing existing definition"})
 	}
+	t, msgs := buildCreateTable(ct)
+	for _, m := range msgs {
+		notes = append(notes, Note{idx, m})
+	}
+	s.AddTable(t)
+	return notes
+}
+
+// buildCreateTable materializes the logical table a CREATE TABLE statement
+// defines, plus the messages for per-column anomalies. The result depends
+// only on the statement — not on schema state — which is what lets the
+// incremental reconstructor cache tables per AST node.
+func buildCreateTable(ct *sqlddl.CreateTable) (*Table, []string) {
 	t := &Table{Name: ct.Name}
+	var msgs []string
 	var pk []string
 	for _, cd := range ct.Columns {
 		// Real engines reject duplicate column names; tolerate the file by
 		// keeping the first definition, so that name-based lookups (and the
 		// differ) see one column per name.
 		if _, exists := t.Column(cd.Name); exists {
-			notes = append(notes, Note{idx, "CREATE TABLE " + ct.Name + ": duplicate column " + cd.Name})
+			msgs = append(msgs, "CREATE TABLE "+ct.Name+": duplicate column "+cd.Name)
 			continue
 		}
 		col := columnFromDef(cd)
@@ -106,14 +121,15 @@ func (s *Schema) applyCreateTable(idx int, ct *sqlddl.CreateTable) []Note {
 		case sqlddl.ForeignKeyConstraint:
 			t.ForeignKeys = append(t.ForeignKeys, fkFromRef(c.Name, c.Columns, c.Ref))
 		case sqlddl.UniqueConstraint:
-			t.Uniques = append(t.Uniques, c.Columns)
+			// Copy: the table's key lists are mutated on column renames, and
+			// they must never alias the (cached, shared) AST.
+			t.Uniques = append(t.Uniques, copySlice(c.Columns))
 		}
 	}
 	if len(pk) > 0 {
 		t.setPrimaryKey(pk)
 	}
-	s.AddTable(t)
-	return notes
+	return t, msgs
 }
 
 func columnFromDef(cd sqlddl.ColumnDef) Column {
@@ -146,18 +162,22 @@ func fkFromRef(name string, cols []string, ref *sqlddl.FKRef) ForeignKey {
 // syntheticFKName derives a stable name for anonymous foreign keys so
 // they can be matched across versions.
 func syntheticFKName(fk ForeignKey) string {
-	return "fk_" + joinNames(fk.Columns) + "_" + fk.RefTable
-}
-
-func joinNames(names []string) string {
-	out := ""
-	for i, n := range names {
-		if i > 0 {
-			out += "_"
-		}
-		out += n
+	n := len("fk_") + len(fk.RefTable) + 1
+	for _, c := range fk.Columns {
+		n += len(c) + 1
 	}
-	return out
+	var sb strings.Builder
+	sb.Grow(n)
+	sb.WriteString("fk_")
+	for i, c := range fk.Columns {
+		if i > 0 {
+			sb.WriteByte('_')
+		}
+		sb.WriteString(c)
+	}
+	sb.WriteByte('_')
+	sb.WriteString(fk.RefTable)
+	return sb.String()
 }
 
 func (s *Schema) applyAlterTable(idx int, at *sqlddl.AlterTable) []Note {
@@ -168,6 +188,7 @@ func (s *Schema) applyAlterTable(idx int, at *sqlddl.AlterTable) []Note {
 		}
 		return []Note{{idx, "ALTER TABLE " + at.Name + ": no such table"}}
 	}
+	t = s.writable(t)
 	var notes []Note
 	for _, act := range at.Actions {
 		notes = append(notes, s.applyAlteration(idx, t, act)...)
@@ -265,7 +286,8 @@ func applyAddConstraint(t *Table, c *sqlddl.TableConstraint) {
 	case sqlddl.ForeignKeyConstraint:
 		t.ForeignKeys = append(t.ForeignKeys, fkFromRef(c.Name, c.Columns, c.Ref))
 	case sqlddl.UniqueConstraint:
-		t.Uniques = append(t.Uniques, c.Columns)
+		// Copy: key lists are renamed in place and must not alias the AST.
+		t.Uniques = append(t.Uniques, copySlice(c.Columns))
 	}
 }
 

@@ -1,7 +1,6 @@
 package schema
 
 import (
-	"fmt"
 	"strings"
 )
 
@@ -11,6 +10,9 @@ import (
 // quoted only when necessary.
 func (s *Schema) Emit() string {
 	var sb strings.Builder
+	// Rough per-attribute footprint of the rendered script; avoids the
+	// builder's doubling churn on large schemas.
+	sb.Grow(64*s.TableCount() + 48*s.AttributeCount())
 	for i, t := range s.Tables() {
 		if i > 0 {
 			sb.WriteByte('\n')
@@ -21,13 +23,15 @@ func (s *Schema) Emit() string {
 }
 
 func emitTable(sb *strings.Builder, t *Table) {
-	fmt.Fprintf(sb, "CREATE TABLE %s (\n", quoteIdent(t.Name))
+	sb.WriteString("CREATE TABLE ")
+	writeQuotedIdent(sb, t.Name)
+	sb.WriteString(" (\n")
 	for i, c := range t.Columns {
 		if i > 0 {
 			sb.WriteString(",\n")
 		}
 		sb.WriteString("  ")
-		sb.WriteString(quoteIdent(c.Name))
+		writeQuotedIdent(sb, c.Name)
 		if c.Type != "" {
 			sb.WriteByte(' ')
 			sb.WriteString(c.Type)
@@ -48,39 +52,63 @@ func emitTable(sb *strings.Builder, t *Table) {
 		}
 	}
 	if len(t.PrimaryKey) > 0 {
-		fmt.Fprintf(sb, ",\n  PRIMARY KEY (%s)", quoteList(t.PrimaryKey))
+		sb.WriteString(",\n  PRIMARY KEY (")
+		writeQuotedList(sb, t.PrimaryKey)
+		sb.WriteByte(')')
 	}
 	for _, u := range t.Uniques {
-		fmt.Fprintf(sb, ",\n  UNIQUE (%s)", quoteList(u))
+		sb.WriteString(",\n  UNIQUE (")
+		writeQuotedList(sb, u)
+		sb.WriteByte(')')
 	}
 	for _, fk := range t.ForeignKeys {
 		sb.WriteString(",\n  ")
 		if fk.Name != "" && !strings.HasPrefix(fk.Name, "fk_") {
-			fmt.Fprintf(sb, "CONSTRAINT %s ", quoteIdent(fk.Name))
+			sb.WriteString("CONSTRAINT ")
+			writeQuotedIdent(sb, fk.Name)
+			sb.WriteByte(' ')
 		}
-		fmt.Fprintf(sb, "FOREIGN KEY (%s) REFERENCES %s", quoteList(fk.Columns), quoteIdent(fk.RefTable))
+		sb.WriteString("FOREIGN KEY (")
+		writeQuotedList(sb, fk.Columns)
+		sb.WriteString(") REFERENCES ")
+		writeQuotedIdent(sb, fk.RefTable)
 		if len(fk.RefColumns) > 0 {
-			fmt.Fprintf(sb, " (%s)", quoteList(fk.RefColumns))
+			sb.WriteString(" (")
+			writeQuotedList(sb, fk.RefColumns)
+			sb.WriteByte(')')
 		}
 	}
 	sb.WriteString("\n);\n")
 }
 
-func quoteList(names []string) string {
-	out := make([]string, len(names))
+// writeQuotedList writes a comma-separated identifier list straight into
+// the builder, quoting each name only as needed.
+func writeQuotedList(sb *strings.Builder, names []string) {
 	for i, n := range names {
-		out[i] = quoteIdent(n)
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		writeQuotedIdent(sb, n)
 	}
-	return strings.Join(out, ", ")
 }
 
-// quoteIdent wraps an identifier in double quotes when it is not a plain
-// lower-case SQL name (the form the parser normalizes unquoted names to).
-func quoteIdent(name string) string {
+// writeQuotedIdent writes an identifier into the builder, wrapping it in
+// double quotes when it is not a plain lower-case SQL name (the form the
+// parser normalizes unquoted names to).
+func writeQuotedIdent(sb *strings.Builder, name string) {
 	if plainIdent(name) {
-		return name
+		sb.WriteString(name)
+		return
 	}
-	return `"` + strings.ReplaceAll(name, `"`, `""`) + `"`
+	sb.WriteByte('"')
+	for i := 0; i < len(name); i++ {
+		if name[i] == '"' {
+			sb.WriteString(`""`)
+		} else {
+			sb.WriteByte(name[i])
+		}
+	}
+	sb.WriteByte('"')
 }
 
 func plainIdent(name string) bool {

@@ -45,6 +45,9 @@ type Table struct {
 	ForeignKeys []ForeignKey
 	// Uniques lists unique constraints as column-name lists.
 	Uniques [][]string
+	// shared marks a table referenced by more than one snapshot (see
+	// Schema.CloneCOW); the apply path clones it before any mutation.
+	shared bool
 }
 
 // Column returns the column with the given name and whether it exists.
@@ -66,21 +69,39 @@ func (t *Table) ColumnNames() []string {
 	return out
 }
 
+// copySlice returns an owned copy of s, preserving nil-ness (the cache
+// codec encodes nil and empty slices distinctly, so clones must not
+// collapse one into the other).
+func copySlice[E any](s []E) []E {
+	if s == nil {
+		return nil
+	}
+	out := make([]E, len(s))
+	copy(out, s)
+	return out
+}
+
 // Clone returns a deep copy of the table.
 func (t *Table) Clone() *Table {
 	ct := &Table{Name: t.Name}
-	ct.Columns = append([]Column(nil), t.Columns...)
-	ct.PrimaryKey = append([]string(nil), t.PrimaryKey...)
-	for _, fk := range t.ForeignKeys {
-		ct.ForeignKeys = append(ct.ForeignKeys, ForeignKey{
-			Name:       fk.Name,
-			Columns:    append([]string(nil), fk.Columns...),
-			RefTable:   fk.RefTable,
-			RefColumns: append([]string(nil), fk.RefColumns...),
-		})
+	ct.Columns = copySlice(t.Columns)
+	ct.PrimaryKey = copySlice(t.PrimaryKey)
+	if t.ForeignKeys != nil {
+		ct.ForeignKeys = make([]ForeignKey, len(t.ForeignKeys))
+		for i, fk := range t.ForeignKeys {
+			ct.ForeignKeys[i] = ForeignKey{
+				Name:       fk.Name,
+				Columns:    copySlice(fk.Columns),
+				RefTable:   fk.RefTable,
+				RefColumns: copySlice(fk.RefColumns),
+			}
+		}
 	}
-	for _, u := range t.Uniques {
-		ct.Uniques = append(ct.Uniques, append([]string(nil), u...))
+	if t.Uniques != nil {
+		ct.Uniques = make([][]string, len(t.Uniques))
+		for i, u := range t.Uniques {
+			ct.Uniques[i] = copySlice(u)
+		}
 	}
 	return ct
 }
@@ -140,6 +161,19 @@ func (s *Schema) Tables() []*Table {
 	return out
 }
 
+// AppendTableNames appends the table names in insertion order to buf and
+// returns it, allocating only when buf lacks capacity. Names can repeat
+// if a rename collided with an existing table; set-like callers must
+// dedupe.
+func (s *Schema) AppendTableNames(buf []string) []string {
+	for _, name := range s.order {
+		if _, ok := s.tables[name]; ok {
+			buf = append(buf, name)
+		}
+	}
+	return buf
+}
+
 // TableNames returns the sorted table names.
 func (s *Schema) TableNames() []string {
 	out := make([]string, 0, len(s.tables))
@@ -179,6 +213,7 @@ func (s *Schema) renameTable(old, new string) bool {
 	if !ok {
 		return false
 	}
+	t = s.writable(t)
 	delete(s.tables, old)
 	t.Name = new
 	s.tables[new] = t
@@ -191,6 +226,18 @@ func (s *Schema) renameTable(old, new string) bool {
 	return true
 }
 
+// writable returns a table of s that is safe to mutate, cloning it first
+// (and swapping the clone into the schema) when the table is shared with
+// another snapshot.
+func (s *Schema) writable(t *Table) *Table {
+	if !t.shared {
+		return t
+	}
+	c := t.Clone()
+	s.tables[t.Name] = c
+	return c
+}
+
 // Clone returns a deep copy of the schema.
 func (s *Schema) Clone() *Schema {
 	c := New()
@@ -198,6 +245,31 @@ func (s *Schema) Clone() *Schema {
 		if t, ok := s.tables[name]; ok {
 			c.AddTable(t.Clone())
 		}
+	}
+	return c
+}
+
+// Seal marks every table of the schema as shared, so any later mutation
+// through the apply path clones the table instead of writing in place.
+// Published snapshots (completed analyses, cache decodes) are sealed:
+// consecutive versions of a history share table storage, and writing
+// through one snapshot would silently corrupt its siblings.
+func (s *Schema) Seal() {
+	for _, t := range s.tables {
+		t.shared = true
+	}
+}
+
+// CloneCOW returns a snapshot that shares table storage with the
+// receiver. Tables become copy-on-write in both schemas: the first
+// mutation through either schema's apply path clones the affected table,
+// so unchanged tables stay pointer-identical across versions (which the
+// differ exploits). Use Clone for a fully independent deep copy.
+func (s *Schema) CloneCOW() *Schema {
+	c := &Schema{tables: make(map[string]*Table, len(s.tables)), order: copySlice(s.order)}
+	for name, t := range s.tables {
+		t.shared = true
+		c.tables[name] = t
 	}
 	return c
 }

@@ -21,6 +21,9 @@ type Lexer struct {
 	pos  int
 	line int
 	col  int
+	// scratch backs the unescaping slow path of string and quoted-identifier
+	// tokens; the common escape-free case slices src directly instead.
+	scratch []byte
 }
 
 // NewLexer returns a lexer over src.
@@ -183,56 +186,109 @@ func (lx *Lexer) lexNumber(line, col int) Token {
 
 // lexString scans a single-quoted literal honouring both the SQL-standard
 // doubled-quote escape ('it”s') and the MySQL backslash escape ('it\'s').
+// Escape-free literals — the overwhelmingly common case — are returned as
+// zero-copy slices of the source.
 func (lx *Lexer) lexString(line, col int) Token {
 	lx.advance() // opening quote
-	var sb strings.Builder
+	start := lx.pos
+	for lx.pos < len(lx.src) {
+		switch lx.src[lx.pos] {
+		case '\'':
+			if lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '\'' {
+				return lx.lexStringSlow(start, line, col)
+			}
+			text := lx.src[start:lx.pos]
+			lx.advance() // closing quote
+			return Token{Kind: String, Text: text, Line: line, Col: col}
+		case '\\':
+			return lx.lexStringSlow(start, line, col)
+		}
+		lx.advance()
+	}
+	// Unterminated literal: return what we have; the parser will likely
+	// hit EOF and abandon the statement.
+	return Token{Kind: String, Text: lx.src[start:], Line: line, Col: col}
+}
+
+// lexStringSlow finishes a single-quoted literal that contains escapes,
+// unescaping into the lexer's scratch buffer.
+func (lx *Lexer) lexStringSlow(start, line, col int) Token {
+	buf := append(lx.scratch[:0], lx.src[start:lx.pos]...)
+	defer func() { lx.scratch = buf[:0] }()
 	for lx.pos < len(lx.src) {
 		c := lx.advance()
 		switch c {
 		case '\'':
 			if lx.peek() == '\'' {
 				lx.advance()
-				sb.WriteByte('\'')
+				buf = append(buf, '\'')
 				continue
 			}
-			return Token{Kind: String, Text: sb.String(), Line: line, Col: col}
+			return Token{Kind: String, Text: string(buf), Line: line, Col: col}
 		case '\\':
 			if lx.pos < len(lx.src) {
-				sb.WriteByte(lx.advance())
+				buf = append(buf, lx.advance())
 				continue
 			}
-			sb.WriteByte(c)
+			buf = append(buf, c)
 		default:
-			sb.WriteByte(c)
+			buf = append(buf, c)
 		}
 	}
-	// Unterminated literal: return what we have; the parser will likely
-	// hit EOF and abandon the statement.
-	return Token{Kind: String, Text: sb.String(), Line: line, Col: col}
+	return Token{Kind: String, Text: string(buf), Line: line, Col: col}
 }
 
 func (lx *Lexer) lexQuoted(open, close byte, line, col int) Token {
 	lx.advance() // opening delimiter
-	var sb strings.Builder
+	start := lx.pos
+	for lx.pos < len(lx.src) {
+		if lx.src[lx.pos] == close {
+			// Doubled closing delimiter escapes it inside the name.
+			if lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == close {
+				return lx.lexQuotedSlow(start, close, line, col)
+			}
+			text := lx.src[start:lx.pos]
+			lx.advance() // closing delimiter
+			return Token{Kind: QuotedIdent, Text: text, Line: line, Col: col}
+		}
+		lx.advance()
+	}
+	return Token{Kind: QuotedIdent, Text: lx.src[start:], Line: line, Col: col}
+}
+
+// lexQuotedSlow finishes a quoted identifier containing doubled-delimiter
+// escapes.
+func (lx *Lexer) lexQuotedSlow(start int, close byte, line, col int) Token {
+	buf := append(lx.scratch[:0], lx.src[start:lx.pos]...)
+	defer func() { lx.scratch = buf[:0] }()
 	for lx.pos < len(lx.src) {
 		c := lx.advance()
 		if c == close {
-			// Doubled closing delimiter escapes it inside the name.
 			if lx.peek() == close {
 				lx.advance()
-				sb.WriteByte(close)
+				buf = append(buf, close)
 				continue
 			}
-			return Token{Kind: QuotedIdent, Text: sb.String(), Line: line, Col: col}
+			return Token{Kind: QuotedIdent, Text: string(buf), Line: line, Col: col}
 		}
-		sb.WriteByte(c)
+		buf = append(buf, c)
 	}
-	return Token{Kind: QuotedIdent, Text: sb.String(), Line: line, Col: col}
+	return Token{Kind: QuotedIdent, Text: string(buf), Line: line, Col: col}
 }
+
+// opTexts maps a single operator byte to its string without allocating;
+// entries match what string(rune(b)) would produce.
+var opTexts = func() [256]string {
+	var t [256]string
+	for i := range t {
+		t[i] = string(rune(i))
+	}
+	return t
+}()
 
 func (lx *Lexer) lexOp(line, col int) Token {
 	c := lx.advance()
-	text := string(c)
+	text := opTexts[c]
 	two := func(next byte) bool {
 		if lx.peek() == next {
 			lx.advance()

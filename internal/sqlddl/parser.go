@@ -14,51 +14,40 @@ import (
 )
 
 // Parse parses a DDL script. It never returns an error: per-statement
-// failures are reported in Script.Errors.
+// failures are reported in Script.Errors. The whole script is lexed in a
+// single pass through a pooled session; see Session for the allocation
+// discipline.
 func Parse(src string) *Script {
-	script := &Script{}
-	for i, text := range SplitStatements(src) {
-		stmt, err := parseStatement(i, text)
-		if err != nil {
-			script.Errors = append(script.Errors, err)
-			continue
-		}
-		if stmt != nil {
-			script.Statements = append(script.Statements, stmt)
-		}
-	}
-	return script
+	s := AcquireSession()
+	defer ReleaseSession(s)
+	return s.ParseScript(src)
 }
 
 // ParseStatement parses a single statement (no trailing semicolon
 // required). It returns a nil Statement for empty input.
 func ParseStatement(text string) (Statement, error) {
-	stmt, err := parseStatement(0, text)
-	if err != nil {
-		return nil, err
+	s := AcquireSession()
+	defer ReleaseSession(s)
+	lx := Lexer{src: text, line: 1, col: 1, scratch: s.lx.scratch}
+	toks := s.toks[:0]
+	for {
+		t := lx.Next()
+		toks = append(toks, t)
+		if t.Kind == EOF {
+			break
+		}
+	}
+	s.toks = toks
+	s.lx.scratch = lx.scratch
+	stmt, perr := s.parseTokens(toks, 0, text)
+	if perr != nil {
+		return nil, perr
 	}
 	return stmt, nil
 }
 
-func parseStatement(idx int, text string) (stmt Statement, perr *ParseError) {
-	toks := Tokenize(text)
-	if len(toks) == 1 { // just EOF
-		return nil, nil
-	}
-	p := &parser{toks: toks, stmtIdx: idx, text: text}
-	defer func() {
-		if r := recover(); r != nil {
-			e, ok := r.(*ParseError)
-			if !ok {
-				panic(r)
-			}
-			stmt, perr = nil, e
-		}
-	}()
-	return p.parse(), nil
-}
-
 type parser struct {
+	sess    *Session
 	toks    []Token
 	pos     int
 	stmtIdx int
@@ -66,6 +55,19 @@ type parser struct {
 	// pending accumulates extra alterations produced while parsing one
 	// action (MySQL "ADD (c1 t1, c2 t2)" grouped adds).
 	pending []Alteration
+	typeBuf []byte // scratch for assembling data-type spellings
+	scratch []byte // scratch for parenthesized raw fragments
+}
+
+// reset prepares the parser for one statement's token window, reusing its
+// scratch buffers across statements.
+func (p *parser) reset(s *Session, toks []Token, idx int, text string) {
+	p.sess = s
+	p.toks = toks
+	p.pos = 0
+	p.stmtIdx = idx
+	p.text = text
+	p.pending = p.pending[:0]
 }
 
 func (p *parser) cur() Token { return p.toks[p.pos] }
@@ -135,7 +137,7 @@ func (p *parser) ident() string {
 		p.fail("expected identifier")
 	}
 	p.next()
-	name := identValue(t)
+	name := p.identValue(t)
 	for p.cur().Kind == Dot {
 		p.next()
 		t = p.cur()
@@ -143,16 +145,19 @@ func (p *parser) ident() string {
 			p.fail("expected identifier after '.'")
 		}
 		p.next()
-		name = identValue(t)
+		name = p.identValue(t)
 	}
 	return name
 }
 
-func identValue(t Token) string {
+// identValue normalizes one identifier token: quoted names keep their
+// exact spelling, unquoted names are lower-cased. Both are interned in the
+// session so repeated names share storage and compare pointer-first.
+func (p *parser) identValue(t Token) string {
 	if t.Kind == QuotedIdent {
-		return t.Text
+		return p.sess.intern(t.Text)
 	}
-	return strings.ToLower(t.Text)
+	return p.sess.internLower(t.Text)
 }
 
 func (p *parser) parse() Statement {
@@ -270,19 +275,19 @@ func (p *parser) constraintLeader() bool {
 	if t.Kind != Ident {
 		return false
 	}
-	switch strings.ToLower(t.Text) {
-	case "constraint", "foreign", "check", "exclude":
+	switch {
+	case t.Match("constraint"), t.Match("foreign"), t.Match("check"), t.Match("exclude"):
 		return true
-	case "primary":
+	case t.Match("primary"):
 		return p.peek().Match("key")
-	case "unique":
+	case t.Match("unique"):
 		// UNIQUE (cols) / UNIQUE KEY name (cols) at table level; a column
 		// named "unique" would be quoted.
 		return p.peek().Kind == LParen || p.peek().Match("key") || p.peek().Match("index") || p.peek().IsIdent()
-	case "key", "index":
+	case t.Match("key"), t.Match("index"):
 		// KEY name (cols) — MySQL secondary index inside CREATE TABLE.
 		return p.peek().IsIdent() || p.peek().Kind == LParen
-	case "fulltext", "spatial":
+	case t.Match("fulltext"), t.Match("spatial"):
 		return true
 	}
 	return false
@@ -460,43 +465,77 @@ var typeSuffixWords = map[string]bool{
 	"zone": true, "local": true, "large": true, "object": true,
 }
 
+// isTypeSuffixWord reports whether the identifier text names a type suffix
+// word, folding ASCII case without allocating.
+func isTypeSuffixWord(t string) bool {
+	if len(t) > len("precision") {
+		return false
+	}
+	var b [len("precision")]byte
+	for i := 0; i < len(t); i++ {
+		c := t[i]
+		if c >= 0x80 {
+			return false
+		}
+		if 'A' <= c && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		b[i] = c
+	}
+	return typeSuffixWords[string(b[:len(t)])]
+}
+
+// appendLowerIdent appends the ASCII-lower-cased identifier text; inputs
+// with non-ASCII bytes fall back to full Unicode folding.
+func appendLowerIdent(buf []byte, t string) []byte {
+	for i := 0; i < len(t); i++ {
+		if t[i] >= 0x80 {
+			return append(buf, strings.ToLower(t)...)
+		}
+	}
+	for i := 0; i < len(t); i++ {
+		c := t[i]
+		if 'A' <= c && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		buf = append(buf, c)
+	}
+	return buf
+}
+
 // parseType consumes a data type: leading identifier(s), optional
 // parenthesized arguments, optional suffix words (e.g. "timestamp with
-// time zone", "double precision", "int(11) unsigned").
+// time zone", "double precision", "int(11) unsigned"). The spelling is
+// assembled in parser scratch and interned, so repeated types across a
+// corpus share one string.
 func (p *parser) parseType() string {
-	var parts []string
-	parts = append(parts, strings.ToLower(p.expectIdentText()))
+	buf := p.typeBuf[:0]
+	buf = appendLowerIdent(buf, p.expectIdentText())
 	// "character varying", "double precision" — second word before args.
-	for p.cur().Kind == Ident && typeSuffixWords[strings.ToLower(p.cur().Text)] {
-		parts = append(parts, strings.ToLower(p.next().Text))
+	for p.cur().Kind == Ident && isTypeSuffixWord(p.cur().Text) {
+		buf = append(buf, ' ')
+		buf = appendLowerIdent(buf, p.next().Text)
 	}
 	if p.cur().Kind == LParen {
-		parts = append(parts, "("+p.parenRawInner()+")")
+		buf = append(buf, '(')
+		buf = p.parenRawInnerBuf(buf)
+		buf = append(buf, ')')
 	}
-	for p.cur().Kind == Ident && typeSuffixWords[strings.ToLower(p.cur().Text)] {
-		parts = append(parts, strings.ToLower(p.next().Text))
+	for p.cur().Kind == Ident && isTypeSuffixWord(p.cur().Text) {
+		buf = append(buf, ' ')
+		buf = appendLowerIdent(buf, p.next().Text)
 	}
 	// Array suffix: "integer[]" lexes the empty brackets as an empty
 	// quoted identifier; "integer ARRAY" is the spelled-out form.
 	for p.cur().Kind == QuotedIdent && p.cur().Text == "" {
 		p.next()
-		parts = append(parts, "array")
+		buf = append(buf, " array"...)
 	}
 	if p.accept("array") {
-		parts = append(parts, "array")
+		buf = append(buf, " array"...)
 	}
-	return joinType(parts)
-}
-
-func joinType(parts []string) string {
-	var sb strings.Builder
-	for i, part := range parts {
-		if i > 0 && !strings.HasPrefix(part, "(") {
-			sb.WriteByte(' ')
-		}
-		sb.WriteString(part)
-	}
-	return sb.String()
+	p.typeBuf = buf[:0]
+	return p.sess.internBytes(buf)
 }
 
 func (p *parser) expectIdentText() string {
@@ -516,9 +555,17 @@ func (p *parser) parenRaw() string {
 
 // parenRawInner consumes "(" ... ")" and returns the inner text.
 func (p *parser) parenRawInner() string {
+	buf := p.parenRawInnerBuf(p.scratch[:0])
+	p.scratch = buf[:0]
+	return string(buf)
+}
+
+// parenRawInnerBuf consumes "(" ... ")" and appends the inner text
+// (space-separated token spellings) to buf.
+func (p *parser) parenRawInnerBuf(buf []byte) []byte {
 	p.expectKind(LParen)
-	var sb strings.Builder
 	depth := 1
+	mark := len(buf)
 	for {
 		t := p.cur()
 		if t.Kind == EOF {
@@ -531,19 +578,33 @@ func (p *parser) parenRawInner() string {
 			depth--
 			if depth == 0 {
 				p.next()
-				return sb.String()
+				return buf
 			}
 		}
-		if sb.Len() > 0 {
-			sb.WriteByte(' ')
+		if len(buf) > mark {
+			buf = append(buf, ' ')
 		}
 		if t.Kind == String {
-			sb.WriteString(QuoteString(t.Text))
+			buf = appendQuoteString(buf, t.Text)
 		} else {
-			sb.WriteString(t.Text)
+			buf = append(buf, t.Text...)
 		}
 		p.next()
 	}
+}
+
+// appendQuoteString appends v as a SQL single-quoted literal, doubling
+// embedded quotes — the byte-for-byte equivalent of QuoteString.
+func appendQuoteString(buf []byte, v string) []byte {
+	buf = append(buf, '\'')
+	for i := 0; i < len(v); i++ {
+		if v[i] == '\'' {
+			buf = append(buf, '\'', '\'')
+			continue
+		}
+		buf = append(buf, v[i])
+	}
+	return append(buf, '\'')
 }
 
 func (p *parser) skipParens() {
@@ -668,11 +729,11 @@ func (p *parser) parseColumnConstraint(col *ColumnDef) bool {
 }
 
 func (p *parser) constraintKeyword(t Token) bool {
-	switch strings.ToLower(t.Text) {
-	case "not", "null", "default", "primary", "unique", "check", "references", "generated":
-		return t.Kind == Ident
+	if t.Kind != Ident {
+		return false
 	}
-	return false
+	return t.Match("not") || t.Match("null") || t.Match("default") || t.Match("primary") ||
+		t.Match("unique") || t.Match("check") || t.Match("references") || t.Match("generated")
 }
 
 // parseDefaultExpr consumes a default value expression: a literal, signed
@@ -725,7 +786,7 @@ func (p *parser) parseAlterTable() Statement {
 		act := p.parseAlteration()
 		at.Actions = append(at.Actions, act)
 		at.Actions = append(at.Actions, p.pending...)
-		p.pending = nil
+		p.pending = p.pending[:0]
 		if p.cur().Kind == Comma {
 			p.next()
 			continue

@@ -1,0 +1,255 @@
+package sqlddl
+
+import (
+	"strings"
+	"sync"
+)
+
+// Unit is one statement slot of a parsed script: the raw (trimmed)
+// statement text plus the parse outcome. A Unit with a nil Stmt and a nil
+// Err is a comment-only slot (the text lexes to nothing); a Unit with a
+// non-nil Err failed to parse. Unit indices match the statement indices
+// reported in ParseError.Stmt.
+type Unit struct {
+	Text string
+	Stmt Statement
+	Err  *ParseError
+}
+
+// cachedStmt is one memoized statement parse. The Stmt index inside err is
+// meaningless in the cache; it is re-stamped per script on reuse.
+type cachedStmt struct {
+	stmt Statement
+	err  *ParseError
+}
+
+// maxInterned bounds the identifier intern table of a pooled session; a
+// long-lived process parsing many corpora resets the table past this size
+// instead of growing without bound.
+const maxInterned = 1 << 16
+
+// Session is the reusable scratch state of a parse session: an identifier
+// intern table, a per-statement parse cache, and the token/parser buffers
+// the hot path would otherwise reallocate per statement.
+//
+// The statement cache makes re-parsing consecutive versions of the same
+// DDL file nearly free: version N+1 of a schema dump shares almost every
+// statement with version N byte-for-byte, and a cache hit returns the
+// previously built AST without lexing a single byte. Cached ASTs are
+// shared — holders must treat statements as immutable (schema application
+// and rendering already do).
+//
+// A Session is not safe for concurrent use. Use AcquireSession /
+// ReleaseSession to recycle sessions through a pool; Release clears the
+// statement cache (whose keys alias source text) but keeps the intern
+// table, whose entries are small owned copies that stay useful across
+// projects.
+type Session struct {
+	interned map[string]string
+	stmts    map[string]cachedStmt
+
+	lx    Lexer
+	toks  []Token
+	ends  []int // ends[i] is the byte offset just past token i
+	p     parser
+	lower []byte // scratch for lower-casing identifiers
+}
+
+// NewSession returns an empty parse session.
+func NewSession() *Session {
+	return &Session{
+		interned: make(map[string]string, 256),
+		stmts:    make(map[string]cachedStmt, 64),
+	}
+}
+
+var sessionPool = sync.Pool{New: func() any { return NewSession() }}
+
+// AcquireSession returns a session from the package pool.
+func AcquireSession() *Session { return sessionPool.Get().(*Session) }
+
+// ReleaseSession clears the session's statement cache and returns it to
+// the pool. Statements previously returned remain valid; they are simply
+// no longer cached.
+func ReleaseSession(s *Session) {
+	s.ClearCache()
+	sessionPool.Put(s)
+}
+
+// ClearCache drops the per-statement parse cache (whose keys alias the
+// parsed source) and, when the intern table has grown past its bound, the
+// intern table as well. Call between unrelated inputs to bound retention.
+func (s *Session) ClearCache() {
+	clear(s.stmts)
+	if len(s.interned) > maxInterned {
+		clear(s.interned)
+	}
+}
+
+// intern returns a canonical owned copy of t. All equal strings interned
+// through one session share backing storage, so downstream comparisons of
+// table/column names usually short-circuit on the data pointer.
+func (s *Session) intern(t string) string {
+	if v, ok := s.interned[t]; ok {
+		return v
+	}
+	v := strings.Clone(t)
+	s.interned[v] = v
+	return v
+}
+
+// internBytes is intern for a scratch byte buffer; the map probe does not
+// allocate, so only a cache miss copies.
+func (s *Session) internBytes(b []byte) string {
+	if v, ok := s.interned[string(b)]; ok {
+		return v
+	}
+	v := string(b)
+	s.interned[v] = v
+	return v
+}
+
+// internLower returns the interned lower-cased form of an unquoted
+// identifier. ASCII-only inputs take an allocation-free path; anything
+// with non-ASCII bytes falls back to the full Unicode folding the parser
+// historically applied.
+func (s *Session) internLower(t string) string {
+	hasUpper, ascii := false, true
+	for i := 0; i < len(t); i++ {
+		c := t[i]
+		if c >= 0x80 {
+			ascii = false
+			break
+		}
+		if 'A' <= c && c <= 'Z' {
+			hasUpper = true
+		}
+	}
+	if !ascii {
+		return s.intern(strings.ToLower(t))
+	}
+	if !hasUpper {
+		return s.intern(t)
+	}
+	buf := s.lower[:0]
+	for i := 0; i < len(t); i++ {
+		c := t[i]
+		if 'A' <= c && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		buf = append(buf, c)
+	}
+	s.lower = buf
+	return s.internBytes(buf)
+}
+
+// ParseUnits parses src into statement units in a single lexer pass: the
+// whole script is tokenized once, split on top-level semicolons, and each
+// unit's token window handed to the parser — or resolved from the
+// session's statement cache without re-parsing. The returned slice reuses
+// buf's storage when capacity allows.
+//
+// Unlike the historical two-pass path (SplitStatements re-lexed the text
+// it had already lexed), token positions are script-relative.
+func (s *Session) ParseUnits(src string, buf []Unit) []Unit {
+	units := buf[:0]
+	s.lx = Lexer{src: src, line: 1, col: 1, scratch: s.lx.scratch}
+	toks, ends := s.toks[:0], s.ends[:0]
+	for {
+		t := s.lx.Next()
+		toks = append(toks, t)
+		ends = append(ends, s.lx.pos)
+		if t.Kind == EOF {
+			break
+		}
+	}
+	s.toks, s.ends = toks, ends
+
+	depth := 0
+	start, lastEnd := 0, 0
+	unitTok := 0
+	flush := func(end, tokHi int) {
+		if text := strings.TrimSpace(src[start:end]); text != "" {
+			units = append(units, s.parseUnit(text, toks[unitTok:tokHi], len(units)))
+		}
+	}
+	for i := range toks {
+		switch toks[i].Kind {
+		case EOF:
+			flush(lastEnd, i+1)
+			return units
+		case LParen:
+			depth++
+		case RParen:
+			if depth > 0 {
+				depth--
+			}
+		case Semi:
+			if depth == 0 {
+				// The separator becomes this unit's EOF terminator, so the
+				// parser can run on the token window without copying.
+				toks[i] = Token{Kind: EOF, Line: toks[i].Line, Col: toks[i].Col}
+				flush(lastEnd, i+1)
+				start = ends[i]
+				unitTok = i + 1
+			}
+		}
+		lastEnd = ends[i]
+	}
+	return units
+}
+
+// parseUnit resolves one statement text against the cache, parsing and
+// memoizing on miss. idx is the unit's statement index within the script.
+func (s *Session) parseUnit(text string, toks []Token, idx int) Unit {
+	if c, ok := s.stmts[text]; ok {
+		u := Unit{Text: text, Stmt: c.stmt}
+		if c.err != nil {
+			e := *c.err
+			e.Stmt = idx
+			u.Err = &e
+		}
+		return u
+	}
+	stmt, err := s.parseTokens(toks, idx, text)
+	s.stmts[text] = cachedStmt{stmt: stmt, err: err}
+	return Unit{Text: text, Stmt: stmt, Err: err}
+}
+
+// parseTokens parses one statement from its token window (terminated by
+// an EOF token). It mirrors the historical per-statement entry point.
+func (s *Session) parseTokens(toks []Token, idx int, text string) (stmt Statement, perr *ParseError) {
+	if len(toks) == 1 { // just EOF: comments or whitespace only
+		return nil, nil
+	}
+	p := &s.p
+	p.reset(s, toks, idx, text)
+	defer func() {
+		if r := recover(); r != nil {
+			e, ok := r.(*ParseError)
+			if !ok {
+				panic(r)
+			}
+			stmt, perr = nil, e
+		}
+	}()
+	return p.parse(), nil
+}
+
+// ParseScript parses a whole DDL script through the session, collecting
+// parsed statements and per-statement errors exactly like Parse.
+func (s *Session) ParseScript(src string) *Script {
+	units := s.ParseUnits(src, nil)
+	script := &Script{}
+	for i := range units {
+		u := &units[i]
+		if u.Err != nil {
+			script.Errors = append(script.Errors, u.Err)
+			continue
+		}
+		if u.Stmt != nil {
+			script.Statements = append(script.Statements, u.Stmt)
+		}
+	}
+	return script
+}
