@@ -3,12 +3,16 @@
 // JSON, so every PR leaves a comparable serving-performance record
 // behind (the cmd/benchpipe counterpart for the service layer).
 //
-// Two phases are measured against one server process:
+// Three phases are measured:
 //
 //   - cold: every request is a first-time submission of a distinct DDL
 //     history — each one executes the full analysis pipeline;
 //   - warm: the same histories are resubmitted for several rounds — every
-//     request is answered from the LRU result store.
+//     request is answered from the result store's hot tier;
+//   - restart: the server is shut down and a fresh one is opened over the
+//     same persistent store directory; the same histories are resubmitted
+//     once — every request is answered from the recovered disk tier with
+//     zero re-analyses.
 //
 // Each phase records p50/p99/mean latency and throughput; the headline
 // ratio is cold p50 over warm p50 (the memoization win a duplicate-heavy
@@ -69,6 +73,9 @@ type report struct {
 	// PipelineRuns is the server's execution counter after both phases;
 	// it must equal Projects — warm traffic never recomputes.
 	PipelineRuns int64 `json:"pipeline_runs"`
+	// RestartRuns is the restarted server's execution counter after the
+	// restart phase; it must be 0 — recovery alone serves the set.
+	RestartRuns int64 `json:"restart_runs"`
 	// Previous summarizes the artifact this run replaced, so the
 	// before/after trajectory of a performance change is readable from the
 	// artifact alone.
@@ -224,9 +231,15 @@ func run(projects, conc, rounds int, seed int64, out string, check bool) error {
 	// sees.
 	// MaxConcurrent matches the generator's worker count: this measures
 	// request latency, not backpressure (the 429 path has its own tests).
+	storeDir, err := os.MkdirTemp("", "benchserve-store")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(storeDir)
 	srv, err := server.New(context.Background(), server.Config{
 		MaxConcurrent: conc,
 		LRUEntries:    2 * projects,
+		StoreDir:      storeDir,
 		Telemetry:     telemetry.New(),
 	})
 	if err != nil {
@@ -238,7 +251,6 @@ func run(projects, conc, rounds int, seed int64, out string, check bool) error {
 	}
 	hs := &http.Server{Handler: srv}
 	go hs.Serve(ln)
-	defer hs.Close()
 	url := "http://" + ln.Addr().String() + "/v1/projects"
 
 	client := &http.Client{Transport: &http.Transport{
@@ -254,6 +266,33 @@ func run(projects, conc, rounds int, seed int64, out string, check bool) error {
 	}
 	warmLats, warmErrs, warmElapsed := firePhase(client, url, warm, conc)
 
+	// Restart phase: tear the process-equivalent down (listener and
+	// store) and recover a fresh server from the same directory. Every
+	// resubmission must be served from the recovered disk tier.
+	hs.Close()
+	if err := srv.Close(); err != nil {
+		return err
+	}
+	srv2, err := server.New(context.Background(), server.Config{
+		MaxConcurrent: conc,
+		LRUEntries:    2 * projects,
+		StoreDir:      storeDir,
+		Telemetry:     telemetry.New(),
+	})
+	if err != nil {
+		return err
+	}
+	ln2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs2 := &http.Server{Handler: srv2}
+	go hs2.Serve(ln2)
+	defer hs2.Close()
+	defer srv2.Close()
+	url2 := "http://" + ln2.Addr().String() + "/v1/projects"
+	restartLats, restartErrs, restartElapsed := firePhase(client, url2, payloads, conc)
+
 	rep := report{
 		GeneratedBy:  "cmd/benchserve",
 		Date:         time.Now().UTC().Format("2006-01-02"),
@@ -264,9 +303,11 @@ func run(projects, conc, rounds int, seed int64, out string, check bool) error {
 		Cores:        runtime.NumCPU(),
 		GOMAXPROCS:   runtime.GOMAXPROCS(0),
 		PipelineRuns: srv.Analyses(),
+		RestartRuns:  srv2.Analyses() + srv2.Incrementals(),
 		Phases: []phase{
 			summarize("cold", coldLats, coldErrs, coldElapsed),
 			summarize("warm", warmLats, warmErrs, warmElapsed),
+			summarize("restart", restartLats, restartErrs, restartElapsed),
 		},
 	}
 	if rep.Phases[1].P50Us > 0 {
@@ -282,21 +323,26 @@ func run(projects, conc, rounds int, seed int64, out string, check bool) error {
 		return err
 	}
 	for _, p := range rep.Phases {
-		fmt.Printf("%-5s %6d reqs  p50 %8.0fµs  p99 %8.0fµs  %8.0f req/s  (%d errors)\n",
+		fmt.Printf("%-7s %6d reqs  p50 %8.0fµs  p99 %8.0fµs  %8.0f req/s  (%d errors)\n",
 			p.Name, p.Requests, p.P50Us, p.P99Us, p.RPS, p.Errors)
 	}
 	fmt.Printf("wrote %s (warm speedup %.1fx, %d pipeline runs)\n", out, rep.SpeedupWarmVsCold, rep.PipelineRuns)
 
 	if check {
 		switch {
-		case rep.Phases[0].Errors > 0 || rep.Phases[1].Errors > 0:
-			return fmt.Errorf("check: %d cold / %d warm requests failed", rep.Phases[0].Errors, rep.Phases[1].Errors)
+		case rep.Phases[0].Errors > 0 || rep.Phases[1].Errors > 0 || rep.Phases[2].Errors > 0:
+			return fmt.Errorf("check: %d cold / %d warm / %d restart requests failed",
+				rep.Phases[0].Errors, rep.Phases[1].Errors, rep.Phases[2].Errors)
 		case rep.PipelineRuns != int64(projects):
 			return fmt.Errorf("check: %d pipeline runs for %d distinct projects — warm traffic recomputed", rep.PipelineRuns, projects)
+		case rep.RestartRuns != 0:
+			return fmt.Errorf("check: restarted server ran %d analyses — recovery did not serve the persisted set", rep.RestartRuns)
 		case rep.Phases[1].P50Us >= rep.Phases[0].P50Us:
 			return fmt.Errorf("check: warm p50 %.0fµs is not below cold p50 %.0fµs", rep.Phases[1].P50Us, rep.Phases[0].P50Us)
+		case rep.Phases[2].P50Us >= rep.Phases[0].P50Us:
+			return fmt.Errorf("check: restart p50 %.0fµs is not below cold p50 %.0fµs", rep.Phases[2].P50Us, rep.Phases[0].P50Us)
 		}
-		fmt.Println("check: ok (warm p50 < cold p50, no recompute, no errors)")
+		fmt.Println("check: ok (warm and restart p50 < cold p50, no recompute, no errors)")
 	}
 	return nil
 }

@@ -11,6 +11,8 @@
 //	schemaevod -synth 151 -seed 1             # preload a synthetic corpus
 //	schemaevod -addr 127.0.0.1:0              # pick a free port (printed)
 //	schemaevod -cache /var/cache/schemaevo    # persistent result cache
+//	schemaevod -store-dir /var/lib/schemaevo  # persistent project store (survives restarts)
+//	schemaevod -store-shards 16 -hot-bytes 67108864
 //	schemaevod -max-concurrent 8 -request-timeout 10s
 //	schemaevod -fault-seed 7 -fault-rate 0.2  # chaos mode
 //
@@ -45,6 +47,9 @@ type options struct {
 	synthN         int
 	seed           int64
 	cacheDir       string
+	storeDir       string
+	storeShards    int
+	hotBytes       int64
 	maxConcurrent  int
 	requestTimeout time.Duration
 	lruEntries     int
@@ -64,6 +69,9 @@ func main() {
 	flag.IntVar(&o.synthN, "synth", 0, "preload a synthetic corpus of this many projects (0 disables; with -corpus, -corpus wins)")
 	flag.Int64Var(&o.seed, "seed", 1, "synthetic corpus generator seed (with -synth)")
 	flag.StringVar(&o.cacheDir, "cache", "", "pipeline disk-cache directory for submitted analyses (empty disables)")
+	flag.StringVar(&o.storeDir, "store-dir", "", "persistent project-store directory: submitted sources and results survive restarts (empty = memory only)")
+	flag.IntVar(&o.storeShards, "store-shards", 0, "segment-file count for a new store directory (0 = 8; existing directories keep their count)")
+	flag.Int64Var(&o.hotBytes, "hot-bytes", 0, "in-memory hot-tier byte budget (0 = 256 MiB)")
 	flag.IntVar(&o.maxConcurrent, "max-concurrent", 0, "max concurrently executing submissions before 429 (0 = 2×GOMAXPROCS)")
 	flag.DurationVar(&o.requestTimeout, "request-timeout", 30*time.Second, "per-request deadline")
 	flag.IntVar(&o.lruEntries, "lru", 1024, "in-memory result store capacity (entries)")
@@ -139,6 +147,9 @@ func run(o options) error {
 	srv, err := server.New(context.Background(), server.Config{
 		Corpus:         c,
 		CacheDir:       o.cacheDir,
+		StoreDir:       o.storeDir,
+		StoreShards:    o.storeShards,
+		HotBytes:       o.hotBytes,
 		MaxConcurrent:  o.maxConcurrent,
 		RequestTimeout: o.requestTimeout,
 		LRUEntries:     o.lruEntries,
@@ -176,9 +187,13 @@ func run(o options) error {
 		if err := hs.Shutdown(ctx); err != nil {
 			return fmt.Errorf("drain: %w", err)
 		}
+		if err := srv.Close(); err != nil {
+			return fmt.Errorf("store close: %w", err)
+		}
 		fmt.Fprintln(os.Stderr, "schemaevod: drained, exiting")
 		return nil
 	case err := <-errCh:
+		srv.Close()
 		if err != nil && err != http.ErrServerClosed {
 			return err
 		}

@@ -342,3 +342,121 @@ func TestE2ESigtermDrain(t *testing.T) {
 		t.Fatal("schemaevod did not exit after drain")
 	}
 }
+
+// TestE2EWarmRestart is the persistence acceptance test against the real
+// binary: projects ingested through the streaming batch endpoint survive
+// a SIGTERM and a process restart on the same -store-dir, are served
+// byte-identically from the disk tier, and the restarted process runs
+// zero analyses to do it (verified through /metrics).
+func TestE2EWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	d1 := startDaemon(t, "-store-dir", dir, "-store-shards", "4")
+
+	// Ingest via the batch endpoint: the e2e repo plus a variant.
+	other := e2eRepo()
+	other.Name = "e2e-sibling"
+	other.Commits = other.Commits[:2]
+	l1, _ := json.Marshal(e2eRepo())
+	l2, _ := json.Marshal(other)
+	ndjson := string(l1) + "\n" + string(l2) + "\n"
+	resp, err := http.Post(d1.base+"/v1/projects:batch", "application/x-ndjson", strings.NewReader(ndjson))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch: status %d err %v", resp.StatusCode, err)
+	}
+	var ids []string
+	for _, line := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
+		var lw struct {
+			Status string `json:"status"`
+			ID     string `json:"id"`
+			OK     int    `json:"ok"`
+			Errors int    `json:"errors"`
+		}
+		if err := json.Unmarshal([]byte(line), &lw); err != nil {
+			t.Fatalf("batch line %q: %v", line, err)
+		}
+		switch lw.Status {
+		case "ok":
+			ids = append(ids, lw.ID)
+		case "error":
+			t.Fatalf("batch line failed: %s", line)
+		case "summary":
+			if lw.OK != 2 || lw.Errors != 0 {
+				t.Fatalf("batch summary: %s", line)
+			}
+		}
+	}
+	if len(ids) != 2 {
+		t.Fatalf("batch returned %d ids, want 2", len(ids))
+	}
+	var bodies [][]byte
+	for _, id := range ids {
+		status, body := get(t, d1.base+"/v1/projects/"+id)
+		if status != http.StatusOK {
+			t.Fatalf("GET %s: status %d", id, status)
+		}
+		bodies = append(bodies, body)
+	}
+
+	// Clean shutdown so every segment is flushed and closed.
+	if err := d1.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := d1.cmd.Wait(); err != nil {
+		t.Fatalf("first daemon exited non-zero: %v", err)
+	}
+
+	d2 := startDaemon(t, "-store-dir", dir)
+	status, body := get(t, d2.base+"/healthz")
+	if status != http.StatusOK {
+		t.Fatalf("restart healthz: %d", status)
+	}
+	var hz struct {
+		Stored int `json:"stored"`
+	}
+	if err := json.Unmarshal(body, &hz); err != nil {
+		t.Fatal(err)
+	}
+	if hz.Stored != 2 {
+		t.Fatalf("restart healthz stored = %d, want 2", hz.Stored)
+	}
+	for i, id := range ids {
+		status, got := get(t, d2.base+"/v1/projects/"+id)
+		if status != http.StatusOK {
+			t.Fatalf("restart GET %s: status %d", id, status)
+		}
+		if !bytes.Equal(got, bodies[i]) {
+			t.Errorf("restart GET %s: body differs from the pre-restart bytes", id)
+		}
+	}
+
+	_, body = get(t, d2.base+"/metrics")
+	var rep struct {
+		Stages []struct {
+			Name string `json:"name"`
+			Jobs int64  `json:"jobs"`
+		} `json:"stages"`
+		Store struct {
+			DiskHits   int64 `json:"disk_hits"`
+			Reanalyses int64 `json:"reanalyses"`
+		} `json:"store"`
+	}
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	for _, st := range rep.Stages {
+		if (st.Name == "analyze.exec" || st.Name == "analyze.incr") && st.Jobs != 0 {
+			t.Errorf("%s jobs = %d after warm restart, want 0", st.Name, st.Jobs)
+		}
+	}
+	if rep.Store.DiskHits == 0 {
+		t.Error("warm restart served no disk hits")
+	}
+	if rep.Store.Reanalyses != 0 {
+		t.Errorf("warm restart re-analyzed %d projects, want 0", rep.Store.Reanalyses)
+	}
+}

@@ -1,0 +1,100 @@
+package history
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"schemaevo/internal/schema"
+	"schemaevo/internal/vcs"
+)
+
+// mustParse builds a sealed schema from DDL source, failing the test on
+// anomalies — these fixtures are meant to be clean.
+func mustParse(t *testing.T, src string) *schema.Schema {
+	t.Helper()
+	s, notes := schema.ParseAndBuild(src)
+	if len(notes) != 0 {
+		t.Fatalf("fixture DDL has notes: %v", notes)
+	}
+	s.Seal()
+	return s
+}
+
+// TestAssembleExtendMatchesAssemble pins the extension contract at the
+// assembly level: carrying a previously assembled prefix into a longer
+// project lifetime yields exactly what a full assembly of all versions
+// would — including the recomputation of out-of-span clamp notes, whose
+// text depends on the (now longer) span.
+func TestAssembleExtendMatchesAssemble(t *testing.T) {
+	day := func(m, d int) time.Time {
+		return time.Date(2020, time.Month(m), d, 12, 0, 0, 0, time.UTC)
+	}
+	s1 := mustParse(t, "CREATE TABLE a (x INT);")
+	s2 := mustParse(t, "CREATE TABLE a (x INT);\nCREATE TABLE b (y INT);")
+	s3 := mustParse(t, "CREATE TABLE a (x INT);\nCREATE TABLE b (y INT, z INT);")
+
+	parsed := func() []ParsedVersion {
+		return []ParsedVersion{
+			{Time: day(1, 3), Schema: s1},
+			// Deliberately misdated far beyond any fixture span: clamped in
+			// every assembly, but the clamp note's month differs between
+			// the short and the extended span.
+			{Time: day(12, 1).AddDate(10, 0, 0), Schema: s2, Notes: []schema.Note{{Stmt: 0, Msg: "fixture parse note"}}},
+		}
+	}
+	suffix := []ParsedVersion{{Time: day(5, 20), Schema: s3}}
+
+	prevRepo := &vcs.Repo{Name: "p", Commits: []vcs.Commit{
+		{ID: "c0", Time: day(1, 3)},
+		{ID: "c1", Time: day(2, 1), SrcLines: 4},
+	}}
+	fullRepo := &vcs.Repo{Name: "p", Commits: append(append([]vcs.Commit(nil), prevRepo.Commits...),
+		vcs.Commit{ID: "c2", Time: day(5, 20), SrcLines: 9},
+	)}
+
+	prev := Assemble(prevRepo, "schema.sql", parsed())
+	if got := len(prev.SpanAnomalies()); got != 1 {
+		t.Fatalf("prev anomalies = %d, want 1", got)
+	}
+
+	got := AssembleExtend(fullRepo, "schema.sql", prev, suffix)
+	want := Assemble(fullRepo, "schema.sql", append(parsed(), suffix...))
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("extended history differs from full assembly:\n got: %+v\nwant: %+v", got, want)
+	}
+	// The extension must not have scribbled on the prev history it read.
+	if !reflect.DeepEqual(prev, Assemble(prevRepo, "schema.sql", parsed())) {
+		t.Fatal("AssembleExtend mutated the previous history")
+	}
+	// Non-vacuity: the clamp note moved from month 1 (prev span) to month
+	// 4 (extended span), so the recompute path really ran.
+	if prev.SpanAnomalies()[0] == got.SpanAnomalies()[0] {
+		t.Fatal("clamp note unchanged; expected it to be recomputed against the longer span")
+	}
+}
+
+// TestAssembleExtendEmptySuffix pins the degenerate extension: new commits
+// that never touch the DDL file still stretch the lifetime, so heartbeats
+// and months change while every version is carried over.
+func TestAssembleExtendEmptySuffix(t *testing.T) {
+	day := func(m, d int) time.Time {
+		return time.Date(2021, time.Month(m), d, 0, 0, 0, 0, time.UTC)
+	}
+	s1 := mustParse(t, "CREATE TABLE a (x INT);")
+	parsed := []ParsedVersion{{Time: day(1, 1), Schema: s1}}
+	prevRepo := &vcs.Repo{Name: "q", Commits: []vcs.Commit{{ID: "c0", Time: day(1, 1)}}}
+	fullRepo := &vcs.Repo{Name: "q", Commits: []vcs.Commit{
+		{ID: "c0", Time: day(1, 1)},
+		{ID: "c1", Time: day(4, 1), SrcLines: 11},
+	}}
+	prev := Assemble(prevRepo, "schema.sql", parsed)
+	got := AssembleExtend(fullRepo, "schema.sql", prev, nil)
+	want := Assemble(fullRepo, "schema.sql", parsed)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("empty-suffix extension differs:\n got: %+v\nwant: %+v", got, want)
+	}
+	if got.Months() != 4 {
+		t.Fatalf("months = %d, want 4", got.Months())
+	}
+}

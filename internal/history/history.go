@@ -161,46 +161,109 @@ const AnomalyStmt = -1
 // the wrinkle is visible downstream instead of panicking on a heartbeat
 // index out of range.
 func Assemble(r *vcs.Repo, path string, parsed []ParsedVersion) *History {
+	h := newShell(r, path)
+	var prev *schema.Schema
+	for _, pv := range parsed {
+		h.appendVersion(pv.Time, pv.Schema, diff.Schemas(prev, pv.Schema), pv.Notes)
+		prev = pv.Schema
+	}
+	return h
+}
+
+// AssembleExtend assembles the history of a repo whose DDL file history
+// extends a previously assembled one: the first len(prev.Versions)
+// snapshots are carried over from prev (schemas, deltas and parse/apply
+// notes are pure functions of unchanged inputs), and only the suffix —
+// freshly parsed by the caller, typically on a Reconstructor primed with
+// the last carried-over snapshot — is diffed and appended.
+//
+// Everything derived from the repo's full commit timeline is recomputed
+// from scratch: Start/End, the heartbeats, the expansion/maintenance
+// split, and the out-of-span clamp notes (the span the clamp is judged
+// against changes as the project's lifetime grows). The caller must have
+// verified that the new repo's file history of path pairwise-equals the
+// old one over the carried-over prefix; under that precondition the result
+// is byte-identical (through the cache codec) to a full Assemble of the
+// new repo — the differential suite pins this.
+func AssembleExtend(r *vcs.Repo, path string, prev *History, suffix []ParsedVersion) *History {
+	h := newShell(r, path)
+	var last *schema.Schema
+	for i := range prev.Versions {
+		pv := &prev.Versions[i]
+		h.appendVersion(pv.Time, pv.Schema, pv.Delta, stripSpanAnomalies(pv.Notes))
+		last = pv.Schema
+	}
+	for _, pv := range suffix {
+		h.appendVersion(pv.Time, pv.Schema, diff.Schemas(last, pv.Schema), pv.Notes)
+		last = pv.Schema
+	}
+	return h
+}
+
+// newShell builds the version-less skeleton of a history: identity, span,
+// and the heartbeats with only the source line filled in.
+func newShell(r *vcs.Repo, path string) *History {
 	h := &History{
 		Project: r.Name,
 		DDLPath: path,
 		Start:   r.Start(),
 		End:     r.End(),
 	}
-	months := r.LifetimeMonths()
-	h.SchemaMonthly = make([]int, months)
+	h.SchemaMonthly = make([]int, r.LifetimeMonths())
 	h.SourceMonthly = r.MonthlySrcLines()
-
-	var prev *schema.Schema
-	for seq, pv := range parsed {
-		d := diff.Schemas(prev, pv.Schema)
-		v := Version{
-			Seq:    seq,
-			Time:   pv.Time,
-			Schema: pv.Schema,
-			Delta:  d,
-			Notes:  pv.Notes,
-		}
-		month := vcs.MonthIndex(h.Start, pv.Time)
-		if month < 0 || month >= months {
-			clamped := 0
-			if month >= months {
-				clamped = months - 1
-			}
-			v.Notes = append(v.Notes, schema.Note{
-				Stmt: AnomalyStmt,
-				Msg: fmt.Sprintf("version %d timestamped %s outside the project span [%s, %s]; activity clamped to month %d",
-					seq, pv.Time.Format("2006-01-02"), h.Start.Format("2006-01-02"), h.End.Format("2006-01-02"), clamped),
-			})
-			month = clamped
-		}
-		h.Versions = append(h.Versions, v)
-		h.SchemaMonthly[month] += d.Total()
-		h.ExpansionTotal += d.Expansion()
-		h.MaintenanceTotal += d.Maintenance()
-		prev = pv.Schema
-	}
 	return h
+}
+
+// appendVersion files one snapshot: clamp out-of-span timestamps (with an
+// AnomalyStmt note), post the delta to the schema heartbeat and the
+// expansion/maintenance totals. It is the single shared body of Assemble
+// and AssembleExtend, so a carried-over prefix cannot drift from what a
+// full assembly would have produced.
+func (h *History) appendVersion(t time.Time, s *schema.Schema, d *diff.Delta, notes []schema.Note) {
+	seq := len(h.Versions)
+	v := Version{Seq: seq, Time: t, Schema: s, Delta: d, Notes: notes}
+	months := len(h.SchemaMonthly)
+	month := vcs.MonthIndex(h.Start, t)
+	if month < 0 || month >= months {
+		clamped := 0
+		if month >= months {
+			clamped = months - 1
+		}
+		v.Notes = append(v.Notes, schema.Note{
+			Stmt: AnomalyStmt,
+			Msg: fmt.Sprintf("version %d timestamped %s outside the project span [%s, %s]; activity clamped to month %d",
+				seq, t.Format("2006-01-02"), h.Start.Format("2006-01-02"), h.End.Format("2006-01-02"), clamped),
+		})
+		month = clamped
+	}
+	h.Versions = append(h.Versions, v)
+	h.SchemaMonthly[month] += d.Total()
+	h.ExpansionTotal += d.Expansion()
+	h.MaintenanceTotal += d.Maintenance()
+}
+
+// stripSpanAnomalies removes history-level AnomalyStmt notes from a
+// version's note list, recovering the parse/apply notes as the parse stage
+// produced them: nil when nothing remains (Build never returns a non-nil
+// empty slice), a fresh slice otherwise (never aliasing the input, whose
+// backing array may be shared with a published History).
+func stripSpanAnomalies(notes []schema.Note) []schema.Note {
+	n := 0
+	for _, note := range notes {
+		if note.Stmt != AnomalyStmt {
+			n++
+		}
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]schema.Note, 0, n)
+	for _, note := range notes {
+		if note.Stmt != AnomalyStmt {
+			out = append(out, note)
+		}
+	}
+	return out
 }
 
 // Cumulative returns the cumulative fractional activity of a monthly

@@ -1,0 +1,95 @@
+package pipeline
+
+import (
+	"schemaevo/internal/history"
+	"schemaevo/internal/metrics"
+	"schemaevo/internal/schema"
+	"schemaevo/internal/vcs"
+)
+
+// Extends reports whether next's history of the DDL file at path extends
+// prevRepo's: the same file, with prevRepo's snapshots as an exact prefix
+// (same times — including UTC offset, which the codec persists — same
+// content, same deletions). Under this predicate the per-version parse
+// work of the prefix is reusable verbatim.
+func Extends(prevRepo, next *vcs.Repo, path string) bool {
+	if path == "" || next.MainDDLPath() != path || prevRepo.MainDDLPath() != path {
+		return false
+	}
+	old := prevRepo.FileHistory(path)
+	cur := next.FileHistory(path)
+	if len(cur) < len(old) {
+		return false
+	}
+	for i := range old {
+		o, c := &old[i], &cur[i]
+		if !o.Time.Equal(c.Time) || o.Content != c.Content || o.Deleted != c.Deleted {
+			return false
+		}
+		_, oOff := o.Time.Zone()
+		_, cOff := c.Time.Zone()
+		if oOff != cOff {
+			return false
+		}
+	}
+	return true
+}
+
+// ExtendResult re-analyzes next incrementally from a previous result:
+// when next's DDL history extends prevRepo's, the prefix's parsed
+// schemas, deltas and notes are carried over from prev, the Reconstructor
+// is primed with the last carried-over snapshot, and only the suffix is
+// parsed and diffed. The returned result is byte-identical (through
+// EncodeResult) to a full cold analysis of next — the differential suite
+// pins this across whole corpora.
+//
+// ok is false when the histories do not extend (different DDL file,
+// rewritten prefix, no DDL file at all) or the extended measures fail
+// validation; callers fall back to the full pipeline.
+func ExtendResult(prev *CachedResult, prevRepo, next *vcs.Repo) (res *CachedResult, ok bool) {
+	if prev == nil || prev.History == nil {
+		return nil, false
+	}
+	path := prev.History.DDLPath
+	if !Extends(prevRepo, next, path) {
+		return nil, false
+	}
+	old := prevRepo.FileHistory(path)
+	if len(old) != len(prev.History.Versions) {
+		return nil, false
+	}
+	cur := next.FileHistory(path)
+
+	rc := schema.AcquireReconstructor()
+	defer schema.ReleaseReconstructor(rc)
+	rc.ResetProject()
+	if n := len(old); n > 0 && !old[n-1].Deleted {
+		rc.Prime(old[n-1].Content)
+	}
+	suffix := make([]history.ParsedVersion, 0, len(cur)-len(old))
+	for _, fv := range cur[len(old):] {
+		pv := history.ParsedVersion{Time: fv.Time}
+		if fv.Deleted {
+			pv.Schema = schema.New()
+			rc.ResetFile()
+		} else {
+			pv.Schema, pv.Notes = rc.Build(fv.Content)
+		}
+		pv.Schema.Seal()
+		suffix = append(suffix, pv)
+	}
+
+	h := history.AssembleExtend(next, path, prev.History, suffix)
+	m := metrics.Compute(h)
+	if err := m.Validate(); err != nil {
+		// A full run would degrade with FailMetrics; let it, with its
+		// proper error report.
+		return nil, false
+	}
+	return &CachedResult{
+		Fingerprint: Fingerprint(next),
+		Project:     next.Name,
+		History:     h,
+		Measures:    m,
+	}, true
+}

@@ -1,0 +1,135 @@
+package pipeline
+
+import (
+	"bytes"
+	"testing"
+
+	"schemaevo/internal/history"
+	"schemaevo/internal/metrics"
+	"schemaevo/internal/synth"
+	"schemaevo/internal/vcs"
+)
+
+// coldResult runs the full (non-incremental) analysis of a repo and
+// returns the encoded result, or nil when the repo is not analyzable yet
+// (e.g. a truncation before the first DDL commit).
+func coldResult(t *testing.T, r *vcs.Repo) *CachedResult {
+	t.Helper()
+	if r.MainDDLPath() == "" {
+		return nil
+	}
+	h, err := history.FromRepo(r)
+	if err != nil {
+		return nil
+	}
+	m := metrics.Compute(h)
+	if err := m.Validate(); err != nil {
+		t.Fatalf("%s: cold measures invalid: %v", r.Name, err)
+	}
+	return &CachedResult{Fingerprint: Fingerprint(r), Project: r.Name, History: h, Measures: m}
+}
+
+func truncated(r *vcs.Repo, k int) *vcs.Repo {
+	return &vcs.Repo{Name: r.Name, Commits: r.Commits[:k]}
+}
+
+// TestExtendResultDifferential is the incremental-equals-full differential
+// at the pipeline level: for every corpus project, grow the repo a few
+// commits at a time and check that each incremental extension produces
+// bytes identical to a cold full analysis of the same prefix. Falls back
+// to the cold result exactly where ExtendResult declines (e.g. the main
+// DDL file changes as the history grows) — the same protocol the server
+// follows.
+func TestExtendResultDifferential(t *testing.T) {
+	c, err := synth.RandomCorpus(10, 29)
+	if err != nil {
+		t.Fatal(err)
+	}
+	extensions, fallbacks := 0, 0
+	for _, p := range c.Projects {
+		n := len(p.Repo.Commits)
+		step := n / 6
+		if step < 1 {
+			step = 1
+		}
+		var prev *CachedResult
+		var prevRepo *vcs.Repo
+		for k := 1; k <= n; k += step {
+			if k+step > n {
+				k = n // always include the full repo as the last point
+			}
+			next := truncated(p.Repo, k)
+			want := coldResult(t, next)
+			if want == nil {
+				continue
+			}
+			if prev != nil {
+				if got, ok := ExtendResult(prev, prevRepo, next); ok {
+					extensions++
+					if !bytes.Equal(EncodeResult(got), EncodeResult(want)) {
+						t.Fatalf("%s@%d: incremental result differs from cold analysis", p.Name, k)
+					}
+					prev, prevRepo = got, next
+					if k == n {
+						break
+					}
+					continue
+				}
+				fallbacks++
+			}
+			prev, prevRepo = want, next
+			if k == n {
+				break
+			}
+		}
+	}
+	if extensions == 0 {
+		t.Fatal("differential was vacuous: no incremental extension ever ran")
+	}
+	t.Logf("extensions=%d fallbacks=%d", extensions, fallbacks)
+}
+
+// TestExtendResultDeclines pins the fallback conditions: a rewritten
+// prefix, a changed DDL file, and a DDL-less repo must all decline rather
+// than produce a result.
+func TestExtendResultDeclines(t *testing.T) {
+	c, err := synth.RandomCorpus(1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := c.Projects[0].Repo
+	n := len(full.Commits)
+	prevRepo := truncated(full, n-1)
+	prev := coldResult(t, prevRepo)
+	if prev == nil {
+		t.Fatal("fixture prefix not analyzable")
+	}
+
+	if _, ok := ExtendResult(prev, prevRepo, full); !ok {
+		t.Fatal("clean extension declined")
+	}
+
+	// Rewritten prefix: perturb an early DDL snapshot.
+	rew := &vcs.Repo{Name: full.Name, Commits: append([]vcs.Commit(nil), full.Commits...)}
+	path := full.MainDDLPath()
+	for i := range rew.Commits {
+		if src, ok := rew.Commits[i].Files[path]; ok {
+			files := map[string]string{}
+			for k, v := range rew.Commits[i].Files {
+				files[k] = v
+			}
+			files[path] = src + "\n-- rewritten"
+			rew.Commits[i].Files = files
+			break
+		}
+	}
+	if _, ok := ExtendResult(prev, prevRepo, rew); ok {
+		t.Fatal("rewritten prefix extended")
+	}
+
+	// No DDL file at all.
+	bare := &vcs.Repo{Name: "bare", Commits: []vcs.Commit{{ID: "c", Time: full.Commits[0].Time}}}
+	if _, ok := ExtendResult(prev, prevRepo, bare); ok {
+		t.Fatal("DDL-less repo extended")
+	}
+}

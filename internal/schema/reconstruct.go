@@ -135,6 +135,16 @@ func (rc *Reconstructor) Build(src string) (*Schema, []Note) {
 	return s, notes
 }
 
+// Prime replays a previously built source text so that the next Build
+// call can extend it incrementally, exactly as if src had been built in
+// sequence; the schema and notes are discarded. It is the hand-off point
+// for stores that kept a file history's last snapshot: re-feeding that one
+// version seeds the session's statement cache and the prefix chain, so
+// re-analyzing versions N+1.. costs only the suffix.
+func (rc *Reconstructor) Prime(src string) {
+	rc.Build(src)
+}
+
 // prefixMatches reports whether cur begins with exactly the units of
 // prev. Parsed units compare by AST pointer (the session memoizes by
 // text, so equal text means the same pointer); unparsed units (comments,

@@ -1,0 +1,139 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"schemaevo/internal/vcs"
+)
+
+// The streaming batch endpoint: POST /v1/projects:batch accepts
+// newline-delimited JSON, one vcs.Repo per line, and streams back one
+// NDJSON response line per input line as each analysis completes, then a
+// summary line. A malformed or failed line is reported in place and does
+// not stop the batch; per-line results flush immediately, so a client
+// ingesting a large corpus sees progress in real time. Backpressure is
+// blocking rather than 429: each line waits for a worker slot (bounded by
+// the same semaphore as single submissions), which paces the producer by
+// TCP flow control.
+
+// batchLineWire is one per-line response on the batch stream: an ok line
+// carries the analysis summary, an error line the reason.
+type batchLineWire struct {
+	Line    int    `json:"line"`
+	Status  string `json:"status"` // "ok" or "error"
+	ID      string `json:"id,omitempty"`
+	Project string `json:"project,omitempty"`
+	Pattern string `json:"pattern,omitempty"`
+	Cache   string `json:"cache,omitempty"`
+	Error   string `json:"error,omitempty"`
+}
+
+// batchSummaryWire terminates the batch stream.
+type batchSummaryWire struct {
+	Status string `json:"status"` // always "summary"
+	Lines  int    `json:"lines"`
+	OK     int    `json:"ok"`
+	Errors int    `json:"errors"`
+}
+
+// decodeBatchLine parses and validates one NDJSON input line. Factored
+// out of the handler so the fuzzer can drive it directly.
+func decodeBatchLine(line []byte) (*vcs.Repo, error) {
+	var repo vcs.Repo
+	if err := json.Unmarshal(line, &repo); err != nil {
+		return nil, fmt.Errorf("invalid repository JSON: %w", err)
+	}
+	if err := repo.Validate(); err != nil {
+		return nil, err
+	}
+	return &repo, nil
+}
+
+// handleBatch is POST /v1/projects:batch.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	maxLine := s.cfg.MaxLineBytes
+	if maxLine <= 0 {
+		maxLine = 4 << 20
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	// Without full duplex, HTTP/1.x discards the unread request body as
+	// soon as the first response line is written — which would truncate
+	// any batch larger than the connection's read-ahead buffer.
+	// Best-effort: HTTP/2 is already full-duplex.
+	_ = http.NewResponseController(w).EnableFullDuplex()
+	flusher, _ := w.(http.Flusher)
+	emit := func(v any) {
+		data, err := json.Marshal(v)
+		if err != nil {
+			return
+		}
+		w.Write(append(data, '\n'))
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	sc := bufio.NewScanner(r.Body)
+	// The scanner's token cap is max(maxLine, cap(buf)), so the initial
+	// buffer must not exceed the configured limit or it would override it.
+	initial := 64 << 10
+	if initial > maxLine {
+		initial = maxLine
+	}
+	sc.Buffer(make([]byte, initial), maxLine)
+	var lines, okCount, errCount int
+	for sc.Scan() {
+		lines++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		repo, err := decodeBatchLine(raw)
+		if err != nil {
+			errCount++
+			emit(batchLineWire{Line: lines, Status: "error", Error: err.Error()})
+			continue
+		}
+		res, state, err := s.submit(r.Context(), repo, true)
+		if err != nil {
+			errCount++
+			emit(batchLineWire{Line: lines, Status: "error", Error: err.Error()})
+			// A dead request context means the client is gone or the
+			// deadline passed — every further line would fail the same way.
+			if r.Context().Err() != nil {
+				break
+			}
+			continue
+		}
+		okCount++
+		emit(batchLineWire{
+			Line:    lines,
+			Status:  "ok",
+			ID:      projectID(res.Fingerprint),
+			Project: res.Project,
+			Pattern: assignedPattern(res.Measures, s.scheme).String(),
+			Cache:   state,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		lines++
+		errCount++
+		msg := err.Error()
+		if errors.Is(err, bufio.ErrTooLong) {
+			msg = fmt.Sprintf("line exceeds the %d-byte limit", maxLine)
+		}
+		emit(batchLineWire{Line: lines, Status: "error", Error: msg})
+	}
+	// In full-duplex mode the server no longer consumes leftover body
+	// bytes after the handler returns; anything we leave unread would be
+	// misparsed as the next request on this connection. Drain the
+	// remainder (a no-op when the scan reached EOF).
+	io.Copy(io.Discard, r.Body)
+	emit(batchSummaryWire{Status: "summary", Lines: lines, OK: okCount, Errors: errCount})
+}

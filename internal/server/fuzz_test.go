@@ -1,0 +1,124 @@
+// Fuzzer for the streaming batch endpoint: arbitrary NDJSON bodies must
+// never crash the server, and the response must always be well-formed —
+// one parseable JSON line per processed input line, terminated by
+// exactly one summary whose tallies are internally consistent.
+package server_test
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"schemaevo/internal/server"
+	"schemaevo/internal/telemetry"
+)
+
+func FuzzBatchNDJSON(f *testing.F) {
+	// A valid one-commit repo, a growing two-commit history, malformed
+	// JSON, schema-valid-but-repo-invalid lines, blanks, and binary noise.
+	valid := `{"name":"fuzz-seed","commits":[{"id":"c1","time":"2019-01-10T12:00:00Z","src_lines":120,"files":{"db/schema.sql":"CREATE TABLE users (id INT PRIMARY KEY);"}},{"id":"c2","time":"2019-06-02T12:00:00Z","src_lines":150,"files":{"db/schema.sql":"CREATE TABLE users (id INT PRIMARY KEY, name TEXT);"}}]}`
+	f.Add([]byte(valid + "\n"))
+	f.Add([]byte(valid + "\n" + valid + "\n"))
+	f.Add([]byte("{\"name\":\"x\",\"commits\":[]}\n\n{not json}\n"))
+	f.Add([]byte("{\"name\":42}\n{\"commits\":null}\n"))
+	f.Add([]byte("\x00\xff\xfe{\n}\n"))
+	f.Add([]byte(strings.Repeat("a", 2000) + "\n"))
+
+	srv, err := server.New(context.Background(), server.Config{
+		MaxLineBytes:   1 << 10,
+		RequestTimeout: 5 * time.Second,
+		Telemetry:      telemetry.New(),
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	hs := httptest.NewServer(srv)
+	f.Cleanup(func() {
+		hs.Close()
+		srv.Close()
+	})
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		resp, err := http.Post(hs.URL+"/v1/projects:batch", "application/x-ndjson", bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("request failed: %v", err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d, want 200", resp.StatusCode)
+		}
+
+		var (
+			respLines       int
+			summaries       int
+			lastWasSummary  bool
+			okSeen, errSeen int
+		)
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 64<<10), 1<<20)
+		for sc.Scan() {
+			line := bytes.TrimSpace(sc.Bytes())
+			if len(line) == 0 {
+				continue
+			}
+			respLines++
+			var l struct {
+				Status string `json:"status"`
+				Line   int    `json:"line"`
+				Error  string `json:"error"`
+				Lines  int    `json:"lines"`
+				OK     int    `json:"ok"`
+				Errors int    `json:"errors"`
+			}
+			if err := json.Unmarshal(line, &l); err != nil {
+				t.Fatalf("unparseable response line %q: %v", line, err)
+			}
+			lastWasSummary = false
+			switch l.Status {
+			case "ok":
+				okSeen++
+			case "error":
+				errSeen++
+				if l.Error == "" {
+					t.Fatalf("error line without a message: %q", line)
+				}
+			case "summary":
+				summaries++
+				lastWasSummary = true
+				if l.OK != okSeen || l.Errors != errSeen {
+					t.Fatalf("summary tallies ok=%d errors=%d, stream had ok=%d errors=%d",
+						l.OK, l.Errors, okSeen, errSeen)
+				}
+				if l.OK+l.Errors > l.Lines {
+					t.Fatalf("summary counts exceed scanned lines: %q", line)
+				}
+			default:
+				t.Fatalf("unknown status %q in line %q", l.Status, line)
+			}
+		}
+		if err := sc.Err(); err != nil {
+			t.Fatalf("reading response: %v", err)
+		}
+		if summaries != 1 || !lastWasSummary {
+			t.Fatalf("response must end with exactly one summary (got %d, last=%v)", summaries, lastWasSummary)
+		}
+
+		// The server must still be alive and consistent after the batch.
+		hc, err := http.Get(hs.URL + "/healthz")
+		if err != nil {
+			t.Fatalf("healthz after batch: %v", err)
+		}
+		io.Copy(io.Discard, hc.Body)
+		hc.Body.Close()
+		if hc.StatusCode != http.StatusOK {
+			t.Fatalf("healthz = %d after batch", hc.StatusCode)
+		}
+	})
+}

@@ -3,27 +3,41 @@
 // history, get back its time-related pattern, measures and labels; query
 // corpus-wide pattern statistics; scrape the run's telemetry.
 //
-// The hot path is built for heavy duplicate traffic:
+// The hot path is built for heavy duplicate traffic and long-lived data:
 //
 //   - a singleflight group collapses concurrent identical submissions
 //     (same content fingerprint) into one pipeline execution;
-//   - an LRU result store keyed by the content hash memoizes results in
-//     the pipeline cache codec's compact encoding, so repeat submissions
-//     and point GETs never recompute;
+//   - a sharded two-tier result store (internal/store) is the source of
+//     truth: a bounded in-memory hot tier over optional on-disk segment
+//     files holding both the encoded result and the submitted source
+//     snapshot — so eviction, corruption and restarts cost recomputation
+//     at worst, never data loss;
+//   - version N+1 submissions of a known project are re-analyzed
+//     incrementally: the persisted snapshot proves the new history
+//     extends the old one, so only the suffix is parsed and diffed
+//     (pipeline.ExtendResult), byte-identical to a cold full analysis;
 //   - a bounded worker semaphore backpressures analysis work — a
-//     saturated server answers 429 with a Retry-After hint instead of
-//     queueing without bound;
+//     saturated server answers 429 with a Retry-After hint on the single
+//     submit path, while the streaming batch endpoint blocks per line
+//     (natural backpressure) instead;
 //   - every request runs under a deadline, and BeginDrain flips the
 //     server into lame-duck mode: in-flight requests complete, new ones
 //     get 503 (the SIGTERM contract, see DESIGN.md §9).
 //
+// Corpus-wide aggregates (/v1/corpus/stats, /v1/corpus/patterns) are
+// incrementally maintained: submissions join them on commit, overwrites
+// and DELETEs invalidate, and a warm restart rebuilds them from the disk
+// tier without re-running any analysis.
+//
 // Telemetry (internal/telemetry) observes every endpoint — request
 // counters, latency histograms, an in-flight gauge — plus the store's
-// hit/miss counters and one "analyze.exec" stage counting actual pipeline
-// executions (the singleflight tests key off it). Fault injection
+// tiered hit/miss block and two analysis stages: "analyze.exec" counts
+// full pipeline executions, "analyze.incr" counts incremental
+// re-analyses (the differential tests key off both). Fault injection
 // (internal/faultinject) reaches the handler path through the
-// "server.submit" site and flows into the pipeline's own sites, so the
-// chaos suite can exercise the full service stack.
+// "server.submit" site, the store through "store.flush", and flows into
+// the pipeline's own sites, so the chaos suite can exercise the full
+// service stack.
 package server
 
 import (
@@ -34,55 +48,79 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
+	"schemaevo/internal/core"
 	"schemaevo/internal/corpus"
 	"schemaevo/internal/faultinject"
 	"schemaevo/internal/pipeline"
 	"schemaevo/internal/quantize"
+	"schemaevo/internal/store"
 	"schemaevo/internal/telemetry"
 	"schemaevo/internal/vcs"
 )
 
 // Config parameterizes a Server. The zero value is valid: no preloaded
-// corpus, defaults for every limit, a fresh telemetry collector, no fault
-// injection.
+// corpus, a memory-only store, defaults for every limit, a fresh
+// telemetry collector, no fault injection.
 type Config struct {
 	// Corpus, when non-nil, is analyzed at construction time and served
 	// by the /v1/corpus endpoints and by GET /v1/projects/{id}.
 	Corpus *corpus.Corpus
 	// CacheDir enables the pipeline's content-hash disk cache for
-	// submitted analyses (empty disables it; the in-memory LRU result
-	// store is always on).
+	// submitted analyses (empty disables it; the result store is always
+	// on).
 	CacheDir string
+	// StoreDir enables the result store's disk tier: submitted analyses
+	// (results AND source snapshots) persist across restarts in sharded
+	// segment files under this directory. Empty selects memory-only mode.
+	StoreDir string
+	// StoreShards is the disk tier's segment-file count. <= 0 selects 8.
+	// Fixed at directory creation; reopening ignores a differing value.
+	StoreShards int
 	// MaxConcurrent bounds concurrently executing submissions (the worker
-	// semaphore). Beyond it the server answers 429. <= 0 selects
-	// 2×GOMAXPROCS.
+	// semaphore). Beyond it the single submit path answers 429. <= 0
+	// selects 2×GOMAXPROCS.
 	MaxConcurrent int
 	// RequestTimeout is the per-request deadline. <= 0 selects 30s.
 	RequestTimeout time.Duration
-	// LRUEntries caps the in-memory result store. <= 0 selects 1024.
+	// LRUEntries caps the store's in-memory hot tier by entry count.
+	// <= 0 selects 1024.
 	LRUEntries int
+	// HotBytes caps the hot tier by total encoded-result bytes. <= 0
+	// selects 256 MiB.
+	HotBytes int64
 	// RetryAfter is the backoff hint advertised on 429/503 responses.
 	// <= 0 selects 1s.
 	RetryAfter time.Duration
-	// MaxBodyBytes bounds a submission body. <= 0 selects 32 MiB.
+	// MaxBodyBytes bounds a single-submission body. <= 0 selects 32 MiB.
 	MaxBodyBytes int64
+	// MaxLineBytes bounds one NDJSON line on the batch endpoint. <= 0
+	// selects 4 MiB.
+	MaxLineBytes int
 	// Scheme overrides the quantization scheme; nil selects the paper's.
 	Scheme *quantize.Scheme
 	// Telemetry receives the service's observability stream; nil selects
 	// a fresh collector (the server always observes).
 	Telemetry *telemetry.Collector
 	// Fault injects deterministic chaos into the handler path (site
-	// "server.submit") and the pipeline/cache sites of submitted
-	// analyses. nil disables injection. Startup corpus analysis is
-	// always fault-free.
+	// "server.submit"), the store ("store.flush"), and the pipeline/cache
+	// sites of submitted analyses. nil disables injection. Startup corpus
+	// analysis is always fault-free.
 	Fault *faultinject.Injector
 }
 
+// aggEntry is one submitted project's contribution to the live corpus
+// aggregates.
+type aggEntry struct {
+	name string
+	pat  core.Pattern
+}
+
 // Server is the HTTP analysis service. Construct with New; it implements
-// http.Handler.
+// http.Handler. Close releases the store.
 type Server struct {
 	cfg    Config
 	scheme quantize.Scheme
@@ -91,19 +129,26 @@ type Server struct {
 
 	corpus *corpus.Corpus
 	index  *corpus.Index
-	// statsBody and patternsBody are the /v1/corpus responses, rendered
-	// once at construction: the corpus is immutable while serving, so the
-	// bodies are static — and trivially byte-stable.
-	statsBody    []byte
-	patternsBody []byte
+	// corpusMembers is the immutable analyzed-corpus contribution to the
+	// aggregate endpoints, derived once at construction.
+	corpusMembers []member
 
-	store  *lruStore
+	store  *store.Store
 	flight flightGroup
 	sem    chan struct{}
 
-	draining atomic.Bool
-	inflight atomic.Int64
-	analyses atomic.Int64
+	// agg is the live aggregate membership of store-backed projects
+	// (never corpus IDs), maintained on every commit/delete/overwrite.
+	aggMu sync.Mutex
+	agg   map[string]aggEntry
+
+	execStage *telemetry.Stage
+	incrStage *telemetry.Stage
+
+	draining     atomic.Bool
+	inflight     atomic.Int64
+	analyses     atomic.Int64
+	incrementals atomic.Int64
 }
 
 // errSaturated is returned by the submit path when the worker semaphore
@@ -111,11 +156,13 @@ type Server struct {
 var errSaturated = errors.New("server: analysis workers saturated")
 
 // New builds the service: analyzes the configured corpus (fault-free,
-// through the staged pipeline), indexes it by content-hash ID, and wires
-// the routes. It fails if the corpus cannot be fully analyzed — a serving
+// through the staged pipeline), indexes it by content-hash ID, opens the
+// result store (recovering any persisted projects and rebuilding the
+// live aggregates from them — with zero re-analyses), and wires the
+// routes. It fails if the corpus cannot be fully analyzed — a serving
 // process must not start with a silently shrunken dataset.
 func New(ctx context.Context, cfg Config) (*Server, error) {
-	s := &Server{cfg: cfg, scheme: quantize.DefaultScheme()}
+	s := &Server{cfg: cfg, scheme: quantize.DefaultScheme(), agg: map[string]aggEntry{}}
 	if cfg.Scheme != nil {
 		s.scheme = *cfg.Scheme
 	}
@@ -127,11 +174,21 @@ func New(ctx context.Context, cfg Config) (*Server, error) {
 		max = 2 * runtime.GOMAXPROCS(0)
 	}
 	s.sem = make(chan struct{}, max)
-	entries := cfg.LRUEntries
-	if entries <= 0 {
-		entries = 1024
+	s.execStage = s.tel.Stage("analyze.exec")
+	s.incrStage = s.tel.Stage("analyze.incr")
+
+	st, err := store.Open(store.Config{
+		Dir:        cfg.StoreDir,
+		Shards:     cfg.StoreShards,
+		HotEntries: cfg.LRUEntries,
+		HotBytes:   cfg.HotBytes,
+		Telemetry:  s.tel,
+		Fault:      cfg.Fault,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
 	}
-	s.store = newLRUStore(entries)
+	s.store = st
 
 	s.corpus = cfg.Corpus
 	if s.corpus == nil {
@@ -140,6 +197,7 @@ func New(ctx context.Context, cfg Config) (*Server, error) {
 	if len(s.corpus.Projects) > 0 {
 		opts := pipeline.Options{CacheDir: cfg.CacheDir, Scheme: cfg.Scheme, Telemetry: s.tel}
 		if _, err := pipeline.Run(ctx, s.corpus, opts); err != nil {
+			st.Close()
 			return nil, fmt.Errorf("server: corpus analysis: %w", err)
 		}
 	}
@@ -154,19 +212,37 @@ func New(ctx context.Context, cfg Config) (*Server, error) {
 	}
 	idx, err := corpus.NewIndex(s.corpus, idOf)
 	if err != nil {
+		st.Close()
 		return nil, err
 	}
 	s.index = idx
-	if s.statsBody, err = renderJSON(buildCorpusStats(s.corpus)); err != nil {
-		return nil, err
+	for _, p := range s.corpus.Projects {
+		if p.Analyzed {
+			s.corpusMembers = append(s.corpusMembers, member{id: idOf(p), name: p.Name, pat: p.Assigned()})
+		}
 	}
-	if s.patternsBody, err = renderJSON(buildCorpusPatterns(s.corpus, idOf)); err != nil {
-		return nil, err
-	}
+
+	// Warm restart: every persisted project rejoins the aggregates from
+	// its stored result — decode only, no analysis. Entries whose result
+	// is currently unreadable (quarantined) stay out until re-analyzed on
+	// demand.
+	s.store.Each(func(id, name string, result []byte) {
+		if result == nil {
+			return
+		}
+		if _, corpusOwned := s.index.Lookup(id); corpusOwned {
+			return
+		}
+		if res, err := pipeline.DecodeResult(result); err == nil {
+			s.agg[id] = aggEntry{name: name, pat: assignedPattern(res.Measures, s.scheme)}
+		}
+	})
 
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/projects", s.wrap("submit", s.handleSubmit))
+	s.mux.HandleFunc("POST /v1/projects:batch", s.wrap("batch", s.handleBatch))
 	s.mux.HandleFunc("GET /v1/projects/{id}", s.wrap("project", s.handleProject))
+	s.mux.HandleFunc("DELETE /v1/projects/{id}", s.wrap("delete", s.handleDelete))
 	s.mux.HandleFunc("GET /v1/corpus/stats", s.wrap("stats", s.handleCorpusStats))
 	s.mux.HandleFunc("GET /v1/corpus/patterns", s.wrap("patterns", s.handleCorpusPatterns))
 	s.mux.HandleFunc("GET /healthz", s.wrap("healthz", s.handleHealthz))
@@ -183,6 +259,10 @@ func projectID(fingerprint string) string {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
+// Close releases the result store (segment file handles). The server
+// must not serve requests afterwards.
+func (s *Server) Close() error { return s.store.Close() }
+
 // BeginDrain flips the server into lame-duck mode: every subsequent
 // request is answered 503 + Retry-After, while requests already in flight
 // run to completion. Idempotent. Pair it with http.Server.Shutdown, which
@@ -193,10 +273,17 @@ func (s *Server) BeginDrain() { s.draining.Store(true) }
 // Draining reports whether BeginDrain has been called.
 func (s *Server) Draining() bool { return s.draining.Load() }
 
-// Analyses returns the number of actual pipeline executions the submit
-// path performed (duplicate submissions collapsed by the singleflight
-// group or served from the result store do not count).
+// Analyses returns the number of full pipeline executions the service
+// performed (submissions collapsed by the singleflight group, served
+// from the store, or analyzed incrementally do not count).
 func (s *Server) Analyses() int64 { return s.analyses.Load() }
+
+// Incrementals returns the number of submissions analyzed incrementally
+// against a persisted predecessor snapshot.
+func (s *Server) Incrementals() int64 { return s.incrementals.Load() }
+
+// Stored returns the number of live projects in the result store.
+func (s *Server) Stored() int { return s.store.Len() }
 
 // InFlight returns the number of requests currently being served.
 func (s *Server) InFlight() int64 { return s.inflight.Load() }
@@ -211,6 +298,19 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.status = code
 	w.ResponseWriter.WriteHeader(code)
 }
+
+// Flush forwards streaming flushes (the batch endpoint) to the
+// underlying writer.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap exposes the underlying writer so http.NewResponseController
+// can reach per-connection controls (full-duplex mode for batch
+// streaming) through this wrapper.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
 // wrap is the per-endpoint middleware: the drain gate, the per-request
 // deadline, and telemetry (request counter, latency histogram, in-flight
@@ -259,9 +359,9 @@ func (s *Server) retryAfterSeconds() string {
 }
 
 // handleSubmit is POST /v1/projects: accept a DDL commit history
-// (vcs.Repo JSON), analyze it through the pipeline — deduplicated by
-// content fingerprint, memoized in the result store, bounded by the
-// worker semaphore — and return the pattern-study result.
+// (vcs.Repo JSON), analyze it — deduplicated by content fingerprint,
+// incrementally when the store holds the project's previous version,
+// bounded by the worker semaphore — and return the pattern-study result.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	maxBody := s.cfg.MaxBodyBytes
 	if maxBody <= 0 {
@@ -277,36 +377,51 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error(), nil)
 		return
 	}
-
-	fingerprint := pipeline.Fingerprint(&repo)
-	id := projectID(fingerprint)
-	if data, ok := s.store.get(id); ok {
-		s.tel.CacheHit(int64(len(data)))
-		res, err := pipeline.DecodeResult(data)
-		if err == nil {
-			w.Header().Set("X-Cache", "hit")
-			writeJSON(w, http.StatusOK, buildProjectWire(id, res.Project, res.History, res.Measures, s.scheme))
-			return
-		}
-		// An undecodable store entry is impossible short of memory
-		// corruption; treat it as a miss and recompute.
-	}
-	s.tel.CacheMiss()
-
-	val, err, shared := s.flight.Do(fingerprint, func() (any, error) {
-		return s.analyze(r.Context(), &repo, fingerprint)
-	})
+	res, cacheState, err := s.submit(r.Context(), &repo, false)
 	if err != nil {
 		s.writeSubmitError(w, err)
 		return
 	}
-	res := val.(*pipeline.CachedResult)
-	cacheState := "miss"
-	if shared {
-		cacheState = "coalesced"
-	}
 	w.Header().Set("X-Cache", cacheState)
+	id := projectID(res.Fingerprint)
 	writeJSON(w, http.StatusOK, buildProjectWire(id, res.Project, res.History, res.Measures, s.scheme))
+}
+
+// submitOutcome carries the singleflight leader's result plus how it was
+// obtained, so followers can label their responses.
+type submitOutcome struct {
+	res   *pipeline.CachedResult
+	state string // "hit", "miss", or "incremental"
+}
+
+// submit is the shared analysis path of the single and batch endpoints:
+// store lookup, singleflight, incremental-or-full analysis, commit.
+// wait selects the semaphore discipline — false rejects with errSaturated
+// when all workers are busy (single submit's 429 contract), true blocks
+// until a slot or ctx expiry (the batch endpoint's backpressure).
+// The returned cache state is one of "hit", "coalesced", "incremental",
+// "miss".
+func (s *Server) submit(ctx context.Context, repo *vcs.Repo, wait bool) (*pipeline.CachedResult, string, error) {
+	fingerprint := pipeline.Fingerprint(repo)
+	if data, _, ok := s.store.Get(projectID(fingerprint)); ok {
+		if res, err := pipeline.DecodeResult(data); err == nil {
+			return res, "hit", nil
+		}
+		// An undecodable store entry is impossible short of memory
+		// corruption; treat it as a miss and recompute.
+	}
+	val, err, shared := s.flight.Do(fingerprint, func() (any, error) {
+		return s.analyze(ctx, repo, fingerprint, wait)
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	out := val.(*submitOutcome)
+	state := out.state
+	if shared {
+		state = "coalesced"
+	}
+	return out.res, state, nil
 }
 
 // failServer is the degradation taxonomy bucket for faults injected at
@@ -334,23 +449,33 @@ type analysisError struct {
 func (e *analysisError) Error() string { return e.err.Error() }
 func (e *analysisError) Unwrap() error { return e.err }
 
-// analyze is the singleflight leader's body: acquire a worker slot (or
-// report saturation), apply handler-path chaos, run the pipeline, and
-// memoize the encoded result.
-func (s *Server) analyze(ctx context.Context, repo *vcs.Repo, fingerprint string) (v any, err error) {
+// analyze is the singleflight leader's body: acquire a worker slot,
+// apply handler-path chaos, analyze incrementally against the persisted
+// predecessor when possible (else run the full pipeline), and commit the
+// result to the store and the live aggregates.
+func (s *Server) analyze(ctx context.Context, repo *vcs.Repo, fingerprint string, wait bool) (v any, err error) {
+	id := projectID(fingerprint)
 	// Double-check the store under flight leadership: a caller that
 	// missed the store, then became leader only after a previous leader
-	// for the same content completed, must serve the memoized result —
-	// never a second pipeline run.
-	if data, ok := s.store.get(projectID(fingerprint)); ok {
+	// for the same content completed, must serve the stored result —
+	// never a second analysis.
+	if data, _, ok := s.store.Get(id); ok {
 		if res, derr := pipeline.DecodeResult(data); derr == nil {
-			return res, nil
+			return &submitOutcome{res: res, state: "hit"}, nil
 		}
 	}
-	select {
-	case s.sem <- struct{}{}:
-	default:
-		return nil, errSaturated
+	if wait {
+		select {
+		case s.sem <- struct{}{}:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	} else {
+		select {
+		case s.sem <- struct{}{}:
+		default:
+			return nil, errSaturated
+		}
 	}
 	defer func() { <-s.sem }()
 
@@ -375,8 +500,64 @@ func (s *Server) analyze(ctx context.Context, repo *vcs.Repo, fingerprint string
 		s.cfg.Fault.Sleep(ctx)
 	}
 
-	exec := s.tel.Stage("analyze.exec")
-	exec.Enter()
+	if res, ok := s.tryExtend(repo, id); ok {
+		s.commit(repo, fingerprint, id, res)
+		return &submitOutcome{res: res, state: "incremental"}, nil
+	}
+
+	res, aerr := s.runFull(ctx, repo, fingerprint)
+	if aerr != nil {
+		return nil, aerr
+	}
+	s.commit(repo, fingerprint, id, res)
+	return &submitOutcome{res: res, state: "miss"}, nil
+}
+
+// tryExtend attempts incremental re-analysis: if the store holds this
+// project's previous version (result + source snapshot) and the new
+// history provably extends it, only the suffix is parsed and diffed. A
+// nil return on any decode or precondition failure degrades silently to
+// the full pipeline — incremental analysis is an optimization, never a
+// correctness dependency.
+func (s *Server) tryExtend(next *vcs.Repo, nextID string) (*pipeline.CachedResult, bool) {
+	prevID, ok := s.store.LatestID(next.Name)
+	if !ok || prevID == nextID {
+		return nil, false
+	}
+	prevData, _, ok := s.store.Get(prevID)
+	if !ok {
+		return nil, false
+	}
+	prevRes, err := pipeline.DecodeResult(prevData)
+	if err != nil {
+		return nil, false
+	}
+	srcBytes, ok := s.store.Source(prevID)
+	if !ok {
+		return nil, false
+	}
+	prevRepo, err := pipeline.DecodeRepo(srcBytes)
+	if err != nil {
+		return nil, false
+	}
+
+	s.incrStage.Enter()
+	begin := time.Now()
+	res, ok := pipeline.ExtendResult(prevRes, prevRepo, next)
+	busy := time.Since(begin)
+	s.incrStage.Exit()
+	s.incrStage.Observe(0, busy, !ok)
+	if !ok {
+		return nil, false
+	}
+	s.incrementals.Add(1)
+	return res, true
+}
+
+// runFull executes the staged pipeline for one repo under the
+// "analyze.exec" stage.
+func (s *Server) runFull(ctx context.Context, repo *vcs.Repo, fingerprint string) (*pipeline.CachedResult, error) {
+	s.execStage.Enter()
 	begin := time.Now()
 	res, stats, aerr := pipeline.AnalyzeRepo(ctx, repo, pipeline.Options{
 		CacheDir:  s.cfg.CacheDir,
@@ -385,21 +566,53 @@ func (s *Server) analyze(ctx context.Context, repo *vcs.Repo, fingerprint string
 		Telemetry: s.tel,
 	})
 	busy := time.Since(begin)
-	exec.Exit()
-	exec.Observe(0, busy, aerr != nil)
+	s.execStage.Exit()
+	s.execStage.Observe(0, busy, aerr != nil)
 	s.analyses.Add(1)
 	if aerr != nil {
 		return nil, &analysisError{err: aerr, rep: stats.Degradation}
 	}
-
-	cached := &pipeline.CachedResult{
+	return &pipeline.CachedResult{
 		Fingerprint: fingerprint,
 		Project:     repo.Name,
 		History:     res.History,
 		Measures:    res.Measures,
+	}, nil
+}
+
+// commit persists one analyzed submission — result and source snapshot —
+// and folds it into the live aggregates, invalidating the superseded
+// version. A store flush error is not a request failure: the result
+// still serves from the hot tier and telemetry records the incident.
+func (s *Server) commit(repo *vcs.Repo, fingerprint, id string, res *pipeline.CachedResult) {
+	prevID, _ := s.store.Put(store.Entry{
+		ID:          id,
+		Name:        repo.Name,
+		Fingerprint: fingerprint,
+		Source:      pipeline.EncodeRepo(repo),
+		Result:      pipeline.EncodeResult(res),
+	})
+	s.aggPut(id, repo.Name, assignedPattern(res.Measures, s.scheme), prevID)
+}
+
+// aggPut updates the live aggregates: the superseded entry leaves, the
+// new one joins — but only while it is still the name's live version
+// (concurrent overwrites of one project linearize on the store, so the
+// check keeps the aggregates convergent regardless of commit order), and
+// never for corpus-owned IDs (the corpus contribution is immutable).
+func (s *Server) aggPut(id, name string, pat core.Pattern, prevID string) {
+	s.aggMu.Lock()
+	defer s.aggMu.Unlock()
+	if prevID != "" {
+		delete(s.agg, prevID)
 	}
-	s.store.put(projectID(fingerprint), pipeline.EncodeResult(cached))
-	return cached, nil
+	if live, ok := s.store.LatestID(name); !ok || live != id {
+		return
+	}
+	if _, corpusOwned := s.index.Lookup(id); corpusOwned {
+		return
+	}
+	s.agg[id] = aggEntry{name: name, pat: pat}
 }
 
 // writeSubmitError maps an analysis failure to its status code and body.
@@ -426,20 +639,28 @@ func (s *Server) writeSubmitError(w http.ResponseWriter, err error) {
 }
 
 // handleProject is GET /v1/projects/{id}: the result store first (any
-// previously submitted history), then the corpus index (preloaded
-// projects), else 404. Responses are byte-identical to the submit
-// response for the same content.
+// previously submitted history, hot or disk tier), then on-demand
+// re-analysis from the persisted source snapshot (an evicted or
+// quarantined result is recomputable, not lost), then the corpus index
+// (preloaded projects), else 404. Responses are byte-identical to the
+// submit response for the same content.
 func (s *Server) handleProject(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	if data, ok := s.store.get(id); ok {
-		s.tel.CacheHit(int64(len(data)))
+	if data, _, ok := s.store.Get(id); ok {
 		if res, err := pipeline.DecodeResult(data); err == nil {
 			w.Header().Set("X-Cache", "hit")
 			writeJSON(w, http.StatusOK, buildProjectWire(id, res.Project, res.History, res.Measures, s.scheme))
 			return
 		}
 	}
-	s.tel.CacheMiss()
+	if res, ok, err := s.reanalyze(r.Context(), id); err != nil {
+		s.writeSubmitError(w, err)
+		return
+	} else if ok {
+		w.Header().Set("X-Cache", "reanalyzed")
+		writeJSON(w, http.StatusOK, buildProjectWire(id, res.Project, res.History, res.Measures, s.scheme))
+		return
+	}
 	if p, ok := s.index.Lookup(id); ok && p.Analyzed {
 		w.Header().Set("X-Cache", "corpus")
 		writeJSON(w, http.StatusOK, buildProjectWire(id, p.Name, p.History, p.Measures, s.scheme))
@@ -448,36 +669,120 @@ func (s *Server) handleProject(w http.ResponseWriter, r *http.Request) {
 	writeError(w, http.StatusNotFound, "unknown project id "+id, nil)
 }
 
-// handleCorpusStats is GET /v1/corpus/stats (pre-rendered at startup).
-func (s *Server) handleCorpusStats(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	w.Write(s.statsBody)
+// reanalyze recomputes a live entry whose result is currently
+// unreadable, from its persisted source snapshot, writing the result
+// back to the store. Returns ok=false when the store has no source for
+// id (the caller falls through to the corpus / 404).
+func (s *Server) reanalyze(ctx context.Context, id string) (*pipeline.CachedResult, bool, error) {
+	srcBytes, ok := s.store.Source(id)
+	if !ok {
+		return nil, false, nil
+	}
+	val, err, _ := s.flight.Do("reanalyze:"+id, func() (any, error) {
+		// The result may have reappeared while we waited for leadership.
+		if data, _, ok := s.store.Get(id); ok {
+			if res, derr := pipeline.DecodeResult(data); derr == nil {
+				return res, nil
+			}
+		}
+		repo, derr := pipeline.DecodeRepo(srcBytes)
+		if derr != nil {
+			return nil, fmt.Errorf("server: stored snapshot for %s: %w", id, derr)
+		}
+		select {
+		case s.sem <- struct{}{}:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		defer func() { <-s.sem }()
+		res, aerr := s.runFull(ctx, repo, pipeline.Fingerprint(repo))
+		if aerr != nil {
+			return nil, aerr
+		}
+		s.tel.StoreReanalysis()
+		if perr := s.store.PutResult(id, pipeline.EncodeResult(res)); perr == nil {
+			s.aggPut(id, repo.Name, assignedPattern(res.Measures, s.scheme), "")
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	return val.(*pipeline.CachedResult), true, nil
 }
 
-// handleCorpusPatterns is GET /v1/corpus/patterns (pre-rendered at
-// startup).
+// deleteWire is the DELETE /v1/projects/{id} success body.
+type deleteWire struct {
+	SchemaVersion int    `json:"schema_version"`
+	ID            string `json:"id"`
+	Status        string `json:"status"`
+}
+
+// handleDelete is DELETE /v1/projects/{id}: remove a submitted project
+// from the store (tombstoned on disk, gone from every tier and the
+// aggregates). Corpus projects are immutable — 403.
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.index.Lookup(id); ok {
+		writeError(w, http.StatusForbidden, "corpus projects are immutable", nil)
+		return
+	}
+	deleted, _ := s.store.Delete(id)
+	if !deleted {
+		writeError(w, http.StatusNotFound, "unknown project id "+id, nil)
+		return
+	}
+	s.aggMu.Lock()
+	delete(s.agg, id)
+	s.aggMu.Unlock()
+	writeJSON(w, http.StatusOK, deleteWire{SchemaVersion: APISchemaVersion, ID: id, Status: "deleted"})
+}
+
+// aggMembers snapshots the live store-backed aggregate membership.
+func (s *Server) aggMembers() []member {
+	s.aggMu.Lock()
+	defer s.aggMu.Unlock()
+	out := make([]member, 0, len(s.agg))
+	for id, e := range s.agg {
+		out = append(out, member{id: id, name: e.name, pat: e.pat})
+	}
+	return out
+}
+
+// handleCorpusStats is GET /v1/corpus/stats: the corpus baseline plus
+// every live submitted project, tallied by pattern.
+func (s *Server) handleCorpusStats(w http.ResponseWriter, r *http.Request) {
+	extra := s.aggMembers()
+	members := append(append([]member{}, s.corpusMembers...), extra...)
+	writeJSON(w, http.StatusOK, buildCorpusStats(s.corpus.Len()+len(extra), members))
+}
+
+// handleCorpusPatterns is GET /v1/corpus/patterns: pattern groups over
+// the corpus baseline plus every live submitted project.
 func (s *Server) handleCorpusPatterns(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	w.Write(s.patternsBody)
+	members := append(append([]member{}, s.corpusMembers...), s.aggMembers()...)
+	writeJSON(w, http.StatusOK, buildCorpusPatterns(members))
 }
 
 // healthzWire is the GET /healthz body.
 type healthzWire struct {
 	Status   string `json:"status"`
 	Projects int    `json:"projects"`
+	Stored   int    `json:"stored"`
 }
 
-// handleHealthz is GET /healthz: liveness plus the corpus size. (While
-// draining, the drain gate answers 503 before this handler runs — load
-// balancers stop routing on the status flip.)
+// handleHealthz is GET /healthz: liveness plus the corpus size and the
+// live store population. (While draining, the drain gate answers 503
+// before this handler runs — load balancers stop routing on the status
+// flip.)
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, healthzWire{Status: "ok", Projects: s.corpus.Len()})
+	writeJSON(w, http.StatusOK, healthzWire{Status: "ok", Projects: s.corpus.Len(), Stored: s.store.Len()})
 }
 
 // handleMetrics is GET /metrics: the run's telemetry report JSON
-// (schema_version'd; see internal/telemetry). The report's cache block
-// aggregates the in-memory result store and, when configured, the
-// pipeline's disk cache.
+// (schema_version'd; see internal/telemetry). The report's store block
+// aggregates the result store's tiers; the cache block covers the
+// pipeline's disk cache when configured.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	if err := s.tel.WriteJSON(w); err != nil {

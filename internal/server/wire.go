@@ -6,7 +6,6 @@ import (
 	"sort"
 
 	"schemaevo/internal/core"
-	"schemaevo/internal/corpus"
 	"schemaevo/internal/history"
 	"schemaevo/internal/metrics"
 	"schemaevo/internal/pipeline"
@@ -188,17 +187,45 @@ func buildProjectWire(id, project string, h *history.History, m metrics.Measures
 	}
 }
 
-// buildCorpusStats tallies the analyzed corpus by assigned pattern in the
-// paper's presentation order (patterns with no members are included, so
-// the document shape is corpus-independent).
-func buildCorpusStats(c *corpus.Corpus) corpusStatsWire {
-	out := corpusStatsWire{SchemaVersion: APISchemaVersion, Projects: c.Len(), Patterns: []patternCountWire{}}
+// member is one analyzed project's contribution to the aggregate
+// endpoints: its stable ID, name, and assigned pattern. Both the
+// immutable corpus baseline and the live store-backed set reduce to this
+// shape, so the aggregate builders are order-independent pure functions.
+type member struct {
+	id, name string
+	pat      core.Pattern
+}
+
+// assignedPattern derives the pattern a result counts under, mirroring
+// buildProjectWire's classification exactly (definitional match first,
+// else the nearest pattern) so a project's aggregate bucket always
+// matches its wire body.
+func assignedPattern(m metrics.Measures, scheme quantize.Scheme) core.Pattern {
+	if !m.HasSchema {
+		return core.Unclassified
+	}
+	labels := quantize.Compute(m, scheme)
+	pat := core.Classify(labels)
+	if pat == core.Unclassified {
+		pat = core.ClassifyNearest(labels)
+	}
+	return pat
+}
+
+// buildCorpusStats tallies members by assigned pattern in the paper's
+// presentation order (patterns with no members are included, so the
+// document shape is corpus-independent). projects is the total project
+// count including any unanalyzed corpus entries.
+func buildCorpusStats(projects int, members []member) corpusStatsWire {
+	out := corpusStatsWire{
+		SchemaVersion: APISchemaVersion,
+		Projects:      projects,
+		Analyzed:      len(members),
+		Patterns:      []patternCountWire{},
+	}
 	counts := map[core.Pattern]int{}
-	for _, p := range c.Projects {
-		if p.Analyzed {
-			out.Analyzed++
-			counts[p.Assigned()]++
-		}
+	for _, m := range members {
+		counts[m.pat]++
 	}
 	for _, pat := range core.AllPatterns {
 		out.Patterns = append(out.Patterns, patternCountWire{
@@ -217,20 +244,17 @@ func buildCorpusStats(c *corpus.Corpus) corpusStatsWire {
 	return out
 }
 
-// buildCorpusPatterns groups analyzed projects by assigned pattern,
-// sorted by name within each group; idOf supplies each project's stable
-// resource ID.
-func buildCorpusPatterns(c *corpus.Corpus, idOf func(*corpus.Project) string) corpusPatternsWire {
+// buildCorpusPatterns groups members by assigned pattern, sorted by name
+// within each group — a deterministic rendering however the membership
+// accumulated.
+func buildCorpusPatterns(members []member) corpusPatternsWire {
 	out := corpusPatternsWire{SchemaVersion: APISchemaVersion, Groups: []patternGroupWire{}}
-	members := map[core.Pattern][]projectRefWire{}
-	for _, p := range c.Projects {
-		if p.Analyzed {
-			ref := projectRefWire{Name: p.Name, ID: idOf(p)}
-			members[p.Assigned()] = append(members[p.Assigned()], ref)
-		}
+	grouped := map[core.Pattern][]projectRefWire{}
+	for _, m := range members {
+		grouped[m.pat] = append(grouped[m.pat], projectRefWire{Name: m.name, ID: m.id})
 	}
 	emit := func(pat core.Pattern) {
-		refs := members[pat]
+		refs := grouped[pat]
 		sort.Slice(refs, func(i, j int) bool { return refs[i].Name < refs[j].Name })
 		if refs == nil {
 			refs = []projectRefWire{}
@@ -245,7 +269,7 @@ func buildCorpusPatterns(c *corpus.Corpus, idOf func(*corpus.Project) string) co
 	for _, pat := range core.AllPatterns {
 		emit(pat)
 	}
-	if len(members[core.Unclassified]) > 0 {
+	if len(grouped[core.Unclassified]) > 0 {
 		emit(core.Unclassified)
 	}
 	return out

@@ -1,0 +1,751 @@
+// Package store is the service's source of truth for analyzed projects: a
+// sharded, content-addressed, two-tier result store. The hot tier is a
+// bounded in-memory LRU of encoded results; the disk tier (optional —
+// enabled by Config.Dir) is one append-friendly segment file per shard
+// holding CRC-32C-framed records of both the analysis result and the
+// submitted source snapshot, in the pipeline's binary codec.
+//
+// Persisting the source next to the result is what turns eviction and
+// corruption from data loss into extra work: a result missing from every
+// tier is recomputable from its snapshot, and a project submitting version
+// N+1 can be re-analyzed incrementally against its stored parse. The store
+// itself is policy-free — it keeps bytes, liveness and integrity; analysis
+// belongs to the caller.
+//
+// Durability model: records are appended and flushed per operation, with
+// no fsync — the store targets crash-consistency (every record is either
+// wholly readable or quarantined by its frame CRC), not power-loss
+// durability. Liveness is resolved at recovery time by per-name
+// max-sequence: an overwrite simply appends newer records, a delete
+// appends a tombstone, and compaction rewrites a shard keeping only live
+// records. See DESIGN.md §11 for the recovery invariants.
+package store
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"schemaevo/internal/faultinject"
+	"schemaevo/internal/telemetry"
+)
+
+// Config parameterizes a Store. The zero value is a valid memory-only
+// store with default hot-tier bounds.
+type Config struct {
+	// Dir is the disk tier's directory; empty selects memory-only mode
+	// (source snapshots retained unboundedly in memory, results only in
+	// the hot tier — still recomputable after eviction).
+	Dir string
+	// Shards is the number of disk segment files. <= 0 selects 8. The
+	// count is fixed at directory creation (persisted in store.json);
+	// reopening ignores a differing value.
+	Shards int
+	// HotEntries caps the hot tier's entry count. <= 0 selects 1024.
+	HotEntries int
+	// HotBytes caps the hot tier's total encoded-result bytes. <= 0
+	// selects 256 MiB.
+	HotBytes int64
+	// CompactMinBytes is the per-shard garbage floor below which
+	// compaction never triggers. <= 0 selects 1 MiB.
+	CompactMinBytes int64
+	// Telemetry receives store metrics; nil disables (nil-safe collector).
+	Telemetry *telemetry.Collector
+	// Fault injects deterministic chaos into segment flushes (site
+	// "store.flush", keyed by project ID). nil disables.
+	Fault *faultinject.Injector
+}
+
+// Entry is one project's stored state, submitted to Put.
+type Entry struct {
+	// ID is the short content-hash resource ID; Fingerprint the full one.
+	ID, Name, Fingerprint string
+	// Source is the pipeline.EncodeRepo snapshot of the submitted repo.
+	Source []byte
+	// Result is the pipeline.EncodeResult analysis, nil when unknown.
+	Result []byte
+}
+
+// ref locates one framed record in a shard's segment file. The zero ref
+// means absent.
+type ref struct {
+	start, total     int64
+	bodyOff, bodyLen int64
+}
+
+func (r ref) ok() bool { return r.total != 0 }
+
+// meta is the in-memory index entry of one live project.
+type meta struct {
+	id, name, fp string
+	srcMem       []byte // memory mode: the snapshot itself
+	src, res     ref    // disk mode: record locations
+}
+
+// shard is one lock domain: a slice of the ID space with its own index
+// and segment file.
+type shard struct {
+	mu      sync.Mutex
+	file    *os.File // nil in memory mode
+	path    string
+	size    int64 // physical append offset
+	byID    map[string]*meta
+	live    int64 // bytes of records referenced by the index
+	garbage int64 // bytes of dead/damaged records awaiting compaction
+}
+
+// Store is the two-tier result store. All methods are safe for concurrent
+// use. Construct with Open.
+type Store struct {
+	dir        string
+	shards     []*shard
+	hot        *hotTier
+	tel        *telemetry.Collector
+	fault      *faultinject.Injector
+	compactMin int64
+	seq        atomic.Uint64
+
+	nmu    sync.Mutex
+	byName map[string]string // live project name -> ID
+
+	quarantined atomic.Int64
+	compactions atomic.Int64
+	flushErrors atomic.Int64
+}
+
+// storeMeta is the store.json sidecar pinning layout parameters that must
+// not drift between opens.
+type storeMeta struct {
+	Version int `json:"version"`
+	Shards  int `json:"shards"`
+}
+
+const storeMetaVersion = 1
+
+// Open builds the store, recovering the disk tier's index by scanning
+// every shard segment: damaged records are quarantined (counted, skipped,
+// their space reclaimed by the next compaction) and every intact record is
+// resolved by per-name max-sequence into the live set.
+func Open(cfg Config) (*Store, error) {
+	s := &Store{
+		dir:        cfg.Dir,
+		tel:        cfg.Telemetry,
+		fault:      cfg.Fault,
+		compactMin: cfg.CompactMinBytes,
+		byName:     map[string]string{},
+	}
+	if s.compactMin <= 0 {
+		s.compactMin = 1 << 20
+	}
+	s.hot = newHotTier(cfg.HotEntries, cfg.HotBytes, func() { s.tel.StoreEvict() })
+
+	n := cfg.Shards
+	if n <= 0 {
+		n = 8
+	}
+	if s.dir == "" {
+		for i := 0; i < n; i++ {
+			s.shards = append(s.shards, &shard{byID: map[string]*meta{}})
+		}
+		s.seq.Store(1)
+		return s, nil
+	}
+
+	if err := os.MkdirAll(s.dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	metaPath := filepath.Join(s.dir, "store.json")
+	if data, err := os.ReadFile(metaPath); err == nil {
+		var sm storeMeta
+		if jerr := json.Unmarshal(data, &sm); jerr == nil && sm.Shards > 0 {
+			n = sm.Shards // the on-disk layout wins over the config
+		}
+	} else {
+		data, _ := json.Marshal(storeMeta{Version: storeMetaVersion, Shards: n})
+		if werr := os.WriteFile(metaPath, append(data, '\n'), 0o644); werr != nil {
+			return nil, fmt.Errorf("store: %w", werr)
+		}
+	}
+
+	type located struct {
+		rec
+		shard int
+	}
+	var all []located
+	for i := 0; i < n; i++ {
+		sh := &shard{byID: map[string]*meta{}, path: filepath.Join(s.dir, fmt.Sprintf("shard-%03d.seg", i))}
+		f, err := os.OpenFile(sh.path, os.O_RDWR|os.O_CREATE, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		sh.file = f
+		data, err := os.ReadFile(sh.path)
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		sh.size = int64(len(data))
+		if len(data) == 0 {
+			if _, err := f.Write([]byte(segHeader)); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("store: %w", err)
+			}
+			sh.size = int64(len(segHeader))
+		} else {
+			// A damaged file header is not fatal: scan from 0 and let the
+			// frame magic resynchronize.
+			base := int64(0)
+			if len(data) >= len(segHeader) && string(data[:len(segHeader)]) == segHeader {
+				base = int64(len(segHeader))
+			}
+			recs, bad := scanRecords(data[base:], base)
+			if bad > 0 {
+				s.quarantined.Add(int64(bad))
+				for i := 0; i < bad; i++ {
+					s.tel.StoreQuarantine()
+				}
+			}
+			for _, r := range recs {
+				all = append(all, located{rec: r, shard: i})
+			}
+		}
+		s.shards = append(s.shards, sh)
+	}
+
+	// Liveness: the newest record per name decides — a tombstone kills the
+	// name, any other kind elects its ID. (Result records participate so a
+	// project whose source record was damaged still serves its result.)
+	maxSeq := uint64(0)
+	nameW := map[string]located{}
+	for _, r := range all {
+		if r.seq > maxSeq {
+			maxSeq = r.seq
+		}
+		if w, ok := nameW[r.name]; !ok || r.seq > w.seq {
+			nameW[r.name] = r
+		}
+	}
+	liveID := map[string]bool{}
+	for name, w := range nameW {
+		if w.kind != recTombstone {
+			liveID[w.id] = true
+			s.byName[name] = w.id
+		}
+	}
+	bestSrc := map[string]located{}
+	bestRes := map[string]located{}
+	for _, r := range all {
+		if !liveID[r.id] {
+			continue
+		}
+		switch r.kind {
+		case recSource:
+			if b, ok := bestSrc[r.id]; !ok || r.seq > b.seq {
+				bestSrc[r.id] = r
+			}
+		case recResult:
+			if b, ok := bestRes[r.id]; !ok || r.seq > b.seq {
+				bestRes[r.id] = r
+			}
+		}
+	}
+	chosen := map[int64]bool{} // by record start offset, per shard… see below
+	place := func(r located) ref {
+		chosen[int64(r.shard)<<40|r.start] = true
+		s.shards[r.shard].live += r.total
+		return ref{start: r.start, total: r.total, bodyOff: r.bodyOff, bodyLen: r.bodyLen}
+	}
+	for _, id := range sortedKeys(liveID) {
+		var m *meta
+		shIdx := -1
+		if r, ok := bestSrc[id]; ok {
+			m = &meta{id: id, name: r.name, fp: r.fp, src: place(r)}
+			shIdx = r.shard
+		}
+		if r, ok := bestRes[id]; ok {
+			if m == nil {
+				m = &meta{id: id, name: r.name, fp: r.fp}
+				shIdx = r.shard
+			}
+			m.res = place(r)
+		}
+		if m != nil {
+			s.shards[shIdx].byID[id] = m
+		}
+	}
+	for _, r := range all {
+		if !chosen[int64(r.shard)<<40|r.start] {
+			s.shards[r.shard].garbage += r.total
+		}
+	}
+	s.seq.Store(maxSeq + 1)
+	return s, nil
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Close releases the segment file handles. The store must not be used
+// afterwards.
+func (s *Store) Close() error {
+	var first error
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		if sh.file != nil {
+			if err := sh.file.Close(); err != nil && first == nil {
+				first = err
+			}
+			sh.file = nil
+		}
+		sh.mu.Unlock()
+	}
+	return first
+}
+
+// shardFor maps an ID to its lock domain.
+func (s *Store) shardFor(id string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return s.shards[h.Sum32()%uint32(len(s.shards))]
+}
+
+// Len returns the number of live projects.
+func (s *Store) Len() int {
+	s.nmu.Lock()
+	defer s.nmu.Unlock()
+	return len(s.byName)
+}
+
+// LatestID returns the live project ID for a name — the hook the
+// incremental re-analysis path uses to find the version a new submission
+// may extend.
+func (s *Store) LatestID(name string) (string, bool) {
+	s.nmu.Lock()
+	defer s.nmu.Unlock()
+	id, ok := s.byName[name]
+	return id, ok
+}
+
+// Get returns the encoded result for id and which tier served it ("hot"
+// or "disk"). A disk hit is CRC-verified and promoted to the hot tier; a
+// record failing verification is quarantined — the entry survives as
+// source-only, recomputable on demand.
+func (s *Store) Get(id string) (data []byte, tier string, ok bool) {
+	if data, ok := s.hot.get(id); ok {
+		s.tel.StoreHotHit(int64(len(data)))
+		return data, "hot", true
+	}
+	s.tel.StoreHotMiss()
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	m := sh.byID[id]
+	if m == nil || sh.file == nil || !m.res.ok() {
+		sh.mu.Unlock()
+		s.tel.StoreDiskMiss()
+		return nil, "", false
+	}
+	body, err := sh.readRecordLocked(m.res)
+	if err != nil {
+		s.quarantineLocked(sh, &m.res)
+		sh.mu.Unlock()
+		s.tel.StoreDiskMiss()
+		return nil, "", false
+	}
+	sh.mu.Unlock()
+	s.hot.put(id, body)
+	s.tel.StoreDiskHit(int64(len(body)))
+	return body, "disk", true
+}
+
+// Source returns the persisted source snapshot for id
+// (pipeline.EncodeRepo bytes), CRC-verified on the disk tier.
+func (s *Store) Source(id string) ([]byte, bool) {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	m := sh.byID[id]
+	if m == nil {
+		return nil, false
+	}
+	if sh.file == nil {
+		return m.srcMem, m.srcMem != nil
+	}
+	if !m.src.ok() {
+		return nil, false
+	}
+	body, err := sh.readRecordLocked(m.src)
+	if err != nil {
+		s.quarantineLocked(sh, &m.src)
+		return nil, false
+	}
+	return body, true
+}
+
+// quarantineLocked retires a record reference that failed verification:
+// the entry keeps serving from its other artifacts, the bytes await
+// compaction.
+func (s *Store) quarantineLocked(sh *shard, r *ref) {
+	sh.garbage += r.total
+	sh.live -= r.total
+	*r = ref{}
+	s.quarantined.Add(1)
+	s.tel.StoreQuarantine()
+}
+
+// Put stores one project: the source snapshot and (when known) the
+// result, superseding any live entry with the same name. It returns the
+// superseded entry's ID ("" when none, or unchanged). A flush error is
+// returned after the in-memory state is updated — the hot tier still
+// serves the result; the disk records are quarantined on next read.
+func (s *Store) Put(e Entry) (prevID string, err error) {
+	end := s.seq.Add(2)
+	seqSrc, seqRes := end-2, end-1
+	sh := s.shardFor(e.ID)
+	sh.mu.Lock()
+	if old := sh.byID[e.ID]; old != nil {
+		s.retireLocked(sh, old)
+	}
+	m := &meta{id: e.ID, name: e.Name, fp: e.Fingerprint}
+	if sh.file == nil {
+		m.srcMem = e.Source
+	} else {
+		buf := appendRecord(nil, recSource, seqSrc, e.ID, e.Name, e.Fingerprint, e.Source)
+		m.src = ref{
+			start: sh.size, total: int64(len(buf)),
+			bodyOff: sh.size + int64(len(buf)) - 4 - int64(len(e.Source)), bodyLen: int64(len(e.Source)),
+		}
+		if e.Result != nil {
+			resStart := sh.size + int64(len(buf))
+			buf = appendRecord(buf, recResult, seqRes, e.ID, e.Name, e.Fingerprint, e.Result)
+			total := sh.size + int64(len(buf)) - resStart
+			m.res = ref{
+				start: resStart, total: total,
+				bodyOff: resStart + total - 4 - int64(len(e.Result)), bodyLen: int64(len(e.Result)),
+			}
+		}
+		sh.live += int64(len(buf))
+		err = s.flushLocked(sh, e.ID, buf)
+	}
+	sh.byID[e.ID] = m
+	s.maybeCompactLocked(sh)
+	sh.mu.Unlock()
+
+	if e.Result != nil {
+		s.hot.put(e.ID, e.Result)
+	}
+	s.nmu.Lock()
+	prevID = s.byName[e.Name]
+	s.byName[e.Name] = e.ID
+	s.nmu.Unlock()
+	if prevID == e.ID {
+		prevID = ""
+	}
+	if prevID != "" {
+		s.invalidate(prevID)
+	}
+	return prevID, err
+}
+
+// PutResult attaches (or refreshes) the analysis result of a live entry —
+// the write-back after an on-demand re-analysis of an evicted or
+// quarantined result.
+func (s *Store) PutResult(id string, result []byte) error {
+	seq := s.seq.Add(1) - 1
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	m := sh.byID[id]
+	if m == nil {
+		sh.mu.Unlock()
+		return fmt.Errorf("store: no live entry %s", id)
+	}
+	var err error
+	if sh.file != nil {
+		if m.res.ok() {
+			sh.garbage += m.res.total
+			sh.live -= m.res.total
+		}
+		buf := appendRecord(nil, recResult, seq, m.id, m.name, m.fp, result)
+		m.res = ref{
+			start: sh.size, total: int64(len(buf)),
+			bodyOff: sh.size + int64(len(buf)) - 4 - int64(len(result)), bodyLen: int64(len(result)),
+		}
+		sh.live += int64(len(buf))
+		err = s.flushLocked(sh, id, buf)
+		s.maybeCompactLocked(sh)
+	}
+	sh.mu.Unlock()
+	s.hot.put(id, result)
+	return err
+}
+
+// Delete removes a live entry: a tombstone record supersedes it on disk
+// (so recovery agrees), and every tier forgets it immediately.
+func (s *Store) Delete(id string) (bool, error) {
+	seq := s.seq.Add(1) - 1
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	m := sh.byID[id]
+	if m == nil {
+		sh.mu.Unlock()
+		return false, nil
+	}
+	var err error
+	if sh.file != nil {
+		buf := appendRecord(nil, recTombstone, seq, m.id, m.name, m.fp, nil)
+		// The tombstone is immediately garbage-in-waiting: it only guards
+		// recovery until compaction drops the records it supersedes.
+		sh.garbage += int64(len(buf))
+		err = s.flushLocked(sh, id, buf)
+	}
+	s.retireLocked(sh, m)
+	delete(sh.byID, id)
+	s.maybeCompactLocked(sh)
+	sh.mu.Unlock()
+
+	s.hot.remove(id)
+	s.nmu.Lock()
+	if s.byName[m.name] == id {
+		delete(s.byName, m.name)
+	}
+	s.nmu.Unlock()
+	return true, err
+}
+
+// invalidate drops a superseded entry from the index and the hot tier
+// (its records become garbage; recovery ignores them by sequence order).
+func (s *Store) invalidate(id string) {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	if m := sh.byID[id]; m != nil {
+		s.retireLocked(sh, m)
+		delete(sh.byID, id)
+		s.maybeCompactLocked(sh)
+	}
+	sh.mu.Unlock()
+	s.hot.remove(id)
+}
+
+// retireLocked accounts a meta's records as garbage.
+func (s *Store) retireLocked(sh *shard, m *meta) {
+	for _, r := range []ref{m.src, m.res} {
+		if r.ok() {
+			sh.garbage += r.total
+			sh.live -= r.total
+		}
+	}
+}
+
+// Each calls fn for every live entry in name order, with the encoded
+// result when one is currently readable (nil otherwise — evicted in
+// memory mode, quarantined or pending on disk). It is the aggregate
+// rebuild hook a server runs at startup; reads go through the normal
+// tiers, warming the hot tier.
+func (s *Store) Each(fn func(id, name string, result []byte)) {
+	s.nmu.Lock()
+	names := make([]string, 0, len(s.byName))
+	for n := range s.byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	ids := make([]string, len(names))
+	for i, n := range names {
+		ids[i] = s.byName[n]
+	}
+	s.nmu.Unlock()
+	for i, id := range ids {
+		data, _, ok := s.Get(id)
+		if !ok {
+			data = nil
+		}
+		fn(id, names[i], data)
+	}
+}
+
+// flushLocked writes buf at the shard's append offset, honoring the
+// "store.flush" fault site: KindErr tears the write (half the buffer
+// lands, then an error), KindCorrupt mangles the buffer before a
+// successful write (latent bit-rot, caught by record CRCs), KindDelay
+// stalls. The append offset always advances by the bytes actually
+// written, so later records land where the index says they do.
+func (s *Store) flushLocked(sh *shard, key string, buf []byte) error {
+	switch s.fault.At("store.flush", key) {
+	case faultinject.KindErr:
+		// Tear at a key-derived offset so the cut can land anywhere in the
+		// batch — mid-frame, between records, or inside the CRC trailer —
+		// exactly like a real crash mid-write.
+		h := fnv.New32a()
+		h.Write([]byte(key))
+		cut := 1 + int(h.Sum32())%len(buf)
+		if cut >= len(buf) {
+			cut = len(buf) - 1
+		}
+		n, _ := sh.file.WriteAt(buf[:cut], sh.size)
+		sh.size += int64(n)
+		s.flushErrors.Add(1)
+		s.tel.StoreFlushError()
+		return &faultinject.Error{Site: "store.flush", Key: key}
+	case faultinject.KindCorrupt:
+		s.fault.Mangle(buf, key)
+	case faultinject.KindDelay:
+		s.fault.Sleep(context.Background())
+	}
+	n, err := sh.file.WriteAt(buf, sh.size)
+	sh.size += int64(n)
+	s.tel.StoreAppend(int64(len(buf)))
+	if err != nil {
+		s.flushErrors.Add(1)
+		s.tel.StoreFlushError()
+		return fmt.Errorf("store: flush: %w", err)
+	}
+	s.tel.StoreFlush()
+	return nil
+}
+
+// readRecordLocked reads one framed record and verifies its magic and
+// CRC, returning the body.
+func (sh *shard) readRecordLocked(r ref) ([]byte, error) {
+	buf := make([]byte, r.total)
+	if _, err := sh.file.ReadAt(buf, r.start); err != nil {
+		return nil, fmt.Errorf("store: read record: %w", err)
+	}
+	recs, _ := scanRecords(buf, r.start)
+	if len(recs) != 1 || recs[0].total != r.total {
+		return nil, fmt.Errorf("store: record at %d failed verification", r.start)
+	}
+	return buf[r.bodyOff-r.start : r.bodyOff-r.start+r.bodyLen], nil
+}
+
+// maybeCompactLocked rewrites the shard's segment with only live records
+// once garbage exceeds both the configured floor and the live volume.
+// Compaction is crash-safe: the replacement is built in a temp file and
+// renamed over the segment, so a crash leaves either the old or the new
+// file, never a hybrid.
+func (s *Store) maybeCompactLocked(sh *shard) {
+	if sh.file == nil || sh.garbage < s.compactMin || sh.garbage < sh.live {
+		return
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(sh.path), "compact-*")
+	if err != nil {
+		return // compaction is an optimization; try again next trigger
+	}
+	defer os.Remove(tmp.Name())
+
+	ids := make([]string, 0, len(sh.byID))
+	for id := range sh.byID {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	buf := []byte(segHeader)
+	type move struct {
+		m     *meta
+		which *ref
+		to    ref
+	}
+	var moves []move
+	for _, id := range ids {
+		m := sh.byID[id]
+		for _, which := range []*ref{&m.src, &m.res} {
+			if !which.ok() {
+				continue
+			}
+			body, err := sh.readRecordLocked(*which)
+			if err != nil {
+				s.quarantineLocked(sh, which)
+				continue
+			}
+			kind := recSource
+			if which == &m.res {
+				kind = recResult
+			}
+			start := int64(len(buf))
+			buf = appendRecord(buf, kind, s.seq.Add(1)-1, m.id, m.name, m.fp, body)
+			total := int64(len(buf)) - start
+			moves = append(moves, move{m: m, which: which, to: ref{
+				start: start, total: total,
+				bodyOff: start + total - 4 - int64(len(body)), bodyLen: int64(len(body)),
+			}})
+		}
+	}
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		return
+	}
+	if err := os.Rename(tmp.Name(), sh.path); err != nil {
+		return
+	}
+	f, err := os.OpenFile(sh.path, os.O_RDWR, 0o644)
+	if err != nil {
+		// The rename landed but the reopen failed: the shard is now
+		// unreadable until the next Open. Keep the old handle closed.
+		sh.file.Close()
+		sh.file = nil
+		return
+	}
+	sh.file.Close()
+	sh.file = f
+	sh.size = int64(len(buf))
+	sh.garbage = 0
+	sh.live = int64(len(buf)) - int64(len(segHeader))
+	for _, mv := range moves {
+		*mv.which = mv.to
+	}
+	s.compactions.Add(1)
+	s.tel.StoreCompaction()
+}
+
+// Stats is a point-in-time health snapshot, for tests and debugging.
+type Stats struct {
+	// Entries is the live project count; MissingResults how many of them
+	// have no durably readable result right now.
+	Entries        int
+	MissingResults int
+	HotEntries     int
+	HotBytes       int64
+	Evictions      int64
+	Quarantined    int64
+	Compactions    int64
+	FlushErrors    int64
+	GarbageBytes   int64
+	LiveBytes      int64
+}
+
+// StatsSnapshot gathers Stats across all shards.
+func (s *Store) StatsSnapshot() Stats {
+	var st Stats
+	st.HotEntries, st.HotBytes, st.Evictions = s.hot.stats()
+	st.Quarantined = s.quarantined.Load()
+	st.Compactions = s.compactions.Load()
+	st.FlushErrors = s.flushErrors.Load()
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		st.Entries += len(sh.byID)
+		for id, m := range sh.byID {
+			if sh.file != nil {
+				if !m.res.ok() {
+					st.MissingResults++
+				}
+			} else if _, ok := s.hot.get(id); !ok {
+				st.MissingResults++
+			}
+		}
+		st.GarbageBytes += sh.garbage
+		st.LiveBytes += sh.live
+		sh.mu.Unlock()
+	}
+	return st
+}

@@ -12,7 +12,7 @@ import (
 // ReportSchemaVersion identifies the report layout; consumers should
 // reject versions they do not understand. Bump it whenever a field is
 // added, removed, or changes meaning.
-const ReportSchemaVersion = 1
+const ReportSchemaVersion = 2
 
 // StageReport is one stage's aggregated telemetry. Field order is part
 // of the report contract and is pinned by a golden test.
@@ -54,6 +54,28 @@ type CacheReport struct {
 	HitRate float64 `json:"hit_rate"`
 }
 
+// StoreReport aggregates the two-tier result store's telemetry.
+type StoreReport struct {
+	HotHits     int64 `json:"hot_hits"`
+	HotMisses   int64 `json:"hot_misses"`
+	DiskHits    int64 `json:"disk_hits"`
+	DiskMisses  int64 `json:"disk_misses"`
+	Appends     int64 `json:"appends"`
+	Flushes     int64 `json:"flushes"`
+	FlushErrors int64 `json:"flush_errors"`
+	Compactions int64 `json:"compactions"`
+	Quarantined int64 `json:"quarantined"`
+	Evictions   int64 `json:"evictions"`
+	// Reanalyses counts projects recomputed from their persisted source
+	// because the stored result was evicted or quarantined.
+	Reanalyses   int64 `json:"reanalyses"`
+	BytesRead    int64 `json:"bytes_read"`
+	BytesWritten int64 `json:"bytes_written"`
+	// HitRate is (HotHits+DiskHits)/(HotHits+DiskHits+DiskMisses): the
+	// fraction of lookups any tier answered. 0 with no traffic.
+	HitRate float64 `json:"hit_rate"`
+}
+
 // EventCount is one named event tally (a fault site/kind pair, a
 // degradation taxonomy kind).
 type EventCount struct {
@@ -71,6 +93,7 @@ type Report struct {
 	// Stages appear in registration order (pipeline order).
 	Stages []StageReport `json:"stages"`
 	Cache  CacheReport   `json:"cache"`
+	Store  StoreReport   `json:"store"`
 	// Faults and Degradation are sorted by name.
 	Faults       []EventCount `json:"faults"`
 	Degradation  []EventCount `json:"degradation"`
@@ -134,6 +157,25 @@ func (c *Collector) Snapshot() *Report {
 	}
 	if probes := r.Cache.Hits + r.Cache.Misses; probes > 0 {
 		r.Cache.HitRate = float64(r.Cache.Hits) / float64(probes)
+	}
+
+	r.Store = StoreReport{
+		HotHits:      c.storeHotHits.Load(),
+		HotMisses:    c.storeHotMisses.Load(),
+		DiskHits:     c.storeDiskHits.Load(),
+		DiskMisses:   c.storeDiskMisses.Load(),
+		Appends:      c.storeAppends.Load(),
+		Flushes:      c.storeFlushes.Load(),
+		FlushErrors:  c.storeFlushErrors.Load(),
+		Compactions:  c.storeCompactions.Load(),
+		Quarantined:  c.storeQuarant.Load(),
+		Evictions:    c.storeEvictions.Load(),
+		Reanalyses:   c.storeReanalyses.Load(),
+		BytesRead:    c.storeBytesIn.Load(),
+		BytesWritten: c.storeBytesOut.Load(),
+	}
+	if hits := r.Store.HotHits + r.Store.DiskHits; hits+r.Store.DiskMisses > 0 {
+		r.Store.HitRate = float64(hits) / float64(hits+r.Store.DiskMisses)
 	}
 	return r
 }

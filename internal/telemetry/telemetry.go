@@ -179,6 +179,20 @@ type Collector struct {
 	cacheQuarant  atomic.Int64
 	cacheBytesIn  atomic.Int64
 	cacheBytesOut atomic.Int64
+
+	storeHotHits     atomic.Int64
+	storeHotMisses   atomic.Int64
+	storeDiskHits    atomic.Int64
+	storeDiskMisses  atomic.Int64
+	storeAppends     atomic.Int64
+	storeFlushes     atomic.Int64
+	storeFlushErrors atomic.Int64
+	storeCompactions atomic.Int64
+	storeQuarant     atomic.Int64
+	storeEvictions   atomic.Int64
+	storeReanalyses  atomic.Int64
+	storeBytesIn     atomic.Int64
+	storeBytesOut    atomic.Int64
 }
 
 // New returns a collector anchored at the current time.
@@ -268,6 +282,104 @@ func (c *Collector) CacheQuarantine() {
 		return
 	}
 	c.cacheQuarant.Add(1)
+}
+
+// StoreHotHit records a result-store hit served from the in-memory hot
+// tier, n bytes. Nil-safe.
+func (c *Collector) StoreHotHit(n int64) {
+	if c == nil {
+		return
+	}
+	c.storeHotHits.Add(1)
+	c.storeBytesIn.Add(n)
+}
+
+// StoreHotMiss records a hot-tier miss (the lookup continues to the disk
+// tier when one is configured). Nil-safe.
+func (c *Collector) StoreHotMiss() {
+	if c == nil {
+		return
+	}
+	c.storeHotMisses.Add(1)
+}
+
+// StoreDiskHit records a result-store hit served from the disk tier,
+// n bytes. Nil-safe.
+func (c *Collector) StoreDiskHit(n int64) {
+	if c == nil {
+		return
+	}
+	c.storeDiskHits.Add(1)
+	c.storeBytesIn.Add(n)
+}
+
+// StoreDiskMiss records a store lookup that missed every tier. Nil-safe.
+func (c *Collector) StoreDiskMiss() {
+	if c == nil {
+		return
+	}
+	c.storeDiskMisses.Add(1)
+}
+
+// StoreAppend records one record of n bytes appended to a segment file
+// (still buffered until the next flush). Nil-safe.
+func (c *Collector) StoreAppend(n int64) {
+	if c == nil {
+		return
+	}
+	c.storeAppends.Add(1)
+	c.storeBytesOut.Add(n)
+}
+
+// StoreFlush records one successful segment flush. Nil-safe.
+func (c *Collector) StoreFlush() {
+	if c == nil {
+		return
+	}
+	c.storeFlushes.Add(1)
+}
+
+// StoreFlushError records a failed (possibly torn) segment flush. Nil-safe.
+func (c *Collector) StoreFlushError() {
+	if c == nil {
+		return
+	}
+	c.storeFlushErrors.Add(1)
+}
+
+// StoreCompaction records one shard compaction. Nil-safe.
+func (c *Collector) StoreCompaction() {
+	if c == nil {
+		return
+	}
+	c.storeCompactions.Add(1)
+}
+
+// StoreQuarantine records a store record that failed its integrity check
+// and was quarantined (skipped, its entry served from elsewhere or marked
+// for re-analysis). Nil-safe.
+func (c *Collector) StoreQuarantine() {
+	if c == nil {
+		return
+	}
+	c.storeQuarant.Add(1)
+}
+
+// StoreEvict records a hot-tier eviction. Nil-safe.
+func (c *Collector) StoreEvict() {
+	if c == nil {
+		return
+	}
+	c.storeEvictions.Add(1)
+}
+
+// StoreReanalysis records a project recomputed from its persisted source
+// snapshot because its stored result was evicted or quarantined. Nil-safe.
+func (c *Collector) StoreReanalysis() {
+	if c == nil {
+		return
+	}
+	c.storeReanalyses.Add(1)
 }
 
 // Fault records one injected fault firing at a site. Nil-safe. This is a

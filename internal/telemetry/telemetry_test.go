@@ -33,6 +33,17 @@ func TestNilCollectorIsNoOp(t *testing.T) {
 	c.CacheCorrupt()
 	c.CacheRetry()
 	c.CacheQuarantine()
+	c.StoreHotHit(10)
+	c.StoreHotMiss()
+	c.StoreDiskHit(20)
+	c.StoreDiskMiss()
+	c.StoreAppend(30)
+	c.StoreFlush()
+	c.StoreFlushError()
+	c.StoreCompaction()
+	c.StoreQuarantine()
+	c.StoreEvict()
+	c.StoreReanalysis()
 	c.Fault("site", "kind")
 	c.Degradation("parse")
 	c.RecordSpan("p", "parse", time.Now(), time.Millisecond, false)
@@ -160,6 +171,44 @@ func TestCacheAndEventCounters(t *testing.T) {
 	}
 	if len(rep.Degradation) != 2 || rep.Degradation[0].Name != "anomaly" {
 		t.Fatalf("degradation = %+v", rep.Degradation)
+	}
+}
+
+// TestStoreCounters checks the result-store counter block, including its
+// whole-store hit-rate definition (hot misses that a disk hit answers are
+// not misses of the store).
+func TestStoreCounters(t *testing.T) {
+	c := New()
+	c.StoreHotHit(100)
+	c.StoreHotHit(100)
+	c.StoreHotMiss()
+	c.StoreDiskHit(300)
+	c.StoreHotMiss()
+	c.StoreDiskMiss()
+	c.StoreAppend(500)
+	c.StoreAppend(250)
+	c.StoreFlush()
+	c.StoreFlushError()
+	c.StoreCompaction()
+	c.StoreQuarantine()
+	c.StoreEvict()
+	c.StoreReanalysis()
+
+	sr := c.Snapshot().Store
+	if sr.HotHits != 2 || sr.HotMisses != 2 || sr.DiskHits != 1 || sr.DiskMisses != 1 {
+		t.Fatalf("tier counters wrong: %+v", sr)
+	}
+	if sr.Appends != 2 || sr.Flushes != 1 || sr.FlushErrors != 1 || sr.Compactions != 1 {
+		t.Fatalf("write-path counters wrong: %+v", sr)
+	}
+	if sr.Quarantined != 1 || sr.Evictions != 1 || sr.Reanalyses != 1 {
+		t.Fatalf("health counters wrong: %+v", sr)
+	}
+	if sr.BytesRead != 500 || sr.BytesWritten != 750 {
+		t.Fatalf("store bytes = %d/%d, want 500/750", sr.BytesRead, sr.BytesWritten)
+	}
+	if sr.HitRate != 0.75 { // 3 hits / (3 hits + 1 terminal miss)
+		t.Fatalf("store hit rate = %v, want 0.75", sr.HitRate)
 	}
 }
 
