@@ -169,7 +169,11 @@ func run(o options) error {
 	// shape stable.
 	fmt.Printf("schemaevod: serving on http://%s (%d corpus projects)\n", ln.Addr(), c.Len())
 
-	hs := &http.Server{Handler: srv}
+	// ReadHeaderTimeout bounds header dribbling; no whole-request
+	// ReadTimeout because the batch endpoint legitimately streams its body
+	// for longer than any fixed budget (it bounds its own reads per line
+	// and on drain).
+	hs := &http.Server{Handler: srv, ReadHeaderTimeout: 10 * time.Second}
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.Serve(ln) }()
 

@@ -3,11 +3,13 @@ package server
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"time"
 
 	"schemaevo/internal/vcs"
 )
@@ -21,6 +23,11 @@ import (
 // blocking rather than 429: each line waits for a worker slot (bounded by
 // the same semaphore as single submissions), which paces the producer by
 // TCP flow control.
+
+// batchDrainLimit bounds how many leftover request-body bytes the handler
+// consumes after the scan stops early; past it the connection is poisoned
+// for reuse instead (see the drain comment in handleBatch).
+const batchDrainLimit = 1 << 20
 
 // batchLineWire is one per-line response on the batch stream: an ok line
 // carries the analysis summary, an error line the reason.
@@ -62,11 +69,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		maxLine = 4 << 20
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
+	rc := http.NewResponseController(w)
 	// Without full duplex, HTTP/1.x discards the unread request body as
 	// soon as the first response line is written — which would truncate
 	// any batch larger than the connection's read-ahead buffer.
 	// Best-effort: HTTP/2 is already full-duplex.
-	_ = http.NewResponseController(w).EnableFullDuplex()
+	_ = rc.EnableFullDuplex()
 	flusher, _ := w.(http.Flusher)
 	emit := func(v any) {
 		data, err := json.Marshal(v)
@@ -100,12 +108,19 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			emit(batchLineWire{Line: lines, Status: "error", Error: err.Error()})
 			continue
 		}
-		res, state, err := s.submit(r.Context(), repo, true)
+		// The stream as a whole has no deadline (its lifetime is
+		// client-paced; see wrapStream) — the request budget applies to
+		// each line's analysis, so a large corpus ingest with blocking
+		// backpressure never times out mid-batch.
+		lineCtx, cancel := context.WithTimeout(r.Context(), s.requestTimeout())
+		res, state, err := s.submit(lineCtx, repo, true)
+		cancel()
 		if err != nil {
 			errCount++
 			emit(batchLineWire{Line: lines, Status: "error", Error: err.Error()})
 			// A dead request context means the client is gone or the
-			// deadline passed — every further line would fail the same way.
+			// server is shutting down — every further line would fail the
+			// same way. A per-line timeout only fails its own line.
 			if r.Context().Err() != nil {
 				break
 			}
@@ -133,7 +148,15 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// In full-duplex mode the server no longer consumes leftover body
 	// bytes after the handler returns; anything we leave unread would be
 	// misparsed as the next request on this connection. Drain the
-	// remainder (a no-op when the scan reached EOF).
-	io.Copy(io.Discard, r.Body)
+	// remainder (a no-op when the scan reached EOF) — but bounded in both
+	// bytes and time, so a slow or hostile client cannot pin the handler
+	// goroutine indefinitely. If the drain cannot reach EOF within the
+	// bounds, poison further reads with an expired deadline: the server
+	// then fails to reuse the connection and closes it instead of
+	// misparsing the leftover.
+	_ = rc.SetReadDeadline(time.Now().Add(s.requestTimeout()))
+	if n, err := io.Copy(io.Discard, io.LimitReader(r.Body, batchDrainLimit)); err != nil || n == batchDrainLimit {
+		_ = rc.SetReadDeadline(time.Now())
+	}
 	emit(batchSummaryWire{Status: "summary", Lines: lines, OK: okCount, Errors: errCount})
 }

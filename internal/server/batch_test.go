@@ -8,9 +8,11 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"strings"
 	"testing"
+	"time"
 
 	"schemaevo/internal/server"
 )
@@ -163,6 +165,60 @@ func TestBatchOversizedLine(t *testing.T) {
 	}
 	if sum.Status != "summary" || sum.OK != 1 || sum.Errors != 1 {
 		t.Fatalf("summary = %+v, want ok=1 errors=1", sum)
+	}
+}
+
+// TestBatchStreamOutlivesRequestTimeout pins the deadline contract of the
+// streaming endpoint: RequestTimeout bounds each LINE's analysis, not the
+// stream — a client feeding a large corpus slower than the request budget
+// (the endpoint's stated use case, with intentionally blocking
+// backpressure) must not see later lines fail with a deadline error.
+func TestBatchStreamOutlivesRequestTimeout(t *testing.T) {
+	_, hs := newService(t, server.Config{RequestTimeout: 150 * time.Millisecond})
+
+	// Feed 4 lines with gaps that push the stream's total lifetime well
+	// past the request timeout.
+	pr, pw := io.Pipe()
+	go func() {
+		defer pw.Close()
+		for i := 0; i < 4; i++ {
+			if i > 0 {
+				time.Sleep(120 * time.Millisecond)
+			}
+			data, err := json.Marshal(evolvingRepo(fmt.Sprintf("slow-feed-%d", i), 4))
+			if err != nil {
+				pw.CloseWithError(err)
+				return
+			}
+			if _, err := pw.Write(append(data, '\n')); err != nil {
+				return
+			}
+		}
+	}()
+
+	resp, err := http.Post(hs.URL+"/v1/projects:batch", "application/x-ndjson", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var lines []batchLine
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var l batchLine
+		if err := json.Unmarshal(sc.Bytes(), &l); err != nil {
+			t.Fatalf("unparseable batch line %q: %v", sc.Bytes(), err)
+		}
+		lines = append(lines, l)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) == 0 {
+		t.Fatal("no response lines")
+	}
+	sum := lines[len(lines)-1]
+	if sum.Status != "summary" || sum.OK != 4 || sum.Errors != 0 {
+		t.Fatalf("summary = %+v, want ok=4 errors=0 (stream outliving RequestTimeout must not fail lines)", sum)
 	}
 }
 

@@ -84,7 +84,9 @@ type Config struct {
 	// semaphore). Beyond it the single submit path answers 429. <= 0
 	// selects 2×GOMAXPROCS.
 	MaxConcurrent int
-	// RequestTimeout is the per-request deadline. <= 0 selects 30s.
+	// RequestTimeout is the per-request deadline. <= 0 selects 30s. The
+	// streaming batch endpoint is exempt as a whole (its lifetime is
+	// client-paced) and applies this budget to each line instead.
 	RequestTimeout time.Duration
 	// LRUEntries caps the store's in-memory hot tier by entry count.
 	// <= 0 selects 1024.
@@ -240,7 +242,7 @@ func New(ctx context.Context, cfg Config) (*Server, error) {
 
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/projects", s.wrap("submit", s.handleSubmit))
-	s.mux.HandleFunc("POST /v1/projects:batch", s.wrap("batch", s.handleBatch))
+	s.mux.HandleFunc("POST /v1/projects:batch", s.wrapStream("batch", s.handleBatch))
 	s.mux.HandleFunc("GET /v1/projects/{id}", s.wrap("project", s.handleProject))
 	s.mux.HandleFunc("DELETE /v1/projects/{id}", s.wrap("delete", s.handleDelete))
 	s.mux.HandleFunc("GET /v1/corpus/stats", s.wrap("stats", s.handleCorpusStats))
@@ -316,6 +318,20 @@ func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 // deadline, and telemetry (request counter, latency histogram, in-flight
 // occupancy, one span per request).
 func (s *Server) wrap(name string, h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	return s.instrument(name, true, h)
+}
+
+// wrapStream is wrap without the whole-request deadline, for streaming
+// endpoints whose lifetime is client-paced: a large NDJSON batch with
+// blocking backpressure legitimately outlives any fixed request budget,
+// so the batch handler bounds its work per line instead (see
+// requestTimeout) and relies on context cancellation for client
+// disconnects.
+func (s *Server) wrapStream(name string, h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	return s.instrument(name, false, h)
+}
+
+func (s *Server) instrument(name string, deadline bool, h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
 	stage := s.tel.Stage("http." + name)
 	return func(w http.ResponseWriter, r *http.Request) {
 		if s.draining.Load() {
@@ -323,18 +339,17 @@ func (s *Server) wrap(name string, h func(http.ResponseWriter, *http.Request)) h
 			writeError(w, http.StatusServiceUnavailable, "server is draining", nil)
 			return
 		}
-		timeout := s.cfg.RequestTimeout
-		if timeout <= 0 {
-			timeout = 30 * time.Second
+		if deadline {
+			ctx, cancel := context.WithTimeout(r.Context(), s.requestTimeout())
+			defer cancel()
+			r = r.WithContext(ctx)
 		}
-		ctx, cancel := context.WithTimeout(r.Context(), timeout)
-		defer cancel()
 
 		s.inflight.Add(1)
 		stage.Enter()
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		begin := time.Now()
-		h(sw, r.WithContext(ctx))
+		h(sw, r)
 		busy := time.Since(begin)
 		stage.Exit()
 		s.inflight.Add(-1)
@@ -342,6 +357,14 @@ func (s *Server) wrap(name string, h func(http.ResponseWriter, *http.Request)) h
 		stage.Observe(0, busy, failed)
 		s.tel.RecordSpan(r.Method+" "+r.URL.Path, "http."+name, begin, busy, failed)
 	}
+}
+
+// requestTimeout resolves the configured per-request deadline.
+func (s *Server) requestTimeout() time.Duration {
+	if s.cfg.RequestTimeout > 0 {
+		return s.cfg.RequestTimeout
+	}
+	return 30 * time.Second
 }
 
 // retryAfterSeconds renders the configured backoff hint as whole seconds

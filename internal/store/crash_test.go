@@ -292,6 +292,137 @@ func TestReadTimeQuarantine(t *testing.T) {
 	wantGet(t, s, a.ID, "hot", a.Result)
 }
 
+// TestCrossShardDeleteSurvivesCompaction pins the durable-delete
+// invariant against the cross-shard supersede hazard: v1 and v2 of a name
+// hash to different shards, so after Put(v1), Put(v2), Delete(v2) the
+// only thing keeping v1's intact records (garbage in shard A, not yet
+// compacted) dead at recovery is v2's tombstone in shard B. Compacting
+// shard B must therefore carry the tombstone — dropping it would resurrect
+// the deleted project on the next Open.
+func TestCrossShardDeleteSurvivesCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Config{Dir: dir, Shards: 4, CompactMinBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Find a project whose v1 and v2 IDs land in different shards.
+	var v1, v2 Entry
+	found := false
+	for i := 0; i < 64 && !found; i++ {
+		a, b := entry(i, 1), entry(i, 2)
+		if s.shardFor(a.ID) != s.shardFor(b.ID) {
+			v1, v2, found = a, b, true
+		}
+	}
+	if !found {
+		t.Fatal("no entry pair split across shards in 64 candidates")
+	}
+	shA := s.shardFor(v1.ID)
+
+	// Ballast: enough live bytes in shard A that invalidating v1 never
+	// trips A's compaction (which would reclaim the garbage this test
+	// needs to survive).
+	ballast := make([]Entry, 0, 3)
+	for j := 100; len(ballast) < 3; j++ {
+		e := entry(j, 1)
+		e.Source = bytes.Repeat([]byte("ballast-src "), 100)
+		e.Result = bytes.Repeat([]byte("ballast-res "), 100)
+		if s.shardFor(e.ID) == shA {
+			mustPut(t, s, e)
+			ballast = append(ballast, e)
+		}
+	}
+
+	mustPut(t, s, v1)
+	if prev := mustPut(t, s, v2); prev != v1.ID {
+		t.Fatalf("Put(v2) superseded %q, want %q", prev, v1.ID)
+	}
+	// Delete v2: its records retire in shard B, so B's garbage exceeds its
+	// live bytes (just the tombstone) and compaction triggers right there.
+	if ok, err := s.Delete(v2.ID); !ok || err != nil {
+		t.Fatalf("Delete = %v, %v", ok, err)
+	}
+	if c := s.StatsSnapshot().Compactions; c == 0 {
+		t.Fatal("tombstone shard never compacted; the scenario needs the compaction to run")
+	}
+	s.Close()
+
+	s2, err := Open(Config{Dir: dir, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if id, ok := s2.LatestID(v1.Name); ok {
+		t.Fatalf("deleted project resurrected after compaction + reopen as %q", id)
+	}
+	for _, id := range []string{v1.ID, v2.ID} {
+		if _, _, ok := s2.Get(id); ok {
+			t.Fatalf("deleted version %s still served after reopen", id)
+		}
+	}
+	for _, e := range ballast {
+		wantGet(t, s2, e.ID, "disk", e.Result)
+	}
+	// The guard must also survive a second compaction cycle and reopen.
+	for v := 3; v <= 20; v++ {
+		e := entry(200, v)
+		e.Source = bytes.Repeat([]byte("churn "), 50)
+		e.Result = bytes.Repeat([]byte("churn "), 50)
+		mustPut(t, s2, e)
+	}
+	s2.Close()
+	s3, err := Open(Config{Dir: dir, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if _, ok := s3.LatestID(v1.Name); ok {
+		t.Fatal("deleted project resurrected after churn + reopen")
+	}
+}
+
+// TestTombstoneDroppedOnceNameRelives pins the other half of the guard
+// contract: once a deleted name is re-created with a newer sequence, its
+// tombstone is superseded and compaction may drop it — the store must not
+// leak one tombstone per ever-deleted name forever, and the re-created
+// version must stay live across compaction and reopen.
+func TestTombstoneDroppedOnceNameRelives(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Config{Dir: dir, Shards: 1, CompactMinBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, v2 := entry(0, 1), entry(0, 2)
+	mustPut(t, s, v1)
+	if ok, err := s.Delete(v1.ID); !ok || err != nil {
+		t.Fatalf("Delete = %v, %v", ok, err)
+	}
+	mustPut(t, s, v2) // the name lives again, superseding the tombstone
+	for v := 3; v <= 10; v++ {
+		mustPut(t, s, entry(0, v)) // churn to force compactions
+	}
+	if c := s.StatsSnapshot().Compactions; c == 0 {
+		t.Fatal("no compaction under churn")
+	}
+	if n := len(s.shards[0].tombs); n != 0 {
+		t.Fatalf("%d tombstones still tracked after the name relived", n)
+	}
+	s.Close()
+
+	s2, err := Open(Config{Dir: dir, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	want := entry(0, 10)
+	id, ok := s2.LatestID(want.Name)
+	if !ok || id != want.ID {
+		t.Fatalf("LatestID = %q, %v; want %q live", id, ok, want.ID)
+	}
+	wantGet(t, s2, want.ID, "disk", want.Result)
+}
+
 // TestRecoveryScaleMixedDamage runs the full gauntlet — churn, deletes,
 // then scattered damage — and checks the recovered store agrees with the
 // survivors.

@@ -17,8 +17,12 @@
 // wholly readable or quarantined by its frame CRC), not power-loss
 // durability. Liveness is resolved at recovery time by per-name
 // max-sequence: an overwrite simply appends newer records, a delete
-// appends a tombstone, and compaction rewrites a shard keeping only live
-// records. See DESIGN.md §11 for the recovery invariants.
+// appends a tombstone, and compaction rewrites a shard keeping live
+// records (at their original sequence numbers) plus any tombstone that
+// still guards the name — a tombstone may outrank stale records of the
+// same name in OTHER shards, so it is only dropped once the name is live
+// again under a newer sequence. See DESIGN.md §11 for the recovery
+// invariants.
 package store
 
 import (
@@ -73,10 +77,13 @@ type Entry struct {
 }
 
 // ref locates one framed record in a shard's segment file. The zero ref
-// means absent.
+// means absent. seq is the record's durable sequence number — compaction
+// re-frames the record with the same seq, so liveness order never drifts
+// from logical write order.
 type ref struct {
 	start, total     int64
 	bodyOff, bodyLen int64
+	seq              uint64
 }
 
 func (r ref) ok() bool { return r.total != 0 }
@@ -88,6 +95,17 @@ type meta struct {
 	src, res     ref    // disk mode: record locations
 }
 
+// tomb tracks one durable tombstone a shard must carry through
+// compaction. A deleted name's stale records may survive in other shards
+// (each version's content-hash ID shards independently), and only this
+// tombstone's higher sequence keeps them dead at recovery — so it stays
+// until the name is live again under a newer sequence.
+type tomb struct {
+	id, name, fp string
+	seq          uint64
+	bytes        int64 // framed size on disk, for live/garbage accounting
+}
+
 // shard is one lock domain: a slice of the ID space with its own index
 // and segment file.
 type shard struct {
@@ -96,8 +114,9 @@ type shard struct {
 	path    string
 	size    int64 // physical append offset
 	byID    map[string]*meta
-	live    int64 // bytes of records referenced by the index
-	garbage int64 // bytes of dead/damaged records awaiting compaction
+	tombs   map[string]tomb // guarded deleted names (disk mode)
+	live    int64           // bytes of records referenced by the index
+	garbage int64           // bytes of dead/damaged records awaiting compaction
 }
 
 // Store is the two-tier result store. All methods are safe for concurrent
@@ -112,11 +131,19 @@ type Store struct {
 	seq        atomic.Uint64
 
 	nmu    sync.Mutex
-	byName map[string]string // live project name -> ID
+	byName map[string]nameEntry // live project name -> ID + sequence
 
 	quarantined atomic.Int64
 	compactions atomic.Int64
 	flushErrors atomic.Int64
+}
+
+// nameEntry is the name index's value: the live ID and the sequence of
+// the Put that made it live. Compaction compares the sequence against a
+// tombstone's to decide whether the tombstone is superseded.
+type nameEntry struct {
+	id  string
+	seq uint64
 }
 
 // storeMeta is the store.json sidecar pinning layout parameters that must
@@ -138,7 +165,7 @@ func Open(cfg Config) (*Store, error) {
 		tel:        cfg.Telemetry,
 		fault:      cfg.Fault,
 		compactMin: cfg.CompactMinBytes,
-		byName:     map[string]string{},
+		byName:     map[string]nameEntry{},
 	}
 	if s.compactMin <= 0 {
 		s.compactMin = 1 << 20
@@ -161,16 +188,28 @@ func Open(cfg Config) (*Store, error) {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	metaPath := filepath.Join(s.dir, "store.json")
-	if data, err := os.ReadFile(metaPath); err == nil {
+	data, err := os.ReadFile(metaPath)
+	switch {
+	case err == nil:
 		var sm storeMeta
-		if jerr := json.Unmarshal(data, &sm); jerr == nil && sm.Shards > 0 {
+		// An unreadable or implausible store.json must not silently fall
+		// back to the configured count: a mismatch with the on-disk layout
+		// would leave whole shard files unscanned, their records invisible
+		// with no error. Refuse to open instead.
+		if jerr := json.Unmarshal(data, &sm); jerr != nil {
+			return nil, fmt.Errorf("store: invalid %s: %w", metaPath, jerr)
+		} else if sm.Shards <= 0 {
+			return nil, fmt.Errorf("store: invalid %s: shard count %d", metaPath, sm.Shards)
+		} else {
 			n = sm.Shards // the on-disk layout wins over the config
 		}
-	} else {
+	case os.IsNotExist(err):
 		data, _ := json.Marshal(storeMeta{Version: storeMetaVersion, Shards: n})
 		if werr := os.WriteFile(metaPath, append(data, '\n'), 0o644); werr != nil {
 			return nil, fmt.Errorf("store: %w", werr)
 		}
+	default:
+		return nil, fmt.Errorf("store: %w", err)
 	}
 
 	type located struct {
@@ -179,7 +218,11 @@ func Open(cfg Config) (*Store, error) {
 	}
 	var all []located
 	for i := 0; i < n; i++ {
-		sh := &shard{byID: map[string]*meta{}, path: filepath.Join(s.dir, fmt.Sprintf("shard-%03d.seg", i))}
+		sh := &shard{
+			byID:  map[string]*meta{},
+			tombs: map[string]tomb{},
+			path:  filepath.Join(s.dir, fmt.Sprintf("shard-%03d.seg", i)),
+		}
 		f, err := os.OpenFile(sh.path, os.O_RDWR|os.O_CREATE, 0o644)
 		if err != nil {
 			return nil, fmt.Errorf("store: %w", err)
@@ -232,11 +275,20 @@ func Open(cfg Config) (*Store, error) {
 		}
 	}
 	liveID := map[string]bool{}
+	chosen := map[int64]bool{} // by shard-qualified record start offset
 	for name, w := range nameW {
 		if w.kind != recTombstone {
 			liveID[w.id] = true
-			s.byName[name] = w.id
+			s.byName[name] = nameEntry{id: w.id, seq: w.seq}
+			continue
 		}
+		// A winning tombstone keeps guarding: stale records of this name
+		// may survive in other shards, and only this record's sequence
+		// outranks them. Track it so compaction carries it forward.
+		sh := s.shards[w.shard]
+		sh.tombs[name] = tomb{id: w.id, name: name, fp: w.fp, seq: w.seq, bytes: w.total}
+		sh.live += w.total
+		chosen[int64(w.shard)<<40|w.start] = true
 	}
 	bestSrc := map[string]located{}
 	bestRes := map[string]located{}
@@ -255,11 +307,10 @@ func Open(cfg Config) (*Store, error) {
 			}
 		}
 	}
-	chosen := map[int64]bool{} // by record start offset, per shard… see below
 	place := func(r located) ref {
 		chosen[int64(r.shard)<<40|r.start] = true
 		s.shards[r.shard].live += r.total
-		return ref{start: r.start, total: r.total, bodyOff: r.bodyOff, bodyLen: r.bodyLen}
+		return ref{start: r.start, total: r.total, bodyOff: r.bodyOff, bodyLen: r.bodyLen, seq: r.seq}
 	}
 	for _, id := range sortedKeys(liveID) {
 		var m *meta
@@ -289,6 +340,15 @@ func Open(cfg Config) (*Store, error) {
 }
 
 func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedTombNames(m map[string]tomb) []string {
 	out := make([]string, 0, len(m))
 	for k := range m {
 		out = append(out, k)
@@ -334,8 +394,8 @@ func (s *Store) Len() int {
 func (s *Store) LatestID(name string) (string, bool) {
 	s.nmu.Lock()
 	defer s.nmu.Unlock()
-	id, ok := s.byName[name]
-	return id, ok
+	e, ok := s.byName[name]
+	return e.id, ok
 }
 
 // Get returns the encoded result for id and which tier served it ("hot"
@@ -425,6 +485,7 @@ func (s *Store) Put(e Entry) (prevID string, err error) {
 		m.src = ref{
 			start: sh.size, total: int64(len(buf)),
 			bodyOff: sh.size + int64(len(buf)) - 4 - int64(len(e.Source)), bodyLen: int64(len(e.Source)),
+			seq:     seqSrc,
 		}
 		if e.Result != nil {
 			resStart := sh.size + int64(len(buf))
@@ -433,6 +494,7 @@ func (s *Store) Put(e Entry) (prevID string, err error) {
 			m.res = ref{
 				start: resStart, total: total,
 				bodyOff: resStart + total - 4 - int64(len(e.Result)), bodyLen: int64(len(e.Result)),
+				seq:     seqRes,
 			}
 		}
 		sh.live += int64(len(buf))
@@ -446,8 +508,8 @@ func (s *Store) Put(e Entry) (prevID string, err error) {
 		s.hot.put(e.ID, e.Result)
 	}
 	s.nmu.Lock()
-	prevID = s.byName[e.Name]
-	s.byName[e.Name] = e.ID
+	prevID = s.byName[e.Name].id
+	s.byName[e.Name] = nameEntry{id: e.ID, seq: seqRes}
 	s.nmu.Unlock()
 	if prevID == e.ID {
 		prevID = ""
@@ -480,6 +542,7 @@ func (s *Store) PutResult(id string, result []byte) error {
 		m.res = ref{
 			start: sh.size, total: int64(len(buf)),
 			bodyOff: sh.size + int64(len(buf)) - 4 - int64(len(result)), bodyLen: int64(len(result)),
+			seq:     seq,
 		}
 		sh.live += int64(len(buf))
 		err = s.flushLocked(sh, id, buf)
@@ -504,9 +567,17 @@ func (s *Store) Delete(id string) (bool, error) {
 	var err error
 	if sh.file != nil {
 		buf := appendRecord(nil, recTombstone, seq, m.id, m.name, m.fp, nil)
-		// The tombstone is immediately garbage-in-waiting: it only guards
-		// recovery until compaction drops the records it supersedes.
-		sh.garbage += int64(len(buf))
+		// The tombstone is live, guarded state, not garbage-in-waiting: the
+		// deleted name's stale records may survive in OTHER shards (each
+		// version's ID shards independently), and only this record's higher
+		// sequence keeps them dead at recovery. It is tracked and carried
+		// through compaction until the name is re-created.
+		if old, ok := sh.tombs[m.name]; ok {
+			sh.garbage += old.bytes
+			sh.live -= old.bytes
+		}
+		sh.tombs[m.name] = tomb{id: m.id, name: m.name, fp: m.fp, seq: seq, bytes: int64(len(buf))}
+		sh.live += int64(len(buf))
 		err = s.flushLocked(sh, id, buf)
 	}
 	s.retireLocked(sh, m)
@@ -516,7 +587,7 @@ func (s *Store) Delete(id string) (bool, error) {
 
 	s.hot.remove(id)
 	s.nmu.Lock()
-	if s.byName[m.name] == id {
+	if s.byName[m.name].id == id {
 		delete(s.byName, m.name)
 	}
 	s.nmu.Unlock()
@@ -561,7 +632,7 @@ func (s *Store) Each(fn func(id, name string, result []byte)) {
 	sort.Strings(names)
 	ids := make([]string, len(names))
 	for i, n := range names {
-		ids[i] = s.byName[n]
+		ids[i] = s.byName[n].id
 	}
 	s.nmu.Unlock()
 	for i, id := range ids {
@@ -627,15 +698,31 @@ func (sh *shard) readRecordLocked(r ref) ([]byte, error) {
 	return buf[r.bodyOff-r.start : r.bodyOff-r.start+r.bodyLen], nil
 }
 
-// maybeCompactLocked rewrites the shard's segment with only live records
-// once garbage exceeds both the configured floor and the live volume.
-// Compaction is crash-safe: the replacement is built in a temp file and
-// renamed over the segment, so a crash leaves either the old or the new
-// file, never a hybrid.
+// maybeCompactLocked rewrites the shard's segment once garbage exceeds
+// both the configured floor and the live volume, keeping live records —
+// at their original sequence numbers, so liveness order never drifts from
+// logical write order even if a crash interleaves with a cross-shard
+// supersede — plus every tombstone still guarding a dead name (stale
+// same-name records may survive in other shards; only the tombstone's
+// higher sequence keeps them dead at recovery). Compaction is crash-safe:
+// the replacement is built in a temp file and renamed over the segment,
+// so a crash leaves either the old or the new file, never a hybrid.
 func (s *Store) maybeCompactLocked(sh *shard) {
 	if sh.file == nil || sh.garbage < s.compactMin || sh.garbage < sh.live {
 		return
 	}
+	// A tombstone is superseded — droppable — only once its name is live
+	// again under a newer sequence (the re-created version's records then
+	// outrank everything the tombstone guarded). Lock order sh.mu → nmu is
+	// safe: no path acquires a shard lock while holding nmu.
+	s.nmu.Lock()
+	for name, tb := range sh.tombs {
+		if le, ok := s.byName[name]; ok && le.seq > tb.seq {
+			delete(sh.tombs, name)
+		}
+	}
+	s.nmu.Unlock()
+
 	tmp, err := os.CreateTemp(filepath.Dir(sh.path), "compact-*")
 	if err != nil {
 		return // compaction is an optimization; try again next trigger
@@ -670,13 +757,21 @@ func (s *Store) maybeCompactLocked(sh *shard) {
 				kind = recResult
 			}
 			start := int64(len(buf))
-			buf = appendRecord(buf, kind, s.seq.Add(1)-1, m.id, m.name, m.fp, body)
+			buf = appendRecord(buf, kind, which.seq, m.id, m.name, m.fp, body)
 			total := int64(len(buf)) - start
 			moves = append(moves, move{m: m, which: which, to: ref{
 				start: start, total: total,
 				bodyOff: start + total - 4 - int64(len(body)), bodyLen: int64(len(body)),
+				seq:     which.seq,
 			}})
 		}
+	}
+	for _, name := range sortedTombNames(sh.tombs) {
+		tb := sh.tombs[name]
+		start := int64(len(buf))
+		buf = appendRecord(buf, recTombstone, tb.seq, tb.id, tb.name, tb.fp, nil)
+		tb.bytes = int64(len(buf)) - start
+		sh.tombs[name] = tb
 	}
 	if _, err := tmp.Write(buf); err != nil {
 		tmp.Close()

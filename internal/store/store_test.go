@@ -357,6 +357,89 @@ func TestCompactionReclaimsGarbage(t *testing.T) {
 	}
 }
 
+// TestCompactionPreservesSequenceNumbers pins that compaction re-frames
+// surviving records at their ORIGINAL sequence numbers. Re-stamping with
+// fresh sequences could outrank a concurrent Put's records in another
+// shard (supersede is not atomic across shards), letting a crash elect a
+// stale version at recovery.
+func TestCompactionPreservesSequenceNumbers(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Config{Dir: dir, Shards: 1, CompactMinBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const versions = 10
+	for v := 1; v <= versions; v++ {
+		mustPut(t, s, entry(0, v))
+	}
+	if s.StatsSnapshot().Compactions == 0 {
+		t.Fatal("no compaction under churn")
+	}
+	s.Close()
+
+	// Put v allocates sequences (2v-1, 2v) for its source and result; the
+	// compacted segment must hold the final version's records at exactly
+	// those values, not re-stamped ones.
+	data, err := os.ReadFile(filepath.Join(dir, "shard-000.seg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, bad := scanRecords(data[len(segHeader):], int64(len(segHeader)))
+	if bad != 0 {
+		t.Fatalf("%d damaged records in compacted segment", bad)
+	}
+	want := entry(0, versions)
+	wantSeq := map[byte]uint64{recSource: 2*versions - 1, recResult: 2 * versions}
+	for _, r := range recs {
+		if r.id != want.ID {
+			continue
+		}
+		if r.seq != wantSeq[r.kind] {
+			t.Fatalf("kind-%d record seq = %d after compaction, want original %d", r.kind, r.seq, wantSeq[r.kind])
+		}
+		delete(wantSeq, r.kind)
+	}
+	if len(wantSeq) != 0 {
+		t.Fatalf("live records missing from compacted segment: %v", wantSeq)
+	}
+}
+
+// TestOpenRejectsInvalidStoreMeta pins that a present-but-unreadable
+// store.json fails Open loudly: silently falling back to the configured
+// shard count could leave whole shard files unscanned, their records
+// invisible with no error.
+func TestOpenRejectsInvalidStoreMeta(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Config{Dir: dir, Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustPut(t, s, entry(0, 1))
+	s.Close()
+
+	metaPath := filepath.Join(dir, "store.json")
+	for _, bad := range []string{"{not json", `{"version":1,"shards":0}`, `{"version":1,"shards":-2}`} {
+		if err := os.WriteFile(metaPath, []byte(bad), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Open(Config{Dir: dir, Shards: 3}); err == nil {
+			t.Fatalf("Open succeeded with store.json %q", bad)
+		}
+	}
+
+	// A repaired sidecar restores service over the untouched segments.
+	if err := os.WriteFile(metaPath, []byte(`{"version":1,"shards":3}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(Config{Dir: dir, Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	e := entry(0, 1)
+	wantGet(t, s2, e.ID, "disk", e.Result)
+}
+
 func TestConcurrentPutGet(t *testing.T) {
 	s, err := Open(Config{Dir: t.TempDir(), Shards: 4, HotEntries: 8})
 	if err != nil {
