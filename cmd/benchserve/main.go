@@ -1,9 +1,13 @@
 // Command benchserve load-tests the HTTP analysis service
 // (internal/server) over real loopback sockets and writes the results as
 // JSON, so every PR leaves a comparable serving-performance record
-// behind (the cmd/benchpipe counterpart for the service layer).
+// behind (the cmd/benchpipe counterpart for the service layer). All
+// traffic is driven through the public schemaevoclient package, so the
+// measured path is exactly what an external consumer runs — including
+// the client's retry machinery, which must stay silent against a
+// healthy service (any retry sleep would show up as a latency outlier).
 //
-// Three phases are measured:
+// Four phases are measured:
 //
 //   - cold: every request is a first-time submission of a distinct DDL
 //     history — each one executes the full analysis pipeline;
@@ -12,11 +16,15 @@
 //   - restart: the server is shut down and a fresh one is opened over the
 //     same persistent store directory; the same histories are resubmitted
 //     once — every request is answered from the recovered disk tier with
-//     zero re-analyses.
+//     zero re-analyses;
+//   - batch: the same histories stream through one NDJSON batch-ingest
+//     call against the restarted server — the aggregate-throughput shape
+//     of the same all-hits workload.
 //
-// Each phase records p50/p99/mean latency and throughput; the headline
-// ratio is cold p50 over warm p50 (the memoization win a duplicate-heavy
-// workload sees).
+// Each phase records p50/p99/mean latency and throughput (the batch
+// phase is one streamed request, so only mean and throughput apply);
+// the headline ratio is cold p50 over warm p50 (the memoization win a
+// duplicate-heavy workload sees).
 //
 // Usage:
 //
@@ -26,12 +34,10 @@
 package main
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
-	"io"
 	"net"
 	"net/http"
 	"os"
@@ -43,6 +49,7 @@ import (
 	"schemaevo/internal/server"
 	"schemaevo/internal/synth"
 	"schemaevo/internal/telemetry"
+	"schemaevo/schemaevoclient"
 )
 
 // phase is one measured workload in the emitted JSON.
@@ -143,9 +150,10 @@ func workload(n int, seed int64) ([][]byte, error) {
 	return payloads, nil
 }
 
-// firePhase drives the payload sequence through conc workers and returns
-// per-request latencies plus the error count and wall-clock elapsed.
-func firePhase(client *http.Client, url string, payloads [][]byte, conc int) ([]time.Duration, int, time.Duration) {
+// firePhase drives the payload sequence through conc workers submitting
+// via the public client and returns per-request latencies plus the
+// error count and wall-clock elapsed.
+func firePhase(cl *schemaevoclient.Client, payloads [][]byte, conc int) ([]time.Duration, int, time.Duration) {
 	var (
 		wg   sync.WaitGroup
 		mu   sync.Mutex
@@ -160,15 +168,10 @@ func firePhase(client *http.Client, url string, payloads [][]byte, conc int) ([]
 			defer wg.Done()
 			for body := range jobs {
 				t0 := time.Now()
-				resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+				_, err := cl.Submit(context.Background(), body)
 				lat := time.Since(t0)
-				ok := err == nil && resp.StatusCode == http.StatusOK
-				if resp != nil {
-					io.Copy(io.Discard, resp.Body)
-					resp.Body.Close()
-				}
 				mu.Lock()
-				if ok {
+				if err == nil {
 					lats = append(lats, lat)
 				} else {
 					errs++
@@ -251,20 +254,26 @@ func run(projects, conc, rounds int, seed int64, out string, check bool) error {
 	}
 	hs := &http.Server{Handler: srv}
 	go hs.Serve(ln)
-	url := "http://" + ln.Addr().String() + "/v1/projects"
 
-	client := &http.Client{Transport: &http.Transport{
+	// One attempt per call: a benchmark must surface service errors in
+	// its error counts, not absorb them into retry-inflated latencies.
+	httpClient := &http.Client{Transport: &http.Transport{
 		MaxIdleConns:        conc,
 		MaxIdleConnsPerHost: conc,
 	}}
+	cl := schemaevoclient.New(schemaevoclient.Config{
+		BaseURL:     "http://" + ln.Addr().String(),
+		HTTPClient:  httpClient,
+		MaxAttempts: 1,
+	})
 
-	coldLats, coldErrs, coldElapsed := firePhase(client, url, payloads, conc)
+	coldLats, coldErrs, coldElapsed := firePhase(cl, payloads, conc)
 
 	warm := make([][]byte, 0, rounds*projects)
 	for i := 0; i < rounds; i++ {
 		warm = append(warm, payloads...)
 	}
-	warmLats, warmErrs, warmElapsed := firePhase(client, url, warm, conc)
+	warmLats, warmErrs, warmElapsed := firePhase(cl, warm, conc)
 
 	// Restart phase: tear the process-equivalent down (listener and
 	// store) and recover a fresh server from the same directory. Every
@@ -290,8 +299,27 @@ func run(projects, conc, rounds int, seed int64, out string, check bool) error {
 	go hs2.Serve(ln2)
 	defer hs2.Close()
 	defer srv2.Close()
-	url2 := "http://" + ln2.Addr().String() + "/v1/projects"
-	restartLats, restartErrs, restartElapsed := firePhase(client, url2, payloads, conc)
+	cl2 := schemaevoclient.New(schemaevoclient.Config{
+		BaseURL:     "http://" + ln2.Addr().String(),
+		HTTPClient:  httpClient,
+		MaxAttempts: 1,
+	})
+	restartLats, restartErrs, restartElapsed := firePhase(cl2, payloads, conc)
+
+	// Batch phase: the same all-hits workload as one streamed NDJSON
+	// ingest. One request, so per-line percentiles do not apply; mean
+	// and throughput carry the signal.
+	batchStart := time.Now()
+	batchRes, err := cl2.BatchIngest(context.Background(), payloads)
+	batchElapsed := time.Since(batchStart)
+	if err != nil {
+		return fmt.Errorf("batch phase: %w", err)
+	}
+	batchPhase := phase{Name: "batch", Requests: len(batchRes.Lines), Errors: batchRes.Errors}
+	if batchRes.OK > 0 && batchElapsed > 0 {
+		batchPhase.MeanUs = float64(batchElapsed.Nanoseconds()) / float64(batchRes.OK) / 1e3
+		batchPhase.RPS = float64(batchRes.OK) / batchElapsed.Seconds()
+	}
 
 	rep := report{
 		GeneratedBy:  "cmd/benchserve",
@@ -308,6 +336,7 @@ func run(projects, conc, rounds int, seed int64, out string, check bool) error {
 			summarize("cold", coldLats, coldErrs, coldElapsed),
 			summarize("warm", warmLats, warmErrs, warmElapsed),
 			summarize("restart", restartLats, restartErrs, restartElapsed),
+			batchPhase,
 		},
 	}
 	if rep.Phases[1].P50Us > 0 {
@@ -330,9 +359,12 @@ func run(projects, conc, rounds int, seed int64, out string, check bool) error {
 
 	if check {
 		switch {
-		case rep.Phases[0].Errors > 0 || rep.Phases[1].Errors > 0 || rep.Phases[2].Errors > 0:
-			return fmt.Errorf("check: %d cold / %d warm / %d restart requests failed",
-				rep.Phases[0].Errors, rep.Phases[1].Errors, rep.Phases[2].Errors)
+		case rep.Phases[0].Errors > 0 || rep.Phases[1].Errors > 0 || rep.Phases[2].Errors > 0 || rep.Phases[3].Errors > 0:
+			return fmt.Errorf("check: %d cold / %d warm / %d restart / %d batch requests failed",
+				rep.Phases[0].Errors, rep.Phases[1].Errors, rep.Phases[2].Errors, rep.Phases[3].Errors)
+		case batchRes.OK != projects || batchRes.Attempts != 1:
+			return fmt.Errorf("check: batch ingest acknowledged %d/%d lines in %d attempts — the stream did not complete cleanly",
+				batchRes.OK, projects, batchRes.Attempts)
 		case rep.PipelineRuns != int64(projects):
 			return fmt.Errorf("check: %d pipeline runs for %d distinct projects — warm traffic recomputed", rep.PipelineRuns, projects)
 		case rep.RestartRuns != 0:
@@ -342,7 +374,7 @@ func run(projects, conc, rounds int, seed int64, out string, check bool) error {
 		case rep.Phases[2].P50Us >= rep.Phases[0].P50Us:
 			return fmt.Errorf("check: restart p50 %.0fµs is not below cold p50 %.0fµs", rep.Phases[2].P50Us, rep.Phases[0].P50Us)
 		}
-		fmt.Println("check: ok (warm and restart p50 < cold p50, no recompute, no errors)")
+		fmt.Println("check: ok (warm and restart p50 < cold p50, batch stream clean, no recompute, no errors)")
 	}
 	return nil
 }

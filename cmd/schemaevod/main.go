@@ -13,6 +13,7 @@
 //	schemaevod -cache /var/cache/schemaevo    # persistent result cache
 //	schemaevod -store-dir /var/lib/schemaevo  # persistent project store (survives restarts)
 //	schemaevod -store-shards 16 -hot-bytes 67108864
+//	schemaevod -scrub-interval 1m -disk-low 104857600  # self-healing knobs
 //	schemaevod -max-concurrent 8 -request-timeout 10s
 //	schemaevod -fault-seed 7 -fault-rate 0.2  # chaos mode
 //
@@ -55,6 +56,8 @@ type options struct {
 	lruEntries     int
 	retryAfter     time.Duration
 	drainTimeout   time.Duration
+	scrubInterval  time.Duration
+	diskLow        int64
 	faultSeed      int64
 	faultRate      float64
 	faultSites     string
@@ -77,6 +80,8 @@ func main() {
 	flag.IntVar(&o.lruEntries, "lru", 1024, "in-memory result store capacity (entries)")
 	flag.DurationVar(&o.retryAfter, "retry-after", time.Second, "backoff hint advertised on 429/503 responses")
 	flag.DurationVar(&o.drainTimeout, "drain-timeout", 30*time.Second, "max time to wait for in-flight requests on shutdown")
+	flag.DurationVar(&o.scrubInterval, "scrub-interval", 30*time.Second, "background store-scrubber pass interval (0 disables; with -store-dir)")
+	flag.Int64Var(&o.diskLow, "disk-low", 0, "free-space floor in bytes: below it the store flips read-only until space recovers (0 disables)")
 	flag.Int64Var(&o.faultSeed, "fault-seed", 0, "chaos mode: inject deterministic faults with this seed (0 disables)")
 	flag.Float64Var(&o.faultRate, "fault-rate", 0.05, "chaos mode: fraction of fault sites that fire (with -fault-seed)")
 	flag.StringVar(&o.faultSites, "fault-sites", "", "chaos mode: comma-separated site allowlist (empty = every site)")
@@ -154,6 +159,8 @@ func run(o options) error {
 		RequestTimeout: o.requestTimeout,
 		LRUEntries:     o.lruEntries,
 		RetryAfter:     o.retryAfter,
+		ScrubInterval:  o.scrubInterval,
+		DiskLowBytes:   o.diskLow,
 		Telemetry:      telemetry.New(),
 		Fault:          fault,
 	})

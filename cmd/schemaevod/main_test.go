@@ -343,6 +343,77 @@ func TestE2ESigtermDrain(t *testing.T) {
 	}
 }
 
+// TestE2EKillLoop is the crash-durability acceptance test: a daemon on a
+// persistent store is SIGKILLed (no drain, no flush courtesy) in the
+// middle of a paced ingest stream, several times in a row over the same
+// directory. Every write that was ACKNOWLEDGED (200 + body received)
+// before each kill must survive every subsequent crash-recovery cycle
+// and be served byte-identically by the final process. Submissions are
+// paced with a delay fault at the handler site so each kill reliably
+// lands mid-ingest.
+func TestE2EKillLoop(t *testing.T) {
+	dir := t.TempDir()
+	type ackedWrite struct {
+		id   string
+		body []byte
+	}
+	var acked []ackedWrite
+	next := 0
+
+	for round := 0; round < 3; round++ {
+		d := startDaemon(t, "-store-dir", dir, "-store-shards", "4",
+			"-fault-seed", "1", "-fault-rate", "1",
+			"-fault-sites", "server.submit", "-fault-kinds", "delay", "-fault-delay", "50ms")
+
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for {
+				r := e2eRepo()
+				r.Name = fmt.Sprintf("kill-survivor-%03d", next)
+				status, body, err := postRepo(d.base, r)
+				if err != nil || status != http.StatusOK {
+					return // the kill landed; the in-flight write is unacked
+				}
+				var wire struct {
+					ID string `json:"id"`
+				}
+				if json.Unmarshal(body, &wire) != nil || wire.ID == "" {
+					return
+				}
+				acked = append(acked, ackedWrite{wire.ID, body})
+				next++
+			}
+		}()
+
+		// Let a few submissions land, then kill without ceremony.
+		time.Sleep(400 * time.Millisecond)
+		if err := d.cmd.Process.Kill(); err != nil {
+			t.Fatal(err)
+		}
+		<-done
+		d.cmd.Wait()
+	}
+
+	if len(acked) == 0 {
+		t.Fatal("no writes were acknowledged before the kills; the test proved nothing")
+	}
+	t.Logf("3 kill rounds, %d acknowledged writes", len(acked))
+
+	// The final process recovers the store and must serve every acked
+	// write byte-identically — zero acked-write loss across 3 crashes.
+	d := startDaemon(t, "-store-dir", dir)
+	for _, a := range acked {
+		status, got := get(t, d.base+"/v1/projects/"+a.id)
+		if status != http.StatusOK {
+			t.Fatalf("acked write %s lost after kill loop: GET status %d", a.id, status)
+		}
+		if !bytes.Equal(got, a.body) {
+			t.Errorf("acked write %s: recovered body differs from the acknowledged bytes", a.id)
+		}
+	}
+}
+
 // TestE2EWarmRestart is the persistence acceptance test against the real
 // binary: projects ingested through the streaming batch endpoint survive
 // a SIGTERM and a process restart on the same -store-dir, are served

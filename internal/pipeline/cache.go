@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync/atomic"
+	"time"
 
 	"schemaevo/internal/faultinject"
 	"schemaevo/internal/history"
@@ -94,6 +95,15 @@ type cacheEntry struct {
 // check are moved to, preserved for inspection instead of deleted.
 const corruptDirName = "corrupt"
 
+// Quarantined entries are kept for inspection, not forever: the reaper
+// deletes files older than corruptMaxAge and, beyond that, the oldest
+// files past corruptMaxFiles. Bounds the directory on long-lived
+// deployments where bit-rot trickles in indefinitely.
+const (
+	corruptMaxFiles = 32
+	corruptMaxAge   = 7 * 24 * time.Hour
+)
+
 // diskCache memoizes analysis results under a directory, one file per
 // repository fingerprint. All methods are safe for concurrent use:
 // files are written atomically (temp + rename) and the counters are
@@ -123,7 +133,11 @@ func openCache(dir string, fault *faultinject.Injector, tel *telemetry.Collector
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	return &diskCache{dir: dir, fault: fault, tel: tel, ctx: ctx}, nil
+	c := &diskCache{dir: dir, fault: fault, tel: tel, ctx: ctx}
+	// A restart is the natural moment to age out quarantined entries
+	// left by previous runs.
+	c.reapCorrupt()
+	return c, nil
 }
 
 // onRetry is the withRetry telemetry tap for cache filesystem operations.
@@ -224,10 +238,56 @@ func (c *diskCache) quarantine(fingerprint string) {
 	dir := filepath.Join(c.dir, corruptDirName)
 	if os.MkdirAll(dir, 0o755) == nil {
 		if os.Rename(src, filepath.Join(dir, fingerprint+".sevc")) == nil {
+			c.reapCorrupt()
 			return
 		}
 	}
 	os.Remove(src)
+}
+
+// reapCorrupt enforces the quarantine retention policy: delete files in
+// <dir>/corrupt/ older than corruptMaxAge, then the oldest files beyond
+// corruptMaxFiles. Every deletion is counted via telemetry; failures are
+// ignored — retention is hygiene, not correctness, and the next pass
+// retries. Concurrent reapers at worst race on os.Remove, which is
+// idempotent (only successful removals are counted).
+func (c *diskCache) reapCorrupt() {
+	dir := filepath.Join(c.dir, corruptDirName)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	type aged struct {
+		name string
+		mod  time.Time
+	}
+	var files []aged
+	now := time.Now()
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		if now.Sub(info.ModTime()) > corruptMaxAge {
+			if os.Remove(filepath.Join(dir, e.Name())) == nil {
+				c.tel.CacheReap()
+			}
+			continue
+		}
+		files = append(files, aged{e.Name(), info.ModTime()})
+	}
+	if len(files) <= corruptMaxFiles {
+		return
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].mod.Before(files[j].mod) })
+	for _, f := range files[:len(files)-corruptMaxFiles] {
+		if os.Remove(filepath.Join(dir, f.name)) == nil {
+			c.tel.CacheReap()
+		}
+	}
 }
 
 // store persists an entry; transient failures are retried, remaining

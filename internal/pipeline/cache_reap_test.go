@@ -1,0 +1,130 @@
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"schemaevo/internal/telemetry"
+)
+
+// seedCorrupt drops n dummy quarantined entries into <dir>/corrupt/,
+// each stamped with the given mtime plus i seconds so ordering by age
+// is deterministic. Returns the file names, oldest first.
+func seedCorrupt(t *testing.T, dir string, n int, mtime time.Time) []string {
+	t.Helper()
+	cdir := filepath.Join(dir, corruptDirName)
+	if err := os.MkdirAll(cdir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("entry-%03d.sevc", i)
+		p := filepath.Join(cdir, names[i])
+		if err := os.WriteFile(p, []byte("garbage"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Chtimes(p, time.Time{}, mtime.Add(time.Duration(i)*time.Second)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return names
+}
+
+func listCorrupt(t *testing.T, dir string) map[string]bool {
+	t.Helper()
+	entries, err := os.ReadDir(filepath.Join(dir, corruptDirName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(map[string]bool, len(entries))
+	for _, e := range entries {
+		got[e.Name()] = true
+	}
+	return got
+}
+
+// TestReapCorruptByAgeAndCount pins the retention policy at openCache
+// time: entries past corruptMaxAge go regardless of count, then the
+// oldest survivors beyond corruptMaxFiles go too, and every deletion is
+// counted in telemetry.
+func TestReapCorruptByAgeAndCount(t *testing.T) {
+	dir := t.TempDir()
+	// 5 ancient entries (age-reaped) + corruptMaxFiles+3 recent ones
+	// (3 count-reaped).
+	ancient := seedCorrupt(t, dir, 5, time.Now().Add(-corruptMaxAge-time.Hour))
+	cdir := filepath.Join(dir, corruptDirName)
+	recent := make([]string, corruptMaxFiles+3)
+	base := time.Now().Add(-time.Hour)
+	for i := range recent {
+		recent[i] = fmt.Sprintf("recent-%03d.sevc", i)
+		p := filepath.Join(cdir, recent[i])
+		if err := os.WriteFile(p, []byte("garbage"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Chtimes(p, time.Time{}, base.Add(time.Duration(i)*time.Second)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	tel := telemetry.New()
+	if _, err := openCache(dir, nil, tel, context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	got := listCorrupt(t, dir)
+	if len(got) != corruptMaxFiles {
+		t.Fatalf("corrupt/ holds %d files after reap, want %d", len(got), corruptMaxFiles)
+	}
+	for _, name := range ancient {
+		if got[name] {
+			t.Errorf("ancient entry %s survived the age reap", name)
+		}
+	}
+	// The 3 oldest recent entries were count-reaped; the rest survive.
+	for i, name := range recent {
+		if want := i >= 3; got[name] != want {
+			t.Errorf("recent entry %s present = %v, want %v", name, got[name], want)
+		}
+	}
+	if reaped := tel.Snapshot().Cache.Reaped; reaped != 8 {
+		t.Fatalf("telemetry reaped = %d, want 8 (5 aged + 3 over cap)", reaped)
+	}
+}
+
+// TestReapCorruptOnQuarantine pins the other trigger: a quarantine that
+// pushes the directory past the cap reaps the oldest entry immediately,
+// and the freshly quarantined file survives.
+func TestReapCorruptOnQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	tel := telemetry.New()
+	cache, err := openCache(dir, nil, tel, context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := seedCorrupt(t, dir, corruptMaxFiles, time.Now().Add(-time.Hour))
+
+	// Plant a poisoned live entry and quarantine it.
+	const fp = "deadbeef"
+	if err := os.WriteFile(cache.path(fp), []byte("poisoned"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cache.quarantine(fp)
+
+	got := listCorrupt(t, dir)
+	if len(got) != corruptMaxFiles {
+		t.Fatalf("corrupt/ holds %d files after quarantine, want %d", len(got), corruptMaxFiles)
+	}
+	if !got[fp+".sevc"] {
+		t.Fatal("the freshly quarantined entry was reaped instead of the oldest")
+	}
+	if got[names[0]] {
+		t.Fatalf("oldest entry %s survived; reap removed something else", names[0])
+	}
+	if reaped := tel.Snapshot().Cache.Reaped; reaped != 1 {
+		t.Fatalf("telemetry reaped = %d, want 1", reaped)
+	}
+}

@@ -1,0 +1,89 @@
+package server
+
+import (
+	"strconv"
+	"testing"
+	"time"
+)
+
+// newRetryAfterServer builds the minimal in-package fixture the hint
+// computation reads: the config base, the worker semaphore, and the
+// waiter counter.
+func newRetryAfterServer(base time.Duration, capacity int) *Server {
+	return &Server{cfg: Config{RetryAfter: base}, sem: make(chan struct{}, capacity)}
+}
+
+func hintSecs(t *testing.T, s *Server) int {
+	t.Helper()
+	secs, err := strconv.Atoi(s.retryAfterSeconds())
+	if err != nil {
+		t.Fatalf("retryAfterSeconds() = %q, want an integer", s.retryAfterSeconds())
+	}
+	return secs
+}
+
+// TestRetryAfterAdaptiveBounds pins the adaptive hint's contract: the
+// configured base on an idle server, monotone growth with pressure, and
+// a hard [base, 8×base] envelope at every load — so clients never see a
+// hint below the operator's floor nor an unbounded one.
+func TestRetryAfterAdaptiveBounds(t *testing.T) {
+	const capacity = 4
+	base := 2 * time.Second
+
+	s := newRetryAfterServer(base, capacity)
+	if got := hintSecs(t, s); got != 2 {
+		t.Fatalf("idle hint = %d, want the 2s base", got)
+	}
+
+	// Sweep busy workers × waiters, asserting the envelope and
+	// monotonicity in total load.
+	prev := 0
+	prevLoad := -1
+	for busy := 0; busy <= capacity; busy++ {
+		for waiters := 0; waiters <= 3*capacity; waiters++ {
+			s := newRetryAfterServer(base, capacity)
+			for i := 0; i < busy; i++ {
+				s.sem <- struct{}{}
+			}
+			s.semWait.Store(int64(waiters))
+			got := hintSecs(t, s)
+			if got < 2 || got > 16 {
+				t.Fatalf("busy=%d waiters=%d: hint = %d, outside [2, 16]", busy, waiters, got)
+			}
+			if load := busy + waiters; load >= prevLoad && busy == 0 {
+				// Monotone along the waiters axis (fixed busy=0): more
+				// pressure must never shrink the hint.
+				if got < prev {
+					t.Fatalf("waiters=%d: hint %d < previous %d; must be monotone", waiters, got, prev)
+				}
+				prev, prevLoad = got, load
+			}
+		}
+	}
+
+	// Saturation: load ≥ 2×capacity pins the hint to the 8× ceiling.
+	s = newRetryAfterServer(base, capacity)
+	for i := 0; i < capacity; i++ {
+		s.sem <- struct{}{}
+	}
+	s.semWait.Store(100)
+	if got := hintSecs(t, s); got != 16 {
+		t.Fatalf("saturated hint = %d, want the 16s (8×base) ceiling", got)
+	}
+
+	// Sub-second bases still respect the header's 1s granularity.
+	s = newRetryAfterServer(10*time.Millisecond, capacity)
+	if got := hintSecs(t, s); got != 1 {
+		t.Fatalf("sub-second base hint = %d, want 1", got)
+	}
+
+	// The zero config selects a 1s base: idle hints 1, saturation 8.
+	s = newRetryAfterServer(0, capacity)
+	if got := hintSecs(t, s); got != 1 {
+		t.Fatalf("default idle hint = %d, want 1", got)
+	}
+	s.semWait.Store(int64(2 * capacity))
+	if got := hintSecs(t, s); got != 8 {
+		t.Fatalf("default saturated hint = %d, want 8", got)
+	}
+}

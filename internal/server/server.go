@@ -108,10 +108,29 @@ type Config struct {
 	// a fresh collector (the server always observes).
 	Telemetry *telemetry.Collector
 	// Fault injects deterministic chaos into the handler path (site
-	// "server.submit"), the store ("store.flush"), and the pipeline/cache
-	// sites of submitted analyses. nil disables injection. Startup corpus
-	// analysis is always fault-free.
+	// "server.submit"), the store ("store.flush", "store.scrub",
+	// "store.diskfull", "store.slowdisk"), and the pipeline/cache sites of
+	// submitted analyses. nil disables injection. Startup corpus analysis
+	// is always fault-free.
 	Fault *faultinject.Injector
+	// ScrubInterval enables the background store scrubber: every interval
+	// it CRC-verifies stored records ahead of demand, quarantines latent
+	// corruption, repairs affected projects by re-analysis from their
+	// persisted source snapshots, schedules compaction, and runs the
+	// disk-budget watchdog. <= 0 disables the background loop (ScrubNow
+	// stays available for on-demand passes).
+	ScrubInterval time.Duration
+	// ScrubPace rate-limits the scrubber's per-record reads so a pass
+	// never competes with foreground traffic for disk. 0 selects 500µs
+	// between records; < 0 disables pacing.
+	ScrubPace time.Duration
+	// DiskLowBytes is the disk-budget watchdog's free-space floor: while
+	// the store directory's filesystem has less available, the store
+	// degrades to read-only (write endpoints answer 503 + Retry-After,
+	// reads keep serving) instead of crashing into ENOSPC, recovering once
+	// free space climbs back above twice the floor. <= 0 disables the
+	// watchdog.
+	DiskLowBytes int64
 }
 
 // aggEntry is one submitted project's contribution to the live corpus
@@ -151,6 +170,10 @@ type Server struct {
 	inflight     atomic.Int64
 	analyses     atomic.Int64
 	incrementals atomic.Int64
+	// semWait counts callers currently blocked on the worker semaphore
+	// (batch lines and repairs); together with the semaphore's occupancy it
+	// drives the adaptive Retry-After hint.
+	semWait atomic.Int64
 }
 
 // errSaturated is returned by the submit path when the worker semaphore
@@ -248,7 +271,12 @@ func New(ctx context.Context, cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/corpus/stats", s.wrap("stats", s.handleCorpusStats))
 	s.mux.HandleFunc("GET /v1/corpus/patterns", s.wrap("patterns", s.handleCorpusPatterns))
 	s.mux.HandleFunc("GET /healthz", s.wrap("healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /readyz", s.wrap("readyz", s.handleReadyz))
 	s.mux.HandleFunc("GET /metrics", s.wrap("metrics", s.handleMetrics))
+
+	if cfg.ScrubInterval > 0 {
+		s.store.StartScrubber(s.scrubConfig())
+	}
 	return s, nil
 }
 
@@ -261,8 +289,8 @@ func projectID(fingerprint string) string {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// Close releases the result store (segment file handles). The server
-// must not serve requests afterwards.
+// Close stops the background scrubber and releases the result store
+// (segment file handles). The server must not serve requests afterwards.
 func (s *Server) Close() error { return s.store.Close() }
 
 // BeginDrain flips the server into lame-duck mode: every subsequent
@@ -367,14 +395,31 @@ func (s *Server) requestTimeout() time.Duration {
 	return 30 * time.Second
 }
 
-// retryAfterSeconds renders the configured backoff hint as whole seconds
-// (minimum 1, the header's granularity).
+// retryAfterSeconds renders the backoff hint as whole seconds (minimum
+// 1, the header's granularity). The hint is adaptive: the configured base
+// scales with current pressure — busy workers plus callers blocked on the
+// semaphore, relative to capacity — clamped to [base, 8×base]. An idle
+// server hints the base so transient rejections (drain races, read-only
+// blips) retry promptly; a saturated server with a deep waiter backlog
+// tells clients to stay away up to 8× longer, spreading the retry storm
+// instead of synchronizing it.
 func (s *Server) retryAfterSeconds() string {
-	d := s.cfg.RetryAfter
-	if d <= 0 {
-		d = time.Second
+	base := s.cfg.RetryAfter
+	if base <= 0 {
+		base = time.Second
 	}
-	secs := int(d / time.Second)
+	d := base
+	if capacity := int64(cap(s.sem)); capacity > 0 {
+		load := int64(len(s.sem)) + s.semWait.Load()
+		// Linear ramp: factor 1 at load 0 up to 8 at load ≥ 2×capacity
+		// (every worker busy and as many callers again queued behind them).
+		factor := 1 + 7*float64(load)/float64(2*capacity)
+		if factor > 8 {
+			factor = 8
+		}
+		d = time.Duration(float64(base) * factor)
+	}
+	secs := int((d + time.Second - 1) / time.Second) // ceil: never hint below a busy base
 	if secs < 1 {
 		secs = 1
 	}
@@ -386,6 +431,10 @@ func (s *Server) retryAfterSeconds() string {
 // incrementally when the store holds the project's previous version,
 // bounded by the worker semaphore — and return the pattern-study result.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.store.ReadOnly() {
+		s.writeReadOnly(w)
+		return
+	}
 	maxBody := s.cfg.MaxBodyBytes
 	if maxBody <= 0 {
 		maxBody = 32 << 20
@@ -488,9 +537,12 @@ func (s *Server) analyze(ctx context.Context, repo *vcs.Repo, fingerprint string
 		}
 	}
 	if wait {
+		s.semWait.Add(1)
 		select {
 		case s.sem <- struct{}{}:
+			s.semWait.Add(-1)
 		case <-ctx.Done():
+			s.semWait.Add(-1)
 			return nil, ctx.Err()
 		}
 	} else {
@@ -524,7 +576,9 @@ func (s *Server) analyze(ctx context.Context, repo *vcs.Repo, fingerprint string
 	}
 
 	if res, ok := s.tryExtend(repo, id); ok {
-		s.commit(repo, fingerprint, id, res)
+		if cerr := s.commit(repo, fingerprint, id, res); cerr != nil {
+			return nil, cerr
+		}
 		return &submitOutcome{res: res, state: "incremental"}, nil
 	}
 
@@ -532,7 +586,9 @@ func (s *Server) analyze(ctx context.Context, repo *vcs.Repo, fingerprint string
 	if aerr != nil {
 		return nil, aerr
 	}
-	s.commit(repo, fingerprint, id, res)
+	if cerr := s.commit(repo, fingerprint, id, res); cerr != nil {
+		return nil, cerr
+	}
 	return &submitOutcome{res: res, state: "miss"}, nil
 }
 
@@ -605,17 +661,25 @@ func (s *Server) runFull(ctx context.Context, repo *vcs.Repo, fingerprint string
 
 // commit persists one analyzed submission — result and source snapshot —
 // and folds it into the live aggregates, invalidating the superseded
-// version. A store flush error is not a request failure: the result
-// still serves from the hot tier and telemetry records the incident.
-func (s *Server) commit(repo *vcs.Repo, fingerprint, id string, res *pipeline.CachedResult) {
-	prevID, _ := s.store.Put(store.Entry{
+// version. An ordinary store flush error is not a request failure: the
+// result still serves from the hot tier and telemetry records the
+// incident. Read-only refusals and disk exhaustion ARE failures — the
+// write did not land durably, so acking it would promise durability the
+// store cannot deliver; the caller answers 503 and the client retries
+// once space recovers.
+func (s *Server) commit(repo *vcs.Repo, fingerprint, id string, res *pipeline.CachedResult) error {
+	prevID, err := s.store.Put(store.Entry{
 		ID:          id,
 		Name:        repo.Name,
 		Fingerprint: fingerprint,
 		Source:      pipeline.EncodeRepo(repo),
 		Result:      pipeline.EncodeResult(res),
 	})
+	if errors.Is(err, store.ErrReadOnly) || store.IsDiskFull(err) {
+		return err
+	}
 	s.aggPut(id, repo.Name, assignedPattern(res.Measures, s.scheme), prevID)
+	return nil
 }
 
 // aggPut updates the live aggregates: the superseded entry leaves, the
@@ -643,6 +707,13 @@ func (s *Server) writeSubmitError(w http.ResponseWriter, err error) {
 	if errors.Is(err, errSaturated) {
 		w.Header().Set("Retry-After", s.retryAfterSeconds())
 		writeError(w, http.StatusTooManyRequests, errSaturated.Error(), nil)
+		return
+	}
+	if errors.Is(err, store.ErrReadOnly) || store.IsDiskFull(err) {
+		// The store flipped read-only mid-request (the endpoint gate passed
+		// before the flip): the write did not land, so the client must
+		// retry — same contract as being gated up front.
+		s.writeReadOnly(w)
 		return
 	}
 	var ae *analysisError
@@ -712,9 +783,12 @@ func (s *Server) reanalyze(ctx context.Context, id string) (*pipeline.CachedResu
 		if derr != nil {
 			return nil, fmt.Errorf("server: stored snapshot for %s: %w", id, derr)
 		}
+		s.semWait.Add(1)
 		select {
 		case s.sem <- struct{}{}:
+			s.semWait.Add(-1)
 		case <-ctx.Done():
+			s.semWait.Add(-1)
 			return nil, ctx.Err()
 		}
 		defer func() { <-s.sem }()
@@ -745,12 +819,20 @@ type deleteWire struct {
 // from the store (tombstoned on disk, gone from every tier and the
 // aggregates). Corpus projects are immutable — 403.
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if s.store.ReadOnly() {
+		s.writeReadOnly(w)
+		return
+	}
 	id := r.PathValue("id")
 	if _, ok := s.index.Lookup(id); ok {
 		writeError(w, http.StatusForbidden, "corpus projects are immutable", nil)
 		return
 	}
-	deleted, _ := s.store.Delete(id)
+	deleted, derr := s.store.Delete(id)
+	if errors.Is(derr, store.ErrReadOnly) {
+		s.writeReadOnly(w)
+		return
+	}
 	if !deleted {
 		writeError(w, http.StatusNotFound, "unknown project id "+id, nil)
 		return
@@ -785,21 +867,6 @@ func (s *Server) handleCorpusStats(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCorpusPatterns(w http.ResponseWriter, r *http.Request) {
 	members := append(append([]member{}, s.corpusMembers...), s.aggMembers()...)
 	writeJSON(w, http.StatusOK, buildCorpusPatterns(members))
-}
-
-// healthzWire is the GET /healthz body.
-type healthzWire struct {
-	Status   string `json:"status"`
-	Projects int    `json:"projects"`
-	Stored   int    `json:"stored"`
-}
-
-// handleHealthz is GET /healthz: liveness plus the corpus size and the
-// live store population. (While draining, the drain gate answers 503
-// before this handler runs — load balancers stop routing on the status
-// flip.)
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, healthzWire{Status: "ok", Projects: s.corpus.Len(), Stored: s.store.Len()})
 }
 
 // handleMetrics is GET /metrics: the run's telemetry report JSON

@@ -1,0 +1,11 @@
+//go:build !linux && !darwin
+
+package store
+
+import "errors"
+
+// freeBytes is unavailable on this platform; the disk-budget watchdog is
+// effectively disabled unless ScrubConfig.FreeSpace overrides the probe.
+func freeBytes(string) (int64, error) {
+	return -1, errors.ErrUnsupported
+}

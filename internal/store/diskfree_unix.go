@@ -1,0 +1,15 @@
+//go:build linux || darwin
+
+package store
+
+import "syscall"
+
+// freeBytes reports the bytes available to unprivileged writers on the
+// filesystem holding dir — the disk-budget watchdog's default probe.
+func freeBytes(dir string) (int64, error) {
+	var st syscall.Statfs_t
+	if err := syscall.Statfs(dir, &st); err != nil {
+		return -1, err
+	}
+	return int64(st.Bavail) * int64(st.Bsize), nil
+}

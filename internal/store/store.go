@@ -28,6 +28,7 @@ package store
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"os"
@@ -35,10 +36,24 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"syscall"
 
 	"schemaevo/internal/faultinject"
 	"schemaevo/internal/telemetry"
 )
+
+// ErrReadOnly is returned by mutating operations while the store is in
+// read-only mode: the disk-budget watchdog found free space below its
+// floor, a flush hit ENOSPC, or an operator flipped the mode manually.
+// Reads keep serving; callers should answer retryable unavailability
+// (HTTP 503) rather than treating this as data loss.
+var ErrReadOnly = errors.New("store: read-only mode")
+
+// IsDiskFull reports whether err is an out-of-space condition (real or
+// injected via the "store.diskfull" fault site).
+func IsDiskFull(err error) bool {
+	return errors.Is(err, syscall.ENOSPC) || errors.Is(err, syscall.EDQUOT)
+}
 
 // Config parameterizes a Store. The zero value is a valid memory-only
 // store with default hot-tier bounds.
@@ -133,9 +148,87 @@ type Store struct {
 	nmu    sync.Mutex
 	byName map[string]nameEntry // live project name -> ID + sequence
 
+	// Read-only mode: a mirrored atomic flag for lock-free checks on the
+	// mutation paths, with the cause (manual vs disk-budget) guarded by
+	// romu so the watchdog never overrides an operator's manual flip.
+	romu     sync.Mutex
+	readOnly atomic.Bool
+	roCause  roCause
+
+	// Background scrubber lifecycle (StartScrubber/StopScrubber).
+	smu       sync.Mutex
+	scrubStop chan struct{}
+	scrubDone chan struct{}
+
 	quarantined atomic.Int64
 	compactions atomic.Int64
 	flushErrors atomic.Int64
+	scrubPasses atomic.Int64
+	repairs     atomic.Int64
+	roEvents    atomic.Int64
+	diskFulls   atomic.Int64
+}
+
+// roCause records why the store is read-only, so only the matching
+// mechanism clears it.
+type roCause int32
+
+const (
+	roNone   roCause = iota
+	roManual         // SetReadOnly(true)
+	roDisk           // ENOSPC on a flush, or the disk-budget watchdog
+)
+
+// ReadOnly reports whether the store is currently refusing mutations.
+func (s *Store) ReadOnly() bool { return s.readOnly.Load() }
+
+// SetReadOnly flips read-only mode manually. Clearing also clears a
+// disk-triggered state (the operator has presumably freed space).
+func (s *Store) SetReadOnly(on bool) {
+	s.romu.Lock()
+	defer s.romu.Unlock()
+	if on {
+		s.enterReadOnlyLocked(roManual)
+	} else {
+		s.clearReadOnlyLocked(roNone)
+	}
+}
+
+func (s *Store) enterReadOnly(c roCause) {
+	s.romu.Lock()
+	s.enterReadOnlyLocked(c)
+	s.romu.Unlock()
+}
+
+func (s *Store) enterReadOnlyLocked(c roCause) {
+	if s.readOnly.Load() {
+		return
+	}
+	s.readOnly.Store(true)
+	s.roCause = c
+	s.roEvents.Add(1)
+	s.tel.StoreReadOnlyEvent()
+	s.tel.SetGauge("store.read_only", 1)
+}
+
+// clearReadOnlyLocked leaves read-only mode. A cause of roNone forces the
+// clear; a specific cause only clears a matching state, so the disk
+// watchdog's recovery never overrides a manual flip.
+func (s *Store) clearReadOnlyLocked(c roCause) {
+	if !s.readOnly.Load() || (c != roNone && s.roCause != c) {
+		return
+	}
+	s.readOnly.Store(false)
+	s.roCause = roNone
+	s.tel.SetGauge("store.read_only", 0)
+}
+
+// diskFull records an out-of-space incident and degrades to read-only
+// instead of failing every subsequent write (or crashing the process).
+func (s *Store) diskFull() {
+	s.diskFulls.Add(1)
+	s.tel.StoreDiskFull()
+	s.enterReadOnly(roDisk)
 }
 
 // nameEntry is the name index's value: the live ID and the sequence of
@@ -357,9 +450,10 @@ func sortedTombNames(m map[string]tomb) []string {
 	return out
 }
 
-// Close releases the segment file handles. The store must not be used
-// afterwards.
+// Close stops the background scrubber (if running) and releases the
+// segment file handles. The store must not be used afterwards.
 func (s *Store) Close() error {
+	s.StopScrubber()
 	var first error
 	for _, sh := range s.shards {
 		sh.mu.Lock()
@@ -468,8 +562,14 @@ func (s *Store) quarantineLocked(sh *shard, r *ref) {
 // result, superseding any live entry with the same name. It returns the
 // superseded entry's ID ("" when none, or unchanged). A flush error is
 // returned after the in-memory state is updated — the hot tier still
-// serves the result; the disk records are quarantined on next read.
+// serves the result; the disk records are quarantined on next read. An
+// out-of-space flush additionally wraps syscall.ENOSPC (see IsDiskFull):
+// nothing durable landed, so callers must not acknowledge the write. In
+// read-only mode Put refuses up front with ErrReadOnly, mutating nothing.
 func (s *Store) Put(e Entry) (prevID string, err error) {
+	if s.readOnly.Load() {
+		return "", ErrReadOnly
+	}
 	end := s.seq.Add(2)
 	seqSrc, seqRes := end-2, end-1
 	sh := s.shardFor(e.ID)
@@ -485,7 +585,7 @@ func (s *Store) Put(e Entry) (prevID string, err error) {
 		m.src = ref{
 			start: sh.size, total: int64(len(buf)),
 			bodyOff: sh.size + int64(len(buf)) - 4 - int64(len(e.Source)), bodyLen: int64(len(e.Source)),
-			seq:     seqSrc,
+			seq: seqSrc,
 		}
 		if e.Result != nil {
 			resStart := sh.size + int64(len(buf))
@@ -494,7 +594,7 @@ func (s *Store) Put(e Entry) (prevID string, err error) {
 			m.res = ref{
 				start: resStart, total: total,
 				bodyOff: resStart + total - 4 - int64(len(e.Result)), bodyLen: int64(len(e.Result)),
-				seq:     seqRes,
+				seq: seqRes,
 			}
 		}
 		sh.live += int64(len(buf))
@@ -524,6 +624,9 @@ func (s *Store) Put(e Entry) (prevID string, err error) {
 // the write-back after an on-demand re-analysis of an evicted or
 // quarantined result.
 func (s *Store) PutResult(id string, result []byte) error {
+	if s.readOnly.Load() {
+		return ErrReadOnly
+	}
 	seq := s.seq.Add(1) - 1
 	sh := s.shardFor(id)
 	sh.mu.Lock()
@@ -542,7 +645,7 @@ func (s *Store) PutResult(id string, result []byte) error {
 		m.res = ref{
 			start: sh.size, total: int64(len(buf)),
 			bodyOff: sh.size + int64(len(buf)) - 4 - int64(len(result)), bodyLen: int64(len(result)),
-			seq:     seq,
+			seq: seq,
 		}
 		sh.live += int64(len(buf))
 		err = s.flushLocked(sh, id, buf)
@@ -556,6 +659,9 @@ func (s *Store) PutResult(id string, result []byte) error {
 // Delete removes a live entry: a tombstone record supersedes it on disk
 // (so recovery agrees), and every tier forgets it immediately.
 func (s *Store) Delete(id string) (bool, error) {
+	if s.readOnly.Load() {
+		return false, ErrReadOnly
+	}
 	seq := s.seq.Add(1) - 1
 	sh := s.shardFor(id)
 	sh.mu.Lock()
@@ -651,6 +757,20 @@ func (s *Store) Each(fn func(id, name string, result []byte)) {
 // stalls. The append offset always advances by the bytes actually
 // written, so later records land where the index says they do.
 func (s *Store) flushLocked(sh *shard, key string, buf []byte) error {
+	// "store.slowdisk" simulates a degraded device: the write eventually
+	// succeeds, it just stalls first.
+	if s.fault.At("store.slowdisk", key) == faultinject.KindDelay {
+		s.fault.Sleep(context.Background())
+	}
+	// "store.diskfull" simulates ENOSPC: nothing lands on disk, the store
+	// degrades to read-only, and the caller must not acknowledge the
+	// write. Previously acked records are untouched.
+	if s.fault.At("store.diskfull", key) == faultinject.KindErr {
+		s.flushErrors.Add(1)
+		s.tel.StoreFlushError()
+		s.diskFull()
+		return fmt.Errorf("store: flush: %w", syscall.ENOSPC)
+	}
 	switch s.fault.At("store.flush", key) {
 	case faultinject.KindErr:
 		// Tear at a key-derived offset so the cut can land anywhere in the
@@ -678,6 +798,9 @@ func (s *Store) flushLocked(sh *shard, key string, buf []byte) error {
 	if err != nil {
 		s.flushErrors.Add(1)
 		s.tel.StoreFlushError()
+		if IsDiskFull(err) {
+			s.diskFull()
+		}
 		return fmt.Errorf("store: flush: %w", err)
 	}
 	s.tel.StoreFlush()
@@ -709,6 +832,14 @@ func (sh *shard) readRecordLocked(r ref) ([]byte, error) {
 // so a crash leaves either the old or the new file, never a hybrid.
 func (s *Store) maybeCompactLocked(sh *shard) {
 	if sh.file == nil || sh.garbage < s.compactMin || sh.garbage < sh.live {
+		return
+	}
+	// "store.diskfull" during compaction: building the replacement file
+	// needs transient space a full disk does not have. Abort — the old
+	// segment is untouched, every acked record still reads — and degrade
+	// to read-only instead of retrying a hopeless rewrite forever.
+	if s.fault.At("store.diskfull", "compact:"+sh.path) == faultinject.KindErr {
+		s.diskFull()
 		return
 	}
 	// A tombstone is superseded — droppable — only once its name is live
@@ -762,7 +893,7 @@ func (s *Store) maybeCompactLocked(sh *shard) {
 			moves = append(moves, move{m: m, which: which, to: ref{
 				start: start, total: total,
 				bodyOff: start + total - 4 - int64(len(body)), bodyLen: int64(len(body)),
-				seq:     which.seq,
+				seq: which.seq,
 			}})
 		}
 	}
@@ -775,6 +906,9 @@ func (s *Store) maybeCompactLocked(sh *shard) {
 	}
 	if _, err := tmp.Write(buf); err != nil {
 		tmp.Close()
+		if IsDiskFull(err) {
+			s.diskFull()
+		}
 		return
 	}
 	if err := tmp.Close(); err != nil {
@@ -817,6 +951,14 @@ type Stats struct {
 	FlushErrors    int64
 	GarbageBytes   int64
 	LiveBytes      int64
+	// ReadOnly is the current mode; ReadOnlyEvents and DiskFullEvents
+	// count transitions into it and ENOSPC incidents respectively.
+	ReadOnly       bool
+	ReadOnlyEvents int64
+	DiskFullEvents int64
+	// ScrubPasses and Repairs summarize the background scrubber.
+	ScrubPasses int64
+	Repairs     int64
 }
 
 // StatsSnapshot gathers Stats across all shards.
@@ -826,6 +968,11 @@ func (s *Store) StatsSnapshot() Stats {
 	st.Quarantined = s.quarantined.Load()
 	st.Compactions = s.compactions.Load()
 	st.FlushErrors = s.flushErrors.Load()
+	st.ReadOnly = s.readOnly.Load()
+	st.ReadOnlyEvents = s.roEvents.Load()
+	st.DiskFullEvents = s.diskFulls.Load()
+	st.ScrubPasses = s.scrubPasses.Load()
+	st.Repairs = s.repairs.Load()
 	for _, sh := range s.shards {
 		sh.mu.Lock()
 		st.Entries += len(sh.byID)

@@ -12,7 +12,7 @@ import (
 // ReportSchemaVersion identifies the report layout; consumers should
 // reject versions they do not understand. Bump it whenever a field is
 // added, removed, or changes meaning.
-const ReportSchemaVersion = 2
+const ReportSchemaVersion = 3
 
 // StageReport is one stage's aggregated telemetry. Field order is part
 // of the report contract and is pinned by a golden test.
@@ -41,13 +41,16 @@ type StageReport struct {
 
 // CacheReport aggregates the result cache's telemetry.
 type CacheReport struct {
-	Hits         int64 `json:"hits"`
-	Misses       int64 `json:"misses"`
-	Writes       int64 `json:"writes"`
-	Errors       int64 `json:"errors"`
-	Corrupt      int64 `json:"corrupt"`
-	Retries      int64 `json:"retries"`
-	Quarantined  int64 `json:"quarantined"`
+	Hits        int64 `json:"hits"`
+	Misses      int64 `json:"misses"`
+	Writes      int64 `json:"writes"`
+	Errors      int64 `json:"errors"`
+	Corrupt     int64 `json:"corrupt"`
+	Retries     int64 `json:"retries"`
+	Quarantined int64 `json:"quarantined"`
+	// Reaped counts quarantined corrupt/ files deleted by the retention
+	// cap (count or age) so the quarantine directory stays bounded.
+	Reaped       int64 `json:"reaped"`
 	BytesRead    int64 `json:"bytes_read"`
 	BytesWritten int64 `json:"bytes_written"`
 	// HitRate is Hits/(Hits+Misses), 0 when the cache saw no traffic.
@@ -68,9 +71,19 @@ type StoreReport struct {
 	Evictions   int64 `json:"evictions"`
 	// Reanalyses counts projects recomputed from their persisted source
 	// because the stored result was evicted or quarantined.
-	Reanalyses   int64 `json:"reanalyses"`
-	BytesRead    int64 `json:"bytes_read"`
-	BytesWritten int64 `json:"bytes_written"`
+	Reanalyses int64 `json:"reanalyses"`
+	// ScrubPasses/ScrubbedRecords/Repairs summarize the background
+	// scrubber: full passes completed, records proactively verified, and
+	// quarantined entries restored to service by the repair callback.
+	ScrubPasses     int64 `json:"scrub_passes"`
+	ScrubbedRecords int64 `json:"scrubbed_records"`
+	Repairs         int64 `json:"repairs"`
+	// DiskFullEvents counts ENOSPC incidents on the write path;
+	// ReadOnlyEvents counts transitions into read-only mode.
+	DiskFullEvents int64 `json:"disk_full_events"`
+	ReadOnlyEvents int64 `json:"read_only_events"`
+	BytesRead      int64 `json:"bytes_read"`
+	BytesWritten   int64 `json:"bytes_written"`
 	// HitRate is (HotHits+DiskHits)/(HotHits+DiskHits+DiskMisses): the
 	// fraction of lookups any tier answered. 0 with no traffic.
 	HitRate float64 `json:"hit_rate"`
@@ -95,8 +108,11 @@ type Report struct {
 	Cache  CacheReport   `json:"cache"`
 	Store  StoreReport   `json:"store"`
 	// Faults and Degradation are sorted by name.
-	Faults       []EventCount `json:"faults"`
-	Degradation  []EventCount `json:"degradation"`
+	Faults      []EventCount `json:"faults"`
+	Degradation []EventCount `json:"degradation"`
+	// Gauges are last-write-wins point-in-time values (health state,
+	// read-only flag), sorted by name.
+	Gauges       []EventCount `json:"gauges"`
 	SpanCount    int          `json:"span_count"`
 	SpansDropped int64        `json:"spans_dropped"`
 }
@@ -114,12 +130,14 @@ func (c *Collector) Snapshot() *Report {
 		Stages:        []StageReport{},
 		Faults:        []EventCount{},
 		Degradation:   []EventCount{},
+		Gauges:        []EventCount{},
 	}
 
 	c.mu.Lock()
 	stages := append([]*Stage(nil), c.stages...)
 	r.Faults = sortedEvents(c.faults)
 	r.Degradation = sortedEvents(c.degrade)
+	r.Gauges = sortedEvents(c.gauges)
 	r.SpanCount = len(c.spans)
 	c.mu.Unlock()
 	r.SpansDropped = c.spansDropped.Load()
@@ -152,6 +170,7 @@ func (c *Collector) Snapshot() *Report {
 		Corrupt:      c.cacheCorrupt.Load(),
 		Retries:      c.cacheRetries.Load(),
 		Quarantined:  c.cacheQuarant.Load(),
+		Reaped:       c.cacheReaped.Load(),
 		BytesRead:    c.cacheBytesIn.Load(),
 		BytesWritten: c.cacheBytesOut.Load(),
 	}
@@ -160,19 +179,24 @@ func (c *Collector) Snapshot() *Report {
 	}
 
 	r.Store = StoreReport{
-		HotHits:      c.storeHotHits.Load(),
-		HotMisses:    c.storeHotMisses.Load(),
-		DiskHits:     c.storeDiskHits.Load(),
-		DiskMisses:   c.storeDiskMisses.Load(),
-		Appends:      c.storeAppends.Load(),
-		Flushes:      c.storeFlushes.Load(),
-		FlushErrors:  c.storeFlushErrors.Load(),
-		Compactions:  c.storeCompactions.Load(),
-		Quarantined:  c.storeQuarant.Load(),
-		Evictions:    c.storeEvictions.Load(),
-		Reanalyses:   c.storeReanalyses.Load(),
-		BytesRead:    c.storeBytesIn.Load(),
-		BytesWritten: c.storeBytesOut.Load(),
+		HotHits:         c.storeHotHits.Load(),
+		HotMisses:       c.storeHotMisses.Load(),
+		DiskHits:        c.storeDiskHits.Load(),
+		DiskMisses:      c.storeDiskMisses.Load(),
+		Appends:         c.storeAppends.Load(),
+		Flushes:         c.storeFlushes.Load(),
+		FlushErrors:     c.storeFlushErrors.Load(),
+		Compactions:     c.storeCompactions.Load(),
+		Quarantined:     c.storeQuarant.Load(),
+		Evictions:       c.storeEvictions.Load(),
+		Reanalyses:      c.storeReanalyses.Load(),
+		ScrubPasses:     c.storeScrubPasses.Load(),
+		ScrubbedRecords: c.storeScrubbed.Load(),
+		Repairs:         c.storeRepairs.Load(),
+		DiskFullEvents:  c.storeDiskFull.Load(),
+		ReadOnlyEvents:  c.storeReadOnly.Load(),
+		BytesRead:       c.storeBytesIn.Load(),
+		BytesWritten:    c.storeBytesOut.Load(),
 	}
 	if hits := r.Store.HotHits + r.Store.DiskHits; hits+r.Store.DiskMisses > 0 {
 		r.Store.HitRate = float64(hits) / float64(hits+r.Store.DiskMisses)

@@ -166,6 +166,7 @@ type Collector struct {
 	byName  map[string]*Stage
 	faults  map[string]int64
 	degrade map[string]int64
+	gauges  map[string]int64
 	spans   []Span
 
 	spansDropped atomic.Int64
@@ -177,6 +178,7 @@ type Collector struct {
 	cacheCorrupt  atomic.Int64
 	cacheRetries  atomic.Int64
 	cacheQuarant  atomic.Int64
+	cacheReaped   atomic.Int64
 	cacheBytesIn  atomic.Int64
 	cacheBytesOut atomic.Int64
 
@@ -191,6 +193,11 @@ type Collector struct {
 	storeQuarant     atomic.Int64
 	storeEvictions   atomic.Int64
 	storeReanalyses  atomic.Int64
+	storeScrubPasses atomic.Int64
+	storeScrubbed    atomic.Int64
+	storeRepairs     atomic.Int64
+	storeDiskFull    atomic.Int64
+	storeReadOnly    atomic.Int64
 	storeBytesIn     atomic.Int64
 	storeBytesOut    atomic.Int64
 }
@@ -203,6 +210,7 @@ func New() *Collector {
 		byName:  map[string]*Stage{},
 		faults:  map[string]int64{},
 		degrade: map[string]int64{},
+		gauges:  map[string]int64{},
 	}
 }
 
@@ -282,6 +290,15 @@ func (c *Collector) CacheQuarantine() {
 		return
 	}
 	c.cacheQuarant.Add(1)
+}
+
+// CacheReap records a quarantined corrupt/ file reaped by the retention
+// cap (too many, or too old). Nil-safe.
+func (c *Collector) CacheReap() {
+	if c == nil {
+		return
+	}
+	c.cacheReaped.Add(1)
 }
 
 // StoreHotHit records a result-store hit served from the in-memory hot
@@ -380,6 +397,63 @@ func (c *Collector) StoreReanalysis() {
 		return
 	}
 	c.storeReanalyses.Add(1)
+}
+
+// StoreScrubPass records one completed scrubber pass over every shard.
+// Nil-safe.
+func (c *Collector) StoreScrubPass() {
+	if c == nil {
+		return
+	}
+	c.storeScrubPasses.Add(1)
+}
+
+// StoreScrubRecord records one record proactively CRC-verified by the
+// scrubber (clean or not). Nil-safe.
+func (c *Collector) StoreScrubRecord() {
+	if c == nil {
+		return
+	}
+	c.storeScrubbed.Add(1)
+}
+
+// StoreRepair records one quarantined entry restored to service by the
+// scrubber's repair callback. Nil-safe.
+func (c *Collector) StoreRepair() {
+	if c == nil {
+		return
+	}
+	c.storeRepairs.Add(1)
+}
+
+// StoreDiskFull records one ENOSPC (or injected equivalent) observed on
+// the segment write path. Nil-safe.
+func (c *Collector) StoreDiskFull() {
+	if c == nil {
+		return
+	}
+	c.storeDiskFull.Add(1)
+}
+
+// StoreReadOnlyEvent records one transition of the store into read-only
+// mode. Nil-safe.
+func (c *Collector) StoreReadOnlyEvent() {
+	if c == nil {
+		return
+	}
+	c.storeReadOnly.Add(1)
+}
+
+// SetGauge records the current value of a named gauge (health state,
+// read-only flag, free disk bytes). Last write wins; gauges render sorted
+// by name in the report. Nil-safe.
+func (c *Collector) SetGauge(name string, v int64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.gauges[name] = v
+	c.mu.Unlock()
 }
 
 // Fault records one injected fault firing at a site. Nil-safe. This is a

@@ -1,0 +1,62 @@
+package schemaevoclient
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// breaker is a consecutive-failure circuit breaker. After threshold
+// failures in a row it opens for cooldown; an attempt arriving while
+// open WAITS the cooldown out (counting against the caller's context)
+// and then proceeds as the half-open probe — so the client stops
+// hammering a down service without ever giving up on a call that still
+// has budget. A probe failure re-opens the breaker; any success closes
+// it.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu        sync.Mutex
+	failures  int
+	openUntil time.Time
+}
+
+// allow blocks until the breaker admits an attempt or ctx expires.
+func (b *breaker) allow(ctx context.Context, sleep func(context.Context, time.Duration) error) error {
+	b.mu.Lock()
+	wait := time.Until(b.openUntil)
+	b.mu.Unlock()
+	if wait > 0 {
+		if err := sleep(ctx, wait); err != nil {
+			return err
+		}
+		b.mu.Lock()
+		// This caller becomes the probe. Clearing the gate (rather than
+		// re-checking the clock) keeps the breaker correct under test
+		// clocks whose sleep returns without real time passing.
+		b.openUntil = time.Time{}
+		b.mu.Unlock()
+	}
+	return ctx.Err()
+}
+
+func (b *breaker) success() {
+	b.mu.Lock()
+	b.failures = 0
+	b.openUntil = time.Time{}
+	b.mu.Unlock()
+}
+
+func (b *breaker) failure() {
+	b.mu.Lock()
+	b.failures++
+	if b.failures >= b.threshold {
+		b.openUntil = time.Now().Add(b.cooldown)
+		// The next admitted attempt is the probe; count it from a clean
+		// slate so one more failure re-opens immediately at threshold 1
+		// semantics rather than overflowing.
+		b.failures = b.threshold - 1
+	}
+	b.mu.Unlock()
+}
