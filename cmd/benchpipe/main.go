@@ -15,24 +15,44 @@
 // (allocs/project and bytes/project, measured over the timed runs), so the
 // BENCH artifact captures memory cost, not just speed.
 //
+// Beyond the five ambient-GOMAXPROCS variants, a scaling matrix re-times
+// the sequential and pipeline variants at each GOMAXPROCS value of
+// -matrix (default 1,2,4,8, adjusted in-process), recording the
+// pipeline-vs-sequential ratio per core count — the artifact therefore
+// shows whether stage parallelism pays at every width, not just the
+// recording machine's.
+//
 // Usage:
 //
 //	benchpipe                      # seed 1, 3 runs, writes BENCH_pipeline.json
 //	benchpipe -seed 7 -runs 5 -out bench.json
+//	benchpipe -matrix 1,2          # trim the GOMAXPROCS scaling matrix
 //	benchpipe -telemetry           # run with telemetry collection enabled
 //	benchpipe -cpuprofile cpu.pb.gz -memprofile mem.pb.gz
 //	benchpipe -check               # regression gate against BENCH_pipeline.json
 //
 // With -telemetry every timed variant carries a live telemetry collector,
 // so the JSON additionally records each variant's per-stage breakdown —
-// and comparing best_ns against a -telemetry=false run measures the
-// telemetry overhead itself (the CI smoke does exactly that).
+// and comparing best_ns against a plain run measures the telemetry
+// overhead itself (the CI smoke does exactly that).
 //
-// With -check, no JSON is written: the sequential variant is re-measured
-// on the baseline file's seed and the process exits non-zero when
-// throughput regressed more than -tolerance (default 10%) below the
-// committed baseline, or when allocs/project grew beyond the same
-// tolerance. This is the CI bench-regression gate.
+// With -check, no JSON is written: the regression gate re-measures and
+// fails (non-zero exit) when any of the following hold, each with the
+// -tolerance fraction (default 10%) of slack:
+//
+//   - sequential throughput dropped below the committed baseline, or its
+//     allocs/project grew (the original gate);
+//   - the pipeline variant is slower than sequential at the current
+//     GOMAXPROCS — the shard-per-core design makes the pipeline a
+//     superset of the sequential loop, so it may never underperform it
+//     (CI runs this gate at GOMAXPROCS 1 and 2);
+//   - the warm-cache path allocates more per project than the cold path —
+//     decode must stay cheaper than recomputation;
+//   - a committed matrix row already records pipeline < sequential
+//     (oversubscribed rows, where the width exceeded the recording
+//     machine's cores, are informational only).
+//
+// This is the CI bench-regression / bench-matrix gate.
 package main
 
 import (
@@ -44,6 +64,8 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
+	"strings"
 	"time"
 
 	"schemaevo/internal/corpus"
@@ -82,6 +104,24 @@ type result struct {
 	StageBreakdown []telemetry.StageReport `json:"stage_breakdown,omitempty"`
 }
 
+// matrixRow is one GOMAXPROCS width of the scaling matrix: the
+// sequential and pipeline variants re-timed with the scheduler width
+// pinned in-process. PipelineVsSequential > 1 means the shard-per-core
+// pipeline beat the plain loop at that width; the -check gate fails if a
+// committed row ever records the pipeline losing.
+type matrixRow struct {
+	GOMAXPROCS               int     `json:"gomaxprocs"`
+	SequentialProjectsPerSec float64 `json:"sequential_projects_per_sec"`
+	PipelineProjectsPerSec   float64 `json:"pipeline_projects_per_sec"`
+	PipelineVsSequential     float64 `json:"pipeline_vs_sequential"`
+	PipelineAllocsPerProject float64 `json:"pipeline_allocs_per_project"`
+	// Oversubscribed marks rows whose width exceeds the recording
+	// machine's physical core count: the shards time-slice one CPU, so
+	// the ratio shows scheduling overhead, not what a machine of that
+	// width would do. The -check gate treats such rows as informational.
+	Oversubscribed bool `json:"oversubscribed,omitempty"`
+}
+
 // report is the full BENCH_pipeline.json document.
 type report struct {
 	GeneratedBy string         `json:"generated_by"`
@@ -93,6 +133,7 @@ type report struct {
 	Runs        int            `json:"runs"`
 	Telemetry   bool           `json:"telemetry"`
 	Results     []result       `json:"results"`
+	Matrix      []matrixRow    `json:"matrix,omitempty"`
 	WarmStats   pipeline.Stats `json:"warm_cache_stats"`
 	Note        string         `json:"note,omitempty"`
 	// Previous summarizes the artifact this run replaced (same file, prior
@@ -147,10 +188,16 @@ func main() {
 		tele       = flag.Bool("telemetry", false, "attach a telemetry collector to every timed run (records stage breakdowns; compare best_ns with a plain run to measure overhead)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the timed variants to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile (taken after the timed variants) to this file")
-		check      = flag.Bool("check", false, "regression gate: re-measure the sequential variant and fail if it regressed vs the -out baseline")
+		check      = flag.Bool("check", false, "regression gate: re-measure and fail on any throughput/allocation regression vs the -out baseline")
 		tolerance  = flag.Float64("tolerance", 0.10, "with -check, the fractional regression allowed before failing")
+		matrix     = flag.String("matrix", "1,2,4,8", "comma-separated GOMAXPROCS widths for the scaling matrix (empty disables)")
 	)
 	flag.Parse()
+	widths, err := parseMatrix(*matrix)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchpipe:", err)
+		os.Exit(1)
+	}
 	if *check {
 		if err := runCheck(*out, *runs, *tolerance); err != nil {
 			fmt.Fprintln(os.Stderr, "benchpipe:", err)
@@ -158,10 +205,27 @@ func main() {
 		}
 		return
 	}
-	if err := run(*seed, *runs, *out, *tele, *cpuprofile, *memprofile); err != nil {
+	if err := run(*seed, *runs, *out, *tele, *cpuprofile, *memprofile, widths); err != nil {
 		fmt.Fprintln(os.Stderr, "benchpipe:", err)
 		os.Exit(1)
 	}
+}
+
+// parseMatrix turns the -matrix flag into GOMAXPROCS widths.
+func parseMatrix(s string) ([]int, error) {
+	var widths []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		g, err := strconv.Atoi(part)
+		if err != nil || g < 1 {
+			return nil, fmt.Errorf("bad -matrix width %q: want positive integers", part)
+		}
+		widths = append(widths, g)
+	}
+	return widths, nil
 }
 
 // freshCorpus regenerates the corpus; analysis mutates projects, so every
@@ -221,7 +285,56 @@ func measure(seed int64, runs int, withTel bool, fn func(*corpus.Corpus, *teleme
 	return best, bestCPU, last, nil
 }
 
-func run(seed int64, runs int, out string, withTel bool, cpuprofile, memprofile string) error {
+// sequentialFn and pipelineFn are the two variants the scaling matrix
+// and the -check gate re-time (cacheless, no telemetry).
+func sequentialFn(c *corpus.Corpus, _ *telemetry.Collector) (pipeline.Stats, error) {
+	return pipeline.Stats{}, c.Analyze(quantize.DefaultScheme())
+}
+
+func pipelineFn(c *corpus.Corpus, tel *telemetry.Collector) (pipeline.Stats, error) {
+	return pipeline.Run(context.Background(), c, pipeline.Options{Telemetry: tel})
+}
+
+// measureMatrix re-times the sequential and pipeline variants with
+// GOMAXPROCS pinned to each requested width (restored afterwards). The
+// pipeline's shard count follows GOMAXPROCS, so each row shows what a
+// machine of that width would see — modulo oversubscription when the
+// width exceeds the physical core count, which still exercises the
+// scheduling but cannot show real speedup.
+func measureMatrix(seed int64, runs, n int, widths []int) ([]matrixRow, error) {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	var rows []matrixRow
+	for _, g := range widths {
+		runtime.GOMAXPROCS(g)
+		seqD, _, _, err := measure(seed, runs, false, sequentialFn)
+		if err != nil {
+			return nil, fmt.Errorf("matrix sequential at GOMAXPROCS=%d: %w", g, err)
+		}
+		pipeD, _, pipeOC, err := measure(seed, runs, false, pipelineFn)
+		if err != nil {
+			return nil, fmt.Errorf("matrix pipeline at GOMAXPROCS=%d: %w", g, err)
+		}
+		row := matrixRow{
+			GOMAXPROCS:               g,
+			SequentialProjectsPerSec: float64(n) / seqD.Seconds(),
+			PipelineProjectsPerSec:   float64(n) / pipeD.Seconds(),
+			PipelineVsSequential:     seqD.Seconds() / pipeD.Seconds(),
+			PipelineAllocsPerProject: pipeOC.allocsPerRun / float64(n),
+			Oversubscribed:           g > runtime.NumCPU(),
+		}
+		rows = append(rows, row)
+		note := ""
+		if row.Oversubscribed {
+			note = "  [oversubscribed]"
+		}
+		fmt.Printf("matrix GOMAXPROCS=%d: sequential %.0f projects/sec, pipeline %.0f (%.2fx)%s\n",
+			g, row.SequentialProjectsPerSec, row.PipelineProjectsPerSec, row.PipelineVsSequential, note)
+	}
+	return rows, nil
+}
+
+func run(seed int64, runs int, out string, withTel bool, cpuprofile, memprofile string, widths []int) error {
 	probe, err := freshCorpus(seed)
 	if err != nil {
 		return err
@@ -254,15 +367,11 @@ func run(seed int64, runs int, out string, withTel bool, cpuprofile, memprofile 
 		name string
 		fn   func(*corpus.Corpus, *telemetry.Collector) (pipeline.Stats, error)
 	}{
-		{"sequential", func(c *corpus.Corpus, _ *telemetry.Collector) (pipeline.Stats, error) {
-			return pipeline.Stats{}, c.Analyze(quantize.DefaultScheme())
-		}},
+		{"sequential", sequentialFn},
 		{"parallel", func(c *corpus.Corpus, tel *telemetry.Collector) (pipeline.Stats, error) {
 			return pipeline.Stats{}, c.AnalyzeParallelObserved(quantize.DefaultScheme(), 0, tel)
 		}},
-		{"pipeline", func(c *corpus.Corpus, tel *telemetry.Collector) (pipeline.Stats, error) {
-			return pipeline.Run(context.Background(), c, pipeline.Options{Telemetry: tel})
-		}},
+		{"pipeline", pipelineFn},
 		{"pipeline-cold", func(c *corpus.Corpus, tel *telemetry.Collector) (pipeline.Stats, error) {
 			dir, err := os.MkdirTemp(cacheRoot, "cold-")
 			if err != nil {
@@ -323,6 +432,12 @@ func run(seed int64, runs int, out string, withTel bool, cpuprofile, memprofile 
 		}
 	}
 
+	if len(widths) > 0 {
+		if rep.Matrix, err = measureMatrix(seed, runs, n, widths); err != nil {
+			return err
+		}
+	}
+
 	seq := durations["sequential"]
 	for _, v := range variants {
 		d := durations[v.name]
@@ -372,10 +487,17 @@ func run(seed int64, runs int, out string, withTel bool, cpuprofile, memprofile 
 	return nil
 }
 
-// runCheck is the CI regression gate: it re-measures the sequential
-// variant on the baseline's seed and compares against the committed
-// numbers. Throughput may not drop, nor allocations grow, by more than
-// the tolerance fraction.
+// runCheck is the CI regression gate. It re-measures on the baseline's
+// seed and enforces, each with the tolerance fraction of slack:
+//
+//  1. sequential throughput and allocs/project vs the committed baseline;
+//  2. pipeline >= sequential at the current GOMAXPROCS (the shard-per-core
+//     pipeline degenerates to the sequential loop at one shard, so losing
+//     to it is a bug, not a trade-off);
+//  3. warm-cache allocs/project <= cold (decode must stay cheaper than
+//     recomputation);
+//  4. no committed non-oversubscribed matrix row records pipeline <
+//     sequential (static check of the artifact itself).
 func runCheck(baselinePath string, runs int, tolerance float64) error {
 	data, err := os.ReadFile(baselinePath)
 	if err != nil {
@@ -400,9 +522,7 @@ func runCheck(baselinePath string, runs int, tolerance float64) error {
 		return err
 	}
 	n := probe.Len()
-	d, cpu, oc, err := measure(base.Seed, runs, false, func(c *corpus.Corpus, _ *telemetry.Collector) (pipeline.Stats, error) {
-		return pipeline.Stats{}, c.Analyze(quantize.DefaultScheme())
-	})
+	d, cpu, oc, err := measure(base.Seed, runs, false, sequentialFn)
 	if err != nil {
 		return err
 	}
@@ -427,6 +547,77 @@ func runCheck(baselinePath string, runs int, tolerance float64) error {
 	if baseSeq.AllocsPerProject > 0 && gotAllocs > baseSeq.AllocsPerProject*(1+tolerance) {
 		return fmt.Errorf("allocation regression: %.0f allocs/project is more than %.0f%% above the baseline %.0f",
 			gotAllocs, tolerance*100, baseSeq.AllocsPerProject)
+	}
+
+	// Gate 2: the pipeline may not lose to the sequential loop at this
+	// machine's GOMAXPROCS. Wall clock on both sides of one process, so
+	// co-tenant noise largely cancels.
+	pipeD, _, _, err := measure(base.Seed, runs, false, pipelineFn)
+	if err != nil {
+		return err
+	}
+	pipeVsSeq := d.Seconds() / pipeD.Seconds()
+	fmt.Printf("pipeline vs sequential at GOMAXPROCS=%d: %.2fx\n", runtime.GOMAXPROCS(0), pipeVsSeq)
+	if pipeVsSeq < 1-tolerance {
+		return fmt.Errorf("pipeline regression: %.2fx of sequential at GOMAXPROCS=%d (must stay >= %.2f)",
+			pipeVsSeq, runtime.GOMAXPROCS(0), 1-tolerance)
+	}
+
+	// Gate 3: warm-cache decode must allocate no more per project than
+	// cold recomputation. Cold runs get fresh directories; the warm run
+	// hits a directory prewarmed outside the measurement.
+	cacheRoot, err := os.MkdirTemp("", "benchpipe-check-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(cacheRoot)
+	_, _, coldOC, err := measure(base.Seed, runs, false, func(c *corpus.Corpus, _ *telemetry.Collector) (pipeline.Stats, error) {
+		dir, err := os.MkdirTemp(cacheRoot, "cold-")
+		if err != nil {
+			return pipeline.Stats{}, err
+		}
+		return pipeline.Run(context.Background(), c, pipeline.Options{CacheDir: dir})
+	})
+	if err != nil {
+		return err
+	}
+	warmDir := filepath.Join(cacheRoot, "warm")
+	prewarm, err := freshCorpus(base.Seed)
+	if err != nil {
+		return err
+	}
+	if _, err := pipeline.Run(context.Background(), prewarm, pipeline.Options{CacheDir: warmDir}); err != nil {
+		return err
+	}
+	_, _, warmOC, err := measure(base.Seed, runs, false, func(c *corpus.Corpus, _ *telemetry.Collector) (pipeline.Stats, error) {
+		return pipeline.Run(context.Background(), c, pipeline.Options{CacheDir: warmDir})
+	})
+	if err != nil {
+		return err
+	}
+	if warmOC.stats.CacheHits != n {
+		return fmt.Errorf("warm run hit the cache for %d of %d projects", warmOC.stats.CacheHits, n)
+	}
+	coldAllocs := coldOC.allocsPerRun / float64(n)
+	warmAllocs := warmOC.allocsPerRun / float64(n)
+	fmt.Printf("allocs/project: cold %.0f, warm %.0f (%.2fx)\n", coldAllocs, warmAllocs, warmAllocs/coldAllocs)
+	if warmAllocs > coldAllocs*(1+tolerance) {
+		return fmt.Errorf("warm-cache allocation regression: %.0f allocs/project warm vs %.0f cold — decode is allocating more than recomputation",
+			warmAllocs, coldAllocs)
+	}
+
+	// Gate 4: the committed artifact itself may not record a width where
+	// the pipeline loses to the sequential loop. Oversubscribed rows
+	// (width beyond the recording machine's cores) measure scheduler
+	// thrash, not real scaling, and are informational only.
+	for _, row := range base.Matrix {
+		if row.Oversubscribed || row.GOMAXPROCS > base.Cores {
+			continue
+		}
+		if row.PipelineVsSequential < 1-tolerance {
+			return fmt.Errorf("baseline matrix records pipeline at %.2fx of sequential at GOMAXPROCS=%d — re-record after fixing",
+				row.PipelineVsSequential, row.GOMAXPROCS)
+		}
 	}
 	fmt.Println("bench check ok")
 	return nil

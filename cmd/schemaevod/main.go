@@ -50,6 +50,7 @@ type options struct {
 	cacheDir       string
 	storeDir       string
 	storeShards    int
+	analysisShards int
 	hotBytes       int64
 	maxConcurrent  int
 	requestTimeout time.Duration
@@ -74,6 +75,7 @@ func main() {
 	flag.StringVar(&o.cacheDir, "cache", "", "pipeline disk-cache directory for submitted analyses (empty disables)")
 	flag.StringVar(&o.storeDir, "store-dir", "", "persistent project-store directory: submitted sources and results survive restarts (empty = memory only)")
 	flag.IntVar(&o.storeShards, "store-shards", 0, "segment-file count for a new store directory (0 = 8; existing directories keep their count)")
+	flag.IntVar(&o.analysisShards, "analysis-shards", 0, "analysis pipeline shard count (0 = GOMAXPROCS; 1 = sequential path)")
 	flag.Int64Var(&o.hotBytes, "hot-bytes", 0, "in-memory hot-tier byte budget (0 = 256 MiB)")
 	flag.IntVar(&o.maxConcurrent, "max-concurrent", 0, "max concurrently executing submissions before 429 (0 = 2×GOMAXPROCS)")
 	flag.DurationVar(&o.requestTimeout, "request-timeout", 30*time.Second, "per-request deadline")
@@ -154,6 +156,7 @@ func run(o options) error {
 		CacheDir:       o.cacheDir,
 		StoreDir:       o.storeDir,
 		StoreShards:    o.storeShards,
+		AnalysisShards: o.analysisShards,
 		HotBytes:       o.hotBytes,
 		MaxConcurrent:  o.maxConcurrent,
 		RequestTimeout: o.requestTimeout,

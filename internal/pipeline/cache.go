@@ -22,10 +22,11 @@ import (
 
 // cacheFormatVersion is bumped whenever the entry layout or the meaning of
 // the memoized computation changes; entries with another version are
-// treated as misses. Version 2 switched the entry body from JSON to the
-// binary codec (see codec.go); version 3 added the whole-file CRC-32C
-// integrity trailer.
-const cacheFormatVersion = 3
+// treated as misses. Version 2 switched the entry body from JSON to a
+// binary codec; version 3 added the whole-file CRC-32C integrity trailer;
+// version 4 replaced the decode-loop layout with the flat, mmap-friendly
+// format in flatcodec.go (string arena + deduplicated table pool).
+const cacheFormatVersion = 4
 
 // Fingerprint returns a content hash of everything the analysis pipeline
 // reads from a repository: the repo name, every commit's timestamp and
@@ -176,6 +177,25 @@ func unseal(data []byte) ([]byte, error) {
 	return payload, nil
 }
 
+// readEntryFile reads one cache entry image, preferring a read-only
+// memory mapping so the flat decoder can return zero-copy views over the
+// file; platforms (or files, e.g. empty ones) where mapping fails fall
+// back to an ordinary read, which decodes byte-identically. The release
+// function is non-nil only for mappings and must be called on every path
+// that does not publish a decoded entry; published entries pin their
+// mapping for the life of the process (see mapFile).
+func readEntryFile(path string) ([]byte, func(), error) {
+	data, release, err := mapFile(path)
+	if err == nil {
+		return data, release, nil
+	}
+	if os.IsNotExist(err) {
+		return nil, nil, err
+	}
+	b, rerr := os.ReadFile(path)
+	return b, nil, rerr
+}
+
 // load returns the memoized entry for the fingerprint, or nil on a miss.
 // Unreadable files are retried, then count as misses plus cache errors;
 // entries failing the checksum or decode are quarantined for inspection
@@ -185,6 +205,7 @@ func (c *diskCache) load(fingerprint string) *cacheEntry {
 		return nil
 	}
 	var data []byte
+	var release func()
 	err := withRetry(retryAttempts, retryBackoff, c.onRetry(), func() error {
 		switch c.fault.At("cache.read", fingerprint) {
 		case faultinject.KindErr:
@@ -193,7 +214,7 @@ func (c *diskCache) load(fingerprint string) *cacheEntry {
 			c.fault.Sleep(c.ctx)
 		}
 		var rerr error
-		data, rerr = os.ReadFile(c.path(fingerprint))
+		data, release, rerr = readEntryFile(c.path(fingerprint))
 		return rerr
 	})
 	if err != nil {
@@ -206,7 +227,13 @@ func (c *diskCache) load(fingerprint string) *cacheEntry {
 		return nil
 	}
 	if c.fault.At("cache.read.bytes", fingerprint) == faultinject.KindCorrupt {
+		// Mangle a private copy: a mapping is read-only memory, and the
+		// original file must stay intact for quarantine to preserve it.
 		data = append([]byte(nil), data...)
+		if release != nil {
+			release()
+			release = nil
+		}
 		c.fault.Mangle(data, fingerprint)
 	}
 	payload, err := unseal(data)
@@ -215,6 +242,9 @@ func (c *diskCache) load(fingerprint string) *cacheEntry {
 		e, err = decodeEntry(payload)
 	}
 	if err != nil || e.Version != cacheFormatVersion || e.Fingerprint != fingerprint {
+		if release != nil {
+			release()
+		}
 		c.tel.CacheCorrupt()
 		c.quarantine(fingerprint)
 		c.errs.Add(1)
@@ -223,6 +253,8 @@ func (c *diskCache) load(fingerprint string) *cacheEntry {
 		c.tel.CacheMiss()
 		return nil
 	}
+	// On the mapped path the entry's strings alias the mapping, which is
+	// deliberately never unmapped from here on (see mapFile).
 	c.hits.Add(1)
 	c.tel.CacheHit(int64(len(data)))
 	return e

@@ -3,35 +3,20 @@ package pipeline
 import (
 	"encoding/binary"
 	"errors"
-	"fmt"
-	"math"
 	"time"
-
-	"schemaevo/internal/diff"
-	"schemaevo/internal/history"
-	"schemaevo/internal/metrics"
-	"schemaevo/internal/schema"
 )
 
-// Cache entries are persisted in a hand-rolled binary format rather than
-// JSON: a warm corpus load decodes tens of megabytes of history, and
-// reflection-based JSON decoding turned out to cost more than recomputing
-// the analysis from scratch (see BenchmarkCacheLoad). The format is
-// length-prefixed little-endian, nil-preserving for slices and pointers,
-// and versioned by cacheFormatVersion — bump it whenever the layout or any
-// encoded struct changes shape, or stale entries would decode garbage.
-//
-// Layout conventions:
+// The pipeline persists two kinds of binary artifacts: source snapshots
+// (repocodec.go, variable-width length-prefixed stream) and analysis
+// cache entries (flatcodec.go, fixed-width flat format with a string
+// arena). The enc/dec helpers below implement the shared variable-width
+// conventions used by the repo codec:
 //   - ints are uint64 little-endian (two's complement for negatives)
 //   - strings and slices carry 0 for nil, length+1 otherwise
 //   - times are (UnixNano, zone offset seconds); the zone name is dropped,
 //     matching what a JSON RFC 3339 round trip would preserve
-//   - pointers carry a presence byte
 
 var errCorruptEntry = errors.New("pipeline: corrupt cache entry")
-
-// cacheMagic guards against feeding arbitrary files to the decoder.
-var cacheMagic = [4]byte{'S', 'E', 'V', 'C'}
 
 type enc struct{ buf []byte }
 
@@ -42,8 +27,6 @@ func (e *enc) u64(v uint64) {
 }
 
 func (e *enc) int(v int)      { e.u64(uint64(int64(v))) }
-func (e *enc) f64(v float64)  { e.u64(math.Float64bits(v)) }
-func (e *enc) boolean(v bool) { e.buf = append(e.buf, b2u(v)) }
 func (e *enc) bytes(p []byte) { e.buf = append(e.buf, p...) }
 func (e *enc) str(s string)   { e.u64(uint64(len(s)) + 1); e.buf = append(e.buf, s...) }
 
@@ -60,13 +43,6 @@ func (e *enc) when(t time.Time) {
 	e.u64(uint64(t.UnixNano()))
 	_, off := t.Zone()
 	e.int(off)
-}
-
-func b2u(v bool) byte {
-	if v {
-		return 1
-	}
-	return 0
 }
 
 type dec struct {
@@ -91,18 +67,7 @@ func (d *dec) u64() uint64 {
 	return v
 }
 
-func (d *dec) int() int     { return int(int64(d.u64())) }
-func (d *dec) f64() float64 { return math.Float64frombits(d.u64()) }
-
-func (d *dec) boolean() bool {
-	if d.err != nil || d.off >= len(d.buf) {
-		d.fail()
-		return false
-	}
-	v := d.buf[d.off]
-	d.off++
-	return v != 0
-}
+func (d *dec) int() int { return int(int64(d.u64())) }
 
 func (d *dec) str() string {
 	n := d.u64()
@@ -167,320 +132,4 @@ func decStrings(d *dec) []string {
 		out[i] = d.str()
 	}
 	return out
-}
-
-func encInts(e *enc, vs []int) {
-	e.count(len(vs), vs == nil)
-	for _, v := range vs {
-		e.int(v)
-	}
-}
-
-func decInts(d *dec) []int {
-	n := d.count(8) // int: 8 bytes
-	if n < 0 || d.err != nil {
-		return nil
-	}
-	out := make([]int, n)
-	for i := range out {
-		out[i] = d.int()
-	}
-	return out
-}
-
-func encSchema(e *enc, s *schema.Schema) {
-	if s == nil {
-		e.boolean(false)
-		return
-	}
-	e.boolean(true)
-	tables := s.Tables()
-	e.count(len(tables), false)
-	for _, t := range tables {
-		e.str(t.Name)
-		e.count(len(t.Columns), t.Columns == nil)
-		for _, c := range t.Columns {
-			e.str(c.Name)
-			e.str(c.Type)
-			e.boolean(c.NotNull)
-			e.str(c.Default)
-			e.boolean(c.HasDefault)
-			e.boolean(c.AutoIncrement)
-			e.boolean(c.InPK)
-		}
-		encStrings(e, t.PrimaryKey)
-		e.count(len(t.ForeignKeys), t.ForeignKeys == nil)
-		for _, fk := range t.ForeignKeys {
-			e.str(fk.Name)
-			encStrings(e, fk.Columns)
-			e.str(fk.RefTable)
-			encStrings(e, fk.RefColumns)
-		}
-		e.count(len(t.Uniques), t.Uniques == nil)
-		for _, u := range t.Uniques {
-			encStrings(e, u)
-		}
-	}
-}
-
-func decSchema(d *dec) *schema.Schema {
-	if !d.boolean() {
-		return nil
-	}
-	s := schema.New()
-	n := d.count(40) // table: 5 length/count prefixes at minimum
-	for i := 0; i < n && d.err == nil; i++ {
-		t := &schema.Table{Name: d.str()}
-		if nc := d.count(28); nc >= 0 { // column: 3 string prefixes + 4 bools
-			t.Columns = make([]schema.Column, nc)
-			for j := range t.Columns {
-				c := &t.Columns[j]
-				c.Name = d.str()
-				c.Type = d.str()
-				c.NotNull = d.boolean()
-				c.Default = d.str()
-				c.HasDefault = d.boolean()
-				c.AutoIncrement = d.boolean()
-				c.InPK = d.boolean()
-			}
-		}
-		t.PrimaryKey = decStrings(d)
-		if nf := d.count(32); nf >= 0 { // foreign key: 4 length/count prefixes
-			t.ForeignKeys = make([]schema.ForeignKey, nf)
-			for j := range t.ForeignKeys {
-				fk := &t.ForeignKeys[j]
-				fk.Name = d.str()
-				fk.Columns = decStrings(d)
-				fk.RefTable = d.str()
-				fk.RefColumns = decStrings(d)
-			}
-		}
-		if nu := d.count(8); nu >= 0 { // unique: one count prefix
-			t.Uniques = make([][]string, nu)
-			for j := range t.Uniques {
-				t.Uniques[j] = decStrings(d)
-			}
-		}
-		s.AddTable(t)
-	}
-	// Decoded snapshots are published artifacts, sealed exactly like the
-	// freshly computed ones they must be indistinguishable from.
-	s.Seal()
-	return s
-}
-
-func encDelta(e *enc, dl *diff.Delta) {
-	if dl == nil {
-		e.boolean(false)
-		return
-	}
-	e.boolean(true)
-	encStrings(e, dl.TablesAdded)
-	encStrings(e, dl.TablesDropped)
-	e.int(dl.NBornWithTable)
-	e.int(dl.NInjected)
-	e.int(dl.NDeletedWithTable)
-	e.int(dl.NEjected)
-	e.int(dl.NTypeChanged)
-	e.int(dl.NKeyChanged)
-	e.count(len(dl.Changes), dl.Changes == nil)
-	for _, ch := range dl.Changes {
-		e.str(ch.Table)
-		e.str(ch.Attr)
-		e.int(int(ch.Kind))
-	}
-}
-
-func decDelta(d *dec) *diff.Delta {
-	if !d.boolean() {
-		return nil
-	}
-	dl := &diff.Delta{}
-	dl.TablesAdded = decStrings(d)
-	dl.TablesDropped = decStrings(d)
-	dl.NBornWithTable = d.int()
-	dl.NInjected = d.int()
-	dl.NDeletedWithTable = d.int()
-	dl.NEjected = d.int()
-	dl.NTypeChanged = d.int()
-	dl.NKeyChanged = d.int()
-	if n := d.count(24); n >= 0 { // attr change: 2 string prefixes + int
-		dl.Changes = make([]diff.AttrChange, n)
-		for i := range dl.Changes {
-			dl.Changes[i].Table = d.str()
-			dl.Changes[i].Attr = d.str()
-			dl.Changes[i].Kind = diff.ChangeKind(d.int())
-		}
-	}
-	return dl
-}
-
-func encNotes(e *enc, notes []schema.Note) {
-	e.count(len(notes), notes == nil)
-	for _, n := range notes {
-		e.int(n.Stmt)
-		e.str(n.Msg)
-	}
-}
-
-func decNotes(d *dec) []schema.Note {
-	n := d.count(16) // note: int + string prefix
-	if n < 0 || d.err != nil {
-		return nil
-	}
-	out := make([]schema.Note, n)
-	for i := range out {
-		out[i].Stmt = d.int()
-		out[i].Msg = d.str()
-	}
-	return out
-}
-
-func encHistory(e *enc, h *history.History) {
-	if h == nil {
-		e.boolean(false)
-		return
-	}
-	e.boolean(true)
-	e.str(h.Project)
-	e.str(h.DDLPath)
-	e.count(len(h.Versions), h.Versions == nil)
-	for i := range h.Versions {
-		v := &h.Versions[i]
-		e.int(v.Seq)
-		e.when(v.Time)
-		encSchema(e, v.Schema)
-		encDelta(e, v.Delta)
-		encNotes(e, v.Notes)
-	}
-	e.when(h.Start)
-	e.when(h.End)
-	encInts(e, h.SchemaMonthly)
-	encInts(e, h.SourceMonthly)
-	e.int(h.ExpansionTotal)
-	e.int(h.MaintenanceTotal)
-}
-
-func decHistory(d *dec) *history.History {
-	if !d.boolean() {
-		return nil
-	}
-	h := &history.History{}
-	h.Project = d.str()
-	h.DDLPath = d.str()
-	if n := d.count(34); n >= 0 { // version: int + time + 2 presence bytes + count
-		h.Versions = make([]history.Version, n)
-		for i := range h.Versions {
-			if d.err != nil {
-				break
-			}
-			v := &h.Versions[i]
-			v.Seq = d.int()
-			v.Time = d.when()
-			v.Schema = decSchema(d)
-			v.Delta = decDelta(d)
-			v.Notes = decNotes(d)
-		}
-	}
-	h.Start = d.when()
-	h.End = d.when()
-	h.SchemaMonthly = decInts(d)
-	h.SourceMonthly = decInts(d)
-	h.ExpansionTotal = d.int()
-	h.MaintenanceTotal = d.int()
-	return h
-}
-
-func encMeasures(e *enc, m *metrics.Measures) {
-	e.str(m.Project)
-	e.int(m.PUPMonths)
-	e.boolean(m.HasSchema)
-	e.int(m.BirthMonth)
-	e.f64(m.BirthPct)
-	e.f64(m.BirthVolumePct)
-	e.int(m.TopBandMonth)
-	e.f64(m.TopBandPct)
-	e.f64(m.IntervalBirthToTopPct)
-	e.f64(m.IntervalTopToEndPct)
-	e.boolean(m.HasVault)
-	e.int(m.ActiveGrowthMonths)
-	e.f64(m.ActivePctGrowth)
-	e.f64(m.ActivePctPUP)
-	e.int(m.TotalActivity)
-	e.int(m.Expansion)
-	e.int(m.Maintenance)
-	e.int(m.TablesAtBirth)
-	e.int(m.AttrsAtBirth)
-	e.int(m.TablesAtEnd)
-	e.int(m.AttrsAtEnd)
-	e.count(len(m.Vector), m.Vector == nil)
-	for _, v := range m.Vector {
-		e.f64(v)
-	}
-}
-
-func decMeasures(d *dec) metrics.Measures {
-	var m metrics.Measures
-	m.Project = d.str()
-	m.PUPMonths = d.int()
-	m.HasSchema = d.boolean()
-	m.BirthMonth = d.int()
-	m.BirthPct = d.f64()
-	m.BirthVolumePct = d.f64()
-	m.TopBandMonth = d.int()
-	m.TopBandPct = d.f64()
-	m.IntervalBirthToTopPct = d.f64()
-	m.IntervalTopToEndPct = d.f64()
-	m.HasVault = d.boolean()
-	m.ActiveGrowthMonths = d.int()
-	m.ActivePctGrowth = d.f64()
-	m.ActivePctPUP = d.f64()
-	m.TotalActivity = d.int()
-	m.Expansion = d.int()
-	m.Maintenance = d.int()
-	m.TablesAtBirth = d.int()
-	m.AttrsAtBirth = d.int()
-	m.TablesAtEnd = d.int()
-	m.AttrsAtEnd = d.int()
-	if n := d.count(8); n >= 0 { // float64: 8 bytes
-		m.Vector = make([]float64, n)
-		for i := range m.Vector {
-			m.Vector[i] = d.f64()
-		}
-	}
-	return m
-}
-
-// encodeEntry serializes a cache entry.
-func encodeEntry(e *cacheEntry) []byte {
-	w := &enc{buf: make([]byte, 0, 16<<10)}
-	w.bytes(cacheMagic[:])
-	w.int(e.Version)
-	w.str(e.Fingerprint)
-	w.str(e.Project)
-	encHistory(w, e.History)
-	encMeasures(w, &e.Measures)
-	return w.buf
-}
-
-// decodeEntry deserializes a cache entry, failing on any truncation,
-// trailing garbage, or magic/size mismatch.
-func decodeEntry(data []byte) (*cacheEntry, error) {
-	if len(data) < len(cacheMagic) || string(data[:len(cacheMagic)]) != string(cacheMagic[:]) {
-		return nil, errCorruptEntry
-	}
-	d := &dec{buf: data, off: len(cacheMagic)}
-	e := &cacheEntry{}
-	e.Version = d.int()
-	e.Fingerprint = d.str()
-	e.Project = d.str()
-	e.History = decHistory(d)
-	e.Measures = decMeasures(d)
-	if d.err != nil {
-		return nil, d.err
-	}
-	if d.off != len(data) {
-		return nil, fmt.Errorf("%w: %d trailing bytes", errCorruptEntry, len(data)-d.off)
-	}
-	return e, nil
 }

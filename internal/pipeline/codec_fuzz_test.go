@@ -1,9 +1,11 @@
 package pipeline
 
 import (
+	"encoding/binary"
 	"math"
 	"reflect"
 	"testing"
+	"time"
 
 	"schemaevo/internal/history"
 	"schemaevo/internal/metrics"
@@ -31,49 +33,107 @@ func validEntryBytes(tb testing.TB) []byte {
 	})
 }
 
-// entryPrefix builds a well-formed entry up to (and excluding) the
-// history's Versions count, so crafted counts land on a live decode path.
-func entryPrefix() *enc {
-	w := &enc{}
-	w.bytes(cacheMagic[:])
-	w.int(cacheFormatVersion)
+// flatEntry assembles a crafted flat entry: a well-formed header and
+// entry prefix up to (and excluding) the history's table-pool count, then
+// whatever build appends, then the arena. Crafted counts and references
+// therefore land on a live decode path.
+func flatEntry(build func(w *flatEnc)) []byte {
+	w := &flatEnc{
+		buf: make([]byte, flatHeaderSize),
+		ar:  &flatArena{intern: make(map[string]flatRef)},
+	}
 	w.str("fp")
 	w.str("proj")
-	w.boolean(true) // history present
+	w.u8(1) // history present
 	w.str("proj")
 	w.str("schema.sql")
-	return w
+	build(w)
+	copy(w.buf[0:4], flatMagic[:])
+	binary.LittleEndian.PutUint32(w.buf[4:8], cacheFormatVersion)
+	binary.LittleEndian.PutUint64(w.buf[8:16], uint64(len(w.buf)))
+	binary.LittleEndian.PutUint64(w.buf[16:24], uint64(len(w.ar.data)))
+	return append(w.buf, w.ar.data...)
 }
 
-// hugeCountEntry carries a Versions count of 2^64-1. Before dec.count
-// compared in uint64, int(v-1) wrapped this to a negative length that was
-// silently decoded as a nil slice, leaving the decoder misaligned.
+// pool and slab-total header: empty pool, all slabs zero.
+func emptyPool(w *flatEnc) {
+	for i := 0; i < 8; i++ {
+		w.u32(0)
+	}
+}
+
+// hugeCountEntry carries a Versions count of 2^32-1, far beyond what the
+// remaining stream bytes could hold. Must be rejected by the count bound,
+// not overallocate.
 func hugeCountEntry() []byte {
-	w := entryPrefix()
-	w.u64(math.MaxUint64)
-	return w.buf
+	return flatEntry(func(w *flatEnc) {
+		emptyPool(w)
+		w.u32(math.MaxUint32)
+	})
 }
 
 // overCountEntry carries a Versions count that fits the remaining byte
 // count but not the per-element minimum size — the case a byte-granular
-// bound check used to admit, overallocating 34x before failing mid-loop.
+// bound check would admit, overallocating before failing mid-loop.
 func overCountEntry() []byte {
-	w := entryPrefix()
-	pad := make([]byte, 256)
-	w.u64(uint64(len(pad)) + 1)
-	w.bytes(pad)
-	return w.buf
+	return flatEntry(func(w *flatEnc) {
+		emptyPool(w)
+		w.u32(256) // 255 versions, but only 256 bytes follow
+		w.buf = append(w.buf, make([]byte, 256)...)
+	})
 }
 
-// TestCodecCountBounds pins the two crafted-count corruptions: both must
-// be rejected as corrupt entries, never panic or silently misdecode.
-func TestCodecCountBounds(t *testing.T) {
+// poolIndexEntry has a version referencing table-pool index 5 of an empty
+// pool — the out-of-range reference must be corruption, never an OOB read.
+func poolIndexEntry() []byte {
+	return flatEntry(func(w *flatEnc) {
+		emptyPool(w)
+		w.u32(2) // one version
+		w.i64(0) // seq
+		w.when(time.Time{})
+		w.u8(1)  // schema present
+		w.u32(1) // one table reference
+		w.u32(5) // pool index 5 of 0
+	})
+}
+
+// slabLieEntry declares zero slab totals but encodes a one-column table;
+// the exhausted column slab must read as corruption.
+func slabLieEntry() []byte {
+	return flatEntry(func(w *flatEnc) {
+		w.u32(1) // one pool table
+		for i := 0; i < 7; i++ {
+			w.u32(0) // all slab totals zero
+		}
+		w.str("t")
+		w.u32(2) // one column, but the column slab is empty
+	})
+}
+
+// arenaRefEntry carries a string reference reaching past the arena end.
+func arenaRefEntry() []byte {
+	data := flatEntry(func(w *flatEnc) { emptyPool(w) })
+	// Rewrite the fingerprint reference (first 8 stream bytes) to point
+	// one past the arena.
+	arenaLen := binary.LittleEndian.Uint64(data[16:24])
+	binary.LittleEndian.PutUint32(data[flatHeaderSize:], 0)
+	binary.LittleEndian.PutUint32(data[flatHeaderSize+4:], uint32(arenaLen)+1)
+	return data
+}
+
+// TestCodecCraftedCorruption pins the crafted corruptions specific to the
+// flat layout: all must be rejected as corrupt entries, never panic,
+// never index out of bounds, never overallocate.
+func TestCodecCraftedCorruption(t *testing.T) {
 	for _, tc := range []struct {
 		name string
 		data []byte
 	}{
-		{"huge-count-wraps-int", hugeCountEntry()},
+		{"huge-count", hugeCountEntry()},
 		{"count-exceeds-element-bound", overCountEntry()},
+		{"pool-index-out-of-range", poolIndexEntry()},
+		{"slab-totals-lie", slabLieEntry()},
+		{"arena-ref-out-of-bounds", arenaRefEntry()},
 	} {
 		if _, err := decodeEntry(tc.data); err == nil {
 			t.Errorf("%s: crafted entry accepted", tc.name)
@@ -81,16 +141,21 @@ func TestCodecCountBounds(t *testing.T) {
 	}
 }
 
-// FuzzDecodeEntry hammers the cache-entry decoder with mutated inputs.
-// The decoder must never panic, and any input it accepts must re-encode
-// into a stable fixed point (boolean bytes are the only non-canonical
-// encoding, so equality is checked decode-to-decode, not byte-to-byte).
-func FuzzDecodeEntry(f *testing.F) {
+// FuzzDecodeFlat hammers the flat cache-entry decoder with mutated
+// (truncated, bit-flipped, crafted) inputs. The decoder must never panic
+// or slice out of bounds, and any input it accepts must re-encode into a
+// stable fixed point (presence bytes and arena layout are the only
+// non-canonical encodings, so equality is checked decode-to-decode, not
+// byte-to-byte).
+func FuzzDecodeFlat(f *testing.F) {
 	f.Add(validEntryBytes(f))
 	f.Add(hugeCountEntry())
 	f.Add(overCountEntry())
+	f.Add(poolIndexEntry())
+	f.Add(slabLieEntry())
+	f.Add(arenaRefEntry())
 	f.Add([]byte{})
-	f.Add(cacheMagic[:])
+	f.Add(flatMagic[:])
 	f.Fuzz(func(t *testing.T, data []byte) {
 		e, err := decodeEntry(data)
 		if err != nil {

@@ -1,0 +1,17 @@
+//go:build !linux && !darwin
+
+package pipeline
+
+import "errors"
+
+// mmapSupported reports whether mapFile can succeed on this platform; it
+// gates the cross-platform fallback tests, mirroring the
+// diskfree_unix/diskfree_other split in internal/store.
+const mmapSupported = false
+
+// mapFile is unsupported here; the cache falls back to os.ReadFile, which
+// decodes byte-identically (the flat decoder only needs a stable buffer,
+// not a mapping).
+func mapFile(string) ([]byte, func(), error) {
+	return nil, nil, errors.ErrUnsupported
+}

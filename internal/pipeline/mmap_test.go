@@ -1,0 +1,99 @@
+package pipeline
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestFlatDecodeMmapAndReadFileIdentical pins the cross-platform
+// contract of the flat format: decoding an entry through the mmap path
+// and through the os.ReadFile fallback must yield deeply equal entries
+// that re-encode to byte-identical images. On platforms without mmap the
+// mapped leg degrades to the fallback inside readEntryFile, which still
+// exercises the contract end to end.
+func TestFlatDecodeMmapAndReadFileIdentical(t *testing.T) {
+	image := seal(validEntryBytes(t))
+	dir := t.TempDir()
+	path := filepath.Join(dir, "entry.sevc")
+	if err := os.WriteFile(path, image, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	decode := func(data []byte) *cacheEntry {
+		t.Helper()
+		payload, err := unseal(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := decodeEntry(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+
+	read, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaRead := decode(read)
+
+	mapped, release, err := readEntryFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mmapSupported {
+		if release == nil {
+			t.Fatal("mmap platform returned no release func: fallback taken unexpectedly")
+		}
+		defer release()
+	} else if release != nil {
+		t.Fatal("fallback platform returned a release func")
+	}
+	viaMap := decode(mapped)
+
+	if !reflect.DeepEqual(viaRead, viaMap) {
+		t.Fatal("mmap and ReadFile decodes differ")
+	}
+	if !bytes.Equal(encodeEntry(viaRead), encodeEntry(viaMap)) {
+		t.Fatal("mmap and ReadFile decodes re-encode to different bytes")
+	}
+}
+
+// TestReadEntryFileEmptyFallsBack pins that zero-length files (which
+// cannot be mapped) take the ReadFile fallback and surface as ordinary
+// corruption, not as a mapping error.
+func TestReadEntryFileEmptyFallsBack(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.sevc")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	data, release, err := readEntryFile(path)
+	if err != nil {
+		t.Fatalf("empty file read: %v", err)
+	}
+	if release != nil {
+		t.Fatal("empty file should not be mapped")
+	}
+	if len(data) != 0 {
+		t.Fatalf("unexpected data: %d bytes", len(data))
+	}
+	if _, err := unseal(data); err == nil {
+		t.Fatal("empty image unsealed")
+	}
+}
+
+// TestReadEntryFileMissing pins that a missing entry is reported as
+// not-exist (a cache miss), on both the mapped and fallback paths.
+func TestReadEntryFileMissing(t *testing.T) {
+	_, release, err := readEntryFile(filepath.Join(t.TempDir(), "nope.sevc"))
+	if !os.IsNotExist(err) {
+		t.Fatalf("want not-exist, got %v", err)
+	}
+	if release != nil {
+		t.Fatal("missing file returned a release func")
+	}
+}

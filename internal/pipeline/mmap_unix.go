@@ -1,0 +1,42 @@
+//go:build linux || darwin
+
+package pipeline
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported reports whether mapFile can succeed on this platform; it
+// gates the cross-platform fallback tests, mirroring the
+// diskfree_unix/diskfree_other split in internal/store.
+const mmapSupported = true
+
+// mapFile maps path read-only and returns the mapping plus a release
+// function that unmaps it. Callers release the mapping only on failure
+// paths: a successfully decoded flat entry holds string views into the
+// mapping (see flatcodec.go), so once an entry escapes, its mapping is
+// pinned for the life of the process — dropping the slice leaks the
+// mapping intentionally, and nothing may ever munmap or write it.
+// Empty files are reported as an error so the caller falls back to
+// os.ReadFile and the ordinary corruption handling.
+func mapFile(path string) ([]byte, func(), error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := st.Size()
+	if size <= 0 || int64(int(size)) != size {
+		return nil, nil, syscall.EINVAL
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() { _ = syscall.Munmap(data) }, nil
+}

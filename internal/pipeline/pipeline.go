@@ -1,14 +1,19 @@
 // Package pipeline runs the per-project analysis path (DDL parsing →
-// history assembly → measures → labels) as a staged concurrent pipeline
-// over a corpus: one bounded worker pool per stage, connected by channels,
-// with per-project error attribution, cooperative cancellation, and an
-// optional content-addressed result cache that memoizes the expensive
-// stages across invocations.
+// history assembly → measures → labels) over a corpus with a
+// shard-per-core architecture: projects are hashed to N shards, each shard
+// is one goroutine that owns its reconstructor scratch and runs every
+// stage of its projects to completion, with per-project error attribution,
+// cooperative cancellation, and an optional content-addressed result cache
+// that memoizes the expensive stages across invocations. There are no
+// cross-stage channels: at one shard the run degenerates to exactly the
+// sequential loop, so the pipeline can never underperform
+// corpus.Corpus.Analyze by construction (the regression the earlier
+// channel-staged design measured at 1 core).
 //
-// The pipeline is a pure accelerator: for any worker configuration, with a
+// The pipeline is a pure accelerator: for any shard configuration, with a
 // cold or warm cache, its per-project results are identical to the
 // sequential corpus.Corpus.Analyze. The equivalence is enforced by
-// property tests at several seeds and worker counts.
+// property tests at several seeds and shard counts.
 //
 // The pipeline is also a fault boundary: a panicking, erroring, or stuck
 // project becomes one attributed entry in the run's DegradationReport, and
@@ -28,7 +33,6 @@ import (
 	"fmt"
 	"runtime"
 	"runtime/debug"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -43,13 +47,21 @@ import (
 	"schemaevo/internal/vcs"
 )
 
-// Options configures a pipeline run. The zero value is valid: every stage
-// sized to GOMAXPROCS, the paper's quantization scheme, no cache, no
+// Options configures a pipeline run. The zero value is valid: one shard
+// per core (GOMAXPROCS), the paper's quantization scheme, no cache, no
 // deadline, no fault injection, and collect-all error handling.
 type Options struct {
-	// ParseWorkers, AssembleWorkers and MetricsWorkers size the three
-	// stage pools (snapshot parsing; history assembly/diffing; measures,
-	// validation and labeling). Values <= 0 select GOMAXPROCS.
+	// Shards sets how many analysis shards the corpus is hashed across;
+	// each shard is one goroutine running every stage of its projects to
+	// completion. <= 0 derives the count from the legacy worker fields,
+	// else GOMAXPROCS; the count is clamped to the project count, and a
+	// single shard runs inline in the caller's goroutine — exactly the
+	// sequential loop.
+	Shards int
+	// ParseWorkers, AssembleWorkers and MetricsWorkers are the legacy
+	// per-stage pool sizes; since the shard-per-core rewrite a stage
+	// cannot be sized independently, so when Shards is unset the shard
+	// count is the maximum of the three. Values <= 0 select GOMAXPROCS.
 	ParseWorkers    int
 	AssembleWorkers int
 	MetricsWorkers  int
@@ -102,6 +114,10 @@ type Stats struct {
 	// CacheErrors, preserving its "anything unhealthy" meaning).
 	CacheCorrupt int `json:"cache_corrupt,omitempty"`
 
+	// Shards is the resolved shard count of the run; the legacy per-stage
+	// worker fields all report the same value (stages are no longer sized
+	// independently).
+	Shards          int `json:"shards"`
 	ParseWorkers    int `json:"parse_workers"`
 	AssembleWorkers int `json:"assemble_workers"`
 	MetricsWorkers  int `json:"metrics_workers"`
@@ -113,9 +129,9 @@ type Stats struct {
 
 func (s Stats) String() string {
 	msg := fmt.Sprintf(
-		"pipeline: %d projects analyzed (%d failed) in %v; workers %d/%d/%d; cache %d hits, %d misses, %d writes",
+		"pipeline: %d projects analyzed (%d failed) in %v; %d shards; cache %d hits, %d misses, %d writes",
 		s.Analyzed, s.Failed, s.Elapsed.Round(time.Millisecond),
-		s.ParseWorkers, s.AssembleWorkers, s.MetricsWorkers,
+		s.Shards,
 		s.CacheHits, s.CacheMisses, s.CacheWrites)
 	if s.Quarantined > 0 {
 		msg += fmt.Sprintf("; %d quarantined", s.Quarantined)
@@ -170,11 +186,13 @@ func Run(ctx context.Context, c *corpus.Corpus, opts Options) (Stats, error) {
 	if opts.Scheme != nil {
 		scheme = *opts.Scheme
 	}
+	shards := resolveShards(opts, n)
 	stats := Stats{
 		Projects:        n,
-		ParseWorkers:    clampWorkers(opts.ParseWorkers, n),
-		AssembleWorkers: clampWorkers(opts.AssembleWorkers, n),
-		MetricsWorkers:  clampWorkers(opts.MetricsWorkers, n),
+		Shards:          shards,
+		ParseWorkers:    shards,
+		AssembleWorkers: shards,
+		MetricsWorkers:  shards,
 	}
 
 	runCtx, cancel := context.WithCancel(ctx)
@@ -183,9 +201,9 @@ func Run(ctx context.Context, c *corpus.Corpus, opts Options) (Stats, error) {
 	tel := opts.Telemetry
 	// Register the stages in pipeline order so the report lists them that
 	// way, and tap the injector so fired faults land in the run report.
-	tel.Stage("parse").SetWorkers(stats.ParseWorkers)
-	tel.Stage("assemble").SetWorkers(stats.AssembleWorkers)
-	tel.Stage("metrics").SetWorkers(stats.MetricsWorkers)
+	tel.Stage("parse").SetWorkers(shards)
+	tel.Stage("assemble").SetWorkers(shards)
+	tel.Stage("metrics").SetWorkers(shards)
 	if tel != nil && opts.Fault != nil {
 		opts.Fault.SetObserver(tel.Fault)
 		defer opts.Fault.SetObserver(nil)
@@ -299,33 +317,76 @@ func Run(ctx context.Context, c *corpus.Corpus, opts Options) (Stats, error) {
 		j.p.Analyzed = true
 	}
 
-	in := make(chan *job)
-	parsedCh := make(chan *job)
-	assembledCh := make(chan *job)
-	done := make(chan *job)
+	exec := stageExec{timeout: opts.ProjectTimeout, fail: fail, col: tel}
+	chain := [...]stage{
+		exec.named("parse", parse),
+		exec.named("assemble", assemble),
+		exec.named("metrics", measure),
+	}
 
-	go func() {
-		defer close(in)
-		for i, p := range c.Projects {
-			j := &job{idx: i, p: p}
+	// Hash every project to a shard up front. All jobs exist before any
+	// shard runs, so a cancelled or failed-fast run still accounts for
+	// every project (skipped ones pass through un-Analyzed and error-free,
+	// exactly as jobs past a closed channel did in the old staged design).
+	results := make([]*job, n)
+	buckets := make([][]*job, shards)
+	for i, p := range c.Projects {
+		s := 0
+		if shards > 1 {
+			s = shardFor(p.Name, shards)
+		}
+		buckets[s] = append(buckets[s], &job{idx: i, p: p})
+	}
+
+	// Each shard owns one workerScratch and drives its projects through
+	// every stage back to back: no cross-stage handoff, no channel sends,
+	// and reconstructor/parser state stays hot in one goroutine. The stage
+	// wrappers still provide panic isolation, the deadline watchdog, and
+	// per-stage telemetry.
+	runShard := func(jobs []*job) {
+		ws := &workerScratch{}
+		defer ws.release()
+		for _, j := range jobs {
 			if tel != nil {
 				j.readyAt = time.Now()
 			}
-			select {
-			case in <- j:
-			case <-runCtx.Done():
-				return
+			for _, st := range &chain {
+				if j.err == nil && runCtx.Err() == nil {
+					if st.tel == nil {
+						j = st.run(j, ws)
+					} else {
+						j = st.observed(j, ws)
+					}
+				}
+				if st.tel != nil {
+					j.readyAt = time.Now()
+				}
 			}
+			results[j.idx] = j
 		}
-	}()
-	exec := stageExec{timeout: opts.ProjectTimeout, fail: fail, col: tel}
-	startStage(stats.ParseWorkers, in, parsedCh, runCtx, exec.named("parse", parse))
-	startStage(stats.AssembleWorkers, parsedCh, assembledCh, runCtx, exec.named("assemble", assemble))
-	startStage(stats.MetricsWorkers, assembledCh, done, runCtx, exec.named("metrics", measure))
+	}
+	if shards <= 1 {
+		// Single shard: run inline in the caller's goroutine — this is
+		// exactly the sequential analysis loop, with zero scheduling
+		// overhead on top.
+		runShard(buckets[0])
+	} else {
+		var wg sync.WaitGroup
+		for s := 0; s < shards; s++ {
+			wg.Add(1)
+			go func(jobs []*job) {
+				defer wg.Done()
+				runShard(jobs)
+			}(buckets[s])
+		}
+		wg.Wait()
+	}
 
+	// Collect in corpus order: results is index-addressed, so failure and
+	// anomaly reporting is deterministic without sorting.
 	var failures []*job
 	var anomalous []*job
-	for j := range done {
+	for _, j := range results {
 		if j.err != nil {
 			failures = append(failures, j)
 			tel.Degradation(string(j.kind))
@@ -345,7 +406,6 @@ func Run(ctx context.Context, c *corpus.Corpus, opts Options) (Stats, error) {
 		stats.CacheCorrupt = int(cache.corrupt.Load())
 	}
 
-	sort.Slice(failures, func(a, b int) bool { return failures[a].idx < failures[b].idx })
 	rep := &DegradationReport{Projects: n, ByKind: map[FailureKind]int{}, CacheIncidents: stats.CacheErrors}
 	for _, j := range failures {
 		rep.Failures = append(rep.Failures, ProjectFailure{Project: j.p.Name, Kind: j.kind, Error: j.err.Error()})
@@ -354,7 +414,6 @@ func Run(ctx context.Context, c *corpus.Corpus, opts Options) (Stats, error) {
 			rep.Quarantined = append(rep.Quarantined, j.p.Name)
 		}
 	}
-	sort.Slice(anomalous, func(a, b int) bool { return anomalous[a].idx < anomalous[b].idx })
 	for _, j := range anomalous {
 		for _, msg := range j.history.SpanAnomalies() {
 			rep.Anomalies = append(rep.Anomalies, ProjectAnomaly{Project: j.p.Name, Message: msg})
@@ -487,39 +546,6 @@ func (s stage) run(j *job, ws *workerScratch) *job {
 	}
 }
 
-// startStage launches a bounded worker pool that applies the stage to
-// every job from in and forwards it to out, closing out when the pool
-// drains. Errored jobs and jobs arriving after cancellation pass through
-// unprocessed, so every fed job reaches the collector and nothing blocks.
-func startStage(workers int, in <-chan *job, out chan<- *job, ctx context.Context, s stage) {
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			ws := &workerScratch{}
-			defer ws.release()
-			for j := range in {
-				if j.err == nil && ctx.Err() == nil {
-					if s.tel == nil {
-						j = s.run(j, ws)
-					} else {
-						j = s.observed(j, ws)
-					}
-				}
-				if s.tel != nil {
-					j.readyAt = time.Now()
-				}
-				out <- j
-			}
-		}()
-	}
-	go func() {
-		wg.Wait()
-		close(out)
-	}()
-}
-
 // observed wraps run with the stage's telemetry: queue wait (time since the
 // job became eligible), occupancy, the per-job duration histogram, and one
 // trace span. Only called when telemetry is on.
@@ -539,7 +565,34 @@ func (s stage) observed(j *job, ws *workerScratch) *job {
 	return j
 }
 
-// clampWorkers resolves a per-stage worker request against the job count.
+// resolveShards picks the run's shard count: an explicit Options.Shards
+// wins; otherwise the legacy per-stage worker fields (their maximum, so
+// configurations tuned for the old staged pools keep their parallelism);
+// otherwise GOMAXPROCS. The result is clamped to the project count.
+func resolveShards(opts Options, jobs int) int {
+	s := opts.Shards
+	if s <= 0 {
+		s = max(opts.ParseWorkers, opts.AssembleWorkers, opts.MetricsWorkers)
+	}
+	return clampWorkers(s, jobs)
+}
+
+// shardFor hashes a project name onto a shard (FNV-1a): assignment is
+// deterministic across runs and independent of corpus order.
+func shardFor(name string, shards int) int {
+	const (
+		offset64 uint64 = 14695981039346656037
+		prime64  uint64 = 1099511628211
+	)
+	h := offset64
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime64
+	}
+	return int(h % uint64(shards))
+}
+
+// clampWorkers resolves a shard-count request against the job count.
 func clampWorkers(n, jobs int) int {
 	if n <= 0 {
 		n = runtime.GOMAXPROCS(0)

@@ -132,6 +132,17 @@ func New() *Schema {
 	return &Schema{tables: make(map[string]*Table)}
 }
 
+// NewWithCapacity returns an empty schema pre-sized for n tables, for
+// builders that know the table count up front (e.g. the flat cache
+// decoder, which rebuilds each version's schema from a table pool).
+// Decoded snapshots may hold arena-backed string views into a read-only
+// buffer (see internal/pipeline flatcodec); such schemas must be Sealed
+// before publication so every mutation path copies tables instead of
+// writing through the shared views.
+func NewWithCapacity(n int) *Schema {
+	return &Schema{tables: make(map[string]*Table, n), order: make([]string, 0, n)}
+}
+
 // TableCount returns the number of tables.
 func (s *Schema) TableCount() int { return len(s.tables) }
 

@@ -80,6 +80,11 @@ type Config struct {
 	// StoreShards is the disk tier's segment-file count. <= 0 selects 8.
 	// Fixed at directory creation; reopening ignores a differing value.
 	StoreShards int
+	// AnalysisShards is the analysis pipeline's shard count (one shard =
+	// one goroutine owning its parse/assemble/metrics scratch), used for
+	// the startup corpus analysis and every submitted analysis. <= 0
+	// selects GOMAXPROCS; 1 selects the sequential path.
+	AnalysisShards int
 	// MaxConcurrent bounds concurrently executing submissions (the worker
 	// semaphore). Beyond it the single submit path answers 429. <= 0
 	// selects 2×GOMAXPROCS.
@@ -220,7 +225,7 @@ func New(ctx context.Context, cfg Config) (*Server, error) {
 		s.corpus = &corpus.Corpus{}
 	}
 	if len(s.corpus.Projects) > 0 {
-		opts := pipeline.Options{CacheDir: cfg.CacheDir, Scheme: cfg.Scheme, Telemetry: s.tel}
+		opts := pipeline.Options{CacheDir: cfg.CacheDir, Scheme: cfg.Scheme, Telemetry: s.tel, Shards: cfg.AnalysisShards}
 		if _, err := pipeline.Run(ctx, s.corpus, opts); err != nil {
 			st.Close()
 			return nil, fmt.Errorf("server: corpus analysis: %w", err)
@@ -643,6 +648,7 @@ func (s *Server) runFull(ctx context.Context, repo *vcs.Repo, fingerprint string
 		Scheme:    s.cfg.Scheme,
 		Fault:     s.cfg.Fault,
 		Telemetry: s.tel,
+		Shards:    s.cfg.AnalysisShards,
 	})
 	busy := time.Since(begin)
 	s.execStage.Exit()

@@ -233,21 +233,23 @@ func AnalyzeCorpusParallel(c *Corpus, workers int) error {
 	return c.AnalyzeParallel(quantize.DefaultScheme(), workers)
 }
 
-// PipelineOptions configures the staged concurrent analysis pipeline:
-// per-stage worker counts, fail-fast vs collect-all error handling, and
-// the content-hash cache directory. The zero value is a sensible default.
+// PipelineOptions configures the shard-per-core analysis pipeline:
+// shard count, fail-fast vs collect-all error handling, and the
+// content-hash cache directory. The zero value is a sensible default
+// (one shard per GOMAXPROCS).
 type PipelineOptions = pipeline.Options
 
 // PipelineStats reports what a pipeline run did, including the cache-hit
 // counters.
 type PipelineStats = pipeline.Stats
 
-// AnalyzeCorpusPipeline runs the corpus through the staged concurrent
-// pipeline (parse → assemble → measures/labels) with the paper's
-// quantization. Results are identical to AnalyzeCorpus at any worker
-// count; with a cache directory configured, unchanged projects are
-// restored from disk instead of recomputed. All failures are collected
-// and attributed per project unless opts.FailFast is set.
+// AnalyzeCorpusPipeline runs the corpus through the shard-per-core
+// pipeline (parse → assemble → measures/labels per project, projects
+// hashed across shards) with the paper's quantization. Results are
+// identical to AnalyzeCorpus at any shard count; with a cache directory
+// configured, unchanged projects are restored from disk instead of
+// recomputed. All failures are collected and attributed per project
+// unless opts.FailFast is set.
 func AnalyzeCorpusPipeline(ctx context.Context, c *Corpus, opts PipelineOptions) (PipelineStats, error) {
 	return pipeline.Run(ctx, c, opts)
 }
