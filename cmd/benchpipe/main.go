@@ -46,6 +46,8 @@
 //     GOMAXPROCS — the shard-per-core design makes the pipeline a
 //     superset of the sequential loop, so it may never underperform it
 //     (CI runs this gate at GOMAXPROCS 1 and 2);
+//   - the auto-detecting pipeline over any dialect-restyled corpus falls
+//     more than the tolerance below the generic pipeline's bytes/sec;
 //   - the warm-cache path allocates more per project than the cold path —
 //     decode must stay cheaper than recomputation;
 //   - a committed matrix row already records pipeline < sequential
@@ -122,6 +124,23 @@ type matrixRow struct {
 	Oversubscribed bool `json:"oversubscribed,omitempty"`
 }
 
+// dialectRow times the cacheless pipeline with per-file dialect
+// auto-detection over the corpus restyled in one concrete SQL dialect.
+// The restyled corpora carry more raw DDL text than the generic one
+// (quoting, headers, engine clauses), so raw duration ratios conflate
+// input size with adapter overhead. VsGenericPipeline is therefore
+// byte-normalized: dialect bytes/sec over generic bytes/sec, both timed
+// in the same process. The -check gate bounds how far below 1.0 it may
+// fall, so detection plus adapter dispatch can never silently grow into
+// a per-byte cost.
+type dialectRow struct {
+	Dialect           string  `json:"dialect"`
+	ProjectsPerSec    float64 `json:"projects_per_sec"`
+	MBPerSec          float64 `json:"mb_per_sec"`
+	AllocsPerProject  float64 `json:"allocs_per_project"`
+	VsGenericPipeline float64 `json:"vs_generic_pipeline"`
+}
+
 // report is the full BENCH_pipeline.json document.
 type report struct {
 	GeneratedBy string         `json:"generated_by"`
@@ -134,6 +153,7 @@ type report struct {
 	Telemetry   bool           `json:"telemetry"`
 	Results     []result       `json:"results"`
 	Matrix      []matrixRow    `json:"matrix,omitempty"`
+	Dialects    []dialectRow   `json:"dialects,omitempty"`
 	WarmStats   pipeline.Stats `json:"warm_cache_stats"`
 	Note        string         `json:"note,omitempty"`
 	// Previous summarizes the artifact this run replaced (same file, prior
@@ -234,6 +254,19 @@ func freshCorpus(seed int64) (*corpus.Corpus, error) {
 	return synth.PaperCorpus(seed)
 }
 
+// corpusGen produces a fresh corpus per timed run. genericGen is the
+// default; dialect variants time the same seed's corpus restyled in a
+// concrete SQL dialect.
+type corpusGen func() (*corpus.Corpus, error)
+
+func genericGen(seed int64) corpusGen {
+	return func() (*corpus.Corpus, error) { return freshCorpus(seed) }
+}
+
+func dialectGen(seed int64, name string) corpusGen {
+	return func() (*corpus.Corpus, error) { return synth.PaperCorpusDialect(seed, name) }
+}
+
 // variantOutcome carries what one variant's last timed run observed.
 type variantOutcome struct {
 	stats pipeline.Stats
@@ -249,13 +282,13 @@ type variantOutcome struct {
 // when unmeasurable), and the last run's outcome. With withTel, every run
 // carries a fresh telemetry collector (its cost is thus included in the
 // timing — the point of the overhead comparison).
-func measure(seed int64, runs int, withTel bool, fn func(*corpus.Corpus, *telemetry.Collector) (pipeline.Stats, error)) (time.Duration, time.Duration, variantOutcome, error) {
+func measure(gen corpusGen, runs int, withTel bool, fn func(*corpus.Corpus, *telemetry.Collector) (pipeline.Stats, error)) (time.Duration, time.Duration, variantOutcome, error) {
 	best, bestCPU := time.Duration(0), time.Duration(0)
 	var last variantOutcome
 	var totalAllocs, totalBytes uint64
 	var ms0, ms1 runtime.MemStats
 	for i := 0; i < runs; i++ {
-		c, err := freshCorpus(seed)
+		c, err := gen()
 		if err != nil {
 			return 0, 0, last, err
 		}
@@ -295,6 +328,65 @@ func pipelineFn(c *corpus.Corpus, tel *telemetry.Collector) (pipeline.Stats, err
 	return pipeline.Run(context.Background(), c, pipeline.Options{Telemetry: tel})
 }
 
+// autoPipelineFn is the pipeline with per-file dialect auto-detection —
+// the configuration the dialect rows time.
+func autoPipelineFn(c *corpus.Corpus, tel *telemetry.Collector) (pipeline.Stats, error) {
+	return pipeline.Run(context.Background(), c, pipeline.Options{Dialect: "auto", Telemetry: tel})
+}
+
+// benchDialects are the concrete dialect corpora timed per artifact.
+var benchDialects = []string{"mysql", "postgres", "sqlite"}
+
+// corpusDDLBytes sums the raw DDL text the pipeline lexes for one
+// corpus: every version of every DDL file of every project.
+func corpusDDLBytes(c *corpus.Corpus) int {
+	total := 0
+	for _, p := range c.Projects {
+		for _, path := range p.Repo.DDLPaths() {
+			for _, fv := range p.Repo.FileHistory(path) {
+				total += len(fv.Content)
+			}
+		}
+	}
+	return total
+}
+
+// measureDialects times the auto-detecting cacheless pipeline over the
+// corpus restyled in each concrete dialect, relative to the generic
+// pipeline duration measured in the same process. Ratios are
+// byte-normalized (see dialectRow).
+func measureDialects(seed int64, runs, n int, genericPipe time.Duration) ([]dialectRow, error) {
+	generic, err := freshCorpus(seed)
+	if err != nil {
+		return nil, err
+	}
+	genericBPS := float64(corpusDDLBytes(generic)) / genericPipe.Seconds()
+	var rows []dialectRow
+	for _, name := range benchDialects {
+		c, err := synth.PaperCorpusDialect(seed, name)
+		if err != nil {
+			return nil, fmt.Errorf("dialect %s: %w", name, err)
+		}
+		bytes := corpusDDLBytes(c)
+		d, _, oc, err := measure(dialectGen(seed, name), runs, false, autoPipelineFn)
+		if err != nil {
+			return nil, fmt.Errorf("dialect %s: %w", name, err)
+		}
+		bps := float64(bytes) / d.Seconds()
+		row := dialectRow{
+			Dialect:           name,
+			ProjectsPerSec:    float64(n) / d.Seconds(),
+			MBPerSec:          bps / 1e6,
+			AllocsPerProject:  oc.allocsPerRun / float64(n),
+			VsGenericPipeline: bps / genericBPS,
+		}
+		rows = append(rows, row)
+		fmt.Printf("dialect %-9s %12v  (%.0f projects/sec, %.1f MB/s, %.2fx of generic bytes/sec)\n",
+			name, d, row.ProjectsPerSec, row.MBPerSec, row.VsGenericPipeline)
+	}
+	return rows, nil
+}
+
 // measureMatrix re-times the sequential and pipeline variants with
 // GOMAXPROCS pinned to each requested width (restored afterwards). The
 // pipeline's shard count follows GOMAXPROCS, so each row shows what a
@@ -307,11 +399,11 @@ func measureMatrix(seed int64, runs, n int, widths []int) ([]matrixRow, error) {
 	var rows []matrixRow
 	for _, g := range widths {
 		runtime.GOMAXPROCS(g)
-		seqD, _, _, err := measure(seed, runs, false, sequentialFn)
+		seqD, _, _, err := measure(genericGen(seed), runs, false, sequentialFn)
 		if err != nil {
 			return nil, fmt.Errorf("matrix sequential at GOMAXPROCS=%d: %w", g, err)
 		}
-		pipeD, _, pipeOC, err := measure(seed, runs, false, pipelineFn)
+		pipeD, _, pipeOC, err := measure(genericGen(seed), runs, false, pipelineFn)
 		if err != nil {
 			return nil, fmt.Errorf("matrix pipeline at GOMAXPROCS=%d: %w", g, err)
 		}
@@ -409,7 +501,7 @@ func run(seed int64, runs int, out string, withTel bool, cpuprofile, memprofile 
 	cpuDurations := map[string]time.Duration{}
 	outcomes := map[string]variantOutcome{}
 	for _, v := range variants {
-		d, cpu, oc, err := measure(seed, runs, withTel, v.fn)
+		d, cpu, oc, err := measure(genericGen(seed), runs, withTel, v.fn)
 		if err != nil {
 			return fmt.Errorf("%s: %w", v.name, err)
 		}
@@ -436,6 +528,10 @@ func run(seed int64, runs int, out string, withTel bool, cpuprofile, memprofile 
 		if rep.Matrix, err = measureMatrix(seed, runs, n, widths); err != nil {
 			return err
 		}
+	}
+
+	if rep.Dialects, err = measureDialects(seed, runs, n, durations["pipeline"]); err != nil {
+		return err
 	}
 
 	seq := durations["sequential"]
@@ -494,9 +590,12 @@ func run(seed int64, runs int, out string, withTel bool, cpuprofile, memprofile 
 //  2. pipeline >= sequential at the current GOMAXPROCS (the shard-per-core
 //     pipeline degenerates to the sequential loop at one shard, so losing
 //     to it is a bug, not a trade-off);
-//  3. warm-cache allocs/project <= cold (decode must stay cheaper than
+//  3. the auto-detecting pipeline over each dialect-restyled corpus stays
+//     within the tolerance of the generic pipeline's bytes/sec
+//     (byte-normalized in-process ratio);
+//  4. warm-cache allocs/project <= cold (decode must stay cheaper than
 //     recomputation);
-//  4. no committed non-oversubscribed matrix row records pipeline <
+//  5. no committed non-oversubscribed matrix row records pipeline <
 //     sequential (static check of the artifact itself).
 func runCheck(baselinePath string, runs int, tolerance float64) error {
 	data, err := os.ReadFile(baselinePath)
@@ -522,7 +621,7 @@ func runCheck(baselinePath string, runs int, tolerance float64) error {
 		return err
 	}
 	n := probe.Len()
-	d, cpu, oc, err := measure(base.Seed, runs, false, sequentialFn)
+	d, cpu, oc, err := measure(genericGen(base.Seed), runs, false, sequentialFn)
 	if err != nil {
 		return err
 	}
@@ -552,7 +651,7 @@ func runCheck(baselinePath string, runs int, tolerance float64) error {
 	// Gate 2: the pipeline may not lose to the sequential loop at this
 	// machine's GOMAXPROCS. Wall clock on both sides of one process, so
 	// co-tenant noise largely cancels.
-	pipeD, _, _, err := measure(base.Seed, runs, false, pipelineFn)
+	pipeD, _, _, err := measure(genericGen(base.Seed), runs, false, pipelineFn)
 	if err != nil {
 		return err
 	}
@@ -563,7 +662,26 @@ func runCheck(baselinePath string, runs int, tolerance float64) error {
 			pipeVsSeq, runtime.GOMAXPROCS(0), 1-tolerance)
 	}
 
-	// Gate 3: warm-cache decode must allocate no more per project than
+	// Gate 3: the auto-detecting pipeline over each dialect corpus may not
+	// fall below the generic pipeline's bytes/sec by more than the
+	// tolerance. The ratio is byte-normalized and measured within one
+	// process, so machine speed and the dialect corpora's honest size
+	// delta both cancel — what remains is detection plus adapter
+	// dispatch, bounded wherever the gate runs. Baselines without
+	// dialect rows predate the gate; the re-measurement still applies.
+	dialectFloor := 1 - tolerance
+	dialectRows, err := measureDialects(base.Seed, runs, n, pipeD)
+	if err != nil {
+		return err
+	}
+	for _, row := range dialectRows {
+		if row.VsGenericPipeline < dialectFloor {
+			return fmt.Errorf("dialect regression: %s corpus runs at %.2fx of the generic pipeline's bytes/sec (must stay >= %.2f)",
+				row.Dialect, row.VsGenericPipeline, dialectFloor)
+		}
+	}
+
+	// Gate 4: warm-cache decode must allocate no more per project than
 	// cold recomputation. Cold runs get fresh directories; the warm run
 	// hits a directory prewarmed outside the measurement.
 	cacheRoot, err := os.MkdirTemp("", "benchpipe-check-")
@@ -571,7 +689,7 @@ func runCheck(baselinePath string, runs int, tolerance float64) error {
 		return err
 	}
 	defer os.RemoveAll(cacheRoot)
-	_, _, coldOC, err := measure(base.Seed, runs, false, func(c *corpus.Corpus, _ *telemetry.Collector) (pipeline.Stats, error) {
+	_, _, coldOC, err := measure(genericGen(base.Seed), runs, false, func(c *corpus.Corpus, _ *telemetry.Collector) (pipeline.Stats, error) {
 		dir, err := os.MkdirTemp(cacheRoot, "cold-")
 		if err != nil {
 			return pipeline.Stats{}, err
@@ -589,7 +707,7 @@ func runCheck(baselinePath string, runs int, tolerance float64) error {
 	if _, err := pipeline.Run(context.Background(), prewarm, pipeline.Options{CacheDir: warmDir}); err != nil {
 		return err
 	}
-	_, _, warmOC, err := measure(base.Seed, runs, false, func(c *corpus.Corpus, _ *telemetry.Collector) (pipeline.Stats, error) {
+	_, _, warmOC, err := measure(genericGen(base.Seed), runs, false, func(c *corpus.Corpus, _ *telemetry.Collector) (pipeline.Stats, error) {
 		return pipeline.Run(context.Background(), c, pipeline.Options{CacheDir: warmDir})
 	})
 	if err != nil {
@@ -606,7 +724,7 @@ func runCheck(baselinePath string, runs int, tolerance float64) error {
 			warmAllocs, coldAllocs)
 	}
 
-	// Gate 4: the committed artifact itself may not record a width where
+	// Gate 5: the committed artifact itself may not record a width where
 	// the pipeline loses to the sequential loop. Oversubscribed rows
 	// (width beyond the recording machine's cores) measure scheduler
 	// thrash, not real scaling, and are informational only.

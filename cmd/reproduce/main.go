@@ -399,6 +399,13 @@ func emitArtifacts(cfg config, ctx *experiments.Context) error {
 		if err := emit("ext-correlation-agreement", ca.Render()); err != nil {
 			return err
 		}
+		xd, err := experiments.CrossDialect(seed)
+		if err != nil {
+			return err
+		}
+		if err := emit("ext-dialects", xd.Render()); err != nil {
+			return err
+		}
 	}
 	if htmlRep != nil {
 		path := filepath.Join(outDir, "report.html")

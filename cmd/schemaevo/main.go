@@ -10,6 +10,7 @@
 //	schemaevo -dir ... -verbose         # include the per-version deltas
 //	schemaevo -dir ... -tables          # per-table lifetime report
 //	schemaevo -dir ... -queries q.sql   # replay a query workload over the history
+//	schemaevo -dir ... -dialect auto    # per-file SQL dialect detection (or mysql/postgres/sqlite)
 //	schemaevo -dir ... -project-timeout 30s  # abandon an analysis that gets stuck
 //	schemaevo -dir ... -telemetry-json t.json  # write the run's telemetry report
 //	schemaevo -dir ... -pprof 127.0.0.1:6060   # serve pprof + expvar + telemetry
@@ -40,6 +41,7 @@ type options struct {
 	tables        bool
 	queries       string
 	cacheDir      string
+	dialect       string
 	timeout       time.Duration
 	telemetryJSON string
 	pprofAddr     string
@@ -55,6 +57,7 @@ func main() {
 	flag.BoolVar(&o.tables, "tables", false, "print the per-table lifetime report")
 	flag.StringVar(&o.queries, "queries", "", "file of ';'-separated SELECTs to replay over the history")
 	flag.StringVar(&o.cacheDir, "cache", "", "memoize the analysis under this directory (re-runs of an unchanged history are instant)")
+	flag.StringVar(&o.dialect, "dialect", "", "SQL dialect of the DDL: auto, generic, mysql, postgres or sqlite (default generic)")
 	flag.DurationVar(&o.timeout, "project-timeout", 0, "abandon the analysis if it exceeds this deadline (0 disables)")
 	flag.StringVar(&o.telemetryJSON, "telemetry-json", "", "write the run's telemetry report (stage timings, cache counters) to this path")
 	flag.StringVar(&o.pprofAddr, "pprof", "", "serve net/http/pprof, expvar and live telemetry on this address (e.g. 127.0.0.1:6060)")
@@ -94,7 +97,7 @@ func analyze(o options, tel *telemetry.Collector) (*schemaevo.Analysis, error) {
 		return nil, err
 	}
 	a, stats, err := schemaevo.AnalyzeRepoWithOptions(r,
-		schemaevo.PipelineOptions{CacheDir: o.cacheDir, ProjectTimeout: o.timeout, Telemetry: tel})
+		schemaevo.PipelineOptions{CacheDir: o.cacheDir, Dialect: o.dialect, ProjectTimeout: o.timeout, Telemetry: tel})
 	if err != nil {
 		// Attach the failure taxonomy so a lost analysis states what kind
 		// of loss it was (parse / metrics / timeout / panic).
@@ -144,6 +147,7 @@ func run(o options) error {
 	fmt.Println(a.Chart())
 	m := a.Measures
 	fmt.Printf("project:              %s\n", a.Project)
+	fmt.Printf("dialect:              %s\n", a.History.Dialect)
 	fmt.Printf("pattern:              %s (family: %s)\n", a.Pattern, a.Family)
 	fmt.Printf("                      %s\n", schemaevo.Describe(a.Pattern))
 	if !a.Exact {

@@ -51,6 +51,7 @@ type options struct {
 	storeDir       string
 	storeShards    int
 	analysisShards int
+	dialect        string
 	hotBytes       int64
 	maxConcurrent  int
 	requestTimeout time.Duration
@@ -76,6 +77,7 @@ func main() {
 	flag.StringVar(&o.storeDir, "store-dir", "", "persistent project-store directory: submitted sources and results survive restarts (empty = memory only)")
 	flag.IntVar(&o.storeShards, "store-shards", 0, "segment-file count for a new store directory (0 = 8; existing directories keep their count)")
 	flag.IntVar(&o.analysisShards, "analysis-shards", 0, "analysis pipeline shard count (0 = GOMAXPROCS; 1 = sequential path)")
+	flag.StringVar(&o.dialect, "dialect", "", "SQL dialect for every analysis: auto, generic, mysql, postgres or sqlite (default generic)")
 	flag.Int64Var(&o.hotBytes, "hot-bytes", 0, "in-memory hot-tier byte budget (0 = 256 MiB)")
 	flag.IntVar(&o.maxConcurrent, "max-concurrent", 0, "max concurrently executing submissions before 429 (0 = 2×GOMAXPROCS)")
 	flag.DurationVar(&o.requestTimeout, "request-timeout", 30*time.Second, "per-request deadline")
@@ -157,6 +159,7 @@ func run(o options) error {
 		StoreDir:       o.storeDir,
 		StoreShards:    o.storeShards,
 		AnalysisShards: o.analysisShards,
+		Dialect:        o.dialect,
 		HotBytes:       o.hotBytes,
 		MaxConcurrent:  o.maxConcurrent,
 		RequestTimeout: o.requestTimeout,

@@ -25,6 +25,11 @@ type Project struct {
 	// GroundTruth is the pattern annotation (in the paper: manual; here:
 	// the generator's intent). Unclassified means unannotated.
 	GroundTruth core.Pattern
+	// Dialect is the SQL dialect the project's DDL was authored in (for
+	// synthetic corpora: the generator's intent; empty means generic).
+	// It is an annotation like GroundTruth, not an analysis input — the
+	// pipeline's own dialect selection lives in pipeline.Options.Dialect.
+	Dialect string
 
 	// Derived fields, populated by Analyze.
 	History  *history.History
@@ -131,6 +136,7 @@ type persisted struct {
 type persistedProject struct {
 	Name        string    `json:"name"`
 	GroundTruth string    `json:"ground_truth,omitempty"`
+	Dialect     string    `json:"dialect,omitempty"`
 	Repo        *vcs.Repo `json:"repo"`
 }
 
@@ -139,7 +145,7 @@ type persistedProject struct {
 func (c *Corpus) WriteJSON(w io.Writer) error {
 	var p persisted
 	for _, prj := range c.Projects {
-		pp := persistedProject{Name: prj.Name, Repo: prj.Repo}
+		pp := persistedProject{Name: prj.Name, Dialect: prj.Dialect, Repo: prj.Repo}
 		if prj.GroundTruth != core.Unclassified {
 			pp.GroundTruth = prj.GroundTruth.String()
 		}
@@ -166,7 +172,7 @@ func ReadJSON(r io.Reader) (*Corpus, error) {
 		if err := pp.Repo.Validate(); err != nil {
 			return nil, fmt.Errorf("corpus: project %q: %w", pp.Name, err)
 		}
-		prj := &Project{Name: pp.Name, Repo: pp.Repo}
+		prj := &Project{Name: pp.Name, Dialect: pp.Dialect, Repo: pp.Repo}
 		if pp.GroundTruth != "" {
 			gt, ok := core.ParsePattern(pp.GroundTruth)
 			if !ok {

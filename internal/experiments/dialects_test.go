@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCrossDialectInvariance: the headline check of the dialect
+// extension — restyling the corpus in any dialect changes nothing about
+// the pattern study, detection is exact, and no adapter degrades on its
+// own syntax.
+func TestCrossDialectInvariance(t *testing.T) {
+	res, err := CrossDialect(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	if !res.Invariant {
+		t.Errorf("pattern distributions drift across dialects:")
+		for _, row := range res.Rows {
+			t.Errorf("  %s: %v", row.Dialect, row.Patterns)
+		}
+	}
+	for _, row := range res.Rows {
+		if row.Projects != 151 {
+			t.Errorf("%s: %d projects, want 151", row.Dialect, row.Projects)
+		}
+		if row.Detected != row.Projects {
+			t.Errorf("%s: detected %d/%d", row.Dialect, row.Detected, row.Projects)
+		}
+		if row.ParseNotes != 0 {
+			t.Errorf("%s: %d parse notes", row.Dialect, row.ParseNotes)
+		}
+	}
+	out := res.Render()
+	if !strings.Contains(out, "cross-dialect") || !strings.Contains(out, "identical across dialects") {
+		t.Errorf("render missing verdict:\n%s", out)
+	}
+}

@@ -11,6 +11,8 @@ import (
 
 	"schemaevo/internal/diff"
 	"schemaevo/internal/schema"
+	"schemaevo/internal/sqlddl"
+	"schemaevo/internal/sqlddl/dialect"
 	"schemaevo/internal/vcs"
 )
 
@@ -35,6 +37,9 @@ type History struct {
 	Project string
 	// DDLPath is the schema file that was analyzed.
 	DDLPath string
+	// Dialect is the SQL dialect the snapshots were parsed under
+	// (DialectGeneric for the legacy union grammar).
+	Dialect sqlddl.DialectID
 	// Versions are the chronological schema versions.
 	Versions []Version
 	// Start and End bound the Project Update Period: the originating
@@ -92,6 +97,21 @@ func FromRepoFile(r *vcs.Repo, path string) (*History, error) {
 	return Assemble(r, path, parsed), nil
 }
 
+// FromRepoFileDialect is FromRepoFile parsing under an explicit dialect;
+// d == nil auto-detects from the file's first surviving snapshot. The
+// dialect actually used is recorded in History.Dialect.
+func FromRepoFileDialect(r *vcs.Repo, path string, d sqlddl.Dialect) (*History, error) {
+	rc := schema.AcquireReconstructor()
+	defer schema.ReleaseReconstructor(rc)
+	parsed, err := ParseVersionsIn(rc, r, path, d)
+	if err != nil {
+		return nil, err
+	}
+	h := Assemble(r, path, parsed)
+	h.Dialect = rc.DialectID()
+	return h, nil
+}
+
 // ParsedVersion is one parsed snapshot of a DDL file: the reconstructed
 // logical schema plus any parse/apply anomalies. It is the unit of work of
 // the pipeline's parse stage; Assemble turns a sequence of them into a
@@ -119,6 +139,16 @@ func ParseVersions(r *vcs.Repo, path string) ([]ParsedVersion, error) {
 // buffers and intern table across many projects. Per-project caches are
 // reset on entry.
 func ParseVersionsWith(rc *schema.Reconstructor, r *vcs.Repo, path string) ([]ParsedVersion, error) {
+	return ParseVersionsIn(rc, r, path, sqlddl.Generic)
+}
+
+// ParseVersionsIn is ParseVersionsWith under an explicit dialect. A nil
+// dialect means auto-detect: the detector scores the first surviving
+// (non-deleted) snapshot's content, which is stable under suffix
+// extension — appending newer versions can never change the detection
+// input, so incremental re-analysis agrees with a fresh run. The dialect
+// actually used is readable from rc.DialectID() after the call.
+func ParseVersionsIn(rc *schema.Reconstructor, r *vcs.Repo, path string, d sqlddl.Dialect) ([]ParsedVersion, error) {
 	if err := r.Validate(); err != nil {
 		return nil, err
 	}
@@ -126,6 +156,16 @@ func ParseVersionsWith(rc *schema.Reconstructor, r *vcs.Repo, path string) ([]Pa
 	if len(fileVersions) == 0 {
 		return nil, fmt.Errorf("history: repo %q has no versions of %q", r.Name, path)
 	}
+	if d == nil {
+		d = sqlddl.Generic
+		for _, fv := range fileVersions {
+			if !fv.Deleted {
+				d = dialect.Detect(fv.Content)
+				break
+			}
+		}
+	}
+	rc.SetDialect(d)
 	rc.ResetProject()
 	out := make([]ParsedVersion, 0, len(fileVersions))
 	for _, fv := range fileVersions {

@@ -25,8 +25,10 @@ import (
 // treated as misses. Version 2 switched the entry body from JSON to a
 // binary codec; version 3 added the whole-file CRC-32C integrity trailer;
 // version 4 replaced the decode-loop layout with the flat, mmap-friendly
-// format in flatcodec.go (string arena + deduplicated table pool).
-const cacheFormatVersion = 4
+// format in flatcodec.go (string arena + deduplicated table pool);
+// version 5 widened the flat header to 32 bytes with the history's SQL
+// dialect tag and made the dialect part of the fingerprint.
+const cacheFormatVersion = 5
 
 // Fingerprint returns a content hash of everything the analysis pipeline
 // reads from a repository: the repo name, every commit's timestamp and
@@ -35,7 +37,23 @@ const cacheFormatVersion = 4
 // measures, so the fingerprint is a sound memoization key. Non-DDL file
 // contents are deliberately excluded: the pipeline only consumes their
 // per-commit SrcLines aggregate, which is hashed.
-func Fingerprint(r *vcs.Repo) string {
+//
+// Fingerprint hashes under the default (generic) dialect; it equals
+// FingerprintDialect(r, "").
+func Fingerprint(r *vcs.Repo) string { return FingerprintDialect(r, "") }
+
+// FingerprintDialect is Fingerprint under a dialect selection. The
+// dialect changes which grammar parses the hashed DDL content, so it is
+// part of the memoization key: "" and "generic" collapse to the same
+// (untagged) key, every other value — "auto" included — is hashed
+// verbatim. "auto" is a sound tag even though it names a selection rule
+// rather than one grammar: detection is a pure function of the first
+// surviving DDL snapshot, which is hashed, so equal auto-fingerprints
+// resolve to the same dialect.
+func FingerprintDialect(r *vcs.Repo, dialect string) string {
+	if dialect == "generic" {
+		dialect = ""
+	}
 	h := sha256.New()
 	var buf [8]byte
 	writeInt := func(v int64) {
@@ -47,6 +65,7 @@ func Fingerprint(r *vcs.Repo) string {
 		h.Write([]byte(s))
 	}
 	writeInt(cacheFormatVersion)
+	writeStr(dialect)
 	writeStr(r.Name)
 	writeInt(int64(len(r.Commits)))
 	for _, c := range r.Commits {

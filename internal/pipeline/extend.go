@@ -4,6 +4,8 @@ import (
 	"schemaevo/internal/history"
 	"schemaevo/internal/metrics"
 	"schemaevo/internal/schema"
+	"schemaevo/internal/sqlddl"
+	"schemaevo/internal/sqlddl/dialect"
 	"schemaevo/internal/vcs"
 )
 
@@ -62,6 +64,10 @@ func ExtendResult(prev *CachedResult, prevRepo, next *vcs.Repo) (res *CachedResu
 
 	rc := schema.AcquireReconstructor()
 	defer schema.ReleaseReconstructor(rc)
+	// The carried-over prefix was parsed under prev's dialect; the suffix
+	// must be too, or the primed statement cache and the appended schemas
+	// would disagree with a cold re-analysis.
+	rc.SetDialect(dialect.ByID(prev.History.Dialect))
 	rc.ResetProject()
 	if n := len(old); n > 0 && !old[n-1].Deleted {
 		rc.Prime(old[n-1].Content)
@@ -80,14 +86,19 @@ func ExtendResult(prev *CachedResult, prevRepo, next *vcs.Repo) (res *CachedResu
 	}
 
 	h := history.AssembleExtend(next, path, prev.History, suffix)
+	h.Dialect = prev.History.Dialect
 	m := metrics.Compute(h)
 	if err := m.Validate(); err != nil {
 		// A full run would degrade with FailMetrics; let it, with its
 		// proper error report.
 		return nil, false
 	}
+	fpDialect := ""
+	if h.Dialect != sqlddl.DialectGeneric {
+		fpDialect = h.Dialect.String()
+	}
 	return &CachedResult{
-		Fingerprint: Fingerprint(next),
+		Fingerprint: FingerprintDialect(next, fpDialect),
 		Project:     next.Name,
 		History:     h,
 		Measures:    m,

@@ -11,6 +11,7 @@ import (
 	"schemaevo/internal/history"
 	"schemaevo/internal/metrics"
 	"schemaevo/internal/schema"
+	"schemaevo/internal/sqlddl"
 )
 
 // Cache entries are persisted in a flat, mmap-friendly binary format:
@@ -19,8 +20,15 @@ import (
 //	[4:8]   u32 format version (must equal cacheFormatVersion)
 //	[8:16]  u64 arena offset
 //	[16:24] u64 arena length (offset + length == file size, exactly)
-//	[24:ao] fixed-width field stream
+//	[24]    u8 dialect tag (sqlddl.DialectID of the history; 0 = generic)
+//	[25:32] reserved, must be zero
+//	[32:ao] fixed-width field stream
 //	[ao:]   string arena
+//
+// The dialect tag lives in the header rather than the field stream so
+// tooling can classify an entry without decoding it; the decoder rejects
+// tags outside the known DialectID range and nonzero reserved bytes, so
+// the encoding stays canonical (value-equal entries are byte-equal).
 //
 // Every field in the stream has a fixed width: integers and floats are 8
 // bytes little-endian, presence flags and booleans one byte, slice counts
@@ -52,7 +60,7 @@ import (
 // flatMagic guards against feeding arbitrary files to the decoder.
 var flatMagic = [4]byte{'S', 'E', 'V', 'F'}
 
-const flatHeaderSize = 24
+const flatHeaderSize = 32
 
 // flatRef locates one string in the arena.
 type flatRef struct{ off, n uint32 }
@@ -353,6 +361,9 @@ func encodeEntry(e *cacheEntry) []byte {
 	binary.LittleEndian.PutUint32(w.buf[4:8], uint32(e.Version))
 	binary.LittleEndian.PutUint64(w.buf[8:16], uint64(len(w.buf)))
 	binary.LittleEndian.PutUint64(w.buf[16:24], uint64(len(ar.data)))
+	if e.History != nil {
+		w.buf[24] = byte(e.History.Dialect)
+	}
 	return append(w.buf, ar.data...)
 }
 
@@ -741,11 +752,27 @@ func decodeEntry(data []byte) (*cacheEntry, error) {
 	if arenaOff < flatHeaderSize || arenaOff > uint64(len(data)) || arenaLen != uint64(len(data))-arenaOff {
 		return nil, fmt.Errorf("%w: arena bounds [%d,+%d) outside %d-byte entry", errCorruptEntry, arenaOff, arenaLen, len(data))
 	}
+	dia := sqlddl.DialectID(data[24])
+	if !dia.Valid() {
+		return nil, fmt.Errorf("%w: dialect tag %d", errCorruptEntry, data[24])
+	}
+	for _, b := range data[25:32] {
+		if b != 0 {
+			return nil, fmt.Errorf("%w: nonzero reserved header byte", errCorruptEntry)
+		}
+	}
 	d := &flatDec{buf: data, off: flatHeaderSize, end: int(arenaOff), arena: data[arenaOff:]}
 	e := &cacheEntry{Version: int(version)}
 	e.Fingerprint = d.str()
 	e.Project = d.str()
 	e.History = d.history()
+	if e.History != nil {
+		e.History.Dialect = dia
+	} else if dia != sqlddl.DialectGeneric {
+		// A dialect tag with no history to hang it on is not a state the
+		// encoder produces.
+		return nil, fmt.Errorf("%w: dialect tag %d on history-less entry", errCorruptEntry, data[24])
+	}
 	e.Measures = d.measures()
 	if d.err != nil {
 		return nil, d.err

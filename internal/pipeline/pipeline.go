@@ -43,6 +43,8 @@ import (
 	"schemaevo/internal/metrics"
 	"schemaevo/internal/quantize"
 	"schemaevo/internal/schema"
+	"schemaevo/internal/sqlddl"
+	"schemaevo/internal/sqlddl/dialect"
 	"schemaevo/internal/telemetry"
 	"schemaevo/internal/vcs"
 )
@@ -71,6 +73,13 @@ type Options struct {
 	// CacheDir enables the content-hash result cache rooted at this
 	// directory; empty disables caching.
 	CacheDir string
+	// Dialect selects the SQL dialect DDL snapshots are parsed under:
+	// "" or "generic" (the default) is the legacy union grammar, "auto"
+	// detects per project from the first surviving snapshot, and a
+	// concrete name ("mysql", "postgres", "sqlite", or an alias) forces
+	// that adapter. The selection is part of the cache fingerprint and is
+	// recorded in every produced History.Dialect.
+	Dialect string
 	// Scheme overrides the quantization scheme; nil selects the paper's
 	// DefaultScheme.
 	Scheme *quantize.Scheme
@@ -157,6 +166,7 @@ type job struct {
 	entry       *cacheEntry
 	ddlPath     string
 	parsed      []history.ParsedVersion
+	dialect     sqlddl.DialectID
 	history     *history.History
 	measures    metrics.Measures
 	err         error
@@ -193,6 +203,21 @@ func Run(ctx context.Context, c *corpus.Corpus, opts Options) (Stats, error) {
 		ParseWorkers:    shards,
 		AssembleWorkers: shards,
 		MetricsWorkers:  shards,
+	}
+
+	// Resolve the dialect selection once: a forced adapter, or nil under
+	// "auto" (per-project detection inside ParseVersionsIn). An unknown
+	// name fails the whole run up front — silently falling back to generic
+	// would poison the cache under a key claiming the requested dialect.
+	autoDialect := opts.Dialect == "auto"
+	var forcedDialect sqlddl.Dialect
+	if !autoDialect {
+		d, ok := dialect.ByName(opts.Dialect)
+		if !ok {
+			stats.Elapsed = time.Since(start)
+			return stats, fmt.Errorf("pipeline: unknown dialect %q (accepted: %v)", opts.Dialect, dialect.Names())
+		}
+		forcedDialect = d
 	}
 
 	runCtx, cancel := context.WithCancel(ctx)
@@ -251,7 +276,7 @@ func Run(ctx context.Context, c *corpus.Corpus, opts Options) (Stats, error) {
 			return
 		}
 		if cache != nil {
-			j.fingerprint = Fingerprint(j.p.Repo)
+			j.fingerprint = FingerprintDialect(j.p.Repo, opts.Dialect)
 			if j.entry = cache.load(j.fingerprint); j.entry != nil {
 				j.history = j.entry.History
 				j.measures = j.entry.Measures
@@ -269,12 +294,13 @@ func Run(ctx context.Context, c *corpus.Corpus, opts Options) (Stats, error) {
 		}
 		rc, release := ws.reconstructor()
 		defer release()
-		parsed, err := history.ParseVersionsWith(rc, j.p.Repo, j.ddlPath)
+		parsed, err := history.ParseVersionsIn(rc, j.p.Repo, j.ddlPath, forcedDialect)
 		if err != nil {
 			fail(j, FailParse, err)
 			return
 		}
 		j.parsed = parsed
+		j.dialect = rc.DialectID()
 	}
 
 	// Stage 2: history assembly (diffing, heartbeats).
@@ -287,6 +313,7 @@ func Run(ctx context.Context, c *corpus.Corpus, opts Options) (Stats, error) {
 			return
 		}
 		j.history = history.Assemble(j.p.Repo, j.ddlPath, j.parsed)
+		j.history.Dialect = j.dialect
 		j.parsed = nil
 	}
 

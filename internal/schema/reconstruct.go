@@ -70,12 +70,33 @@ func AcquireReconstructor() *Reconstructor {
 }
 
 // ReleaseReconstructor clears per-project state (the statement and
-// prototype caches retain parsed source text) and returns the
-// reconstructor to the pool.
+// prototype caches retain parsed source text), restores the generic
+// dialect, and returns the reconstructor to the pool.
 func ReleaseReconstructor(rc *Reconstructor) {
+	rc.SetDialect(sqlddl.Generic)
 	rc.ResetProject()
 	reconstructorPool.Put(rc)
 }
+
+// SetDialect switches the parse dialect for subsequent Build calls.
+// Cached statement ASTs and table prototypes were produced under the
+// previous dialect's grammar, so an actual dialect change invalidates
+// them along with the incremental chain; re-setting the current dialect
+// is a no-op.
+func (rc *Reconstructor) SetDialect(d sqlddl.Dialect) {
+	if d == nil {
+		d = sqlddl.Generic
+	}
+	if d.ID() == rc.sess.DialectID() {
+		return
+	}
+	rc.sess.SetDialect(d)
+	clear(rc.protos)
+	rc.ResetFile()
+}
+
+// DialectID returns the dialect the reconstructor currently parses under.
+func (rc *Reconstructor) DialectID() sqlddl.DialectID { return rc.sess.DialectID() }
 
 // ResetProject drops all cached state tied to previously parsed content:
 // the statement cache (whose keys alias source text), the table

@@ -57,6 +57,7 @@ import (
 	"schemaevo/internal/faultinject"
 	"schemaevo/internal/pipeline"
 	"schemaevo/internal/quantize"
+	"schemaevo/internal/sqlddl/dialect"
 	"schemaevo/internal/store"
 	"schemaevo/internal/telemetry"
 	"schemaevo/internal/vcs"
@@ -80,6 +81,12 @@ type Config struct {
 	// StoreShards is the disk tier's segment-file count. <= 0 selects 8.
 	// Fixed at directory creation; reopening ignores a differing value.
 	StoreShards int
+	// Dialect selects the SQL grammar for every analysis — the startup
+	// corpus and each submission: "" or "generic" (the permissive union
+	// grammar, the default), a concrete dialect name, or "auto" for
+	// per-file detection. Unknown names fail New up front; resolved
+	// dialects appear in every /v1 analysis body.
+	Dialect string
 	// AnalysisShards is the analysis pipeline's shard count (one shard =
 	// one goroutine owning its parse/assemble/metrics scratch), used for
 	// the startup corpus analysis and every submitted analysis. <= 0
@@ -192,6 +199,14 @@ var errSaturated = errors.New("server: analysis workers saturated")
 // routes. It fails if the corpus cannot be fully analyzed — a serving
 // process must not start with a silently shrunken dataset.
 func New(ctx context.Context, cfg Config) (*Server, error) {
+	// Fail fast on an unknown dialect: every later analysis would fail
+	// the same way, and the fingerprints computed before the first
+	// analysis would claim a selection that can never resolve.
+	if cfg.Dialect != "auto" {
+		if _, ok := dialect.ByName(cfg.Dialect); !ok {
+			return nil, fmt.Errorf("server: unknown dialect %q (accepted: %v)", cfg.Dialect, dialect.Names())
+		}
+	}
 	s := &Server{cfg: cfg, scheme: quantize.DefaultScheme(), agg: map[string]aggEntry{}}
 	if cfg.Scheme != nil {
 		s.scheme = *cfg.Scheme
@@ -225,7 +240,7 @@ func New(ctx context.Context, cfg Config) (*Server, error) {
 		s.corpus = &corpus.Corpus{}
 	}
 	if len(s.corpus.Projects) > 0 {
-		opts := pipeline.Options{CacheDir: cfg.CacheDir, Scheme: cfg.Scheme, Telemetry: s.tel, Shards: cfg.AnalysisShards}
+		opts := pipeline.Options{CacheDir: cfg.CacheDir, Scheme: cfg.Scheme, Telemetry: s.tel, Shards: cfg.AnalysisShards, Dialect: cfg.Dialect}
 		if _, err := pipeline.Run(ctx, s.corpus, opts); err != nil {
 			st.Close()
 			return nil, fmt.Errorf("server: corpus analysis: %w", err)
@@ -236,7 +251,7 @@ func New(ctx context.Context, cfg Config) (*Server, error) {
 		if id, ok := ids[p]; ok {
 			return id
 		}
-		id := projectID(pipeline.Fingerprint(p.Repo))
+		id := projectID(pipeline.FingerprintDialect(p.Repo, cfg.Dialect))
 		ids[p] = id
 		return id
 	}
@@ -479,7 +494,7 @@ type submitOutcome struct {
 // The returned cache state is one of "hit", "coalesced", "incremental",
 // "miss".
 func (s *Server) submit(ctx context.Context, repo *vcs.Repo, wait bool) (*pipeline.CachedResult, string, error) {
-	fingerprint := pipeline.Fingerprint(repo)
+	fingerprint := pipeline.FingerprintDialect(repo, s.cfg.Dialect)
 	if data, _, ok := s.store.Get(projectID(fingerprint)); ok {
 		if res, err := pipeline.DecodeResult(data); err == nil {
 			return res, "hit", nil
@@ -649,6 +664,7 @@ func (s *Server) runFull(ctx context.Context, repo *vcs.Repo, fingerprint string
 		Fault:     s.cfg.Fault,
 		Telemetry: s.tel,
 		Shards:    s.cfg.AnalysisShards,
+		Dialect:   s.cfg.Dialect,
 	})
 	busy := time.Since(begin)
 	s.execStage.Exit()
@@ -798,7 +814,7 @@ func (s *Server) reanalyze(ctx context.Context, id string) (*pipeline.CachedResu
 			return nil, ctx.Err()
 		}
 		defer func() { <-s.sem }()
-		res, aerr := s.runFull(ctx, repo, pipeline.Fingerprint(repo))
+		res, aerr := s.runFull(ctx, repo, pipeline.FingerprintDialect(repo, s.cfg.Dialect))
 		if aerr != nil {
 			return nil, aerr
 		}

@@ -15,8 +15,9 @@ import (
 // APISchemaVersion identifies the /v1 response layout. Every /v1 body
 // carries it as schema_version; consumers should reject versions they do
 // not understand. Bump it whenever a field is added, removed, or changes
-// meaning — the golden API tests pin the byte-exact rendering.
-const APISchemaVersion = 1
+// meaning — the golden API tests pin the byte-exact rendering. Version 2
+// added the project body's "dialect" field.
+const APISchemaVersion = 2
 
 // measuresWire is the §3.2 measures in wire form: explicit JSON names in
 // a pinned order, independent of the internal struct so internal renames
@@ -70,6 +71,7 @@ type projectWire struct {
 	SchemaVersion int          `json:"schema_version"`
 	ID            string       `json:"id"`
 	Project       string       `json:"project"`
+	Dialect       string       `json:"dialect"`
 	Pattern       string       `json:"pattern"`
 	Family        string       `json:"family"`
 	Exact         bool         `json:"exact"`
@@ -142,6 +144,7 @@ func buildProjectWire(id, project string, h *history.History, m metrics.Measures
 		SchemaVersion: APISchemaVersion,
 		ID:            id,
 		Project:       project,
+		Dialect:       h.Dialect.String(),
 		Pattern:       pattern.String(),
 		Family:        core.FamilyOf(pattern).String(),
 		Exact:         exact,

@@ -1,0 +1,85 @@
+package dialect_test
+
+// Conformance corpus: each adapter must accept its own real-world-shaped
+// corpus without a single parse error, and must degrade — parse errors,
+// never panics — on the two foreign corpora whose syntax it does not
+// speak. Detection must also attribute every corpus file to its dialect.
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	core "schemaevo/internal/sqlddl"
+	"schemaevo/internal/sqlddl/dialect"
+)
+
+const corporaDir = "../../../testdata/dialects"
+
+// corpusFiles returns the conformance files for one dialect name.
+func corpusFiles(t *testing.T, name string) map[string]string {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join(corporaDir, name, "*.sql"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no %s corpus files: %v", name, err)
+	}
+	out := make(map[string]string, len(files))
+	for _, f := range files {
+		src, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[filepath.Base(f)] = string(src)
+	}
+	return out
+}
+
+func TestConformanceOwnCorpus(t *testing.T) {
+	for _, d := range dialect.All() {
+		for name, src := range corpusFiles(t, d.Name()) {
+			script := core.ParseWith(d, src)
+			if len(script.Errors) != 0 {
+				t.Errorf("%s/%s: own-dialect parse errors: %v", d.Name(), name, script.Errors)
+			}
+			if len(script.Statements) == 0 {
+				t.Errorf("%s/%s: no statements parsed", d.Name(), name)
+			}
+		}
+	}
+}
+
+// TestConformanceForeignCorpus asserts the degradation contract: parsing
+// a corpus under a foreign dialect never panics (ParseWith recovers
+// per-statement), and each foreign corpus trips at least one parse error
+// — the engineered quirks (backticks, '#' comments, '::' casts, typeless
+// columns, bracket quoting) are dialect-foreign by construction.
+func TestConformanceForeignCorpus(t *testing.T) {
+	for _, owner := range dialect.All() {
+		corpus := corpusFiles(t, owner.Name())
+		for _, foreign := range dialect.All() {
+			if foreign.ID() == owner.ID() {
+				continue
+			}
+			totalErrs := 0
+			for name, src := range corpus {
+				script := core.ParseWith(foreign, src) // must not panic
+				totalErrs += len(script.Errors)
+				_ = name
+			}
+			if totalErrs == 0 {
+				t.Errorf("%s corpus parsed error-free under %s; expected degradation", owner.Name(), foreign.Name())
+			}
+		}
+	}
+}
+
+func TestConformanceDetection(t *testing.T) {
+	for _, d := range dialect.All() {
+		for name, src := range corpusFiles(t, d.Name()) {
+			got := dialect.DetectID(src)
+			if got != d.ID() {
+				t.Errorf("%s/%s: detected as %s (scores %+v)", d.Name(), name, got, dialect.Score(src))
+			}
+		}
+	}
+}

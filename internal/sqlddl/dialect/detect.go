@@ -1,0 +1,238 @@
+package dialect
+
+import (
+	core "schemaevo/internal/sqlddl"
+)
+
+// Detection is a single allocation-free scan of raw DDL text that scores
+// dialect-specific signals: quoting style (backticks, brackets, dollar
+// quotes), comment syntax ('#'), operator fingerprints ('::'), and
+// keyword/type vocabulary (ENGINE=, AUTO_INCREMENT vs AUTOINCREMENT,
+// SERIAL/BYTEA/JSONB, WITHOUT ROWID/PRAGMA). String literals, quoted
+// identifiers and comments are skipped so their contents cannot vote.
+//
+// Detect is deterministic and total: equal inputs produce equal results,
+// and every input produces a result. The highest score wins; ties break
+// in the documented order MySQL > PostgreSQL > SQLite; an all-zero score
+// (nothing dialect-specific in the file) yields Generic.
+
+// Scores holds the per-dialect evidence accumulated by one detection scan.
+type Scores struct {
+	MySQL    int
+	Postgres int
+	SQLite   int
+}
+
+// winner applies the documented tie-break order.
+func (s Scores) winner() core.DialectID {
+	switch {
+	case s.MySQL == 0 && s.Postgres == 0 && s.SQLite == 0:
+		return core.DialectGeneric
+	case s.MySQL >= s.Postgres && s.MySQL >= s.SQLite:
+		return core.DialectMySQL
+	case s.Postgres >= s.SQLite:
+		return core.DialectPostgres
+	default:
+		return core.DialectSQLite
+	}
+}
+
+// Detect guesses the dialect of a DDL script. See the package comment for
+// the scoring model; Generic means "no dialect-specific evidence".
+func Detect(src string) core.Dialect { return ByID(DetectID(src)) }
+
+// DetectID is Detect returning just the identifier.
+func DetectID(src string) core.DialectID { return Score(src).winner() }
+
+// weight pairs a dialect with the evidence weight of one signal word.
+type weight struct {
+	id core.DialectID
+	w  int
+}
+
+// signalWords maps lower-cased identifier spellings to dialect evidence.
+// Words common across dialects (text, integer, timestamp, ...) carry no
+// signal and are absent.
+var signalWords = map[string]weight{
+	// MySQL: storage engines, charset clauses, width/sign modifiers, the
+	// tiny/medium/long type ladder.
+	"engine":         {core.DialectMySQL, 4},
+	"auto_increment": {core.DialectMySQL, 4},
+	"innodb":         {core.DialectMySQL, 4},
+	"myisam":         {core.DialectMySQL, 4},
+	"unsigned":       {core.DialectMySQL, 2},
+	"zerofill":       {core.DialectMySQL, 2},
+	"charset":        {core.DialectMySQL, 3},
+	"utf8mb4":        {core.DialectMySQL, 3},
+	"mediumint":      {core.DialectMySQL, 3},
+	"mediumtext":     {core.DialectMySQL, 3},
+	"mediumblob":     {core.DialectMySQL, 3},
+	"longtext":       {core.DialectMySQL, 3},
+	"longblob":       {core.DialectMySQL, 3},
+	"tinytext":       {core.DialectMySQL, 3},
+	"tinyblob":       {core.DialectMySQL, 3},
+	"tinyint":        {core.DialectMySQL, 1},
+	"enum":           {core.DialectMySQL, 2},
+
+	// PostgreSQL: identity families, native types, sequence functions,
+	// ALTER TABLE ONLY, procedural language markers.
+	"serial":      {core.DialectPostgres, 4},
+	"bigserial":   {core.DialectPostgres, 4},
+	"smallserial": {core.DialectPostgres, 4},
+	"bytea":       {core.DialectPostgres, 4},
+	"jsonb":       {core.DialectPostgres, 4},
+	"timestamptz": {core.DialectPostgres, 4},
+	"nextval":     {core.DialectPostgres, 4},
+	"setval":      {core.DialectPostgres, 3},
+	"inherits":    {core.DialectPostgres, 3},
+	"regclass":    {core.DialectPostgres, 3},
+	"plpgsql":     {core.DialectPostgres, 4},
+	"tablespace":  {core.DialectPostgres, 2},
+	"varying":     {core.DialectPostgres, 2},
+	"only":        {core.DialectPostgres, 2},
+	"int4":        {core.DialectPostgres, 3},
+	"int8":        {core.DialectPostgres, 3},
+	"float8":      {core.DialectPostgres, 3},
+	"gin":         {core.DialectPostgres, 2},
+	"gist":        {core.DialectPostgres, 2},
+
+	// SQLite: AUTOINCREMENT (one word), rowid tables, pragmas, FTS.
+	"autoincrement":   {core.DialectSQLite, 4},
+	"rowid":           {core.DialectSQLite, 4},
+	"pragma":          {core.DialectSQLite, 3},
+	"sqlite_sequence": {core.DialectSQLite, 4},
+	"fts5":            {core.DialectSQLite, 3},
+	"glob":            {core.DialectSQLite, 2},
+}
+
+func (s *Scores) add(w weight) {
+	switch w.id {
+	case core.DialectMySQL:
+		s.MySQL += w.w
+	case core.DialectPostgres:
+		s.Postgres += w.w
+	case core.DialectSQLite:
+		s.SQLite += w.w
+	}
+}
+
+func isWordByte(c byte) bool {
+	return c == '_' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') || ('0' <= c && c <= '9')
+}
+
+// Score runs the detection scan and returns the raw per-dialect scores.
+// It allocates nothing and never fails, whatever bytes it is handed.
+func Score(src string) Scores {
+	var sc Scores
+	var wordBuf [24]byte
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\v' || c == '\f':
+			i++
+			continue
+		case c == '-' && i+1 < len(src) && src[i+1] == '-':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < len(src) && src[i+1] == '*':
+			i += 2
+			for i < len(src) && !(src[i] == '*' && i+1 < len(src) && src[i+1] == '/') {
+				i++
+			}
+			i += 2
+		case c == '#':
+			sc.add(weight{core.DialectMySQL, 2})
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '\'':
+			i++
+			for i < len(src) {
+				if src[i] == '\\' {
+					i += 2
+					continue
+				}
+				if src[i] == '\'' {
+					i++
+					break
+				}
+				i++
+			}
+		case c == '"':
+			i++
+			for i < len(src) && src[i] != '"' {
+				i++
+			}
+			i++
+		case c == '`':
+			sc.add(weight{core.DialectMySQL, 3})
+			i++
+			for i < len(src) && src[i] != '`' {
+				i++
+			}
+			i++
+		case c == '[':
+			// "integer[]" — bracket glued to a word — is a PostgreSQL
+			// array suffix; a free-standing bracket is MSSQL-style
+			// quoting, which in the FOSS corpus means SQLite tolerance.
+			if i > 0 && isWordByte(src[i-1]) {
+				sc.add(weight{core.DialectPostgres, 2})
+			} else {
+				sc.add(weight{core.DialectSQLite, 2})
+			}
+			i++
+			for i < len(src) && src[i] != ']' {
+				i++
+			}
+			i++
+		case c == ':' && i+1 < len(src) && src[i+1] == ':':
+			sc.add(weight{core.DialectPostgres, 3})
+			i += 2
+		case c == '$':
+			// Dollar-quote opener: '$' [word chars]* '$'.
+			j := i + 1
+			for j < len(src) && isWordByte(src[j]) {
+				j++
+			}
+			if j < len(src) && src[j] == '$' {
+				sc.add(weight{core.DialectPostgres, 3})
+				tag := src[i : j+1]
+				i = j + 1
+				for i < len(src) {
+					if src[i] == '$' && len(src)-i >= len(tag) && src[i:i+len(tag)] == tag {
+						i += len(tag)
+						break
+					}
+					i++
+				}
+			} else {
+				i = j
+			}
+		case isWordByte(c):
+			start := i
+			for i < len(src) && isWordByte(src[i]) {
+				i++
+			}
+			word := src[start:i]
+			if len(word) <= len(wordBuf) {
+				n := 0
+				for k := 0; k < len(word); k++ {
+					b := word[k]
+					if 'A' <= b && b <= 'Z' {
+						b += 'a' - 'A'
+					}
+					wordBuf[n] = b
+					n++
+				}
+				if w, ok := signalWords[string(wordBuf[:n])]; ok {
+					sc.add(w)
+				}
+			}
+		default:
+			i++
+		}
+	}
+	return sc
+}

@@ -1,0 +1,54 @@
+// Package dialect is the registry and auto-detector for the SQL dialect
+// adapters. The core parser (internal/sqlddl) defines the Dialect
+// interface and the generic union grammar; the adapters under
+// dialect/{mysql,postgres,sqlite} specialize it; this package maps names
+// and IDs to adapters and scores raw DDL text to guess its dialect.
+package dialect
+
+import (
+	core "schemaevo/internal/sqlddl"
+	"schemaevo/internal/sqlddl/dialect/mysql"
+	"schemaevo/internal/sqlddl/dialect/postgres"
+	"schemaevo/internal/sqlddl/dialect/sqlite"
+)
+
+// All returns the concrete dialect adapters (not Generic), in the
+// documented tie-break order: MySQL, PostgreSQL, SQLite.
+func All() []core.Dialect {
+	return []core.Dialect{mysql.Dialect, postgres.Dialect, sqlite.Dialect}
+}
+
+// Names returns the accepted -dialect flag values.
+func Names() []string {
+	return []string{"auto", "generic", "mysql", "postgres", "sqlite"}
+}
+
+// ByID maps a DialectID to its adapter; unknown IDs map to Generic.
+func ByID(id core.DialectID) core.Dialect {
+	switch id {
+	case core.DialectMySQL:
+		return mysql.Dialect
+	case core.DialectPostgres:
+		return postgres.Dialect
+	case core.DialectSQLite:
+		return sqlite.Dialect
+	}
+	return core.Generic
+}
+
+// ByName resolves a dialect name (case-sensitive, lower-case, with the
+// common aliases). The empty string and "generic" resolve to Generic;
+// "auto" is not a dialect — callers handle it before resolving.
+func ByName(name string) (core.Dialect, bool) {
+	switch name {
+	case "", "generic":
+		return core.Generic, true
+	case "mysql", "mariadb":
+		return mysql.Dialect, true
+	case "postgres", "postgresql", "pg":
+		return postgres.Dialect, true
+	case "sqlite", "sqlite3":
+		return sqlite.Dialect, true
+	}
+	return nil, false
+}

@@ -1,0 +1,43 @@
+// Package mysql is the MySQL/MariaDB dialect adapter: backtick quoting,
+// '#' line comments, no PostgreSQL casts or dollar quoting, and the
+// MySQL type vocabulary.
+package mysql
+
+import core "schemaevo/internal/sqlddl"
+
+type dialectImpl struct{}
+
+// Dialect is the MySQL dialect singleton.
+var Dialect core.Dialect = dialectImpl{}
+
+func (dialectImpl) ID() core.DialectID { return core.DialectMySQL }
+func (dialectImpl) Name() string       { return "mysql" }
+
+func (dialectImpl) LexProfile() core.LexProfile {
+	// Backticks and '#' comments are native; [brackets] and $dollar$
+	// quoting are not.
+	return core.LexProfile{NoBracket: true}
+}
+
+func (dialectImpl) Quirks() core.Quirks {
+	// No '::' casts, no SERIAL-implies-identity, and every column carries
+	// a type.
+	return core.Quirks{NoDoubleColonCast: true, NoSerialAuto: true, NoTypeless: true}
+}
+
+func (dialectImpl) KnownType(name string) bool { return types[name] }
+
+var types = map[string]bool{
+	"bit": true, "tinyint": true, "smallint": true, "mediumint": true,
+	"int": true, "integer": true, "bigint": true, "decimal": true,
+	"numeric": true, "float": true, "double": true, "real": true,
+	"bool": true, "boolean": true, "serial": true,
+	"date": true, "datetime": true, "timestamp": true, "time": true, "year": true,
+	"char": true, "varchar": true, "binary": true, "varbinary": true,
+	"tinyblob": true, "blob": true, "mediumblob": true, "longblob": true,
+	"tinytext": true, "text": true, "mediumtext": true, "longtext": true,
+	"enum": true, "set": true, "json": true,
+	"geometry": true, "point": true, "linestring": true, "polygon": true,
+	"multipoint": true, "multilinestring": true, "multipolygon": true,
+	"geometrycollection": true,
+}

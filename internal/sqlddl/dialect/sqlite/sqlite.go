@@ -1,0 +1,39 @@
+// Package sqlite is the SQLite dialect adapter: loose typing (typeless
+// columns), backtick and [bracket] quoting both tolerated, no '#'
+// comments, no PostgreSQL casts, and SQLite's affinity-style vocabulary.
+package sqlite
+
+import core "schemaevo/internal/sqlddl"
+
+type dialectImpl struct{}
+
+// Dialect is the SQLite dialect singleton.
+var Dialect core.Dialect = dialectImpl{}
+
+func (dialectImpl) ID() core.DialectID { return core.DialectSQLite }
+func (dialectImpl) Name() string       { return "sqlite" }
+
+func (dialectImpl) LexProfile() core.LexProfile {
+	// SQLite accepts MySQL backticks and MSSQL brackets as identifier
+	// quotes, but not '#' comments or dollar quoting.
+	return core.LexProfile{NoHashComment: true}
+}
+
+func (dialectImpl) Quirks() core.Quirks {
+	// Typeless columns are native; SERIAL is just a type name here.
+	return core.Quirks{NoDoubleColonCast: true, NoSerialAuto: true}
+}
+
+func (dialectImpl) KnownType(name string) bool { return types[name] }
+
+// SQLite accepts any type name (affinity rules), but the vocabulary below
+// is what real SQLite schemas actually use; detection scores against it.
+var types = map[string]bool{
+	"int": true, "integer": true, "tinyint": true, "smallint": true,
+	"mediumint": true, "bigint": true, "unsigned": true,
+	"character": true, "varchar": true, "varying": true, "nchar": true,
+	"native": true, "nvarchar": true, "text": true, "clob": true,
+	"blob": true, "real": true, "double": true, "float": true,
+	"numeric": true, "decimal": true, "bool": true, "boolean": true,
+	"date": true, "datetime": true, "timestamp": true,
+}

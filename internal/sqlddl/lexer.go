@@ -21,14 +21,29 @@ type Lexer struct {
 	pos  int
 	line int
 	col  int
+	// prof selects the dialect's quoting and comment syntax; the zero
+	// value is the generic union above.
+	prof LexProfile
 	// scratch backs the unescaping slow path of string and quoted-identifier
 	// tokens; the common escape-free case slices src directly instead.
 	scratch []byte
 }
 
-// NewLexer returns a lexer over src.
+// NewLexer returns a lexer over src using the generic union profile.
 func NewLexer(src string) *Lexer {
 	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// NewLexerProfile returns a lexer over src with a dialect lex profile.
+func NewLexerProfile(src string, prof LexProfile) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1, prof: prof}
+}
+
+// Reset re-points the lexer at src, keeping the profile and reusing the
+// scratch buffer — re-lexing many inputs through one lexer allocates
+// nothing on the escape-free path.
+func (lx *Lexer) Reset(src string) {
+	lx.src, lx.pos, lx.line, lx.col = src, 0, 1, 1
 }
 
 // Tokenize scans the whole input and returns the token slice, terminated
@@ -79,7 +94,7 @@ func (lx *Lexer) skipSpaceAndComments() {
 			lx.advance()
 		case c == '-' && lx.peekAt(1) == '-':
 			lx.skipToEOL()
-		case c == '#':
+		case c == '#' && !lx.prof.NoHashComment:
 			lx.skipToEOL()
 		case c == '/' && lx.peekAt(1) == '*':
 			lx.advance()
@@ -123,6 +138,8 @@ func (lx *Lexer) Next() Token {
 	line, col := lx.line, lx.col
 	c := lx.peek()
 	switch {
+	case c == '$' && lx.prof.Dollar && lx.dollarQuoteAhead():
+		return lx.lexDollar(line, col)
 	case isIdentStart(c):
 		start := lx.pos
 		for lx.pos < len(lx.src) && isIdentPart(lx.peek()) {
@@ -135,9 +152,9 @@ func (lx *Lexer) Next() Token {
 		return lx.lexString(line, col)
 	case c == '"':
 		return lx.lexQuoted('"', '"', line, col)
-	case c == '`':
+	case c == '`' && !lx.prof.NoBacktick:
 		return lx.lexQuoted('`', '`', line, col)
-	case c == '[':
+	case c == '[' && !lx.prof.NoBracket:
 		return lx.lexQuoted('[', ']', line, col)
 	case c == '(':
 		lx.advance()
@@ -236,6 +253,41 @@ func (lx *Lexer) lexStringSlow(start, line, col int) Token {
 		}
 	}
 	return Token{Kind: String, Text: string(buf), Line: line, Col: col}
+}
+
+// dollarQuoteAhead reports whether the lexer is positioned at a
+// PostgreSQL dollar-quote opener: '$' [ident chars]* '$'.
+func (lx *Lexer) dollarQuoteAhead() bool {
+	j := 1
+	for isIdentPart(lx.peekAt(j)) && lx.peekAt(j) != '$' {
+		j++
+	}
+	return lx.peekAt(j) == '$'
+}
+
+// lexDollar scans a dollar-quoted string ($$...$$ or $tag$...$tag$). The
+// body needs no unescaping, so the token is always a zero-copy slice.
+func (lx *Lexer) lexDollar(line, col int) Token {
+	start := lx.pos
+	lx.advance() // opening '$'
+	for lx.peek() != '$' {
+		lx.advance()
+	}
+	lx.advance() // '$' closing the tag
+	tag := lx.src[start:lx.pos]
+	bodyStart := lx.pos
+	for lx.pos < len(lx.src) {
+		if lx.src[lx.pos] == '$' && strings.HasPrefix(lx.src[lx.pos:], tag) {
+			text := lx.src[bodyStart:lx.pos]
+			for range len(tag) {
+				lx.advance()
+			}
+			return Token{Kind: String, Text: text, Line: line, Col: col}
+		}
+		lx.advance()
+	}
+	// Unterminated dollar quote: the rest of the input is the body.
+	return Token{Kind: String, Text: lx.src[bodyStart:], Line: line, Col: col}
 }
 
 func (lx *Lexer) lexQuoted(open, close byte, line, col int) Token {

@@ -23,6 +23,16 @@ func Parse(src string) *Script {
 	return s.ParseScript(src)
 }
 
+// ParseWith parses a DDL script under a specific dialect. Like Parse it
+// never returns an error; dialect-foreign constructs surface as
+// per-statement entries in Script.Errors.
+func ParseWith(d Dialect, src string) *Script {
+	s := AcquireSession()
+	defer ReleaseSession(s)
+	s.SetDialect(d)
+	return s.ParseScript(src)
+}
+
 // ParseStatement parses a single statement (no trailing semicolon
 // required). It returns a nil Statement for empty input.
 func ParseStatement(text string) (Statement, error) {
@@ -52,6 +62,9 @@ type parser struct {
 	pos     int
 	stmtIdx int
 	text    string
+	// q holds the session dialect's parse quirks, copied once per
+	// statement so the hot path never dispatches through the interface.
+	q Quirks
 	// pending accumulates extra alterations produced while parsing one
 	// action (MySQL "ADD (c1 t1, c2 t2)" grouped adds).
 	pending []Alteration
@@ -67,6 +80,7 @@ func (p *parser) reset(s *Session, toks []Token, idx int, text string) {
 	p.pos = 0
 	p.stmtIdx = idx
 	p.text = text
+	p.q = s.quirks
 	p.pending = p.pending[:0]
 }
 
@@ -526,10 +540,22 @@ func (p *parser) parseType() string {
 		buf = appendLowerIdent(buf, p.next().Text)
 	}
 	// Array suffix: "integer[]" lexes the empty brackets as an empty
-	// quoted identifier; "integer ARRAY" is the spelled-out form.
-	for p.cur().Kind == QuotedIdent && p.cur().Text == "" {
-		p.next()
-		buf = append(buf, " array"...)
+	// quoted identifier — or, under a profile without bracket quoting
+	// (PostgreSQL), as two operator tokens; "integer ARRAY" is the
+	// spelled-out form. All three render as the same type spelling.
+	for {
+		if p.cur().Kind == QuotedIdent && p.cur().Text == "" {
+			p.next()
+			buf = append(buf, " array"...)
+			continue
+		}
+		if p.cur().Kind == Op && p.cur().Text == "[" && p.peek().Kind == Op && p.peek().Text == "]" {
+			p.next()
+			p.next()
+			buf = append(buf, " array"...)
+			continue
+		}
+		break
 	}
 	if p.accept("array") {
 		buf = append(buf, " array"...)
@@ -632,13 +658,13 @@ var serialTypes = map[string]bool{"serial": true, "bigserial": true, "smallseria
 func (p *parser) parseColumnDef() ColumnDef {
 	var col ColumnDef
 	col.Name = p.ident()
-	if !p.cur().IsIdent() || p.constraintKeyword(p.cur()) || p.cur().Match("unique") {
+	if !p.q.NoTypeless && (!p.cur().IsIdent() || p.constraintKeyword(p.cur()) || p.cur().Match("unique")) {
 		// SQLite allows typeless columns ("id PRIMARY KEY").
 		col.Type = ""
 	} else {
 		col.Type = p.parseType()
 	}
-	if serialTypes[col.Type] {
+	if !p.q.NoSerialAuto && serialTypes[col.Type] {
 		col.AutoIncrement = true
 		col.NotNull = true
 	}
@@ -764,7 +790,7 @@ func (p *parser) parseDefaultExpr() string {
 	default:
 		p.fail("expected default expression")
 	}
-	for p.cur().Kind == Op && p.cur().Text == "::" {
+	for !p.q.NoDoubleColonCast && p.cur().Kind == Op && p.cur().Text == "::" {
 		p.next()
 		sb.WriteString("::")
 		// The default expression is stored (and re-rendered) as text, so

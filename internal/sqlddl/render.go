@@ -39,10 +39,23 @@ func RenderScript(s *Script) string {
 	return sb.String()
 }
 
-// renderIdent quotes identifiers that are not plain lower-case names, so
-// the parser's normalization (lower-casing unquoted names) is a no-op on
-// re-parse.
+// constraintLeaders are the contextual keywords that can open a
+// table-level constraint inside CREATE TABLE. A column or table named
+// after one of them must render quoted, or the re-parse would take the
+// constraint branch (e.g. an unquoted column "key" reads as a MySQL
+// secondary-index definition).
+var constraintLeaders = map[string]bool{
+	"constraint": true, "primary": true, "foreign": true, "unique": true,
+	"key": true, "index": true, "check": true, "exclude": true,
+}
+
+// renderIdent quotes identifiers that are not plain lower-case names (so
+// the parser's normalization — lower-casing unquoted names — is a no-op
+// on re-parse) and names that collide with constraint keywords.
 func renderIdent(name string) string {
+	if constraintLeaders[name] {
+		return `"` + name + `"`
+	}
 	plain := name != ""
 	for i := 0; i < len(name) && plain; i++ {
 		c := name[i]

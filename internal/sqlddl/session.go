@@ -48,6 +48,13 @@ type Session struct {
 	interned map[string]string
 	stmts    map[string]cachedStmt
 
+	// dialectID, prof and quirks are the active dialect's behavior,
+	// flattened out of the Dialect interface so the lexer and parser hot
+	// paths read plain struct fields. Zero values = generic union.
+	dialectID DialectID
+	prof      LexProfile
+	quirks    Quirks
+
 	lx    Lexer
 	toks  []Token
 	ends  []int // ends[i] is the byte offset just past token i
@@ -72,9 +79,29 @@ func AcquireSession() *Session { return sessionPool.Get().(*Session) }
 // the pool. Statements previously returned remain valid; they are simply
 // no longer cached.
 func ReleaseSession(s *Session) {
+	s.dialectID, s.prof, s.quirks = DialectGeneric, LexProfile{}, Quirks{}
 	s.ClearCache()
 	sessionPool.Put(s)
 }
+
+// SetDialect switches the session to d (nil means Generic). Memoized
+// statement ASTs are dialect-dependent, so changing the dialect drops the
+// statement cache; setting the dialect the session already uses is free.
+func (s *Session) SetDialect(d Dialect) {
+	if d == nil {
+		d = Generic
+	}
+	if d.ID() == s.dialectID {
+		return
+	}
+	s.dialectID = d.ID()
+	s.prof = d.LexProfile()
+	s.quirks = d.Quirks()
+	clear(s.stmts)
+}
+
+// DialectID returns the session's active dialect.
+func (s *Session) DialectID() DialectID { return s.dialectID }
 
 // ClearCache drops the per-statement parse cache (whose keys alias the
 // parsed source) and, when the intern table has grown past its bound, the
@@ -153,7 +180,7 @@ func (s *Session) internLower(t string) string {
 // it had already lexed), token positions are script-relative.
 func (s *Session) ParseUnits(src string, buf []Unit) []Unit {
 	units := buf[:0]
-	s.lx = Lexer{src: src, line: 1, col: 1, scratch: s.lx.scratch}
+	s.lx = Lexer{src: src, line: 1, col: 1, prof: s.prof, scratch: s.lx.scratch}
 	toks, ends := s.toks[:0], s.ends[:0]
 	for {
 		t := s.lx.Next()

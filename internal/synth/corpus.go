@@ -100,6 +100,24 @@ func randomStart(rng *rand.Rand) time.Time {
 // DDL commit history; derived fields are not yet computed (call
 // Corpus.Analyze).
 func PaperCorpus(seed int64) (*corpus.Corpus, error) {
+	return PaperCorpusDialect(seed, "")
+}
+
+// PaperCorpusDialect is PaperCorpus with every project's DDL rendered in
+// the named SQL dialect ("" or "generic" keeps the neutral rendering).
+// The flavor changes only the SQL surface text: the RNG consumption,
+// commit schedule and logical schemas are identical to the generic
+// corpus of the same seed, so measures and pattern assignments match
+// project-for-project across dialects.
+func PaperCorpusDialect(seed int64, dialectName string) (*corpus.Corpus, error) {
+	flavor, ok := FlavorByName(dialectName)
+	if !ok {
+		return nil, fmt.Errorf("synth: unknown dialect %q", dialectName)
+	}
+	dialectTag := ""
+	if flavor != FlavorGeneric {
+		dialectTag = flavor.String()
+	}
 	rng := rand.New(rand.NewSource(seed))
 	scheme := quantize.DefaultScheme()
 	c := &corpus.Corpus{}
@@ -118,7 +136,7 @@ func PaperCorpus(seed int64) (*corpus.Corpus, error) {
 			if rng.Float64() < 0.3 {
 				style = MigrationScript
 			}
-			repo, err := RealizeStyled(sched, name, randomStart(rng), rng, style)
+			repo, err := RealizeFlavored(sched, name, randomStart(rng), rng, style, flavor)
 			if err != nil {
 				return nil, fmt.Errorf("synth: %s: %w", name, err)
 			}
@@ -126,6 +144,7 @@ func PaperCorpus(seed int64) (*corpus.Corpus, error) {
 				Name:        name,
 				Repo:        repo,
 				GroundTruth: sp.pattern,
+				Dialect:     dialectTag,
 			})
 			idx++
 		}

@@ -17,6 +17,49 @@ var typePalette = []string{
 	"timestamp", "date", "bool", "double", "numeric(10,2)", "blob", "char(1)",
 }
 
+// Flavor selects the SQL dialect the generated DDL text is written in.
+// Flavors change only the surface syntax — identifier quoting, dump
+// headers, engine clauses, the auto-increment spelling — never the
+// logical schema or the per-month attribute costs: every flavor of the
+// same seed yields identical heartbeats, measures and patterns. The
+// cross-dialect experiment table leans on exactly that invariance.
+type Flavor int
+
+const (
+	FlavorGeneric Flavor = iota
+	FlavorMySQL
+	FlavorPostgres
+	FlavorSQLite
+)
+
+func (f Flavor) String() string {
+	switch f {
+	case FlavorMySQL:
+		return "mysql"
+	case FlavorPostgres:
+		return "postgres"
+	case FlavorSQLite:
+		return "sqlite"
+	}
+	return "generic"
+}
+
+// FlavorByName resolves a dialect name ("" and "generic" both select the
+// generic flavor).
+func FlavorByName(name string) (Flavor, bool) {
+	switch name {
+	case "", "generic":
+		return FlavorGeneric, true
+	case "mysql":
+		return FlavorMySQL, true
+	case "postgres":
+		return FlavorPostgres, true
+	case "sqlite":
+		return FlavorSQLite, true
+	}
+	return FlavorGeneric, false
+}
+
 type genCol struct {
 	name string
 	typ  string
@@ -43,6 +86,7 @@ type genTable struct {
 // measure between the month's snapshots.
 type builder struct {
 	rng       *rand.Rand
+	flavor    Flavor
 	tables    []*genTable
 	nextTable int
 	nextCol   int
@@ -62,6 +106,35 @@ func (b *builder) logMigration(format string, args ...any) {
 	if b.recordMigrations {
 		b.migrations = append(b.migrations, fmt.Sprintf(format, args...))
 	}
+}
+
+// q renders an identifier in the flavor's quoting style. Quoting is
+// logically invisible (the parser unquotes back to the same name), so it
+// never perturbs the diff costs — it only feeds dialect detection.
+func (b *builder) q(name string) string {
+	if b.flavor == FlavorMySQL {
+		return "`" + name + "`"
+	}
+	return name
+}
+
+// colDef renders one column definition. The PostgreSQL pk spelling is
+// "serial" and the MySQL one carries AUTO_INCREMENT; both are constant
+// across every version of a repo, so no cross-version delta ever sees
+// them.
+func (b *builder) colDef(c *genCol) string {
+	typ := c.typ
+	if c.pk && b.flavor == FlavorPostgres {
+		typ = "serial"
+	}
+	def := b.q(c.name) + " " + typ
+	if c.pk {
+		def += " NOT NULL"
+		if b.flavor == FlavorMySQL {
+			def += " AUTO_INCREMENT"
+		}
+	}
+	return def
 }
 
 func (b *builder) newColName() string {
@@ -86,14 +159,10 @@ func (b *builder) addTable(month, k int) {
 	if b.recordMigrations {
 		var cols []string
 		for _, c := range t.cols {
-			def := c.name + " " + c.typ
-			if c.pk {
-				def += " NOT NULL"
-			}
-			cols = append(cols, def)
+			cols = append(cols, b.colDef(c))
 		}
 		b.logMigration("CREATE TABLE %s (%s, PRIMARY KEY (%s));",
-			t.name, strings.Join(cols, ", "), t.cols[0].name)
+			b.q(t.name), strings.Join(cols, ", "), b.q(t.cols[0].name))
 	}
 }
 
@@ -108,7 +177,7 @@ func (b *builder) inject(month int) {
 	c := &genCol{name: b.newColName(), typ: b.pickType(), born: month, touched: month}
 	t.cols = append(t.cols, c)
 	t.touched = month
-	b.logMigration("ALTER TABLE %s ADD COLUMN %s %s;", t.name, c.name, c.typ)
+	b.logMigration("ALTER TABLE %s ADD COLUMN %s %s;", b.q(t.name), b.q(c.name), c.typ)
 }
 
 // plainCols returns maintenance-eligible columns of t: no key role, born
@@ -157,7 +226,7 @@ func (b *builder) eject(month int) bool {
 		}
 	}
 	t.touched = month
-	b.logMigration("ALTER TABLE %s DROP COLUMN %s;", t.name, c.name)
+	b.logMigration("ALTER TABLE %s DROP COLUMN %s;", b.q(t.name), b.q(c.name))
 	return true
 }
 
@@ -178,7 +247,7 @@ func (b *builder) changeType(month int) bool {
 	// Mark the table too: a same-month drop would swallow this change
 	// and break the exact-cost accounting.
 	t.touched = month
-	b.logMigration("ALTER TABLE %s MODIFY COLUMN %s %s;", t.name, c.name, c.typ)
+	b.logMigration("ALTER TABLE %s MODIFY COLUMN %s %s;", b.q(t.name), b.q(c.name), c.typ)
 	return true
 }
 
@@ -208,7 +277,7 @@ func (b *builder) addFK(month int) bool {
 	t.touched = month // protect from a same-month drop (exact costs)
 	ref.inbound++
 	b.logMigration("ALTER TABLE %s ADD FOREIGN KEY (%s) REFERENCES %s (%s);",
-		t.name, c.name, ref.name, c.fkRefCol)
+		b.q(t.name), b.q(c.name), b.q(ref.name), b.q(c.fkRefCol))
 	return true
 }
 
@@ -239,7 +308,7 @@ func (b *builder) dropTable(month, maxCost int) int {
 		}
 		cost := len(t.cols)
 		b.tables = append(b.tables[:idx], b.tables[idx+1:]...)
-		b.logMigration("DROP TABLE %s;", t.name)
+		b.logMigration("DROP TABLE %s;", b.q(t.name))
 		return cost
 	}
 	return 0
@@ -305,41 +374,70 @@ func (b *builder) realizeMonth(month, budget int, expShare float64) {
 // attribute-level diff.
 func (b *builder) Dump() string {
 	var sb strings.Builder
-	sb.WriteString("-- generated schema snapshot\n")
-	sb.WriteString("SET NAMES utf8;\n")
+	sb.WriteString(b.dumpHeader())
 	for _, t := range b.tables {
-		fmt.Fprintf(&sb, "CREATE TABLE %s (\n", t.name)
+		fmt.Fprintf(&sb, "CREATE TABLE %s (\n", b.q(t.name))
 		for i, c := range t.cols {
 			if i > 0 {
 				sb.WriteString(",\n")
 			}
-			fmt.Fprintf(&sb, "  %s %s", c.name, c.typ)
-			if c.pk {
-				sb.WriteString(" NOT NULL")
-			}
+			sb.WriteString("  ")
+			sb.WriteString(b.colDef(c))
 		}
 		for _, c := range t.cols {
 			if c.pk {
-				fmt.Fprintf(&sb, ",\n  PRIMARY KEY (%s)", c.name)
+				fmt.Fprintf(&sb, ",\n  PRIMARY KEY (%s)", b.q(c.name))
 			}
 		}
 		for _, c := range t.cols {
 			if c.fk != "" {
-				fmt.Fprintf(&sb, ",\n  FOREIGN KEY (%s) REFERENCES %s (%s)", c.name, c.fk, c.fkRefCol)
+				fmt.Fprintf(&sb, ",\n  FOREIGN KEY (%s) REFERENCES %s (%s)", b.q(c.name), b.q(c.fk), b.q(c.fkRefCol))
 			}
 		}
-		sb.WriteString("\n);\n\n")
+		if b.flavor == FlavorMySQL {
+			sb.WriteString("\n) ENGINE=InnoDB DEFAULT CHARSET=utf8mb4;\n\n")
+		} else {
+			sb.WriteString("\n);\n\n")
+		}
 		// Every fourth table carries a secondary index on its last
 		// column, as real dumps do.
 		if len(t.cols) > 1 && b.nextTable%4 == 0 {
 			last := t.cols[len(t.cols)-1]
-			fmt.Fprintf(&sb, "CREATE INDEX idx_%s_%s ON %s (%s);\n\n", t.name, last.name, t.name, last.name)
+			fmt.Fprintf(&sb, "CREATE INDEX idx_%s_%s ON %s (%s);\n\n", t.name, last.name, b.q(t.name), b.q(last.name))
 		}
 	}
 	if len(b.tables) > 2 {
-		fmt.Fprintf(&sb, "CREATE VIEW v_overview AS SELECT * FROM %s;\n", b.tables[0].name)
+		fmt.Fprintf(&sb, "CREATE VIEW v_overview AS SELECT * FROM %s;\n", b.q(b.tables[0].name))
 	}
 	return sb.String()
+}
+
+// dumpHeader renders the flavor's dump preamble: the schema-neutral noise
+// real dumps open with, and — for the concrete flavors — an unmistakable
+// detection signal ('#' comment, search_path, PRAGMA).
+func (b *builder) dumpHeader() string {
+	switch b.flavor {
+	case FlavorMySQL:
+		return "# generated schema snapshot (MySQL dump)\nSET NAMES utf8mb4;\n"
+	case FlavorPostgres:
+		return "-- generated schema snapshot (PostgreSQL dump)\nSET search_path = public;\n"
+	case FlavorSQLite:
+		return "-- generated schema snapshot (SQLite dump)\nPRAGMA foreign_keys = ON;\n"
+	}
+	return "-- generated schema snapshot\nSET NAMES utf8;\n"
+}
+
+// migrationHeader is dumpHeader's counterpart for migration-script mode.
+func (b *builder) migrationHeader() string {
+	switch b.flavor {
+	case FlavorMySQL:
+		return "# migration script (MySQL)\n"
+	case FlavorPostgres:
+		return "-- migration script (PostgreSQL)\nSET search_path = public;\n"
+	case FlavorSQLite:
+		return "-- migration script (SQLite)\nPRAGMA foreign_keys = ON;\n"
+	}
+	return "-- migration script\n"
 }
 
 // Style selects how schema commits encode the schema file.
@@ -368,7 +466,16 @@ func Realize(s *Schedule, name string, start time.Time, rng *rand.Rand) (*vcs.Re
 // rebuilds each version's logical schema either way); they differ only in
 // the SQL text the parser must chew through.
 func RealizeStyled(s *Schedule, name string, start time.Time, rng *rand.Rand, style Style) (*vcs.Repo, error) {
+	return RealizeFlavored(s, name, start, rng, style, FlavorGeneric)
+}
+
+// RealizeFlavored is RealizeStyled with an explicit SQL flavor. The
+// flavor restyles the DDL text only (quoting, headers, engine clauses);
+// the commit schedule and every logical schema are those of the generic
+// rendering, so measures and patterns are flavor-invariant per seed.
+func RealizeFlavored(s *Schedule, name string, start time.Time, rng *rand.Rand, style Style, flavor Flavor) (*vcs.Repo, error) {
 	b := newBuilder(rng)
+	b.flavor = flavor
 	b.recordMigrations = style == MigrationScript
 	repo := &vcs.Repo{Name: name}
 	commitSeq := 0
@@ -392,7 +499,7 @@ func RealizeStyled(s *Schedule, name string, start time.Time, rng *rand.Rand, st
 			b.realizeMonth(m, s.Monthly[m], s.ExpShare)
 			content := b.Dump()
 			if style == MigrationScript {
-				content = "-- migration script\n" + strings.Join(b.migrations, "\n") + "\n"
+				content = b.migrationHeader() + strings.Join(b.migrations, "\n") + "\n"
 			}
 			addCommit(vcs.Commit{
 				Time:    monthStart.AddDate(0, 0, 14),

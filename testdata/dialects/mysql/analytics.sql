@@ -1,0 +1,22 @@
+# Event analytics rollups.
+CREATE TABLE `events` (
+  `id` bigint unsigned NOT NULL AUTO_INCREMENT,
+  `kind` varchar(48) NOT NULL,
+  `payload` json DEFAULT NULL,
+  `client_ip` int unsigned zerofill DEFAULT NULL,
+  `happened` datetime(6) NOT NULL,
+  PRIMARY KEY (`id`),
+  KEY `idx_kind_time` (`kind`, `happened`)
+) ENGINE=InnoDB DEFAULT CHARSET=utf8mb4 COLLATE=utf8mb4_unicode_ci;
+
+CREATE TABLE `rollups_daily` (
+  `day` date NOT NULL,
+  `kind` varchar(48) NOT NULL,
+  `hits` bigint unsigned NOT NULL DEFAULT 0,
+  `uniques` int unsigned NOT NULL DEFAULT 0,
+  PRIMARY KEY (`day`, `kind`)
+) ENGINE=InnoDB;
+
+ALTER TABLE `rollups_daily` ADD COLUMN `p95_ms` float DEFAULT NULL;
+ALTER TABLE `events` ADD INDEX `idx_payload_kind` (`kind`);
+CREATE INDEX `idx_day` ON `rollups_daily` (`day`);

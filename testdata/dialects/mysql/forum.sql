@@ -1,0 +1,43 @@
+# Forum schema dump, mysqldump style.
+# Host: localhost    Database: forum
+SET NAMES utf8mb4;
+
+DROP TABLE IF EXISTS `users`;
+CREATE TABLE `users` (
+  `id` int(10) unsigned NOT NULL AUTO_INCREMENT,
+  `login` varchar(60) NOT NULL DEFAULT '',
+  `email` varchar(100) NOT NULL,
+  `status` enum('active','banned','ghost') NOT NULL DEFAULT 'active',
+  `signature` mediumtext,
+  `registered_at` datetime NOT NULL,
+  PRIMARY KEY (`id`),
+  UNIQUE KEY `login` (`login`),
+  KEY `idx_email` (`email`)
+) ENGINE=InnoDB AUTO_INCREMENT=1001 DEFAULT CHARSET=utf8mb4;
+
+DROP TABLE IF EXISTS `topics`;
+CREATE TABLE `topics` (
+  `id` int(10) unsigned NOT NULL AUTO_INCREMENT,
+  `forum_id` smallint(5) unsigned NOT NULL DEFAULT 1,
+  `subject` varchar(255) NOT NULL,
+  `num_replies` mediumint(8) unsigned NOT NULL DEFAULT 0,
+  `last_post` timestamp NOT NULL DEFAULT CURRENT_TIMESTAMP ON UPDATE CURRENT_TIMESTAMP,
+  `sticky` tinyint(1) NOT NULL DEFAULT 0,
+  PRIMARY KEY (`id`),
+  KEY `idx_forum` (`forum_id`, `last_post`)
+) ENGINE=MyISAM DEFAULT CHARSET=utf8mb4;
+
+CREATE TABLE `posts` (
+  `id` bigint(20) unsigned NOT NULL AUTO_INCREMENT,
+  `topic_id` int(10) unsigned NOT NULL,
+  `poster_id` int(10) unsigned NOT NULL,
+  `message` longtext NOT NULL,
+  `posted` datetime NOT NULL,
+  `edited` datetime DEFAULT NULL,
+  PRIMARY KEY (`id`),
+  KEY `idx_topic` (`topic_id`),
+  CONSTRAINT `fk_posts_topic` FOREIGN KEY (`topic_id`) REFERENCES `topics` (`id`) ON DELETE CASCADE
+) ENGINE=InnoDB DEFAULT CHARSET=utf8mb4;
+
+ALTER TABLE `users` ADD COLUMN `karma` int(11) NOT NULL DEFAULT 0 AFTER `status`;
+ALTER TABLE `posts` ADD FULLTEXT KEY `ft_message` (`message`);

@@ -1,0 +1,25 @@
+# Inventory tracking, hand-written migration file.
+CREATE TABLE `warehouses` (
+  `id` smallint unsigned NOT NULL AUTO_INCREMENT,
+  `code` char(4) NOT NULL,
+  `region` varchar(40) NOT NULL DEFAULT 'EU',
+  PRIMARY KEY (`id`),
+  UNIQUE KEY `uq_code` (`code`)
+) ENGINE=InnoDB;
+
+CREATE TABLE `items` (
+  `id` bigint unsigned NOT NULL AUTO_INCREMENT,
+  `warehouse_id` smallint unsigned NOT NULL,
+  `sku` varchar(32) NOT NULL,
+  `qty` int NOT NULL DEFAULT 0,
+  `unit_price` decimal(12,4) NOT NULL DEFAULT 0.0000,
+  `flags` set('fragile','bulky','cold') DEFAULT NULL,
+  `updated_at` timestamp NOT NULL DEFAULT CURRENT_TIMESTAMP,
+  PRIMARY KEY (`id`),
+  KEY `idx_wh_sku` (`warehouse_id`, `sku`(8)),
+  CONSTRAINT `fk_items_wh` FOREIGN KEY (`warehouse_id`) REFERENCES `warehouses` (`id`)
+) ENGINE=InnoDB ROW_FORMAT=DYNAMIC;
+
+ALTER TABLE `items` MODIFY COLUMN `qty` bigint NOT NULL DEFAULT 0;
+ALTER TABLE `items` ADD `reserved` int unsigned NOT NULL DEFAULT 0, ADD `lot` varchar(16) DEFAULT NULL;
+ALTER TABLE `items` CHANGE COLUMN `flags` `handling_flags` set('fragile','bulky','cold') DEFAULT NULL;

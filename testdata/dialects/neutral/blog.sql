@@ -1,0 +1,96 @@
+-- Dialect-neutral history: a small blog schema growing over four
+-- versions. Uses only syntax every supported dialect accepts, so all
+-- adapters must analyze it byte-identically (differential harness).
+CREATE TABLE users (
+  id INTEGER NOT NULL,
+  email VARCHAR(255) NOT NULL,
+  created_at TIMESTAMP,
+  PRIMARY KEY (id)
+);
+
+CREATE TABLE posts (
+  id INTEGER NOT NULL,
+  author_id INTEGER NOT NULL,
+  title VARCHAR(200) NOT NULL,
+  body TEXT,
+  PRIMARY KEY (id),
+  FOREIGN KEY (author_id) REFERENCES users (id)
+);
+-- @version
+CREATE TABLE users (
+  id INTEGER NOT NULL,
+  email VARCHAR(255) NOT NULL,
+  display_name VARCHAR(80),
+  created_at TIMESTAMP,
+  PRIMARY KEY (id)
+);
+
+CREATE TABLE posts (
+  id INTEGER NOT NULL,
+  author_id INTEGER NOT NULL,
+  title VARCHAR(200) NOT NULL,
+  body TEXT,
+  published SMALLINT NOT NULL DEFAULT 0,
+  PRIMARY KEY (id),
+  FOREIGN KEY (author_id) REFERENCES users (id)
+);
+
+CREATE TABLE comments (
+  id INTEGER NOT NULL,
+  post_id INTEGER NOT NULL,
+  body TEXT NOT NULL,
+  PRIMARY KEY (id),
+  FOREIGN KEY (post_id) REFERENCES posts (id)
+);
+-- @version
+CREATE TABLE users (
+  id INTEGER NOT NULL,
+  email VARCHAR(255) NOT NULL,
+  display_name VARCHAR(120),
+  created_at TIMESTAMP,
+  PRIMARY KEY (id)
+);
+
+CREATE TABLE posts (
+  id INTEGER NOT NULL,
+  author_id INTEGER NOT NULL,
+  title VARCHAR(200) NOT NULL,
+  body TEXT,
+  published SMALLINT NOT NULL DEFAULT 0,
+  slug VARCHAR(200),
+  PRIMARY KEY (id),
+  FOREIGN KEY (author_id) REFERENCES users (id)
+);
+
+CREATE TABLE comments (
+  id INTEGER NOT NULL,
+  post_id INTEGER NOT NULL,
+  author_email VARCHAR(255),
+  body TEXT NOT NULL,
+  PRIMARY KEY (id),
+  FOREIGN KEY (post_id) REFERENCES posts (id)
+);
+
+CREATE INDEX idx_posts_slug ON posts (slug);
+-- @version
+CREATE TABLE users (
+  id INTEGER NOT NULL,
+  email VARCHAR(255) NOT NULL,
+  display_name VARCHAR(120),
+  created_at TIMESTAMP,
+  PRIMARY KEY (id)
+);
+
+CREATE TABLE posts (
+  id INTEGER NOT NULL,
+  author_id INTEGER NOT NULL,
+  title VARCHAR(200) NOT NULL,
+  body TEXT,
+  published SMALLINT NOT NULL DEFAULT 0,
+  slug VARCHAR(200),
+  view_count BIGINT NOT NULL DEFAULT 0,
+  PRIMARY KEY (id),
+  FOREIGN KEY (author_id) REFERENCES users (id)
+);
+
+CREATE INDEX idx_posts_slug ON posts (slug);

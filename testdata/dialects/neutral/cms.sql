@@ -1,0 +1,68 @@
+/* Dialect-neutral history exercising quoted identifiers, views,
+   type changes, table drops and multi-action ALTERs. */
+CREATE TABLE "Pages" (
+  id INTEGER NOT NULL,
+  "Title" VARCHAR(150) NOT NULL,
+  body TEXT,
+  PRIMARY KEY (id)
+);
+
+CREATE TABLE assets (
+  id INTEGER NOT NULL,
+  page_id INTEGER,
+  path VARCHAR(255) NOT NULL,
+  bytes BIGINT,
+  PRIMARY KEY (id),
+  FOREIGN KEY (page_id) REFERENCES "Pages" (id)
+);
+
+CREATE VIEW page_titles AS SELECT id, "Title" FROM "Pages";
+-- @version
+CREATE TABLE "Pages" (
+  id INTEGER NOT NULL,
+  "Title" VARCHAR(150) NOT NULL,
+  body TEXT,
+  revision INTEGER NOT NULL DEFAULT 1,
+  PRIMARY KEY (id)
+);
+
+CREATE TABLE assets (
+  id INTEGER NOT NULL,
+  page_id INTEGER,
+  path VARCHAR(255) NOT NULL,
+  bytes BIGINT,
+  checksum CHAR(40),
+  PRIMARY KEY (id),
+  FOREIGN KEY (page_id) REFERENCES "Pages" (id)
+);
+
+CREATE TABLE drafts (
+  id INTEGER NOT NULL,
+  page_id INTEGER NOT NULL,
+  body TEXT,
+  PRIMARY KEY (id)
+);
+
+CREATE VIEW page_titles AS SELECT id, "Title" FROM "Pages";
+-- @version
+CREATE TABLE "Pages" (
+  id INTEGER NOT NULL,
+  "Title" VARCHAR(150) NOT NULL,
+  body TEXT,
+  revision BIGINT NOT NULL DEFAULT 1,
+  PRIMARY KEY (id)
+);
+
+CREATE TABLE assets (
+  id INTEGER NOT NULL,
+  page_id INTEGER,
+  path VARCHAR(255) NOT NULL,
+  bytes BIGINT,
+  checksum CHAR(40),
+  PRIMARY KEY (id),
+  FOREIGN KEY (page_id) REFERENCES "Pages" (id)
+);
+
+CREATE VIEW page_titles AS SELECT id, "Title" FROM "Pages";
+
+ALTER TABLE assets ADD COLUMN mime VARCHAR(60), ADD COLUMN width INTEGER;

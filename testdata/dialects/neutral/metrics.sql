@@ -1,0 +1,60 @@
+-- Dialect-neutral history exercising numeric type spellings, NOT NULL
+-- promotion, default changes and composite keys.
+CREATE TABLE samples (
+  series_id INTEGER NOT NULL,
+  at TIMESTAMP NOT NULL,
+  value DOUBLE PRECISION,
+  PRIMARY KEY (series_id, at)
+);
+
+CREATE TABLE series (
+  id INTEGER NOT NULL,
+  name VARCHAR(120) NOT NULL,
+  unit VARCHAR(16) DEFAULT 'count',
+  PRIMARY KEY (id),
+  UNIQUE (name)
+);
+-- @version
+CREATE TABLE samples (
+  series_id INTEGER NOT NULL,
+  at TIMESTAMP NOT NULL,
+  value DOUBLE PRECISION NOT NULL,
+  quality SMALLINT DEFAULT 100,
+  PRIMARY KEY (series_id, at)
+);
+
+CREATE TABLE series (
+  id INTEGER NOT NULL,
+  name VARCHAR(120) NOT NULL,
+  unit VARCHAR(16) DEFAULT 'count',
+  description TEXT,
+  PRIMARY KEY (id),
+  UNIQUE (name)
+);
+-- @version
+CREATE TABLE samples (
+  series_id INTEGER NOT NULL,
+  at TIMESTAMP NOT NULL,
+  value REAL NOT NULL,
+  quality SMALLINT DEFAULT 100,
+  PRIMARY KEY (series_id, at)
+);
+
+CREATE TABLE series (
+  id INTEGER NOT NULL,
+  name VARCHAR(120) NOT NULL,
+  unit VARCHAR(16) DEFAULT 'count',
+  description TEXT,
+  retention_days INTEGER NOT NULL DEFAULT -1,
+  PRIMARY KEY (id),
+  UNIQUE (name)
+);
+
+CREATE TABLE annotations (
+  id INTEGER NOT NULL,
+  series_id INTEGER NOT NULL,
+  at TIMESTAMP NOT NULL,
+  note VARCHAR(255) NOT NULL DEFAULT '',
+  PRIMARY KEY (id),
+  FOREIGN KEY (series_id) REFERENCES series (id)
+);

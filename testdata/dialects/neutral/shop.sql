@@ -1,0 +1,110 @@
+-- Dialect-neutral history in migration-script style: each version
+-- appends ALTER/CREATE statements to the previous file content.
+CREATE TABLE products (
+  id INTEGER NOT NULL,
+  sku CHAR(12) NOT NULL,
+  name VARCHAR(160) NOT NULL,
+  price NUMERIC(10, 2) NOT NULL DEFAULT 0.00,
+  PRIMARY KEY (id),
+  UNIQUE (sku)
+);
+
+CREATE TABLE orders (
+  id INTEGER NOT NULL,
+  product_id INTEGER NOT NULL,
+  quantity INTEGER NOT NULL DEFAULT 1,
+  placed_at TIMESTAMP,
+  PRIMARY KEY (id),
+  CONSTRAINT fk_orders_product FOREIGN KEY (product_id) REFERENCES products (id)
+);
+-- @version
+CREATE TABLE products (
+  id INTEGER NOT NULL,
+  sku CHAR(12) NOT NULL,
+  name VARCHAR(160) NOT NULL,
+  price NUMERIC(10, 2) NOT NULL DEFAULT 0.00,
+  PRIMARY KEY (id),
+  UNIQUE (sku)
+);
+
+CREATE TABLE orders (
+  id INTEGER NOT NULL,
+  product_id INTEGER NOT NULL,
+  quantity INTEGER NOT NULL DEFAULT 1,
+  placed_at TIMESTAMP,
+  PRIMARY KEY (id),
+  CONSTRAINT fk_orders_product FOREIGN KEY (product_id) REFERENCES products (id)
+);
+
+ALTER TABLE products ADD COLUMN weight_grams INTEGER;
+ALTER TABLE orders ADD COLUMN status VARCHAR(20) NOT NULL DEFAULT 'new';
+-- @version
+CREATE TABLE products (
+  id INTEGER NOT NULL,
+  sku CHAR(12) NOT NULL,
+  name VARCHAR(160) NOT NULL,
+  price NUMERIC(10, 2) NOT NULL DEFAULT 0.00,
+  PRIMARY KEY (id),
+  UNIQUE (sku)
+);
+
+CREATE TABLE orders (
+  id INTEGER NOT NULL,
+  product_id INTEGER NOT NULL,
+  quantity INTEGER NOT NULL DEFAULT 1,
+  placed_at TIMESTAMP,
+  PRIMARY KEY (id),
+  CONSTRAINT fk_orders_product FOREIGN KEY (product_id) REFERENCES products (id)
+);
+
+ALTER TABLE products ADD COLUMN weight_grams INTEGER;
+ALTER TABLE orders ADD COLUMN status VARCHAR(20) NOT NULL DEFAULT 'new';
+
+CREATE TABLE shipments (
+  id INTEGER NOT NULL,
+  order_id INTEGER NOT NULL,
+  carrier VARCHAR(40),
+  shipped_on DATE,
+  PRIMARY KEY (id),
+  FOREIGN KEY (order_id) REFERENCES orders (id)
+);
+
+ALTER TABLE products DROP COLUMN weight_grams;
+ALTER TABLE orders ALTER COLUMN quantity SET DEFAULT 0;
+-- @version
+CREATE TABLE products (
+  id INTEGER NOT NULL,
+  sku CHAR(12) NOT NULL,
+  name VARCHAR(160) NOT NULL,
+  price NUMERIC(10, 2) NOT NULL DEFAULT 0.00,
+  PRIMARY KEY (id),
+  UNIQUE (sku)
+);
+
+CREATE TABLE orders (
+  id INTEGER NOT NULL,
+  product_id INTEGER NOT NULL,
+  quantity INTEGER NOT NULL DEFAULT 1,
+  placed_at TIMESTAMP,
+  PRIMARY KEY (id),
+  CONSTRAINT fk_orders_product FOREIGN KEY (product_id) REFERENCES products (id)
+);
+
+ALTER TABLE products ADD COLUMN weight_grams INTEGER;
+ALTER TABLE orders ADD COLUMN status VARCHAR(20) NOT NULL DEFAULT 'new';
+
+CREATE TABLE shipments (
+  id INTEGER NOT NULL,
+  order_id INTEGER NOT NULL,
+  carrier VARCHAR(40),
+  shipped_on DATE,
+  PRIMARY KEY (id),
+  FOREIGN KEY (order_id) REFERENCES orders (id)
+);
+
+ALTER TABLE products DROP COLUMN weight_grams;
+ALTER TABLE orders ALTER COLUMN quantity SET DEFAULT 0;
+
+ALTER TABLE shipments ADD COLUMN tracking_code VARCHAR(64);
+ALTER TABLE shipments RENAME COLUMN carrier TO carrier_name;
+ALTER TABLE orders ADD CONSTRAINT chk_quantity CHECK (quantity >= 0);

@@ -1,0 +1,30 @@
+-- Billing schema with identity columns, enums-as-checks and a trigger fn.
+CREATE TABLE accounts (
+    id serial PRIMARY KEY,
+    uuid uuid NOT NULL,
+    email text NOT NULL UNIQUE,
+    balance_cents bigint NOT NULL DEFAULT 0,
+    currency char(3) NOT NULL DEFAULT 'EUR'::bpchar,
+    meta jsonb NOT NULL DEFAULT '{}'::jsonb
+);
+
+CREATE TABLE invoices (
+    id bigserial PRIMARY KEY,
+    account_id integer NOT NULL REFERENCES accounts (id) ON DELETE RESTRICT,
+    total numeric(14,2) NOT NULL DEFAULT 0.00,
+    state text NOT NULL DEFAULT 'draft'::text,
+    issued_on date,
+    blob_ref bytea,
+    CONSTRAINT chk_state CHECK (state IN ('draft', 'sent', 'paid', 'void'))
+);
+
+CREATE OR REPLACE FUNCTION touch_invoice() RETURNS trigger AS $$
+BEGIN
+  NEW.updated_at := now();
+  RETURN NEW;
+END;
+$$ LANGUAGE plpgsql;
+
+ALTER TABLE invoices ADD COLUMN updated_at timestamptz NOT NULL DEFAULT now();
+ALTER TABLE invoices ALTER COLUMN total TYPE numeric(16,2);
+ALTER TABLE accounts ALTER COLUMN email SET NOT NULL;

@@ -1,0 +1,20 @@
+-- Geodata tables exercising arrays, inheritance and tablespaces.
+CREATE TABLE regions (
+    id smallserial NOT NULL,
+    code inet,
+    name character varying(80) NOT NULL,
+    bbox box,
+    tags text[] NOT NULL DEFAULT '{}'::text[],
+    PRIMARY KEY (id)
+);
+
+CREATE TABLE cities (
+    population int8 DEFAULT 0::int8,
+    location point
+) INHERITS (regions);
+
+CREATE INDEX idx_regions_tags ON regions USING gin (tags);
+
+ALTER TABLE cities ADD COLUMN founded date DEFAULT '1900-01-01'::date;
+ALTER TABLE ONLY regions ADD CONSTRAINT regions_name_key UNIQUE (name);
+COMMENT ON TABLE regions IS 'admin areas';

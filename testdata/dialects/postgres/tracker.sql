@@ -1,0 +1,35 @@
+--
+-- Issue tracker schema, pg_dump style.
+--
+SET statement_timeout = 0;
+SET client_encoding = 'UTF8';
+
+CREATE TABLE public.projects (
+    id integer NOT NULL,
+    slug character varying(64) NOT NULL,
+    name text NOT NULL,
+    settings jsonb DEFAULT '{}'::jsonb NOT NULL,
+    created_at timestamptz DEFAULT now() NOT NULL
+);
+
+CREATE SEQUENCE public.projects_id_seq START WITH 1 INCREMENT BY 1;
+
+ALTER TABLE ONLY public.projects ALTER COLUMN id SET DEFAULT nextval('public.projects_id_seq'::regclass);
+
+CREATE TABLE public.issues (
+    id bigserial NOT NULL,
+    project_id integer NOT NULL,
+    title character varying(255) NOT NULL,
+    state character varying(20) DEFAULT 'open'::character varying NOT NULL,
+    labels text[] DEFAULT '{}'::text[],
+    opened_at timestamp with time zone DEFAULT now(),
+    closed_at timestamp with time zone
+);
+
+ALTER TABLE ONLY public.projects ADD CONSTRAINT projects_pkey PRIMARY KEY (id);
+ALTER TABLE ONLY public.projects ADD CONSTRAINT projects_slug_key UNIQUE (slug);
+ALTER TABLE ONLY public.issues ADD CONSTRAINT issues_pkey PRIMARY KEY (id);
+ALTER TABLE ONLY public.issues
+    ADD CONSTRAINT issues_project_fkey FOREIGN KEY (project_id) REFERENCES public.projects(id) ON DELETE CASCADE;
+
+CREATE INDEX idx_issues_state ON public.issues USING btree (project_id, state);

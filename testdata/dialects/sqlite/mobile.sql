@@ -1,0 +1,28 @@
+-- Mobile app local store, sqlite3 .schema style.
+PRAGMA foreign_keys = ON;
+
+CREATE TABLE IF NOT EXISTS meta (
+  "key" TEXT PRIMARY KEY,
+  value
+);
+
+CREATE TABLE notes (
+  id INTEGER PRIMARY KEY AUTOINCREMENT,
+  title TEXT NOT NULL DEFAULT '',
+  body TEXT,
+  starred BOOLEAN NOT NULL DEFAULT 0,
+  created_at DATETIME DEFAULT CURRENT_TIMESTAMP
+);
+
+CREATE TABLE tags (
+  id INTEGER PRIMARY KEY,
+  name TEXT NOT NULL UNIQUE
+) WITHOUT ROWID;
+
+CREATE TABLE note_tags (
+  note_id INTEGER NOT NULL REFERENCES notes (id) ON DELETE CASCADE,
+  tag_id INTEGER NOT NULL REFERENCES tags (id),
+  PRIMARY KEY (note_id, tag_id)
+) WITHOUT ROWID;
+
+CREATE INDEX idx_notes_created ON notes (created_at DESC);

@@ -1,0 +1,25 @@
+-- Media player library database.
+CREATE TABLE [albums] (
+  [AlbumId] INTEGER PRIMARY KEY AUTOINCREMENT,
+  [Title] NVARCHAR(160) NOT NULL,
+  [ArtistId] INTEGER NOT NULL
+);
+
+CREATE TABLE [tracks] (
+  [TrackId] INTEGER PRIMARY KEY,
+  [Name] NVARCHAR(200) NOT NULL,
+  [AlbumId] INTEGER,
+  [Milliseconds] INTEGER NOT NULL,
+  [Bytes] INTEGER,
+  [UnitPrice] NUMERIC(10,2) NOT NULL,
+  FOREIGN KEY ([AlbumId]) REFERENCES [albums] ([AlbumId])
+);
+
+CREATE TABLE playlists (
+  id INTEGER PRIMARY KEY,
+  name,
+  sort_order DEFAULT 0
+);
+
+CREATE INDEX [IFK_TrackAlbumId] ON [tracks] ([AlbumId]);
+ALTER TABLE playlists ADD COLUMN icon BLOB;

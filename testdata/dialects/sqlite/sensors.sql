@@ -1,0 +1,25 @@
+-- Sensor log with rowid tricks and loose typing.
+PRAGMA journal_mode = WAL;
+
+CREATE TABLE readings (
+  sensor_id INTEGER NOT NULL,
+  ts INTEGER NOT NULL,
+  celsius REAL,
+  raw,
+  PRIMARY KEY (sensor_id, ts)
+) WITHOUT ROWID;
+
+CREATE TABLE sensors (
+  id INTEGER PRIMARY KEY AUTOINCREMENT,
+  `label` TEXT NOT NULL DEFAULT 'unnamed',
+  kind TEXT CHECK (kind IN ('temp', 'hum', 'lux')),
+  installed_at DATETIME
+);
+
+CREATE TABLE sqlite_sequence_shadow (
+  name TEXT,
+  seq INTEGER
+);
+
+ALTER TABLE sensors ADD COLUMN calibration NUMERIC DEFAULT 1.0;
+CREATE INDEX idx_readings_ts ON readings (ts);
