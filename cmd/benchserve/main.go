@@ -7,12 +7,17 @@
 // the client's retry machinery, which must stay silent against a
 // healthy service (any retry sleep would show up as a latency outlier).
 //
-// Four phases are measured:
+// Six phases are measured:
 //
 //   - cold: every request is a first-time submission of a distinct DDL
 //     history — each one executes the full analysis pipeline;
 //   - warm: the same histories are resubmitted for several rounds — every
 //     request is answered from the result store's hot tier;
+//   - get: every stored project is fetched by ID for several rounds —
+//     the zero-copy read path (pre-rendered body, one write, no
+//     marshalling);
+//   - get304: the same GETs revalidate with If-None-Match — the server
+//     answers 304 with zero body bytes;
 //   - restart: the server is shut down and a fresh one is opened over the
 //     same persistent store directory; the same histories are resubmitted
 //     once — every request is answered from the recovered disk tier with
@@ -23,14 +28,16 @@
 //
 // Each phase records p50/p99/mean latency and throughput (the batch
 // phase is one streamed request, so only mean and throughput apply);
-// the headline ratio is cold p50 over warm p50 (the memoization win a
-// duplicate-heavy workload sees).
+// the headline ratios are cold p50 over warm p50 (the memoization win a
+// duplicate-heavy workload sees) and cold p50 over get p50 (the
+// render-cache win a read-heavy workload sees).
 //
 // Usage:
 //
 //	benchserve                         # 64 projects, 8 workers, writes BENCH_serve.json
 //	benchserve -projects 128 -c 16 -rounds 3 -out bench.json
-//	benchserve -check                  # exit 1 unless warm p50 < cold p50 (CI smoke)
+//	benchserve -render-bytes=-1        # render cache disabled (pre-change baseline)
+//	benchserve -check                  # exit 1 unless the cache tiers pay off (CI smoke)
 package main
 
 import (
@@ -77,6 +84,15 @@ type report struct {
 	// SpeedupWarmVsCold is cold p50 over warm p50 (higher is better; > 1
 	// means the result store is paying off).
 	SpeedupWarmVsCold float64 `json:"speedup_warm_vs_cold"`
+	// SpeedupGetVsCold is cold p50 over get p50: the zero-copy read
+	// path's win over a full analysis.
+	SpeedupGetVsCold float64 `json:"speedup_get_vs_cold"`
+	// RenderHitRate is the render cache's hit rate during the get phase
+	// (1.0 = every GET served pre-rendered bytes); 0 when the cache is
+	// disabled.
+	RenderHitRate float64 `json:"render_hit_rate"`
+	// NotModified304 counts get304-phase requests answered 304.
+	NotModified304 int64 `json:"not_modified_304"`
 	// PipelineRuns is the server's execution counter after both phases;
 	// it must equal Projects — warm traffic never recomputes.
 	PipelineRuns int64 `json:"pipeline_runs"`
@@ -118,15 +134,16 @@ func summarizePrior(path string) *priorSummary {
 
 func main() {
 	var (
-		projects = flag.Int("projects", 64, "distinct submission histories (cold-phase requests)")
-		conc     = flag.Int("c", 8, "concurrent client workers")
-		rounds   = flag.Int("rounds", 5, "warm-phase passes over the project set")
-		seed     = flag.Int64("seed", 1, "workload generator seed")
-		out      = flag.String("out", "BENCH_serve.json", "output JSON path")
-		check    = flag.Bool("check", false, "exit 1 unless warm p50 < cold p50 and warm traffic hit the store")
+		projects    = flag.Int("projects", 64, "distinct submission histories (cold-phase requests)")
+		conc        = flag.Int("c", 8, "concurrent client workers")
+		rounds      = flag.Int("rounds", 5, "warm/get-phase passes over the project set")
+		seed        = flag.Int64("seed", 1, "workload generator seed")
+		out         = flag.String("out", "BENCH_serve.json", "output JSON path")
+		renderBytes = flag.Int64("render-bytes", 0, "render-cache budget in bytes (0 default, negative disables — the pre-change baseline)")
+		check       = flag.Bool("check", false, "exit 1 unless every cache tier pays off (CI smoke)")
 	)
 	flag.Parse()
-	if err := run(*projects, *conc, *rounds, *seed, *out, *check); err != nil {
+	if err := run(*projects, *conc, *rounds, *seed, *out, *renderBytes, *check); err != nil {
 		fmt.Fprintln(os.Stderr, "benchserve:", err)
 		os.Exit(1)
 	}
@@ -151,13 +168,15 @@ func workload(n int, seed int64) ([][]byte, error) {
 }
 
 // firePhase drives the payload sequence through conc workers submitting
-// via the public client and returns per-request latencies plus the
-// error count and wall-clock elapsed.
-func firePhase(cl *schemaevoclient.Client, payloads [][]byte, conc int) ([]time.Duration, int, time.Duration) {
+// via the public client and returns per-request latencies, the set of
+// returned project IDs (first occurrence order is not preserved), the
+// error count, and wall-clock elapsed.
+func firePhase(cl *schemaevoclient.Client, payloads [][]byte, conc int) ([]time.Duration, []string, int, time.Duration) {
 	var (
 		wg   sync.WaitGroup
 		mu   sync.Mutex
 		lats = make([]time.Duration, 0, len(payloads))
+		ids  = make([]string, 0, len(payloads))
 		errs int
 		jobs = make(chan []byte)
 	)
@@ -168,7 +187,57 @@ func firePhase(cl *schemaevoclient.Client, payloads [][]byte, conc int) ([]time.
 			defer wg.Done()
 			for body := range jobs {
 				t0 := time.Now()
-				_, err := cl.Submit(context.Background(), body)
+				p, err := cl.Submit(context.Background(), body)
+				lat := time.Since(t0)
+				mu.Lock()
+				if err == nil {
+					lats = append(lats, lat)
+					ids = append(ids, p.ID)
+				} else {
+					errs++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, p := range payloads {
+		jobs <- p
+	}
+	close(jobs)
+	wg.Wait()
+	return lats, ids, errs, time.Since(start)
+}
+
+// fireGets drives rounds passes of GET-by-ID through conc workers. When
+// etags is non-nil it maps each ID to the validator to revalidate with,
+// and a response other than 304 counts as an error — the conditional
+// phase measures the zero-body path, so a full 200 means the tier is
+// not working.
+func fireGets(cl *schemaevoclient.Client, ids []string, etags map[string]string, conc, rounds int) ([]time.Duration, int, time.Duration) {
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		lats = make([]time.Duration, 0, rounds*len(ids))
+		errs int
+		jobs = make(chan string)
+	)
+	start := time.Now()
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for id := range jobs {
+				var err error
+				t0 := time.Now()
+				if etags == nil {
+					_, err = cl.Get(context.Background(), id)
+				} else {
+					var notModified bool
+					_, _, notModified, err = cl.GetConditional(context.Background(), id, etags[id])
+					if err == nil && !notModified {
+						err = fmt.Errorf("conditional GET %s returned a full body", id)
+					}
+				}
 				lat := time.Since(t0)
 				mu.Lock()
 				if err == nil {
@@ -180,8 +249,10 @@ func firePhase(cl *schemaevoclient.Client, payloads [][]byte, conc int) ([]time.
 			}
 		}()
 	}
-	for _, p := range payloads {
-		jobs <- p
+	for r := 0; r < rounds; r++ {
+		for _, id := range ids {
+			jobs <- id
+		}
 	}
 	close(jobs)
 	wg.Wait()
@@ -223,7 +294,7 @@ func summarize(name string, lats []time.Duration, errs int, elapsed time.Duratio
 	return p
 }
 
-func run(projects, conc, rounds int, seed int64, out string, check bool) error {
+func run(projects, conc, rounds int, seed int64, out string, renderBytes int64, check bool) error {
 	payloads, err := workload(projects, seed)
 	if err != nil {
 		return err
@@ -239,11 +310,13 @@ func run(projects, conc, rounds int, seed int64, out string, check bool) error {
 		return err
 	}
 	defer os.RemoveAll(storeDir)
+	tel := telemetry.New()
 	srv, err := server.New(context.Background(), server.Config{
 		MaxConcurrent: conc,
 		LRUEntries:    2 * projects,
 		StoreDir:      storeDir,
-		Telemetry:     telemetry.New(),
+		RenderBytes:   renderBytes,
+		Telemetry:     tel,
 	})
 	if err != nil {
 		return err
@@ -267,13 +340,38 @@ func run(projects, conc, rounds int, seed int64, out string, check bool) error {
 		MaxAttempts: 1,
 	})
 
-	coldLats, coldErrs, coldElapsed := firePhase(cl, payloads, conc)
+	coldLats, ids, coldErrs, coldElapsed := firePhase(cl, payloads, conc)
 
 	warm := make([][]byte, 0, rounds*projects)
 	for i := 0; i < rounds; i++ {
 		warm = append(warm, payloads...)
 	}
-	warmLats, warmErrs, warmElapsed := firePhase(cl, warm, conc)
+	warmLats, _, warmErrs, warmElapsed := firePhase(cl, warm, conc)
+
+	// Get phase: the zero-copy read path, measured over a render-cache
+	// hit-rate window so the check can assert the cache actually served.
+	preGet := tel.Snapshot().Render
+	getLats, getErrs, getElapsed := fireGets(cl, ids, nil, conc, rounds)
+	postGet := tel.Snapshot().Render
+	var renderHitRate float64
+	if lookups := (postGet.Hits - preGet.Hits) + (postGet.Misses - preGet.Misses); lookups > 0 {
+		renderHitRate = float64(postGet.Hits-preGet.Hits) / float64(lookups)
+	}
+
+	// Get304 phase: collect each project's validator once (untimed),
+	// then revalidate for the same number of rounds — every answer must
+	// be a zero-body 304.
+	etags := make(map[string]string, len(ids))
+	for _, id := range ids {
+		_, etag, _, err := cl.GetConditional(context.Background(), id, "")
+		if err != nil {
+			return fmt.Errorf("collecting validators: %w", err)
+		}
+		etags[id] = etag
+	}
+	pre304 := tel.Snapshot().Render.NotModified
+	get304Lats, get304Errs, get304Elapsed := fireGets(cl, ids, etags, conc, rounds)
+	notModified := tel.Snapshot().Render.NotModified - pre304
 
 	// Restart phase: tear the process-equivalent down (listener and
 	// store) and recover a fresh server from the same directory. Every
@@ -286,6 +384,7 @@ func run(projects, conc, rounds int, seed int64, out string, check bool) error {
 		MaxConcurrent: conc,
 		LRUEntries:    2 * projects,
 		StoreDir:      storeDir,
+		RenderBytes:   renderBytes,
 		Telemetry:     telemetry.New(),
 	})
 	if err != nil {
@@ -304,7 +403,7 @@ func run(projects, conc, rounds int, seed int64, out string, check bool) error {
 		HTTPClient:  httpClient,
 		MaxAttempts: 1,
 	})
-	restartLats, restartErrs, restartElapsed := firePhase(cl2, payloads, conc)
+	restartLats, _, restartErrs, restartElapsed := firePhase(cl2, payloads, conc)
 
 	// Batch phase: the same all-hits workload as one streamed NDJSON
 	// ingest. One request, so per-line percentiles do not apply; mean
@@ -330,17 +429,24 @@ func run(projects, conc, rounds int, seed int64, out string, check bool) error {
 		WarmRounds:   rounds,
 		Cores:        runtime.NumCPU(),
 		GOMAXPROCS:   runtime.GOMAXPROCS(0),
-		PipelineRuns: srv.Analyses(),
-		RestartRuns:  srv2.Analyses() + srv2.Incrementals(),
+		PipelineRuns:   srv.Analyses(),
+		RestartRuns:    srv2.Analyses() + srv2.Incrementals(),
+		RenderHitRate:  renderHitRate,
+		NotModified304: notModified,
 		Phases: []phase{
 			summarize("cold", coldLats, coldErrs, coldElapsed),
 			summarize("warm", warmLats, warmErrs, warmElapsed),
+			summarize("get", getLats, getErrs, getElapsed),
+			summarize("get304", get304Lats, get304Errs, get304Elapsed),
 			summarize("restart", restartLats, restartErrs, restartElapsed),
 			batchPhase,
 		},
 	}
 	if rep.Phases[1].P50Us > 0 {
 		rep.SpeedupWarmVsCold = rep.Phases[0].P50Us / rep.Phases[1].P50Us
+	}
+	if rep.Phases[2].P50Us > 0 {
+		rep.SpeedupGetVsCold = rep.Phases[0].P50Us / rep.Phases[2].P50Us
 	}
 
 	rep.Previous = summarizePrior(out)
@@ -355,13 +461,16 @@ func run(projects, conc, rounds int, seed int64, out string, check bool) error {
 		fmt.Printf("%-7s %6d reqs  p50 %8.0fµs  p99 %8.0fµs  %8.0f req/s  (%d errors)\n",
 			p.Name, p.Requests, p.P50Us, p.P99Us, p.RPS, p.Errors)
 	}
-	fmt.Printf("wrote %s (warm speedup %.1fx, %d pipeline runs)\n", out, rep.SpeedupWarmVsCold, rep.PipelineRuns)
+	fmt.Printf("wrote %s (warm speedup %.1fx, get speedup %.1fx, render hit rate %.2f, %d pipeline runs)\n",
+		out, rep.SpeedupWarmVsCold, rep.SpeedupGetVsCold, rep.RenderHitRate, rep.PipelineRuns)
 
 	if check {
+		cold, warmP, get, get304, restart, batchP := rep.Phases[0], rep.Phases[1], rep.Phases[2], rep.Phases[3], rep.Phases[4], rep.Phases[5]
+		conditionalReqs := int64(rounds * len(ids))
 		switch {
-		case rep.Phases[0].Errors > 0 || rep.Phases[1].Errors > 0 || rep.Phases[2].Errors > 0 || rep.Phases[3].Errors > 0:
-			return fmt.Errorf("check: %d cold / %d warm / %d restart / %d batch requests failed",
-				rep.Phases[0].Errors, rep.Phases[1].Errors, rep.Phases[2].Errors, rep.Phases[3].Errors)
+		case cold.Errors > 0 || warmP.Errors > 0 || get.Errors > 0 || get304.Errors > 0 || restart.Errors > 0 || batchP.Errors > 0:
+			return fmt.Errorf("check: %d cold / %d warm / %d get / %d get304 / %d restart / %d batch requests failed",
+				cold.Errors, warmP.Errors, get.Errors, get304.Errors, restart.Errors, batchP.Errors)
 		case batchRes.OK != projects || batchRes.Attempts != 1:
 			return fmt.Errorf("check: batch ingest acknowledged %d/%d lines in %d attempts — the stream did not complete cleanly",
 				batchRes.OK, projects, batchRes.Attempts)
@@ -369,12 +478,18 @@ func run(projects, conc, rounds int, seed int64, out string, check bool) error {
 			return fmt.Errorf("check: %d pipeline runs for %d distinct projects — warm traffic recomputed", rep.PipelineRuns, projects)
 		case rep.RestartRuns != 0:
 			return fmt.Errorf("check: restarted server ran %d analyses — recovery did not serve the persisted set", rep.RestartRuns)
-		case rep.Phases[1].P50Us >= rep.Phases[0].P50Us:
-			return fmt.Errorf("check: warm p50 %.0fµs is not below cold p50 %.0fµs", rep.Phases[1].P50Us, rep.Phases[0].P50Us)
-		case rep.Phases[2].P50Us >= rep.Phases[0].P50Us:
-			return fmt.Errorf("check: restart p50 %.0fµs is not below cold p50 %.0fµs", rep.Phases[2].P50Us, rep.Phases[0].P50Us)
+		case warmP.P50Us >= cold.P50Us:
+			return fmt.Errorf("check: warm p50 %.0fµs is not below cold p50 %.0fµs", warmP.P50Us, cold.P50Us)
+		case get.P50Us >= cold.P50Us:
+			return fmt.Errorf("check: get p50 %.0fµs is not below cold p50 %.0fµs", get.P50Us, cold.P50Us)
+		case renderBytes >= 0 && rep.RenderHitRate < 0.9:
+			return fmt.Errorf("check: render hit rate %.2f during the get phase, want >= 0.9", rep.RenderHitRate)
+		case renderBytes >= 0 && rep.NotModified304 != conditionalReqs:
+			return fmt.Errorf("check: %d of %d conditional GETs answered 304 — revalidation served full bodies", rep.NotModified304, conditionalReqs)
+		case restart.P50Us >= cold.P50Us:
+			return fmt.Errorf("check: restart p50 %.0fµs is not below cold p50 %.0fµs", restart.P50Us, cold.P50Us)
 		}
-		fmt.Println("check: ok (warm and restart p50 < cold p50, batch stream clean, no recompute, no errors)")
+		fmt.Println("check: ok (warm/get/restart p50 < cold p50, render cache served, 304s zero-body, batch stream clean, no recompute, no errors)")
 	}
 	return nil
 }

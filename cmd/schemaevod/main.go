@@ -13,6 +13,7 @@
 //	schemaevod -cache /var/cache/schemaevo    # persistent result cache
 //	schemaevod -store-dir /var/lib/schemaevo  # persistent project store (survives restarts)
 //	schemaevod -store-shards 16 -hot-bytes 67108864
+//	schemaevod -render-bytes 134217728        # 128 MiB pre-rendered response cache
 //	schemaevod -scrub-interval 1m -disk-low 104857600  # self-healing knobs
 //	schemaevod -max-concurrent 8 -request-timeout 10s
 //	schemaevod -fault-seed 7 -fault-rate 0.2  # chaos mode
@@ -56,6 +57,7 @@ type options struct {
 	maxConcurrent  int
 	requestTimeout time.Duration
 	lruEntries     int
+	renderBytes    int64
 	retryAfter     time.Duration
 	drainTimeout   time.Duration
 	scrubInterval  time.Duration
@@ -82,6 +84,7 @@ func main() {
 	flag.IntVar(&o.maxConcurrent, "max-concurrent", 0, "max concurrently executing submissions before 429 (0 = 2×GOMAXPROCS)")
 	flag.DurationVar(&o.requestTimeout, "request-timeout", 30*time.Second, "per-request deadline")
 	flag.IntVar(&o.lruEntries, "lru", 1024, "in-memory result store capacity (entries)")
+	flag.Int64Var(&o.renderBytes, "render-bytes", 0, "pre-rendered response cache byte budget (0 = 64 MiB, negative disables)")
 	flag.DurationVar(&o.retryAfter, "retry-after", time.Second, "backoff hint advertised on 429/503 responses")
 	flag.DurationVar(&o.drainTimeout, "drain-timeout", 30*time.Second, "max time to wait for in-flight requests on shutdown")
 	flag.DurationVar(&o.scrubInterval, "scrub-interval", 30*time.Second, "background store-scrubber pass interval (0 disables; with -store-dir)")
@@ -164,6 +167,7 @@ func run(o options) error {
 		MaxConcurrent:  o.maxConcurrent,
 		RequestTimeout: o.requestTimeout,
 		LRUEntries:     o.lruEntries,
+		RenderBytes:    o.renderBytes,
 		RetryAfter:     o.retryAfter,
 		ScrubInterval:  o.scrubInterval,
 		DiskLowBytes:   o.diskLow,

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sync"
 	"time"
 
 	"schemaevo/internal/vcs"
@@ -83,15 +84,23 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// Best-effort: HTTP/2 is already full-duplex.
 	_ = rc.EnableFullDuplex()
 	flusher, _ := w.(http.Flusher)
-	emit := func(v any) {
-		data, err := json.Marshal(v)
-		if err != nil {
-			return
-		}
-		w.Write(append(data, '\n'))
+	// Per-line rendering goes through the append-based encoder into a
+	// pooled buffer — byte-identical to json.Marshal (the conformance
+	// test pins it) with zero per-line allocation at steady state.
+	buf := lineBufPool.Get().(*[]byte)
+	defer func() {
+		*buf = (*buf)[:0]
+		lineBufPool.Put(buf)
+	}()
+	flush := func(line []byte) {
+		w.Write(line)
 		if flusher != nil {
 			flusher.Flush()
 		}
+	}
+	emitLine := func(lw batchLineWire) {
+		*buf = appendBatchLineWire((*buf)[:0], &lw)
+		flush(*buf)
 	}
 
 	sc := bufio.NewScanner(r.Body)
@@ -112,7 +121,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		repo, err := decodeBatchLine(raw)
 		if err != nil {
 			errCount++
-			emit(batchLineWire{Line: lines, Status: "error", Error: err.Error()})
+			emitLine(batchLineWire{Line: lines, Status: "error", Error: err.Error()})
 			continue
 		}
 		// The stream as a whole has no deadline (its lifetime is
@@ -120,11 +129,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		// each line's analysis, so a large corpus ingest with blocking
 		// backpressure never times out mid-batch.
 		lineCtx, cancel := context.WithTimeout(r.Context(), s.requestTimeout())
-		res, state, err := s.submit(lineCtx, repo, true)
+		out, state, err := s.submit(lineCtx, repo, true)
 		cancel()
 		if err != nil {
 			errCount++
-			emit(batchLineWire{Line: lines, Status: "error", Error: err.Error()})
+			emitLine(batchLineWire{Line: lines, Status: "error", Error: err.Error()})
 			// A dead request context means the client is gone or the
 			// server is shutting down — every further line would fail the
 			// same way. A per-line timeout only fails its own line.
@@ -134,12 +143,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		okCount++
-		emit(batchLineWire{
+		// The summary fields ride on the rendered entry — no decode of the
+		// stored result on warm lines.
+		emitLine(batchLineWire{
 			Line:    lines,
 			Status:  "ok",
-			ID:      projectID(res.Fingerprint),
-			Project: res.Project,
-			Pattern: assignedPattern(res.Measures, s.scheme).String(),
+			ID:      out.id,
+			Project: out.entry.project,
+			Pattern: out.entry.pattern,
 			Cache:   state,
 		})
 	}
@@ -150,7 +161,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		if errors.Is(err, bufio.ErrTooLong) {
 			msg = fmt.Sprintf("line exceeds the %d-byte limit", maxLine)
 		}
-		emit(batchLineWire{Line: lines, Status: "error", Error: msg})
+		emitLine(batchLineWire{Line: lines, Status: "error", Error: msg})
 	}
 	// In full-duplex mode the server no longer consumes leftover body
 	// bytes after the handler returns; anything we leave unread would be
@@ -165,5 +176,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if n, err := io.Copy(io.Discard, io.LimitReader(r.Body, batchDrainLimit)); err != nil || n == batchDrainLimit {
 		_ = rc.SetReadDeadline(time.Now())
 	}
-	emit(batchSummaryWire{Status: "summary", Lines: lines, OK: okCount, Errors: errCount})
+	*buf = appendBatchSummaryWire((*buf)[:0], &batchSummaryWire{Status: "summary", Lines: lines, OK: okCount, Errors: errCount})
+	flush(*buf)
 }
+
+// lineBufPool recycles batch NDJSON line buffers across requests.
+var lineBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 512)
+	return &b
+}}

@@ -1,0 +1,208 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// reflectIndent is the reference rendering the append encoders must
+// reproduce exactly for document bodies: json.MarshalIndent(v, "", "  ")
+// plus a trailing newline (renderJSON).
+func reflectIndent(t testing.TB, v any) []byte {
+	t.Helper()
+	data, err := renderJSON(v)
+	if err != nil {
+		t.Fatalf("renderJSON: %v", err)
+	}
+	return data
+}
+
+// reflectCompact is the reference for NDJSON lines: json.Marshal plus a
+// trailing newline.
+func reflectCompact(t testing.TB, v any) []byte {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("json.Marshal: %v", err)
+	}
+	return append(data, '\n')
+}
+
+func diffBytes(t *testing.T, name string, got, want []byte) {
+	t.Helper()
+	if !bytes.Equal(got, want) {
+		n := 0
+		for n < len(got) && n < len(want) && got[n] == want[n] {
+			n++
+		}
+		t.Errorf("%s: hand-rolled encoding diverges from encoding/json at byte %d\n--- got ---\n%s\n--- want ---\n%s", name, n, got, want)
+	}
+}
+
+// nastyStrings exercises every escaping branch: HTML escapes, short
+// escapes, the C0 \u00xx fallback, invalid UTF-8, U+2028/U+2029, and
+// plain multibyte runes.
+var nastyStrings = []string{
+	"",
+	"plain",
+	`quote " backslash \ done`,
+	"<script>&amp;</script>",
+	"tab\tnewline\ncr\rbackspace\bformfeed\f",
+	"nul\x00unit\x1fesc\x1b",
+	"invalid \xff\xfe utf8 \xc3\x28 tail",
+	"line para sep",
+	"żółć 漢字 🚀 ☃",
+	"mixed< \xffé&>",
+}
+
+// nastyFloats exercises the ES6 number formatting branches: f-form,
+// e-form above 1e21 and below 1e-6, the e-0x exponent cleanup, zeros,
+// and shortest-round-trip fractions.
+var nastyFloats = []float64{
+	0, 1, -1, 0.5, -0.25,
+	1.0 / 3.0, 2.0 / 3.0, 5.0 / 11.0, 2.0 / 13.0,
+	1e-6, 9.999999e-7, 1e-7, -3.25e-9,
+	1e20, 1e21, 1.5e21, -2.5e300,
+	math.MaxFloat64, math.SmallestNonzeroFloat64,
+	0.1, 0.30000000000000004, 1234567.891,
+}
+
+func sampleProjectWire(s string, f float64, n int, b bool) projectWire {
+	return projectWire{
+		SchemaVersion: APISchemaVersion,
+		ID:            s + "-id",
+		Project:       s,
+		Dialect:       "generic",
+		Pattern:       s + "-pat",
+		Family:        s + "-fam",
+		Exact:         b,
+		Measures: measuresWire{
+			PUPMonths: n, BirthMonth: -n, BirthPct: f, BirthVolumePct: -f,
+			TopBandMonth: n * 3, TopBandPct: f / 3, IntervalBirthToTopPct: f * f,
+			IntervalTopToEndPct: 1 - f, HasVault: !b, ActiveGrowthMonths: n,
+			ActivePctGrowth: f, ActivePctPUP: f / 7, TotalActivity: n * n,
+			Expansion: n + 1, Maintenance: n - 1, TablesAtBirth: 2, AttrsAtBirth: 9,
+			TablesAtEnd: 3, AttrsAtEnd: 14,
+		},
+		Labels: labelsWire{
+			BirthVolume: s, BirthTiming: s + "\n", TopBandPoint: "<" + s + ">",
+			IntervalBirthToTop: s, IntervalTopToEnd: s, ActivePctGrowth: s,
+			ActivePctPUP: s, HasVault: b, ActiveGrowthMonths: n,
+		},
+		Timeline: timelineWire{Versions: n, ActiveVersions: n, Months: n * 2, ActiveMonths: n, LongestDormancy: n / 2},
+	}
+}
+
+// TestEncodersMatchReflection pins byte-identity of every hand-rolled
+// encoder against encoding/json over adversarial values.
+func TestEncodersMatchReflection(t *testing.T) {
+	for i, s := range nastyStrings {
+		f := nastyFloats[i%len(nastyFloats)]
+		w := sampleProjectWire(s, f, i*7-3, i%2 == 0)
+		diffBytes(t, "projectWire", appendProjectWire(nil, &w), reflectIndent(t, w))
+	}
+
+	stats := corpusStatsWire{SchemaVersion: APISchemaVersion, Projects: 12, Analyzed: 11, Patterns: []patternCountWire{}}
+	diffBytes(t, "corpusStatsWire/empty", appendCorpusStatsWire(nil, &stats), reflectIndent(t, stats))
+	for _, s := range nastyStrings {
+		stats.Patterns = append(stats.Patterns, patternCountWire{Pattern: s, Family: s + "&", Count: len(s) - 2})
+	}
+	diffBytes(t, "corpusStatsWire", appendCorpusStatsWire(nil, &stats), reflectIndent(t, stats))
+
+	pats := corpusPatternsWire{SchemaVersion: APISchemaVersion, Groups: []patternGroupWire{}}
+	diffBytes(t, "corpusPatternsWire/empty", appendCorpusPatternsWire(nil, &pats), reflectIndent(t, pats))
+	for i, s := range nastyStrings {
+		g := patternGroupWire{Pattern: s, Family: "f<" + s, Count: i, Projects: []projectRefWire{}}
+		for j := 0; j <= i%3; j++ {
+			g.Projects = append(g.Projects, projectRefWire{Name: s + "\t", ID: s})
+		}
+		if i%4 == 0 {
+			g.Projects = []projectRefWire{}
+		}
+		pats.Groups = append(pats.Groups, g)
+	}
+	diffBytes(t, "corpusPatternsWire", appendCorpusPatternsWire(nil, &pats), reflectIndent(t, pats))
+
+	for i, s := range nastyStrings {
+		// Exercise every omitempty combination bit by bit.
+		line := batchLineWire{Line: i - 4, Status: s}
+		if i&1 != 0 {
+			line.ID = s + "-id"
+		}
+		if i&2 != 0 {
+			line.Project = s
+		}
+		if i&4 != 0 {
+			line.Pattern = "<" + s
+		}
+		if i&8 != 0 {
+			line.Cache = "hit"
+		}
+		if i&1 == 0 {
+			line.Error = s + " "
+		}
+		diffBytes(t, "batchLineWire", appendBatchLineWire(nil, &line), reflectCompact(t, line))
+	}
+
+	sum := batchSummaryWire{Status: "summary", Lines: 12, OK: 9, Errors: 3}
+	diffBytes(t, "batchSummaryWire", appendBatchSummaryWire(nil, &sum), reflectCompact(t, sum))
+}
+
+// TestAppendJSONFloat pins the ES6 number branches directly.
+func TestAppendJSONFloat(t *testing.T) {
+	for _, f := range nastyFloats {
+		want, err := json.Marshal(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := appendJSONFloat(nil, f); !bytes.Equal(got, want) {
+			t.Errorf("float %v: got %s, want %s", f, got, want)
+		}
+	}
+}
+
+// TestAppendJSONString pins string escaping directly.
+func TestAppendJSONString(t *testing.T) {
+	cases := append([]string{}, nastyStrings...)
+	for b := 0; b < 256; b++ {
+		cases = append(cases, "x"+string(rune(b))+"y", string([]byte{byte(b)}))
+	}
+	for _, s := range cases {
+		want, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := appendJSONString(nil, s); !bytes.Equal(got, want) {
+			t.Errorf("string %q: got %s, want %s", s, got, want)
+		}
+	}
+}
+
+// FuzzWireEncoders drives arbitrary strings, floats, ints and bools
+// through the hand-rolled encoders and the reflection reference,
+// requiring byte-identity. Non-finite floats are skipped — encoding/json
+// rejects them and the wire measures are finite by construction.
+func FuzzWireEncoders(f *testing.F) {
+	f.Add("seed", 0.25, 7, true)
+	f.Add("<&> \xff", -1.5e-9, -3, false)
+	f.Add("", 1e22, 0, true)
+	f.Fuzz(func(t *testing.T, s string, fl float64, n int, b bool) {
+		if math.IsNaN(fl) || math.IsInf(fl, 0) {
+			t.Skip("non-finite floats are rejected by encoding/json")
+		}
+		w := sampleProjectWire(s, fl, n, b)
+		gotW, err := renderJSON(w)
+		if err != nil {
+			t.Skip("reference encoder rejected the value")
+		}
+		if got := appendProjectWire(nil, &w); !bytes.Equal(got, gotW) {
+			t.Errorf("projectWire(%q, %v, %d, %v) diverges\n--- got ---\n%s\n--- want ---\n%s", s, fl, n, b, got, gotW)
+		}
+		line := batchLineWire{Line: n, Status: s, Project: s, Error: s}
+		if got, want := appendBatchLineWire(nil, &line), reflectCompact(t, line); !bytes.Equal(got, want) {
+			t.Errorf("batchLineWire(%q, %d) diverges\n--- got ---\n%s\n--- want ---\n%s", s, n, got, want)
+		}
+	})
+}

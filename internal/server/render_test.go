@@ -1,0 +1,290 @@
+// Conformance and race tests for the zero-copy serving tier: strong
+// ETags with If-None-Match → 304 on every GET surface, and render-cache
+// invalidation under concurrent overwrite/DELETE churn. Black-box like
+// the rest of the service tests — HTTP only.
+package server_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"regexp"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"schemaevo/internal/server"
+	"schemaevo/internal/vcs"
+)
+
+var etagShape = regexp.MustCompile(`^"[0-9a-f]{16}"$`)
+
+// doCond issues one GET with an If-None-Match header.
+func doCond(t *testing.T, url, inm string) (int, http.Header, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inm != "" {
+		req.Header.Set("If-None-Match", inm)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf [4096]byte
+	body := []byte{}
+	for {
+		n, err := resp.Body.Read(buf[:])
+		body = append(body, buf[:n]...)
+		if err != nil {
+			break
+		}
+	}
+	return resp.StatusCode, resp.Header, body
+}
+
+// churnRepo builds version v of a deterministic single-project history;
+// each version has different DDL content (so a different content hash)
+// under the same project name, which makes a POST of version v+1
+// supersede version v.
+func churnRepo(name string, v int) *vcs.Repo {
+	base := time.Date(2018, time.March, 1, 12, 0, 0, 0, time.UTC)
+	r := &vcs.Repo{Name: name}
+	for i := 0; i <= v; i++ {
+		ddl := fmt.Sprintf("CREATE TABLE t%d (id INT PRIMARY KEY, payload TEXT);", i)
+		for j := 0; j < i; j++ {
+			ddl += fmt.Sprintf("\nCREATE TABLE extra_%d_%d (id INT PRIMARY KEY);", i, j)
+		}
+		r.Commits = append(r.Commits, vcs.Commit{
+			ID:       fmt.Sprintf("c%d", i),
+			Time:     base.AddDate(0, i*2, 3),
+			SrcLines: 100 + 10*i,
+			Files:    map[string]string{"db/schema.sql": ddl},
+		})
+	}
+	return r
+}
+
+func wireID(t *testing.T, body []byte) string {
+	t.Helper()
+	var w struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &w); err != nil {
+		t.Fatalf("response is not a project body: %v\n%s", err, body)
+	}
+	if w.ID == "" {
+		t.Fatalf("response carries no id:\n%s", body)
+	}
+	return w.ID
+}
+
+// TestETagConformance pins the conditional-request tier across every
+// rendered surface: strong validator shape, exact and weak-compare 304s
+// with zero body bytes, full 200 on mismatch, and validator movement
+// when the underlying state changes.
+func TestETagConformance(t *testing.T) {
+	_, hs := newService(t, server.Config{Corpus: testCorpus(t)})
+
+	status, h, postBody := post(t, hs.URL, submitRepo())
+	if status != http.StatusOK {
+		t.Fatalf("POST status %d: %s", status, postBody)
+	}
+	etag := h.Get("ETag")
+	if !etagShape.MatchString(etag) {
+		t.Fatalf("POST ETag %q is not a strong 16-hex validator", etag)
+	}
+	id := wireID(t, postBody)
+	url := hs.URL + "/v1/projects/" + id
+
+	// Unconditional GET: same validator, byte-identical body.
+	status, h, body := doCond(t, url, "")
+	if status != http.StatusOK || h.Get("ETag") != etag || string(body) != string(postBody) {
+		t.Fatalf("GET: status %d etag %q bodyEqual=%v", status, h.Get("ETag"), string(body) == string(postBody))
+	}
+
+	// Conditional GETs: exact, weak-prefixed, list, and wildcard all
+	// answer 304 with zero body bytes and the validator still advertised.
+	for _, inm := range []string{etag, "W/" + etag, `"zzz", ` + etag, "*"} {
+		status, h, body = doCond(t, url, inm)
+		if status != http.StatusNotModified {
+			t.Fatalf("If-None-Match %q: status %d, want 304", inm, status)
+		}
+		if len(body) != 0 {
+			t.Fatalf("If-None-Match %q: 304 carried %d body bytes", inm, len(body))
+		}
+		if h.Get("ETag") != etag {
+			t.Fatalf("If-None-Match %q: 304 ETag %q, want %q", inm, h.Get("ETag"), etag)
+		}
+	}
+
+	// A non-matching validator gets the full representation.
+	status, _, body = doCond(t, url, `"0000000000000000"`)
+	if status != http.StatusOK || string(body) != string(postBody) {
+		t.Fatalf("mismatched If-None-Match: status %d bodyEqual=%v", status, string(body) == string(postBody))
+	}
+
+	// Aggregates: validator moves when the corpus membership changes.
+	statsURL := hs.URL + "/v1/corpus/stats"
+	status, h, _ = doCond(t, statsURL, "")
+	if status != http.StatusOK {
+		t.Fatalf("stats GET status %d", status)
+	}
+	statsTag := h.Get("ETag")
+	if !etagShape.MatchString(statsTag) {
+		t.Fatalf("stats ETag %q is not a strong validator", statsTag)
+	}
+	if status, _, body = doCond(t, statsURL, statsTag); status != http.StatusNotModified || len(body) != 0 {
+		t.Fatalf("stats conditional: status %d len %d, want 304 empty", status, len(body))
+	}
+
+	status, _, body = post(t, hs.URL, churnRepo("etag-churn", 1))
+	if status != http.StatusOK {
+		t.Fatalf("churn POST status %d: %s", status, body)
+	}
+	churnV1 := wireID(t, body)
+	status, h, body = doCond(t, statsURL, statsTag)
+	if status != http.StatusOK || len(body) == 0 {
+		t.Fatalf("stats after new project: status %d, want full 200", status)
+	}
+	statsTag2 := h.Get("ETag")
+	if statsTag2 == statsTag {
+		t.Fatal("stats ETag did not move after membership changed")
+	}
+
+	// Overwrite: the new version is a new resource with its own
+	// validator; the superseded version stops being served.
+	status, h, body = post(t, hs.URL, churnRepo("etag-churn", 2))
+	if status != http.StatusOK {
+		t.Fatalf("churn v2 POST status %d: %s", status, body)
+	}
+	churnV2 := wireID(t, body)
+	if churnV2 == churnV1 {
+		t.Fatal("overwrite kept the same content id")
+	}
+	v2Tag := h.Get("ETag")
+	if !etagShape.MatchString(v2Tag) || v2Tag == etag {
+		t.Fatalf("v2 ETag %q invalid or colliding", v2Tag)
+	}
+	if status, _, _ = doCond(t, hs.URL+"/v1/projects/"+churnV1, ""); status != http.StatusNotFound {
+		t.Fatalf("superseded version GET status %d, want 404", status)
+	}
+	if status, _, _ = doCond(t, hs.URL+"/v1/projects/"+churnV2, v2Tag); status != http.StatusNotModified {
+		t.Fatalf("v2 conditional GET status %d, want 304", status)
+	}
+
+	// DELETE moves the aggregate validator again and the project is gone.
+	status, _, body = do(t, http.MethodDelete, hs.URL+"/v1/projects/"+churnV2, nil)
+	if status != http.StatusOK {
+		t.Fatalf("DELETE status %d: %s", status, body)
+	}
+	if status, _, _ = doCond(t, hs.URL+"/v1/projects/"+churnV2, v2Tag); status != http.StatusNotFound {
+		t.Fatalf("deleted project conditional GET status %d, want 404", status)
+	}
+	if status, h, _ = doCond(t, statsURL, ""); status != http.StatusOK || h.Get("ETag") == statsTag2 {
+		t.Fatalf("stats ETag after DELETE: status %d etag %q, want a moved validator", status, h.Get("ETag"))
+	}
+}
+
+// TestRenderInvalidationUnderChurn races readers against
+// overwrite/DELETE committers and pins the invalidation invariant: once
+// a mutation's response has returned, no subsequent GET may serve the
+// pre-mutation state — a superseded or deleted version answers 404, a
+// live version answers its exact bytes, and a 304 never carries a body.
+// Run under -race this also shakes out cache/aggregate data races.
+func TestRenderInvalidationUnderChurn(t *testing.T) {
+	_, hs := newService(t, server.Config{Corpus: testCorpus(t)})
+
+	// bodies maps every content id this test ever created to its exact
+	// wire body; a 200 for id must match bodies[id] no matter how the
+	// race unfolded, because ids are content-addressed.
+	var mu sync.Mutex
+	bodies := map[string][]byte{}
+	var current atomic.Value // string: the id most recently committed
+	current.Store("")
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id := current.Load().(string)
+				if id == "" {
+					continue
+				}
+				mu.Lock()
+				want := bodies[id]
+				mu.Unlock()
+				status, _, body := doCond(t, hs.URL+"/v1/projects/"+id, "")
+				switch status {
+				case http.StatusOK:
+					if string(body) != string(want) {
+						t.Errorf("GET %s returned foreign bytes for its content id", id)
+						return
+					}
+				case http.StatusNotFound:
+					// Superseded or deleted while we raced — legal.
+				default:
+					t.Errorf("GET %s: unexpected status %d", id, status)
+					return
+				}
+				// Aggregates must stay serveable throughout the churn.
+				if status, _, _ := doCond(t, hs.URL+"/v1/corpus/stats", ""); status != http.StatusOK {
+					t.Errorf("stats GET during churn: status %d", status)
+					return
+				}
+			}
+		}()
+	}
+
+	const rounds = 10
+	var prev string
+	for v := 1; v <= rounds; v++ {
+		status, _, body := post(t, hs.URL, churnRepo("churn-project", v))
+		if status != http.StatusOK {
+			t.Fatalf("round %d POST status %d: %s", v, status, body)
+		}
+		id := wireID(t, body)
+		mu.Lock()
+		bodies[id] = body
+		mu.Unlock()
+		current.Store(id)
+
+		// The commit has returned: the previous version must already be
+		// invisible and the new one must serve its exact bytes.
+		if prev != "" && prev != id {
+			if status, _, _ := doCond(t, hs.URL+"/v1/projects/"+prev, ""); status != http.StatusNotFound {
+				t.Fatalf("round %d: superseded %s still served (status %d)", v, prev, status)
+			}
+		}
+		status, h, got := doCond(t, hs.URL+"/v1/projects/"+id, "")
+		if status != http.StatusOK || string(got) != string(body) {
+			t.Fatalf("round %d: GET after commit: status %d bodyEqual=%v", v, status, string(got) == string(body))
+		}
+		if status, _, b304 := doCond(t, hs.URL+"/v1/projects/"+id, h.Get("ETag")); status != http.StatusNotModified || len(b304) != 0 {
+			t.Fatalf("round %d: conditional GET status %d len %d", v, status, len(b304))
+		}
+		prev = id
+	}
+
+	// DELETE the final version mid-churn, then verify it stays gone.
+	if status, _, body := do(t, http.MethodDelete, hs.URL+"/v1/projects/"+prev, nil); status != http.StatusOK {
+		t.Fatalf("DELETE status %d: %s", status, body)
+	}
+	if status, _, _ := doCond(t, hs.URL+"/v1/projects/"+prev, ""); status != http.StatusNotFound {
+		t.Fatalf("deleted %s still served (status %d)", prev, status)
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,277 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"testing"
+
+	"schemaevo/internal/core"
+	"schemaevo/internal/store"
+	"schemaevo/internal/synth"
+)
+
+// TestRenderCacheEpochProtocol pins the race-closing insert protocol: a
+// put carrying an epoch older than the key's current one must be
+// rejected, so a reader that raced a mutation can never resurrect the
+// pre-mutation body.
+func TestRenderCacheEpochProtocol(t *testing.T) {
+	c := newRenderCache(1<<20, nil)
+	entry := func(body string) renderEntry {
+		b := []byte(body)
+		return renderEntry{body: b, etag: etagFor(b)}
+	}
+
+	epoch := c.epochOf("k")
+	if !c.put("k", epoch, entry("v1")) {
+		t.Fatal("put with a fresh epoch was rejected")
+	}
+	if e, ok := c.get("k"); !ok || string(e.body) != "v1" {
+		t.Fatalf("get after put: ok=%v body=%q", ok, e.body)
+	}
+
+	// Invalidation drops the entry and moves the epoch.
+	c.invalidate("k")
+	if _, ok := c.get("k"); ok {
+		t.Fatal("get after invalidate still hit")
+	}
+	if c.put("k", epoch, entry("stale")) {
+		t.Fatal("put with a pre-invalidation epoch was accepted")
+	}
+	if _, ok := c.get("k"); ok {
+		t.Fatal("stale put populated the cache")
+	}
+
+	// The post-invalidation epoch admits a fresh render.
+	epoch2 := c.epochOf("k")
+	if epoch2 == epoch {
+		t.Fatal("invalidate did not move the epoch")
+	}
+	if !c.put("k", epoch2, entry("v2")) {
+		t.Fatal("put with the current epoch was rejected")
+	}
+
+	// A duplicate put under an unchanged epoch keeps the original bytes
+	// (both renders are byte-identical by construction; keeping the first
+	// avoids churning the accounting).
+	first, _ := c.get("k")
+	c.put("k", epoch2, entry("v2"))
+	second, _ := c.get("k")
+	if &first.body[0] != &second.body[0] {
+		t.Fatal("duplicate put under one epoch replaced the entry")
+	}
+}
+
+// TestRenderCacheEviction bounds the cache by bytes: inserting far more
+// than the budget must evict LRU entries, never exceed the budget, and
+// keep the most recently used entry resident.
+func TestRenderCacheEviction(t *testing.T) {
+	c := newRenderCache(1, nil) // clamps to the 4 KiB per-shard floor
+	body := make([]byte, 1024)
+	var last string
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("key-%03d", i)
+		c.put(key, c.epochOf(key), renderEntry{body: body, etag: etagFor(body)})
+		last = key
+	}
+	budget := int64(renderShardCount * 4096)
+	if got := c.bytesCached(); got > budget {
+		t.Fatalf("bytesCached %d exceeds the %d budget", got, budget)
+	}
+	if _, ok := c.get(last); !ok {
+		t.Fatal("most recently inserted entry was evicted")
+	}
+	misses := 0
+	for i := 0; i < 200; i++ {
+		if _, ok := c.get(fmt.Sprintf("key-%03d", i)); !ok {
+			misses++
+		}
+	}
+	if misses == 0 {
+		t.Fatal("no entry was evicted despite 200 KiB over a 64 KiB budget")
+	}
+}
+
+// TestETagFormat pins the strong-validator shape: a quoted 16-digit
+// lowercase hex string, stable for equal bodies, different for
+// different bodies.
+func TestETagFormat(t *testing.T) {
+	re := regexp.MustCompile(`^"[0-9a-f]{16}"$`)
+	a, b := etagFor([]byte("alpha")), etagFor([]byte("beta"))
+	if !re.MatchString(a) || !re.MatchString(b) {
+		t.Fatalf("malformed etags %s / %s", a, b)
+	}
+	if a == b {
+		t.Fatal("distinct bodies produced equal etags")
+	}
+	if a != etagFor([]byte("alpha")) {
+		t.Fatal("equal bodies produced distinct etags")
+	}
+}
+
+// TestIfNoneMatchSatisfied pins RFC 9110 §13.1.2 weak comparison over
+// the header shapes clients actually send.
+func TestIfNoneMatchSatisfied(t *testing.T) {
+	const etag = `"0123456789abcdef"`
+	cases := []struct {
+		header string
+		want   bool
+	}{
+		{"", false},
+		{etag, true},
+		{`W/` + etag, true},
+		{`"other"`, false},
+		{`"other", ` + etag, true},
+		{`"a" , W/` + etag + ` ,"b"`, true},
+		{"*", true},
+		{`"0123456789abcdef`, false}, // unterminated, not an exact match
+		{"0123456789abcdef", false},  // unquoted is a different opaque tag
+	}
+	for _, c := range cases {
+		if got := ifNoneMatchSatisfied(c.header, etag); got != c.want {
+			t.Errorf("ifNoneMatchSatisfied(%q) = %v, want %v", c.header, got, c.want)
+		}
+	}
+}
+
+// discardWriter is the cheapest possible ResponseWriter: a reusable
+// header map and a byte-counting sink, so AllocsPerRun measures the
+// serving path rather than the recorder.
+type discardWriter struct {
+	h http.Header
+	n int
+}
+
+func (w *discardWriter) Header() http.Header         { return w.h }
+func (w *discardWriter) Write(b []byte) (int, error) { w.n += len(b); return len(b), nil }
+func (w *discardWriter) WriteHeader(int)             {}
+
+func newAllocServer(t *testing.T) *Server {
+	t.Helper()
+	c, err := synth.RandomCorpus(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(context.Background(), Config{Corpus: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// TestCachedReadAllocs enforces the acceptance budget: a cached project
+// GET performs at most 10 allocations (header sets and the
+// Content-Length itoa), and a 304 strictly fewer.
+func TestCachedReadAllocs(t *testing.T) {
+	s := newAllocServer(t)
+	id := s.corpusMembers[0].id
+
+	req := httptest.NewRequest(http.MethodGet, "/v1/projects/"+id, nil)
+	req.SetPathValue("id", id)
+	w := &discardWriter{h: make(http.Header, 8)}
+	s.handleProject(w, req) // warm the render cache
+	if _, ok := s.render.get(id); !ok {
+		t.Fatal("warm-up GET did not populate the render cache")
+	}
+
+	measure := func(r *http.Request) float64 {
+		return testing.AllocsPerRun(200, func() {
+			for k := range w.h {
+				delete(w.h, k)
+			}
+			s.handleProject(w, r)
+		})
+	}
+	if got := measure(req); got > 10 {
+		t.Errorf("cached GET allocates %.1f per request, budget is 10", got)
+	}
+
+	etag, _ := s.render.get(id)
+	cond := httptest.NewRequest(http.MethodGet, "/v1/projects/"+id, nil)
+	cond.SetPathValue("id", id)
+	cond.Header.Set("If-None-Match", etag.etag)
+	if got := measure(cond); got > 10 {
+		t.Errorf("conditional GET allocates %.1f per request, budget is 10", got)
+	}
+}
+
+// TestAggregateDifferential drives the incremental aggregate tally
+// through overwrites and re-puts and requires the rendered documents to
+// stay byte-identical to a from-scratch rebuild over the live
+// membership — the incremental path may never drift from the
+// recomputed truth.
+func TestAggregateDifferential(t *testing.T) {
+	s := newAllocServer(t)
+
+	check := func(step string) {
+		t.Helper()
+		members := append(append([]member{}, s.corpusMembers...), s.aggMembers()...)
+		s.aggMu.Lock()
+		live := len(s.agg)
+		s.aggMu.Unlock()
+		full := buildCorpusStats(s.corpus.Len()+live, members)
+		wantStats := appendCorpusStatsWire(nil, &full)
+		if got := s.statsRendered(); string(got.body) != string(wantStats) {
+			t.Fatalf("%s: incremental stats drifted from rebuild\n--- got ---\n%s\n--- want ---\n%s", step, got.body, wantStats)
+		}
+		fullPats := buildCorpusPatterns(members)
+		wantPats := appendCorpusPatternsWire(nil, &fullPats)
+		if got := s.patternsRendered(); string(got.body) != string(wantPats) {
+			t.Fatalf("%s: incremental patterns drifted from rebuild\n--- got ---\n%s\n--- want ---\n%s", step, got.body, wantPats)
+		}
+	}
+
+	// put mirrors the commit path exactly: a store put (which supersedes
+	// the name's previous version) followed by the aggregate update with
+	// the store-reported previous ID.
+	put := func(id, name string, pat core.Pattern) {
+		t.Helper()
+		prev, err := s.store.Put(store.Entry{
+			ID: id, Name: name, Fingerprint: "fp-" + id,
+			Source: []byte("src " + id), Result: []byte("res " + id),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.aggPut(id, name, pat, prev)
+	}
+
+	check("baseline")
+	pats := core.AllPatterns
+	for i := 0; i < 8; i++ {
+		put(fmt.Sprintf("id-%d", i), fmt.Sprintf("proj-%d", i), pats[i%len(pats)])
+		check(fmt.Sprintf("insert %d", i))
+	}
+	// Overwrite: a new version supersedes the previous ID, possibly
+	// changing the pattern bucket.
+	put("id-0b", "proj-0", pats[3])
+	check("overwrite with supersede")
+	// Same-ID re-put with a different pattern (re-analysis refinement).
+	put("id-1", "proj-1", pats[4])
+	check("same-id re-put")
+	// Deletion through the real handler.
+	dreq := httptest.NewRequest(http.MethodDelete, "/v1/projects/id-2", nil)
+	dreq.SetPathValue("id", "id-2")
+	drec := httptest.NewRecorder()
+	s.handleDelete(drec, dreq)
+	if drec.Code != http.StatusOK {
+		t.Fatalf("DELETE id-2: status %d, body %s", drec.Code, drec.Body.Bytes())
+	}
+	check("delete")
+
+	// The cached document must be reused (same backing array) while the
+	// epoch is unchanged, and replaced after a mutation.
+	a, b := s.statsRendered(), s.statsRendered()
+	if &a.body[0] != &b.body[0] {
+		t.Fatal("unchanged epoch re-rendered the stats document")
+	}
+	put("id-9", "proj-9", pats[0])
+	cafter := s.statsRendered()
+	if len(a.body) == len(cafter.body) && &a.body[0] == &cafter.body[0] {
+		t.Fatal("aggregate mutation did not refresh the stats document")
+	}
+	check("final")
+}

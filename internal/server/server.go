@@ -143,6 +143,12 @@ type Config struct {
 	// free space climbs back above twice the floor. <= 0 disables the
 	// watchdog.
 	DiskLowBytes int64
+	// RenderBytes caps the pre-rendered response cache (the zero-copy
+	// serving tier: each project's wire JSON rendered once into an
+	// immutable []byte and served with a single write). 0 selects 64 MiB;
+	// negative disables the cache — every read re-renders, which the
+	// eviction/re-analysis tests use to exercise the fall-through paths.
+	RenderBytes int64
 }
 
 // aggEntry is one submitted project's contribution to the live corpus
@@ -150,6 +156,15 @@ type Config struct {
 type aggEntry struct {
 	name string
 	pat  core.Pattern
+}
+
+// renderedDoc is one lazily rendered aggregate document (stats or
+// patterns): the pre-rendered body and its ETag, valid while epoch still
+// matches the live aggregate epoch. A nil body means not yet rendered.
+type renderedDoc struct {
+	epoch uint64
+	body  []byte
+	etag  string
 }
 
 // Server is the HTTP analysis service. Construct with New; it implements
@@ -169,11 +184,24 @@ type Server struct {
 	store  *store.Store
 	flight flightGroup
 	sem    chan struct{}
+	// render is the pre-rendered response cache (nil when disabled via
+	// RenderBytes < 0); invalidated through the store's OnCommit hook.
+	render *renderCache
 
 	// agg is the live aggregate membership of store-backed projects
 	// (never corpus IDs), maintained on every commit/delete/overwrite.
-	aggMu sync.Mutex
-	agg   map[string]aggEntry
+	// aggCounts is its per-pattern tally, maintained incrementally so the
+	// stats document never rescans the membership; aggEpoch bumps on every
+	// aggregate mutation and versions the two lazily rendered documents.
+	aggMu       sync.Mutex
+	agg         map[string]aggEntry
+	aggCounts   map[core.Pattern]int
+	aggEpoch    uint64
+	statsDoc    renderedDoc
+	patternsDoc renderedDoc
+	// corpusCounts is the immutable corpus baseline's per-pattern tally,
+	// derived once at construction alongside corpusMembers.
+	corpusCounts map[core.Pattern]int
 
 	execStage *telemetry.Stage
 	incrStage *telemetry.Stage
@@ -207,7 +235,13 @@ func New(ctx context.Context, cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("server: unknown dialect %q (accepted: %v)", cfg.Dialect, dialect.Names())
 		}
 	}
-	s := &Server{cfg: cfg, scheme: quantize.DefaultScheme(), agg: map[string]aggEntry{}}
+	s := &Server{
+		cfg:          cfg,
+		scheme:       quantize.DefaultScheme(),
+		agg:          map[string]aggEntry{},
+		aggCounts:    map[core.Pattern]int{},
+		corpusCounts: map[core.Pattern]int{},
+	}
 	if cfg.Scheme != nil {
 		s.scheme = *cfg.Scheme
 	}
@@ -222,6 +256,22 @@ func New(ctx context.Context, cfg Config) (*Server, error) {
 	s.execStage = s.tel.Stage("analyze.exec")
 	s.incrStage = s.tel.Stage("analyze.incr")
 
+	if cfg.RenderBytes >= 0 {
+		rb := cfg.RenderBytes
+		if rb == 0 {
+			rb = 64 << 20
+		}
+		s.render = newRenderCache(rb, s.tel)
+	}
+	// Every store mutation (overwrite, delete, re-analysis write-back)
+	// invalidates the affected IDs' rendered bodies after the mutation is
+	// fully visible — the epoch protocol in rendercache.go relies on this
+	// ordering.
+	var onCommit func(id string, seq uint64)
+	if s.render != nil {
+		onCommit = func(id string, _ uint64) { s.render.invalidate(id) }
+	}
+
 	st, err := store.Open(store.Config{
 		Dir:        cfg.StoreDir,
 		Shards:     cfg.StoreShards,
@@ -229,6 +279,7 @@ func New(ctx context.Context, cfg Config) (*Server, error) {
 		HotBytes:   cfg.HotBytes,
 		Telemetry:  s.tel,
 		Fault:      cfg.Fault,
+		OnCommit:   onCommit,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("server: %w", err)
@@ -264,6 +315,7 @@ func New(ctx context.Context, cfg Config) (*Server, error) {
 	for _, p := range s.corpus.Projects {
 		if p.Analyzed {
 			s.corpusMembers = append(s.corpusMembers, member{id: idOf(p), name: p.Name, pat: p.Assigned()})
+			s.corpusCounts[p.Assigned()]++
 		}
 	}
 
@@ -279,7 +331,9 @@ func New(ctx context.Context, cfg Config) (*Server, error) {
 			return
 		}
 		if res, err := pipeline.DecodeResult(result); err == nil {
-			s.agg[id] = aggEntry{name: name, pat: assignedPattern(res.Measures, s.scheme)}
+			pat := assignedPattern(res.Measures, s.scheme)
+			s.agg[id] = aggEntry{name: name, pat: pat}
+			s.aggCounts[pat]++
 		}
 	})
 
@@ -469,38 +523,43 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error(), nil)
 		return
 	}
-	res, cacheState, err := s.submit(r.Context(), &repo, false)
+	out, cacheState, err := s.submit(r.Context(), &repo, false)
 	if err != nil {
 		s.writeSubmitError(w, err)
 		return
 	}
-	w.Header().Set("X-Cache", cacheState)
-	id := projectID(res.Fingerprint)
-	writeJSON(w, http.StatusOK, buildProjectWire(id, res.Project, res.History, res.Measures, s.scheme))
+	s.serveRendered(w, r, out.entry, cacheState, false)
 }
 
 // submitOutcome carries the singleflight leader's result plus how it was
-// obtained, so followers can label their responses.
+// obtained, so followers can label their responses. entry is always a
+// fully rendered body; the batch endpoint reads the project and pattern
+// summaries off it without decoding anything.
 type submitOutcome struct {
-	res   *pipeline.CachedResult
+	id    string
+	entry renderEntry
 	state string // "hit", "miss", or "incremental"
 }
 
 // submit is the shared analysis path of the single and batch endpoints:
-// store lookup, singleflight, incremental-or-full analysis, commit.
+// render cache, then store lookup, then singleflight and
+// incremental-or-full analysis plus commit.
 // wait selects the semaphore discipline — false rejects with errSaturated
 // when all workers are busy (single submit's 429 contract), true blocks
 // until a slot or ctx expiry (the batch endpoint's backpressure).
 // The returned cache state is one of "hit", "coalesced", "incremental",
 // "miss".
-func (s *Server) submit(ctx context.Context, repo *vcs.Repo, wait bool) (*pipeline.CachedResult, string, error) {
+func (s *Server) submit(ctx context.Context, repo *vcs.Repo, wait bool) (*submitOutcome, string, error) {
 	fingerprint := pipeline.FingerprintDialect(repo, s.cfg.Dialect)
-	if data, _, ok := s.store.Get(projectID(fingerprint)); ok {
-		if res, err := pipeline.DecodeResult(data); err == nil {
-			return res, "hit", nil
-		}
-		// An undecodable store entry is impossible short of memory
-		// corruption; treat it as a miss and recompute.
+	id := projectID(fingerprint)
+	// A live rendered body is proof the store already holds this content
+	// (corpus-only renders don't count: the first submission of a corpus
+	// project must still analyze and commit it).
+	if e, ok := s.render.get(id); ok && !e.corpus {
+		return &submitOutcome{id: id, entry: e, state: "hit"}, "hit", nil
+	}
+	if e, ok := s.renderStored(id); ok {
+		return &submitOutcome{id: id, entry: e, state: "hit"}, "hit", nil
 	}
 	val, err, shared := s.flight.Do(fingerprint, func() (any, error) {
 		return s.analyze(ctx, repo, fingerprint, wait)
@@ -513,7 +572,7 @@ func (s *Server) submit(ctx context.Context, repo *vcs.Repo, wait bool) (*pipeli
 	if shared {
 		state = "coalesced"
 	}
-	return out.res, state, nil
+	return out, state, nil
 }
 
 // failServer is the degradation taxonomy bucket for faults injected at
@@ -551,10 +610,8 @@ func (s *Server) analyze(ctx context.Context, repo *vcs.Repo, fingerprint string
 	// missed the store, then became leader only after a previous leader
 	// for the same content completed, must serve the stored result —
 	// never a second analysis.
-	if data, _, ok := s.store.Get(id); ok {
-		if res, derr := pipeline.DecodeResult(data); derr == nil {
-			return &submitOutcome{res: res, state: "hit"}, nil
-		}
+	if e, ok := s.renderStored(id); ok {
+		return &submitOutcome{id: id, entry: e, state: "hit"}, nil
 	}
 	if wait {
 		s.semWait.Add(1)
@@ -599,7 +656,7 @@ func (s *Server) analyze(ctx context.Context, repo *vcs.Repo, fingerprint string
 		if cerr := s.commit(repo, fingerprint, id, res); cerr != nil {
 			return nil, cerr
 		}
-		return &submitOutcome{res: res, state: "incremental"}, nil
+		return &submitOutcome{id: id, entry: s.renderResult(id, res), state: "incremental"}, nil
 	}
 
 	res, aerr := s.runFull(ctx, repo, fingerprint)
@@ -609,7 +666,7 @@ func (s *Server) analyze(ctx context.Context, repo *vcs.Repo, fingerprint string
 	if cerr := s.commit(repo, fingerprint, id, res); cerr != nil {
 		return nil, cerr
 	}
-	return &submitOutcome{res: res, state: "miss"}, nil
+	return &submitOutcome{id: id, entry: s.renderResult(id, res), state: "miss"}, nil
 }
 
 // tryExtend attempts incremental re-analysis: if the store holds this
@@ -712,16 +769,27 @@ func (s *Server) commit(repo *vcs.Repo, fingerprint, id string, res *pipeline.Ca
 func (s *Server) aggPut(id, name string, pat core.Pattern, prevID string) {
 	s.aggMu.Lock()
 	defer s.aggMu.Unlock()
+	changed := false
 	if prevID != "" {
-		delete(s.agg, prevID)
+		if old, ok := s.agg[prevID]; ok {
+			delete(s.agg, prevID)
+			s.aggCounts[old.pat]--
+			changed = true
+		}
 	}
-	if live, ok := s.store.LatestID(name); !ok || live != id {
-		return
+	live, ok := s.store.LatestID(name)
+	_, corpusOwned := s.index.Lookup(id)
+	if ok && live == id && !corpusOwned {
+		if old, exists := s.agg[id]; exists {
+			s.aggCounts[old.pat]--
+		}
+		s.agg[id] = aggEntry{name: name, pat: pat}
+		s.aggCounts[pat]++
+		changed = true
 	}
-	if _, corpusOwned := s.index.Lookup(id); corpusOwned {
-		return
+	if changed {
+		s.aggEpoch++
 	}
-	s.agg[id] = aggEntry{name: name, pat: pat}
 }
 
 // writeSubmitError maps an analysis failure to its status code and body.
@@ -754,32 +822,118 @@ func (s *Server) writeSubmitError(w http.ResponseWriter, err error) {
 	writeError(w, http.StatusInternalServerError, err.Error(), nil)
 }
 
-// handleProject is GET /v1/projects/{id}: the result store first (any
+// serveRendered writes one pre-rendered JSON body with its strong ETag
+// in a single Write. conditional enables the If-None-Match tier (GETs):
+// a match answers 304 Not Modified with zero body bytes, the ETag header
+// still present so caches can refresh their metadata.
+func (s *Server) serveRendered(w http.ResponseWriter, r *http.Request, e renderEntry, state string, conditional bool) {
+	h := w.Header()
+	h.Set("X-Cache", state)
+	h.Set("ETag", e.etag)
+	if conditional && ifNoneMatchSatisfied(r.Header.Get("If-None-Match"), e.etag) {
+		s.tel.RenderNotModified()
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	h.Set("Content-Type", "application/json")
+	h.Set("Content-Length", strconv.Itoa(len(e.body)))
+	w.WriteHeader(http.StatusOK)
+	w.Write(e.body)
+}
+
+// renderStored renders id's live stored result into a cache entry under
+// the epoch protocol: snapshot the epoch, read the store, render, insert
+// only if no invalidation intervened. ok=false when the store has no
+// readable result for id.
+func (s *Server) renderStored(id string) (renderEntry, bool) {
+	epoch := s.render.epochOf(id)
+	data, _, ok := s.store.Get(id)
+	if !ok {
+		return renderEntry{}, false
+	}
+	res, err := pipeline.DecodeResult(data)
+	if err != nil {
+		// An undecodable store entry is impossible short of memory
+		// corruption; treat it as a miss and let the caller recompute.
+		return renderEntry{}, false
+	}
+	e := buildRenderEntry(id, res.Project, res.History, res.Measures, s.scheme, false)
+	s.render.put(id, epoch, e)
+	return e, true
+}
+
+// renderStoredFlight is renderStored with concurrent first renders of
+// the same id collapsed onto one leader.
+func (s *Server) renderStoredFlight(id string) (renderEntry, bool) {
+	type outcome struct {
+		e  renderEntry
+		ok bool
+	}
+	val, _, _ := s.flight.Do("render:"+id, func() (any, error) {
+		e, ok := s.renderStored(id)
+		return outcome{e, ok}, nil
+	})
+	o := val.(outcome)
+	return o.e, o.ok
+}
+
+// renderResult renders a result the caller just committed (analysis or
+// re-analysis write-back). The epoch snapshot happens after that commit,
+// so the insert is rejected if any later mutation raced us; the liveness
+// re-check keeps a fully completed DELETE in the gap from being shadowed
+// by a resurrected body. The entry is served to the caller either way.
+func (s *Server) renderResult(id string, res *pipeline.CachedResult) renderEntry {
+	epoch := s.render.epochOf(id)
+	e := buildRenderEntry(id, res.Project, res.History, res.Measures, s.scheme, false)
+	if live, ok := s.store.LatestID(res.Project); ok && live == id {
+		s.render.put(id, epoch, e)
+	}
+	return e
+}
+
+// renderCorpus renders an immutable corpus project's body. Reached only
+// after the store paths missed; a submission of the same content racing
+// in commits under the same ID (the fingerprint covers the name) with
+// byte-identical rendering, and its commit invalidation evicts this
+// entry so the store-backed state takes over.
+func (s *Server) renderCorpus(id string, p *corpus.Project) renderEntry {
+	epoch := s.render.epochOf(id)
+	e := buildRenderEntry(id, p.Name, p.History, p.Measures, s.scheme, true)
+	s.render.put(id, epoch, e)
+	return e
+}
+
+// handleProject is GET /v1/projects/{id}: the rendered-body cache first
+// (one Write, no decode, no marshal), then the result store (any
 // previously submitted history, hot or disk tier), then on-demand
 // re-analysis from the persisted source snapshot (an evicted or
 // quarantined result is recomputable, not lost), then the corpus index
 // (preloaded projects), else 404. Responses are byte-identical to the
-// submit response for the same content.
+// submit response for the same content, carry a strong ETag, and answer
+// If-None-Match with a zero-body 304.
 func (s *Server) handleProject(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	if data, _, ok := s.store.Get(id); ok {
-		if res, err := pipeline.DecodeResult(data); err == nil {
-			w.Header().Set("X-Cache", "hit")
-			writeJSON(w, http.StatusOK, buildProjectWire(id, res.Project, res.History, res.Measures, s.scheme))
-			return
+	if e, ok := s.render.get(id); ok {
+		state := "hit"
+		if e.corpus {
+			state = "corpus"
 		}
+		s.serveRendered(w, r, e, state, true)
+		return
+	}
+	if e, ok := s.renderStoredFlight(id); ok {
+		s.serveRendered(w, r, e, "hit", true)
+		return
 	}
 	if res, ok, err := s.reanalyze(r.Context(), id); err != nil {
 		s.writeSubmitError(w, err)
 		return
 	} else if ok {
-		w.Header().Set("X-Cache", "reanalyzed")
-		writeJSON(w, http.StatusOK, buildProjectWire(id, res.Project, res.History, res.Measures, s.scheme))
+		s.serveRendered(w, r, s.renderResult(id, res), "reanalyzed", true)
 		return
 	}
 	if p, ok := s.index.Lookup(id); ok && p.Analyzed {
-		w.Header().Set("X-Cache", "corpus")
-		writeJSON(w, http.StatusOK, buildProjectWire(id, p.Name, p.History, p.Measures, s.scheme))
+		s.serveRendered(w, r, s.renderCorpus(id, p), "corpus", true)
 		return
 	}
 	writeError(w, http.StatusNotFound, "unknown project id "+id, nil)
@@ -860,7 +1014,11 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.aggMu.Lock()
-	delete(s.agg, id)
+	if old, ok := s.agg[id]; ok {
+		delete(s.agg, id)
+		s.aggCounts[old.pat]--
+		s.aggEpoch++
+	}
 	s.aggMu.Unlock()
 	writeJSON(w, http.StatusOK, deleteWire{SchemaVersion: APISchemaVersion, ID: id, Status: "deleted"})
 }
@@ -876,28 +1034,72 @@ func (s *Server) aggMembers() []member {
 	return out
 }
 
+// statsRendered returns the pre-rendered stats document, rebuilding it
+// from the incrementally maintained per-pattern counts only when the
+// aggregate epoch moved since the last render.
+func (s *Server) statsRendered() renderEntry {
+	s.aggMu.Lock()
+	defer s.aggMu.Unlock()
+	if s.statsDoc.body == nil || s.statsDoc.epoch != s.aggEpoch {
+		counts := make(map[core.Pattern]int, len(s.corpusCounts)+len(s.aggCounts))
+		for pat, n := range s.corpusCounts {
+			counts[pat] += n
+		}
+		for pat, n := range s.aggCounts {
+			counts[pat] += n
+		}
+		doc := buildCorpusStatsFromCounts(s.corpus.Len()+len(s.agg), len(s.corpusMembers)+len(s.agg), counts)
+		body := appendCorpusStatsWire(nil, &doc)
+		s.statsDoc = renderedDoc{epoch: s.aggEpoch, body: body, etag: etagFor(body)}
+	}
+	return renderEntry{body: s.statsDoc.body, etag: s.statsDoc.etag}
+}
+
+// patternsRendered returns the pre-rendered patterns document, rebuilt
+// from the live membership once per aggregate epoch.
+func (s *Server) patternsRendered() renderEntry {
+	s.aggMu.Lock()
+	defer s.aggMu.Unlock()
+	if s.patternsDoc.body == nil || s.patternsDoc.epoch != s.aggEpoch {
+		members := make([]member, 0, len(s.corpusMembers)+len(s.agg))
+		members = append(members, s.corpusMembers...)
+		for id, e := range s.agg {
+			members = append(members, member{id: id, name: e.name, pat: e.pat})
+		}
+		doc := buildCorpusPatterns(members)
+		body := appendCorpusPatternsWire(nil, &doc)
+		s.patternsDoc = renderedDoc{epoch: s.aggEpoch, body: body, etag: etagFor(body)}
+	}
+	return renderEntry{body: s.patternsDoc.body, etag: s.patternsDoc.etag}
+}
+
 // handleCorpusStats is GET /v1/corpus/stats: the corpus baseline plus
-// every live submitted project, tallied by pattern.
+// every live submitted project, tallied by pattern — served from the
+// epoch-versioned pre-rendered document.
 func (s *Server) handleCorpusStats(w http.ResponseWriter, r *http.Request) {
-	extra := s.aggMembers()
-	members := append(append([]member{}, s.corpusMembers...), extra...)
-	writeJSON(w, http.StatusOK, buildCorpusStats(s.corpus.Len()+len(extra), members))
+	s.serveRendered(w, r, s.statsRendered(), "corpus", true)
 }
 
 // handleCorpusPatterns is GET /v1/corpus/patterns: pattern groups over
-// the corpus baseline plus every live submitted project.
+// the corpus baseline plus every live submitted project, served the same
+// way.
 func (s *Server) handleCorpusPatterns(w http.ResponseWriter, r *http.Request) {
-	members := append(append([]member{}, s.corpusMembers...), s.aggMembers()...)
-	writeJSON(w, http.StatusOK, buildCorpusPatterns(members))
+	s.serveRendered(w, r, s.patternsRendered(), "corpus", true)
 }
 
 // handleMetrics is GET /metrics: the run's telemetry report JSON
 // (schema_version'd; see internal/telemetry). The report's store block
 // aggregates the result store's tiers; the cache block covers the
 // pipeline's disk cache when configured.
+// The report is rendered fully before any header is written, so an
+// encoding failure surfaces as a clean 500 instead of a truncated 200.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	if err := s.tel.WriteJSON(w); err != nil {
+	s.render.renderGauges()
+	data, err := renderJSON(s.tel.Snapshot())
+	if err != nil {
 		writeError(w, http.StatusInternalServerError, err.Error(), nil)
+		return
 	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
 }

@@ -220,15 +220,23 @@ func assignedPattern(m metrics.Measures, scheme quantize.Scheme) core.Pattern {
 // document shape is corpus-independent). projects is the total project
 // count including any unanalyzed corpus entries.
 func buildCorpusStats(projects int, members []member) corpusStatsWire {
-	out := corpusStatsWire{
-		SchemaVersion: APISchemaVersion,
-		Projects:      projects,
-		Analyzed:      len(members),
-		Patterns:      []patternCountWire{},
-	}
 	counts := map[core.Pattern]int{}
 	for _, m := range members {
 		counts[m.pat]++
+	}
+	return buildCorpusStatsFromCounts(projects, len(members), counts)
+}
+
+// buildCorpusStatsFromCounts is buildCorpusStats over an already
+// maintained per-pattern tally — the incremental aggregate path, which
+// never rescans the membership. The differential aggregate test pins
+// both constructions to identical documents.
+func buildCorpusStatsFromCounts(projects, analyzed int, counts map[core.Pattern]int) corpusStatsWire {
+	out := corpusStatsWire{
+		SchemaVersion: APISchemaVersion,
+		Projects:      projects,
+		Analyzed:      analyzed,
+		Patterns:      []patternCountWire{},
 	}
 	for _, pat := range core.AllPatterns {
 		out.Patterns = append(out.Patterns, patternCountWire{
@@ -276,6 +284,22 @@ func buildCorpusPatterns(members []member) corpusPatternsWire {
 		emit(core.Unclassified)
 	}
 	return out
+}
+
+// buildRenderEntry renders one project's wire body through the
+// append-based encoder into an immutable cache entry: the exact bytes
+// json.MarshalIndent would produce (plus trailing newline), the strong
+// ETag over them, and the summary fields the batch stream needs.
+func buildRenderEntry(id, project string, h *history.History, m metrics.Measures, scheme quantize.Scheme, corpusOwned bool) renderEntry {
+	wire := buildProjectWire(id, project, h, m, scheme)
+	body := appendProjectWire(make([]byte, 0, 1536), &wire)
+	return renderEntry{
+		body:    body,
+		etag:    etagFor(body),
+		project: wire.Project,
+		pattern: wire.Pattern,
+		corpus:  corpusOwned,
+	}
 }
 
 // renderJSON is the byte-stable rendering every endpoint uses: indented

@@ -1,0 +1,139 @@
+package store
+
+import (
+	"sync"
+	"testing"
+)
+
+// commitLog records OnCommit firings together with what the store
+// answered for the fired ID at notification time — the hook's contract
+// is "the mutation is fully visible before the hook runs", so a
+// cache invalidator keyed on it can never observe pre-mutation state
+// afterwards.
+type commitLog struct {
+	mu    sync.Mutex
+	calls []string
+	seqs  []uint64
+}
+
+func (l *commitLog) record(id string, seq uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.calls = append(l.calls, id)
+	l.seqs = append(l.seqs, seq)
+}
+
+// take drains the pending call list; the sequence history is kept for
+// the whole run so monotonicity can be checked at the end.
+func (l *commitLog) take() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := l.calls
+	l.calls = nil
+	return out
+}
+
+func wantCalls(t *testing.T, got, want []string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("OnCommit fired for %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("OnCommit fired for %v, want %v", got, want)
+		}
+	}
+}
+
+// TestOnCommitOrdering pins the hook protocol for every mutating entry
+// point: fired after the mutation is visible, once per affected ID
+// (including the superseded previous version on an overwrite), with a
+// monotonically increasing sequence.
+func TestOnCommitOrdering(t *testing.T) {
+	var log commitLog
+	s, err := Open(Config{Dir: t.TempDir(), Shards: 2, OnCommit: log.record})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Hook observes the committed put.
+	var visible bool
+	s.onCommit = func(id string, seq uint64) {
+		if data, _, ok := s.Get(id); ok && string(data) == "result v1" {
+			visible = true
+		}
+		log.record(id, seq)
+	}
+	if _, err := s.Put(Entry{ID: "p-v1", Name: "p", Fingerprint: "fp1", Source: []byte("src v1"), Result: []byte("result v1")}); err != nil {
+		t.Fatal(err)
+	}
+	if !visible {
+		t.Fatal("OnCommit fired before the put was readable")
+	}
+	s.onCommit = log.record
+	wantCalls(t, log.take(), []string{"p-v1"})
+
+	// Overwrite: the new ID first, then the superseded previous ID — a
+	// subscriber invalidating per-ID caches drops both versions.
+	if _, err := s.Put(Entry{ID: "p-v2", Name: "p", Fingerprint: "fp2", Source: []byte("src v2"), Result: []byte("result v2")}); err != nil {
+		t.Fatal(err)
+	}
+	wantCalls(t, log.take(), []string{"p-v2", "p-v1"})
+
+	// Same-ID re-put: no previous ID, a single firing.
+	if _, err := s.Put(Entry{ID: "p-v2", Name: "p", Fingerprint: "fp2", Source: []byte("src v2"), Result: []byte("result v2b")}); err != nil {
+		t.Fatal(err)
+	}
+	wantCalls(t, log.take(), []string{"p-v2"})
+
+	// PutResult (re-analysis write-back) fires for the refreshed ID, and
+	// the new result is visible from inside the hook.
+	visible = false
+	s.onCommit = func(id string, seq uint64) {
+		if data, _, ok := s.Get(id); ok && string(data) == "result v2c" {
+			visible = true
+		}
+		log.record(id, seq)
+	}
+	if err := s.PutResult("p-v2", []byte("result v2c")); err != nil {
+		t.Fatal(err)
+	}
+	if !visible {
+		t.Fatal("OnCommit fired before PutResult was readable")
+	}
+	s.onCommit = log.record
+	wantCalls(t, log.take(), []string{"p-v2"})
+
+	// Delete: fired after the entry is gone, so an invalidator can never
+	// re-admit the deleted body afterwards.
+	var gone bool
+	s.onCommit = func(id string, seq uint64) {
+		if _, _, ok := s.Get(id); !ok {
+			if _, live := s.LatestID("p"); !live {
+				gone = true
+			}
+		}
+		log.record(id, seq)
+	}
+	if ok, err := s.Delete("p-v2"); err != nil || !ok {
+		t.Fatalf("Delete: ok=%v err=%v", ok, err)
+	}
+	if !gone {
+		t.Fatal("OnCommit fired before the delete was visible")
+	}
+	wantCalls(t, log.take(), []string{"p-v2"})
+
+	// Sequences across the whole run are strictly increasing.
+	s.onCommit = log.record
+	if _, err := s.Put(Entry{ID: "q-v1", Name: "q", Fingerprint: "fq1", Source: []byte("s"), Result: []byte("r")}); err != nil {
+		t.Fatal(err)
+	}
+	log.mu.Lock()
+	defer log.mu.Unlock()
+	for i := 1; i < len(log.seqs); i++ {
+		if log.seqs[i] < log.seqs[i-1] {
+			t.Fatalf("OnCommit sequences regressed: %v", log.seqs)
+		}
+	}
+}

@@ -79,6 +79,13 @@ type Config struct {
 	// Fault injects deterministic chaos into segment flushes (site
 	// "store.flush", keyed by project ID). nil disables.
 	Fault *faultinject.Injector
+	// OnCommit, when set, is called after each mutation (Put, PutResult,
+	// Delete) is fully visible to readers, once per affected project ID
+	// — for Put that includes the superseded previous ID. seq is the
+	// mutation's durable sequence number, monotonic across the store, so
+	// callers can use it as an epoch. Called without store locks held;
+	// implementations must not call back into the Store.
+	OnCommit func(id string, seq uint64)
 }
 
 // Entry is one project's stored state, submitted to Put.
@@ -142,6 +149,7 @@ type Store struct {
 	hot        *hotTier
 	tel        *telemetry.Collector
 	fault      *faultinject.Injector
+	onCommit   func(id string, seq uint64)
 	compactMin int64
 	seq        atomic.Uint64
 
@@ -257,6 +265,7 @@ func Open(cfg Config) (*Store, error) {
 		dir:        cfg.Dir,
 		tel:        cfg.Telemetry,
 		fault:      cfg.Fault,
+		onCommit:   cfg.OnCommit,
 		compactMin: cfg.CompactMinBytes,
 		byName:     map[string]nameEntry{},
 	}
@@ -617,6 +626,12 @@ func (s *Store) Put(e Entry) (prevID string, err error) {
 	if prevID != "" {
 		s.invalidate(prevID)
 	}
+	if s.onCommit != nil {
+		s.onCommit(e.ID, seqRes)
+		if prevID != "" {
+			s.onCommit(prevID, seqRes)
+		}
+	}
 	return prevID, err
 }
 
@@ -653,6 +668,9 @@ func (s *Store) PutResult(id string, result []byte) error {
 	}
 	sh.mu.Unlock()
 	s.hot.put(id, result)
+	if s.onCommit != nil {
+		s.onCommit(id, seq)
+	}
 	return err
 }
 
@@ -697,6 +715,9 @@ func (s *Store) Delete(id string) (bool, error) {
 		delete(s.byName, m.name)
 	}
 	s.nmu.Unlock()
+	if s.onCommit != nil {
+		s.onCommit(id, seq)
+	}
 	return true, err
 }
 

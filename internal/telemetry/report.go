@@ -12,7 +12,7 @@ import (
 // ReportSchemaVersion identifies the report layout; consumers should
 // reject versions they do not understand. Bump it whenever a field is
 // added, removed, or changes meaning.
-const ReportSchemaVersion = 3
+const ReportSchemaVersion = 4
 
 // StageReport is one stage's aggregated telemetry. Field order is part
 // of the report contract and is pinned by a golden test.
@@ -89,6 +89,23 @@ type StoreReport struct {
 	HitRate float64 `json:"hit_rate"`
 }
 
+// RenderReport aggregates the HTTP render cache's telemetry: how often
+// pre-rendered response bytes were served without decode or marshal, and
+// how the cache churned (version 4 of the report added this block).
+type RenderReport struct {
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	Writes        int64 `json:"writes"`
+	Invalidations int64 `json:"invalidations"`
+	Evictions     int64 `json:"evictions"`
+	// NotModified counts conditional GETs answered 304 with no body.
+	NotModified  int64 `json:"not_modified"`
+	BytesServed  int64 `json:"bytes_served"`
+	BytesWritten int64 `json:"bytes_written"`
+	// HitRate is Hits/(Hits+Misses), 0 when the cache saw no traffic.
+	HitRate float64 `json:"hit_rate"`
+}
+
 // EventCount is one named event tally (a fault site/kind pair, a
 // degradation taxonomy kind).
 type EventCount struct {
@@ -107,6 +124,7 @@ type Report struct {
 	Stages []StageReport `json:"stages"`
 	Cache  CacheReport   `json:"cache"`
 	Store  StoreReport   `json:"store"`
+	Render RenderReport  `json:"render"`
 	// Faults and Degradation are sorted by name.
 	Faults      []EventCount `json:"faults"`
 	Degradation []EventCount `json:"degradation"`
@@ -200,6 +218,20 @@ func (c *Collector) Snapshot() *Report {
 	}
 	if hits := r.Store.HotHits + r.Store.DiskHits; hits+r.Store.DiskMisses > 0 {
 		r.Store.HitRate = float64(hits) / float64(hits+r.Store.DiskMisses)
+	}
+
+	r.Render = RenderReport{
+		Hits:          c.renderHits.Load(),
+		Misses:        c.renderMisses.Load(),
+		Writes:        c.renderWrites.Load(),
+		Invalidations: c.renderInvalidates.Load(),
+		Evictions:     c.renderEvictions.Load(),
+		NotModified:   c.renderNotModified.Load(),
+		BytesServed:   c.renderBytesIn.Load(),
+		BytesWritten:  c.renderBytesOut.Load(),
+	}
+	if probes := r.Render.Hits + r.Render.Misses; probes > 0 {
+		r.Render.HitRate = float64(r.Render.Hits) / float64(probes)
 	}
 	return r
 }

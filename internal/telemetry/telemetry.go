@@ -200,6 +200,15 @@ type Collector struct {
 	storeReadOnly    atomic.Int64
 	storeBytesIn     atomic.Int64
 	storeBytesOut    atomic.Int64
+
+	renderHits        atomic.Int64
+	renderMisses      atomic.Int64
+	renderWrites      atomic.Int64
+	renderInvalidates atomic.Int64
+	renderEvictions   atomic.Int64
+	renderNotModified atomic.Int64
+	renderBytesIn     atomic.Int64
+	renderBytesOut    atomic.Int64
 }
 
 // New returns a collector anchored at the current time.
@@ -442,6 +451,62 @@ func (c *Collector) StoreReadOnlyEvent() {
 		return
 	}
 	c.storeReadOnly.Add(1)
+}
+
+// RenderHit records a pre-rendered response body served straight from
+// the render cache, n body bytes. Nil-safe.
+func (c *Collector) RenderHit(n int64) {
+	if c == nil {
+		return
+	}
+	c.renderHits.Add(1)
+	c.renderBytesIn.Add(n)
+}
+
+// RenderMiss records a render-cache lookup that found no live entry (the
+// body is rendered and, epoch permitting, inserted). Nil-safe.
+func (c *Collector) RenderMiss() {
+	if c == nil {
+		return
+	}
+	c.renderMisses.Add(1)
+}
+
+// RenderWrite records one rendered body of n bytes inserted into the
+// render cache. Nil-safe.
+func (c *Collector) RenderWrite(n int64) {
+	if c == nil {
+		return
+	}
+	c.renderWrites.Add(1)
+	c.renderBytesOut.Add(n)
+}
+
+// RenderInvalidate records one render-cache invalidation (overwrite,
+// delete, or re-analysis commit bumping the key's epoch). Nil-safe.
+func (c *Collector) RenderInvalidate() {
+	if c == nil {
+		return
+	}
+	c.renderInvalidates.Add(1)
+}
+
+// RenderEvict records one rendered body evicted by the byte budget.
+// Nil-safe.
+func (c *Collector) RenderEvict() {
+	if c == nil {
+		return
+	}
+	c.renderEvictions.Add(1)
+}
+
+// RenderNotModified records one conditional GET answered 304 with zero
+// body bytes. Nil-safe.
+func (c *Collector) RenderNotModified() {
+	if c == nil {
+		return
+	}
+	c.renderNotModified.Add(1)
 }
 
 // SetGauge records the current value of a named gauge (health state,

@@ -237,6 +237,14 @@ func errorMessage(body []byte) string {
 // deadline, retry with hinted jittered backoff. It returns the terminal
 // response body and status.
 func (c *Client) do(ctx context.Context, method, path string, body []byte) (int, []byte, error) {
+	status, _, data, err := c.doCond(ctx, method, path, body, "")
+	return status, data, err
+}
+
+// doCond is do with conditional-request support: etag, when non-empty,
+// is sent as If-None-Match, and the response headers are returned so
+// callers can capture validators. A 304 answer is a success.
+func (c *Client) doCond(ctx context.Context, method, path string, body []byte, etag string) (int, http.Header, []byte, error) {
 	var lastErr error
 	for attempt := 0; c.maxAttempts() < 0 || attempt < c.maxAttempts(); attempt++ {
 		if attempt > 0 {
@@ -247,31 +255,31 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte) (int,
 				hint = re.hint
 			}
 			if err := c.sleep(ctx, c.backoff(attempt-1, hint)); err != nil {
-				return 0, nil, err
+				return 0, nil, nil, err
 			}
 		}
 		if err := c.breaker.allow(ctx, c.sleep); err != nil {
-			return 0, nil, err
+			return 0, nil, nil, err
 		}
-		status, data, err := c.attempt(ctx, method, path, body)
+		status, header, data, err := c.attempt(ctx, method, path, body, etag)
 		if err == nil {
 			c.breaker.success()
-			return status, data, nil
+			return status, header, data, nil
 		}
 		var re *retryableError
 		if !errors.As(err, &re) {
 			// Terminal: a 4xx or the caller's context. The service
 			// answered, so the breaker stays untouched — only retryable
 			// (transport / transient 5xx) failures feed it.
-			return status, data, err
+			return status, header, data, err
 		}
 		c.breaker.failure()
 		lastErr = err
 		if ctx.Err() != nil {
-			return 0, nil, ctx.Err()
+			return 0, nil, nil, ctx.Err()
 		}
 	}
-	return 0, nil, fmt.Errorf("schemaevoclient: %s %s: attempts exhausted: %w", method, path, lastErr)
+	return 0, nil, nil, fmt.Errorf("schemaevoclient: %s %s: attempts exhausted: %w", method, path, lastErr)
 }
 
 // retryableError marks an attempt failure the retry loop should absorb,
@@ -285,7 +293,9 @@ func (e *retryableError) Error() string { return e.err.Error() }
 func (e *retryableError) Unwrap() error { return e.err }
 
 // attempt issues one try of a unary call under its own deadline budget.
-func (c *Client) attempt(ctx context.Context, method, path string, body []byte) (int, []byte, error) {
+// etag, when non-empty, rides as If-None-Match; the matching 304 answer
+// counts as success (it only ever arrives when the caller asked for it).
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte, etag string) (int, http.Header, []byte, error) {
 	actx, cancel := context.WithTimeout(ctx, c.attemptTimeout())
 	defer cancel()
 	var rd io.Reader
@@ -294,38 +304,41 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte) 
 	}
 	req, err := http.NewRequestWithContext(actx, method, c.base+path, rd)
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, nil, err
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	if etag != "" {
+		req.Header.Set("If-None-Match", etag)
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		if ctx.Err() != nil {
-			return 0, nil, ctx.Err()
+			return 0, nil, nil, ctx.Err()
 		}
 		// Transport failure or per-attempt timeout: retryable.
-		return 0, nil, &retryableError{err: err}
+		return 0, nil, nil, &retryableError{err: err}
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {
 		if ctx.Err() != nil {
-			return 0, nil, ctx.Err()
+			return 0, nil, nil, ctx.Err()
 		}
-		return 0, nil, &retryableError{err: err}
+		return 0, nil, nil, &retryableError{err: err}
 	}
-	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
-		return resp.StatusCode, data, nil
+	if (resp.StatusCode >= 200 && resp.StatusCode < 300) || resp.StatusCode == http.StatusNotModified {
+		return resp.StatusCode, resp.Header, data, nil
 	}
 	apiErr := &APIError{Status: resp.StatusCode, Message: errorMessage(data)}
 	if retryableStatus(resp.StatusCode) {
-		return resp.StatusCode, data, &retryableError{err: apiErr, hint: retryAfterHint(resp)}
+		return resp.StatusCode, resp.Header, data, &retryableError{err: apiErr, hint: retryAfterHint(resp)}
 	}
 	if resp.StatusCode == http.StatusNotFound {
-		return resp.StatusCode, data, fmt.Errorf("%w: %s", ErrNotFound, apiErr.Message)
+		return resp.StatusCode, resp.Header, data, fmt.Errorf("%w: %s", ErrNotFound, apiErr.Message)
 	}
-	return resp.StatusCode, data, apiErr
+	return resp.StatusCode, resp.Header, data, apiErr
 }
 
 // decodeProject parses a project wire body.
@@ -356,6 +369,28 @@ func (c *Client) Get(ctx context.Context, id string) (*Project, error) {
 		return nil, err
 	}
 	return decodeProject(data)
+}
+
+// GetConditional fetches a project's analysis by ID, revalidating a
+// cached copy: etag, when non-empty, is the validator from a previous
+// fetch (the response's ETag header). When the representation is
+// unchanged the server answers 304 with no body and GetConditional
+// returns (nil, etag, true, nil); otherwise it returns the decoded
+// project, its current validator, and notModified=false. Unknown IDs
+// return an error wrapping ErrNotFound.
+func (c *Client) GetConditional(ctx context.Context, id, etag string) (p *Project, currentETag string, notModified bool, err error) {
+	status, header, data, err := c.doCond(ctx, http.MethodGet, "/v1/projects/"+id, nil, etag)
+	if err != nil {
+		return nil, "", false, err
+	}
+	if status == http.StatusNotModified {
+		return nil, header.Get("ETag"), true, nil
+	}
+	p, err = decodeProject(data)
+	if err != nil {
+		return nil, "", false, err
+	}
+	return p, header.Get("ETag"), false, nil
 }
 
 // Delete removes a submitted project. Unknown IDs return an error
@@ -391,7 +426,7 @@ func (c *Client) Ready(ctx context.Context) (bool, error) {
 				return false, err
 			}
 		}
-		status, _, err := c.attempt(ctx, http.MethodGet, "/readyz", nil)
+		status, _, _, err := c.attempt(ctx, http.MethodGet, "/readyz", nil, "")
 		if err == nil {
 			return true, nil
 		}
